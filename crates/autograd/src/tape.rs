@@ -1,0 +1,734 @@
+//! The computation tape: forward recording and the reverse sweep.
+
+use crate::op::Op;
+use crate::param::Param;
+use hap_tensor::Tensor;
+
+/// Handle to a value recorded on a [`Tape`].
+///
+/// `Var` is a plain index — `Copy`, 8 bytes — valid only for the tape that
+/// produced it. Using a `Var` from one tape with another is a logic error
+/// and is caught by shape/bounds assertions in debug builds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Var(pub(crate) usize);
+
+struct Node {
+    value: Tensor,
+    op: Op,
+    /// Indices of parent nodes, in operand order.
+    parents: [usize; 2],
+    n_parents: u8,
+}
+
+/// A define-by-run computation graph.
+///
+/// Build one tape per forward pass: record constants and parameters as
+/// leaves, combine them with the operator methods, then call
+/// [`Tape::backward`] on the (scalar) output. Parameter gradients are
+/// accumulated into their [`Param`] buffers; gradients of any intermediate
+/// can be read back with [`Tape::grad`] after the sweep.
+///
+/// ```
+/// use hap_autograd::{Param, Tape};
+/// use hap_tensor::Tensor;
+///
+/// let w = Param::new("w", Tensor::full(1, 1, 3.0));
+/// let mut tape = Tape::new();
+/// let x = tape.constant(Tensor::full(1, 1, 2.0));
+/// let wv = tape.param(&w);
+/// let y = tape.hadamard(x, wv);     // y = w·x
+/// let loss = tape.hadamard(y, y);   // loss = (w·x)² = 36
+/// assert_eq!(tape.scalar(loss), 36.0);
+/// tape.backward(loss);
+/// // d loss / d w = 2·w·x² = 24
+/// assert_eq!(w.grad()[(0, 0)], 24.0);
+/// ```
+pub struct Tape {
+    nodes: Vec<Node>,
+    /// Gradients from the most recent `backward` call, parallel to `nodes`.
+    grads: Vec<Option<Tensor>>,
+}
+
+impl Default for Tape {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Tape {
+    /// Creates an empty tape.
+    pub fn new() -> Self {
+        Self {
+            nodes: Vec::new(),
+            grads: Vec::new(),
+        }
+    }
+
+    /// Number of recorded nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the tape has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    fn push(&mut self, value: Tensor, op: Op, parents: &[usize]) -> Var {
+        debug_assert!(parents.len() <= 2);
+        debug_assert!(parents.iter().all(|&p| p < self.nodes.len()));
+        let mut ps = [usize::MAX; 2];
+        for (slot, &p) in ps.iter_mut().zip(parents) {
+            *slot = p;
+        }
+        self.nodes.push(Node {
+            value,
+            op,
+            parents: ps,
+            n_parents: parents.len() as u8,
+        });
+        Var(self.nodes.len() - 1)
+    }
+
+    /// The forward value of `v` (clone).
+    pub fn value(&self, v: Var) -> Tensor {
+        self.nodes[v.0].value.clone()
+    }
+
+    /// Shape of `v` without cloning.
+    pub fn shape(&self, v: Var) -> (usize, usize) {
+        self.nodes[v.0].value.shape()
+    }
+
+    /// The value of a `1×1` node as a scalar.
+    ///
+    /// # Panics
+    /// Panics when `v` is not `1×1`.
+    pub fn scalar(&self, v: Var) -> f64 {
+        let t = &self.nodes[v.0].value;
+        assert_eq!(t.shape(), (1, 1), "scalar() called on non-scalar node");
+        t[(0, 0)]
+    }
+
+    // ----- leaves ---------------------------------------------------------
+
+    /// Records a constant input. Gradients are tracked (readable via
+    /// [`Tape::grad`]) but not accumulated anywhere.
+    pub fn constant(&mut self, value: Tensor) -> Var {
+        self.push(value, Op::Constant, &[])
+    }
+
+    /// Binds a trainable parameter into this tape; backward will accumulate
+    /// into the parameter's gradient buffer.
+    pub fn param(&mut self, p: &Param) -> Var {
+        self.push(p.value(), Op::Leaf(p.clone()), &[])
+    }
+
+    // ----- binary ops -----------------------------------------------------
+
+    /// Matrix product.
+    pub fn matmul(&mut self, a: Var, b: Var) -> Var {
+        let v = self.nodes[a.0].value.matmul(&self.nodes[b.0].value);
+        self.push(v, Op::MatMul, &[a.0, b.0])
+    }
+
+    /// Elementwise sum.
+    pub fn add(&mut self, a: Var, b: Var) -> Var {
+        let v = &self.nodes[a.0].value + &self.nodes[b.0].value;
+        self.push(v, Op::Add, &[a.0, b.0])
+    }
+
+    /// Elementwise difference.
+    pub fn sub(&mut self, a: Var, b: Var) -> Var {
+        let v = &self.nodes[a.0].value - &self.nodes[b.0].value;
+        self.push(v, Op::Sub, &[a.0, b.0])
+    }
+
+    /// Elementwise product.
+    pub fn hadamard(&mut self, a: Var, b: Var) -> Var {
+        let v = self.nodes[a.0].value.hadamard(&self.nodes[b.0].value);
+        self.push(v, Op::Hadamard, &[a.0, b.0])
+    }
+
+    /// Broadcast-adds a `1×F` row vector to each row of `x`.
+    pub fn add_row(&mut self, x: Var, row: Var) -> Var {
+        let v = self.nodes[x.0].value.add_row(&self.nodes[row.0].value);
+        self.push(v, Op::AddRow, &[x.0, row.0])
+    }
+
+    /// Broadcast-adds an `N×1` column vector to each column of `x`.
+    pub fn add_col(&mut self, x: Var, col: Var) -> Var {
+        let v = self.nodes[x.0].value.add_col(&self.nodes[col.0].value);
+        self.push(v, Op::AddCol, &[x.0, col.0])
+    }
+
+    /// Scales row `i` of `x` by entry `i` of an `N×1` column vector
+    /// (the gating step of gPool / SAGPool).
+    pub fn mul_col(&mut self, x: Var, col: Var) -> Var {
+        let xv = &self.nodes[x.0].value;
+        let cv = &self.nodes[col.0].value;
+        assert_eq!(cv.cols(), 1, "mul_col: gate must be a column vector");
+        assert_eq!(cv.rows(), xv.rows(), "mul_col: row counts must agree");
+        let mut out = xv.clone();
+        for r in 0..out.rows() {
+            let s = cv[(r, 0)];
+            for e in out.row_mut(r) {
+                *e *= s;
+            }
+        }
+        self.push(out, Op::MulCol, &[x.0, col.0])
+    }
+
+    /// Column concatenation `[a ‖ b]` (Eq. 14's concatenation).
+    pub fn hstack(&mut self, a: Var, b: Var) -> Var {
+        let v = self.nodes[a.0].value.hstack(&self.nodes[b.0].value);
+        self.push(v, Op::HStack, &[a.0, b.0])
+    }
+
+    /// Row concatenation.
+    pub fn vstack(&mut self, a: Var, b: Var) -> Var {
+        let v = self.nodes[a.0].value.vstack(&self.nodes[b.0].value);
+        self.push(v, Op::VStack, &[a.0, b.0])
+    }
+
+    // ----- unary ops --------------------------------------------------------
+
+    /// Scalar multiple.
+    pub fn scale(&mut self, x: Var, s: f64) -> Var {
+        let v = self.nodes[x.0].value.scale(s);
+        self.push(v, Op::Scale(s), &[x.0])
+    }
+
+    /// Scalar shift (`x + s`), e.g. the ε-stabilisation before `ln`.
+    pub fn shift(&mut self, x: Var, s: f64) -> Var {
+        let v = self.nodes[x.0].value.shift(s);
+        self.push(v, Op::Shift(s), &[x.0])
+    }
+
+    /// Transpose.
+    pub fn transpose(&mut self, x: Var) -> Var {
+        let v = self.nodes[x.0].value.transpose();
+        self.push(v, Op::Transpose, &[x.0])
+    }
+
+    /// ReLU activation.
+    pub fn relu(&mut self, x: Var) -> Var {
+        let v = self.nodes[x.0].value.map(|e| e.max(0.0));
+        self.push(v, Op::Relu, &[x.0])
+    }
+
+    /// LeakyReLU with negative slope `alpha` (paper Definition 5.2, slope
+    /// `1/a`).
+    pub fn leaky_relu(&mut self, x: Var, alpha: f64) -> Var {
+        let v = self.nodes[x.0].value.map(|e| if e >= 0.0 { e } else { alpha * e });
+        self.push(v, Op::LeakyRelu(alpha), &[x.0])
+    }
+
+    /// Logistic sigmoid.
+    pub fn sigmoid(&mut self, x: Var) -> Var {
+        let v = self.nodes[x.0].value.map(|e| 1.0 / (1.0 + (-e).exp()));
+        self.push(v, Op::Sigmoid, &[x.0])
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh(&mut self, x: Var) -> Var {
+        let v = self.nodes[x.0].value.map(f64::tanh);
+        self.push(v, Op::Tanh, &[x.0])
+    }
+
+    /// Row-wise softmax (Eq. 15).
+    pub fn softmax_rows(&mut self, x: Var) -> Var {
+        let v = self.nodes[x.0].value.softmax_rows();
+        self.push(v, Op::SoftmaxRows, &[x.0])
+    }
+
+    /// Row-wise log-softmax (stable cross-entropy path).
+    pub fn log_softmax_rows(&mut self, x: Var) -> Var {
+        let xv = &self.nodes[x.0].value;
+        let mut out = xv.clone();
+        for r in 0..out.rows() {
+            let row = out.row_mut(r);
+            let m = row.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            let lse = m + row.iter().map(|&e| (e - m).exp()).sum::<f64>().ln();
+            for e in row.iter_mut() {
+                *e -= lse;
+            }
+        }
+        self.push(out, Op::LogSoftmaxRows, &[x.0])
+    }
+
+    /// Elementwise exponential.
+    pub fn exp(&mut self, x: Var) -> Var {
+        let v = self.nodes[x.0].value.map(f64::exp);
+        self.push(v, Op::Exp, &[x.0])
+    }
+
+    /// Elementwise natural logarithm. Callers are responsible for
+    /// positivity (use [`Tape::shift`] with an ε first when needed).
+    pub fn ln(&mut self, x: Var) -> Var {
+        let v = self.nodes[x.0].value.map(f64::ln);
+        self.push(v, Op::Ln, &[x.0])
+    }
+
+    /// Elementwise square root.
+    pub fn sqrt(&mut self, x: Var) -> Var {
+        let v = self.nodes[x.0].value.map(f64::sqrt);
+        self.push(v, Op::Sqrt, &[x.0])
+    }
+
+    /// Elementwise constant power `x^p`. For non-integer `p` callers must
+    /// guarantee positive inputs (degree vectors are, after the `Ã = A+I`
+    /// self-loop shift).
+    pub fn pow_const(&mut self, x: Var, p: f64) -> Var {
+        let v = self.nodes[x.0].value.map(|e| e.powf(p));
+        self.push(v, Op::PowConst(p), &[x.0])
+    }
+
+    /// Broadcast-multiplies each column of `x` elementwise by a `1×F` row
+    /// vector (composition of transposes around [`Tape::mul_col`]).
+    pub fn mul_row(&mut self, x: Var, row: Var) -> Var {
+        let xt = self.transpose(x);
+        let rt = self.transpose(row);
+        let yt = self.mul_col(xt, rt);
+        self.transpose(yt)
+    }
+
+    /// Selects rows `indices` (repetition allowed) — the Top-K step of
+    /// gPool/SAGPool/SortPooling.
+    pub fn gather_rows(&mut self, x: Var, indices: &[usize]) -> Var {
+        let v = self.nodes[x.0].value.gather_rows(indices);
+        self.push(v, Op::GatherRows(indices.to_vec()), &[x.0])
+    }
+
+    // ----- reductions -------------------------------------------------------
+
+    /// Sum of all elements → `1×1`.
+    pub fn sum_all(&mut self, x: Var) -> Var {
+        let v = Tensor::from_vec(1, 1, vec![self.nodes[x.0].value.sum()]);
+        self.push(v, Op::SumAll, &[x.0])
+    }
+
+    /// Mean of all elements → `1×1`.
+    pub fn mean_all(&mut self, x: Var) -> Var {
+        let v = Tensor::from_vec(1, 1, vec![self.nodes[x.0].value.mean()]);
+        self.push(v, Op::MeanAll, &[x.0])
+    }
+
+    /// Column sums `N×F → 1×F` (sum-pooling readout).
+    pub fn col_sums(&mut self, x: Var) -> Var {
+        let v = self.nodes[x.0].value.col_sums();
+        self.push(v, Op::ColSums, &[x.0])
+    }
+
+    /// Column means `N×F → 1×F` (mean-pooling readout).
+    pub fn col_means(&mut self, x: Var) -> Var {
+        let v = self.nodes[x.0].value.col_means();
+        self.push(v, Op::ColMeans, &[x.0])
+    }
+
+    /// Column maxima `N×F → 1×F` (max-pooling readout). Ties route the
+    /// gradient to the first maximal row, matching PyTorch's `max`.
+    pub fn col_maxes(&mut self, x: Var) -> Var {
+        let xv = &self.nodes[x.0].value;
+        assert!(xv.rows() > 0, "col_maxes of empty tensor");
+        let mut argmax = vec![0usize; xv.cols()];
+        let mut out = Tensor::zeros(1, xv.cols());
+        for c in 0..xv.cols() {
+            let mut best = f64::NEG_INFINITY;
+            for r in 0..xv.rows() {
+                if xv[(r, c)] > best {
+                    best = xv[(r, c)];
+                    argmax[c] = r;
+                }
+            }
+            out[(0, c)] = best;
+        }
+        self.push(out, Op::ColMaxes(argmax), &[x.0])
+    }
+
+    /// Row sums `N×F → N×1`.
+    pub fn row_sums(&mut self, x: Var) -> Var {
+        let v = self.nodes[x.0].value.row_sums();
+        self.push(v, Op::RowSums, &[x.0])
+    }
+
+    // ----- composite helpers -------------------------------------------------
+
+    /// Squared Euclidean distance between two same-shape values → `1×1`.
+    /// This is the `d(G₁,G₂)` of Eq. 22, kept differentiable.
+    pub fn squared_distance(&mut self, a: Var, b: Var) -> Var {
+        let d = self.sub(a, b);
+        let sq = self.hadamard(d, d);
+        self.sum_all(sq)
+    }
+
+    // ----- backward -----------------------------------------------------------
+
+    /// Runs the reverse sweep from `output`, which must be `1×1`.
+    ///
+    /// Parameter gradients are *accumulated* (call
+    /// [`crate::ParamStore::zero_grads`] between optimizer steps); gradients
+    /// of every node are retained for inspection via [`Tape::grad`].
+    pub fn backward(&mut self, output: Var) {
+        self.backward_with_seed(output, Tensor::ones(1, 1));
+    }
+
+    /// Reverse sweep with an explicit seed gradient for `output` (shape must
+    /// match the output node). Used to weight multiple losses.
+    pub fn backward_with_seed(&mut self, output: Var, seed: Tensor) {
+        assert_eq!(
+            self.nodes[output.0].value.shape(),
+            seed.shape(),
+            "backward seed shape must match output shape"
+        );
+        self.grads = vec![None; self.nodes.len()];
+        self.grads[output.0] = Some(seed);
+
+        for i in (0..=output.0).rev() {
+            let Some(g) = self.grads[i].take() else {
+                continue;
+            };
+            self.propagate(i, &g);
+            self.grads[i] = Some(g);
+        }
+    }
+
+    /// Gradient of the last backward sweep at `v` (zero tensor when the node
+    /// did not participate).
+    pub fn grad(&self, v: Var) -> Tensor {
+        match self.grads.get(v.0).and_then(|g| g.as_ref()) {
+            Some(g) => g.clone(),
+            None => {
+                let (r, c) = self.nodes[v.0].value.shape();
+                Tensor::zeros(r, c)
+            }
+        }
+    }
+
+    fn accumulate(&mut self, idx: usize, delta: Tensor) {
+        match &mut self.grads[idx] {
+            Some(g) => *g = &*g + &delta,
+            slot @ None => *slot = Some(delta),
+        }
+    }
+
+    fn parent_value(&self, node: usize, k: usize) -> &Tensor {
+        &self.nodes[self.nodes[node].parents[k]].value
+    }
+
+    fn propagate(&mut self, i: usize, g: &Tensor) {
+        let (p0, p1) = (self.nodes[i].parents[0], self.nodes[i].parents[1]);
+        let n_parents = self.nodes[i].n_parents;
+        let op = self.nodes[i].op.clone();
+        match op {
+            Op::Constant => {}
+            Op::Leaf(param) => param.accumulate_grad(g),
+            Op::MatMul => {
+                let da = g.matmul(&self.parent_value(i, 1).transpose());
+                let db = self.parent_value(i, 0).transpose().matmul(g);
+                self.accumulate(p0, da);
+                self.accumulate(p1, db);
+            }
+            Op::Add => {
+                self.accumulate(p0, g.clone());
+                self.accumulate(p1, g.clone());
+            }
+            Op::Sub => {
+                self.accumulate(p0, g.clone());
+                self.accumulate(p1, g.scale(-1.0));
+            }
+            Op::Hadamard => {
+                let da = g.hadamard(self.parent_value(i, 1));
+                let db = g.hadamard(self.parent_value(i, 0));
+                self.accumulate(p0, da);
+                self.accumulate(p1, db);
+            }
+            Op::AddRow => {
+                self.accumulate(p0, g.clone());
+                self.accumulate(p1, g.col_sums());
+            }
+            Op::AddCol => {
+                self.accumulate(p0, g.clone());
+                self.accumulate(p1, g.row_sums());
+            }
+            Op::MulCol => {
+                let x = self.parent_value(i, 0).clone();
+                let c = self.parent_value(i, 1).clone();
+                let mut dx = g.clone();
+                for r in 0..dx.rows() {
+                    let s = c[(r, 0)];
+                    for e in dx.row_mut(r) {
+                        *e *= s;
+                    }
+                }
+                let dc = g.hadamard(&x).row_sums();
+                self.accumulate(p0, dx);
+                self.accumulate(p1, dc);
+            }
+            Op::Scale(s) => self.accumulate(p0, g.scale(s)),
+            Op::Shift(_) => self.accumulate(p0, g.clone()),
+            Op::Transpose => self.accumulate(p0, g.transpose()),
+            Op::Relu => {
+                let x = self.parent_value(i, 0);
+                let mask = x.map(|e| if e > 0.0 { 1.0 } else { 0.0 });
+                self.accumulate(p0, g.hadamard(&mask));
+            }
+            Op::LeakyRelu(alpha) => {
+                let x = self.parent_value(i, 0);
+                let mask = x.map(|e| if e >= 0.0 { 1.0 } else { alpha });
+                self.accumulate(p0, g.hadamard(&mask));
+            }
+            Op::Sigmoid => {
+                let y = &self.nodes[i].value;
+                let dy = y.map(|e| e * (1.0 - e));
+                self.accumulate(p0, g.hadamard(&dy));
+            }
+            Op::Tanh => {
+                let y = &self.nodes[i].value;
+                let dy = y.map(|e| 1.0 - e * e);
+                self.accumulate(p0, g.hadamard(&dy));
+            }
+            Op::SoftmaxRows => {
+                let y = self.nodes[i].value.clone();
+                let mut dx = Tensor::zeros(y.rows(), y.cols());
+                for r in 0..y.rows() {
+                    let dot: f64 = g.row(r).iter().zip(y.row(r)).map(|(&a, &b)| a * b).sum();
+                    for c in 0..y.cols() {
+                        dx[(r, c)] = y[(r, c)] * (g[(r, c)] - dot);
+                    }
+                }
+                self.accumulate(p0, dx);
+            }
+            Op::LogSoftmaxRows => {
+                // y = x - lse(x); dx = g - softmax(x) * rowsum(g)
+                let x = self.parent_value(i, 0).clone();
+                let sm = x.softmax_rows();
+                let mut dx = g.clone();
+                for r in 0..dx.rows() {
+                    let gs: f64 = g.row(r).iter().sum();
+                    for c in 0..dx.cols() {
+                        dx[(r, c)] -= sm[(r, c)] * gs;
+                    }
+                }
+                self.accumulate(p0, dx);
+            }
+            Op::Exp => {
+                let y = &self.nodes[i].value;
+                self.accumulate(p0, g.hadamard(y));
+            }
+            Op::Ln => {
+                let x = self.parent_value(i, 0);
+                let inv = x.map(|e| 1.0 / e);
+                self.accumulate(p0, g.hadamard(&inv));
+            }
+            Op::Sqrt => {
+                let y = &self.nodes[i].value;
+                let dy = y.map(|e| 0.5 / e);
+                self.accumulate(p0, g.hadamard(&dy));
+            }
+            Op::PowConst(p) => {
+                let x = self.parent_value(i, 0);
+                let dy = x.map(|e| p * e.powf(p - 1.0));
+                self.accumulate(p0, g.hadamard(&dy));
+            }
+            Op::HStack => {
+                let ca = self.parent_value(i, 0).cols();
+                let da = g.slice_cols(0, ca);
+                let db = g.slice_cols(ca, g.cols());
+                self.accumulate(p0, da);
+                self.accumulate(p1, db);
+            }
+            Op::VStack => {
+                let ra = self.parent_value(i, 0).rows();
+                let da = g.slice_rows(0, ra);
+                let db = g.slice_rows(ra, g.rows());
+                self.accumulate(p0, da);
+                self.accumulate(p1, db);
+            }
+            Op::GatherRows(indices) => {
+                let x = self.parent_value(i, 0);
+                let mut dx = Tensor::zeros(x.rows(), x.cols());
+                for (gi, &src) in indices.iter().enumerate() {
+                    for (d, &gv) in dx.row_mut(src).iter_mut().zip(g.row(gi)) {
+                        *d += gv;
+                    }
+                }
+                self.accumulate(p0, dx);
+            }
+            Op::SumAll => {
+                let x = self.parent_value(i, 0);
+                let dx = Tensor::full(x.rows(), x.cols(), g[(0, 0)]);
+                self.accumulate(p0, dx);
+            }
+            Op::MeanAll => {
+                let x = self.parent_value(i, 0);
+                let dx = Tensor::full(x.rows(), x.cols(), g[(0, 0)] / x.len() as f64);
+                self.accumulate(p0, dx);
+            }
+            Op::ColSums => {
+                let x = self.parent_value(i, 0);
+                let mut dx = Tensor::zeros(x.rows(), x.cols());
+                for r in 0..x.rows() {
+                    dx.row_mut(r).copy_from_slice(g.row(0));
+                }
+                self.accumulate(p0, dx);
+            }
+            Op::ColMeans => {
+                let x = self.parent_value(i, 0);
+                let n = x.rows() as f64;
+                let mut dx = Tensor::zeros(x.rows(), x.cols());
+                for r in 0..x.rows() {
+                    for (d, &gv) in dx.row_mut(r).iter_mut().zip(g.row(0)) {
+                        *d = gv / n;
+                    }
+                }
+                self.accumulate(p0, dx);
+            }
+            Op::ColMaxes(argmax) => {
+                let x = self.parent_value(i, 0);
+                let mut dx = Tensor::zeros(x.rows(), x.cols());
+                for (c, &r) in argmax.iter().enumerate() {
+                    dx[(r, c)] += g[(0, c)];
+                }
+                self.accumulate(p0, dx);
+            }
+            Op::RowSums => {
+                let x = self.parent_value(i, 0);
+                let mut dx = Tensor::zeros(x.rows(), x.cols());
+                for r in 0..x.rows() {
+                    let gv = g[(r, 0)];
+                    for d in dx.row_mut(r) {
+                        *d = gv;
+                    }
+                }
+                self.accumulate(p0, dx);
+            }
+        }
+        debug_assert!(n_parents as usize <= 2);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hap_tensor::testutil::assert_close;
+
+    #[test]
+    fn forward_values_match_tensor_ops() {
+        let mut t = Tape::new();
+        let a = t.constant(Tensor::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]));
+        let b = t.constant(Tensor::eye(2));
+        let c = t.matmul(a, b);
+        assert_close(&t.value(c), &t.value(a), 1e-12);
+        let s = t.sum_all(c);
+        assert_eq!(t.scalar(s), 10.0);
+    }
+
+    #[test]
+    fn backward_through_matmul_chain() {
+        // loss = sum(A·B); dA = 1·Bᵀ, dB = Aᵀ·1
+        let mut t = Tape::new();
+        let a = t.constant(Tensor::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]));
+        let b = t.constant(Tensor::from_rows(&[vec![5.0, 6.0], vec![7.0, 8.0]]));
+        let c = t.matmul(a, b);
+        let loss = t.sum_all(c);
+        t.backward(loss);
+        let da = t.grad(a);
+        // ones(2,2)·Bᵀ = [[11,15],[11,15]]
+        assert_close(
+            &da,
+            &Tensor::from_rows(&[vec![11.0, 15.0], vec![11.0, 15.0]]),
+            1e-12,
+        );
+        let db = t.grad(b);
+        // Aᵀ·ones = [[4,4],[6,6]]
+        assert_close(&db, &Tensor::from_rows(&[vec![4.0, 4.0], vec![6.0, 6.0]]), 1e-12);
+    }
+
+    #[test]
+    fn param_gradients_accumulate_across_tapes() {
+        let p = Param::new("w", Tensor::ones(1, 1));
+        for _ in 0..3 {
+            let mut t = Tape::new();
+            let w = t.param(&p);
+            let loss = t.sum_all(w);
+            t.backward(loss);
+        }
+        assert_eq!(p.grad()[(0, 0)], 3.0);
+    }
+
+    #[test]
+    fn fan_out_gradients_sum() {
+        // loss = sum(x ∘ x) -> dx = 2x
+        let mut t = Tape::new();
+        let x = t.constant(Tensor::row_vector(&[1.0, -2.0, 3.0]));
+        let sq = t.hadamard(x, x);
+        let loss = t.sum_all(sq);
+        t.backward(loss);
+        assert_close(&t.grad(x), &Tensor::row_vector(&[2.0, -4.0, 6.0]), 1e-12);
+    }
+
+    #[test]
+    fn softmax_rows_grad_is_zero_for_uniform_seed() {
+        // d softmax / dx with uniform upstream gradient vanishes because
+        // softmax outputs sum to a constant.
+        let mut t = Tape::new();
+        let x = t.constant(Tensor::row_vector(&[0.3, -1.0, 2.0]));
+        let y = t.softmax_rows(x);
+        let loss = t.sum_all(y);
+        t.backward(loss);
+        let g = t.grad(x);
+        for &v in g.as_slice() {
+            assert!(v.abs() < 1e-12, "expected zero grad, got {v}");
+        }
+    }
+
+    #[test]
+    fn squared_distance_grad() {
+        let mut t = Tape::new();
+        let a = t.constant(Tensor::row_vector(&[1.0, 2.0]));
+        let b = t.constant(Tensor::row_vector(&[4.0, 6.0]));
+        let d = t.squared_distance(a, b);
+        assert_eq!(t.scalar(d), 25.0);
+        t.backward(d);
+        assert_close(&t.grad(a), &Tensor::row_vector(&[-6.0, -8.0]), 1e-12);
+        assert_close(&t.grad(b), &Tensor::row_vector(&[6.0, 8.0]), 1e-12);
+    }
+
+    #[test]
+    fn gather_rows_scatters_gradient() {
+        let mut t = Tape::new();
+        let x = t.constant(Tensor::from_rows(&[vec![1.0], vec![2.0], vec![3.0]]));
+        let y = t.gather_rows(x, &[2, 2, 0]);
+        let loss = t.sum_all(y);
+        t.backward(loss);
+        assert_close(
+            &t.grad(x),
+            &Tensor::from_rows(&[vec![1.0], vec![0.0], vec![2.0]]),
+            1e-12,
+        );
+    }
+
+    #[test]
+    fn col_maxes_routes_to_argmax() {
+        let mut t = Tape::new();
+        let x = t.constant(Tensor::from_rows(&[vec![1.0, 5.0], vec![3.0, 2.0]]));
+        let y = t.col_maxes(x);
+        assert_close(&t.value(y), &Tensor::row_vector(&[3.0, 5.0]), 1e-12);
+        let loss = t.sum_all(y);
+        t.backward(loss);
+        assert_close(
+            &t.grad(x),
+            &Tensor::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]),
+            1e-12,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "seed shape")]
+    fn backward_rejects_mismatched_seed() {
+        let mut t = Tape::new();
+        let x = t.constant(Tensor::zeros(2, 2));
+        t.backward_with_seed(x, Tensor::zeros(1, 1));
+    }
+}

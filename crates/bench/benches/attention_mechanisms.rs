@@ -1,0 +1,73 @@
+//! MOA vs the attention mechanisms of Sec. 3.4: compares the cost of one
+//! attention-assignment computation (HSA-style masked GAT attention,
+//! SimGNN-style master attention, and MOA) on the same graph.
+//!
+//! Supports the Sec. 4.4.2 discussion: MOA's cost is O(N·N') — between
+//! flat master attention (O(N)) and full pairwise self-attention (O(N²)).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hap_autograd::{ParamStore, Tape};
+use hap_core::{GCont, Moa};
+use hap_gnn::{AdjacencyRef, GatLayer};
+use hap_graph::{degree_one_hot, generators};
+use hap_pooling::{MeanAttReadout, PoolCtx, Readout};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn attention_mechanisms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("attention");
+    let dim = 16;
+    for &n in &[50usize, 100] {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = generators::erdos_renyi_connected(n, 0.1, &mut rng);
+        let x = degree_one_hot(&g, dim);
+
+        // masked pairwise self-attention (GAT / HSA)
+        let mut store = ParamStore::new();
+        let gat = GatLayer::new(&mut store, "gat", dim, dim, &mut rng);
+        group.bench_with_input(BenchmarkId::new("self_attention", n), &n, |b, _| {
+            b.iter(|| {
+                let mut tape = Tape::new();
+                let h = tape.constant(x.clone());
+                let a = gat.attention(&mut tape, AdjacencyRef::Fixed(&g), h);
+                criterion::black_box(tape.value(a))
+            })
+        });
+
+        // master attention (SimGNN MeanAtt)
+        let mut store = ParamStore::new();
+        let ma = MeanAttReadout::new(&mut store, "ma", dim, &mut rng);
+        group.bench_with_input(BenchmarkId::new("master_attention", n), &n, |b, _| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(1);
+                let mut tape = Tape::new();
+                let h = tape.constant(x.clone());
+                let a = tape.constant(g.adjacency().clone());
+                let mut ctx = PoolCtx {
+                    training: false,
+                    rng: &mut rng,
+                };
+                let out = ma.forward(&mut tape, a, h, &mut ctx);
+                criterion::black_box(tape.value(out))
+            })
+        });
+
+        // MOA cross-level attention
+        let mut store = ParamStore::new();
+        let gcont = GCont::new(&mut store, "gc", dim, 8, &mut rng);
+        let moa = Moa::new(&mut store, "moa", 8, &mut rng);
+        group.bench_with_input(BenchmarkId::new("moa", n), &n, |b, _| {
+            b.iter(|| {
+                let mut tape = Tape::new();
+                let h = tape.constant(x.clone());
+                let cm = gcont.forward(&mut tape, h);
+                let m = moa.forward(&mut tape, cm);
+                criterion::black_box(tape.value(m))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, attention_mechanisms);
+criterion_main!(benches);

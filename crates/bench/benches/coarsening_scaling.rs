@@ -1,0 +1,77 @@
+//! Claim 1 (Sec. 5.1): the HAP coarsening module scales as O(N²) in the
+//! source-graph node count.
+//!
+//! The bench sweeps N and reports the time of one coarsening forward
+//! pass; doubling N should roughly quadruple the time (dominated by the
+//! `MᵀAM` products).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hap_autograd::{ParamStore, Tape};
+use hap_core::HapCoarsen;
+use hap_graph::{degree_one_hot, generators};
+use hap_pooling::{CoarsenModule, PoolCtx};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn coarsening_forward(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hap_coarsen_forward");
+    let dim = 16;
+    for &n in &[25usize, 50, 100, 200] {
+        let mut rng = StdRng::seed_from_u64(7);
+        let g = generators::erdos_renyi_connected(n, 0.1, &mut rng);
+        let x = degree_one_hot(&g, dim);
+        let mut store = ParamStore::new();
+        let module = HapCoarsen::new(&mut store, "hc", dim, 8, &mut rng);
+
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(1);
+                let mut tape = Tape::new();
+                let a = tape.constant(g.adjacency().clone());
+                let h = tape.constant(x.clone());
+                let mut ctx = PoolCtx {
+                    training: false,
+                    rng: &mut rng,
+                };
+                let (a2, h2) = module.forward(&mut tape, a, h, &mut ctx);
+                criterion::black_box((tape.value(a2), tape.value(h2)))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn coarsening_forward_backward(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hap_coarsen_forward_backward");
+    let dim = 16;
+    for &n in &[25usize, 50, 100] {
+        let mut rng = StdRng::seed_from_u64(7);
+        let g = generators::erdos_renyi_connected(n, 0.1, &mut rng);
+        let x = degree_one_hot(&g, dim);
+        let mut store = ParamStore::new();
+        let module = HapCoarsen::new(&mut store, "hc", dim, 8, &mut rng);
+
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(1);
+                store.zero_grads();
+                let mut tape = Tape::new();
+                let a = tape.constant(g.adjacency().clone());
+                let h = tape.constant(x.clone());
+                let mut ctx = PoolCtx {
+                    training: true,
+                    rng: &mut rng,
+                };
+                let (_a2, h2) = module.forward(&mut tape, a, h, &mut ctx);
+                let sq = tape.hadamard(h2, h2);
+                let loss = tape.sum_all(sq);
+                tape.backward(loss);
+                criterion::black_box(store.grad_norm())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, coarsening_forward, coarsening_forward_backward);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Cost of the Fig. 5 GED baselines on paper-scale (≤10 node) graphs:
+//! exact A*, Beam-1, Beam-80, and the two bipartite approximations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hap_ged::{beam_ged, bipartite_ged, exact_ged, BipartiteSolver, EditCosts};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn ged_solvers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ged_10_node_pair");
+    let mut rng = StdRng::seed_from_u64(9);
+    let corpus = hap_data::aids_like(8, &mut rng);
+    let pairs: Vec<(usize, usize)> = (0..4).map(|i| (i, i + 4)).collect();
+    let costs = EditCosts::uniform();
+
+    group.bench_function("exact_astar", |b| {
+        b.iter(|| {
+            for &(i, j) in &pairs {
+                criterion::black_box(exact_ged(&corpus[i].graph, &corpus[j].graph, &costs));
+            }
+        })
+    });
+    group.bench_function("beam1", |b| {
+        b.iter(|| {
+            for &(i, j) in &pairs {
+                criterion::black_box(beam_ged(&corpus[i].graph, &corpus[j].graph, 1, &costs));
+            }
+        })
+    });
+    group.bench_function("beam80", |b| {
+        b.iter(|| {
+            for &(i, j) in &pairs {
+                criterion::black_box(beam_ged(&corpus[i].graph, &corpus[j].graph, 80, &costs));
+            }
+        })
+    });
+    group.bench_function("hungarian", |b| {
+        b.iter(|| {
+            for &(i, j) in &pairs {
+                criterion::black_box(bipartite_ged(
+                    &corpus[i].graph,
+                    &corpus[j].graph,
+                    BipartiteSolver::Hungarian,
+                    &costs,
+                ));
+            }
+        })
+    });
+    group.bench_function("vj", |b| {
+        b.iter(|| {
+            for &(i, j) in &pairs {
+                criterion::black_box(bipartite_ged(
+                    &corpus[i].graph,
+                    &corpus[j].graph,
+                    BipartiteSolver::Vj,
+                    &costs,
+                ));
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, ged_solvers);
+criterion_main!(benches);

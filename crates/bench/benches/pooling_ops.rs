@@ -1,0 +1,96 @@
+//! Latency of one pooling operation per baseline method (forward only) —
+//! the cost side of the Table 3 comparison.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hap_autograd::{ParamStore, Tape};
+use hap_core::HapCoarsen;
+use hap_graph::{degree_one_hot, generators};
+use hap_pooling::{
+    CoarsenModule, DiffPool, GPool, MeanAttReadout, MeanReadout, PoolCtx, Readout, SagPool,
+    StructPool, SumReadout,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn pooling_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pooling_forward_n100");
+    let (n, dim) = (100usize, 16);
+    let mut rng = StdRng::seed_from_u64(5);
+    let g = generators::erdos_renyi_connected(n, 0.08, &mut rng);
+    let x = degree_one_hot(&g, dim);
+
+    let flat: Vec<(&str, Box<dyn Readout>)> = {
+        let mut store = ParamStore::new();
+        vec![
+            ("SumPool", Box::new(SumReadout) as Box<dyn Readout>),
+            ("MeanPool", Box::new(MeanReadout)),
+            (
+                "MeanAttPool",
+                Box::new(MeanAttReadout::new(&mut store, "ma", dim, &mut rng)),
+            ),
+        ]
+    };
+    for (name, r) in &flat {
+        group.bench_function(*name, |b| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(1);
+                let mut tape = Tape::new();
+                let h = tape.constant(x.clone());
+                let a = tape.constant(g.adjacency().clone());
+                let mut ctx = PoolCtx {
+                    training: false,
+                    rng: &mut rng,
+                };
+                let out = r.forward(&mut tape, a, h, &mut ctx);
+                criterion::black_box(tape.value(out))
+            })
+        });
+    }
+
+    let hier: Vec<(&str, Box<dyn CoarsenModule>)> = {
+        let mut store = ParamStore::new();
+        vec![
+            (
+                "gPool",
+                Box::new(GPool::new(&mut store, "gp", dim, 0.5, &mut rng))
+                    as Box<dyn CoarsenModule>,
+            ),
+            (
+                "SAGPool",
+                Box::new(SagPool::new(&mut store, "sp", dim, 0.5, &mut rng)),
+            ),
+            (
+                "DiffPool",
+                Box::new(DiffPool::new(&mut store, "dp", dim, 8, &mut rng)),
+            ),
+            (
+                "StructPool",
+                Box::new(StructPool::new(&mut store, "st", dim, 8, 2, &mut rng)),
+            ),
+            (
+                "HAP",
+                Box::new(HapCoarsen::new(&mut store, "hap", dim, 8, &mut rng)),
+            ),
+        ]
+    };
+    for (name, m) in &hier {
+        group.bench_function(*name, |b| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(1);
+                let mut tape = Tape::new();
+                let h = tape.constant(x.clone());
+                let a = tape.constant(g.adjacency().clone());
+                let mut ctx = PoolCtx {
+                    training: false,
+                    rng: &mut rng,
+                };
+                let (a2, h2) = m.forward(&mut tape, a, h, &mut ctx);
+                criterion::black_box((tape.value(a2), tape.value(h2)))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, pooling_ops);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Table 2 — statistics of the (simulated) datasets.
+//!
+//! ```text
+//! cargo run --release -p hap-bench --bin table2_stats [--quick|--full]
+//! ```
+
+use hap_bench::{parse_args, RunScale, TablePrinter};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let (scale, seed) = parse_args();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (nc, ns) = match scale {
+        RunScale::Quick => (100, 0.25),
+        RunScale::Full => (1000, 1.0),
+    };
+
+    println!("Table 2: statistics of datasets (simulated; paper counts in DESIGN.md)\n");
+    let mut t = TablePrinter::new(&["Dataset", "#Graphs", "Max.V", "Avg.V", "#Classes"]);
+    let datasets = vec![
+        hap_data::imdb_b(nc, &mut rng),
+        hap_data::imdb_m(nc, &mut rng),
+        hap_data::collab(nc / 2, ns, &mut rng),
+        hap_data::mutag(nc, &mut rng),
+        hap_data::proteins(nc, ns.max(0.3), &mut rng),
+        hap_data::ptc(nc, &mut rng),
+    ];
+    for ds in &datasets {
+        let s = ds.stats();
+        t.row(&[
+            s.name.clone(),
+            s.num_graphs.to_string(),
+            s.max_nodes.to_string(),
+            format!("{:.1}", s.avg_nodes),
+            s.num_classes.to_string(),
+        ]);
+    }
+    // GED corpora (triples counted separately in the paper)
+    let aids = hap_data::aids_like(40, &mut rng);
+    let linux = hap_data::linux_like(40, &mut rng);
+    for (name, corpus) in [("AIDS", &aids), ("LINUX", &linux)] {
+        let sizes: Vec<usize> = corpus.iter().map(|g| g.graph.n()).collect();
+        t.row(&[
+            name.into(),
+            corpus.len().to_string(),
+            sizes.iter().max().unwrap().to_string(),
+            format!("{:.1}", sizes.iter().sum::<usize>() as f64 / sizes.len() as f64),
+            "-".into(),
+        ]);
+    }
+    // matching corpus
+    let pairs = hap_data::matching_corpus(20, 20, &mut rng);
+    let sizes: Vec<usize> = pairs.iter().flat_map(|p| [p.g1.n(), p.g2.n()]).collect();
+    t.row(&[
+        "Synthetic".into(),
+        format!("{} pairs", pairs.len()),
+        sizes.iter().max().unwrap().to_string(),
+        format!("{:.1}", sizes.iter().sum::<usize>() as f64 / sizes.len() as f64),
+        "2".into(),
+    ]);
+    t.print();
+}

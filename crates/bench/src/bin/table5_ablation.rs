@@ -1,0 +1,97 @@
+//! Table 5 — ablation study: HAP vs HAP-{MeanPool, MeanAttPool, SAGPool,
+//! DiffPool} on graph classification, graph matching and graph
+//! similarity learning.
+//!
+//! ```text
+//! cargo run --release -p hap-bench --bin table5_ablation [--quick|--full]
+//! ```
+//!
+//! Expected shape (Sec. 6.5.1): HAP on top across all tasks;
+//! HAP-MeanPool at the bottom of the multi-input tasks (matching /
+//! similarity need feature multiformity); HAP-MeanAttPool the best
+//! ablated variant.
+
+use hap_bench::{
+    hap_ablation_classifier, parse_args, similarity_accuracy_hap_ablation, train_hap_matcher,
+    MatchEval, RunScale, TablePrinter,
+};
+use hap_core::AblationKind;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let (scale, seed) = parse_args();
+    let (nc, hidden, epochs, n_pairs, n_triplets) = match scale {
+        RunScale::Quick => (220, 16, 45, 120, 200),
+        RunScale::Full => (300, 32, 25, 220, 500),
+    };
+    let clusters = [8usize, 4];
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    // classification datasets (6 paper columns)
+    let class_ds = vec![
+        hap_data::imdb_b(nc, &mut rng),
+        hap_data::imdb_m(nc, &mut rng),
+        hap_data::collab(nc / 2, 0.2, &mut rng),
+        hap_data::mutag(nc, &mut rng),
+        hap_data::proteins(nc, 0.35, &mut rng),
+        hap_data::ptc(nc, &mut rng),
+    ];
+    // matching corpora (4 sizes)
+    let match_sizes = [20usize, 30, 40, 50];
+    let match_corpora: Vec<_> = match_sizes
+        .iter()
+        .map(|&n| {
+            let tr = hap_data::matching_corpus(n_pairs, n, &mut rng);
+            let ev = hap_data::matching_corpus(n_pairs / 2, n, &mut rng);
+            (tr, ev)
+        })
+        .collect();
+    // similarity corpora
+    let aids = hap_data::aids_like(24, &mut rng);
+    let linux = hap_data::linux_like(24, &mut rng);
+    let aids_t = hap_data::triplet_corpus(&aids, n_triplets, &mut rng);
+    let linux_t = hap_data::triplet_corpus(&linux, n_triplets, &mut rng);
+
+    println!("Table 5: ablation study (percent)\n");
+    let mut header = vec!["Ablated Model".to_string()];
+    header.extend(class_ds.iter().map(|d| d.name.clone()));
+    header.extend(match_sizes.iter().map(|s| format!("|V|={s}")));
+    header.push("AIDS".into());
+    header.push("LINUX".into());
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut table = TablePrinter::new(&header_refs);
+
+    for &kind in AblationKind::all() {
+        let mut accs = Vec::new();
+        for ds in &class_ds {
+            // 2-seed mean to tame small-split variance
+            let a = (hap_ablation_classifier(ds, kind, &clusters, hidden, epochs, seed)
+                + hap_ablation_classifier(ds, kind, &clusters, hidden, epochs, seed + 1))
+                / 2.0;
+            eprintln!("  {} / {}: {:.2}%", kind.label(), ds.name, a * 100.0);
+            accs.push(a);
+        }
+        for ((tr, ev), &n) in match_corpora.iter().zip(&match_sizes) {
+            let m = train_hap_matcher(tr, kind, &clusters, hidden, epochs, seed);
+            let a = m.matching_accuracy(ev, seed);
+            eprintln!("  {} / match |V|={n}: {:.2}%", kind.label(), a * 100.0);
+            accs.push(a);
+        }
+        for (name, corpus, trip) in [("AIDS", &aids, &aids_t), ("LINUX", &linux, &linux_t)] {
+            let a = similarity_accuracy_hap_ablation(
+                corpus,
+                trip,
+                kind,
+                &[6, 3],
+                hidden,
+                epochs,
+                seed,
+            );
+            eprintln!("  {} / sim {name}: {:.2}%", kind.label(), a * 100.0);
+            accs.push(a);
+        }
+        table.acc_row(kind.label(), &accs);
+    }
+    table.print();
+}

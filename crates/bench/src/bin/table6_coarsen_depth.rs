@@ -1,0 +1,83 @@
+//! Table 6 — effect of the number of graph coarsening modules on graph
+//! matching and graph similarity learning.
+//!
+//! ```text
+//! cargo run --release -p hap-bench --bin table6_coarsen_depth [--quick|--full]
+//! ```
+//!
+//! Rows mirror the paper: a HAP-MeanAttPool baseline (no HAP coarsening),
+//! then Coarsen = 1 / 2 / 3. Expected shape (Sec. 6.5.2): a large jump
+//! from the baseline to one module, a smaller gain to two, and marginal
+//! (sometimes negative) change at three.
+
+use hap_bench::{
+    parse_args, similarity_accuracy_hap_ablation, train_hap_matcher, MatchEval, RunScale,
+    TablePrinter,
+};
+use hap_core::AblationKind;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let (scale, seed) = parse_args();
+    let (hidden, epochs, n_pairs, n_triplets) = match scale {
+        RunScale::Quick => (16, 40, 120, 200),
+        RunScale::Full => (32, 25, 220, 500),
+    };
+    let match_sizes = [20usize, 30, 40, 50];
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let match_corpora: Vec<_> = match_sizes
+        .iter()
+        .map(|&n| {
+            let tr = hap_data::matching_corpus(n_pairs, n, &mut rng);
+            let ev = hap_data::matching_corpus(n_pairs / 2, n, &mut rng);
+            (tr, ev)
+        })
+        .collect();
+    let aids = hap_data::aids_like(24, &mut rng);
+    let linux = hap_data::linux_like(24, &mut rng);
+    let aids_t = hap_data::triplet_corpus(&aids, n_triplets, &mut rng);
+    let linux_t = hap_data::triplet_corpus(&linux, n_triplets, &mut rng);
+
+    // depth -> (kind, matching clusters, similarity clusters)
+    let rows: Vec<(&str, AblationKind, Vec<usize>, Vec<usize>)> = vec![
+        ("baseline", AblationKind::MeanAttPool, vec![8, 4], vec![6, 3]),
+        ("Coarsen=1", AblationKind::Hap, vec![8], vec![6]),
+        ("Coarsen=2", AblationKind::Hap, vec![8, 4], vec![6, 3]),
+        ("Coarsen=3", AblationKind::Hap, vec![8, 4, 2], vec![6, 3, 2]),
+    ];
+
+    println!("Table 6: effect of the number of graph coarsening modules (percent)\n");
+    let mut header = vec!["Model".to_string()];
+    header.extend(match_sizes.iter().map(|s| format!("|V|={s}")));
+    header.push("AIDS".into());
+    header.push("LINUX".into());
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut table = TablePrinter::new(&header_refs);
+
+    for (label, kind, match_clusters, sim_clusters) in rows {
+        let mut accs = Vec::new();
+        for ((tr, ev), &n) in match_corpora.iter().zip(&match_sizes) {
+            let m = train_hap_matcher(tr, kind, &match_clusters, hidden, epochs, seed);
+            let a = m.matching_accuracy(ev, seed);
+            eprintln!("  {label} / match |V|={n}: {:.2}%", a * 100.0);
+            accs.push(a);
+        }
+        for (name, corpus, trip) in [("AIDS", &aids, &aids_t), ("LINUX", &linux, &linux_t)] {
+            let a = similarity_accuracy_hap_ablation(
+                corpus,
+                trip,
+                kind,
+                &sim_clusters,
+                hidden,
+                epochs,
+                seed,
+            );
+            eprintln!("  {label} / sim {name}: {:.2}%", a * 100.0);
+            accs.push(a);
+        }
+        table.acc_row(label, &accs);
+    }
+    table.print();
+}

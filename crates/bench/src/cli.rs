@@ -1,0 +1,63 @@
+//! Minimal argument parsing shared by the experiment binaries (no
+//! external CLI dependency needed for two flags).
+
+/// Experiment scale.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RunScale {
+    /// Small corpora / few epochs — minutes on one core.
+    Quick,
+    /// Larger corpora closer to the paper's counts.
+    Full,
+}
+
+/// Parses `--quick` / `--full` / `--seed <u64>` from `std::env::args`.
+/// Unknown arguments abort with a usage message.
+pub fn parse_args() -> (RunScale, u64) {
+    parse_from(std::env::args().skip(1))
+}
+
+fn parse_from(args: impl Iterator<Item = String>) -> (RunScale, u64) {
+    let mut scale = RunScale::Quick;
+    let mut seed = 7u64;
+    let mut args = args.peekable();
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => scale = RunScale::Quick,
+            "--full" => scale = RunScale::Full,
+            "--seed" => {
+                let v = args
+                    .next()
+                    .unwrap_or_else(|| usage("--seed requires a value"));
+                seed = v.parse().unwrap_or_else(|_| usage("--seed must be a u64"));
+            }
+            other => usage(&format!("unknown argument {other:?}")),
+        }
+    }
+    (scale, seed)
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!("usage: <experiment> [--quick|--full] [--seed <u64>]");
+    std::process::exit(2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(v: &[&str]) -> (RunScale, u64) {
+        parse_from(v.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults() {
+        assert_eq!(parse(&[]), (RunScale::Quick, 7));
+    }
+
+    #[test]
+    fn full_and_seed() {
+        assert_eq!(parse(&["--full", "--seed", "42"]), (RunScale::Full, 42));
+        assert_eq!(parse(&["--seed", "1", "--quick"]), (RunScale::Quick, 1));
+    }
+}

@@ -1,0 +1,312 @@
+//! The HAP graph coarsening module (Sec. 4.4, Algorithm 1).
+
+use crate::{GCont, Moa};
+use hap_autograd::{ParamStore, Tape, Var};
+use hap_pooling::{CoarsenModule, PoolCtx};
+use hap_tensor::Tensor;
+use rand::Rng;
+
+/// Numerical floor added to `A'` before the `log` in Eq. 19.
+const LOG_EPS: f64 = 1e-9;
+
+/// One HAP coarsening step: GCont → MOA → cluster formation → soft
+/// sampling.
+///
+/// Given `(A, H)` with `N` nodes:
+/// 1. `C = H·T` (Eq. 13, [`GCont`]);
+/// 2. `M = softmax(LeakyReLU(aᵀ[C_row ‖ C_col]))` (Eqs. 14–15, [`Moa`]);
+/// 3. `H' = MᵀH`, `A' = MᵀAM` (Eqs. 17–18);
+/// 4. soft sampling `Ã'_ij = softmax_j((ln A'_ij + g_ij)/τ)` with Gumbel
+///    noise `g` at training time and τ = 0.1 (Eq. 19), reducing the dense
+///    coarsened graph towards a near-one-hot edge structure. At evaluation
+///    time the noise is omitted (deterministic annealed softmax).
+///
+/// ```
+/// use hap_autograd::{ParamStore, Tape};
+/// use hap_core::HapCoarsen;
+/// use hap_graph::{degree_one_hot, generators};
+/// use hap_pooling::{CoarsenModule, PoolCtx};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(7);
+/// let g = generators::erdos_renyi_connected(10, 0.3, &mut rng);
+/// let x = degree_one_hot(&g, 6);
+///
+/// let mut params = ParamStore::new();
+/// let coarsen = HapCoarsen::new(&mut params, "demo", 6, 4, &mut rng);
+///
+/// let mut tape = Tape::new();
+/// let a = tape.constant(g.adjacency().clone());
+/// let h = tape.constant(x);
+/// let mut ctx = PoolCtx { training: false, rng: &mut rng };
+/// let (a2, h2) = coarsen.forward(&mut tape, a, h, &mut ctx);
+/// assert_eq!(tape.shape(h2), (4, 6));   // 10 nodes -> 4 clusters
+/// assert_eq!(tape.shape(a2), (4, 4));
+/// ```
+pub struct HapCoarsen {
+    gcont: GCont,
+    moa: Moa,
+    tau: f64,
+    soft_sampling: bool,
+}
+
+impl HapCoarsen {
+    /// Creates a coarsening module mapping width-`dim` features onto
+    /// `clusters` target clusters, with the paper's τ = 0.1.
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        dim: usize,
+        clusters: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
+        Self {
+            gcont: GCont::new(store, &format!("{name}.gcont"), dim, clusters, rng),
+            moa: Moa::new(store, &format!("{name}.moa"), clusters, rng),
+            tau: 0.1,
+            soft_sampling: true,
+        }
+    }
+
+    /// Overrides the Gumbel-Softmax temperature (paper default 0.1).
+    pub fn with_tau(mut self, tau: f64) -> Self {
+        assert!(tau > 0.0, "temperature must be positive");
+        self.tau = tau;
+        self
+    }
+
+    /// Disables the Eq. 19 soft-sampling step (ablation switch; `A'` then
+    /// stays the dense `MᵀAM`).
+    pub fn without_soft_sampling(mut self) -> Self {
+        self.soft_sampling = false;
+        self
+    }
+
+    /// Number of target clusters `N'`.
+    pub fn clusters(&self) -> usize {
+        self.moa.clusters()
+    }
+
+    /// The GCont component.
+    pub fn gcont(&self) -> &GCont {
+        &self.gcont
+    }
+
+    /// The MOA component.
+    pub fn moa(&self) -> &Moa {
+        &self.moa
+    }
+
+    /// Computes the MOA assignment matrix `M` (`N×N'`) for inspection.
+    pub fn assignment(&self, tape: &mut Tape, h: Var) -> Var {
+        let c = self.gcont.forward(tape, h);
+        self.moa.forward(tape, c)
+    }
+
+    /// Eq. 19: row-wise annealed softmax over `ln A' (+ Gumbel noise)`.
+    fn soft_sample(&self, tape: &mut Tape, a: Var, ctx: &mut PoolCtx<'_>) -> Var {
+        let (n, m) = tape.shape(a);
+        let shifted = tape.shift(a, LOG_EPS);
+        let log_a = tape.ln(shifted);
+        let noisy = if ctx.training {
+            // g = -ln(-ln u), u ~ Uniform(0,1)
+            let mut g = Tensor::zeros(n, m);
+            for e in g.as_mut_slice() {
+                let u: f64 = ctx.rng.gen_range(f64::EPSILON..1.0);
+                *e = -(-u.ln()).ln();
+            }
+            let g = tape.constant(g);
+            tape.add(log_a, g)
+        } else {
+            log_a
+        };
+        let scaled = tape.scale(noisy, 1.0 / self.tau);
+        tape.softmax_rows(scaled)
+    }
+}
+
+impl CoarsenModule for HapCoarsen {
+    fn forward(&self, tape: &mut Tape, adj: Var, h: Var, ctx: &mut PoolCtx<'_>) -> (Var, Var) {
+        // Steps 1–8 of Algorithm 1: content + attention assignment.
+        let m = self.assignment(tape, h);
+        // Step 9: cluster formation H' = MᵀH (Eq. 17).
+        let mt = tape.transpose(m);
+        let h_new = tape.matmul(mt, h);
+        // Step 10: A' = MᵀAM (Eq. 18).
+        let ma = tape.matmul(mt, adj);
+        let a_new = tape.matmul(ma, m);
+        // Steps 11–13: soft sampling (Eq. 19).
+        let a_out = if self.soft_sampling {
+            self.soft_sample(tape, a_new, ctx)
+        } else {
+            a_new
+        };
+        (a_out, h_new)
+    }
+
+    fn name(&self) -> &'static str {
+        "HAP"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hap_graph::{generators, Permutation};
+    use hap_tensor::testutil::assert_close;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn module(dim: usize, clusters: usize, seed: u64) -> (ParamStore, HapCoarsen) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut store = ParamStore::new();
+        let m = HapCoarsen::new(&mut store, "hc", dim, clusters, &mut rng);
+        (store, m)
+    }
+
+    #[test]
+    fn output_shapes_and_finiteness() {
+        let (_s, m) = module(4, 3, 1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = generators::erdos_renyi_connected(9, 0.4, &mut rng);
+        let mut t = Tape::new();
+        let a = t.constant(g.adjacency().clone());
+        let h = t.constant(Tensor::rand_uniform(9, 4, -1.0, 1.0, &mut rng));
+        let mut ctx = PoolCtx {
+            training: true,
+            rng: &mut rng,
+        };
+        let (a2, h2) = m.forward(&mut t, a, h, &mut ctx);
+        assert_eq!(t.shape(a2), (3, 3));
+        assert_eq!(t.shape(h2), (3, 4));
+        assert!(t.value(a2).all_finite());
+        assert!(t.value(h2).all_finite());
+    }
+
+    #[test]
+    fn soft_sampled_rows_are_distributions_close_to_one_hot() {
+        let (_s, m) = module(3, 4, 3);
+        let mut rng = StdRng::seed_from_u64(4);
+        let g = generators::erdos_renyi_connected(8, 0.5, &mut rng);
+        let mut t = Tape::new();
+        let a = t.constant(g.adjacency().clone());
+        let h = t.constant(Tensor::rand_uniform(8, 3, -1.0, 1.0, &mut rng));
+        let mut ctx = PoolCtx {
+            training: false, // deterministic annealed softmax
+            rng: &mut rng,
+        };
+        let (a2, _h2) = m.forward(&mut t, a, h, &mut ctx);
+        let av = t.value(a2);
+        for r in 0..4 {
+            let sum: f64 = av.row(r).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9, "row {r} not a distribution");
+            // τ = 0.1 pushes towards one-hot: the max should dominate
+            let mx = av.row(r).iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            assert!(mx > 0.5, "row {r} max {mx} not dominant");
+        }
+    }
+
+    #[test]
+    fn eval_pass_is_deterministic_training_pass_is_not() {
+        let (_s, m) = module(3, 3, 5);
+        let mut rng = StdRng::seed_from_u64(6);
+        let g = generators::erdos_renyi_connected(7, 0.5, &mut rng);
+        let x = Tensor::rand_uniform(7, 3, -1.0, 1.0, &mut rng);
+
+        let run = |training: bool, seed: u64| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut t = Tape::new();
+            let a = t.constant(g.adjacency().clone());
+            let h = t.constant(x.clone());
+            let mut ctx = PoolCtx {
+                training,
+                rng: &mut rng,
+            };
+            let (a2, _) = m.forward(&mut t, a, h, &mut ctx);
+            t.value(a2)
+        };
+        assert_close(&run(false, 1), &run(false, 2), 1e-12);
+        let t1 = run(true, 1);
+        let t2 = run(true, 2);
+        assert!(
+            t1.as_slice()
+                .iter()
+                .zip(t2.as_slice())
+                .any(|(a, b)| (a - b).abs() > 1e-9),
+            "gumbel noise should differ across seeds"
+        );
+    }
+
+    #[test]
+    fn claim2_permutation_invariance_of_coarsening() {
+        // f(A, X) == f(PAPᵀ, PX): coarsened features and adjacency are
+        // identical under any relabelling of the source nodes.
+        let (_s, m) = module(3, 3, 7);
+        let mut rng = StdRng::seed_from_u64(8);
+        let g = generators::erdos_renyi_connected(8, 0.4, &mut rng);
+        let x = Tensor::rand_uniform(8, 3, -1.0, 1.0, &mut rng);
+        let perm = Permutation::random(8, &mut rng);
+        let gp = perm.apply_graph(&g);
+        let xp = perm.apply_rows(&x);
+
+        let run = |g: &hap_graph::Graph, x: &Tensor| {
+            let mut rng = StdRng::seed_from_u64(0);
+            let mut t = Tape::new();
+            let a = t.constant(g.adjacency().clone());
+            let h = t.constant(x.clone());
+            let mut ctx = PoolCtx {
+                training: false,
+                rng: &mut rng,
+            };
+            let (a2, h2) = m.forward(&mut t, a, h, &mut ctx);
+            (t.value(a2), t.value(h2))
+        };
+        let (a_orig, h_orig) = run(&g, &x);
+        let (a_perm, h_perm) = run(&gp, &xp);
+        assert_close(&a_orig, &a_perm, 1e-9);
+        assert_close(&h_orig, &h_perm, 1e-9);
+    }
+
+    #[test]
+    fn gradients_flow_to_gcont_and_moa() {
+        let (store, m) = module(3, 3, 9);
+        let mut rng = StdRng::seed_from_u64(10);
+        let g = generators::erdos_renyi_connected(7, 0.5, &mut rng);
+        let mut t = Tape::new();
+        let a = t.constant(g.adjacency().clone());
+        let h = t.constant(Tensor::rand_uniform(7, 3, -1.0, 1.0, &mut rng));
+        let mut ctx = PoolCtx {
+            training: true,
+            rng: &mut rng,
+        };
+        let (_a2, h2) = m.forward(&mut t, a, h, &mut ctx);
+        let sq = t.hadamard(h2, h2);
+        let loss = t.sum_all(sq);
+        t.backward(loss);
+        for p in store.iter() {
+            assert!(
+                p.grad().frobenius_norm() > 0.0,
+                "{} received no gradient",
+                p.name()
+            );
+        }
+    }
+
+    #[test]
+    fn without_soft_sampling_preserves_edge_mass() {
+        // Σ (MᵀAM) = Σ A when M's rows are distributions.
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut store = ParamStore::new();
+        let m = HapCoarsen::new(&mut store, "hc", 3, 3, &mut rng).without_soft_sampling();
+        let g = generators::erdos_renyi_connected(6, 0.5, &mut rng);
+        let mut t = Tape::new();
+        let a = t.constant(g.adjacency().clone());
+        let h = t.constant(Tensor::rand_uniform(6, 3, -1.0, 1.0, &mut rng));
+        let mut ctx = PoolCtx {
+            training: false,
+            rng: &mut rng,
+        };
+        let (a2, _) = m.forward(&mut t, a, h, &mut ctx);
+        assert!((t.value(a2).sum() - g.adjacency().sum()).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,116 @@
+//! GCont — the auto-learned global graph content (Sec. 4.4.1, Eq. 13).
+
+use hap_autograd::{Param, ParamStore, Tape, Var};
+use hap_nn::xavier_uniform;
+use rand::Rng;
+
+/// The global graph content extractor: a learnable linear transformation
+/// `T ∈ R^{F×N'}` mapping node features to the content matrix
+/// `C = H·T ∈ R^{N×N'}` (Eq. 13).
+///
+/// Each row `C_(i,·)` corresponds to a node of the source graph `G`, each
+/// column `C_(·,j)` to a cluster of the target coarsened graph `G'`. `T`
+/// depends only on the feature dimension `F`, never on the node count `N`
+/// — this is what gives HAP its generalization across graphs "with the
+/// same form of features" (Sec. 6.5.3): the same learned content
+/// transformation applies to a 20-node and a 200-node graph alike.
+pub struct GCont {
+    t: Param,
+    in_dim: usize,
+    clusters: usize,
+}
+
+impl GCont {
+    /// Creates the content transformation for feature width `in_dim` and
+    /// `clusters` target clusters.
+    ///
+    /// # Panics
+    /// Panics when either dimension is zero.
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        in_dim: usize,
+        clusters: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
+        assert!(in_dim > 0 && clusters > 0, "GCont dims must be positive");
+        Self {
+            t: store.new_param(format!("{name}.T"), xavier_uniform(in_dim, clusters, rng)),
+            in_dim,
+            clusters,
+        }
+    }
+
+    /// Feature width `F`.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Number of target clusters `N'`.
+    pub fn clusters(&self) -> usize {
+        self.clusters
+    }
+
+    /// The transformation parameter `T`.
+    pub fn weight(&self) -> &Param {
+        &self.t
+    }
+
+    /// Computes the content matrix `C = H·T` (`N×N'`).
+    pub fn forward(&self, tape: &mut Tape, h: Var) -> Var {
+        debug_assert_eq!(tape.shape(h).1, self.in_dim, "GCont input width mismatch");
+        let t = tape.param(&self.t);
+        tape.matmul(h, t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hap_autograd::check_param_grad;
+    use hap_tensor::Tensor;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn content_matrix_shape() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut store = ParamStore::new();
+        let gc = GCont::new(&mut store, "gc", 4, 3, &mut rng);
+        assert_eq!(gc.in_dim(), 4);
+        assert_eq!(gc.clusters(), 3);
+        let mut t = Tape::new();
+        let h = t.constant(Tensor::ones(7, 4));
+        let c = gc.forward(&mut t, h);
+        assert_eq!(t.shape(c), (7, 3));
+    }
+
+    #[test]
+    fn same_params_apply_to_any_node_count() {
+        // The generalization property: one GCont, two graph sizes.
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut store = ParamStore::new();
+        let gc = GCont::new(&mut store, "gc", 3, 2, &mut rng);
+        for n in [5, 50] {
+            let mut t = Tape::new();
+            let h = t.constant(Tensor::ones(n, 3));
+            let c = gc.forward(&mut t, h);
+            assert_eq!(t.shape(c), (n, 2));
+        }
+        assert_eq!(store.num_scalars(), 6, "parameters independent of N");
+    }
+
+    #[test]
+    fn gradcheck_t() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut store = ParamStore::new();
+        let gc = GCont::new(&mut store, "gc", 3, 2, &mut rng);
+        let x = Tensor::rand_uniform(5, 3, -1.0, 1.0, &mut rng);
+        check_param_grad(gc.weight(), 1e-6, |t| {
+            let h = t.constant(x.clone());
+            let c = gc.forward(t, h);
+            let sq = t.hadamard(c, c);
+            t.sum_all(sq)
+        });
+    }
+}

@@ -1,0 +1,368 @@
+//! The hierarchical HAP framework (Sec. 4.1, Fig. 2).
+
+use crate::{FlatCoarsen, HapCoarsen};
+use hap_autograd::{ParamStore, Tape, Var};
+use hap_gnn::{AdjacencyRef, EncoderKind, GnnEncoder};
+use hap_graph::Graph;
+use hap_pooling::{
+    CoarsenModule, DiffPool, MeanAttReadout, MeanReadout, PoolCtx, SagPool,
+};
+use hap_tensor::Tensor;
+use rand::Rng;
+
+/// Configuration of a [`HapModel`].
+#[derive(Clone, Debug)]
+pub struct HapConfig {
+    /// Input node-feature width `F`.
+    pub in_dim: usize,
+    /// Hidden feature width (64 for classification, 128 otherwise —
+    /// Sec. 6.1.3).
+    pub hidden: usize,
+    /// Target cluster count of each coarsening module, outermost first;
+    /// the paper's default is two modules (Sec. 6.1.3 / Table 6).
+    pub cluster_sizes: Vec<usize>,
+    /// Node & cluster embedding flavour (GAT or GCN, Sec. 4.3).
+    pub encoder: EncoderKind,
+    /// Gumbel-Softmax temperature (Eq. 19; paper uses 0.1).
+    pub tau: f64,
+    /// Whether to apply the Eq. 19 soft-sampling step.
+    pub soft_sampling: bool,
+}
+
+impl HapConfig {
+    /// The paper's default architecture: two embedding layers before each
+    /// of two coarsening modules, GCN encoders, τ = 0.1.
+    pub fn new(in_dim: usize, hidden: usize) -> Self {
+        Self {
+            in_dim,
+            hidden,
+            cluster_sizes: vec![8, 4],
+            encoder: EncoderKind::Gcn,
+            tau: 0.1,
+            soft_sampling: true,
+        }
+    }
+
+    /// Overrides the coarsening-module sizes (`K = cluster_sizes.len()`).
+    pub fn with_clusters(mut self, sizes: &[usize]) -> Self {
+        self.cluster_sizes = sizes.to_vec();
+        self
+    }
+
+    /// Overrides the encoder kind.
+    pub fn with_encoder(mut self, kind: EncoderKind) -> Self {
+        self.encoder = kind;
+        self
+    }
+}
+
+/// Which module fills the coarsening slot — HAP itself or one of the
+/// Table 5 ablation replacements.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AblationKind {
+    /// The real HAP coarsening module (GCont + MOA).
+    Hap,
+    /// `HAP-MeanPool`: flat mean readout in the coarsening slot.
+    MeanPool,
+    /// `HAP-MeanAttPool`: SimGNN content attention in the coarsening slot.
+    MeanAttPool,
+    /// `HAP-SAGPool`: Top-K selection in the coarsening slot.
+    SagPool,
+    /// `HAP-DiffPool`: dense GCN grouping in the coarsening slot.
+    DiffPool,
+}
+
+impl AblationKind {
+    /// Table 5 row label.
+    pub fn label(self) -> &'static str {
+        match self {
+            AblationKind::Hap => "HAP",
+            AblationKind::MeanPool => "HAP-MeanPool",
+            AblationKind::MeanAttPool => "HAP-MeanAttPool",
+            AblationKind::SagPool => "HAP-SAGPool",
+            AblationKind::DiffPool => "HAP-DiffPool",
+        }
+    }
+
+    /// All ablation rows in Table 5 order.
+    pub fn all() -> &'static [AblationKind] {
+        use AblationKind::*;
+        &[MeanPool, MeanAttPool, SagPool, DiffPool, Hap]
+    }
+
+    fn build(
+        self,
+        store: &mut ParamStore,
+        name: &str,
+        dim: usize,
+        clusters: usize,
+        tau: f64,
+        soft_sampling: bool,
+        rng: &mut impl Rng,
+    ) -> Box<dyn CoarsenModule> {
+        match self {
+            AblationKind::Hap => {
+                let mut m = HapCoarsen::new(store, name, dim, clusters, rng).with_tau(tau);
+                if !soft_sampling {
+                    m = m.without_soft_sampling();
+                }
+                Box::new(m)
+            }
+            AblationKind::MeanPool => Box::new(FlatCoarsen::new(MeanReadout)),
+            AblationKind::MeanAttPool => Box::new(FlatCoarsen::new(MeanAttReadout::new(
+                store, name, dim, rng,
+            ))),
+            AblationKind::SagPool => Box::new(SagPool::new(store, name, dim, 0.5, rng)),
+            AblationKind::DiffPool => Box::new(DiffPool::new(store, name, dim, clusters, rng)),
+        }
+    }
+}
+
+/// The hierarchical HAP model: `K` rounds of (two-layer node & cluster
+/// embedding → graph coarsening), producing one intermediate graph
+/// embedding per coarsening level (Sec. 4.5.2's hierarchical features).
+///
+/// With `K = 0` the model degrades to a flat encoder + mean readout —
+/// the "baseline" row of Table 6.
+pub struct HapModel {
+    encoders: Vec<GnnEncoder>,
+    coarseners: Vec<Box<dyn CoarsenModule>>,
+    hidden: usize,
+}
+
+impl HapModel {
+    /// Builds the model with HAP coarsening modules.
+    pub fn new(store: &mut ParamStore, cfg: &HapConfig, rng: &mut impl Rng) -> Self {
+        Self::with_ablation(store, cfg, AblationKind::Hap, rng)
+    }
+
+    /// Builds the model with the coarsening slot filled by `kind`
+    /// (Table 5 ablations).
+    pub fn with_ablation(
+        store: &mut ParamStore,
+        cfg: &HapConfig,
+        kind: AblationKind,
+        rng: &mut impl Rng,
+    ) -> Self {
+        let k = cfg.cluster_sizes.len();
+        let mut encoders = Vec::with_capacity(k.max(1));
+        for i in 0..k.max(1) {
+            let in_dim = if i == 0 { cfg.in_dim } else { cfg.hidden };
+            encoders.push(GnnEncoder::new(
+                store,
+                &format!("hap.enc{i}"),
+                cfg.encoder,
+                &[in_dim, cfg.hidden, cfg.hidden],
+                rng,
+            ));
+        }
+        let coarseners = cfg
+            .cluster_sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| {
+                kind.build(
+                    store,
+                    &format!("hap.coarsen{i}"),
+                    cfg.hidden,
+                    n,
+                    cfg.tau,
+                    cfg.soft_sampling,
+                    rng,
+                )
+            })
+            .collect();
+        Self {
+            encoders,
+            coarseners,
+            hidden: cfg.hidden,
+        }
+    }
+
+    /// Hidden/embedding width.
+    pub fn hidden(&self) -> usize {
+        self.hidden
+    }
+
+    /// Number of coarsening modules `K`.
+    pub fn depth(&self) -> usize {
+        self.coarseners.len()
+    }
+
+    /// Runs the full hierarchy, returning one `1×hidden` graph embedding
+    /// per coarsening level (the Sec. 4.5.2 intermediate features). With
+    /// `K = 0` a single flat-readout embedding is returned. The last
+    /// element is the final graph-level embedding `h_G`.
+    pub fn embed_hierarchy(
+        &self,
+        tape: &mut Tape,
+        graph: &Graph,
+        features: &Tensor,
+        ctx: &mut PoolCtx<'_>,
+    ) -> Vec<Var> {
+        assert_eq!(
+            features.rows(),
+            graph.n(),
+            "one feature row per node required"
+        );
+        let mut h = tape.constant(features.clone());
+        let mut a = tape.constant(graph.adjacency().clone());
+        let mut embeddings = Vec::new();
+
+        if self.coarseners.is_empty() {
+            let enc = self.encoders[0].forward(tape, AdjacencyRef::Fixed(graph), h);
+            embeddings.push(tape.col_means(enc));
+            return embeddings;
+        }
+
+        for (k, coarsen) in self.coarseners.iter().enumerate() {
+            h = if k == 0 {
+                self.encoders[0].forward(tape, AdjacencyRef::Fixed(graph), h)
+            } else {
+                self.encoders[k].forward(tape, AdjacencyRef::Dynamic(a), h)
+            };
+            let (a2, h2) = coarsen.forward(tape, a, h, ctx);
+            a = a2;
+            h = h2;
+            embeddings.push(tape.col_means(h));
+        }
+        embeddings
+    }
+
+    /// The final graph-level embedding `h_G` (`1×hidden`).
+    pub fn embed(
+        &self,
+        tape: &mut Tape,
+        graph: &Graph,
+        features: &Tensor,
+        ctx: &mut PoolCtx<'_>,
+    ) -> Var {
+        *self
+            .embed_hierarchy(tape, graph, features, ctx)
+            .last()
+            .expect("hierarchy always yields at least one embedding")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hap_graph::{degree_one_hot, generators, Permutation};
+    use hap_tensor::testutil::assert_close;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn cfg() -> HapConfig {
+        HapConfig::new(5, 6).with_clusters(&[4, 2])
+    }
+
+    #[test]
+    fn hierarchy_produces_one_embedding_per_level() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut store = ParamStore::new();
+        let model = HapModel::new(&mut store, &cfg(), &mut rng);
+        assert_eq!(model.depth(), 2);
+        let g = generators::erdos_renyi_connected(9, 0.35, &mut rng);
+        let x = degree_one_hot(&g, 5);
+        let mut t = Tape::new();
+        let mut ctx = PoolCtx {
+            training: true,
+            rng: &mut rng,
+        };
+        let embeds = model.embed_hierarchy(&mut t, &g, &x, &mut ctx);
+        assert_eq!(embeds.len(), 2);
+        for e in &embeds {
+            assert_eq!(t.shape(*e), (1, 6));
+            assert!(t.value(*e).all_finite());
+        }
+    }
+
+    #[test]
+    fn zero_depth_model_is_flat() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut store = ParamStore::new();
+        let model = HapModel::new(&mut store, &cfg().with_clusters(&[]), &mut rng);
+        assert_eq!(model.depth(), 0);
+        let g = generators::cycle(6);
+        let x = degree_one_hot(&g, 5);
+        let mut t = Tape::new();
+        let mut ctx = PoolCtx {
+            training: false,
+            rng: &mut rng,
+        };
+        let embeds = model.embed_hierarchy(&mut t, &g, &x, &mut ctx);
+        assert_eq!(embeds.len(), 1);
+    }
+
+    #[test]
+    fn all_ablations_run_and_train() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = generators::erdos_renyi_connected(8, 0.4, &mut rng);
+        let x = degree_one_hot(&g, 5);
+        for &kind in AblationKind::all() {
+            let mut store = ParamStore::new();
+            let model = HapModel::with_ablation(&mut store, &cfg(), kind, &mut rng);
+            let mut t = Tape::new();
+            let mut ctx = PoolCtx {
+                training: true,
+                rng: &mut rng,
+            };
+            let e = model.embed(&mut t, &g, &x, &mut ctx);
+            assert_eq!(t.shape(e), (1, 6), "{kind:?}");
+            let sq = t.hadamard(e, e);
+            let loss = t.sum_all(sq);
+            t.backward(loss);
+            assert!(store.grad_norm() > 0.0, "{kind:?}: no gradients");
+        }
+    }
+
+    #[test]
+    fn whole_model_is_permutation_invariant_at_eval() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut store = ParamStore::new();
+        let model = HapModel::new(&mut store, &cfg(), &mut rng);
+        let g = generators::erdos_renyi_connected(8, 0.4, &mut rng);
+        let x = degree_one_hot(&g, 5);
+        let perm = Permutation::random(8, &mut rng);
+        let gp = perm.apply_graph(&g);
+        let xp = perm.apply_rows(&x);
+
+        let run = |g: &hap_graph::Graph, x: &Tensor| {
+            let mut rng = StdRng::seed_from_u64(0);
+            let mut t = Tape::new();
+            let mut ctx = PoolCtx {
+                training: false,
+                rng: &mut rng,
+            };
+            let e = model.embed(&mut t, g, x, &mut ctx);
+            t.value(e)
+        };
+        assert_close(&run(&g, &x), &run(&gp, &xp), 1e-8);
+    }
+
+    #[test]
+    fn generalizes_across_graph_sizes() {
+        // The same trained parameters must accept 10-node and 100-node
+        // graphs (the Table 7 scenario).
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut store = ParamStore::new();
+        let model = HapModel::new(&mut store, &cfg(), &mut rng);
+        for n in [10, 100] {
+            let g = generators::erdos_renyi_connected(n, 0.2, &mut rng);
+            let x = degree_one_hot(&g, 5);
+            let mut t = Tape::new();
+            let mut ctx = PoolCtx {
+                training: false,
+                rng: &mut rng,
+            };
+            let e = model.embed(&mut t, &g, &x, &mut ctx);
+            assert_eq!(t.shape(e), (1, 6));
+        }
+    }
+
+    #[test]
+    fn ablation_labels() {
+        assert_eq!(AblationKind::Hap.label(), "HAP");
+        assert_eq!(AblationKind::all().len(), 5);
+    }
+}

@@ -1,0 +1,185 @@
+//! AIDS/LINUX-like small-graph corpora and the triplet generator of
+//! Sec. 4.2.
+
+use hap_ged::{exact_ged, EditCosts};
+use hap_graph::{degree_one_hot, label_one_hot, Graph};
+use hap_tensor::Tensor;
+use rand::Rng;
+use std::collections::HashMap;
+
+/// Atom labels of the AIDS-like molecules.
+const AIDS_LABELS: usize = 4;
+/// Degree-one-hot width for unlabelled LINUX-like graphs.
+const LINUX_DEGREE_DIM: usize = 8;
+
+/// A small graph prepared for GED experiments: graph + encoded features.
+pub struct GedGraph {
+    /// The graph (≤ 10 nodes — the paper's exact-GED limit).
+    pub graph: Graph,
+    /// Encoded node features (label one-hots for AIDS-like, degree
+    /// one-hots for LINUX-like).
+    pub features: Tensor,
+}
+
+/// A random connected sparse graph: uniform spanning-tree backbone plus
+/// `extra` random chords.
+fn sparse_connected(n: usize, extra: usize, rng: &mut impl Rng) -> Graph {
+    let mut g = Graph::empty(n);
+    for v in 1..n {
+        let u = rng.gen_range(0..v);
+        g.add_edge(u, v);
+    }
+    for _ in 0..extra {
+        let u = rng.gen_range(0..n);
+        let v = rng.gen_range(0..n);
+        if u != v {
+            g.add_edge(u, v);
+        }
+    }
+    g
+}
+
+/// AIDS-like corpus: `count` labelled molecule graphs with 4–10 nodes
+/// (paper: max 10, avg 8.9). Features are label one-hots (Sec. 6.1.3:
+/// "we adopt one-hot encoding of node labels for AIDS").
+pub fn aids_like(count: usize, rng: &mut impl Rng) -> Vec<GedGraph> {
+    (0..count)
+        .map(|_| {
+            let n = rng.gen_range(6..=10);
+            let extra = rng.gen_range(0..=2);
+            let labels = (0..n).map(|_| rng.gen_range(0..AIDS_LABELS)).collect();
+            let graph = sparse_connected(n, extra, rng).with_node_labels(labels);
+            let features = label_one_hot(&graph, AIDS_LABELS);
+            GedGraph { graph, features }
+        })
+        .collect()
+}
+
+/// LINUX-like corpus: `count` unlabelled program-dependence-like graphs
+/// with 4–10 nodes (paper: max 10, avg 7.7) — tree-dominated, very
+/// sparse. Features are degree one-hots.
+pub fn linux_like(count: usize, rng: &mut impl Rng) -> Vec<GedGraph> {
+    (0..count)
+        .map(|_| {
+            let n = rng.gen_range(4..=10);
+            let extra = rng.gen_range(0..=1);
+            let graph = sparse_connected(n, extra, rng);
+            let features = degree_one_hot(&graph, LINUX_DEGREE_DIM);
+            GedGraph { graph, features }
+        })
+        .collect()
+}
+
+/// One training/evaluation triplet: indices into a [`GedGraph`] corpus
+/// plus the ground-truth relative GED
+/// `r = GED(Gₐ, G_b) − GED(Gₐ, G_c)` (Eq. 10) computed by exact A\*.
+/// `r < 0` ⇔ `Gₐ` is closer to `G_b`.
+#[derive(Clone, Debug)]
+pub struct TripletSample {
+    /// Anchor index.
+    pub a: usize,
+    /// First candidate index.
+    pub b: usize,
+    /// Second candidate index.
+    pub c: usize,
+    /// Relative GED `g_ab − g_ac`.
+    pub relative_ged: f64,
+}
+
+/// Generates `count` triplets over a corpus with exact-A\* ground truth
+/// (Eqs. 8–10). Pairwise GEDs are cached, so repeated anchors are cheap.
+/// Triplets with `b == c` or zero relative GED are skipped (they carry no
+/// ordering signal).
+pub fn triplet_corpus(
+    graphs: &[GedGraph],
+    count: usize,
+    rng: &mut impl Rng,
+) -> Vec<TripletSample> {
+    assert!(graphs.len() >= 3, "need at least 3 graphs for triplets");
+    let costs = EditCosts::uniform();
+    let mut cache: HashMap<(usize, usize), f64> = HashMap::new();
+    let mut ged = |i: usize, j: usize, graphs: &[GedGraph]| -> f64 {
+        let key = (i.min(j), i.max(j));
+        *cache
+            .entry(key)
+            .or_insert_with(|| exact_ged(&graphs[key.0].graph, &graphs[key.1].graph, &costs))
+    };
+
+    let mut out = Vec::with_capacity(count);
+    let mut guard = 0;
+    while out.len() < count && guard < count * 50 {
+        guard += 1;
+        let a = rng.gen_range(0..graphs.len());
+        let b = rng.gen_range(0..graphs.len());
+        let c = rng.gen_range(0..graphs.len());
+        if b == c || a == b || a == c {
+            continue;
+        }
+        let r = ged(a, b, graphs) - ged(a, c, graphs);
+        if r == 0.0 {
+            continue;
+        }
+        out.push(TripletSample {
+            a,
+            b,
+            c,
+            relative_ged: r,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hap_graph::is_connected;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn aids_graphs_respect_the_exact_ged_limit() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for g in aids_like(20, &mut rng) {
+            assert!(g.graph.n() <= 10 && g.graph.n() >= 6);
+            assert!(is_connected(&g.graph));
+            assert!(g.graph.node_labels().is_some());
+            assert_eq!(g.features.cols(), AIDS_LABELS);
+        }
+    }
+
+    #[test]
+    fn linux_graphs_are_sparse_and_unlabelled() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for g in linux_like(20, &mut rng) {
+            assert!(g.graph.n() <= 10);
+            assert!(is_connected(&g.graph));
+            assert!(g.graph.node_labels().is_none());
+            // tree + at most one chord
+            assert!(g.graph.num_edges() <= g.graph.n());
+        }
+    }
+
+    #[test]
+    fn triplets_have_consistent_ground_truth() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let corpus = linux_like(10, &mut rng);
+        let triplets = triplet_corpus(&corpus, 15, &mut rng);
+        assert!(!triplets.is_empty());
+        let costs = EditCosts::uniform();
+        for t in triplets.iter().take(5) {
+            let gab = exact_ged(&corpus[t.a].graph, &corpus[t.b].graph, &costs);
+            let gac = exact_ged(&corpus[t.a].graph, &corpus[t.c].graph, &costs);
+            assert_eq!(t.relative_ged, gab - gac);
+            assert_ne!(t.relative_ged, 0.0, "zero-signal triplets are skipped");
+        }
+    }
+
+    #[test]
+    fn triplet_indices_are_distinct() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let corpus = linux_like(8, &mut rng);
+        for t in triplet_corpus(&corpus, 10, &mut rng) {
+            assert!(t.a != t.b && t.a != t.c && t.b != t.c);
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! # hap-data
+//!
+//! Synthetic datasets standing in for the paper's evaluation corpora
+//! (none of which are available in this environment — see DESIGN.md's
+//! substitution table). Each simulator mimics its dataset's **statistics**
+//! (graph counts, size distributions, class counts — Table 2) and, more
+//! importantly, its **discriminative mechanism**: the structural signal
+//! that separates the classes is the one the paper argues about (local
+//! substructures and high-order dependency), so the *relative ordering* of
+//! pooling methods is driven by the same forces as in the paper's
+//! evaluation.
+//!
+//! | Paper dataset | Simulator | Discriminative mechanism |
+//! |---|---|---|
+//! | IMDB-B | [`imdb_b`] | ego-network community count (1 vs 2) |
+//! | IMDB-M | [`imdb_m`] | community count (1 / 2 / 3) |
+//! | COLLAB | [`collab`] | collaboration topology (dense ER / hub-dominated BA / multi-community) |
+//! | MUTAG | [`mutag`] | *high-order* arrangement of shared nitro-like motifs on molecule rings (same-ring vs distant-rings) |
+//! | PROTEINS | [`proteins`] | chain-of-modules vs mesh secondary structure |
+//! | PTC | [`ptc`] | MUTAG-like signal + 15 % label noise (hard dataset) |
+//! | AIDS | [`aids_like`] | small labelled molecules (≤ 10 nodes) for exact-GED triplets |
+//! | LINUX | [`linux_like`] | small unlabelled program-dependence-like graphs (≤ 10 nodes) |
+//! | Synthetic (Sec. 6.1.1) | [`matching_corpus`] | VF2-style subgraph/perturbation pairs |
+//!
+//! All generators take an explicit seeded RNG and a size scale, so
+//! experiments run at `--quick` scale in minutes and `--full` scale near
+//! the paper's counts.
+
+mod ged_corpus;
+mod matching;
+mod molecule;
+mod sample;
+mod social;
+
+pub use ged_corpus::{aids_like, linux_like, triplet_corpus, GedGraph, TripletSample};
+pub use matching::{matching_corpus, MatchingPair};
+pub use molecule::{mutag, proteins, ptc};
+pub use sample::{split_811, ClassificationDataset, DatasetStats, GraphSample};
+pub use social::{collab, imdb_b, imdb_m};

@@ -1,0 +1,278 @@
+//! Molecule-like dataset simulators: MUTAG, PROTEINS, PTC.
+
+use crate::{ClassificationDataset, GraphSample};
+use hap_graph::{label_one_hot, Graph};
+use rand::Rng;
+
+/// Node labels of the MUTAG-like chemistry: carbon, nitrogen, oxygen.
+const MUTAG_LABELS: usize = 3;
+const CARBON: usize = 0;
+const NITROGEN: usize = 1;
+const OXYGEN: usize = 2;
+
+/// Builds a two-ring "molecule": two carbon rings of `ring` nodes joined
+/// by one bridge bond, with two nitro-like motifs (N–O, N–O stars)
+/// attached. **Both classes contain exactly the same substructures**
+/// (rings, bridge, two nitro groups); the discriminating signal is the
+/// *high-order arrangement*: mutagenic molecules (class 1) carry both
+/// nitro groups on the **same** ring, non-mutagenic ones (class 0) on
+/// **different** rings. A 1-hop (or even 2-hop) local pattern cannot
+/// separate the classes — precisely the "higher-order information beyond
+/// the substructure" regime where the paper reports HAP's largest win
+/// (Sec. 6.2's MUTAG discussion).
+fn mutag_molecule(ring: usize, same_ring: bool, rng: &mut impl Rng) -> Graph {
+    let n_ring = 2 * ring;
+    // nodes: [0, ring) = ring A, [ring, 2·ring) = ring B, then 2 × (N + 2·O)
+    let total = n_ring + 2 * 3;
+    let mut labels = vec![CARBON; total];
+    let mut g = Graph::empty(total);
+    for r in 0..2 {
+        let base = r * ring;
+        for i in 0..ring {
+            g.add_edge(base + i, base + (i + 1) % ring);
+        }
+    }
+    // bridge between the rings
+    let bridge_a = rng.gen_range(0..ring);
+    let bridge_b = rng.gen_range(0..ring);
+    g.add_edge(bridge_a, ring + bridge_b);
+
+    // attach the two nitro motifs. The class signal is their arrangement:
+    // mutagenic (same_ring) molecules carry them on *adjacent* carbons of
+    // ring A (nitro-nitro distance 3), non-mutagenic ones on carbons of
+    // different rings chosen far from the bridge (distance ≥ 5). Every
+    // 1-hop pattern (ring carbon, N with two O's, attachment bond) is
+    // identical across classes; only the multi-hop arrangement differs.
+    let attach_points: [usize; 2] = if same_ring {
+        let a = rng.gen_range(0..ring);
+        [a, (a + 1) % ring]
+    } else {
+        // bridge endpoints are ba (ring A) and ring + bb (ring B); attach
+        // at the positions diametrically opposite them
+        let far_a = (bridge_a + ring / 2) % ring;
+        let far_b = (bridge_b + ring / 2) % ring;
+        [far_a, ring + far_b]
+    };
+    for (m, &carbon) in attach_points.iter().enumerate() {
+        let n_node = n_ring + m * 3;
+        let o1 = n_node + 1;
+        let o2 = n_node + 2;
+        labels[n_node] = NITROGEN;
+        labels[o1] = OXYGEN;
+        labels[o2] = OXYGEN;
+        g.add_edge(carbon, n_node);
+        g.add_edge(n_node, o1);
+        g.add_edge(n_node, o2);
+    }
+    g.with_node_labels(labels)
+}
+
+fn mutag_like(
+    name: &str,
+    num_graphs: usize,
+    label_noise: f64,
+    rng: &mut impl Rng,
+) -> ClassificationDataset {
+    let mut samples = Vec::with_capacity(num_graphs);
+    for i in 0..num_graphs {
+        let true_label = i % 2;
+        let ring = rng.gen_range(5..=7);
+        let graph = mutag_molecule(ring, true_label == 1, rng);
+        let features = label_one_hot(&graph, MUTAG_LABELS);
+        let label = if rng.gen_bool(label_noise) {
+            1 - true_label
+        } else {
+            true_label
+        };
+        samples.push(GraphSample {
+            graph,
+            features,
+            label,
+        });
+    }
+    ClassificationDataset {
+        name: name.into(),
+        samples,
+        num_classes: 2,
+        feature_dim: MUTAG_LABELS,
+    }
+}
+
+/// MUTAG-like: 2 classes, labelled molecules sharing the nitro motif;
+/// classes differ only in the high-order motif arrangement. Paper stats:
+/// 188 graphs, avg 17.9 nodes.
+pub fn mutag(num_graphs: usize, rng: &mut impl Rng) -> ClassificationDataset {
+    mutag_like("MUTAG", num_graphs, 0.0, rng)
+}
+
+/// PTC-like: the same chemistry with 15 % label noise — matching PTC's
+/// reputation as the hardest of the six (best published accuracies ~60 %).
+/// Paper stats: 344 graphs, avg 25.5 nodes.
+pub fn ptc(num_graphs: usize, rng: &mut impl Rng) -> ClassificationDataset {
+    mutag_like("PTC", num_graphs, 0.15, rng)
+}
+
+/// Secondary-structure labels of the PROTEINS-like graphs.
+const SSE_LABELS: usize = 3;
+
+/// Chain-of-modules protein: a path of `k` small dense modules (helices)
+/// linked head-to-tail.
+fn protein_chain(modules: usize, module_size: usize, rng: &mut impl Rng) -> Graph {
+    let n = modules * module_size;
+    let mut g = Graph::empty(n);
+    let mut labels = vec![0usize; n];
+    for m in 0..modules {
+        let base = m * module_size;
+        let sse = rng.gen_range(0..SSE_LABELS);
+        for i in 0..module_size {
+            labels[base + i] = sse;
+            for j in (i + 1)..module_size {
+                if rng.gen_bool(0.8) {
+                    g.add_edge(base + i, base + j);
+                }
+            }
+        }
+        if m > 0 {
+            g.add_edge(base - 1, base); // link modules in a chain
+        }
+    }
+    g.with_node_labels(labels)
+}
+
+/// Mesh protein: a ring with random chords — a globular fold with no
+/// chain backbone.
+fn protein_mesh(n: usize, rng: &mut impl Rng) -> Graph {
+    let mut g = Graph::empty(n);
+    let mut labels = vec![0usize; n];
+    for (i, l) in labels.iter_mut().enumerate() {
+        *l = rng.gen_range(0..SSE_LABELS);
+        g.add_edge(i, (i + 1) % n);
+    }
+    let chords = n; // dense cross-linking
+    for _ in 0..chords {
+        let u = rng.gen_range(0..n);
+        let v = rng.gen_range(0..n);
+        if u != v {
+            g.add_edge(u, v);
+        }
+    }
+    g.with_node_labels(labels)
+}
+
+/// PROTEINS-like: 2 classes — chain-of-modules (enzyme-like) vs
+/// cross-linked mesh topology. Paper stats: 1113 graphs, avg 39.1 nodes;
+/// `scale` shrinks node counts for quick runs.
+pub fn proteins(num_graphs: usize, scale: f64, rng: &mut impl Rng) -> ClassificationDataset {
+    assert!(scale > 0.0, "scale must be positive");
+    let mut samples = Vec::with_capacity(num_graphs);
+    for i in 0..num_graphs {
+        let label = i % 2;
+        let graph = if label == 0 {
+            let modules = ((rng.gen_range(4.0..9.0) * scale) as usize).max(2);
+            protein_chain(modules, rng.gen_range(4..=6), rng)
+        } else {
+            let n = ((rng.gen_range(25.0..55.0) * scale) as usize).max(8);
+            protein_mesh(n, rng)
+        };
+        let features = label_one_hot(&graph, SSE_LABELS);
+        samples.push(GraphSample {
+            graph,
+            features,
+            label,
+        });
+    }
+    ClassificationDataset {
+        name: "PROTEINS".into(),
+        samples,
+        num_classes: 2,
+        feature_dim: SSE_LABELS,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hap_graph::{bfs_distances, is_connected};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn mutag_molecules_are_connected_and_labelled() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let ds = mutag(20, &mut rng);
+        assert_eq!(ds.num_classes, 2);
+        for s in &ds.samples {
+            assert!(is_connected(&s.graph));
+            let labels = s.graph.node_labels().expect("labelled");
+            assert_eq!(labels.iter().filter(|&&l| l == NITROGEN).count(), 2);
+            assert_eq!(labels.iter().filter(|&&l| l == OXYGEN).count(), 4);
+        }
+    }
+
+    #[test]
+    fn classes_share_local_substructure_but_differ_in_motif_distance() {
+        // The nitro nitrogens must be closer together (graph distance) in
+        // class 1 (same ring) than in class 0 (different rings), while
+        // both classes contain identical 1-hop neighbourhood patterns.
+        let mut rng = StdRng::seed_from_u64(2);
+        let ds = mutag(40, &mut rng);
+        let nitro_distance = |s: &GraphSample| -> f64 {
+            let labels = s.graph.node_labels().unwrap();
+            let ns: Vec<usize> = (0..s.graph.n())
+                .filter(|&u| labels[u] == NITROGEN)
+                .collect();
+            bfs_distances(&s.graph, ns[0])[ns[1]] as f64
+        };
+        let avg = |label: usize| {
+            let v: Vec<f64> = ds
+                .samples
+                .iter()
+                .filter(|s| s.label == label)
+                .map(nitro_distance)
+                .collect();
+            v.iter().sum::<f64>() / v.len() as f64
+        };
+        assert!(
+            avg(1) < avg(0),
+            "same-ring nitros must be closer: class1 {} vs class0 {}",
+            avg(1),
+            avg(0)
+        );
+    }
+
+    #[test]
+    fn ptc_has_label_noise() {
+        // With 15 % flips the class/structure correlation must be
+        // imperfect: regenerate with same structural stream and compare.
+        let mut rng = StdRng::seed_from_u64(3);
+        let ds = ptc(200, &mut rng);
+        // labels still roughly balanced
+        let counts = ds.class_counts();
+        let diff = counts[0].abs_diff(counts[1]);
+        assert!(diff < 60, "unbalanced: {counts:?}");
+    }
+
+    #[test]
+    fn proteins_classes_differ_in_topology() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let ds = proteins(30, 0.5, &mut rng);
+        for s in &ds.samples {
+            assert!(is_connected(&s.graph), "protein graphs must be connected");
+        }
+        // mesh class should have higher average degree
+        let avg_deg = |label: usize| {
+            let v: Vec<f64> = ds
+                .samples
+                .iter()
+                .filter(|s| s.label == label)
+                .map(|s| 2.0 * s.graph.num_edges() as f64 / s.graph.n() as f64)
+                .collect();
+            v.iter().sum::<f64>() / v.len() as f64
+        };
+        let (chain, mesh) = (avg_deg(0), avg_deg(1));
+        assert!(
+            mesh > chain * 0.6,
+            "mesh proteins should be at least comparably dense: {mesh} vs {chain}"
+        );
+    }
+}

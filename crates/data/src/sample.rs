@@ -1,0 +1,132 @@
+//! Dataset containers, splits and statistics.
+
+use hap_graph::Graph;
+use hap_tensor::Tensor;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// One labelled graph with its initial node-feature matrix (Sec. 6.1.3
+/// encoding already applied).
+pub struct GraphSample {
+    /// The graph.
+    pub graph: Graph,
+    /// Initial node features (`N×F`).
+    pub features: Tensor,
+    /// Class label.
+    pub label: usize,
+}
+
+/// A graph-classification dataset.
+pub struct ClassificationDataset {
+    /// Display name (Table 2/3 row).
+    pub name: String,
+    /// The samples.
+    pub samples: Vec<GraphSample>,
+    /// Number of classes.
+    pub num_classes: usize,
+    /// Node-feature width `F`.
+    pub feature_dim: usize,
+}
+
+impl ClassificationDataset {
+    /// Table 2-style statistics.
+    pub fn stats(&self) -> DatasetStats {
+        let sizes: Vec<usize> = self.samples.iter().map(|s| s.graph.n()).collect();
+        DatasetStats {
+            name: self.name.clone(),
+            num_graphs: self.samples.len(),
+            max_nodes: sizes.iter().copied().max().unwrap_or(0),
+            avg_nodes: sizes.iter().sum::<usize>() as f64 / sizes.len().max(1) as f64,
+            num_classes: self.num_classes,
+        }
+    }
+
+    /// Per-class sample counts (sanity: generators should be balanced).
+    pub fn class_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0; self.num_classes];
+        for s in &self.samples {
+            counts[s.label] += 1;
+        }
+        counts
+    }
+}
+
+/// Table 2 row.
+#[derive(Clone, Debug)]
+pub struct DatasetStats {
+    /// Dataset name.
+    pub name: String,
+    /// `#Graphs`.
+    pub num_graphs: usize,
+    /// `Max |V|`.
+    pub max_nodes: usize,
+    /// `Avg |V|`.
+    pub avg_nodes: f64,
+    /// `#Classes`.
+    pub num_classes: usize,
+}
+
+/// Random 8:1:1 train/validation/test split (Sec. 6.1.3) over `n`
+/// indices.
+pub fn split_811(n: usize, rng: &mut impl Rng) -> (Vec<usize>, Vec<usize>, Vec<usize>) {
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.shuffle(rng);
+    let n_train = (n as f64 * 0.8).round() as usize;
+    let n_val = (n as f64 * 0.1).round() as usize;
+    let train = idx[..n_train].to_vec();
+    let val = idx[n_train..(n_train + n_val).min(n)].to_vec();
+    let test = idx[(n_train + n_val).min(n)..].to_vec();
+    (train, val, test)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn split_covers_everything_once() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let (tr, va, te) = split_811(100, &mut rng);
+        assert_eq!(tr.len(), 80);
+        assert_eq!(va.len(), 10);
+        assert_eq!(te.len(), 10);
+        let mut all: Vec<usize> = tr.iter().chain(&va).chain(&te).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn split_handles_tiny_inputs() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let (tr, va, te) = split_811(3, &mut rng);
+        assert_eq!(tr.len() + va.len() + te.len(), 3);
+    }
+
+    #[test]
+    fn stats_computed_correctly() {
+        let ds = ClassificationDataset {
+            name: "toy".into(),
+            samples: vec![
+                GraphSample {
+                    graph: Graph::empty(3),
+                    features: Tensor::zeros(3, 2),
+                    label: 0,
+                },
+                GraphSample {
+                    graph: Graph::empty(7),
+                    features: Tensor::zeros(7, 2),
+                    label: 1,
+                },
+            ],
+            num_classes: 2,
+            feature_dim: 2,
+        };
+        let st = ds.stats();
+        assert_eq!(st.num_graphs, 2);
+        assert_eq!(st.max_nodes, 7);
+        assert!((st.avg_nodes - 5.0).abs() < 1e-12);
+        assert_eq!(ds.class_counts(), vec![1, 1]);
+    }
+}

@@ -1,0 +1,308 @@
+//! Linear sum assignment problem (LSAP) solvers.
+//!
+//! Two independent solvers back the two bipartite-GED baselines of
+//! Fig. 5: the O(n³) Kuhn–Munkres **Hungarian** algorithm and the
+//! shortest-augmenting-path **Jonker–Volgenant** (LAPJV) algorithm used
+//! by the "VJ" baseline (Fankhauser, Riesen & Bunke). Both minimise
+//! `Σ cost[i][assignment[i]]` over permutations and must agree on the
+//! optimal value (they are cross-checked against brute force and each
+//! other in the tests).
+
+/// A large finite stand-in for forbidden assignments — finite so the
+/// algorithms' arithmetic stays well-defined.
+pub const FORBIDDEN: f64 = 1e9;
+
+/// Solves the LSAP with the Hungarian algorithm (Kuhn–Munkres, potentials
+/// formulation, O(n³)).
+///
+/// Returns `(assignment, total_cost)` where `assignment[row] = col`.
+///
+/// # Panics
+/// Panics when `cost` is not square or is empty-ragged.
+pub fn hungarian(cost: &[Vec<f64>]) -> (Vec<usize>, f64) {
+    let n = cost.len();
+    for (i, row) in cost.iter().enumerate() {
+        assert_eq!(row.len(), n, "cost matrix must be square (row {i})");
+    }
+    if n == 0 {
+        return (Vec::new(), 0.0);
+    }
+
+    // Potentials method on a 1-indexed virtual matrix (standard e-maxx
+    // formulation): u[i], v[j] potentials, p[j] = row matched to column j.
+    let mut u = vec![0.0; n + 1];
+    let mut v = vec![0.0; n + 1];
+    let mut p = vec![0usize; n + 1]; // p[j]: row assigned to column j (0 = none)
+    let mut way = vec![0usize; n + 1];
+
+    for i in 1..=n {
+        p[0] = i;
+        let mut j0 = 0usize;
+        let mut minv = vec![f64::INFINITY; n + 1];
+        let mut used = vec![false; n + 1];
+        loop {
+            used[j0] = true;
+            let i0 = p[j0];
+            let mut delta = f64::INFINITY;
+            let mut j1 = 0usize;
+            for j in 1..=n {
+                if used[j] {
+                    continue;
+                }
+                let cur = cost[i0 - 1][j - 1] - u[i0] - v[j];
+                if cur < minv[j] {
+                    minv[j] = cur;
+                    way[j] = j0;
+                }
+                if minv[j] < delta {
+                    delta = minv[j];
+                    j1 = j;
+                }
+            }
+            for j in 0..=n {
+                if used[j] {
+                    u[p[j]] += delta;
+                    v[j] -= delta;
+                } else {
+                    minv[j] -= delta;
+                }
+            }
+            j0 = j1;
+            if p[j0] == 0 {
+                break;
+            }
+        }
+        loop {
+            let j1 = way[j0];
+            p[j0] = p[j1];
+            j0 = j1;
+            if j0 == 0 {
+                break;
+            }
+        }
+    }
+
+    let mut assignment = vec![0usize; n];
+    for j in 1..=n {
+        if p[j] > 0 {
+            assignment[p[j] - 1] = j - 1;
+        }
+    }
+    let total = assignment
+        .iter()
+        .enumerate()
+        .map(|(i, &j)| cost[i][j])
+        .sum();
+    (assignment, total)
+}
+
+/// Solves the LSAP with the Jonker–Volgenant shortest-augmenting-path
+/// algorithm (LAPJV, simplified: column-reduction initialisation followed
+/// by Dijkstra-style augmentation for unassigned rows).
+///
+/// Returns `(assignment, total_cost)` with the same contract as
+/// [`hungarian`].
+///
+/// # Panics
+/// Panics when `cost` is not square.
+pub fn lapjv(cost: &[Vec<f64>]) -> (Vec<usize>, f64) {
+    let n = cost.len();
+    for (i, row) in cost.iter().enumerate() {
+        assert_eq!(row.len(), n, "cost matrix must be square (row {i})");
+    }
+    if n == 0 {
+        return (Vec::new(), 0.0);
+    }
+
+    let mut v = vec![0.0; n]; // column potentials
+    let mut row_of = vec![usize::MAX; n]; // column -> row
+    let mut col_of = vec![usize::MAX; n]; // row -> column
+
+    // Column reduction: assign each column to its cheapest row when free.
+    for j in (0..n).rev() {
+        let mut best = 0usize;
+        for i in 1..n {
+            if cost[i][j] < cost[best][j] {
+                best = i;
+            }
+        }
+        v[j] = cost[best][j];
+        if col_of[best] == usize::MAX {
+            col_of[best] = j;
+            row_of[j] = best;
+        }
+    }
+
+    // Augment every unassigned row via a shortest-path search.
+    for start in 0..n {
+        if col_of[start] != usize::MAX {
+            continue;
+        }
+        let mut d: Vec<f64> = (0..n).map(|j| cost[start][j] - v[j]).collect();
+        let mut pred = vec![start; n];
+        let mut scanned = vec![false; n];
+        let mut ready = vec![false; n];
+        let end_j;
+        let mut mu;
+        loop {
+            // pick the unscanned column with minimal reduced distance
+            let mut jmin = usize::MAX;
+            let mut dmin = f64::INFINITY;
+            for j in 0..n {
+                if !scanned[j] && d[j] < dmin {
+                    dmin = d[j];
+                    jmin = j;
+                }
+            }
+            debug_assert_ne!(jmin, usize::MAX, "LSAP search exhausted");
+            scanned[jmin] = true;
+            mu = dmin;
+            if row_of[jmin] == usize::MAX {
+                end_j = jmin;
+                break;
+            }
+            ready[jmin] = true;
+            let i = row_of[jmin];
+            for j in 0..n {
+                if scanned[j] {
+                    continue;
+                }
+                let alt = mu + cost[i][j] - v[j] - (cost[i][jmin] - v[jmin]);
+                if alt < d[j] {
+                    d[j] = alt;
+                    pred[j] = i;
+                }
+            }
+        }
+        // update potentials for scanned-and-ready columns
+        for j in 0..n {
+            if ready[j] {
+                v[j] += d[j] - mu;
+            }
+        }
+        // augment along the alternating path
+        let mut j = end_j;
+        loop {
+            let i = pred[j];
+            row_of[j] = i;
+            let next = col_of[i];
+            col_of[i] = j;
+            if i == start {
+                break;
+            }
+            j = next;
+        }
+    }
+
+    let total = col_of
+        .iter()
+        .enumerate()
+        .map(|(i, &j)| cost[i][j])
+        .sum();
+    (col_of, total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn brute_force(cost: &[Vec<f64>]) -> f64 {
+        let n = cost.len();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut best = f64::INFINITY;
+        // Heap's algorithm
+        fn heaps(k: usize, perm: &mut Vec<usize>, cost: &[Vec<f64>], best: &mut f64) {
+            if k == 1 {
+                let total: f64 = perm.iter().enumerate().map(|(i, &j)| cost[i][j]).sum();
+                if total < *best {
+                    *best = total;
+                }
+                return;
+            }
+            for i in 0..k {
+                heaps(k - 1, perm, cost, best);
+                if k % 2 == 0 {
+                    perm.swap(i, k - 1);
+                } else {
+                    perm.swap(0, k - 1);
+                }
+            }
+        }
+        heaps(n, &mut perm, cost, &mut best);
+        best
+    }
+
+    fn check_valid(assign: &[usize]) {
+        let mut seen = vec![false; assign.len()];
+        for &j in assign {
+            assert!(!seen[j], "column {j} assigned twice");
+            seen[j] = true;
+        }
+    }
+
+    #[test]
+    fn known_small_instance() {
+        let cost = vec![
+            vec![4.0, 1.0, 3.0],
+            vec![2.0, 0.0, 5.0],
+            vec![3.0, 2.0, 2.0],
+        ];
+        let (a_h, c_h) = hungarian(&cost);
+        let (a_j, c_j) = lapjv(&cost);
+        check_valid(&a_h);
+        check_valid(&a_j);
+        assert_eq!(c_h, 5.0);
+        assert_eq!(c_j, 5.0);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        assert_eq!(hungarian(&[]).1, 0.0);
+        assert_eq!(lapjv(&[]).1, 0.0);
+        assert_eq!(hungarian(&[vec![7.0]]), (vec![0], 7.0));
+        assert_eq!(lapjv(&[vec![7.0]]), (vec![0], 7.0));
+    }
+
+    #[test]
+    fn both_solvers_match_brute_force_on_random_instances() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for trial in 0..30 {
+            let n = rng.gen_range(2..=7);
+            let cost: Vec<Vec<f64>> = (0..n)
+                .map(|_| (0..n).map(|_| rng.gen_range(0.0..10.0)).collect())
+                .collect();
+            let expect = brute_force(&cost);
+            let (a_h, c_h) = hungarian(&cost);
+            let (a_j, c_j) = lapjv(&cost);
+            check_valid(&a_h);
+            check_valid(&a_j);
+            assert!(
+                (c_h - expect).abs() < 1e-9,
+                "hungarian trial {trial}: {c_h} vs {expect}"
+            );
+            assert!(
+                (c_j - expect).abs() < 1e-9,
+                "lapjv trial {trial}: {c_j} vs {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn handles_forbidden_entries() {
+        // Force the anti-diagonal by forbidding everything else.
+        let f = FORBIDDEN;
+        let cost = vec![
+            vec![f, f, 1.0],
+            vec![f, 2.0, f],
+            vec![3.0, f, f],
+        ];
+        let (a, c) = hungarian(&cost);
+        assert_eq!(a, vec![2, 1, 0]);
+        assert_eq!(c, 6.0);
+        let (a2, c2) = lapjv(&cost);
+        assert_eq!(a2, vec![2, 1, 0]);
+        assert_eq!(c2, 6.0);
+    }
+}

@@ -1,0 +1,54 @@
+//! The edit-cost model shared by all GED algorithms.
+
+/// Edit operation costs.
+///
+/// The uniform model (`all = 1`, free matching substitutions) is the
+/// convention of the AIDS/LINUX GED benchmarks the paper evaluates on.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EditCosts {
+    /// Relabelling a node whose labels differ (matching labels are free).
+    pub node_subst: f64,
+    /// Deleting a node of `G₁`.
+    pub node_del: f64,
+    /// Inserting a node of `G₂`.
+    pub node_ins: f64,
+    /// Deleting an edge of `G₁`.
+    pub edge_del: f64,
+    /// Inserting an edge of `G₂`.
+    pub edge_ins: f64,
+}
+
+impl EditCosts {
+    /// Unit costs for every operation.
+    pub fn uniform() -> Self {
+        Self {
+            node_subst: 1.0,
+            node_del: 1.0,
+            node_ins: 1.0,
+            edge_del: 1.0,
+            edge_ins: 1.0,
+        }
+    }
+}
+
+impl Default for EditCosts {
+    fn default() -> Self {
+        Self::uniform()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_is_all_ones() {
+        let c = EditCosts::uniform();
+        assert_eq!(c.node_subst, 1.0);
+        assert_eq!(c.node_del, 1.0);
+        assert_eq!(c.node_ins, 1.0);
+        assert_eq!(c.edge_del, 1.0);
+        assert_eq!(c.edge_ins, 1.0);
+        assert_eq!(EditCosts::default(), c);
+    }
+}

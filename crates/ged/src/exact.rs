@@ -1,0 +1,362 @@
+//! Exact A\* and Beam-k GED search.
+//!
+//! Both algorithms explore the same state space: nodes of `G₁` are
+//! processed in index order, each either substituted with an unused node
+//! of `G₂` or deleted; once all `G₁` nodes are processed the remaining
+//! `G₂` nodes are inserted. Edge costs are charged incrementally as both
+//! endpoints become processed, so `g(state)` is exact and the final cost
+//! equals [`crate::induced_edit_cost`] of the complete mapping.
+
+use crate::{costs::EditCosts, node_labels_differ};
+use hap_graph::Graph;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+#[derive(Clone, Debug)]
+struct State {
+    /// mapping[i] for processed g1 nodes.
+    mapping: Vec<Option<usize>>,
+    /// which g2 nodes are used.
+    used: Vec<bool>,
+    /// exact cost so far.
+    g: f64,
+    /// admissible lower bound on remaining cost.
+    h: f64,
+}
+
+impl State {
+    fn f(&self) -> f64 {
+        self.g + self.h
+    }
+}
+
+impl PartialEq for State {
+    fn eq(&self, other: &Self) -> bool {
+        self.f() == other.f()
+    }
+}
+impl Eq for State {}
+impl PartialOrd for State {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for State {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert for min-f ordering.
+        other.f().partial_cmp(&self.f()).unwrap_or(Ordering::Equal)
+    }
+}
+
+/// Admissible heuristic on the unprocessed node sets: unavoidable
+/// deletions/insertions `|r₁ - r₂|` plus unavoidable relabellings
+/// (label-multiset mismatch). Edge costs are ignored (still admissible).
+fn heuristic(g1: &Graph, g2: &Graph, state: &State, costs: &EditCosts) -> f64 {
+    let done = state.mapping.len();
+    let r1 = g1.n() - done;
+    let r2 = state.used.iter().filter(|&&u| !u).count();
+    let del_ins = if r1 > r2 {
+        (r1 - r2) as f64 * costs.node_del
+    } else {
+        (r2 - r1) as f64 * costs.node_ins
+    };
+
+    // label-multiset overlap between the remaining node sets
+    let subst = match (g1.node_labels(), g2.node_labels()) {
+        (Some(l1), Some(l2)) => {
+            use std::collections::HashMap;
+            let mut c1: HashMap<usize, usize> = HashMap::new();
+            for &l in &l1[done..] {
+                *c1.entry(l).or_default() += 1;
+            }
+            let mut c2: HashMap<usize, usize> = HashMap::new();
+            for (j, &l) in l2.iter().enumerate() {
+                if !state.used[j] {
+                    *c2.entry(l).or_default() += 1;
+                }
+            }
+            let matchable: usize = c1
+                .iter()
+                .map(|(l, &n1)| n1.min(c2.get(l).copied().unwrap_or(0)))
+                .sum();
+            (r1.min(r2).saturating_sub(matchable)) as f64 * costs.node_subst
+        }
+        _ => 0.0,
+    };
+    del_ins + subst
+}
+
+/// Incremental edge cost of extending `state` by mapping g1 node `i`
+/// (= `state.mapping.len()`) to `to` (`None` = deletion): edges between
+/// `i` and already-processed nodes are now decided.
+fn edge_delta(
+    g1: &Graph,
+    g2: &Graph,
+    state: &State,
+    to: Option<usize>,
+    costs: &EditCosts,
+) -> f64 {
+    let i = state.mapping.len();
+    let mut delta = 0.0;
+    for (p, m) in state.mapping.iter().enumerate() {
+        let e1 = g1.has_edge(i, p);
+        let e2 = match (to, m) {
+            (Some(a), Some(b)) => g2.has_edge(a, *b),
+            _ => false,
+        };
+        match (e1, e2) {
+            (true, false) => delta += costs.edge_del,
+            (false, true) => delta += costs.edge_ins,
+            _ => {}
+        }
+    }
+    delta
+}
+
+/// Cost of finishing a complete-on-g1 state: insert unused g2 nodes and
+/// the g2 edges not matched by any g1 edge.
+fn completion_cost(g1: &Graph, g2: &Graph, state: &State, costs: &EditCosts) -> f64 {
+    debug_assert_eq!(state.mapping.len(), g1.n());
+    let mut cost = 0.0;
+    cost += state.used.iter().filter(|&&u| !u).count() as f64 * costs.node_ins;
+
+    // g2 edges with at least one unmapped endpoint, or mapped endpoints
+    // whose preimages are non-adjacent, are insertions *unless already
+    // charged*. Edges among mapped pairs were charged incrementally, so
+    // only edges touching an unused g2 node remain.
+    for (a, b) in g2.edges() {
+        if !state.used[a] || !state.used[b] {
+            cost += costs.edge_ins;
+        }
+    }
+    cost
+}
+
+/// Expands a state by deciding g1 node `i = mapping.len()`. States that
+/// become complete have the completion cost (g2 insertions) folded into
+/// `g` immediately, so the heap priority of a goal state is its *true*
+/// final cost — required for A\* to terminate optimally at pop time.
+fn expand(g1: &Graph, g2: &Graph, state: &State, costs: &EditCosts) -> Vec<State> {
+    let i = state.mapping.len();
+    let finalize = |s: &mut State| {
+        if s.mapping.len() == g1.n() {
+            s.g += completion_cost(g1, g2, s, costs);
+            s.h = 0.0;
+        } else {
+            s.h = heuristic(g1, g2, s, costs);
+        }
+    };
+    let mut out = Vec::new();
+    // substitute with any unused g2 node
+    for j in 0..g2.n() {
+        if state.used[j] {
+            continue;
+        }
+        let mut s = state.clone();
+        s.g += if node_labels_differ(g1, i, g2, j) {
+            costs.node_subst
+        } else {
+            0.0
+        };
+        s.g += edge_delta(g1, g2, state, Some(j), costs);
+        s.mapping.push(Some(j));
+        s.used[j] = true;
+        finalize(&mut s);
+        out.push(s);
+    }
+    // delete g1 node i
+    let mut s = state.clone();
+    s.g += costs.node_del + edge_delta(g1, g2, state, None, costs);
+    s.mapping.push(None);
+    finalize(&mut s);
+    out.push(s);
+    out
+}
+
+/// Exact graph edit distance via A\* search.
+///
+/// Complexity is exponential; intended for graphs of ≤ 10 nodes (the
+/// paper's own limit for exact GED ground truth).
+pub fn exact_ged(g1: &Graph, g2: &Graph, costs: &EditCosts) -> f64 {
+    let start = {
+        let mut s = State {
+            mapping: Vec::new(),
+            used: vec![false; g2.n()],
+            g: 0.0,
+            h: 0.0,
+        };
+        s.h = heuristic(g1, g2, &s, costs);
+        s
+    };
+    if g1.n() == 0 {
+        return completion_cost(g1, g2, &start, costs);
+    }
+    let mut open = BinaryHeap::new();
+    open.push(start);
+    while let Some(state) = open.pop() {
+        if state.mapping.len() == g1.n() {
+            // completion cost was folded into g at expansion time
+            return state.g;
+        }
+        for next in expand(g1, g2, &state, costs) {
+            open.push(next);
+        }
+    }
+    unreachable!("A* always reaches a goal state");
+}
+
+/// Beam-k suboptimal GED (Neuhaus, Riesen & Bunke): the same search tree
+/// explored breadth-first, keeping only the `width` lowest-`f` states per
+/// depth. `width = 1` is greedy; `width = 80` is the paper's `Beam80`
+/// baseline. Returns an upper bound on the exact GED.
+///
+/// # Panics
+/// Panics when `width == 0`.
+pub fn beam_ged(g1: &Graph, g2: &Graph, width: usize, costs: &EditCosts) -> f64 {
+    assert!(width > 0, "beam width must be positive");
+    let mut frontier = vec![{
+        let mut s = State {
+            mapping: Vec::new(),
+            used: vec![false; g2.n()],
+            g: 0.0,
+            h: 0.0,
+        };
+        s.h = heuristic(g1, g2, &s, costs);
+        s
+    }];
+    if g1.n() == 0 {
+        return completion_cost(g1, g2, &frontier[0], costs);
+    }
+    for _depth in 0..g1.n() {
+        let mut next: Vec<State> = frontier
+            .iter()
+            .flat_map(|s| expand(g1, g2, s, costs))
+            .collect();
+        next.sort_by(|a, b| a.f().partial_cmp(&b.f()).expect("finite costs"));
+        next.truncate(width);
+        frontier = next;
+    }
+    // completion cost is folded into g at the final expansion depth
+    frontier
+        .into_iter()
+        .map(|s| s.g)
+        .fold(f64::INFINITY, f64::min)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hap_graph::{generators, Graph, Permutation};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn uniform() -> EditCosts {
+        EditCosts::uniform()
+    }
+
+    #[test]
+    fn identical_graphs_have_zero_ged() {
+        let g = generators::cycle(5);
+        assert_eq!(exact_ged(&g, &g, &uniform()), 0.0);
+        assert_eq!(beam_ged(&g, &g, 5, &uniform()), 0.0);
+    }
+
+    #[test]
+    fn isomorphic_graphs_have_zero_ged() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = generators::erdos_renyi_connected(6, 0.4, &mut rng);
+        let p = Permutation::random(6, &mut rng);
+        let h = p.apply_graph(&g);
+        assert_eq!(exact_ged(&g, &h, &uniform()), 0.0);
+    }
+
+    #[test]
+    fn single_edge_difference() {
+        let g1 = generators::path(4); // 0-1-2-3
+        let mut g2 = generators::path(4);
+        g2.add_edge(0, 3); // cycle: one extra edge
+        assert_eq!(exact_ged(&g1, &g2, &uniform()), 1.0);
+    }
+
+    #[test]
+    fn node_count_difference() {
+        let g1 = generators::path(3);
+        let g2 = generators::path(5);
+        // insert 2 nodes + 2 edges
+        assert_eq!(exact_ged(&g1, &g2, &uniform()), 4.0);
+    }
+
+    #[test]
+    fn labels_force_substitution() {
+        let g1 = Graph::empty(2).with_node_labels(vec![0, 0]);
+        let g2 = Graph::empty(2).with_node_labels(vec![0, 1]);
+        assert_eq!(exact_ged(&g1, &g2, &uniform()), 1.0);
+    }
+
+    #[test]
+    fn ged_is_symmetric_with_uniform_costs() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..5 {
+            let g1 = generators::erdos_renyi(5, 0.4, &mut rng);
+            let g2 = generators::erdos_renyi(6, 0.4, &mut rng);
+            let d12 = exact_ged(&g1, &g2, &uniform());
+            let d21 = exact_ged(&g2, &g1, &uniform());
+            assert_eq!(d12, d21);
+        }
+    }
+
+    #[test]
+    fn beam_is_an_upper_bound_and_wider_is_tighter() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for trial in 0..8 {
+            let g1 = generators::erdos_renyi(6, 0.4, &mut rng);
+            let g2 = generators::erdos_renyi(6, 0.5, &mut rng);
+            let exact = exact_ged(&g1, &g2, &uniform());
+            let b1 = beam_ged(&g1, &g2, 1, &uniform());
+            let b80 = beam_ged(&g1, &g2, 80, &uniform());
+            assert!(b1 >= exact - 1e-9, "trial {trial}: beam1 {b1} < exact {exact}");
+            assert!(b80 >= exact - 1e-9, "trial {trial}: beam80 {b80} < exact {exact}");
+            assert!(b80 <= b1 + 1e-9, "trial {trial}: beam80 {b80} > beam1 {b1}");
+        }
+    }
+
+    #[test]
+    fn beam80_often_matches_exact_on_small_graphs() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut agree = 0;
+        let trials = 10;
+        for _ in 0..trials {
+            let g1 = generators::erdos_renyi(5, 0.4, &mut rng);
+            let g2 = generators::erdos_renyi(5, 0.5, &mut rng);
+            if (beam_ged(&g1, &g2, 80, &uniform()) - exact_ged(&g1, &g2, &uniform())).abs()
+                < 1e-9
+            {
+                agree += 1;
+            }
+        }
+        assert!(agree >= trials - 2, "beam80 agreed only {agree}/{trials}");
+    }
+
+    #[test]
+    fn triangle_inequality_spot_check() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..5 {
+            let a = generators::erdos_renyi(5, 0.4, &mut rng);
+            let b = generators::erdos_renyi(5, 0.5, &mut rng);
+            let c = generators::erdos_renyi(5, 0.3, &mut rng);
+            let ab = exact_ged(&a, &b, &uniform());
+            let bc = exact_ged(&b, &c, &uniform());
+            let ac = exact_ged(&a, &c, &uniform());
+            assert!(ac <= ab + bc + 1e-9, "triangle violated: {ac} > {ab}+{bc}");
+        }
+    }
+
+    #[test]
+    fn empty_graph_edge_cases() {
+        let empty = Graph::empty(0);
+        let g = generators::path(3);
+        assert_eq!(exact_ged(&empty, &empty, &uniform()), 0.0);
+        assert_eq!(exact_ged(&empty, &g, &uniform()), 5.0); // 3 nodes + 2 edges
+        assert_eq!(exact_ged(&g, &empty, &uniform()), 5.0);
+    }
+}

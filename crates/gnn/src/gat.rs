@@ -1,0 +1,243 @@
+//! Graph attention layer (Eq. 11 / Eq. 16).
+
+use crate::AdjacencyRef;
+use hap_autograd::{Param, ParamStore, Tape, Var};
+use hap_nn::{xavier_uniform, Activation, Linear};
+use hap_tensor::Tensor;
+use rand::Rng;
+
+/// Additive mask value for non-edges: large enough to zero them out after
+/// softmax, small enough to avoid NaN arithmetic.
+const NEG_MASK: f64 = -1e9;
+
+/// One (single-head) GAT layer.
+///
+/// Scores follow Eq. 16: `e_ij = LeakyReLU(aᵀ[Wh_i ‖ Wh_j])`, computed as
+/// the rank-1 decomposition `e_ij = s1_i + s2_j` with `s1 = Wh·a₁`,
+/// `s2 = Wh·a₂` (the standard GAT implementation trick — identical values,
+/// no `N²×2F'` concatenation materialised). Scores are masked to the 1-hop
+/// neighbourhood plus self-loop, row-softmaxed (this realises
+/// `A_k O_att` of Eq. 11), and aggregated: `H' = σ(α · W H)`.
+///
+/// On [`AdjacencyRef::Dynamic`] graphs the mask admits every pair whose
+/// current adjacency weight is positive — after HAP's soft sampling the
+/// coarsened graph is dense, giving the "fully-connected information
+/// channel" of Sec. 4.4.2.
+pub struct GatLayer {
+    linear: Linear,
+    att_src: Param,
+    att_dst: Param,
+    activation: Activation,
+    leaky_slope: f64,
+}
+
+impl GatLayer {
+    /// Creates a layer with ReLU output activation and the GAT-standard
+    /// LeakyReLU(0.2) on attention logits.
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        in_dim: usize,
+        out_dim: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
+        Self::with_activation(store, name, in_dim, out_dim, Activation::Relu, rng)
+    }
+
+    /// Creates a layer with an explicit output activation.
+    pub fn with_activation(
+        store: &mut ParamStore,
+        name: &str,
+        in_dim: usize,
+        out_dim: usize,
+        activation: Activation,
+        rng: &mut impl Rng,
+    ) -> Self {
+        let linear = Linear::new(store, &format!("{name}.lin"), in_dim, out_dim, false, rng);
+        let att_src = store.new_param(
+            format!("{name}.att_src"),
+            xavier_uniform(out_dim, 1, rng),
+        );
+        let att_dst = store.new_param(
+            format!("{name}.att_dst"),
+            xavier_uniform(out_dim, 1, rng),
+        );
+        Self {
+            linear,
+            att_src,
+            att_dst,
+            activation,
+            leaky_slope: 0.2,
+        }
+    }
+
+    /// Input feature width.
+    pub fn in_dim(&self) -> usize {
+        self.linear.in_dim()
+    }
+
+    /// Output feature width.
+    pub fn out_dim(&self) -> usize {
+        self.linear.out_dim()
+    }
+
+    /// The additive neighbourhood mask (0 on edges/self-loops, `NEG_MASK`
+    /// elsewhere).
+    fn mask(&self, tape: &Tape, adj: &AdjacencyRef<'_>) -> Tensor {
+        match adj {
+            AdjacencyRef::Fixed(g) => {
+                let n = g.n();
+                let mut m = Tensor::full(n, n, NEG_MASK);
+                for u in 0..n {
+                    m[(u, u)] = 0.0;
+                    for v in g.neighbors(u) {
+                        m[(u, v)] = 0.0;
+                    }
+                }
+                m
+            }
+            AdjacencyRef::Dynamic(a) => {
+                // Structure (which pairs interact) is treated as data, not
+                // as a differentiable quantity — same as edge_index in PyG.
+                let av = tape.value(*a);
+                let n = av.rows();
+                let mut m = Tensor::full(n, n, NEG_MASK);
+                for u in 0..n {
+                    m[(u, u)] = 0.0;
+                    for v in 0..n {
+                        if av[(u, v)] > 1e-8 {
+                            m[(u, v)] = 0.0;
+                        }
+                    }
+                }
+                m
+            }
+        }
+    }
+
+    /// Applies the layer, returning `N × out_dim` features.
+    pub fn forward(&self, tape: &mut Tape, adj: AdjacencyRef<'_>, h: Var) -> Var {
+        let n = adj.n(tape);
+        debug_assert_eq!(tape.shape(h).0, n, "feature/adjacency size mismatch");
+
+        let wh = self.linear.forward(tape, h); // N×F'
+        let a_src = tape.param(&self.att_src); // F'×1
+        let a_dst = tape.param(&self.att_dst);
+        let s1 = tape.matmul(wh, a_src); // N×1
+        let s2 = tape.matmul(wh, a_dst); // N×1
+
+        // e_ij = s1_i + s2_j via two broadcasts over a zero matrix.
+        let zeros = tape.constant(Tensor::zeros(n, n));
+        let s2t = tape.transpose(s2); // 1×N
+        let e = tape.add_row(zeros, s2t);
+        let e = tape.add_col(e, s1);
+        let e = tape.leaky_relu(e, self.leaky_slope);
+
+        let mask = self.mask(tape, &adj);
+        let mask = tape.constant(mask);
+        let e = tape.add(e, mask);
+        let alpha = tape.softmax_rows(e);
+
+        let agg = tape.matmul(alpha, wh);
+        self.activation.apply(tape, agg)
+    }
+
+    /// Exposes the attention matrix for inspection/visualisation.
+    pub fn attention(&self, tape: &mut Tape, adj: AdjacencyRef<'_>, h: Var) -> Var {
+        let n = adj.n(tape);
+        let wh = self.linear.forward(tape, h);
+        let a_src = tape.param(&self.att_src);
+        let a_dst = tape.param(&self.att_dst);
+        let s1 = tape.matmul(wh, a_src);
+        let s2 = tape.matmul(wh, a_dst);
+        let zeros = tape.constant(Tensor::zeros(n, n));
+        let s2t = tape.transpose(s2);
+        let e = tape.add_row(zeros, s2t);
+        let e = tape.add_col(e, s1);
+        let e = tape.leaky_relu(e, self.leaky_slope);
+        let mask = self.mask(tape, &adj);
+        let mask = tape.constant(mask);
+        let e = tape.add(e, mask);
+        tape.softmax_rows(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hap_autograd::check_param_grad;
+    use hap_graph::{generators, Graph};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn output_shape() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut store = ParamStore::new();
+        let layer = GatLayer::new(&mut store, "gat", 4, 6, &mut rng);
+        let g = generators::cycle(5);
+        let mut t = Tape::new();
+        let h = t.constant(Tensor::ones(5, 4));
+        let out = layer.forward(&mut t, AdjacencyRef::Fixed(&g), h);
+        assert_eq!(t.shape(out), (5, 6));
+        assert_eq!(store.len(), 3); // W, a_src, a_dst
+    }
+
+    #[test]
+    fn attention_rows_are_distributions_on_neighbourhood() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut store = ParamStore::new();
+        let layer = GatLayer::new(&mut store, "gat", 3, 4, &mut rng);
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2)]); // node 3 isolated
+        let mut t = Tape::new();
+        let h = t.constant(Tensor::rand_uniform(4, 3, -1.0, 1.0, &mut rng));
+        let alpha = layer.attention(&mut t, AdjacencyRef::Fixed(&g), h);
+        let a = t.value(alpha);
+        for r in 0..4 {
+            let sum: f64 = a.row(r).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9, "row {r} sums to {sum}");
+        }
+        // non-neighbours get (numerically) zero attention
+        assert!(a[(0, 2)] < 1e-12);
+        assert!(a[(0, 3)] < 1e-12);
+        // isolated node attends only to itself
+        assert!((a[(3, 3)] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gradcheck_all_parameters() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut store = ParamStore::new();
+        let layer =
+            GatLayer::with_activation(&mut store, "gat", 3, 3, Activation::Tanh, &mut rng);
+        let g = generators::erdos_renyi_connected(5, 0.5, &mut rng);
+        let x = Tensor::rand_uniform(5, 3, -1.0, 1.0, &mut rng);
+
+        let params: Vec<_> = store.iter().cloned().collect();
+        assert_eq!(params.len(), 3);
+        for p in &params {
+            let xc = x.clone();
+            let gc = g.clone();
+            check_param_grad(p, 1e-5, |t| {
+                let h = t.constant(xc.clone());
+                let out = layer.forward(t, AdjacencyRef::Fixed(&gc), h);
+                let sq = t.hadamard(out, out);
+                t.sum_all(sq)
+            });
+        }
+    }
+
+    #[test]
+    fn dynamic_dense_adjacency_is_fully_connected_attention() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut store = ParamStore::new();
+        let layer = GatLayer::new(&mut store, "gat", 3, 3, &mut rng);
+        let mut t = Tape::new();
+        let a = t.constant(Tensor::full(4, 4, 0.25)); // dense soft-sampled adjacency
+        let h = t.constant(Tensor::rand_uniform(4, 3, -1.0, 1.0, &mut rng));
+        let alpha = layer.attention(&mut t, AdjacencyRef::Dynamic(a), h);
+        let av = t.value(alpha);
+        // every entry positive: full information channel
+        assert!(av.min() > 0.0);
+    }
+}

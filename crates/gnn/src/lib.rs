@@ -1,0 +1,80 @@
+//! # hap-gnn
+//!
+//! Graph neural-network layers: the node & cluster embedding components of
+//! the HAP framework (Sec. 4.3) and of every baseline pooling method.
+//!
+//! * [`GcnLayer`] — Kipf & Welling graph convolution, Eq. 12:
+//!   `H_{k+1} = σ(D̃^{-1/2} Ã D̃^{-1/2} H_k W_k)`.
+//! * [`GatLayer`] — graph attention (Veličković et al.), the classical
+//!   attention of Eq. 16 masked to the 1-hop neighbourhood, realising the
+//!   paper's Eq. 11.
+//! * [`GnnEncoder`] — a stack of either layer kind; HAP uses a two-layer
+//!   encoder before each coarsening module (Sec. 6.1.3).
+//!
+//! ## Static vs. dynamic adjacency
+//!
+//! At the input level the graph is fixed, so propagation matrices are
+//! precomputed constants ([`AdjacencyRef::Fixed`]). After a HAP coarsening
+//! step the adjacency `A' = MᵀAM` is itself a differentiable tape value
+//! ([`AdjacencyRef::Dynamic`]); layers then normalise degrees *on the
+//! tape* (via `pow_const`) so gradients flow through the coarsened
+//! structure, matching what DiffPool-style implementations do.
+
+mod encoder;
+mod gat;
+mod gcn;
+
+pub use encoder::{EncoderKind, GnnEncoder};
+pub use gat::GatLayer;
+pub use gcn::GcnLayer;
+
+use hap_autograd::{Tape, Var};
+use hap_graph::Graph;
+
+/// How a GNN layer should see the graph structure.
+#[derive(Clone, Copy)]
+pub enum AdjacencyRef<'a> {
+    /// A fixed input graph: propagation matrices are precomputed tensors
+    /// entering the tape as constants.
+    Fixed(&'a Graph),
+    /// A coarsened graph whose (dense, non-negative) adjacency lives on the
+    /// tape; normalisation happens differentiably.
+    Dynamic(Var),
+}
+
+impl<'a> AdjacencyRef<'a> {
+    /// Records/loads the symmetric-normalised propagation matrix
+    /// `D̃^{-1/2}(A+I)D̃^{-1/2}` on `tape` and returns it as a `Var`.
+    pub fn sym_norm(&self, tape: &mut Tape) -> Var {
+        match self {
+            AdjacencyRef::Fixed(g) => tape.constant(g.sym_norm_adjacency()),
+            AdjacencyRef::Dynamic(a) => {
+                let (n, m) = tape.shape(*a);
+                assert_eq!(n, m, "adjacency must be square");
+                let eye = tape.constant(hap_tensor::Tensor::eye(n));
+                let a_tilde = tape.add(*a, eye);
+                let deg = tape.row_sums(a_tilde); // N×1, strictly positive
+                let inv_sqrt = tape.pow_const(deg, -0.5);
+                let left = tape.mul_col(a_tilde, inv_sqrt);
+                let inv_sqrt_row = tape.transpose(inv_sqrt);
+                tape.mul_row(left, inv_sqrt_row)
+            }
+        }
+    }
+
+    /// Number of nodes of the underlying graph.
+    pub fn n(&self, tape: &Tape) -> usize {
+        match self {
+            AdjacencyRef::Fixed(g) => g.n(),
+            AdjacencyRef::Dynamic(a) => tape.shape(*a).0,
+        }
+    }
+
+    /// The raw adjacency (with no self loops) as a tape `Var`.
+    pub fn raw(&self, tape: &mut Tape) -> Var {
+        match self {
+            AdjacencyRef::Fixed(g) => tape.constant(g.adjacency().clone()),
+            AdjacencyRef::Dynamic(a) => *a,
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! Traversal algorithms: BFS, connectivity, components.
+
+use crate::Graph;
+use std::collections::VecDeque;
+
+/// BFS hop distances from `source`; unreachable nodes get `usize::MAX`.
+///
+/// # Panics
+/// Panics when `source` is out of range.
+pub fn bfs_distances(g: &Graph, source: usize) -> Vec<usize> {
+    assert!(source < g.n(), "source {source} out of range");
+    let mut dist = vec![usize::MAX; g.n()];
+    dist[source] = 0;
+    let mut queue = VecDeque::from([source]);
+    while let Some(u) = queue.pop_front() {
+        for v in g.neighbors(u) {
+            if dist[v] == usize::MAX {
+                dist[v] = dist[u] + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// Whether the graph is connected (the empty graph counts as connected).
+pub fn is_connected(g: &Graph) -> bool {
+    if g.n() == 0 {
+        return true;
+    }
+    bfs_distances(g, 0).iter().all(|&d| d != usize::MAX)
+}
+
+/// Connected components as sorted node lists, ordered by smallest member.
+pub fn connected_components(g: &Graph) -> Vec<Vec<usize>> {
+    let mut comp = vec![usize::MAX; g.n()];
+    let mut components = Vec::new();
+    for start in 0..g.n() {
+        if comp[start] != usize::MAX {
+            continue;
+        }
+        let id = components.len();
+        let mut members = vec![start];
+        comp[start] = id;
+        let mut queue = VecDeque::from([start]);
+        while let Some(u) = queue.pop_front() {
+            for v in g.neighbors(u) {
+                if comp[v] == usize::MAX {
+                    comp[v] = id;
+                    members.push(v);
+                    queue.push_back(v);
+                }
+            }
+        }
+        members.sort_unstable();
+        components.push(members);
+    }
+    components
+}
+
+/// Node list of the largest connected component (ties broken by smallest
+/// member). Empty for the empty graph.
+pub fn largest_component(g: &Graph) -> Vec<usize> {
+    connected_components(g)
+        .into_iter()
+        .max_by_key(|c| c.len())
+        .unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bfs_on_path() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(bfs_distances(&g, 0), vec![0, 1, 2, 3]);
+        assert_eq!(bfs_distances(&g, 2), vec![2, 1, 0, 1]);
+    }
+
+    #[test]
+    fn bfs_unreachable() {
+        let g = Graph::from_edges(3, &[(0, 1)]);
+        let d = bfs_distances(&g, 0);
+        assert_eq!(d[2], usize::MAX);
+        assert!(!is_connected(&g));
+    }
+
+    #[test]
+    fn connectivity_cases() {
+        assert!(is_connected(&Graph::empty(0)));
+        assert!(is_connected(&Graph::empty(1)));
+        assert!(!is_connected(&Graph::empty(2)));
+        assert!(is_connected(&Graph::from_edges(3, &[(0, 1), (1, 2)])));
+    }
+
+    #[test]
+    fn components_partition_nodes() {
+        let g = Graph::from_edges(6, &[(0, 1), (2, 3), (3, 4)]);
+        let comps = connected_components(&g);
+        assert_eq!(comps, vec![vec![0, 1], vec![2, 3, 4], vec![5]]);
+        assert_eq!(largest_component(&g), vec![2, 3, 4]);
+    }
+}

@@ -1,0 +1,106 @@
+//! Initial node feature encoders (Sec. 6.1.3).
+//!
+//! The paper initialises node features as:
+//! * one-hot encodings of node degrees for social networks without
+//!   informative features (IMDB, COLLAB);
+//! * one-hot encodings of node labels for labelled molecule datasets
+//!   (AIDS, MUTAG);
+//! * identical constant features otherwise.
+
+use crate::Graph;
+use hap_tensor::Tensor;
+
+/// One-hot degree features: row `i` has a 1 at `min(degree(i), dim-1)`.
+///
+/// Capping at `dim - 1` keeps the encoder total for hub nodes — the same
+/// bucketing trick PyG's `OneHotDegree` transform uses.
+///
+/// # Panics
+/// Panics when `dim == 0`.
+pub fn degree_one_hot(g: &Graph, dim: usize) -> Tensor {
+    assert!(dim > 0, "feature dimension must be positive");
+    let mut x = Tensor::zeros(g.n(), dim);
+    for u in 0..g.n() {
+        let d = g.degree_count(u).min(dim - 1);
+        x[(u, d)] = 1.0;
+    }
+    x
+}
+
+/// One-hot node-label features: row `i` has a 1 at `labels[i]`.
+///
+/// # Panics
+/// Panics when the graph is unlabelled, `dim == 0`, or a label is out of
+/// range.
+pub fn label_one_hot(g: &Graph, dim: usize) -> Tensor {
+    assert!(dim > 0, "feature dimension must be positive");
+    let labels = g
+        .node_labels()
+        .expect("label_one_hot requires a labelled graph");
+    let mut x = Tensor::zeros(g.n(), dim);
+    for (u, &l) in labels.iter().enumerate() {
+        assert!(l < dim, "node {u} has label {l} >= dim {dim}");
+        x[(u, l)] = 1.0;
+    }
+    x
+}
+
+/// Identical constant features (all-ones first column, zeros elsewhere) —
+/// the "initialized identically" case of Sec. 6.1.3.
+///
+/// # Panics
+/// Panics when `dim == 0`.
+pub fn constant_features(g: &Graph, dim: usize) -> Tensor {
+    assert!(dim > 0, "feature dimension must be positive");
+    let mut x = Tensor::zeros(g.n(), dim);
+    for u in 0..g.n() {
+        x[(u, 0)] = 1.0;
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::star;
+    use crate::Graph;
+
+    #[test]
+    fn degree_one_hot_encodes_and_caps() {
+        let g = star(5); // hub degree 4, leaves degree 1
+        let x = degree_one_hot(&g, 3);
+        assert_eq!(x.shape(), (5, 3));
+        assert_eq!(x[(0, 2)], 1.0, "hub degree 4 capped into bucket 2");
+        for u in 1..5 {
+            assert_eq!(x[(u, 1)], 1.0);
+        }
+        // each row is one-hot
+        for u in 0..5 {
+            assert_eq!(x.row(u).iter().sum::<f64>(), 1.0);
+        }
+    }
+
+    #[test]
+    fn label_one_hot_roundtrip() {
+        let g = Graph::empty(3).with_node_labels(vec![2, 0, 1]);
+        let x = label_one_hot(&g, 3);
+        assert_eq!(x[(0, 2)], 1.0);
+        assert_eq!(x[(1, 0)], 1.0);
+        assert_eq!(x[(2, 1)], 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a labelled graph")]
+    fn label_one_hot_needs_labels() {
+        label_one_hot(&Graph::empty(2), 3);
+    }
+
+    #[test]
+    fn constant_features_shape() {
+        let g = Graph::empty(4);
+        let x = constant_features(&g, 5);
+        assert_eq!(x.shape(), (4, 5));
+        assert_eq!(x.col_sums().row(0)[0], 4.0);
+        assert_eq!(x.sum(), 4.0);
+    }
+}

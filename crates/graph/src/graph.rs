@@ -1,0 +1,388 @@
+//! The core undirected graph type.
+
+use hap_tensor::Tensor;
+
+/// An undirected weighted graph with optional discrete node labels.
+///
+/// The adjacency matrix is kept symmetric by construction: [`Graph::add_edge`]
+/// writes both `(u,v)` and `(v,u)`. Self-loops are permitted (stored on the
+/// diagonal) but none of the generators create them — GNN layers add their
+/// own self-connections via [`Graph::sym_norm_adjacency`] (Eq. 12's `Ã = A + I`).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Graph {
+    adj: Tensor,
+    node_labels: Option<Vec<usize>>,
+}
+
+impl Graph {
+    /// An edgeless graph on `n` nodes.
+    pub fn empty(n: usize) -> Self {
+        Self {
+            adj: Tensor::zeros(n, n),
+            node_labels: None,
+        }
+    }
+
+    /// Builds a graph on `n` nodes from an undirected edge list (unit
+    /// weights).
+    ///
+    /// # Panics
+    /// Panics when an endpoint is out of range.
+    pub fn from_edges(n: usize, edges: &[(usize, usize)]) -> Self {
+        let mut g = Self::empty(n);
+        for &(u, v) in edges {
+            g.add_edge(u, v);
+        }
+        g
+    }
+
+    /// Builds a graph directly from a symmetric adjacency matrix.
+    ///
+    /// # Panics
+    /// Panics when `adj` is not square or not symmetric (within 1e-9).
+    pub fn from_adjacency(adj: Tensor) -> Self {
+        assert_eq!(adj.rows(), adj.cols(), "adjacency matrix must be square");
+        for r in 0..adj.rows() {
+            for c in (r + 1)..adj.cols() {
+                assert!(
+                    (adj[(r, c)] - adj[(c, r)]).abs() < 1e-9,
+                    "adjacency must be symmetric; differs at ({r},{c})"
+                );
+            }
+        }
+        Self {
+            adj,
+            node_labels: None,
+        }
+    }
+
+    /// Attaches discrete node labels (consumed builder style).
+    ///
+    /// # Panics
+    /// Panics when `labels.len() != n`.
+    pub fn with_node_labels(mut self, labels: Vec<usize>) -> Self {
+        assert_eq!(labels.len(), self.n(), "one label per node required");
+        self.node_labels = Some(labels);
+        self
+    }
+
+    /// Number of nodes `N`.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.adj.rows()
+    }
+
+    /// Number of undirected edges (self-loops count once).
+    pub fn num_edges(&self) -> usize {
+        let mut m = 0;
+        for u in 0..self.n() {
+            for v in u..self.n() {
+                if self.adj[(u, v)] != 0.0 {
+                    m += 1;
+                }
+            }
+        }
+        m
+    }
+
+    /// Adds (or overwrites) an undirected unit edge.
+    pub fn add_edge(&mut self, u: usize, v: usize) {
+        self.add_weighted_edge(u, v, 1.0);
+    }
+
+    /// Adds (or overwrites) an undirected weighted edge.
+    ///
+    /// # Panics
+    /// Panics when an endpoint is out of range.
+    pub fn add_weighted_edge(&mut self, u: usize, v: usize, w: f64) {
+        let n = self.n();
+        assert!(u < n && v < n, "edge ({u},{v}) out of range for {n} nodes");
+        self.adj[(u, v)] = w;
+        self.adj[(v, u)] = w;
+    }
+
+    /// Removes an edge if present.
+    pub fn remove_edge(&mut self, u: usize, v: usize) {
+        self.adj[(u, v)] = 0.0;
+        self.adj[(v, u)] = 0.0;
+    }
+
+    /// Whether `(u, v)` is an edge.
+    #[inline]
+    pub fn has_edge(&self, u: usize, v: usize) -> bool {
+        self.adj[(u, v)] != 0.0
+    }
+
+    /// Edge weight of `(u, v)` (zero when absent).
+    #[inline]
+    pub fn weight(&self, u: usize, v: usize) -> f64 {
+        self.adj[(u, v)]
+    }
+
+    /// (Weighted) degree of node `u`: the row sum of the adjacency matrix.
+    pub fn degree(&self, u: usize) -> f64 {
+        self.adj.row(u).iter().sum()
+    }
+
+    /// Unweighted degree: number of incident edges.
+    pub fn degree_count(&self, u: usize) -> usize {
+        self.adj.row(u).iter().filter(|&&w| w != 0.0).count()
+    }
+
+    /// Maximum unweighted degree over all nodes (0 for the empty graph).
+    pub fn max_degree(&self) -> usize {
+        (0..self.n()).map(|u| self.degree_count(u)).max().unwrap_or(0)
+    }
+
+    /// Neighbors of `u` in ascending order.
+    pub fn neighbors(&self, u: usize) -> Vec<usize> {
+        (0..self.n()).filter(|&v| self.adj[(u, v)] != 0.0 && v != u).collect()
+    }
+
+    /// Undirected edge list `(u, v)` with `u <= v`.
+    pub fn edges(&self) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        for u in 0..self.n() {
+            for v in u..self.n() {
+                if self.adj[(u, v)] != 0.0 {
+                    out.push((u, v));
+                }
+            }
+        }
+        out
+    }
+
+    /// The adjacency matrix `A` (borrow).
+    #[inline]
+    pub fn adjacency(&self) -> &Tensor {
+        &self.adj
+    }
+
+    /// Node labels, when the dataset provides them.
+    pub fn node_labels(&self) -> Option<&[usize]> {
+        self.node_labels.as_deref()
+    }
+
+    /// Label of node `u`, when labelled.
+    pub fn node_label(&self, u: usize) -> Option<usize> {
+        self.node_labels.as_ref().map(|l| l[u])
+    }
+
+    /// The diagonal degree matrix `D`.
+    pub fn degree_matrix(&self) -> Tensor {
+        let n = self.n();
+        let mut d = Tensor::zeros(n, n);
+        for u in 0..n {
+            d[(u, u)] = self.degree(u);
+        }
+        d
+    }
+
+    /// The GCN propagation matrix `D̃^{-1/2} Ã D̃^{-1/2}` with
+    /// `Ã = A + I` (Eq. 12). Isolated nodes degrade gracefully: their
+    /// self-loop gives `D̃_ii = 1`.
+    pub fn sym_norm_adjacency(&self) -> Tensor {
+        let n = self.n();
+        let mut a_tilde = self.adj.clone();
+        for i in 0..n {
+            a_tilde[(i, i)] += 1.0;
+        }
+        let inv_sqrt: Vec<f64> = (0..n)
+            .map(|i| {
+                let d: f64 = a_tilde.row(i).iter().sum();
+                1.0 / d.sqrt()
+            })
+            .collect();
+        let mut out = a_tilde;
+        for r in 0..n {
+            for c in 0..n {
+                out[(r, c)] *= inv_sqrt[r] * inv_sqrt[c];
+            }
+        }
+        out
+    }
+
+    /// Row-normalised adjacency with self-loops (`D̃^{-1} Ã`), the simpler
+    /// mean-aggregation propagation some baselines use.
+    pub fn row_norm_adjacency(&self) -> Tensor {
+        let n = self.n();
+        let mut a_tilde = self.adj.clone();
+        for i in 0..n {
+            a_tilde[(i, i)] += 1.0;
+        }
+        for r in 0..n {
+            let d: f64 = a_tilde.row(r).iter().sum();
+            for e in a_tilde.row_mut(r) {
+                *e /= d;
+            }
+        }
+        a_tilde
+    }
+
+    /// Induced subgraph on the listed nodes (which are renumbered
+    /// `0..nodes.len()` in order). Node labels are carried along.
+    ///
+    /// # Panics
+    /// Panics when an index is out of range or repeated.
+    pub fn induced_subgraph(&self, nodes: &[usize]) -> Graph {
+        let k = nodes.len();
+        let mut seen = vec![false; self.n()];
+        for &u in nodes {
+            assert!(u < self.n(), "node {u} out of range");
+            assert!(!seen[u], "duplicate node {u} in subgraph selection");
+            seen[u] = true;
+        }
+        let mut adj = Tensor::zeros(k, k);
+        for (i, &u) in nodes.iter().enumerate() {
+            for (j, &v) in nodes.iter().enumerate() {
+                adj[(i, j)] = self.adj[(u, v)];
+            }
+        }
+        let node_labels = self
+            .node_labels
+            .as_ref()
+            .map(|l| nodes.iter().map(|&u| l[u]).collect());
+        Graph { adj, node_labels }
+    }
+
+    /// Disjoint union: `self` keeps ids `0..n`, `other` is shifted by `n`.
+    /// Labels are preserved when *both* graphs are labelled, dropped
+    /// otherwise.
+    pub fn disjoint_union(&self, other: &Graph) -> Graph {
+        let (n1, n2) = (self.n(), other.n());
+        let mut adj = Tensor::zeros(n1 + n2, n1 + n2);
+        for u in 0..n1 {
+            for v in 0..n1 {
+                adj[(u, v)] = self.adj[(u, v)];
+            }
+        }
+        for u in 0..n2 {
+            for v in 0..n2 {
+                adj[(n1 + u, n1 + v)] = other.adj[(u, v)];
+            }
+        }
+        let node_labels = match (&self.node_labels, &other.node_labels) {
+            (Some(a), Some(b)) => {
+                let mut l = a.clone();
+                l.extend_from_slice(b);
+                Some(l)
+            }
+            _ => None,
+        };
+        Graph { adj, node_labels }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hap_tensor::testutil::assert_close;
+
+    fn triangle() -> Graph {
+        Graph::from_edges(3, &[(0, 1), (1, 2), (2, 0)])
+    }
+
+    #[test]
+    fn edge_bookkeeping() {
+        let mut g = Graph::empty(4);
+        assert_eq!(g.num_edges(), 0);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        assert!(g.has_edge(1, 0), "edges must be symmetric");
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.neighbors(1), vec![0, 2]);
+        assert_eq!(g.degree(1), 2.0);
+        assert_eq!(g.degree_count(3), 0);
+        g.remove_edge(0, 1);
+        assert!(!g.has_edge(0, 1) && !g.has_edge(1, 0));
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn weighted_edges_and_degree() {
+        let mut g = Graph::empty(2);
+        g.add_weighted_edge(0, 1, 2.5);
+        assert_eq!(g.weight(1, 0), 2.5);
+        assert_eq!(g.degree(0), 2.5);
+        assert_eq!(g.degree_count(0), 1);
+    }
+
+    #[test]
+    fn from_adjacency_rejects_asymmetry() {
+        let mut a = Tensor::zeros(2, 2);
+        a[(0, 1)] = 1.0;
+        let res = std::panic::catch_unwind(|| Graph::from_adjacency(a));
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn edges_listing() {
+        let g = triangle();
+        assert_eq!(g.edges(), vec![(0, 1), (0, 2), (1, 2)]);
+        assert_eq!(g.max_degree(), 2);
+    }
+
+    #[test]
+    fn degree_matrix_diagonal() {
+        let g = triangle();
+        let d = g.degree_matrix();
+        for i in 0..3 {
+            assert_eq!(d[(i, i)], 2.0);
+        }
+        assert_eq!(d[(0, 1)], 0.0);
+    }
+
+    #[test]
+    fn sym_norm_adjacency_of_triangle() {
+        // Ã = A + I has every row summing to 3, so every nonzero entry of
+        // the normalised matrix is 1/3.
+        let g = triangle();
+        let s = g.sym_norm_adjacency();
+        let expect = Tensor::full(3, 3, 1.0 / 3.0);
+        assert_close(&s, &expect, 1e-12);
+    }
+
+    #[test]
+    fn sym_norm_handles_isolated_nodes() {
+        let g = Graph::empty(2);
+        let s = g.sym_norm_adjacency();
+        assert_close(&s, &Tensor::eye(2), 1e-12);
+    }
+
+    #[test]
+    fn row_norm_rows_sum_to_one() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let r = g.row_norm_adjacency();
+        for i in 0..4 {
+            let s: f64 = r.row(i).iter().sum();
+            assert!((s - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn induced_subgraph_renumbers_and_keeps_labels() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)])
+            .with_node_labels(vec![10, 11, 12, 13]);
+        let s = g.induced_subgraph(&[1, 2, 3]);
+        assert_eq!(s.n(), 3);
+        assert!(s.has_edge(0, 1) && s.has_edge(1, 2) && !s.has_edge(0, 2));
+        assert_eq!(s.node_labels().unwrap(), &[11, 12, 13]);
+    }
+
+    #[test]
+    fn disjoint_union_shifts_ids() {
+        let a = triangle();
+        let b = Graph::from_edges(2, &[(0, 1)]);
+        let u = a.disjoint_union(&b);
+        assert_eq!(u.n(), 5);
+        assert_eq!(u.num_edges(), 4);
+        assert!(u.has_edge(3, 4));
+        assert!(!u.has_edge(2, 3), "components must stay disconnected");
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate node")]
+    fn induced_subgraph_rejects_duplicates() {
+        triangle().induced_subgraph(&[0, 0]);
+    }
+}

@@ -1,0 +1,95 @@
+//! Claim 2 (Sec. 5.2) as a property: the HAP coarsening module — and the
+//! full hierarchical model — are invariant under node relabelling,
+//! `f(A, X) = f(PAPᵀ, PX)`, for arbitrary graphs and permutations.
+
+use hap_autograd::{ParamStore, Tape};
+use hap_core::{HapCoarsen, HapConfig, HapModel};
+use hap_graph::{degree_one_hot, Graph, Permutation};
+use hap_pooling::{CoarsenModule, PoolCtx};
+use hap_tensor::{testutil::assert_close, Tensor};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Strategy: a random undirected graph on 4..12 nodes plus a random
+/// permutation of its nodes, both derived from proptest-chosen seeds.
+fn arb_case() -> impl Strategy<Value = (Graph, Permutation, u64)> {
+    (4usize..12, any::<u64>(), any::<u64>()).prop_map(|(n, gseed, pseed)| {
+        let mut grng = StdRng::seed_from_u64(gseed);
+        let g = hap_graph::generators::erdos_renyi(n, 0.4, &mut grng);
+        let mut prng = StdRng::seed_from_u64(pseed);
+        let p = Permutation::random(n, &mut prng);
+        (g, p, gseed)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn coarsening_module_is_permutation_invariant((g, perm, seed) in arb_case()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut store = ParamStore::new();
+        let module = HapCoarsen::new(&mut store, "hc", 5, 3, &mut rng);
+        let x = Tensor::rand_uniform(g.n(), 5, -1.0, 1.0, &mut rng);
+        let gp = perm.apply_graph(&g);
+        let xp = perm.apply_rows(&x);
+
+        let run = |graph: &Graph, feats: &Tensor| {
+            let mut rng = StdRng::seed_from_u64(0);
+            let mut tape = Tape::new();
+            let a = tape.constant(graph.adjacency().clone());
+            let h = tape.constant(feats.clone());
+            let mut ctx = PoolCtx { training: false, rng: &mut rng };
+            let (a2, h2) = module.forward(&mut tape, a, h, &mut ctx);
+            (tape.value(a2), tape.value(h2))
+        };
+        let (a1, h1) = run(&g, &x);
+        let (a2, h2) = run(&gp, &xp);
+        assert_close(&a1, &a2, 1e-8);
+        assert_close(&h1, &h2, 1e-8);
+    }
+
+    #[test]
+    fn full_model_embedding_is_permutation_invariant((g, perm, seed) in arb_case()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut store = ParamStore::new();
+        let cfg = HapConfig::new(6, 5).with_clusters(&[3, 2]);
+        let model = HapModel::new(&mut store, &cfg, &mut rng);
+        let x = degree_one_hot(&g, 6);
+        let gp = perm.apply_graph(&g);
+        let xp = perm.apply_rows(&x);
+
+        let run = |graph: &Graph, feats: &Tensor| {
+            let mut rng = StdRng::seed_from_u64(0);
+            let mut tape = Tape::new();
+            let mut ctx = PoolCtx { training: false, rng: &mut rng };
+            let e = model.embed(&mut tape, graph, feats, &mut ctx);
+            tape.value(e)
+        };
+        assert_close(&run(&g, &x), &run(&gp, &xp), 1e-7);
+    }
+
+    #[test]
+    fn flat_readout_baselines_are_permutation_invariant((g, perm, seed) in arb_case()) {
+        use hap_pooling::{MeanReadout, Readout, SumReadout};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x = Tensor::rand_uniform(g.n(), 4, -1.0, 1.0, &mut rng);
+        let xp = perm.apply_rows(&x);
+        let gp = perm.apply_graph(&g);
+
+        let readouts: Vec<Box<dyn Readout>> = vec![Box::new(SumReadout), Box::new(MeanReadout)];
+        for r in &readouts {
+            let run = |graph: &Graph, feats: &Tensor| {
+                let mut rng = StdRng::seed_from_u64(0);
+                let mut tape = Tape::new();
+                let a = tape.constant(graph.adjacency().clone());
+                let h = tape.constant(feats.clone());
+                let mut ctx = PoolCtx { training: false, rng: &mut rng };
+                let out = r.forward(&mut tape, a, h, &mut ctx);
+                tape.value(out)
+            };
+            assert_close(&run(&g, &x), &run(&gp, &xp), 1e-10);
+        }
+    }
+}

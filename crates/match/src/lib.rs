@@ -1,0 +1,26 @@
+//! # hap-match
+//!
+//! Graph matching machinery: the VF2 (sub)graph-isomorphism algorithm the
+//! paper uses to construct its synthetic matching corpus (Sec. 6.1.1),
+//! and the neural comparison models of Secs. 6.3–6.4:
+//!
+//! * [`Vf2`] — VF2 isomorphism / induced-subgraph-isomorphism testing
+//!   (Cordella et al.), rebuilt from the published candidate-pair +
+//!   feasibility-rule formulation;
+//! * [`Gmn`] — Graph Matching Network (Li et al.): cross-graph attention
+//!   message passing with a gated readout, the paper's strongest matching
+//!   baseline;
+//! * [`SimGnn`] — SimGNN (Bai et al.): content-attention graph embeddings
+//!   with a pairwise interaction scorer, the GNN similarity baseline of
+//!   Fig. 5;
+//! * [`GmnHap`] — the paper's GMN-HAP hybrid (Table 4): the GMN
+//!   cross-graph encoder with its pooling replaced by HAP's graph
+//!   coarsening module.
+
+mod gmn;
+mod simgnn;
+mod vf2;
+
+pub use gmn::{Gmn, GmnHap};
+pub use simgnn::SimGnn;
+pub use vf2::Vf2;

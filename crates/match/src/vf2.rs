@@ -1,0 +1,277 @@
+//! VF2 (sub)graph isomorphism (Cordella, Foggia, Sansone & Vento 2004).
+//!
+//! The paper generates its synthetic graph-matching dataset "by the VF2
+//! graph matching library" (Sec. 6.1.1); this module is that substrate.
+//! The implementation follows the published formulation: a depth-first
+//! search over partial mappings, extending with candidate pairs drawn
+//! from the "terminal" (frontier) sets and pruning with the one-look-ahead
+//! feasibility rules.
+
+use hap_graph::Graph;
+
+/// Matching mode.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Mode {
+    /// Exact isomorphism: bijection preserving adjacency both ways.
+    Iso,
+    /// Induced-subgraph isomorphism: `g1` embeds into `g2` as an induced
+    /// subgraph.
+    SubgraphInduced,
+}
+
+/// VF2 state machine over a fixed pair of graphs.
+pub struct Vf2<'a> {
+    g1: &'a Graph,
+    g2: &'a Graph,
+    mode: Mode,
+    /// core_1[u] = mapped node in g2 (usize::MAX = unmapped)
+    core_1: Vec<usize>,
+    core_2: Vec<usize>,
+}
+
+const UNMAPPED: usize = usize::MAX;
+
+impl<'a> Vf2<'a> {
+    /// Prepares an exact-isomorphism test between `g1` and `g2`.
+    pub fn isomorphism(g1: &'a Graph, g2: &'a Graph) -> Self {
+        Self::new(g1, g2, Mode::Iso)
+    }
+
+    /// Prepares an induced-subgraph-isomorphism test (`g1 ⊆ g2`).
+    pub fn subgraph(g1: &'a Graph, g2: &'a Graph) -> Self {
+        Self::new(g1, g2, Mode::SubgraphInduced)
+    }
+
+    fn new(g1: &'a Graph, g2: &'a Graph, mode: Mode) -> Self {
+        Self {
+            g1,
+            g2,
+            mode,
+            core_1: vec![UNMAPPED; g1.n()],
+            core_2: vec![UNMAPPED; g2.n()],
+        }
+    }
+
+    /// Runs the search; returns a witness mapping (`g1` node → `g2` node)
+    /// when one exists.
+    pub fn find(mut self) -> Option<Vec<usize>> {
+        // quick rejections
+        match self.mode {
+            Mode::Iso => {
+                if self.g1.n() != self.g2.n() || self.g1.num_edges() != self.g2.num_edges() {
+                    return None;
+                }
+                let mut d1: Vec<usize> = (0..self.g1.n()).map(|u| self.g1.degree_count(u)).collect();
+                let mut d2: Vec<usize> = (0..self.g2.n()).map(|u| self.g2.degree_count(u)).collect();
+                d1.sort_unstable();
+                d2.sort_unstable();
+                if d1 != d2 {
+                    return None;
+                }
+                // 1-WL colour refinement: a sound non-isomorphism proof
+                // that prunes far more than degree sequences alone.
+                if !hap_graph::wl_maybe_isomorphic(self.g1, self.g2, 2) {
+                    return None;
+                }
+            }
+            Mode::SubgraphInduced => {
+                if self.g1.n() > self.g2.n() || self.g1.num_edges() > self.g2.num_edges() {
+                    return None;
+                }
+            }
+        }
+        if self.g1.n() == 0 {
+            return Some(Vec::new());
+        }
+        if self.recurse(0) {
+            Some(self.core_1)
+        } else {
+            None
+        }
+    }
+
+    /// Whether a match exists (convenience over [`Vf2::find`]).
+    pub fn exists(self) -> bool {
+        self.find().is_some()
+    }
+
+    fn labels_compatible(&self, u: usize, v: usize) -> bool {
+        match (self.g1.node_label(u), self.g2.node_label(v)) {
+            (Some(a), Some(b)) => a == b,
+            _ => true,
+        }
+    }
+
+    /// Syntactic feasibility of adding the pair `(u, v)`: adjacency with
+    /// already-mapped nodes must correspond (both directions for Iso and
+    /// induced-subgraph matching), plus a one-look-ahead count prune on
+    /// unmapped neighbours.
+    fn feasible(&self, u: usize, v: usize) -> bool {
+        if !self.labels_compatible(u, v) {
+            return false;
+        }
+        // consistency with the partial mapping
+        for n1 in self.g1.neighbors(u) {
+            let m = self.core_1[n1];
+            if m != UNMAPPED && !self.g2.has_edge(v, m) {
+                return false;
+            }
+        }
+        for n2 in self.g2.neighbors(v) {
+            let m = self.core_2[n2];
+            if m != UNMAPPED && !self.g1.has_edge(u, m) {
+                return false;
+            }
+        }
+        // look-ahead: u must not require more unmapped neighbours than v
+        // has available (for Iso the counts must be equal).
+        let free1 = self
+            .g1
+            .neighbors(u)
+            .into_iter()
+            .filter(|&n| self.core_1[n] == UNMAPPED)
+            .count();
+        let free2 = self
+            .g2
+            .neighbors(v)
+            .into_iter()
+            .filter(|&n| self.core_2[n] == UNMAPPED)
+            .count();
+        match self.mode {
+            Mode::Iso => free1 == free2,
+            Mode::SubgraphInduced => free1 <= free2,
+        }
+    }
+
+    fn recurse(&mut self, depth: usize) -> bool {
+        if depth == self.g1.n() {
+            return true;
+        }
+        // Candidate ordering: pick the next unmapped g1 node connected to
+        // the current partial mapping when possible (frontier-first), else
+        // the smallest unmapped node.
+        let u = (0..self.g1.n())
+            .filter(|&u| self.core_1[u] == UNMAPPED)
+            .max_by_key(|&u| {
+                self.g1
+                    .neighbors(u)
+                    .into_iter()
+                    .filter(|&n| self.core_1[n] != UNMAPPED)
+                    .count()
+            })
+            .expect("depth < n implies an unmapped node");
+
+        for v in 0..self.g2.n() {
+            if self.core_2[v] != UNMAPPED || !self.feasible(u, v) {
+                continue;
+            }
+            self.core_1[u] = v;
+            self.core_2[v] = u;
+            if self.recurse(depth + 1) {
+                return true;
+            }
+            self.core_1[u] = UNMAPPED;
+            self.core_2[v] = UNMAPPED;
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hap_graph::{generators, Graph, Permutation};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn identical_graphs_are_isomorphic() {
+        let g = generators::cycle(6);
+        assert!(Vf2::isomorphism(&g, &g).exists());
+    }
+
+    #[test]
+    fn permuted_graphs_are_isomorphic_with_valid_witness() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10 {
+            let g = generators::erdos_renyi(8, 0.4, &mut rng);
+            let p = Permutation::random(8, &mut rng);
+            let h = p.apply_graph(&g);
+            let mapping = Vf2::isomorphism(&g, &h).find().expect("must be isomorphic");
+            // witness must preserve adjacency exactly
+            for u in 0..8 {
+                for v in 0..8 {
+                    assert_eq!(
+                        g.has_edge(u, v),
+                        h.has_edge(mapping[u], mapping[v]),
+                        "witness violates adjacency at ({u},{v})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cycle_and_path_are_not_isomorphic() {
+        // same node count, different edge count
+        assert!(!Vf2::isomorphism(&generators::cycle(5), &generators::path(5)).exists());
+    }
+
+    #[test]
+    fn same_degree_sequence_different_structure() {
+        // C6 vs two triangles: both 6 nodes, 6 edges, all degree 2.
+        let c6 = generators::cycle(6);
+        let two_triangles = generators::cycle(3).disjoint_union(&generators::cycle(3));
+        assert!(!Vf2::isomorphism(&c6, &two_triangles).exists());
+    }
+
+    #[test]
+    fn labels_constrain_isomorphism() {
+        let g1 = Graph::from_edges(2, &[(0, 1)]).with_node_labels(vec![0, 1]);
+        let g2 = Graph::from_edges(2, &[(0, 1)]).with_node_labels(vec![1, 0]);
+        let g3 = Graph::from_edges(2, &[(0, 1)]).with_node_labels(vec![0, 0]);
+        assert!(Vf2::isomorphism(&g1, &g2).exists(), "swap is fine");
+        assert!(!Vf2::isomorphism(&g1, &g3).exists(), "label multiset differs");
+    }
+
+    #[test]
+    fn subgraph_isomorphism_finds_induced_embeddings() {
+        let triangle = generators::cycle(3);
+        let mut host = generators::cycle(5);
+        host.add_edge(0, 2); // creates triangle 0-1-2
+        assert!(Vf2::subgraph(&triangle, &host).exists());
+        // C5 itself contains no triangle
+        assert!(!Vf2::subgraph(&triangle, &generators::cycle(5)).exists());
+    }
+
+    #[test]
+    fn induced_semantics_are_enforced() {
+        // P3 (path on 3) is an induced subgraph of C5 but NOT of K3
+        // (in K3 the two endpoints would be adjacent).
+        let p3 = generators::path(3);
+        assert!(Vf2::subgraph(&p3, &generators::cycle(5)).exists());
+        assert!(!Vf2::subgraph(&p3, &generators::clique(3)).exists());
+    }
+
+    #[test]
+    fn random_connected_subgraphs_embed_in_their_host() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..5 {
+            let host = generators::erdos_renyi_connected(9, 0.35, &mut rng);
+            // take a connected induced subgraph via BFS prefix
+            let order = hap_graph::bfs_distances(&host, 0);
+            let mut nodes: Vec<usize> = (0..9).collect();
+            nodes.sort_by_key(|&u| order[u]);
+            nodes.truncate(6);
+            let sub = host.induced_subgraph(&nodes);
+            assert!(Vf2::subgraph(&sub, &host).exists());
+        }
+    }
+
+    #[test]
+    fn empty_pattern_always_embeds() {
+        let g = generators::clique(4);
+        assert!(Vf2::subgraph(&Graph::empty(0), &g).exists());
+        assert!(Vf2::isomorphism(&Graph::empty(0), &Graph::empty(0)).exists());
+    }
+}

@@ -1,0 +1,69 @@
+//! Inverted dropout.
+
+use hap_autograd::{Tape, Var};
+use hap_tensor::Tensor;
+use rand::Rng;
+
+/// Inverted dropout: during training, zeroes each element with probability
+/// `p` and scales survivors by `1/(1-p)` so the expected activation is
+/// unchanged; at evaluation time it is the identity.
+///
+/// The mask enters the tape as a constant, so gradients flow only through
+/// surviving elements — the standard PyTorch semantics.
+///
+/// # Panics
+/// Panics when `p ∉ [0, 1)`.
+pub fn dropout(tape: &mut Tape, x: Var, p: f64, training: bool, rng: &mut impl Rng) -> Var {
+    assert!((0.0..1.0).contains(&p), "dropout probability must be in [0,1), got {p}");
+    if !training || p == 0.0 {
+        return x;
+    }
+    let (r, c) = tape.shape(x);
+    let keep = 1.0 - p;
+    let mut mask = Tensor::zeros(r, c);
+    for e in mask.as_mut_slice() {
+        if rng.gen_bool(keep) {
+            *e = 1.0 / keep;
+        }
+    }
+    let mask = tape.constant(mask);
+    tape.hadamard(x, mask)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn eval_mode_is_identity() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut t = Tape::new();
+        let x = t.constant(Tensor::ones(3, 3));
+        let y = dropout(&mut t, x, 0.5, false, &mut rng);
+        assert_eq!(x, y);
+    }
+
+    #[test]
+    fn training_mode_preserves_expectation() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut t = Tape::new();
+        let x = t.constant(Tensor::ones(100, 100));
+        let y = dropout(&mut t, x, 0.3, true, &mut rng);
+        let mean = t.value(y).mean();
+        assert!((mean - 1.0).abs() < 0.05, "mean {mean} drifted");
+    }
+
+    #[test]
+    fn dropped_elements_are_zero_and_kept_are_scaled() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut t = Tape::new();
+        let x = t.constant(Tensor::ones(10, 10));
+        let y = dropout(&mut t, x, 0.5, true, &mut rng);
+        let v = t.value(y);
+        for &e in v.as_slice() {
+            assert!(e == 0.0 || (e - 2.0).abs() < 1e-12, "unexpected value {e}");
+        }
+    }
+}

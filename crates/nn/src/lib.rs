@@ -1,0 +1,27 @@
+//! # hap-nn
+//!
+//! Neural-network building blocks on top of `hap-autograd`: linear layers,
+//! activations, weight initialisation, losses (Eqs. 20–24 of the HAP
+//! paper) and first-order optimizers (the paper trains with Adam,
+//! Sec. 6.1.3).
+//!
+//! Layers follow a uniform convention: construction registers parameters
+//! into a caller-supplied [`hap_autograd::ParamStore`]; `forward` takes a
+//! [`hap_autograd::Tape`] plus input [`hap_autograd::Var`]s and returns an
+//! output `Var`. Nothing here owns the training loop — `hap-train` does.
+
+mod activation;
+mod dropout;
+mod init;
+mod linear;
+mod loss;
+mod mlp;
+mod optim;
+
+pub use activation::Activation;
+pub use dropout::dropout;
+pub use init::{he_uniform, xavier_uniform};
+pub use linear::Linear;
+pub use loss::{bce_scalar, cross_entropy_logits, mse_scalar};
+pub use mlp::Mlp;
+pub use optim::{Adam, Optimizer, Sgd};

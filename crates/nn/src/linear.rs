@@ -1,0 +1,133 @@
+//! Fully-connected layer.
+
+use crate::init::xavier_uniform;
+use hap_autograd::{Param, ParamStore, Tape, Var};
+use hap_tensor::Tensor;
+use rand::Rng;
+
+/// A dense affine map `y = x·W (+ b)`, the building block of the paper's
+/// prediction heads (Eq. 20) and of every weight matrix `W_k`/`T` in the
+/// embedding and coarsening modules.
+///
+/// Weights are Xavier-initialised; the optional bias starts at zero.
+pub struct Linear {
+    w: Param,
+    b: Option<Param>,
+    in_dim: usize,
+    out_dim: usize,
+}
+
+impl Linear {
+    /// Creates a layer and registers its parameters in `store` under
+    /// `name.w` / `name.b`.
+    ///
+    /// # Panics
+    /// Panics when either dimension is zero.
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        in_dim: usize,
+        out_dim: usize,
+        bias: bool,
+        rng: &mut impl Rng,
+    ) -> Self {
+        assert!(in_dim > 0 && out_dim > 0, "linear dims must be positive");
+        let w = store.new_param(format!("{name}.w"), xavier_uniform(in_dim, out_dim, rng));
+        let b = bias.then(|| store.new_param(format!("{name}.b"), Tensor::zeros(1, out_dim)));
+        Self {
+            w,
+            b,
+            in_dim,
+            out_dim,
+        }
+    }
+
+    /// Input feature dimension.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Output feature dimension.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    /// Weight parameter handle.
+    pub fn weight(&self) -> &Param {
+        &self.w
+    }
+
+    /// Bias parameter handle, when the layer has one.
+    pub fn bias(&self) -> Option<&Param> {
+        self.b.as_ref()
+    }
+
+    /// Applies the layer to an `N × in_dim` input, producing `N × out_dim`.
+    pub fn forward(&self, tape: &mut Tape, x: Var) -> Var {
+        debug_assert_eq!(
+            tape.shape(x).1,
+            self.in_dim,
+            "linear input width mismatch"
+        );
+        let w = tape.param(&self.w);
+        let y = tape.matmul(x, w);
+        match &self.b {
+            Some(b) => {
+                let b = tape.param(b);
+                tape.add_row(y, b)
+            }
+            None => y,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hap_autograd::check_param_grad;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn forward_shape_and_bias() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut store = ParamStore::new();
+        let layer = Linear::new(&mut store, "fc", 3, 2, true, &mut rng);
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.num_scalars(), 3 * 2 + 2);
+
+        let mut t = Tape::new();
+        let x = t.constant(Tensor::ones(4, 3));
+        let y = layer.forward(&mut t, x);
+        assert_eq!(t.shape(y), (4, 2));
+    }
+
+    #[test]
+    fn no_bias_layer_registers_one_param() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut store = ParamStore::new();
+        let layer = Linear::new(&mut store, "fc", 3, 2, false, &mut rng);
+        assert!(layer.bias().is_none());
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn gradcheck_weight_and_bias() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut store = ParamStore::new();
+        let layer = Linear::new(&mut store, "fc", 3, 2, true, &mut rng);
+        let x = Tensor::rand_uniform(4, 3, -1.0, 1.0, &mut rng);
+
+        let params: Vec<_> = store.iter().cloned().collect();
+        for p in &params {
+            let xc = x.clone();
+            check_param_grad(p, 1e-6, |t| {
+                let x = t.constant(xc.clone());
+                let y = layer.forward(t, x);
+                let act = t.tanh(y);
+                let sq = t.hadamard(act, act);
+                t.sum_all(sq)
+            });
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! Loss functions — the objectives of Sec. 4.5.
+//!
+//! * [`cross_entropy_logits`] — Eq. 21, graph classification.
+//! * [`bce_scalar`] — Eq. 23's per-pair term, graph matching on the
+//!   similarity score `s = exp(-scale·d)` of Eq. 22.
+//! * [`mse_scalar`] — Eq. 24's per-triplet term, graph similarity
+//!   learning against relative GED.
+//!
+//! All losses return a `1×1` scalar `Var` ready for
+//! [`hap_autograd::Tape::backward`].
+
+use hap_autograd::{Tape, Var};
+use hap_tensor::Tensor;
+
+/// Numerical floor used inside `ln` to keep BCE finite when a predicted
+/// probability saturates at 0 or 1.
+const LN_EPS: f64 = 1e-12;
+
+/// Cross-entropy between row-wise logits (`B × C`) and integer class
+/// targets (`targets.len() == B`), averaged over the batch (Eq. 21).
+///
+/// Uses the log-softmax path for numerical stability.
+///
+/// # Panics
+/// Panics when a target is out of range or the batch sizes differ.
+pub fn cross_entropy_logits(tape: &mut Tape, logits: Var, targets: &[usize]) -> Var {
+    let (b, c) = tape.shape(logits);
+    assert_eq!(targets.len(), b, "one target per logit row required");
+    let mut mask = Tensor::zeros(b, c);
+    for (r, &t) in targets.iter().enumerate() {
+        assert!(t < c, "target {t} out of range for {c} classes");
+        mask[(r, t)] = -1.0 / b as f64; // negative: we *minimise* -log p
+    }
+    let logp = tape.log_softmax_rows(logits);
+    let mask = tape.constant(mask);
+    let picked = tape.hadamard(logp, mask);
+    tape.sum_all(picked)
+}
+
+/// Binary cross-entropy `-(y·ln s + (1-y)·ln(1-s))` for a scalar predicted
+/// probability `s` (a `1×1` Var) and label `y ∈ {0, 1}`.
+///
+/// # Panics
+/// Panics when `prob` is not `1×1`.
+pub fn bce_scalar(tape: &mut Tape, prob: Var, label: f64) -> Var {
+    assert_eq!(tape.shape(prob), (1, 1), "bce_scalar expects a scalar probability");
+    // ln(s + ε) and ln(1 - s + ε)
+    let s_eps = tape.shift(prob, LN_EPS);
+    let ln_s = tape.ln(s_eps);
+    let neg_s = tape.scale(prob, -1.0);
+    let one_minus = tape.shift(neg_s, 1.0 + LN_EPS);
+    let ln_one_minus = tape.ln(one_minus);
+    let pos = tape.scale(ln_s, -label);
+    let neg = tape.scale(ln_one_minus, -(1.0 - label));
+    tape.add(pos, neg)
+}
+
+/// Squared error `(pred - target)²` for a scalar prediction.
+///
+/// # Panics
+/// Panics when `pred` is not `1×1`.
+pub fn mse_scalar(tape: &mut Tape, pred: Var, target: f64) -> Var {
+    assert_eq!(tape.shape(pred), (1, 1), "mse_scalar expects a scalar");
+    let d = tape.shift(pred, -target);
+    tape.hadamard(d, d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hap_autograd::check_unary_op;
+
+    #[test]
+    fn cross_entropy_uniform_logits_is_ln_c() {
+        let mut t = Tape::new();
+        let logits = t.constant(Tensor::zeros(2, 4));
+        let loss = cross_entropy_logits(&mut t, logits, &[0, 3]);
+        assert!((t.scalar(loss) - (4.0_f64).ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cross_entropy_prefers_correct_class() {
+        let mut t = Tape::new();
+        let good = t.constant(Tensor::from_rows(&[vec![5.0, 0.0]]));
+        let l_good = cross_entropy_logits(&mut t, good, &[0]);
+        let bad = t.constant(Tensor::from_rows(&[vec![0.0, 5.0]]));
+        let l_bad = cross_entropy_logits(&mut t, bad, &[0]);
+        assert!(t.scalar(l_good) < t.scalar(l_bad));
+    }
+
+    #[test]
+    fn cross_entropy_gradcheck() {
+        let x = Tensor::from_rows(&[vec![0.3, -0.7, 1.2], vec![-0.1, 0.5, 0.9]]);
+        check_unary_op(x, 1e-6, |t, v| cross_entropy_logits(t, v, &[2, 0]));
+    }
+
+    #[test]
+    fn bce_is_small_when_confidently_correct() {
+        let mut t = Tape::new();
+        let p = t.constant(Tensor::from_vec(1, 1, vec![0.99]));
+        let l1 = bce_scalar(&mut t, p, 1.0);
+        let l0 = bce_scalar(&mut t, p, 0.0);
+        assert!(t.scalar(l1) < 0.02);
+        assert!(t.scalar(l0) > 4.0);
+    }
+
+    #[test]
+    fn bce_survives_saturation() {
+        let mut t = Tape::new();
+        let p = t.constant(Tensor::from_vec(1, 1, vec![0.0]));
+        let l = bce_scalar(&mut t, p, 1.0);
+        assert!(t.scalar(l).is_finite());
+        let p1 = t.constant(Tensor::from_vec(1, 1, vec![1.0]));
+        let l1 = bce_scalar(&mut t, p1, 0.0);
+        assert!(t.scalar(l1).is_finite());
+    }
+
+    #[test]
+    fn bce_gradcheck() {
+        let x = Tensor::from_vec(1, 1, vec![0.35]);
+        check_unary_op(x.clone(), 1e-5, |t, v| bce_scalar(t, v, 1.0));
+        check_unary_op(x, 1e-5, |t, v| bce_scalar(t, v, 0.0));
+    }
+
+    #[test]
+    fn mse_basics_and_gradcheck() {
+        let mut t = Tape::new();
+        let p = t.constant(Tensor::from_vec(1, 1, vec![2.0]));
+        let l = mse_scalar(&mut t, p, 5.0);
+        assert_eq!(t.scalar(l), 9.0);
+
+        check_unary_op(Tensor::from_vec(1, 1, vec![-0.4]), 1e-6, |t, v| {
+            mse_scalar(t, v, 1.3)
+        });
+    }
+}

@@ -1,0 +1,136 @@
+//! Multi-layer perceptron — the paper's two-fully-connected-layer
+//! prediction head (Eq. 20) generalised to arbitrary depth.
+
+use crate::{Activation, Linear};
+use hap_autograd::{ParamStore, Tape, Var};
+use rand::Rng;
+
+/// A stack of [`Linear`] layers with a shared hidden activation and a
+/// configurable output activation (the paper uses ReLU hidden + Softmax
+/// output for classification; softmax is applied by the loss instead, so
+/// the default output here is identity — the standard logits convention).
+pub struct Mlp {
+    layers: Vec<Linear>,
+    hidden_activation: Activation,
+    output_activation: Activation,
+}
+
+impl Mlp {
+    /// Builds an MLP with the given layer widths, e.g. `&[64, 32, 2]`
+    /// creates `64→32→2`.
+    ///
+    /// # Panics
+    /// Panics when fewer than two dims are supplied.
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        dims: &[usize],
+        hidden_activation: Activation,
+        rng: &mut impl Rng,
+    ) -> Self {
+        assert!(dims.len() >= 2, "an MLP needs at least input and output dims");
+        let layers = dims
+            .windows(2)
+            .enumerate()
+            .map(|(i, w)| Linear::new(store, &format!("{name}.fc{i}"), w[0], w[1], true, rng))
+            .collect();
+        Self {
+            layers,
+            hidden_activation,
+            output_activation: Activation::Identity,
+        }
+    }
+
+    /// Sets the activation applied after the final layer.
+    pub fn with_output_activation(mut self, act: Activation) -> Self {
+        self.output_activation = act;
+        self
+    }
+
+    /// Input width.
+    pub fn in_dim(&self) -> usize {
+        self.layers.first().expect("non-empty").in_dim()
+    }
+
+    /// Output width.
+    pub fn out_dim(&self) -> usize {
+        self.layers.last().expect("non-empty").out_dim()
+    }
+
+    /// Applies the network to an `N × in_dim` input.
+    pub fn forward(&self, tape: &mut Tape, x: Var) -> Var {
+        let last = self.layers.len() - 1;
+        let mut h = x;
+        for (i, layer) in self.layers.iter().enumerate() {
+            h = layer.forward(tape, h);
+            h = if i < last {
+                self.hidden_activation.apply(tape, h)
+            } else {
+                self.output_activation.apply(tape, h)
+            };
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{cross_entropy_logits, Adam, Optimizer};
+    use hap_autograd::Tape;
+    use hap_tensor::Tensor;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn shapes_flow_through() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut store = ParamStore::new();
+        let mlp = Mlp::new(&mut store, "head", &[8, 4, 2], Activation::Relu, &mut rng);
+        assert_eq!(mlp.in_dim(), 8);
+        assert_eq!(mlp.out_dim(), 2);
+        let mut t = Tape::new();
+        let x = t.constant(Tensor::ones(5, 8));
+        let y = mlp.forward(&mut t, x);
+        assert_eq!(t.shape(y), (5, 2));
+    }
+
+    #[test]
+    fn learns_xor() {
+        // XOR is the canonical "needs a hidden layer" sanity check for the
+        // whole nn+autograd stack.
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut store = ParamStore::new();
+        let mlp = Mlp::new(&mut store, "xor", &[2, 8, 2], Activation::Tanh, &mut rng);
+        let mut adam = Adam::new(0.05);
+        let inputs = Tensor::from_rows(&[
+            vec![0.0, 0.0],
+            vec![0.0, 1.0],
+            vec![1.0, 0.0],
+            vec![1.0, 1.0],
+        ]);
+        let targets = [0usize, 1, 1, 0];
+        let mut final_loss = f64::INFINITY;
+        for _ in 0..400 {
+            store.zero_grads();
+            let mut t = Tape::new();
+            let x = t.constant(inputs.clone());
+            let logits = mlp.forward(&mut t, x);
+            let loss = cross_entropy_logits(&mut t, logits, &targets);
+            final_loss = t.scalar(loss);
+            t.backward(loss);
+            adam.step(&store);
+        }
+        assert!(final_loss < 0.05, "XOR did not converge: loss {final_loss}");
+
+        // verify predictions
+        let mut t = Tape::new();
+        let x = t.constant(inputs);
+        let logits = mlp.forward(&mut t, x);
+        let out = t.value(logits);
+        for (r, &target) in targets.iter().enumerate() {
+            let pred = if out[(r, 1)] > out[(r, 0)] { 1 } else { 0 };
+            assert_eq!(pred, target, "row {r} misclassified");
+        }
+    }
+}

@@ -1,0 +1,202 @@
+//! First-order optimizers.
+//!
+//! The paper trains every task with Adam (Sec. 6.1.3: "Adma optimizer is
+//! used with initial learning rate 0.01 …"); plain SGD is provided for
+//! ablations and tests.
+
+use hap_autograd::ParamStore;
+use hap_tensor::Tensor;
+use std::collections::HashMap;
+
+/// A gradient-descent update rule over a [`ParamStore`].
+///
+/// Contract: `step` consumes the *currently accumulated* gradients and
+/// updates parameter values; it does **not** zero gradients — call
+/// [`ParamStore::zero_grads`] before accumulating the next batch, so
+/// callers control gradient-accumulation windows (HAP trains with
+/// per-batch accumulation over variable-size graphs).
+pub trait Optimizer {
+    /// Applies one update using the gradients currently in `store`.
+    fn step(&mut self, store: &ParamStore);
+}
+
+/// Stochastic gradient descent with optional momentum.
+pub struct Sgd {
+    lr: f64,
+    momentum: f64,
+    velocity: HashMap<usize, Tensor>,
+}
+
+impl Sgd {
+    /// Plain SGD with learning rate `lr`.
+    pub fn new(lr: f64) -> Self {
+        Self::with_momentum(lr, 0.0)
+    }
+
+    /// SGD with classical momentum `mu`.
+    pub fn with_momentum(lr: f64, momentum: f64) -> Self {
+        Self {
+            lr,
+            momentum,
+            velocity: HashMap::new(),
+        }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, store: &ParamStore) {
+        for p in store.iter() {
+            let g = p.grad();
+            if self.momentum == 0.0 {
+                p.update_with(|v, _| v - &g.scale(self.lr));
+                continue;
+            }
+            let (r, c) = p.shape();
+            let vel = self
+                .velocity
+                .entry(p.key())
+                .or_insert_with(|| Tensor::zeros(r, c));
+            *vel = &vel.scale(self.momentum) + &g;
+            let delta = vel.scale(self.lr);
+            p.update_with(|v, _| v - &delta);
+        }
+    }
+}
+
+/// Adam (Kingma & Ba 2015) with bias-corrected first and second moments.
+pub struct Adam {
+    lr: f64,
+    beta1: f64,
+    beta2: f64,
+    eps: f64,
+    t: u64,
+    moments: HashMap<usize, (Tensor, Tensor)>,
+}
+
+impl Adam {
+    /// Adam with the paper's defaults (`β₁ = 0.9`, `β₂ = 0.999`,
+    /// `ε = 1e-8`).
+    pub fn new(lr: f64) -> Self {
+        Self {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            moments: HashMap::new(),
+        }
+    }
+
+    /// Overrides the exponential-decay rates.
+    pub fn with_betas(mut self, beta1: f64, beta2: f64) -> Self {
+        self.beta1 = beta1;
+        self.beta2 = beta2;
+        self
+    }
+
+    /// Current learning rate.
+    pub fn lr(&self) -> f64 {
+        self.lr
+    }
+
+    /// Adjusts the learning rate (simple decay schedules in `hap-train`).
+    pub fn set_lr(&mut self, lr: f64) {
+        self.lr = lr;
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, store: &ParamStore) {
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for p in store.iter() {
+            let g = p.grad();
+            let (r, c) = p.shape();
+            let (m, v) = self
+                .moments
+                .entry(p.key())
+                .or_insert_with(|| (Tensor::zeros(r, c), Tensor::zeros(r, c)));
+            *m = &m.scale(self.beta1) + &g.scale(1.0 - self.beta1);
+            let g2 = g.hadamard(&g);
+            *v = &v.scale(self.beta2) + &g2.scale(1.0 - self.beta2);
+            let m_hat = m.scale(1.0 / bc1);
+            let v_hat = v.scale(1.0 / bc2);
+            let denom = v_hat.map(|x| x.sqrt() + self.eps);
+            let step = m_hat.try_div(&denom).expect("same shape").scale(self.lr);
+            p.update_with(|val, _| val - &step);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hap_autograd::{ParamStore, Tape};
+
+    /// Minimise (w - 3)² and check convergence.
+    fn quadratic_descent(optim: &mut dyn Optimizer, steps: usize) -> f64 {
+        let mut store = ParamStore::new();
+        let w = store.new_param("w", Tensor::zeros(1, 1));
+        for _ in 0..steps {
+            store.zero_grads();
+            let mut t = Tape::new();
+            let wv = t.param(&w);
+            let d = t.shift(wv, -3.0);
+            let loss = t.hadamard(d, d);
+            t.backward(loss);
+            optim.step(&store);
+        }
+        w.value()[(0, 0)]
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let w = quadratic_descent(&mut Sgd::new(0.1), 100);
+        assert!((w - 3.0).abs() < 1e-3, "w = {w}");
+    }
+
+    #[test]
+    fn sgd_momentum_converges() {
+        let w = quadratic_descent(&mut Sgd::with_momentum(0.05, 0.9), 200);
+        assert!((w - 3.0).abs() < 1e-2, "w = {w}");
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let w = quadratic_descent(&mut Adam::new(0.1), 300);
+        assert!((w - 3.0).abs() < 1e-3, "w = {w}");
+    }
+
+    #[test]
+    fn adam_handles_multiple_params_independently() {
+        let mut store = ParamStore::new();
+        let a = store.new_param("a", Tensor::zeros(1, 1));
+        let b = store.new_param("b", Tensor::full(1, 1, 10.0));
+        let mut adam = Adam::new(0.2);
+        for _ in 0..400 {
+            store.zero_grads();
+            let mut t = Tape::new();
+            let av = t.param(&a);
+            let bv = t.param(&b);
+            let da = t.shift(av, -1.0);
+            let db = t.shift(bv, 2.0);
+            let la = t.hadamard(da, da);
+            let lb = t.hadamard(db, db);
+            let loss = t.add(la, lb);
+            t.backward(loss);
+            adam.step(&store);
+        }
+        assert!((a.value()[(0, 0)] - 1.0).abs() < 1e-2);
+        assert!((b.value()[(0, 0)] + 2.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn step_without_grads_is_stable() {
+        let mut store = ParamStore::new();
+        let w = store.new_param("w", Tensor::ones(2, 2));
+        let mut adam = Adam::new(0.1);
+        adam.step(&store); // zero gradients -> value unchanged
+        hap_tensor::testutil::assert_close(&w.value(), &Tensor::ones(2, 2), 1e-12);
+    }
+}

@@ -1,0 +1,91 @@
+//! Error type for shape-sensitive tensor operations.
+
+use std::fmt;
+
+/// A shape incompatibility between tensor operands.
+///
+/// Carried by the `try_*` family of operations on [`crate::Tensor`]. The
+/// panicking convenience wrappers format this error into their panic
+/// message, so diagnostics are identical on both paths.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShapeError {
+    /// Name of the operation that failed (e.g. `"matmul"`).
+    pub op: &'static str,
+    /// Shape of the left/primary operand.
+    pub lhs: (usize, usize),
+    /// Shape of the right/secondary operand, when the operation is binary.
+    pub rhs: Option<(usize, usize)>,
+    /// Human-readable description of the constraint that was violated.
+    pub detail: String,
+}
+
+impl ShapeError {
+    pub(crate) fn binary(
+        op: &'static str,
+        lhs: (usize, usize),
+        rhs: (usize, usize),
+        detail: impl Into<String>,
+    ) -> Self {
+        Self {
+            op,
+            lhs,
+            rhs: Some(rhs),
+            detail: detail.into(),
+        }
+    }
+
+    pub(crate) fn unary(
+        op: &'static str,
+        lhs: (usize, usize),
+        detail: impl Into<String>,
+    ) -> Self {
+        Self {
+            op,
+            lhs,
+            rhs: None,
+            detail: detail.into(),
+        }
+    }
+}
+
+impl fmt::Display for ShapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.rhs {
+            Some(rhs) => write!(
+                f,
+                "{}: incompatible shapes {:?} and {:?}: {}",
+                self.op, self.lhs, rhs, self.detail
+            ),
+            None => write!(
+                f,
+                "{}: invalid shape {:?}: {}",
+                self.op, self.lhs, self.detail
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ShapeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_binary_mentions_both_shapes() {
+        let e = ShapeError::binary("matmul", (2, 3), (4, 5), "inner dims differ");
+        let s = e.to_string();
+        assert!(s.contains("matmul"), "{s}");
+        assert!(s.contains("(2, 3)"), "{s}");
+        assert!(s.contains("(4, 5)"), "{s}");
+        assert!(s.contains("inner dims differ"), "{s}");
+    }
+
+    #[test]
+    fn display_unary_mentions_shape() {
+        let e = ShapeError::unary("softmax_rows", (0, 3), "empty tensor");
+        let s = e.to_string();
+        assert!(s.contains("softmax_rows"), "{s}");
+        assert!(s.contains("(0, 3)"), "{s}");
+    }
+}

@@ -1,0 +1,58 @@
+//! # hap-tensor
+//!
+//! Dense 2-D matrix (`Tensor`) substrate for the HAP reproduction.
+//!
+//! The whole HAP stack — autograd, neural-network layers, GNN message
+//! passing, the MOA attention mechanism — operates on dense `f64` matrices.
+//! Graphs in the paper's evaluation are small (tens to a few hundred nodes),
+//! so a straightforward row-major dense representation is both simpler and
+//! faster than a sparse one at this scale, and it matches the paper's own
+//! formulation of the coarsening module (Eqs. 13–19 are dense matrix
+//! products).
+//!
+//! Design notes:
+//! * Shapes are `(rows, cols)`; storage is row-major `Vec<f64>`.
+//! * Fallible construction and shape-sensitive operations come in two
+//!   flavours: `try_*` methods returning [`Result`]`<`[`Tensor`]`,`
+//!   [`ShapeError`]`>`, and panicking convenience wrappers (including the
+//!   `std::ops` operator impls) for call sites where a mismatch is a
+//!   programming error. The panicking wrappers always report both shapes.
+//! * Random constructors take an explicit `&mut impl Rng` so every consumer
+//!   of the library is deterministic under a seed.
+
+mod error;
+mod ops;
+mod tensor;
+
+pub use error::ShapeError;
+pub use tensor::Tensor;
+
+/// Numeric tolerance helpers shared by tests across the workspace.
+pub mod testutil {
+    use crate::Tensor;
+
+    /// Asserts two tensors are elementwise equal within `tol`.
+    ///
+    /// # Panics
+    /// Panics with a diagnostic message naming the first offending element
+    /// when the shapes differ or any element pair differs by more than
+    /// `tol`.
+    pub fn assert_close(a: &Tensor, b: &Tensor, tol: f64) {
+        assert_eq!(
+            a.shape(),
+            b.shape(),
+            "shape mismatch: {:?} vs {:?}",
+            a.shape(),
+            b.shape()
+        );
+        for r in 0..a.rows() {
+            for c in 0..a.cols() {
+                let (x, y) = (a[(r, c)], b[(r, c)]);
+                assert!(
+                    (x - y).abs() <= tol,
+                    "tensors differ at ({r},{c}): {x} vs {y} (tol {tol})"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,567 @@
+//! Linear-algebra and elementwise operations on [`Tensor`].
+//!
+//! Every shape-sensitive operation has a `try_*` form returning
+//! `Result<Tensor, ShapeError>`; the short names (and the `std::ops`
+//! operator impls) panic with the same diagnostic. The panicking forms are
+//! what the autograd layer uses internally — by the time a tape executes,
+//! shapes have already been validated at graph-construction time.
+
+use crate::{ShapeError, Tensor};
+use std::ops::{Add, Mul, Neg, Sub};
+
+impl Tensor {
+    // ----- matrix multiplication ----------------------------------------
+
+    /// Matrix product `self · rhs`.
+    pub fn try_matmul(&self, rhs: &Tensor) -> Result<Tensor, ShapeError> {
+        if self.cols() != rhs.rows() {
+            return Err(ShapeError::binary(
+                "matmul",
+                self.shape(),
+                rhs.shape(),
+                "inner dimensions must agree",
+            ));
+        }
+        let (n, k, m) = (self.rows(), self.cols(), rhs.cols());
+        let mut out = Tensor::zeros(n, m);
+        // ikj loop order: the inner loop streams over contiguous rows of
+        // `rhs` and `out`, which the Rust Performance Book's data-locality
+        // guidance favours over the naive ijk order.
+        for i in 0..n {
+            let a_row = self.row(i);
+            let out_row = out.row_mut(i);
+            for (p, &a_ip) in a_row.iter().enumerate().take(k) {
+                if a_ip == 0.0 {
+                    continue; // adjacency matrices are mostly zeros
+                }
+                let b_row = &rhs.as_slice()[p * m..(p + 1) * m];
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a_ip * b;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Panicking variant of [`Tensor::try_matmul`].
+    pub fn matmul(&self, rhs: &Tensor) -> Tensor {
+        self.try_matmul(rhs).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> Tensor {
+        let mut out = Tensor::zeros(self.cols(), self.rows());
+        for r in 0..self.rows() {
+            for c in 0..self.cols() {
+                out[(c, r)] = self[(r, c)];
+            }
+        }
+        out
+    }
+
+    // ----- elementwise binary ops ---------------------------------------
+
+    fn zip_with(
+        &self,
+        rhs: &Tensor,
+        op_name: &'static str,
+        f: impl Fn(f64, f64) -> f64,
+    ) -> Result<Tensor, ShapeError> {
+        if self.shape() != rhs.shape() {
+            return Err(ShapeError::binary(
+                op_name,
+                self.shape(),
+                rhs.shape(),
+                "elementwise operands must have identical shapes",
+            ));
+        }
+        let data = self
+            .as_slice()
+            .iter()
+            .zip(rhs.as_slice())
+            .map(|(&a, &b)| f(a, b))
+            .collect();
+        Ok(Tensor::from_vec(self.rows(), self.cols(), data))
+    }
+
+    /// Elementwise sum.
+    pub fn try_add(&self, rhs: &Tensor) -> Result<Tensor, ShapeError> {
+        self.zip_with(rhs, "add", |a, b| a + b)
+    }
+
+    /// Elementwise difference.
+    pub fn try_sub(&self, rhs: &Tensor) -> Result<Tensor, ShapeError> {
+        self.zip_with(rhs, "sub", |a, b| a - b)
+    }
+
+    /// Elementwise (Hadamard) product.
+    pub fn try_hadamard(&self, rhs: &Tensor) -> Result<Tensor, ShapeError> {
+        self.zip_with(rhs, "hadamard", |a, b| a * b)
+    }
+
+    /// Panicking variant of [`Tensor::try_hadamard`].
+    pub fn hadamard(&self, rhs: &Tensor) -> Tensor {
+        self.try_hadamard(rhs).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Elementwise division.
+    pub fn try_div(&self, rhs: &Tensor) -> Result<Tensor, ShapeError> {
+        self.zip_with(rhs, "div", |a, b| a / b)
+    }
+
+    // ----- scalar & map ops ---------------------------------------------
+
+    /// Applies `f` to each element.
+    pub fn map(&self, f: impl Fn(f64) -> f64) -> Tensor {
+        let data = self.as_slice().iter().map(|&x| f(x)).collect();
+        Tensor::from_vec(self.rows(), self.cols(), data)
+    }
+
+    /// Multiplies every element by `s`.
+    pub fn scale(&self, s: f64) -> Tensor {
+        self.map(|x| x * s)
+    }
+
+    /// Adds `s` to every element.
+    pub fn shift(&self, s: f64) -> Tensor {
+        self.map(|x| x + s)
+    }
+
+    // ----- broadcasting -------------------------------------------------
+
+    /// Adds a `1 × cols` row vector to every row.
+    pub fn try_add_row(&self, row: &Tensor) -> Result<Tensor, ShapeError> {
+        if row.rows() != 1 || row.cols() != self.cols() {
+            return Err(ShapeError::binary(
+                "add_row",
+                self.shape(),
+                row.shape(),
+                "broadcast operand must be 1 × cols",
+            ));
+        }
+        let mut out = self.clone();
+        for r in 0..out.rows() {
+            for (o, &b) in out.row_mut(r).iter_mut().zip(row.as_slice()) {
+                *o += b;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Panicking variant of [`Tensor::try_add_row`].
+    pub fn add_row(&self, row: &Tensor) -> Tensor {
+        self.try_add_row(row).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Adds a `rows × 1` column vector to every column.
+    pub fn try_add_col(&self, col: &Tensor) -> Result<Tensor, ShapeError> {
+        if col.cols() != 1 || col.rows() != self.rows() {
+            return Err(ShapeError::binary(
+                "add_col",
+                self.shape(),
+                col.shape(),
+                "broadcast operand must be rows × 1",
+            ));
+        }
+        let mut out = self.clone();
+        for r in 0..out.rows() {
+            let b = col[(r, 0)];
+            for o in out.row_mut(r) {
+                *o += b;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Panicking variant of [`Tensor::try_add_col`].
+    pub fn add_col(&self, col: &Tensor) -> Tensor {
+        self.try_add_col(col).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Multiplies every row elementwise by a `1 × cols` row vector.
+    pub fn try_mul_row(&self, row: &Tensor) -> Result<Tensor, ShapeError> {
+        if row.rows() != 1 || row.cols() != self.cols() {
+            return Err(ShapeError::binary(
+                "mul_row",
+                self.shape(),
+                row.shape(),
+                "broadcast operand must be 1 × cols",
+            ));
+        }
+        let mut out = self.clone();
+        for r in 0..out.rows() {
+            for (o, &b) in out.row_mut(r).iter_mut().zip(row.as_slice()) {
+                *o *= b;
+            }
+        }
+        Ok(out)
+    }
+
+    // ----- concatenation & slicing --------------------------------------
+
+    /// Horizontal concatenation `[self ‖ rhs]` (same row count).
+    pub fn try_hstack(&self, rhs: &Tensor) -> Result<Tensor, ShapeError> {
+        if self.rows() != rhs.rows() {
+            return Err(ShapeError::binary(
+                "hstack",
+                self.shape(),
+                rhs.shape(),
+                "row counts must agree",
+            ));
+        }
+        let mut out = Tensor::zeros(self.rows(), self.cols() + rhs.cols());
+        for r in 0..self.rows() {
+            out.row_mut(r)[..self.cols()].copy_from_slice(self.row(r));
+            out.row_mut(r)[self.cols()..].copy_from_slice(rhs.row(r));
+        }
+        Ok(out)
+    }
+
+    /// Panicking variant of [`Tensor::try_hstack`].
+    pub fn hstack(&self, rhs: &Tensor) -> Tensor {
+        self.try_hstack(rhs).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Vertical concatenation (same column count).
+    pub fn try_vstack(&self, rhs: &Tensor) -> Result<Tensor, ShapeError> {
+        if self.cols() != rhs.cols() {
+            return Err(ShapeError::binary(
+                "vstack",
+                self.shape(),
+                rhs.shape(),
+                "column counts must agree",
+            ));
+        }
+        let mut data = Vec::with_capacity(self.len() + rhs.len());
+        data.extend_from_slice(self.as_slice());
+        data.extend_from_slice(rhs.as_slice());
+        Ok(Tensor::from_vec(self.rows() + rhs.rows(), self.cols(), data))
+    }
+
+    /// Panicking variant of [`Tensor::try_vstack`].
+    pub fn vstack(&self, rhs: &Tensor) -> Tensor {
+        self.try_vstack(rhs).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Copies rows `[start, end)` into a new tensor.
+    ///
+    /// # Panics
+    /// Panics when the range is out of bounds or reversed.
+    pub fn slice_rows(&self, start: usize, end: usize) -> Tensor {
+        assert!(
+            start <= end && end <= self.rows(),
+            "slice_rows: invalid range {start}..{end} for {} rows",
+            self.rows()
+        );
+        let data = self.as_slice()[start * self.cols()..end * self.cols()].to_vec();
+        Tensor::from_vec(end - start, self.cols(), data)
+    }
+
+    /// Copies columns `[start, end)` into a new tensor.
+    ///
+    /// # Panics
+    /// Panics when the range is out of bounds or reversed.
+    pub fn slice_cols(&self, start: usize, end: usize) -> Tensor {
+        assert!(
+            start <= end && end <= self.cols(),
+            "slice_cols: invalid range {start}..{end} for {} cols",
+            self.cols()
+        );
+        let mut out = Tensor::zeros(self.rows(), end - start);
+        for r in 0..self.rows() {
+            out.row_mut(r).copy_from_slice(&self.row(r)[start..end]);
+        }
+        out
+    }
+
+    /// Gathers the listed rows, in order, into a new tensor.
+    ///
+    /// # Panics
+    /// Panics when any index is out of bounds.
+    pub fn gather_rows(&self, indices: &[usize]) -> Tensor {
+        let mut out = Tensor::zeros(indices.len(), self.cols());
+        for (i, &r) in indices.iter().enumerate() {
+            out.row_mut(i).copy_from_slice(self.row(r));
+        }
+        out
+    }
+
+    // ----- reductions ----------------------------------------------------
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f64 {
+        self.as_slice().iter().sum()
+    }
+
+    /// Mean of all elements (`NaN` for empty tensors).
+    pub fn mean(&self) -> f64 {
+        self.sum() / self.len() as f64
+    }
+
+    /// Maximum element (`-inf` for empty tensors).
+    pub fn max(&self) -> f64 {
+        self.as_slice().iter().copied().fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Minimum element (`+inf` for empty tensors).
+    pub fn min(&self) -> f64 {
+        self.as_slice().iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Per-row sums as an `rows × 1` column vector.
+    pub fn row_sums(&self) -> Tensor {
+        let sums: Vec<f64> = (0..self.rows()).map(|r| self.row(r).iter().sum()).collect();
+        Tensor::col_vector(&sums)
+    }
+
+    /// Per-column sums as a `1 × cols` row vector.
+    pub fn col_sums(&self) -> Tensor {
+        let mut sums = vec![0.0; self.cols()];
+        for r in 0..self.rows() {
+            for (s, &x) in sums.iter_mut().zip(self.row(r)) {
+                *s += x;
+            }
+        }
+        Tensor::row_vector(&sums)
+    }
+
+    /// Per-column means as a `1 × cols` row vector.
+    pub fn col_means(&self) -> Tensor {
+        self.col_sums().scale(1.0 / self.rows() as f64)
+    }
+
+    /// Per-row means as an `rows × 1` column vector.
+    pub fn row_means(&self) -> Tensor {
+        self.row_sums().scale(1.0 / self.cols() as f64)
+    }
+
+    /// Per-column elementwise maxima as a `1 × cols` row vector.
+    pub fn col_maxes(&self) -> Tensor {
+        let mut maxes = vec![f64::NEG_INFINITY; self.cols()];
+        for r in 0..self.rows() {
+            for (m, &x) in maxes.iter_mut().zip(self.row(r)) {
+                *m = m.max(x);
+            }
+        }
+        Tensor::row_vector(&maxes)
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.as_slice().iter().map(|x| x * x).sum::<f64>().sqrt()
+    }
+
+    /// Squared Euclidean distance between two same-shape tensors.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn squared_distance(&self, rhs: &Tensor) -> f64 {
+        assert_eq!(
+            self.shape(),
+            rhs.shape(),
+            "squared_distance: shapes {:?} vs {:?}",
+            self.shape(),
+            rhs.shape()
+        );
+        self.as_slice()
+            .iter()
+            .zip(rhs.as_slice())
+            .map(|(&a, &b)| (a - b) * (a - b))
+            .sum()
+    }
+
+    // ----- numerically-stable softmax -----------------------------------
+
+    /// Row-wise softmax with the standard max-subtraction stabilisation.
+    pub fn softmax_rows(&self) -> Tensor {
+        let mut out = self.clone();
+        for r in 0..out.rows() {
+            let row = out.row_mut(r);
+            let m = row.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            let mut z = 0.0;
+            for x in row.iter_mut() {
+                *x = (*x - m).exp();
+                z += *x;
+            }
+            for x in row.iter_mut() {
+                *x /= z;
+            }
+        }
+        out
+    }
+
+    /// Checks all elements are finite (no NaN/inf) — used as a training
+    /// sanity assertion.
+    pub fn all_finite(&self) -> bool {
+        self.as_slice().iter().all(|x| x.is_finite())
+    }
+}
+
+// ----- operator impls (panicking, by reference) ------------------------
+
+impl Add for &Tensor {
+    type Output = Tensor;
+    fn add(self, rhs: &Tensor) -> Tensor {
+        self.try_add(rhs).unwrap_or_else(|e| panic!("{e}"))
+    }
+}
+
+impl Sub for &Tensor {
+    type Output = Tensor;
+    fn sub(self, rhs: &Tensor) -> Tensor {
+        self.try_sub(rhs).unwrap_or_else(|e| panic!("{e}"))
+    }
+}
+
+impl Mul<f64> for &Tensor {
+    type Output = Tensor;
+    fn mul(self, s: f64) -> Tensor {
+        self.scale(s)
+    }
+}
+
+impl Neg for &Tensor {
+    type Output = Tensor;
+    fn neg(self) -> Tensor {
+        self.scale(-1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::testutil::assert_close;
+    use crate::Tensor;
+
+    #[test]
+    fn matmul_small_known_result() {
+        let a = Tensor::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let b = Tensor::from_rows(&[vec![5.0, 6.0], vec![7.0, 8.0]]);
+        let c = a.matmul(&b);
+        let expect = Tensor::from_rows(&[vec![19.0, 22.0], vec![43.0, 50.0]]);
+        assert_close(&c, &expect, 1e-12);
+    }
+
+    #[test]
+    fn matmul_identity_is_noop() {
+        let a = Tensor::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]);
+        assert_close(&a.matmul(&Tensor::eye(3)), &a, 1e-12);
+        assert_close(&Tensor::eye(2).matmul(&a), &a, 1e-12);
+    }
+
+    #[test]
+    fn matmul_rejects_bad_inner_dim() {
+        let a = Tensor::zeros(2, 3);
+        let b = Tensor::zeros(2, 3);
+        assert!(a.try_matmul(&b).is_err());
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = Tensor::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]);
+        let t = a.transpose();
+        assert_eq!(t.shape(), (3, 2));
+        assert_eq!(t[(2, 1)], 6.0);
+        assert_close(&t.transpose(), &a, 1e-12);
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = Tensor::from_rows(&[vec![1.0, 2.0]]);
+        let b = Tensor::from_rows(&[vec![3.0, 4.0]]);
+        assert_close(&(&a + &b), &Tensor::from_rows(&[vec![4.0, 6.0]]), 1e-12);
+        assert_close(&(&a - &b), &Tensor::from_rows(&[vec![-2.0, -2.0]]), 1e-12);
+        assert_close(&a.hadamard(&b), &Tensor::from_rows(&[vec![3.0, 8.0]]), 1e-12);
+        assert_close(
+            &a.try_div(&b).unwrap(),
+            &Tensor::from_rows(&[vec![1.0 / 3.0, 0.5]]),
+            1e-12,
+        );
+    }
+
+    #[test]
+    fn broadcasting_row_and_col() {
+        let a = Tensor::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let row = Tensor::row_vector(&[10.0, 20.0]);
+        let col = Tensor::col_vector(&[100.0, 200.0]);
+        assert_close(
+            &a.add_row(&row),
+            &Tensor::from_rows(&[vec![11.0, 22.0], vec![13.0, 24.0]]),
+            1e-12,
+        );
+        assert_close(
+            &a.add_col(&col),
+            &Tensor::from_rows(&[vec![101.0, 102.0], vec![203.0, 204.0]]),
+            1e-12,
+        );
+        assert!(a.try_add_row(&col).is_err());
+        assert!(a.try_add_col(&row).is_err());
+    }
+
+    #[test]
+    fn stacking() {
+        let a = Tensor::from_rows(&[vec![1.0], vec![2.0]]);
+        let b = Tensor::from_rows(&[vec![3.0], vec![4.0]]);
+        let h = a.hstack(&b);
+        assert_eq!(h.shape(), (2, 2));
+        assert_eq!(h.row(0), &[1.0, 3.0]);
+        let v = a.vstack(&b);
+        assert_eq!(v.shape(), (4, 1));
+        assert_eq!(v.col(0), vec![1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn slicing_and_gather() {
+        let a = Tensor::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0], vec![7.0, 8.0, 9.0]]);
+        assert_close(
+            &a.slice_rows(1, 3),
+            &Tensor::from_rows(&[vec![4.0, 5.0, 6.0], vec![7.0, 8.0, 9.0]]),
+            1e-12,
+        );
+        assert_close(
+            &a.slice_cols(0, 2),
+            &Tensor::from_rows(&[vec![1.0, 2.0], vec![4.0, 5.0], vec![7.0, 8.0]]),
+            1e-12,
+        );
+        assert_close(
+            &a.gather_rows(&[2, 0]),
+            &Tensor::from_rows(&[vec![7.0, 8.0, 9.0], vec![1.0, 2.0, 3.0]]),
+            1e-12,
+        );
+    }
+
+    #[test]
+    fn reductions() {
+        let a = Tensor::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        assert_eq!(a.sum(), 10.0);
+        assert_eq!(a.mean(), 2.5);
+        assert_eq!(a.max(), 4.0);
+        assert_eq!(a.min(), 1.0);
+        assert_close(&a.row_sums(), &Tensor::col_vector(&[3.0, 7.0]), 1e-12);
+        assert_close(&a.col_sums(), &Tensor::row_vector(&[4.0, 6.0]), 1e-12);
+        assert_close(&a.col_maxes(), &Tensor::row_vector(&[3.0, 4.0]), 1e-12);
+        assert!((a.frobenius_norm() - 30.0_f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn softmax_rows_sums_to_one_and_is_stable() {
+        let a = Tensor::from_rows(&[vec![1.0, 2.0, 3.0], vec![1000.0, 1000.0, 1000.0]]);
+        let s = a.softmax_rows();
+        for r in 0..2 {
+            let sum: f64 = s.row(r).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-12);
+        }
+        // huge logits must not overflow
+        assert!(s.all_finite());
+        // uniform logits -> uniform distribution
+        assert!((s[(1, 0)] - 1.0 / 3.0).abs() < 1e-12);
+        // monotone: bigger logit, bigger probability
+        assert!(s[(0, 2)] > s[(0, 1)] && s[(0, 1)] > s[(0, 0)]);
+    }
+
+    #[test]
+    fn squared_distance_matches_manual() {
+        let a = Tensor::row_vector(&[1.0, 2.0]);
+        let b = Tensor::row_vector(&[4.0, 6.0]);
+        assert_eq!(a.squared_distance(&b), 9.0 + 16.0);
+    }
+}

@@ -1,0 +1,18 @@
+//! # hap-train
+//!
+//! The training harness shared by every experiment: seeded runs,
+//! per-graph gradient accumulation (graphs have variable `N`, so
+//! "batching" means accumulating gradients over a mini-batch of separate
+//! tapes before one Adam step — the standard PyG pattern), gradient
+//! clipping, best-validation checkpointing and early stopping.
+//!
+//! The harness is model-agnostic: tasks supply a `loss_fn` (build a tape,
+//! return the scalar loss) and an `eval_fn` (0/1 correctness per sample),
+//! so HAP, every Table 3 baseline, GMN, SimGNN and the Table 5 ablations
+//! all train through the same code path.
+
+mod metrics;
+mod trainer;
+
+pub use metrics::accuracy;
+pub use trainer::{train, EvalFn, LossFn, TrainConfig, TrainReport};

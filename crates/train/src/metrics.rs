@@ -1,0 +1,21 @@
+//! Evaluation metrics.
+
+/// Fraction of correct predictions. Returns 0 for an empty slice.
+pub fn accuracy(correct: &[bool]) -> f64 {
+    if correct.is_empty() {
+        return 0.0;
+    }
+    correct.iter().filter(|&&c| c).count() as f64 / correct.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::accuracy;
+
+    #[test]
+    fn basic_fractions() {
+        assert_eq!(accuracy(&[]), 0.0);
+        assert_eq!(accuracy(&[true, true]), 1.0);
+        assert_eq!(accuracy(&[true, false, false, false]), 0.25);
+    }
+}

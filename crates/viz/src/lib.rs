@@ -1,0 +1,15 @@
+//! # hap-viz
+//!
+//! Visualisation support for the paper's qualitative figures
+//! (Fig. 4 / Fig. 6): an exact O(N²) t-SNE implementation (van der
+//! Maaten & Hinton 2008) over graph-level embeddings, an ASCII scatter
+//! renderer for terminal output, and a CSV writer so coordinates can be
+//! plotted externally.
+
+mod scatter;
+mod silhouette;
+mod tsne;
+
+pub use scatter::{ascii_scatter, write_csv};
+pub use silhouette::silhouette_score;
+pub use tsne::{tsne, TsneConfig};

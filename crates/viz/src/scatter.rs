@@ -1,0 +1,106 @@
+//! Terminal and CSV output for 2-D embeddings.
+
+use hap_tensor::Tensor;
+use std::io::Write;
+use std::path::Path;
+
+/// Glyphs used per class in the ASCII scatter.
+const GLYPHS: &[char] = &['o', 'x', '+', '#', '*', '@', '%', '&'];
+
+/// Renders an `N×2` embedding as an ASCII scatter plot of
+/// `width×height` characters; points are drawn with one glyph per class
+/// label. Overlapping points of different classes show as `?`.
+///
+/// # Panics
+/// Panics when shapes disagree or the canvas is degenerate.
+pub fn ascii_scatter(points: &Tensor, labels: &[usize], width: usize, height: usize) -> String {
+    assert_eq!(points.cols(), 2, "expected N×2 coordinates");
+    assert_eq!(points.rows(), labels.len(), "one label per point");
+    assert!(width >= 8 && height >= 4, "canvas too small");
+    let n = points.rows();
+    if n == 0 {
+        return String::new();
+    }
+    let (mut min_x, mut max_x) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut min_y, mut max_y) = (f64::INFINITY, f64::NEG_INFINITY);
+    for i in 0..n {
+        min_x = min_x.min(points[(i, 0)]);
+        max_x = max_x.max(points[(i, 0)]);
+        min_y = min_y.min(points[(i, 1)]);
+        max_y = max_y.max(points[(i, 1)]);
+    }
+    let span_x = (max_x - min_x).max(1e-9);
+    let span_y = (max_y - min_y).max(1e-9);
+
+    let mut canvas = vec![vec![' '; width]; height];
+    for i in 0..n {
+        let cx = (((points[(i, 0)] - min_x) / span_x) * (width - 1) as f64).round() as usize;
+        // flip y so "up" is up
+        let cy = (((max_y - points[(i, 1)]) / span_y) * (height - 1) as f64).round() as usize;
+        let glyph = GLYPHS[labels[i] % GLYPHS.len()];
+        let cell = &mut canvas[cy][cx];
+        *cell = match *cell {
+            ' ' => glyph,
+            c if c == glyph => c,
+            _ => '?',
+        };
+    }
+    let mut out = String::with_capacity((width + 1) * height);
+    for row in canvas {
+        out.extend(row);
+        out.push('\n');
+    }
+    out
+}
+
+/// Writes `x,y,label` rows to a CSV file for external plotting.
+///
+/// # Errors
+/// Propagates I/O errors from file creation and writing.
+pub fn write_csv(points: &Tensor, labels: &[usize], path: &Path) -> std::io::Result<()> {
+    assert_eq!(points.cols(), 2, "expected N×2 coordinates");
+    assert_eq!(points.rows(), labels.len(), "one label per point");
+    let mut f = std::fs::File::create(path)?;
+    writeln!(f, "x,y,label")?;
+    for i in 0..points.rows() {
+        writeln!(f, "{},{},{}", points[(i, 0)], points[(i, 1)], labels[i])?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scatter_places_points_in_corners() {
+        let pts = Tensor::from_rows(&[vec![0.0, 0.0], vec![1.0, 1.0]]);
+        let s = ascii_scatter(&pts, &[0, 1], 10, 5);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 5);
+        // label 1 at (1,1) is top-right, label 0 at (0,0) is bottom-left
+        assert_eq!(lines[0].chars().last().unwrap(), 'x');
+        assert_eq!(lines[4].chars().next().unwrap(), 'o');
+    }
+
+    #[test]
+    fn overlap_of_different_classes_is_marked() {
+        let pts = Tensor::from_rows(&[vec![0.5, 0.5], vec![0.5, 0.5], vec![0.0, 0.0]]);
+        let s = ascii_scatter(&pts, &[0, 1, 0], 10, 5);
+        assert!(s.contains('?'));
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let pts = Tensor::from_rows(&[vec![1.5, -2.0], vec![0.0, 3.25]]);
+        let dir = std::env::temp_dir().join("hap_viz_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("points.csv");
+        write_csv(&pts, &[0, 1], &path).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = content.lines().collect();
+        assert_eq!(lines[0], "x,y,label");
+        assert_eq!(lines[1], "1.5,-2,0");
+        assert_eq!(lines[2], "0,3.25,1");
+    }
+}

@@ -1,0 +1,104 @@
+//! Silhouette coefficient — a scalar summary of how separated the class
+//! clusters are in an embedding, used to quantify the Fig. 4 / Fig. 6
+//! visual claims ("the separability of the cluster border verifies the
+//! discriminative power").
+
+use hap_tensor::Tensor;
+
+/// Mean silhouette coefficient over all points, in `[-1, 1]`:
+/// `s(i) = (b_i - a_i) / max(a_i, b_i)` with `a_i` the mean distance to
+/// the own class and `b_i` the mean distance to the nearest other class.
+/// Higher is better; 0 ≈ overlapping classes.
+///
+/// Points whose class has a single member get silhouette 0 (scikit-learn
+/// convention).
+///
+/// # Panics
+/// Panics when shapes disagree or fewer than 2 classes are present.
+pub fn silhouette_score(points: &Tensor, labels: &[usize]) -> f64 {
+    let n = points.rows();
+    assert_eq!(n, labels.len(), "one label per point");
+    let classes: std::collections::BTreeSet<usize> = labels.iter().copied().collect();
+    assert!(classes.len() >= 2, "silhouette needs at least 2 classes");
+
+    let dist = |i: usize, j: usize| -> f64 {
+        points
+            .row(i)
+            .iter()
+            .zip(points.row(j))
+            .map(|(&a, &b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt()
+    };
+
+    let mut total = 0.0;
+    for i in 0..n {
+        let own = labels[i];
+        let own_count = labels.iter().filter(|&&l| l == own).count();
+        if own_count <= 1 {
+            continue; // s(i) = 0
+        }
+        // a_i: mean intra-class distance (excluding self)
+        let a: f64 = (0..n)
+            .filter(|&j| j != i && labels[j] == own)
+            .map(|j| dist(i, j))
+            .sum::<f64>()
+            / (own_count - 1) as f64;
+        // b_i: smallest mean distance to another class
+        let b = classes
+            .iter()
+            .filter(|&&c| c != own)
+            .map(|&c| {
+                let members: Vec<usize> = (0..n).filter(|&j| labels[j] == c).collect();
+                members.iter().map(|&j| dist(i, j)).sum::<f64>() / members.len() as f64
+            })
+            .fold(f64::INFINITY, f64::min);
+        total += (b - a) / a.max(b);
+    }
+    total / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn well_separated_blobs_score_high() {
+        let pts = Tensor::from_rows(&[
+            vec![0.0, 0.0],
+            vec![0.1, 0.1],
+            vec![0.0, 0.1],
+            vec![10.0, 10.0],
+            vec![10.1, 10.0],
+            vec![10.0, 10.1],
+        ]);
+        let s = silhouette_score(&pts, &[0, 0, 0, 1, 1, 1]);
+        assert!(s > 0.9, "separated blobs scored {s}");
+    }
+
+    #[test]
+    fn interleaved_points_score_low() {
+        let pts = Tensor::from_rows(&[
+            vec![0.0, 0.0],
+            vec![1.0, 0.0],
+            vec![2.0, 0.0],
+            vec![3.0, 0.0],
+        ]);
+        let s = silhouette_score(&pts, &[0, 1, 0, 1]);
+        assert!(s < 0.2, "interleaved points scored {s}");
+    }
+
+    #[test]
+    fn singleton_class_counts_as_zero() {
+        let pts = Tensor::from_rows(&[vec![0.0, 0.0], vec![5.0, 5.0], vec![5.1, 5.0]]);
+        let s = silhouette_score(&pts, &[0, 1, 1]);
+        assert!(s.is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 classes")]
+    fn rejects_single_class() {
+        let pts = Tensor::from_rows(&[vec![0.0], vec![1.0]]);
+        silhouette_score(&pts, &[0, 0]);
+    }
+}

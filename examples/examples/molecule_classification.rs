@@ -1,0 +1,126 @@
+//! Molecule classification with high-order structure — the MUTAG
+//! scenario from the paper's introduction.
+//!
+//! Both classes of the MUTAG-like molecules contain *identical* local
+//! substructures (carbon rings, a bridge bond, two nitro groups); the
+//! label depends only on whether the two nitro groups sit on the same
+//! ring. This example trains HAP next to a plain mean-pooling baseline
+//! and shows the gap a high-order-aware pooler opens on exactly this kind
+//! of data (Sec. 6.2's MUTAG discussion).
+//!
+//! ```text
+//! cargo run --release -p hap-examples --example molecule_classification
+//! ```
+
+use hap_autograd::ParamStore;
+use hap_core::{HapClassifier, HapConfig, HapModel};
+use hap_graph::bfs_distances;
+use hap_pooling::{BaselineKind, PoolingClassifier};
+use hap_train::{train, TrainConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(11);
+    let ds = hap_data::mutag(140, &mut rng);
+
+    // Show the discriminative signal explicitly.
+    println!("== The MUTAG-like signal ==");
+    for (i, s) in ds.samples.iter().take(4).enumerate() {
+        let labels = s.graph.node_labels().expect("labelled molecules");
+        let nitros: Vec<usize> = (0..s.graph.n()).filter(|&u| labels[u] == 1).collect();
+        let d = bfs_distances(&s.graph, nitros[0])[nitros[1]];
+        println!(
+            "molecule {i}: class {} — nitro-nitro graph distance {d}",
+            s.label
+        );
+    }
+    println!("(class 1 = same ring → short distance; class 0 = different rings)\n");
+
+    // Train each model over three seeds and compare mean test accuracy —
+    // single 14-sample test splits are too noisy to compare methods.
+    let seeds = [11u64, 12, 13];
+    let mut hap_acc = 0.0;
+    let mut mean_acc = 0.0;
+    for &seed in &seeds {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (train_idx, val_idx, test_idx) = hap_data::split_811(ds.samples.len(), &mut rng);
+        // the deep coarsening stack needs a gentler rate than flat
+        // baselines (see DESIGN.md's hyper-parameter note)
+        let tcfg = TrainConfig {
+            epochs: 50,
+            lr: 0.003,
+            seed,
+            patience: None,
+            ..TrainConfig::default()
+        };
+        let tcfg_flat = TrainConfig {
+            epochs: 50,
+            lr: 0.01,
+            seed,
+            patience: None,
+            ..TrainConfig::default()
+        };
+
+        // --- HAP -------------------------------------------------------
+        let mut store = ParamStore::new();
+        let cfg = HapConfig::new(ds.feature_dim, 16).with_clusters(&[8, 4]);
+        let model = HapModel::new(&mut store, &cfg, &mut rng);
+        let hap = HapClassifier::new(&mut store, model, ds.num_classes, &mut rng);
+        hap_acc += train(
+            &store,
+            &tcfg,
+            &train_idx,
+            &val_idx,
+            &test_idx,
+            &mut |tape, i, ctx| {
+                let s = &ds.samples[i];
+                hap.loss(tape, &s.graph, &s.features, s.label, ctx)
+            },
+            &mut |i, ctx| {
+                let s = &ds.samples[i];
+                hap.predict(&s.graph, &s.features, ctx) == s.label
+            },
+        )
+        .test_metric;
+
+        // --- MeanPool baseline -------------------------------------------
+        let mut store = ParamStore::new();
+        let mean = PoolingClassifier::new(
+            &mut store,
+            BaselineKind::MeanPool,
+            ds.feature_dim,
+            16,
+            ds.num_classes,
+            &mut rng,
+        );
+        mean_acc += train(
+            &store,
+            &tcfg_flat,
+            &train_idx,
+            &val_idx,
+            &test_idx,
+            &mut |tape, i, ctx| {
+                let s = &ds.samples[i];
+                let logits = mean.logits(tape, &s.graph, &s.features, ctx);
+                hap_nn::cross_entropy_logits(tape, logits, &[s.label])
+            },
+            &mut |i, ctx| {
+                let s = &ds.samples[i];
+                mean.predict(&s.graph, &s.features, ctx) == s.label
+            },
+        )
+        .test_metric;
+    }
+
+    println!("== Mean test accuracy over {} seeds ==", seeds.len());
+    println!("HAP      : {:.1}%", hap_acc / seeds.len() as f64 * 100.0);
+    println!("MeanPool : {:.1}%", mean_acc / seeds.len() as f64 * 100.0);
+    println!(
+        "\nThe nitro arrangement reaches a mean-pooled embedding only second\n\
+         hand — the GCN must first fold it into node features, where a\n\
+         global average dilutes it by 1/N. HAP's coarsening keeps the\n\
+         cluster structure that encodes the arrangement directly; at the\n\
+         paper's training scale the gap is 95.0 vs 85.0 (Table 3)."
+    );
+}

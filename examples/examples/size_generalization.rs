@@ -1,0 +1,46 @@
+//! Size generalization — the paper's protein-motivated scenario
+//! (Sec. 6.5.3): train a matcher on small graphs, apply it to graphs an
+//! order of magnitude larger.
+//!
+//! GCont is a transformation of the *feature* space (`T ∈ R^{F×N'}`), so
+//! a trained HAP accepts any node count; this example demonstrates that
+//! property and measures the accuracy drop from |V|≈20–50 to |V|=120.
+//!
+//! ```text
+//! cargo run --release -p hap-examples --example size_generalization
+//! ```
+
+use hap_bench::{train_hap_matcher, MatchEval};
+use hap_core::AblationKind;
+use hap_data::MatchingPair;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let seed = 31;
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // mixed-size training corpus, 20 <= |V| <= 50
+    let mut train_pairs: Vec<MatchingPair> = Vec::new();
+    for n in [20usize, 30, 40, 50] {
+        train_pairs.extend(hap_data::matching_corpus(50, n, &mut rng));
+    }
+    println!("training on {} pairs with 20 <= |V| <= 50 …", train_pairs.len());
+    let model = train_hap_matcher(&train_pairs, AblationKind::Hap, &[8, 4], 16, 12, seed);
+
+    // in-distribution check
+    let eval_small = hap_data::matching_corpus(40, 30, &mut rng);
+    let acc_small = model.matching_accuracy(&eval_small, seed);
+    println!("in-distribution  (|V|=30): {:.1}%", acc_small * 100.0);
+
+    // out-of-distribution: much larger graphs, same feature form
+    for n in [80usize, 120] {
+        let eval_large = hap_data::matching_corpus(30, n, &mut rng);
+        let acc = model.matching_accuracy(&eval_large, seed);
+        println!("generalization  (|V|={n}): {:.1}%", acc * 100.0);
+    }
+    println!(
+        "\nThe same parameters process every size because GCont and MOA \
+         depend only on the feature dimension, never on |V| (Sec. 4.4)."
+    );
+}
