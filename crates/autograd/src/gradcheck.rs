@@ -40,11 +40,7 @@ pub fn finite_difference_grad(
 /// `build` receives a tape and the input variable and must return the
 /// scalar output variable. Panics (with per-element diagnostics) when the
 /// analytic and numeric gradients disagree beyond `tol`.
-pub fn check_unary_op(
-    input: Tensor,
-    tol: f64,
-    mut build: impl FnMut(&mut Tape, Var) -> Var,
-) {
+pub fn check_unary_op(input: Tensor, tol: f64, mut build: impl FnMut(&mut Tape, Var) -> Var) {
     let mut tape = Tape::new();
     let x = tape.constant(input.clone());
     let out = build(&mut tape, x);
@@ -90,17 +86,16 @@ pub fn check_param_grad(param: &Param, tol: f64, mut build: impl FnMut(&mut Tape
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use hap_rand::Rng;
 
     fn rand_input(rows: usize, cols: usize, seed: u64) -> Tensor {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng::from_seed(seed);
         Tensor::rand_uniform(rows, cols, -1.0, 1.0, &mut rng)
     }
 
     /// Positive-valued input for ln/sqrt checks.
     fn rand_positive(rows: usize, cols: usize, seed: u64) -> Tensor {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng::from_seed(seed);
         Tensor::rand_uniform(rows, cols, 0.5, 2.0, &mut rng)
     }
 
@@ -306,7 +301,7 @@ mod tests {
 
     #[test]
     fn gradcheck_param_through_two_layer_net() {
-        let mut rng = StdRng::seed_from_u64(42);
+        let mut rng = Rng::from_seed(42);
         let w1 = Param::new("w1", Tensor::rand_uniform(3, 4, -1.0, 1.0, &mut rng));
         let w2 = Param::new("w2", Tensor::rand_uniform(4, 2, -1.0, 1.0, &mut rng));
         let x = Tensor::rand_uniform(2, 3, -1.0, 1.0, &mut rng);

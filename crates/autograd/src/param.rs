@@ -223,7 +223,13 @@ impl ParamStore {
         writeln!(f, "hap-params v1 {}", self.params.len())?;
         for p in &self.params {
             let v = p.value();
-            writeln!(f, "{} {} {}", p.name().replace(' ', "_"), v.rows(), v.cols())?;
+            writeln!(
+                f,
+                "{} {} {}",
+                p.name().replace(' ', "_"),
+                v.rows(),
+                v.cols()
+            )?;
             let vals: Vec<String> = v.as_slice().iter().map(|x| format!("{x:?}")).collect();
             writeln!(f, "{}", vals.join(" "))?;
         }
@@ -267,8 +273,10 @@ impl ParamStore {
                 )));
             }
             let vals_line = lines.next().ok_or_else(|| bad("missing values"))?;
-            let vals: Result<Vec<f64>, _> =
-                vals_line.split_whitespace().map(str::parse::<f64>).collect();
+            let vals: Result<Vec<f64>, _> = vals_line
+                .split_whitespace()
+                .map(str::parse::<f64>)
+                .collect();
             let vals = vals.map_err(|_| bad("unparseable value"))?;
             if vals.len() != rows * cols {
                 return Err(bad("value count mismatch"));
@@ -334,7 +342,10 @@ mod tests {
     #[test]
     fn save_load_roundtrip() {
         let mut store = ParamStore::new();
-        let a = store.new_param("layer.w", Tensor::from_rows(&[vec![1.5, -2.25], vec![0.0, 3.125]]));
+        let a = store.new_param(
+            "layer.w",
+            Tensor::from_rows(&[vec![1.5, -2.25], vec![0.0, 3.125]]),
+        );
         let b = store.new_param("layer.b", Tensor::row_vector(&[0.1, -0.2, 1e-12]));
         let dir = std::env::temp_dir().join("hap_param_test");
         std::fs::create_dir_all(&dir).unwrap();

@@ -220,7 +220,9 @@ impl Tape {
     /// LeakyReLU with negative slope `alpha` (paper Definition 5.2, slope
     /// `1/a`).
     pub fn leaky_relu(&mut self, x: Var, alpha: f64) -> Var {
-        let v = self.nodes[x.0].value.map(|e| if e >= 0.0 { e } else { alpha * e });
+        let v = self.nodes[x.0]
+            .value
+            .map(|e| if e >= 0.0 { e } else { alpha * e });
         self.push(v, Op::LeakyRelu(alpha), &[x.0])
     }
 
@@ -642,7 +644,11 @@ mod tests {
         );
         let db = t.grad(b);
         // Aᵀ·ones = [[4,4],[6,6]]
-        assert_close(&db, &Tensor::from_rows(&[vec![4.0, 4.0], vec![6.0, 6.0]]), 1e-12);
+        assert_close(
+            &db,
+            &Tensor::from_rows(&[vec![4.0, 4.0], vec![6.0, 6.0]]),
+            1e-12,
+        );
     }
 
     #[test]

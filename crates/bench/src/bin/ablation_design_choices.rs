@@ -13,9 +13,8 @@ use hap_autograd::ParamStore;
 use hap_bench::{parse_args, RunScale, TablePrinter};
 use hap_core::{HapClassifier, HapConfig, HapModel};
 use hap_gnn::EncoderKind;
+use hap_rand::Rng;
 use hap_train::{train, TrainConfig};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 struct Variant {
     label: &'static str,
@@ -31,7 +30,7 @@ fn run_variant(
     epochs: usize,
     seed: u64,
 ) -> f64 {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::from_seed(seed);
     let mut store = ParamStore::new();
     let mut cfg = HapConfig::new(ds.feature_dim, hidden).with_clusters(&[8, 4]);
     cfg.tau = v.tau;
@@ -71,7 +70,7 @@ fn main() {
         RunScale::Quick => (120, 16, 45, 3u64),
         RunScale::Full => (300, 32, 60, 5u64),
     };
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::from_seed(seed);
     let datasets = vec![
         hap_data::mutag(nc, &mut rng),
         hap_data::imdb_b(nc, &mut rng),

@@ -15,10 +15,9 @@
 use hap_bench::{classification_accuracy, parse_args, ClassifierChoice, RunScale};
 use hap_core::AblationKind;
 use hap_pooling::BaselineKind;
+use hap_rand::Rng;
 use hap_tensor::Tensor;
 use hap_viz::{ascii_scatter, silhouette_score, tsne, write_csv, TsneConfig};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use std::path::PathBuf;
 
 fn main() {
@@ -27,7 +26,7 @@ fn main() {
         RunScale::Quick => (160, 16, 45),
         RunScale::Full => (400, 32, 30),
     };
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::from_seed(seed);
     let datasets = vec![
         hap_data::proteins(nc, 0.35, &mut rng),
         hap_data::collab(nc, 0.2, &mut rng),
@@ -39,7 +38,10 @@ fn main() {
             "MeanAttPool",
             ClassifierChoice::Baseline(BaselineKind::MeanAttPool),
         ),
-        ("DiffPool", ClassifierChoice::Baseline(BaselineKind::DiffPool)),
+        (
+            "DiffPool",
+            ClassifierChoice::Baseline(BaselineKind::DiffPool),
+        ),
     ];
 
     let out_dir = PathBuf::from("target/fig4");
@@ -47,8 +49,7 @@ fn main() {
 
     for ds in &datasets {
         for (label, choice) in methods {
-            let (acc, embeds, labels) =
-                classification_accuracy(ds, choice, hidden, epochs, seed);
+            let (acc, embeds, labels) = classification_accuracy(ds, choice, hidden, epochs, seed);
             if embeds.len() < 3 {
                 eprintln!("skipping {label}/{}: too few test samples", ds.name);
                 continue;
@@ -56,7 +57,7 @@ fn main() {
             // stack 1×F embeddings into an N×F matrix
             let rows: Vec<Vec<f64>> = embeds.iter().map(|e| e.as_slice().to_vec()).collect();
             let data = Tensor::from_rows(&rows);
-            let mut trng = StdRng::seed_from_u64(seed ^ 0x75e1);
+            let mut trng = Rng::from_seed(seed ^ 0x75e1);
             let coords = tsne(&data, &TsneConfig::default(), &mut trng);
 
             let sil = silhouette_score(&coords, &labels);

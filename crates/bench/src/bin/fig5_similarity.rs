@@ -12,13 +12,11 @@
 //! weaker, Hungarian/VJ in between, HAP above the GNN baselines.
 
 use hap_bench::{
-    parse_args, similarity_accuracy_ged, similarity_accuracy_gmn,
-    similarity_accuracy_hap_ablation, similarity_accuracy_simgnn, GedAlg, RunScale,
-    TablePrinter,
+    parse_args, similarity_accuracy_ged, similarity_accuracy_gmn, similarity_accuracy_hap_ablation,
+    similarity_accuracy_simgnn, GedAlg, RunScale, TablePrinter,
 };
 use hap_core::AblationKind;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use hap_rand::Rng;
 
 fn main() {
     let (scale, seed) = parse_args();
@@ -30,7 +28,7 @@ fn main() {
     println!("Fig. 5: graph similarity accuracy (percent)\n");
     let mut table = TablePrinter::new(&["Method", "AIDS", "LINUX"]);
 
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::from_seed(seed);
     let corpora = [
         ("AIDS", hap_data::aids_like(n_graphs, &mut rng)),
         ("LINUX", hap_data::linux_like(n_graphs, &mut rng)),
@@ -76,15 +74,7 @@ fn main() {
         .iter()
         .zip(&triplets)
         .map(|((_n, c), t)| {
-            similarity_accuracy_hap_ablation(
-                c,
-                t,
-                AblationKind::Hap,
-                &[6, 3],
-                hidden,
-                epochs,
-                seed,
-            )
+            similarity_accuracy_hap_ablation(c, t, AblationKind::Hap, &[6, 3], hidden, epochs, seed)
         })
         .collect();
     eprintln!("  HAP: {:.2} / {:.2}", accs[0] * 100.0, accs[1] * 100.0);

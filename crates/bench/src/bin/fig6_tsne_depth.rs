@@ -9,15 +9,14 @@
 //! Expected shape (Sec. 6.5.2's visual argument): separation improves
 //! from one to two modules and stops improving (or degrades) at three.
 
-use hap_bench::{parse_args, RunScale};
 use hap_autograd::ParamStore;
+use hap_bench::{parse_args, RunScale};
 use hap_core::{HapClassifier, HapConfig, HapModel};
 use hap_pooling::PoolCtx;
+use hap_rand::Rng;
 use hap_tensor::Tensor;
 use hap_train::{train, TrainConfig};
 use hap_viz::{ascii_scatter, silhouette_score, tsne, write_csv, TsneConfig};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use std::path::PathBuf;
 
 fn main() {
@@ -26,7 +25,7 @@ fn main() {
         RunScale::Quick => (160, 16, 45),
         RunScale::Full => (400, 32, 30),
     };
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::from_seed(seed);
     let datasets = vec![
         hap_data::proteins(nc, 0.35, &mut rng),
         hap_data::collab(nc, 0.2, &mut rng),
@@ -41,13 +40,12 @@ fn main() {
 
     for ds in &datasets {
         for (label, clusters) in depths {
-            let mut rng = StdRng::seed_from_u64(seed);
+            let mut rng = Rng::from_seed(seed);
             let mut store = ParamStore::new();
             let cfg = HapConfig::new(ds.feature_dim, hidden).with_clusters(clusters);
             let model = HapModel::new(&mut store, &cfg, &mut rng);
             let clf = HapClassifier::new(&mut store, model, ds.num_classes, &mut rng);
-            let (train_idx, val_idx, test_idx) =
-                hap_data::split_811(ds.samples.len(), &mut rng);
+            let (train_idx, val_idx, test_idx) = hap_data::split_811(ds.samples.len(), &mut rng);
             let tcfg = TrainConfig {
                 epochs,
                 batch_size: 8,
@@ -73,7 +71,7 @@ fn main() {
                 },
             );
 
-            let mut eval_rng = StdRng::seed_from_u64(seed ^ 0xe4a1);
+            let mut eval_rng = Rng::from_seed(seed ^ 0xe4a1);
             let rows: Vec<Vec<f64>> = ds
                 .samples
                 .iter()
@@ -89,7 +87,7 @@ fn main() {
                 .collect();
             let labels: Vec<usize> = ds.samples.iter().map(|s| s.label).collect();
             let data = Tensor::from_rows(&rows);
-            let mut trng = StdRng::seed_from_u64(seed ^ 0x75e1);
+            let mut trng = Rng::from_seed(seed ^ 0x75e1);
             let coords = tsne(&data, &TsneConfig::default(), &mut trng);
 
             let sil = silhouette_score(&coords, &labels);

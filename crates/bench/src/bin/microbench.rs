@@ -1,0 +1,263 @@
+//! Micro-benchmarks for the Sec. 5 complexity claims — the in-repo
+//! replacement for the former criterion benches, built on
+//! [`hap_bench::harness`].
+//!
+//! Four suites:
+//! * `coarsen_forward` / `coarsen_forward_backward` — Claim 1: one HAP
+//!   coarsening pass scales as O(N²) in source nodes (doubling N should
+//!   roughly quadruple the time).
+//! * `attention/*` — MOA vs Sec. 3.4 attention mechanisms: masked
+//!   pairwise GAT attention (O(N²)), SimGNN master attention (O(N)) and
+//!   MOA (O(N·N')).
+//! * `pooling/*` — latency of one forward pass per pooling baseline, the
+//!   cost side of the Table 3 comparison.
+//! * `ged/*` — the Fig. 5 GED solver family on ≤10-node pairs.
+//!
+//! ```text
+//! cargo run --release -p hap-bench --bin microbench [--quick|--full] [--seed <u64>]
+//! ```
+//!
+//! Writes a JSON timing report to `results/microbench.json` and prints a
+//! median/p10/p90 table.
+
+use hap_autograd::{ParamStore, Tape};
+use hap_bench::harness::{black_box, Bench};
+use hap_bench::{parse_args, RunScale};
+use hap_core::{GCont, HapCoarsen, Moa};
+use hap_ged::{beam_ged, bipartite_ged, exact_ged, BipartiteSolver, EditCosts};
+use hap_gnn::{AdjacencyRef, GatLayer};
+use hap_graph::{degree_one_hot, generators};
+use hap_pooling::{
+    CoarsenModule, DiffPool, GPool, MeanAttReadout, MeanReadout, PoolCtx, Readout, SagPool,
+    StructPool, SumReadout,
+};
+use hap_rand::Rng;
+
+fn coarsening(bench: &mut Bench, sizes: &[usize], seed: u64) {
+    let dim = 16;
+    for &n in sizes {
+        let mut rng = Rng::from_seed(seed);
+        let g = generators::erdos_renyi_connected(n, 0.1, &mut rng);
+        let x = degree_one_hot(&g, dim);
+        let mut store = ParamStore::new();
+        let module = HapCoarsen::new(&mut store, "hc", dim, 8, &mut rng);
+
+        bench.run(&format!("coarsen_forward/n={n}"), || {
+            let mut rng = Rng::from_seed(1);
+            let mut tape = Tape::new();
+            let a = tape.constant(g.adjacency().clone());
+            let h = tape.constant(x.clone());
+            let mut ctx = PoolCtx {
+                training: false,
+                rng: &mut rng,
+            };
+            let (a2, h2) = module.forward(&mut tape, a, h, &mut ctx);
+            (tape.value(a2), tape.value(h2))
+        });
+
+        bench.run(&format!("coarsen_forward_backward/n={n}"), || {
+            let mut rng = Rng::from_seed(1);
+            store.zero_grads();
+            let mut tape = Tape::new();
+            let a = tape.constant(g.adjacency().clone());
+            let h = tape.constant(x.clone());
+            let mut ctx = PoolCtx {
+                training: true,
+                rng: &mut rng,
+            };
+            let (_a2, h2) = module.forward(&mut tape, a, h, &mut ctx);
+            let sq = tape.hadamard(h2, h2);
+            let loss = tape.sum_all(sq);
+            tape.backward(loss);
+            store.grad_norm()
+        });
+    }
+}
+
+fn attention(bench: &mut Bench, sizes: &[usize], seed: u64) {
+    let dim = 16;
+    for &n in sizes {
+        let mut rng = Rng::from_seed(seed);
+        let g = generators::erdos_renyi_connected(n, 0.1, &mut rng);
+        let x = degree_one_hot(&g, dim);
+
+        // masked pairwise self-attention (GAT / HSA)
+        let mut store = ParamStore::new();
+        let gat = GatLayer::new(&mut store, "gat", dim, dim, &mut rng);
+        bench.run(&format!("attention/self_attention/n={n}"), || {
+            let mut tape = Tape::new();
+            let h = tape.constant(x.clone());
+            let a = gat.attention(&mut tape, AdjacencyRef::Fixed(&g), h);
+            tape.value(a)
+        });
+
+        // master attention (SimGNN MeanAtt)
+        let mut store = ParamStore::new();
+        let ma = MeanAttReadout::new(&mut store, "ma", dim, &mut rng);
+        bench.run(&format!("attention/master_attention/n={n}"), || {
+            let mut rng = Rng::from_seed(1);
+            let mut tape = Tape::new();
+            let h = tape.constant(x.clone());
+            let a = tape.constant(g.adjacency().clone());
+            let mut ctx = PoolCtx {
+                training: false,
+                rng: &mut rng,
+            };
+            let out = ma.forward(&mut tape, a, h, &mut ctx);
+            tape.value(out)
+        });
+
+        // MOA cross-level attention
+        let mut store = ParamStore::new();
+        let gcont = GCont::new(&mut store, "gc", dim, 8, &mut rng);
+        let moa = Moa::new(&mut store, "moa", 8, &mut rng);
+        bench.run(&format!("attention/moa/n={n}"), || {
+            let mut tape = Tape::new();
+            let h = tape.constant(x.clone());
+            let cm = gcont.forward(&mut tape, h);
+            let m = moa.forward(&mut tape, cm);
+            tape.value(m)
+        });
+    }
+}
+
+fn pooling(bench: &mut Bench, n: usize, seed: u64) {
+    let dim = 16;
+    let mut rng = Rng::from_seed(seed);
+    let g = generators::erdos_renyi_connected(n, 0.08, &mut rng);
+    let x = degree_one_hot(&g, dim);
+
+    let flat: Vec<(&str, Box<dyn Readout>)> = {
+        let mut store = ParamStore::new();
+        vec![
+            ("SumPool", Box::new(SumReadout) as Box<dyn Readout>),
+            ("MeanPool", Box::new(MeanReadout)),
+            (
+                "MeanAttPool",
+                Box::new(MeanAttReadout::new(&mut store, "ma", dim, &mut rng)),
+            ),
+        ]
+    };
+    for (name, r) in &flat {
+        bench.run(&format!("pooling/{name}/n={n}"), || {
+            let mut rng = Rng::from_seed(1);
+            let mut tape = Tape::new();
+            let h = tape.constant(x.clone());
+            let a = tape.constant(g.adjacency().clone());
+            let mut ctx = PoolCtx {
+                training: false,
+                rng: &mut rng,
+            };
+            let out = r.forward(&mut tape, a, h, &mut ctx);
+            tape.value(out)
+        });
+    }
+
+    let hier: Vec<(&str, Box<dyn CoarsenModule>)> = {
+        let mut store = ParamStore::new();
+        vec![
+            (
+                "gPool",
+                Box::new(GPool::new(&mut store, "gp", dim, 0.5, &mut rng))
+                    as Box<dyn CoarsenModule>,
+            ),
+            (
+                "SAGPool",
+                Box::new(SagPool::new(&mut store, "sp", dim, 0.5, &mut rng)),
+            ),
+            (
+                "DiffPool",
+                Box::new(DiffPool::new(&mut store, "dp", dim, 8, &mut rng)),
+            ),
+            (
+                "StructPool",
+                Box::new(StructPool::new(&mut store, "st", dim, 8, 2, &mut rng)),
+            ),
+            (
+                "HAP",
+                Box::new(HapCoarsen::new(&mut store, "hap", dim, 8, &mut rng)),
+            ),
+        ]
+    };
+    for (name, m) in &hier {
+        bench.run(&format!("pooling/{name}/n={n}"), || {
+            let mut rng = Rng::from_seed(1);
+            let mut tape = Tape::new();
+            let h = tape.constant(x.clone());
+            let a = tape.constant(g.adjacency().clone());
+            let mut ctx = PoolCtx {
+                training: false,
+                rng: &mut rng,
+            };
+            let (a2, h2) = m.forward(&mut tape, a, h, &mut ctx);
+            (tape.value(a2), tape.value(h2))
+        });
+    }
+}
+
+fn ged(bench: &mut Bench, seed: u64) {
+    let mut rng = Rng::from_seed(seed);
+    let corpus = hap_data::aids_like(8, &mut rng);
+    let pairs: Vec<(usize, usize)> = (0..4).map(|i| (i, i + 4)).collect();
+    let costs = EditCosts::uniform();
+
+    bench.run("ged/exact_astar", || {
+        for &(i, j) in &pairs {
+            black_box(exact_ged(&corpus[i].graph, &corpus[j].graph, &costs));
+        }
+    });
+    bench.run("ged/beam1", || {
+        for &(i, j) in &pairs {
+            black_box(beam_ged(&corpus[i].graph, &corpus[j].graph, 1, &costs));
+        }
+    });
+    bench.run("ged/beam80", || {
+        for &(i, j) in &pairs {
+            black_box(beam_ged(&corpus[i].graph, &corpus[j].graph, 80, &costs));
+        }
+    });
+    bench.run("ged/hungarian", || {
+        for &(i, j) in &pairs {
+            black_box(bipartite_ged(
+                &corpus[i].graph,
+                &corpus[j].graph,
+                BipartiteSolver::Hungarian,
+                &costs,
+            ));
+        }
+    });
+    bench.run("ged/vj", || {
+        for &(i, j) in &pairs {
+            black_box(bipartite_ged(
+                &corpus[i].graph,
+                &corpus[j].graph,
+                BipartiteSolver::Vj,
+                &costs,
+            ));
+        }
+    });
+}
+
+fn main() {
+    let (scale, seed) = parse_args();
+    let (mut bench, coarsen_sizes, attn_sizes): (Bench, &[usize], &[usize]) = match scale {
+        RunScale::Quick => (Bench::with_iters(3, 30), &[25, 50, 100], &[50, 100]),
+        RunScale::Full => (
+            Bench::with_iters(10, 100),
+            &[25, 50, 100, 200],
+            &[50, 100, 200],
+        ),
+    };
+
+    eprintln!("== HAP micro-benchmarks ({scale:?}, seed {seed}) ==");
+    coarsening(&mut bench, coarsen_sizes, seed);
+    attention(&mut bench, attn_sizes, seed);
+    pooling(&mut bench, 100, seed);
+    ged(&mut bench, seed);
+
+    let out = std::path::Path::new("results/microbench.json");
+    bench
+        .write_json(out)
+        .expect("write results/microbench.json");
+    eprintln!("wrote {} cases to {}", bench.results().len(), out.display());
+}

@@ -5,12 +5,11 @@
 //! ```
 
 use hap_bench::{parse_args, RunScale, TablePrinter};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use hap_rand::Rng;
 
 fn main() {
     let (scale, seed) = parse_args();
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::from_seed(seed);
     let (nc, ns) = match scale {
         RunScale::Quick => (100, 0.25),
         RunScale::Full => (1000, 1.0),
@@ -45,7 +44,10 @@ fn main() {
             name.into(),
             corpus.len().to_string(),
             sizes.iter().max().unwrap().to_string(),
-            format!("{:.1}", sizes.iter().sum::<usize>() as f64 / sizes.len() as f64),
+            format!(
+                "{:.1}",
+                sizes.iter().sum::<usize>() as f64 / sizes.len() as f64
+            ),
             "-".into(),
         ]);
     }
@@ -56,7 +58,10 @@ fn main() {
         "Synthetic".into(),
         format!("{} pairs", pairs.len()),
         sizes.iter().max().unwrap().to_string(),
-        format!("{:.1}", sizes.iter().sum::<usize>() as f64 / sizes.len() as f64),
+        format!(
+            "{:.1}",
+            sizes.iter().sum::<usize>() as f64 / sizes.len() as f64
+        ),
         "2".into(),
     ]);
     t.print();

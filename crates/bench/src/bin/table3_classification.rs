@@ -10,17 +10,14 @@
 //! class signal is a high-order motif arrangement (Sec. 6.2), and flat
 //! universal pooling (SumPool) should remain a strong simple baseline.
 
-use hap_bench::{
-    classification_accuracy, parse_args, ClassifierChoice, RunScale, TablePrinter,
-};
+use hap_bench::{classification_accuracy, parse_args, ClassifierChoice, RunScale, TablePrinter};
 use hap_core::AblationKind;
 use hap_data::ClassificationDataset;
 use hap_pooling::BaselineKind;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use hap_rand::Rng;
 
 fn datasets(scale: RunScale, seed: u64) -> Vec<ClassificationDataset> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::from_seed(seed);
     match scale {
         RunScale::Quick => vec![
             hap_data::imdb_b(150, &mut rng),

@@ -14,8 +14,7 @@ use hap_bench::{
     RunScale, TablePrinter,
 };
 use hap_core::AblationKind;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use hap_rand::Rng;
 
 fn main() {
     let (scale, seed) = parse_args();
@@ -35,7 +34,7 @@ fn main() {
     let mut hybrid_row = Vec::new();
     let mut hap_row = Vec::new();
     for &n in &sizes {
-        let mut rng = StdRng::seed_from_u64(seed ^ n as u64);
+        let mut rng = Rng::from_seed(seed ^ n as u64);
         let train_pairs = hap_data::matching_corpus(n_train, n, &mut rng);
         let eval_pairs = hap_data::matching_corpus(n_eval, n, &mut rng);
 
@@ -47,7 +46,14 @@ fn main() {
         let acc_hybrid = hybrid.matching_accuracy(&eval_pairs, seed);
         eprintln!("  GMN-HAP |V|={n}: {:.2}%", acc_hybrid * 100.0);
 
-        let hap = train_hap_matcher(&train_pairs, AblationKind::Hap, &[8, 4], hidden, epochs, seed);
+        let hap = train_hap_matcher(
+            &train_pairs,
+            AblationKind::Hap,
+            &[8, 4],
+            hidden,
+            epochs,
+            seed,
+        );
         let acc_hap = hap.matching_accuracy(&eval_pairs, seed);
         eprintln!("  HAP     |V|={n}: {:.2}%", acc_hap * 100.0);
 

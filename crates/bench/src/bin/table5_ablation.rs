@@ -16,8 +16,7 @@ use hap_bench::{
     MatchEval, RunScale, TablePrinter,
 };
 use hap_core::AblationKind;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use hap_rand::Rng;
 
 fn main() {
     let (scale, seed) = parse_args();
@@ -27,7 +26,7 @@ fn main() {
     };
     let clusters = [8usize, 4];
 
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::from_seed(seed);
     // classification datasets (6 paper columns)
     let class_ds = vec![
         hap_data::imdb_b(nc, &mut rng),
@@ -79,15 +78,8 @@ fn main() {
             accs.push(a);
         }
         for (name, corpus, trip) in [("AIDS", &aids, &aids_t), ("LINUX", &linux, &linux_t)] {
-            let a = similarity_accuracy_hap_ablation(
-                corpus,
-                trip,
-                kind,
-                &[6, 3],
-                hidden,
-                epochs,
-                seed,
-            );
+            let a =
+                similarity_accuracy_hap_ablation(corpus, trip, kind, &[6, 3], hidden, epochs, seed);
             eprintln!("  {} / sim {name}: {:.2}%", kind.label(), a * 100.0);
             accs.push(a);
         }

@@ -15,8 +15,7 @@ use hap_bench::{
     TablePrinter,
 };
 use hap_core::AblationKind;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use hap_rand::Rng;
 
 fn main() {
     let (scale, seed) = parse_args();
@@ -26,7 +25,7 @@ fn main() {
     };
     let match_sizes = [20usize, 30, 40, 50];
 
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::from_seed(seed);
     let match_corpora: Vec<_> = match_sizes
         .iter()
         .map(|&n| {
@@ -42,7 +41,12 @@ fn main() {
 
     // depth -> (kind, matching clusters, similarity clusters)
     let rows: Vec<(&str, AblationKind, Vec<usize>, Vec<usize>)> = vec![
-        ("baseline", AblationKind::MeanAttPool, vec![8, 4], vec![6, 3]),
+        (
+            "baseline",
+            AblationKind::MeanAttPool,
+            vec![8, 4],
+            vec![6, 3],
+        ),
         ("Coarsen=1", AblationKind::Hap, vec![8], vec![6]),
         ("Coarsen=2", AblationKind::Hap, vec![8, 4], vec![6, 3]),
         ("Coarsen=3", AblationKind::Hap, vec![8, 4, 2], vec![6, 3, 2]),

@@ -15,11 +15,10 @@ use hap_bench::{
 };
 use hap_core::AblationKind;
 use hap_data::MatchingPair;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use hap_rand::Rng;
 
 fn mixed_training_corpus(count: usize, seed: u64) -> Vec<MatchingPair> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::from_seed(seed);
     let sizes = [20usize, 30, 40, 50];
     let mut pairs = Vec::with_capacity(count);
     let per = count / sizes.len();
@@ -38,15 +37,13 @@ fn main() {
     let test_sizes = [100usize, 200];
 
     let train_pairs = mixed_training_corpus(n_train, seed);
-    let mut rng = StdRng::seed_from_u64(seed ^ 0xbeef);
+    let mut rng = Rng::from_seed(seed ^ 0xbeef);
     let eval_corpora: Vec<Vec<MatchingPair>> = test_sizes
         .iter()
         .map(|&n| hap_data::matching_corpus(n_eval, n, &mut rng))
         .collect();
 
-    println!(
-        "Table 7: generalization on graph matching (trained on 20<=|V|<=50, percent)\n"
-    );
+    println!("Table 7: generalization on graph matching (trained on 20<=|V|<=50, percent)\n");
     let mut header = vec!["Model".to_string()];
     header.extend(test_sizes.iter().map(|s| format!("|V|={s}")));
     let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();

@@ -1,0 +1,250 @@
+//! The in-repo micro-benchmark harness — the offline replacement for the
+//! external `criterion` dependency.
+//!
+//! Deliberately small: warmup, N timed iterations, order statistics
+//! (median / p10 / p90), [`black_box`] to defeat the optimiser, and a
+//! hand-rolled JSON report written under `results/`. No statistical
+//! outlier modelling — for the O(N²)-style scaling claims this repo
+//! benchmarks (Sec. 5), the median across ≥30 iterations is stable
+//! enough, and zero dependencies beats sub-percent rigour.
+//!
+//! ```
+//! use hap_bench::harness::{black_box, Bench};
+//!
+//! let mut bench = Bench::with_iters(2, 10);
+//! bench.run("vec_sum", || {
+//!     black_box((0..1000u64).sum::<u64>())
+//! });
+//! assert_eq!(bench.results().len(), 1);
+//! assert!(bench.results()[0].median_ns > 0.0);
+//! ```
+
+pub use std::hint::black_box;
+use std::io::Write as _;
+use std::time::Instant;
+
+/// Timing summary of one benchmark case, in nanoseconds per iteration.
+#[derive(Clone, Debug)]
+pub struct BenchResult {
+    /// Case name, e.g. `"coarsen_forward/n=100"`.
+    pub name: String,
+    /// Timed iterations contributing to the statistics.
+    pub iters: usize,
+    /// Median iteration time.
+    pub median_ns: f64,
+    /// 10th-percentile iteration time.
+    pub p10_ns: f64,
+    /// 90th-percentile iteration time.
+    pub p90_ns: f64,
+    /// Mean iteration time.
+    pub mean_ns: f64,
+    /// Fastest iteration.
+    pub min_ns: f64,
+    /// Slowest iteration.
+    pub max_ns: f64,
+}
+
+impl BenchResult {
+    fn from_samples(name: &str, mut ns: Vec<f64>) -> Self {
+        ns.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let n = ns.len();
+        Self {
+            name: name.to_string(),
+            iters: n,
+            median_ns: percentile(&ns, 0.5),
+            p10_ns: percentile(&ns, 0.1),
+            p90_ns: percentile(&ns, 0.9),
+            mean_ns: ns.iter().sum::<f64>() / n as f64,
+            min_ns: ns[0],
+            max_ns: ns[n - 1],
+        }
+    }
+}
+
+/// Linear-interpolated percentile of an ascending-sorted sample.
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    debug_assert!(!sorted.is_empty());
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+}
+
+/// A micro-benchmark session: runs cases, accumulates [`BenchResult`]s,
+/// prints a table and writes a JSON report.
+pub struct Bench {
+    warmup: usize,
+    iters: usize,
+    results: Vec<BenchResult>,
+}
+
+impl Bench {
+    /// Default session: 5 warmup + 30 timed iterations per case.
+    pub fn new() -> Self {
+        Self::with_iters(5, 30)
+    }
+
+    /// Session with explicit warmup/timed iteration counts.
+    ///
+    /// # Panics
+    /// Panics when `iters == 0`.
+    pub fn with_iters(warmup: usize, iters: usize) -> Self {
+        assert!(iters > 0, "need at least one timed iteration");
+        Self {
+            warmup,
+            iters,
+            results: Vec::new(),
+        }
+    }
+
+    /// Times `f`, records the result under `name`, and returns it.
+    ///
+    /// The closure's return value is passed through [`black_box`] so the
+    /// optimiser cannot elide the computation; wrap *inputs* that are
+    /// loop-invariant in `black_box` at the call site when needed.
+    pub fn run<T>(&mut self, name: &str, mut f: impl FnMut() -> T) -> &BenchResult {
+        for _ in 0..self.warmup {
+            black_box(f());
+        }
+        let mut ns = Vec::with_capacity(self.iters);
+        for _ in 0..self.iters {
+            let t0 = Instant::now();
+            black_box(f());
+            ns.push(t0.elapsed().as_secs_f64() * 1e9);
+        }
+        let result = BenchResult::from_samples(name, ns);
+        eprintln!(
+            "{:<40} median {:>12}  p10 {:>12}  p90 {:>12}",
+            result.name,
+            fmt_ns(result.median_ns),
+            fmt_ns(result.p10_ns),
+            fmt_ns(result.p90_ns),
+        );
+        self.results.push(result);
+        self.results.last().unwrap()
+    }
+
+    /// All results recorded so far, in run order.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    /// Serialises the results as a JSON document.
+    ///
+    /// Hand-rolled on purpose (no serde in the dependency tree): the
+    /// schema is flat — `{"iters_per_case": n, "results": [{...}]}`.
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n");
+        s.push_str(&format!("  \"warmup_iters\": {},\n", self.warmup));
+        s.push_str(&format!("  \"timed_iters\": {},\n", self.iters));
+        s.push_str("  \"results\": [\n");
+        for (i, r) in self.results.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"name\": \"{}\", \"iters\": {}, \"median_ns\": {:.1}, \
+                 \"p10_ns\": {:.1}, \"p90_ns\": {:.1}, \"mean_ns\": {:.1}, \
+                 \"min_ns\": {:.1}, \"max_ns\": {:.1}}}{}\n",
+                escape_json(&r.name),
+                r.iters,
+                r.median_ns,
+                r.p10_ns,
+                r.p90_ns,
+                r.mean_ns,
+                r.min_ns,
+                r.max_ns,
+                if i + 1 < self.results.len() { "," } else { "" },
+            ));
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+
+    /// Writes the JSON report to `path`, creating parent directories.
+    pub fn write_json(&self, path: &std::path::Path) -> std::io::Result<()> {
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(self.to_json().as_bytes())
+    }
+}
+
+impl Default for Bench {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Human format: ns with unit scaling.
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.2} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.2} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.2} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+fn escape_json(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            '\n' => "\\n".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_of_known_samples() {
+        let r = BenchResult::from_samples("x", (1..=11).map(|i| i as f64).collect());
+        assert_eq!(r.median_ns, 6.0);
+        assert_eq!(r.p10_ns, 2.0);
+        assert_eq!(r.p90_ns, 10.0);
+        assert_eq!(r.min_ns, 1.0);
+        assert_eq!(r.max_ns, 11.0);
+        assert_eq!(r.iters, 11);
+    }
+
+    #[test]
+    fn run_records_results_in_order() {
+        let mut b = Bench::with_iters(0, 3);
+        b.run("first", || 1 + 1);
+        b.run("second", || 2 + 2);
+        let names: Vec<&str> = b.results().iter().map(|r| r.name.as_str()).collect();
+        assert_eq!(names, ["first", "second"]);
+        assert!(b
+            .results()
+            .iter()
+            .all(|r| r.min_ns <= r.median_ns && r.median_ns <= r.max_ns && r.p10_ns <= r.p90_ns));
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let mut b = Bench::with_iters(0, 2);
+        b.run("a\"quote", || 0);
+        let j = b.to_json();
+        assert!(j.contains("\\\"quote"));
+        assert!(j.starts_with('{') && j.trim_end().ends_with('}'));
+        assert_eq!(j.matches("\"name\"").count(), 1);
+    }
+
+    #[test]
+    fn timings_are_positive_and_ordered() {
+        let mut b = Bench::with_iters(1, 10);
+        let r = b
+            .run("sum", || black_box((0..10_000u64).sum::<u64>()))
+            .clone();
+        assert!(r.min_ns > 0.0);
+        assert!(r.p10_ns <= r.median_ns && r.median_ns <= r.p90_ns);
+    }
+}

@@ -1,7 +1,8 @@
 //! # hap-bench
 //!
 //! The experiment harness: one binary per table/figure of the paper's
-//! evaluation (Sec. 6), plus criterion micro-benchmarks for the Sec. 5
+//! evaluation (Sec. 6), plus the in-repo [`harness`] micro-benchmarks
+//! (`cargo run --release -p hap-bench --bin microbench`) for the Sec. 5
 //! complexity claims. See DESIGN.md's experiment index for the mapping.
 //!
 //! Binaries accept `--quick` (default; minutes on one core) and `--full`
@@ -10,14 +11,15 @@
 //! measured numbers are recorded in EXPERIMENTS.md.
 
 mod cli;
+pub mod harness;
 mod runners;
 mod table;
 
 pub use cli::{parse_args, RunScale};
 pub use runners::{
     classification_accuracy, hap_ablation_classifier, matching_accuracy_gmn,
-    matching_accuracy_gmn_hap, matching_accuracy_hap, similarity_accuracy_ged, similarity_accuracy_gmn,
-    similarity_accuracy_hap_ablation, similarity_accuracy_simgnn, train_hap_matcher,
-    ClassifierChoice, GedAlg, MatchEval, TrainedMatcher,
+    matching_accuracy_gmn_hap, matching_accuracy_hap, similarity_accuracy_ged,
+    similarity_accuracy_gmn, similarity_accuracy_hap_ablation, similarity_accuracy_simgnn,
+    train_hap_matcher, ClassifierChoice, GedAlg, MatchEval, TrainedMatcher,
 };
 pub use table::TablePrinter;

@@ -8,10 +8,9 @@ use hap_data::{ClassificationDataset, GedGraph, MatchingPair, TripletSample};
 use hap_ged::{beam_ged, bipartite_ged, exact_ged, BipartiteSolver, EditCosts};
 use hap_match::{Gmn, GmnHap, SimGnn};
 use hap_pooling::{BaselineKind, PoolCtx, PoolingClassifier};
+use hap_rand::Rng;
 use hap_tensor::Tensor;
 use hap_train::{train, TrainConfig};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 /// Which classifier fills a Table 3 / Table 5 row.
 #[derive(Clone, Copy, Debug)]
@@ -60,7 +59,7 @@ fn build_classifier(
     hidden: usize,
     classes: usize,
     store: &mut ParamStore,
-    rng: &mut StdRng,
+    rng: &mut Rng,
 ) -> AnyClassifier {
     match choice {
         ClassifierChoice::Baseline(kind) => AnyClassifier::Baseline(PoolingClassifier::new(
@@ -84,7 +83,7 @@ pub fn classification_accuracy(
     epochs: usize,
     seed: u64,
 ) -> (f64, Vec<Tensor>, Vec<usize>) {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::from_seed(seed);
     let mut store = ParamStore::new();
     let model = build_classifier(
         choice,
@@ -132,7 +131,7 @@ pub fn classification_accuracy(
         },
     );
 
-    let mut eval_rng = StdRng::seed_from_u64(seed ^ 0xe4a1);
+    let mut eval_rng = Rng::from_seed(seed ^ 0xe4a1);
     let mut embeds = Vec::with_capacity(ds.samples.len());
     let mut labels = Vec::with_capacity(ds.samples.len());
     for s in &ds.samples {
@@ -156,7 +155,7 @@ pub fn hap_ablation_classifier(
     epochs: usize,
     seed: u64,
 ) -> f64 {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::from_seed(seed);
     let mut store = ParamStore::new();
     let cfg = HapConfig::new(ds.feature_dim, hidden).with_clusters(clusters);
     let model = HapModel::with_ablation(&mut store, &cfg, kind, &mut rng);
@@ -211,7 +210,7 @@ pub trait MatchEval {
 
 impl MatchEval for TrainedMatcher {
     fn matching_accuracy(&self, pairs: &[MatchingPair], seed: u64) -> f64 {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng::from_seed(seed);
         let correct = pairs
             .iter()
             .filter(|p| {
@@ -278,7 +277,7 @@ pub fn train_hap_matcher(
     epochs: usize,
     seed: u64,
 ) -> TrainedMatcher {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::from_seed(seed);
     let mut store = ParamStore::new();
     let in_dim = pairs[0].x1.cols();
     let cfg = HapConfig::new(in_dim, hidden).with_clusters(clusters);
@@ -306,7 +305,7 @@ pub fn matching_accuracy_gmn(
     epochs: usize,
     seed: u64,
 ) -> TrainedMatcher {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::from_seed(seed);
     let mut store = ParamStore::new();
     let in_dim = pairs[0].x1.cols();
     let model = Gmn::new(&mut store, in_dim, hidden, 2, &mut rng);
@@ -330,7 +329,7 @@ pub fn matching_accuracy_gmn_hap(
     epochs: usize,
     seed: u64,
 ) -> TrainedMatcher {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::from_seed(seed);
     let mut store = ParamStore::new();
     let in_dim = pairs[0].x1.cols();
     let model = GmnHap::new(&mut store, in_dim, hidden, 2, clusters, &mut rng);
@@ -405,11 +404,7 @@ fn triplet_split(triplets: &[TripletSample]) -> (Vec<usize>, Vec<usize>, Vec<usi
     let n = triplets.len();
     let tr = (n as f64 * 0.8) as usize;
     let va = (n as f64 * 0.9) as usize;
-    (
-        (0..tr).collect(),
-        (tr..va).collect(),
-        (va..n).collect(),
-    )
+    ((0..tr).collect(), (tr..va).collect(), (va..n).collect())
 }
 
 /// Fig. 5 / Table 5 / Table 6: trains a HAP similarity model (optionally
@@ -424,7 +419,7 @@ pub fn similarity_accuracy_hap_ablation(
     epochs: usize,
     seed: u64,
 ) -> f64 {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::from_seed(seed);
     let mut store = ParamStore::new();
     let in_dim = corpus[0].features.cols();
     let cfg = HapConfig::new(in_dim, hidden).with_clusters(clusters);
@@ -440,7 +435,13 @@ pub fn similarity_accuracy_hap_ablation(
         grad_clip: Some(5.0),
         log_every: 0,
     };
-    let g = |i: usize| (&corpus[triplets[i].a], &corpus[triplets[i].b], &corpus[triplets[i].c]);
+    let g = |i: usize| {
+        (
+            &corpus[triplets[i].a],
+            &corpus[triplets[i].b],
+            &corpus[triplets[i].c],
+        )
+    };
     let report = train(
         &store,
         &tcfg,
@@ -482,7 +483,7 @@ pub fn similarity_accuracy_gmn(
     epochs: usize,
     seed: u64,
 ) -> f64 {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::from_seed(seed);
     let mut store = ParamStore::new();
     let in_dim = corpus[0].features.cols();
     let model = Gmn::new(&mut store, in_dim, hidden, 2, &mut rng);
@@ -548,7 +549,7 @@ pub fn similarity_accuracy_simgnn(
     epochs: usize,
     seed: u64,
 ) -> f64 {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::from_seed(seed);
     let mut store = ParamStore::new();
     let in_dim = corpus[0].features.cols();
     let model = SimGnn::new(&mut store, in_dim, hidden, &mut rng);
@@ -616,12 +617,11 @@ pub fn similarity_accuracy_simgnn(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use hap_rand::Rng;
 
     #[test]
     fn classification_runner_smoke() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Rng::from_seed(1);
         let ds = hap_data::imdb_b(30, &mut rng);
         let (acc, embeds, labels) = classification_accuracy(
             &ds,
@@ -637,7 +637,7 @@ mod tests {
 
     #[test]
     fn matching_runner_smoke() {
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = Rng::from_seed(2);
         let pairs = hap_data::matching_corpus(12, 10, &mut rng);
         let m = train_hap_matcher(&pairs, AblationKind::Hap, &[4, 2], 6, 2, 1);
         let acc = m.matching_accuracy(&pairs, 1);
@@ -646,10 +646,15 @@ mod tests {
 
     #[test]
     fn ged_similarity_runner_smoke() {
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = Rng::from_seed(3);
         let corpus = hap_data::linux_like(8, &mut rng);
         let triplets = hap_data::triplet_corpus(&corpus, 10, &mut rng);
-        for alg in [GedAlg::Beam(1), GedAlg::Beam(80), GedAlg::Hungarian, GedAlg::Vj] {
+        for alg in [
+            GedAlg::Beam(1),
+            GedAlg::Beam(80),
+            GedAlg::Hungarian,
+            GedAlg::Vj,
+        ] {
             let acc = similarity_accuracy_ged(&corpus, &triplets, alg);
             assert!((0.0..=1.0).contains(&acc), "{alg:?}: {acc}");
         }

@@ -3,8 +3,8 @@
 use crate::{GCont, Moa};
 use hap_autograd::{ParamStore, Tape, Var};
 use hap_pooling::{CoarsenModule, PoolCtx};
+use hap_rand::Rng;
 use hap_tensor::Tensor;
-use rand::Rng;
 
 /// Numerical floor added to `A'` before the `log` in Eq. 19.
 const LOG_EPS: f64 = 1e-9;
@@ -26,9 +26,9 @@ const LOG_EPS: f64 = 1e-9;
 /// use hap_core::HapCoarsen;
 /// use hap_graph::{degree_one_hot, generators};
 /// use hap_pooling::{CoarsenModule, PoolCtx};
-/// use rand::{rngs::StdRng, SeedableRng};
+/// use hap_rand::Rng;
 ///
-/// let mut rng = StdRng::seed_from_u64(7);
+/// let mut rng = Rng::from_seed(7);
 /// let g = generators::erdos_renyi_connected(10, 0.3, &mut rng);
 /// let x = degree_one_hot(&g, 6);
 ///
@@ -58,7 +58,7 @@ impl HapCoarsen {
         name: &str,
         dim: usize,
         clusters: usize,
-        rng: &mut impl Rng,
+        rng: &mut Rng,
     ) -> Self {
         Self {
             gcont: GCont::new(store, &format!("{name}.gcont"), dim, clusters, rng),
@@ -153,12 +153,11 @@ impl CoarsenModule for HapCoarsen {
 mod tests {
     use super::*;
     use hap_graph::{generators, Permutation};
+    use hap_rand::Rng;
     use hap_tensor::testutil::assert_close;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     fn module(dim: usize, clusters: usize, seed: u64) -> (ParamStore, HapCoarsen) {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng::from_seed(seed);
         let mut store = ParamStore::new();
         let m = HapCoarsen::new(&mut store, "hc", dim, clusters, &mut rng);
         (store, m)
@@ -167,7 +166,7 @@ mod tests {
     #[test]
     fn output_shapes_and_finiteness() {
         let (_s, m) = module(4, 3, 1);
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = Rng::from_seed(2);
         let g = generators::erdos_renyi_connected(9, 0.4, &mut rng);
         let mut t = Tape::new();
         let a = t.constant(g.adjacency().clone());
@@ -186,7 +185,7 @@ mod tests {
     #[test]
     fn soft_sampled_rows_are_distributions_close_to_one_hot() {
         let (_s, m) = module(3, 4, 3);
-        let mut rng = StdRng::seed_from_u64(4);
+        let mut rng = Rng::from_seed(3);
         let g = generators::erdos_renyi_connected(8, 0.5, &mut rng);
         let mut t = Tape::new();
         let a = t.constant(g.adjacency().clone());
@@ -209,12 +208,12 @@ mod tests {
     #[test]
     fn eval_pass_is_deterministic_training_pass_is_not() {
         let (_s, m) = module(3, 3, 5);
-        let mut rng = StdRng::seed_from_u64(6);
+        let mut rng = Rng::from_seed(6);
         let g = generators::erdos_renyi_connected(7, 0.5, &mut rng);
         let x = Tensor::rand_uniform(7, 3, -1.0, 1.0, &mut rng);
 
         let run = |training: bool, seed: u64| {
-            let mut rng = StdRng::seed_from_u64(seed);
+            let mut rng = Rng::from_seed(seed);
             let mut t = Tape::new();
             let a = t.constant(g.adjacency().clone());
             let h = t.constant(x.clone());
@@ -242,7 +241,7 @@ mod tests {
         // f(A, X) == f(PAPᵀ, PX): coarsened features and adjacency are
         // identical under any relabelling of the source nodes.
         let (_s, m) = module(3, 3, 7);
-        let mut rng = StdRng::seed_from_u64(8);
+        let mut rng = Rng::from_seed(8);
         let g = generators::erdos_renyi_connected(8, 0.4, &mut rng);
         let x = Tensor::rand_uniform(8, 3, -1.0, 1.0, &mut rng);
         let perm = Permutation::random(8, &mut rng);
@@ -250,7 +249,7 @@ mod tests {
         let xp = perm.apply_rows(&x);
 
         let run = |g: &hap_graph::Graph, x: &Tensor| {
-            let mut rng = StdRng::seed_from_u64(0);
+            let mut rng = Rng::from_seed(0);
             let mut t = Tape::new();
             let a = t.constant(g.adjacency().clone());
             let h = t.constant(x.clone());
@@ -270,7 +269,7 @@ mod tests {
     #[test]
     fn gradients_flow_to_gcont_and_moa() {
         let (store, m) = module(3, 3, 9);
-        let mut rng = StdRng::seed_from_u64(10);
+        let mut rng = Rng::from_seed(10);
         let g = generators::erdos_renyi_connected(7, 0.5, &mut rng);
         let mut t = Tape::new();
         let a = t.constant(g.adjacency().clone());
@@ -295,7 +294,7 @@ mod tests {
     #[test]
     fn without_soft_sampling_preserves_edge_mass() {
         // Σ (MᵀAM) = Σ A when M's rows are distributions.
-        let mut rng = StdRng::seed_from_u64(11);
+        let mut rng = Rng::from_seed(11);
         let mut store = ParamStore::new();
         let m = HapCoarsen::new(&mut store, "hc", 3, 3, &mut rng).without_soft_sampling();
         let g = generators::erdos_renyi_connected(6, 0.5, &mut rng);

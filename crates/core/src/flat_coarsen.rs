@@ -27,8 +27,8 @@ impl<R: Readout> FlatCoarsen<R> {
 impl<R: Readout> CoarsenModule for FlatCoarsen<R> {
     fn forward(&self, tape: &mut Tape, adj: Var, h: Var, ctx: &mut PoolCtx<'_>) -> (Var, Var) {
         let pooled = self.readout.forward(tape, adj, h, ctx); // 1×F
-        // The 1×1 "adjacency" keeps the total edge mass as a self-loop so
-        // downstream degree normalisation stays well-defined.
+                                                              // The 1×1 "adjacency" keeps the total edge mass as a self-loop so
+                                                              // downstream degree normalisation stays well-defined.
         let mass = tape.sum_all(adj);
         let (r, c) = tape.shape(mass);
         debug_assert_eq!((r, c), (1, 1));
@@ -44,14 +44,13 @@ impl<R: Readout> CoarsenModule for FlatCoarsen<R> {
 mod tests {
     use super::*;
     use hap_pooling::MeanReadout;
+    use hap_rand::Rng;
     use hap_tensor::Tensor;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     #[test]
     fn collapses_to_single_node() {
         let m = FlatCoarsen::new(MeanReadout);
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Rng::from_seed(1);
         let mut t = Tape::new();
         let a = t.constant(Tensor::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]));
         let h = t.constant(Tensor::from_rows(&[vec![2.0, 4.0], vec![4.0, 8.0]]));

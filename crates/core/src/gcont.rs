@@ -2,7 +2,7 @@
 
 use hap_autograd::{Param, ParamStore, Tape, Var};
 use hap_nn::xavier_uniform;
-use rand::Rng;
+use hap_rand::Rng;
 
 /// The global graph content extractor: a learnable linear transformation
 /// `T ∈ R^{F×N'}` mapping node features to the content matrix
@@ -31,7 +31,7 @@ impl GCont {
         name: &str,
         in_dim: usize,
         clusters: usize,
-        rng: &mut impl Rng,
+        rng: &mut Rng,
     ) -> Self {
         assert!(in_dim > 0 && clusters > 0, "GCont dims must be positive");
         Self {
@@ -68,13 +68,12 @@ impl GCont {
 mod tests {
     use super::*;
     use hap_autograd::check_param_grad;
+    use hap_rand::Rng;
     use hap_tensor::Tensor;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     #[test]
     fn content_matrix_shape() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Rng::from_seed(1);
         let mut store = ParamStore::new();
         let gc = GCont::new(&mut store, "gc", 4, 3, &mut rng);
         assert_eq!(gc.in_dim(), 4);
@@ -88,7 +87,7 @@ mod tests {
     #[test]
     fn same_params_apply_to_any_node_count() {
         // The generalization property: one GCont, two graph sizes.
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = Rng::from_seed(2);
         let mut store = ParamStore::new();
         let gc = GCont::new(&mut store, "gc", 3, 2, &mut rng);
         for n in [5, 50] {
@@ -102,7 +101,7 @@ mod tests {
 
     #[test]
     fn gradcheck_t() {
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = Rng::from_seed(3);
         let mut store = ParamStore::new();
         let gc = GCont::new(&mut store, "gc", 3, 2, &mut rng);
         let x = Tensor::rand_uniform(5, 3, -1.0, 1.0, &mut rng);

@@ -33,13 +33,13 @@
 mod coarsen;
 mod flat_coarsen;
 mod gcont;
-mod model;
 mod moa;
+mod model;
 mod tasks;
 
 pub use coarsen::HapCoarsen;
 pub use flat_coarsen::FlatCoarsen;
 pub use gcont::GCont;
-pub use model::{AblationKind, HapConfig, HapModel};
 pub use moa::Moa;
+pub use model::{AblationKind, HapConfig, HapModel};
 pub use tasks::{HapClassifier, HapMatcher, HapSimilarity, PairScore};

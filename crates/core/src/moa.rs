@@ -2,8 +2,8 @@
 
 use hap_autograd::{Param, ParamStore, Tape, Var};
 use hap_nn::xavier_uniform;
+use hap_rand::Rng;
 use hap_tensor::Tensor;
-use rand::Rng;
 
 /// The cross-level attention mechanism between rows (source nodes) and
 /// columns (target clusters) of the GCont matrix `C`:
@@ -41,7 +41,7 @@ impl Moa {
     ///
     /// # Panics
     /// Panics when `clusters == 0`.
-    pub fn new(store: &mut ParamStore, name: &str, clusters: usize, rng: &mut impl Rng) -> Self {
+    pub fn new(store: &mut ParamStore, name: &str, clusters: usize, rng: &mut Rng) -> Self {
         assert!(clusters > 0, "cluster count must be positive");
         Self {
             a_row: store.new_param(format!("{name}.a_row"), xavier_uniform(clusters, 1, rng)),
@@ -131,12 +131,11 @@ impl Moa {
 mod tests {
     use super::*;
     use hap_graph::Permutation;
+    use hap_rand::Rng;
     use hap_tensor::testutil::assert_close;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     fn make_moa(clusters: usize, seed: u64) -> (ParamStore, Moa) {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng::from_seed(seed);
         let mut store = ParamStore::new();
         let moa = Moa::new(&mut store, "moa", clusters, &mut rng);
         (store, moa)
@@ -145,7 +144,7 @@ mod tests {
     #[test]
     fn rows_are_distributions() {
         let (_s, moa) = make_moa(3, 1);
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = Rng::from_seed(2);
         let mut t = Tape::new();
         let c = t.constant(Tensor::rand_uniform(6, 3, -1.0, 1.0, &mut rng));
         let m = moa.forward(&mut t, c);
@@ -155,7 +154,10 @@ mod tests {
             let s: f64 = mv.row(r).iter().sum();
             assert!((s - 1.0).abs() < 1e-9);
         }
-        assert!(mv.min() > 0.0, "fully-connected channel: all weights positive");
+        assert!(
+            mv.min() > 0.0,
+            "fully-connected channel: all weights positive"
+        );
     }
 
     #[test]
@@ -163,7 +165,7 @@ mod tests {
         // M(PC) = P·M(C): the column reduction is a symmetric function,
         // so permuting source nodes only permutes attention rows.
         let (_s, moa) = make_moa(3, 3);
-        let mut rng = StdRng::seed_from_u64(4);
+        let mut rng = Rng::from_seed(4);
         let c = Tensor::rand_uniform(7, 3, -1.0, 1.0, &mut rng);
         let perm = Permutation::random(7, &mut rng);
         let cp = perm.apply_rows(&c);
@@ -185,7 +187,7 @@ mod tests {
         // construction: the reduced column holds all N entries (sorted)
         // plus zeros. Verify against a manual zero-padded dot product.
         let (_s, moa) = make_moa(4, 5);
-        let mut rng = StdRng::seed_from_u64(6);
+        let mut rng = Rng::from_seed(6);
         let c = Tensor::rand_uniform(2, 4, -1.0, 1.0, &mut rng); // N=2 < N'=4
         let mut t = Tape::new();
         let cv = t.constant(c.clone());
@@ -216,7 +218,7 @@ mod tests {
     #[test]
     fn gradients_reach_both_attention_parameters() {
         let (store, moa) = make_moa(3, 7);
-        let mut rng = StdRng::seed_from_u64(8);
+        let mut rng = Rng::from_seed(8);
         let mut t = Tape::new();
         let c = t.constant(Tensor::rand_uniform(5, 3, -1.0, 1.0, &mut rng));
         let m = moa.forward(&mut t, c);

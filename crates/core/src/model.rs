@@ -4,11 +4,9 @@ use crate::{FlatCoarsen, HapCoarsen};
 use hap_autograd::{ParamStore, Tape, Var};
 use hap_gnn::{AdjacencyRef, EncoderKind, GnnEncoder};
 use hap_graph::Graph;
-use hap_pooling::{
-    CoarsenModule, DiffPool, MeanAttReadout, MeanReadout, PoolCtx, SagPool,
-};
+use hap_pooling::{CoarsenModule, DiffPool, MeanAttReadout, MeanReadout, PoolCtx, SagPool};
+use hap_rand::Rng;
 use hap_tensor::Tensor;
-use rand::Rng;
 
 /// Configuration of a [`HapModel`].
 #[derive(Clone, Debug)]
@@ -98,7 +96,7 @@ impl AblationKind {
         clusters: usize,
         tau: f64,
         soft_sampling: bool,
-        rng: &mut impl Rng,
+        rng: &mut Rng,
     ) -> Box<dyn CoarsenModule> {
         match self {
             AblationKind::Hap => {
@@ -109,9 +107,9 @@ impl AblationKind {
                 Box::new(m)
             }
             AblationKind::MeanPool => Box::new(FlatCoarsen::new(MeanReadout)),
-            AblationKind::MeanAttPool => Box::new(FlatCoarsen::new(MeanAttReadout::new(
-                store, name, dim, rng,
-            ))),
+            AblationKind::MeanAttPool => {
+                Box::new(FlatCoarsen::new(MeanAttReadout::new(store, name, dim, rng)))
+            }
             AblationKind::SagPool => Box::new(SagPool::new(store, name, dim, 0.5, rng)),
             AblationKind::DiffPool => Box::new(DiffPool::new(store, name, dim, clusters, rng)),
         }
@@ -132,7 +130,7 @@ pub struct HapModel {
 
 impl HapModel {
     /// Builds the model with HAP coarsening modules.
-    pub fn new(store: &mut ParamStore, cfg: &HapConfig, rng: &mut impl Rng) -> Self {
+    pub fn new(store: &mut ParamStore, cfg: &HapConfig, rng: &mut Rng) -> Self {
         Self::with_ablation(store, cfg, AblationKind::Hap, rng)
     }
 
@@ -142,7 +140,7 @@ impl HapModel {
         store: &mut ParamStore,
         cfg: &HapConfig,
         kind: AblationKind,
-        rng: &mut impl Rng,
+        rng: &mut Rng,
     ) -> Self {
         let k = cfg.cluster_sizes.len();
         let mut encoders = Vec::with_capacity(k.max(1));
@@ -248,9 +246,8 @@ impl HapModel {
 mod tests {
     use super::*;
     use hap_graph::{degree_one_hot, generators, Permutation};
+    use hap_rand::Rng;
     use hap_tensor::testutil::assert_close;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     fn cfg() -> HapConfig {
         HapConfig::new(5, 6).with_clusters(&[4, 2])
@@ -258,7 +255,7 @@ mod tests {
 
     #[test]
     fn hierarchy_produces_one_embedding_per_level() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Rng::from_seed(1);
         let mut store = ParamStore::new();
         let model = HapModel::new(&mut store, &cfg(), &mut rng);
         assert_eq!(model.depth(), 2);
@@ -279,7 +276,7 @@ mod tests {
 
     #[test]
     fn zero_depth_model_is_flat() {
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = Rng::from_seed(2);
         let mut store = ParamStore::new();
         let model = HapModel::new(&mut store, &cfg().with_clusters(&[]), &mut rng);
         assert_eq!(model.depth(), 0);
@@ -296,7 +293,7 @@ mod tests {
 
     #[test]
     fn all_ablations_run_and_train() {
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = Rng::from_seed(3);
         let g = generators::erdos_renyi_connected(8, 0.4, &mut rng);
         let x = degree_one_hot(&g, 5);
         for &kind in AblationKind::all() {
@@ -318,7 +315,7 @@ mod tests {
 
     #[test]
     fn whole_model_is_permutation_invariant_at_eval() {
-        let mut rng = StdRng::seed_from_u64(4);
+        let mut rng = Rng::from_seed(4);
         let mut store = ParamStore::new();
         let model = HapModel::new(&mut store, &cfg(), &mut rng);
         let g = generators::erdos_renyi_connected(8, 0.4, &mut rng);
@@ -328,7 +325,7 @@ mod tests {
         let xp = perm.apply_rows(&x);
 
         let run = |g: &hap_graph::Graph, x: &Tensor| {
-            let mut rng = StdRng::seed_from_u64(0);
+            let mut rng = Rng::from_seed(0);
             let mut t = Tape::new();
             let mut ctx = PoolCtx {
                 training: false,
@@ -344,7 +341,7 @@ mod tests {
     fn generalizes_across_graph_sizes() {
         // The same trained parameters must accept 10-node and 100-node
         // graphs (the Table 7 scenario).
-        let mut rng = StdRng::seed_from_u64(5);
+        let mut rng = Rng::from_seed(5);
         let mut store = ParamStore::new();
         let model = HapModel::new(&mut store, &cfg(), &mut rng);
         for n in [10, 100] {

@@ -6,8 +6,8 @@ use hap_autograd::{ParamStore, Tape, Var};
 use hap_graph::Graph;
 use hap_nn::{bce_scalar, cross_entropy_logits, mse_scalar, Activation, Mlp};
 use hap_pooling::PoolCtx;
+use hap_rand::Rng;
 use hap_tensor::Tensor;
-use rand::Rng;
 
 /// Guard under the square root so the Euclidean distance stays
 /// differentiable at zero.
@@ -42,12 +42,7 @@ pub struct HapClassifier {
 
 impl HapClassifier {
     /// Builds the classifier on top of an existing hierarchy.
-    pub fn new(
-        store: &mut ParamStore,
-        model: HapModel,
-        classes: usize,
-        rng: &mut impl Rng,
-    ) -> Self {
+    pub fn new(store: &mut ParamStore, model: HapModel, classes: usize, rng: &mut Rng) -> Self {
         let hidden = model.hidden();
         let levels = model.depth().max(1);
         let head = Mlp::new(
@@ -325,11 +320,10 @@ mod tests {
     use super::*;
     use crate::HapConfig;
     use hap_graph::{degree_one_hot, generators};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use hap_rand::Rng;
 
     fn model(seed: u64) -> (ParamStore, HapModel) {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng::from_seed(seed);
         let mut store = ParamStore::new();
         let cfg = HapConfig::new(5, 6).with_clusters(&[4, 2]);
         let m = HapModel::new(&mut store, &cfg, &mut rng);
@@ -339,7 +333,7 @@ mod tests {
     #[test]
     fn classifier_logits_loss_and_predict() {
         let (mut store, m) = model(1);
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = Rng::from_seed(2);
         let clf = HapClassifier::new(&mut store, m, 3, &mut rng);
         let g = generators::erdos_renyi_connected(8, 0.4, &mut rng);
         let x = degree_one_hot(&g, 5);
@@ -360,7 +354,7 @@ mod tests {
     fn matcher_scores_identical_graphs_as_similar() {
         let (_s, m) = model(3);
         let matcher = HapMatcher::new(m);
-        let mut rng = StdRng::seed_from_u64(4);
+        let mut rng = Rng::from_seed(4);
         let g = generators::erdos_renyi_connected(7, 0.4, &mut rng);
         let x = degree_one_hot(&g, 5);
         let mut ctx = PoolCtx {
@@ -370,7 +364,10 @@ mod tests {
         let score = matcher.score((&g, &x), (&g, &x), &mut ctx);
         assert_eq!(score.per_level.len(), 2);
         for s in &score.per_level {
-            assert!((s - 1.0).abs() < 1e-6, "self-similarity must be ~1, got {s}");
+            assert!(
+                (s - 1.0).abs() < 1e-6,
+                "self-similarity must be ~1, got {s}"
+            );
         }
         assert!(score.is_match());
     }
@@ -379,7 +376,7 @@ mod tests {
     fn matcher_loss_trains() {
         let (store, m) = model(5);
         let matcher = HapMatcher::new(m);
-        let mut rng = StdRng::seed_from_u64(6);
+        let mut rng = Rng::from_seed(6);
         let g1 = generators::erdos_renyi_connected(7, 0.4, &mut rng);
         let g2 = generators::erdos_renyi_connected(9, 0.4, &mut rng);
         let (x1, x2) = (degree_one_hot(&g1, 5), degree_one_hot(&g2, 5));
@@ -398,7 +395,7 @@ mod tests {
     fn similarity_triplet_self_relative_distance_is_zero() {
         let (_s, m) = model(7);
         let sim = HapSimilarity::new(m);
-        let mut rng = StdRng::seed_from_u64(8);
+        let mut rng = Rng::from_seed(8);
         let g = generators::erdos_renyi_connected(6, 0.5, &mut rng);
         let x = degree_one_hot(&g, 5);
         let mut ctx = PoolCtx {
@@ -414,7 +411,7 @@ mod tests {
     fn similarity_loss_trains() {
         let (store, m) = model(9);
         let sim = HapSimilarity::new(m);
-        let mut rng = StdRng::seed_from_u64(10);
+        let mut rng = Rng::from_seed(10);
         let gs: Vec<_> = (0..3)
             .map(|_| generators::erdos_renyi_connected(7, 0.4, &mut rng))
             .collect();

@@ -3,8 +3,8 @@
 
 use hap_ged::{exact_ged, EditCosts};
 use hap_graph::{degree_one_hot, label_one_hot, Graph};
+use hap_rand::Rng;
 use hap_tensor::Tensor;
-use rand::Rng;
 use std::collections::HashMap;
 
 /// Atom labels of the AIDS-like molecules.
@@ -23,7 +23,7 @@ pub struct GedGraph {
 
 /// A random connected sparse graph: uniform spanning-tree backbone plus
 /// `extra` random chords.
-fn sparse_connected(n: usize, extra: usize, rng: &mut impl Rng) -> Graph {
+fn sparse_connected(n: usize, extra: usize, rng: &mut Rng) -> Graph {
     let mut g = Graph::empty(n);
     for v in 1..n {
         let u = rng.gen_range(0..v);
@@ -42,7 +42,7 @@ fn sparse_connected(n: usize, extra: usize, rng: &mut impl Rng) -> Graph {
 /// AIDS-like corpus: `count` labelled molecule graphs with 4–10 nodes
 /// (paper: max 10, avg 8.9). Features are label one-hots (Sec. 6.1.3:
 /// "we adopt one-hot encoding of node labels for AIDS").
-pub fn aids_like(count: usize, rng: &mut impl Rng) -> Vec<GedGraph> {
+pub fn aids_like(count: usize, rng: &mut Rng) -> Vec<GedGraph> {
     (0..count)
         .map(|_| {
             let n = rng.gen_range(6..=10);
@@ -58,7 +58,7 @@ pub fn aids_like(count: usize, rng: &mut impl Rng) -> Vec<GedGraph> {
 /// LINUX-like corpus: `count` unlabelled program-dependence-like graphs
 /// with 4–10 nodes (paper: max 10, avg 7.7) — tree-dominated, very
 /// sparse. Features are degree one-hots.
-pub fn linux_like(count: usize, rng: &mut impl Rng) -> Vec<GedGraph> {
+pub fn linux_like(count: usize, rng: &mut Rng) -> Vec<GedGraph> {
     (0..count)
         .map(|_| {
             let n = rng.gen_range(4..=10);
@@ -90,11 +90,7 @@ pub struct TripletSample {
 /// (Eqs. 8–10). Pairwise GEDs are cached, so repeated anchors are cheap.
 /// Triplets with `b == c` or zero relative GED are skipped (they carry no
 /// ordering signal).
-pub fn triplet_corpus(
-    graphs: &[GedGraph],
-    count: usize,
-    rng: &mut impl Rng,
-) -> Vec<TripletSample> {
+pub fn triplet_corpus(graphs: &[GedGraph], count: usize, rng: &mut Rng) -> Vec<TripletSample> {
     assert!(graphs.len() >= 3, "need at least 3 graphs for triplets");
     let costs = EditCosts::uniform();
     let mut cache: HashMap<(usize, usize), f64> = HashMap::new();
@@ -133,12 +129,11 @@ pub fn triplet_corpus(
 mod tests {
     use super::*;
     use hap_graph::is_connected;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use hap_rand::Rng;
 
     #[test]
     fn aids_graphs_respect_the_exact_ged_limit() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Rng::from_seed(1);
         for g in aids_like(20, &mut rng) {
             assert!(g.graph.n() <= 10 && g.graph.n() >= 6);
             assert!(is_connected(&g.graph));
@@ -149,7 +144,7 @@ mod tests {
 
     #[test]
     fn linux_graphs_are_sparse_and_unlabelled() {
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = Rng::from_seed(2);
         for g in linux_like(20, &mut rng) {
             assert!(g.graph.n() <= 10);
             assert!(is_connected(&g.graph));
@@ -161,7 +156,7 @@ mod tests {
 
     #[test]
     fn triplets_have_consistent_ground_truth() {
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = Rng::from_seed(3);
         let corpus = linux_like(10, &mut rng);
         let triplets = triplet_corpus(&corpus, 15, &mut rng);
         assert!(!triplets.is_empty());
@@ -176,7 +171,7 @@ mod tests {
 
     #[test]
     fn triplet_indices_are_distinct() {
-        let mut rng = StdRng::seed_from_u64(4);
+        let mut rng = Rng::from_seed(4);
         let corpus = linux_like(8, &mut rng);
         for t in triplet_corpus(&corpus, 10, &mut rng) {
             assert!(t.a != t.b && t.a != t.c && t.b != t.c);

@@ -1,9 +1,9 @@
 //! Dataset containers, splits and statistics.
 
 use hap_graph::Graph;
+use hap_rand::Rng;
+use hap_rand::SliceRandom;
 use hap_tensor::Tensor;
-use rand::seq::SliceRandom;
-use rand::Rng;
 
 /// One labelled graph with its initial node-feature matrix (Sec. 6.1.3
 /// encoding already applied).
@@ -68,7 +68,7 @@ pub struct DatasetStats {
 
 /// Random 8:1:1 train/validation/test split (Sec. 6.1.3) over `n`
 /// indices.
-pub fn split_811(n: usize, rng: &mut impl Rng) -> (Vec<usize>, Vec<usize>, Vec<usize>) {
+pub fn split_811(n: usize, rng: &mut Rng) -> (Vec<usize>, Vec<usize>, Vec<usize>) {
     let mut idx: Vec<usize> = (0..n).collect();
     idx.shuffle(rng);
     let n_train = (n as f64 * 0.8).round() as usize;
@@ -82,12 +82,11 @@ pub fn split_811(n: usize, rng: &mut impl Rng) -> (Vec<usize>, Vec<usize>, Vec<u
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use hap_rand::Rng;
 
     #[test]
     fn split_covers_everything_once() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Rng::from_seed(1);
         let (tr, va, te) = split_811(100, &mut rng);
         assert_eq!(tr.len(), 80);
         assert_eq!(va.len(), 10);
@@ -99,7 +98,7 @@ mod tests {
 
     #[test]
     fn split_handles_tiny_inputs() {
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = Rng::from_seed(2);
         let (tr, va, te) = split_811(3, &mut rng);
         assert_eq!(tr.len() + va.len() + te.len(), 3);
     }

@@ -10,7 +10,7 @@
 
 use crate::{ClassificationDataset, GraphSample};
 use hap_graph::{degree_one_hot, generators, Graph};
-use rand::Rng;
+use hap_rand::Rng;
 
 /// Degree-one-hot width shared by the social simulators; degrees are
 /// bucketed at `DEGREE_DIM - 1` so any graph size is encodable.
@@ -19,7 +19,7 @@ const DEGREE_DIM: usize = 16;
 /// An ego network with `communities` dense groups, each of `sizes[i]`
 /// members with internal edge probability `p_in`; node 0 is the ego,
 /// connected to every member; communities are otherwise disjoint.
-fn ego_communities(sizes: &[usize], p_in: f64, rng: &mut impl Rng) -> Graph {
+fn ego_communities(sizes: &[usize], p_in: f64, rng: &mut Rng) -> Graph {
     let total: usize = 1 + sizes.iter().sum::<usize>();
     let mut g = Graph::empty(total);
     let mut base = 1;
@@ -42,7 +42,7 @@ fn community_dataset(
     num_graphs: usize,
     class_communities: &[usize],
     avg_members: usize,
-    rng: &mut impl Rng,
+    rng: &mut Rng,
 ) -> ClassificationDataset {
     let num_classes = class_communities.len();
     let mut samples = Vec::with_capacity(num_graphs);
@@ -76,13 +76,13 @@ fn community_dataset(
 /// IMDB-B-like: 2 classes — single-genre egos (1 community) vs
 /// two-genre egos (2 communities). Paper stats: 1000 graphs, avg 19.8
 /// nodes.
-pub fn imdb_b(num_graphs: usize, rng: &mut impl Rng) -> ClassificationDataset {
+pub fn imdb_b(num_graphs: usize, rng: &mut Rng) -> ClassificationDataset {
     community_dataset("IMDB-B", num_graphs, &[1, 2], 9, rng)
 }
 
 /// IMDB-M-like: 3 classes — 1, 2 or 3 communities. Paper stats: 1500
 /// graphs, avg 13.0 nodes.
-pub fn imdb_m(num_graphs: usize, rng: &mut impl Rng) -> ClassificationDataset {
+pub fn imdb_m(num_graphs: usize, rng: &mut Rng) -> ClassificationDataset {
     community_dataset("IMDB-M", num_graphs, &[1, 2, 3], 5, rng)
 }
 
@@ -91,7 +91,7 @@ pub fn imdb_m(num_graphs: usize, rng: &mut impl Rng) -> ClassificationDataset {
 /// attachment (Astro), and loosely-coupled multi-group (Condensed
 /// Matter). Paper stats: 5000 graphs, avg 74 nodes; `scale` shrinks node
 /// counts for quick runs (1.0 ≈ paper sizes).
-pub fn collab(num_graphs: usize, scale: f64, rng: &mut impl Rng) -> ClassificationDataset {
+pub fn collab(num_graphs: usize, scale: f64, rng: &mut Rng) -> ClassificationDataset {
     assert!(scale > 0.0, "scale must be positive");
     let mut samples = Vec::with_capacity(num_graphs);
     for i in 0..num_graphs {
@@ -125,12 +125,11 @@ pub fn collab(num_graphs: usize, scale: f64, rng: &mut impl Rng) -> Classificati
 mod tests {
     use super::*;
     use hap_graph::is_connected;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use hap_rand::Rng;
 
     #[test]
     fn imdb_b_shape_and_balance() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Rng::from_seed(1);
         let ds = imdb_b(40, &mut rng);
         assert_eq!(ds.samples.len(), 40);
         assert_eq!(ds.num_classes, 2);
@@ -144,7 +143,7 @@ mod tests {
 
     #[test]
     fn imdb_m_has_three_balanced_classes() {
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = Rng::from_seed(2);
         let ds = imdb_m(30, &mut rng);
         assert_eq!(ds.num_classes, 3);
         assert_eq!(ds.class_counts(), vec![10, 10, 10]);
@@ -155,7 +154,7 @@ mod tests {
         // 2-community graphs should be systematically larger and less
         // dense around the ego than 1-community graphs — the signal a
         // hierarchical pooler can pick up.
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = Rng::from_seed(3);
         let ds = imdb_b(60, &mut rng);
         let avg_n = |label: usize| {
             let v: Vec<f64> = ds
@@ -171,7 +170,7 @@ mod tests {
 
     #[test]
     fn collab_styles_differ_structurally() {
-        let mut rng = StdRng::seed_from_u64(4);
+        let mut rng = Rng::from_seed(4);
         let ds = collab(30, 0.3, &mut rng);
         assert_eq!(ds.num_classes, 3);
         // BA graphs (class 1) should have the highest max degree on
@@ -195,8 +194,8 @@ mod tests {
 
     #[test]
     fn determinism_under_seed() {
-        let ds1 = imdb_b(10, &mut StdRng::seed_from_u64(7));
-        let ds2 = imdb_b(10, &mut StdRng::seed_from_u64(7));
+        let ds1 = imdb_b(10, &mut Rng::from_seed(7));
+        let ds2 = imdb_b(10, &mut Rng::from_seed(7));
         for (a, b) in ds1.samples.iter().zip(&ds2.samples) {
             assert_eq!(a.graph, b.graph);
             assert_eq!(a.label, b.label);

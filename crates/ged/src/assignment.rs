@@ -194,19 +194,14 @@ pub fn lapjv(cost: &[Vec<f64>]) -> (Vec<usize>, f64) {
         }
     }
 
-    let total = col_of
-        .iter()
-        .enumerate()
-        .map(|(i, &j)| cost[i][j])
-        .sum();
+    let total = col_of.iter().enumerate().map(|(i, &j)| cost[i][j]).sum();
     (col_of, total)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use hap_rand::Rng;
 
     fn brute_force(cost: &[Vec<f64>]) -> f64 {
         let n = cost.len();
@@ -267,7 +262,7 @@ mod tests {
 
     #[test]
     fn both_solvers_match_brute_force_on_random_instances() {
-        let mut rng = StdRng::seed_from_u64(42);
+        let mut rng = Rng::from_seed(42);
         for trial in 0..30 {
             let n = rng.gen_range(2..=7);
             let cost: Vec<Vec<f64>> = (0..n)
@@ -293,11 +288,7 @@ mod tests {
     fn handles_forbidden_entries() {
         // Force the anti-diagonal by forbidding everything else.
         let f = FORBIDDEN;
-        let cost = vec![
-            vec![f, f, 1.0],
-            vec![f, 2.0, f],
-            vec![3.0, f, f],
-        ];
+        let cost = vec![vec![f, f, 1.0], vec![f, 2.0, f], vec![3.0, f, f]];
         let (a, c) = hungarian(&cost);
         assert_eq!(a, vec![2, 1, 0]);
         assert_eq!(c, 6.0);

@@ -98,8 +98,7 @@ mod tests {
     use super::*;
     use crate::exact_ged;
     use hap_graph::{generators, Permutation};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use hap_rand::Rng;
 
     fn uniform() -> EditCosts {
         EditCosts::uniform()
@@ -120,7 +119,7 @@ mod tests {
 
     #[test]
     fn isomorphic_stars_score_zero() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Rng::from_seed(1);
         let g = generators::star(7);
         let p = Permutation::random(7, &mut rng);
         let h = p.apply_graph(&g);
@@ -131,7 +130,7 @@ mod tests {
 
     #[test]
     fn upper_bounds_exact_ged() {
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = Rng::from_seed(2);
         for trial in 0..12 {
             let g1 = generators::erdos_renyi(6, 0.4, &mut rng);
             let g2 = generators::erdos_renyi(6, 0.5, &mut rng);
@@ -148,7 +147,7 @@ mod tests {
 
     #[test]
     fn approximation_is_usually_tight_on_small_graphs() {
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = Rng::from_seed(3);
         let mut close = 0;
         let trials = 20;
         for _ in 0..trials {
@@ -160,7 +159,10 @@ mod tests {
                 close += 1;
             }
         }
-        assert!(close >= trials * 3 / 4, "only {close}/{trials} within 2 of exact");
+        assert!(
+            close >= trials * 3 / 4,
+            "only {close}/{trials} within 2 of exact"
+        );
     }
 
     #[test]

@@ -89,13 +89,7 @@ fn heuristic(g1: &Graph, g2: &Graph, state: &State, costs: &EditCosts) -> f64 {
 /// Incremental edge cost of extending `state` by mapping g1 node `i`
 /// (= `state.mapping.len()`) to `to` (`None` = deletion): edges between
 /// `i` and already-processed nodes are now decided.
-fn edge_delta(
-    g1: &Graph,
-    g2: &Graph,
-    state: &State,
-    to: Option<usize>,
-    costs: &EditCosts,
-) -> f64 {
+fn edge_delta(g1: &Graph, g2: &Graph, state: &State, to: Option<usize>, costs: &EditCosts) -> f64 {
     let i = state.mapping.len();
     let mut delta = 0.0;
     for (p, m) in state.mapping.iter().enumerate() {
@@ -247,8 +241,7 @@ pub fn beam_ged(g1: &Graph, g2: &Graph, width: usize, costs: &EditCosts) -> f64 
 mod tests {
     use super::*;
     use hap_graph::{generators, Graph, Permutation};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use hap_rand::Rng;
 
     fn uniform() -> EditCosts {
         EditCosts::uniform()
@@ -263,7 +256,7 @@ mod tests {
 
     #[test]
     fn isomorphic_graphs_have_zero_ged() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Rng::from_seed(1);
         let g = generators::erdos_renyi_connected(6, 0.4, &mut rng);
         let p = Permutation::random(6, &mut rng);
         let h = p.apply_graph(&g);
@@ -295,7 +288,7 @@ mod tests {
 
     #[test]
     fn ged_is_symmetric_with_uniform_costs() {
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = Rng::from_seed(2);
         for _ in 0..5 {
             let g1 = generators::erdos_renyi(5, 0.4, &mut rng);
             let g2 = generators::erdos_renyi(6, 0.4, &mut rng);
@@ -307,30 +300,34 @@ mod tests {
 
     #[test]
     fn beam_is_an_upper_bound_and_wider_is_tighter() {
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = Rng::from_seed(3);
         for trial in 0..8 {
             let g1 = generators::erdos_renyi(6, 0.4, &mut rng);
             let g2 = generators::erdos_renyi(6, 0.5, &mut rng);
             let exact = exact_ged(&g1, &g2, &uniform());
             let b1 = beam_ged(&g1, &g2, 1, &uniform());
             let b80 = beam_ged(&g1, &g2, 80, &uniform());
-            assert!(b1 >= exact - 1e-9, "trial {trial}: beam1 {b1} < exact {exact}");
-            assert!(b80 >= exact - 1e-9, "trial {trial}: beam80 {b80} < exact {exact}");
+            assert!(
+                b1 >= exact - 1e-9,
+                "trial {trial}: beam1 {b1} < exact {exact}"
+            );
+            assert!(
+                b80 >= exact - 1e-9,
+                "trial {trial}: beam80 {b80} < exact {exact}"
+            );
             assert!(b80 <= b1 + 1e-9, "trial {trial}: beam80 {b80} > beam1 {b1}");
         }
     }
 
     #[test]
     fn beam80_often_matches_exact_on_small_graphs() {
-        let mut rng = StdRng::seed_from_u64(4);
+        let mut rng = Rng::from_seed(4);
         let mut agree = 0;
         let trials = 10;
         for _ in 0..trials {
             let g1 = generators::erdos_renyi(5, 0.4, &mut rng);
             let g2 = generators::erdos_renyi(5, 0.5, &mut rng);
-            if (beam_ged(&g1, &g2, 80, &uniform()) - exact_ged(&g1, &g2, &uniform())).abs()
-                < 1e-9
-            {
+            if (beam_ged(&g1, &g2, 80, &uniform()) - exact_ged(&g1, &g2, &uniform())).abs() < 1e-9 {
                 agree += 1;
             }
         }
@@ -339,7 +336,7 @@ mod tests {
 
     #[test]
     fn triangle_inequality_spot_check() {
-        let mut rng = StdRng::seed_from_u64(5);
+        let mut rng = Rng::from_seed(5);
         for _ in 0..5 {
             let a = generators::erdos_renyi(5, 0.4, &mut rng);
             let b = generators::erdos_renyi(5, 0.5, &mut rng);

@@ -106,7 +106,10 @@ mod tests {
     fn induced_cost_of_identity_is_zero() {
         let g = generators::cycle(4);
         let mapping: Vec<_> = (0..4).map(Some).collect();
-        assert_eq!(induced_edit_cost(&g, &g, &mapping, &EditCosts::uniform()), 0.0);
+        assert_eq!(
+            induced_edit_cost(&g, &g, &mapping, &EditCosts::uniform()),
+            0.0
+        );
     }
 
     #[test]
@@ -127,6 +130,9 @@ mod tests {
         let g2 = generators::path(3);
         let mapping = vec![Some(0)];
         // 2 node insertions + 2 edge insertions
-        assert_eq!(induced_edit_cost(&g1, &g2, &mapping, &EditCosts::uniform()), 4.0);
+        assert_eq!(
+            induced_edit_cost(&g1, &g2, &mapping, &EditCosts::uniform()),
+            4.0
+        );
     }
 }

@@ -3,7 +3,7 @@
 use crate::{AdjacencyRef, GatLayer, GcnLayer};
 use hap_autograd::{ParamStore, Tape, Var};
 use hap_nn::Activation;
-use rand::Rng;
+use hap_rand::Rng;
 
 /// Which convolution the encoder stacks — the paper evaluates both GAT and
 /// GCN as the node & cluster embedding component and reports the better
@@ -45,7 +45,7 @@ impl GnnEncoder {
         name: &str,
         kind: EncoderKind,
         dims: &[usize],
-        rng: &mut impl Rng,
+        rng: &mut Rng,
     ) -> Self {
         assert!(dims.len() >= 2, "encoder needs at least in and out dims");
         let layers = dims
@@ -112,13 +112,12 @@ impl GnnEncoder {
 mod tests {
     use super::*;
     use hap_graph::generators;
+    use hap_rand::Rng;
     use hap_tensor::Tensor;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     #[test]
     fn two_layer_shapes_both_kinds() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Rng::from_seed(1);
         let g = generators::erdos_renyi_connected(7, 0.4, &mut rng);
         for kind in [EncoderKind::Gcn, EncoderKind::Gat] {
             let mut store = ParamStore::new();
@@ -138,7 +137,7 @@ mod tests {
     fn receptive_field_grows_with_depth() {
         // On a path graph, information from node 0 reaches node k only
         // after k layers: check a 2-layer GCN sees exactly 2 hops.
-        let mut rng = StdRng::seed_from_u64(21);
+        let mut rng = Rng::from_seed(21);
         let g = generators::path(5);
         let mut store = ParamStore::new();
         let enc = GnnEncoder::new(&mut store, "enc", EncoderKind::Gcn, &[1, 4, 4], &mut rng);
@@ -153,7 +152,7 @@ mod tests {
         };
         let base = run(4); // signal far from node 0
         let near = run(2); // signal 2 hops from node 0
-        // node 0's embedding must differ when signal is within 2 hops…
+                           // node 0's embedding must differ when signal is within 2 hops…
         assert!(
             base.row(0)
                 .iter()

@@ -3,8 +3,8 @@
 use crate::AdjacencyRef;
 use hap_autograd::{Param, ParamStore, Tape, Var};
 use hap_nn::{xavier_uniform, Activation, Linear};
+use hap_rand::Rng;
 use hap_tensor::Tensor;
-use rand::Rng;
 
 /// Additive mask value for non-edges: large enough to zero them out after
 /// softmax, small enough to avoid NaN arithmetic.
@@ -39,7 +39,7 @@ impl GatLayer {
         name: &str,
         in_dim: usize,
         out_dim: usize,
-        rng: &mut impl Rng,
+        rng: &mut Rng,
     ) -> Self {
         Self::with_activation(store, name, in_dim, out_dim, Activation::Relu, rng)
     }
@@ -51,17 +51,11 @@ impl GatLayer {
         in_dim: usize,
         out_dim: usize,
         activation: Activation,
-        rng: &mut impl Rng,
+        rng: &mut Rng,
     ) -> Self {
         let linear = Linear::new(store, &format!("{name}.lin"), in_dim, out_dim, false, rng);
-        let att_src = store.new_param(
-            format!("{name}.att_src"),
-            xavier_uniform(out_dim, 1, rng),
-        );
-        let att_dst = store.new_param(
-            format!("{name}.att_dst"),
-            xavier_uniform(out_dim, 1, rng),
-        );
+        let att_src = store.new_param(format!("{name}.att_src"), xavier_uniform(out_dim, 1, rng));
+        let att_dst = store.new_param(format!("{name}.att_dst"), xavier_uniform(out_dim, 1, rng));
         Self {
             linear,
             att_src,
@@ -167,12 +161,11 @@ mod tests {
     use super::*;
     use hap_autograd::check_param_grad;
     use hap_graph::{generators, Graph};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use hap_rand::Rng;
 
     #[test]
     fn output_shape() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Rng::from_seed(1);
         let mut store = ParamStore::new();
         let layer = GatLayer::new(&mut store, "gat", 4, 6, &mut rng);
         let g = generators::cycle(5);
@@ -185,7 +178,7 @@ mod tests {
 
     #[test]
     fn attention_rows_are_distributions_on_neighbourhood() {
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = Rng::from_seed(2);
         let mut store = ParamStore::new();
         let layer = GatLayer::new(&mut store, "gat", 3, 4, &mut rng);
         let g = Graph::from_edges(4, &[(0, 1), (1, 2)]); // node 3 isolated
@@ -206,10 +199,9 @@ mod tests {
 
     #[test]
     fn gradcheck_all_parameters() {
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = Rng::from_seed(3);
         let mut store = ParamStore::new();
-        let layer =
-            GatLayer::with_activation(&mut store, "gat", 3, 3, Activation::Tanh, &mut rng);
+        let layer = GatLayer::with_activation(&mut store, "gat", 3, 3, Activation::Tanh, &mut rng);
         let g = generators::erdos_renyi_connected(5, 0.5, &mut rng);
         let x = Tensor::rand_uniform(5, 3, -1.0, 1.0, &mut rng);
 
@@ -229,7 +221,7 @@ mod tests {
 
     #[test]
     fn dynamic_dense_adjacency_is_fully_connected_attention() {
-        let mut rng = StdRng::seed_from_u64(4);
+        let mut rng = Rng::from_seed(4);
         let mut store = ParamStore::new();
         let layer = GatLayer::new(&mut store, "gat", 3, 3, &mut rng);
         let mut t = Tape::new();

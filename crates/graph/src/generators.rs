@@ -7,11 +7,11 @@
 //! dataset simulators in `hap-data`.
 
 use crate::{algorithms::is_connected, Graph};
-use rand::Rng;
+use hap_rand::Rng;
 
 /// Erdős–Rényi `G(n, p)`: each of the `n(n-1)/2` possible edges appears
 /// independently with probability `p`.
-pub fn erdos_renyi(n: usize, p: f64, rng: &mut impl Rng) -> Graph {
+pub fn erdos_renyi(n: usize, p: f64, rng: &mut Rng) -> Graph {
     let mut g = Graph::empty(n);
     for u in 0..n {
         for v in (u + 1)..n {
@@ -26,7 +26,7 @@ pub fn erdos_renyi(n: usize, p: f64, rng: &mut impl Rng) -> Graph {
 /// Erdős–Rényi conditioned on connectivity: resamples up to `max_tries`
 /// times, then force-connects remaining components with random bridge
 /// edges (keeps the generator total for small `p`).
-pub fn erdos_renyi_connected(n: usize, p: f64, rng: &mut impl Rng) -> Graph {
+pub fn erdos_renyi_connected(n: usize, p: f64, rng: &mut Rng) -> Graph {
     const MAX_TRIES: usize = 50;
     for _ in 0..MAX_TRIES {
         let g = erdos_renyi(n, p, rng);
@@ -52,7 +52,7 @@ pub fn erdos_renyi_connected(n: usize, p: f64, rng: &mut impl Rng) -> Graph {
 ///
 /// # Panics
 /// Panics when `n < m` or `m == 0`.
-pub fn barabasi_albert(n: usize, m: usize, rng: &mut impl Rng) -> Graph {
+pub fn barabasi_albert(n: usize, m: usize, rng: &mut Rng) -> Graph {
     assert!(m > 0, "attachment count must be positive");
     assert!(n >= m, "need at least m={m} nodes, got {n}");
     let mut g = clique(m);
@@ -132,7 +132,7 @@ pub fn star(n: usize) -> Graph {
 /// connecting edges so the result is one component containing the motif as
 /// a (noisy-attached) substructure. Used by the MUTAG-like generator where
 /// the class signal is a higher-order arrangement around a shared motif.
-pub fn planted_union(host: &Graph, motif: &Graph, bridges: usize, rng: &mut impl Rng) -> Graph {
+pub fn planted_union(host: &Graph, motif: &Graph, bridges: usize, rng: &mut Rng) -> Graph {
     let mut g = host.disjoint_union(motif);
     if host.n() == 0 || motif.n() == 0 {
         return g;
@@ -148,28 +148,30 @@ pub fn planted_union(host: &Graph, motif: &Graph, bridges: usize, rng: &mut impl
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use hap_rand::Rng;
 
     #[test]
     fn er_edge_count_tracks_probability() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Rng::from_seed(1);
         let g = erdos_renyi(40, 0.3, &mut rng);
         let possible = 40 * 39 / 2;
         let frac = g.num_edges() as f64 / possible as f64;
-        assert!((frac - 0.3).abs() < 0.08, "edge fraction {frac} too far from 0.3");
+        assert!(
+            (frac - 0.3).abs() < 0.08,
+            "edge fraction {frac} too far from 0.3"
+        );
     }
 
     #[test]
     fn er_extremes() {
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = Rng::from_seed(2);
         assert_eq!(erdos_renyi(10, 0.0, &mut rng).num_edges(), 0);
         assert_eq!(erdos_renyi(10, 1.0, &mut rng).num_edges(), 45);
     }
 
     #[test]
     fn er_connected_is_connected() {
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = Rng::from_seed(3);
         for _ in 0..10 {
             let g = erdos_renyi_connected(12, 0.15, &mut rng);
             assert!(is_connected(&g));
@@ -178,7 +180,7 @@ mod tests {
 
     #[test]
     fn ba_has_expected_edge_count_and_connectivity() {
-        let mut rng = StdRng::seed_from_u64(4);
+        let mut rng = Rng::from_seed(4);
         let (n, m) = (30, 2);
         let g = barabasi_albert(n, m, &mut rng);
         assert_eq!(g.n(), n);
@@ -189,10 +191,14 @@ mod tests {
 
     #[test]
     fn ba_degrees_are_heavy_tailed() {
-        let mut rng = StdRng::seed_from_u64(5);
+        let mut rng = Rng::from_seed(5);
         let g = barabasi_albert(100, 2, &mut rng);
         // hubs should emerge: max degree far above the attachment count
-        assert!(g.max_degree() >= 8, "max degree {} too small", g.max_degree());
+        assert!(
+            g.max_degree() >= 8,
+            "max degree {} too small",
+            g.max_degree()
+        );
     }
 
     #[test]
@@ -207,7 +213,7 @@ mod tests {
 
     #[test]
     fn planted_union_is_connected_when_parts_are() {
-        let mut rng = StdRng::seed_from_u64(6);
+        let mut rng = Rng::from_seed(6);
         let host = cycle(6);
         let motif = clique(4);
         let g = planted_union(&host, &motif, 2, &mut rng);

@@ -131,12 +131,17 @@ impl Graph {
 
     /// Maximum unweighted degree over all nodes (0 for the empty graph).
     pub fn max_degree(&self) -> usize {
-        (0..self.n()).map(|u| self.degree_count(u)).max().unwrap_or(0)
+        (0..self.n())
+            .map(|u| self.degree_count(u))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Neighbors of `u` in ascending order.
     pub fn neighbors(&self, u: usize) -> Vec<usize> {
-        (0..self.n()).filter(|&v| self.adj[(u, v)] != 0.0 && v != u).collect()
+        (0..self.n())
+            .filter(|&v| self.adj[(u, v)] != 0.0 && v != u)
+            .collect()
     }
 
     /// Undirected edge list `(u, v)` with `u <= v`.
@@ -361,8 +366,8 @@ mod tests {
 
     #[test]
     fn induced_subgraph_renumbers_and_keeps_labels() {
-        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)])
-            .with_node_labels(vec![10, 11, 12, 13]);
+        let g =
+            Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]).with_node_labels(vec![10, 11, 12, 13]);
         let s = g.induced_subgraph(&[1, 2, 3]);
         assert_eq!(s.n(), 3);
         assert!(s.has_edge(0, 1) && s.has_edge(1, 2) && !s.has_edge(0, 2));

@@ -31,8 +31,7 @@ pub mod wl;
 pub use algorithms::{bfs_distances, connected_components, is_connected, largest_component};
 pub use features::{constant_features, degree_one_hot, label_one_hot};
 pub use generators::{
-    barabasi_albert, clique, cycle, erdos_renyi, erdos_renyi_connected, path, planted_union,
-    star,
+    barabasi_albert, clique, cycle, erdos_renyi, erdos_renyi_connected, path, planted_union, star,
 };
 pub use graph::Graph;
 pub use permutation::Permutation;

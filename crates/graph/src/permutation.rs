@@ -2,9 +2,9 @@
 //! permutation-invariance tests (`f(A, X) = f(PAPᵀ, PX)`).
 
 use crate::Graph;
+use hap_rand::Rng;
+use hap_rand::SliceRandom;
 use hap_tensor::Tensor;
-use rand::seq::SliceRandom;
-use rand::Rng;
 
 /// A bijection on `0..n`, stored as `map[i] = image of i`.
 ///
@@ -40,7 +40,7 @@ impl Permutation {
     }
 
     /// A uniformly random permutation (Fisher–Yates via `shuffle`).
-    pub fn random(n: usize, rng: &mut impl Rng) -> Self {
+    pub fn random(n: usize, rng: &mut Rng) -> Self {
         let mut map: Vec<usize> = (0..n).collect();
         map.shuffle(rng);
         Self { map }
@@ -112,7 +112,11 @@ impl Permutation {
     /// # Panics
     /// Panics when the row count differs from the permutation size.
     pub fn apply_rows(&self, x: &Tensor) -> Tensor {
-        assert_eq!(self.len(), x.rows(), "permutation size must match row count");
+        assert_eq!(
+            self.len(),
+            x.rows(),
+            "permutation size must match row count"
+        );
         let mut out = Tensor::zeros(x.rows(), x.cols());
         for r in 0..x.rows() {
             out.row_mut(self.map[r]).copy_from_slice(x.row(r));
@@ -124,9 +128,8 @@ impl Permutation {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use hap_rand::Rng;
     use hap_tensor::testutil::assert_close;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     #[test]
     fn identity_is_noop() {
@@ -145,7 +148,7 @@ mod tests {
 
     #[test]
     fn inverse_composes_to_identity() {
-        let mut rng = StdRng::seed_from_u64(11);
+        let mut rng = Rng::from_seed(11);
         let p = Permutation::random(7, &mut rng);
         let inv = p.inverse();
         for i in 0..7 {
@@ -155,7 +158,7 @@ mod tests {
 
     #[test]
     fn matrix_agrees_with_apply_rows() {
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = Rng::from_seed(3);
         let p = Permutation::random(5, &mut rng);
         let x = Tensor::rand_uniform(5, 3, -1.0, 1.0, &mut rng);
         let via_matrix = p.matrix().matmul(&x);
@@ -164,7 +167,7 @@ mod tests {
 
     #[test]
     fn graph_permutation_matches_matrix_conjugation() {
-        let mut rng = StdRng::seed_from_u64(5);
+        let mut rng = Rng::from_seed(5);
         let g = crate::generators::erdos_renyi(6, 0.5, &mut rng);
         let p = Permutation::random(6, &mut rng);
         let pm = p.matrix();
@@ -174,7 +177,7 @@ mod tests {
 
     #[test]
     fn permutation_preserves_degree_multiset() {
-        let mut rng = StdRng::seed_from_u64(9);
+        let mut rng = Rng::from_seed(9);
         let g = crate::generators::erdos_renyi(8, 0.4, &mut rng);
         let p = Permutation::random(8, &mut rng);
         let h = p.apply_graph(&g);

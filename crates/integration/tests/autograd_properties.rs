@@ -2,27 +2,35 @@
 //! composite expressions agree with finite differences, and structural
 //! identities of reverse-mode AD hold (linearity of the gradient in the
 //! seed, accumulation across shared subexpressions).
+//!
+//! Properties run over a deterministic family of seeded cases — the
+//! offline replacement for the old proptest strategies.
 
 use hap_autograd::{check_unary_op, Tape};
+use hap_rand::Rng;
 use hap_tensor::{testutil::assert_close, Tensor};
-use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
-fn arb_tensor(rows: usize, cols: usize) -> impl Strategy<Value = Tensor> {
-    any::<u64>().prop_map(move |seed| {
-        let mut rng = StdRng::seed_from_u64(seed);
-        Tensor::rand_uniform(rows, cols, -1.0, 1.0, &mut rng)
-    })
+const CASES: u64 = 16;
+
+fn for_each_case(label: &str, mut body: impl FnMut(&mut Rng)) {
+    let mut root = Rng::from_seed(0xAD_0001).fork(label);
+    for case in 0..CASES {
+        body(&mut root.fork(&format!("case.{case}")));
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
+fn arb_tensor(rows: usize, cols: usize, rng: &mut Rng) -> Tensor {
+    Tensor::rand_uniform(rows, cols, -1.0, 1.0, rng)
+}
 
-    /// A random composite expression (matmul → activation → softmax →
-    /// reduction) grad-checks against finite differences.
-    #[test]
-    fn random_composites_gradcheck(x in arb_tensor(3, 4), w in arb_tensor(4, 4), pick in 0u8..4) {
+/// A random composite expression (matmul → activation → softmax →
+/// reduction) grad-checks against finite differences.
+#[test]
+fn random_composites_gradcheck() {
+    for_each_case("composite", |rng| {
+        let x = arb_tensor(3, 4, rng);
+        let w = arb_tensor(4, 4, rng);
+        let pick: u8 = rng.gen_range(0..4);
         check_unary_op(x, 1e-5, move |t, v| {
             let w = t.constant(w.clone());
             let y = t.matmul(v, w);
@@ -35,11 +43,15 @@ proptest! {
             let sq = t.hadamard(y, y);
             t.sum_all(sq)
         });
-    }
+    });
+}
 
-    /// d(α·f)/dx == α·df/dx — the backward seed is linear.
-    #[test]
-    fn gradient_is_linear_in_seed(x in arb_tensor(3, 3), alpha in 0.1..5.0f64) {
+/// d(α·f)/dx == α·df/dx — the backward seed is linear.
+#[test]
+fn gradient_is_linear_in_seed() {
+    for_each_case("linear-seed", |rng| {
+        let x = arb_tensor(3, 3, rng);
+        let alpha = rng.gen_range(0.1..5.0);
         let grad_of = |scale_seed: f64| {
             let mut t = Tape::new();
             let v = t.constant(x.clone());
@@ -51,36 +63,46 @@ proptest! {
         let g1 = grad_of(1.0);
         let ga = grad_of(alpha);
         assert_close(&ga, &g1.scale(alpha), 1e-9);
-    }
+    });
+}
 
-    /// Using the same value twice accumulates both contributions:
-    /// d(x∘x)/dx = 2x-pattern compared against two independent constants.
-    #[test]
-    fn shared_subexpressions_accumulate(x in arb_tensor(2, 3)) {
+/// Using the same value twice accumulates both contributions:
+/// d(x∘x)/dx = 2x-pattern compared against two independent constants.
+#[test]
+fn shared_subexpressions_accumulate() {
+    for_each_case("shared", |rng| {
+        let x = arb_tensor(2, 3, rng);
         let mut t = Tape::new();
         let v = t.constant(x.clone());
         let y = t.add(v, v); // y = 2x, dy/dx = 2
         let s = t.sum_all(y);
         t.backward(s);
         assert_close(&t.grad(v), &Tensor::full(2, 3, 2.0), 1e-12);
-    }
+    });
+}
 
-    /// Constants block gradient flow into parameters they do not touch.
-    #[test]
-    fn untouched_nodes_get_zero_gradient(x in arb_tensor(2, 2), z in arb_tensor(2, 2)) {
+/// Constants block gradient flow into parameters they do not touch.
+#[test]
+fn untouched_nodes_get_zero_gradient() {
+    for_each_case("untouched", |rng| {
+        let x = arb_tensor(2, 2, rng);
+        let z = arb_tensor(2, 2, rng);
         let mut t = Tape::new();
         let vx = t.constant(x);
         let vz = t.constant(z); // never used downstream
         let y = t.tanh(vx);
         let s = t.sum_all(y);
         t.backward(s);
-        prop_assert_eq!(t.grad(vz).sum(), 0.0);
-    }
+        assert_eq!(t.grad(vz).sum(), 0.0);
+    });
+}
 
-    /// Transposing twice and differentiating equals differentiating
-    /// directly.
-    #[test]
-    fn transpose_involution_in_gradients(x in arb_tensor(3, 2)) {
+/// Transposing twice and differentiating equals differentiating
+/// directly.
+#[test]
+fn transpose_involution_in_gradients() {
+    for_each_case("involution", |rng| {
+        let x = arb_tensor(3, 2, rng);
         let grad_of = |twice: bool| {
             let mut t = Tape::new();
             let v = t.constant(x.clone());
@@ -96,5 +118,5 @@ proptest! {
             t.grad(v)
         };
         assert_close(&grad_of(true), &grad_of(false), 1e-12);
-    }
+    });
 }

@@ -1,54 +1,69 @@
 //! Metric and bound properties of the GED algorithm family, as
 //! properties over random graphs.
+//!
+//! Properties run over a deterministic family of seeded cases — the
+//! offline replacement for the old proptest strategies.
 
 use hap_ged::{beam_ged, bipartite_ged, exact_ged, BipartiteSolver, EditCosts};
 use hap_graph::{generators, Graph, Permutation};
 use hap_match::Vf2;
-use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use hap_rand::Rng;
 
-fn arb_graph(max_n: usize) -> impl Strategy<Value = Graph> {
-    (2usize..=max_n, any::<u64>(), 1u32..8).prop_map(|(n, seed, p10)| {
-        let mut rng = StdRng::seed_from_u64(seed);
-        generators::erdos_renyi(n, p10 as f64 / 10.0, &mut rng)
-    })
+const CASES: u64 = 20;
+
+fn for_each_case(label: &str, mut body: impl FnMut(&mut Rng)) {
+    let mut root = Rng::from_seed(0x6ED_0001).fork(label);
+    for case in 0..CASES {
+        body(&mut root.fork(&format!("case.{case}")));
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(20))]
+/// A random graph on `2..=max_n` nodes with edge density in `0.1..0.8`.
+fn arb_graph(max_n: usize, rng: &mut Rng) -> Graph {
+    let n = rng.gen_range(2..=max_n);
+    let p10: u32 = rng.gen_range(1..8);
+    generators::erdos_renyi(n, p10 as f64 / 10.0, rng)
+}
 
-    #[test]
-    fn exact_ged_is_a_metric_up_to_iso(
-        a in arb_graph(6),
-        b in arb_graph(6),
-        c in arb_graph(6),
-    ) {
+#[test]
+fn exact_ged_is_a_metric_up_to_iso() {
+    for_each_case("metric", |rng| {
+        let a = arb_graph(6, rng);
+        let b = arb_graph(6, rng);
+        let c = arb_graph(6, rng);
         let costs = EditCosts::uniform();
         let ab = exact_ged(&a, &b, &costs);
         let ba = exact_ged(&b, &a, &costs);
         // symmetry
-        prop_assert!((ab - ba).abs() < 1e-9, "symmetry: {ab} vs {ba}");
+        assert!((ab - ba).abs() < 1e-9, "symmetry: {ab} vs {ba}");
         // identity of indiscernibles (one direction)
-        prop_assert!(exact_ged(&a, &a, &costs) == 0.0);
+        assert!(exact_ged(&a, &a, &costs) == 0.0);
         // triangle inequality
         let bc = exact_ged(&b, &c, &costs);
         let ac = exact_ged(&a, &c, &costs);
-        prop_assert!(ac <= ab + bc + 1e-9, "triangle: {ac} > {ab} + {bc}");
+        assert!(ac <= ab + bc + 1e-9, "triangle: {ac} > {ab} + {bc}");
         // non-negativity
-        prop_assert!(ab >= 0.0);
-    }
+        assert!(ab >= 0.0);
+    });
+}
 
-    #[test]
-    fn zero_ged_iff_isomorphic(a in arb_graph(6), b in arb_graph(6)) {
+#[test]
+fn zero_ged_iff_isomorphic() {
+    for_each_case("zero-iso", |rng| {
+        let a = arb_graph(6, rng);
+        let b = arb_graph(6, rng);
         let costs = EditCosts::uniform();
         let d = exact_ged(&a, &b, &costs);
         let iso = Vf2::isomorphism(&a, &b).exists();
-        prop_assert_eq!(d == 0.0, iso, "GED {} vs VF2 {}", d, iso);
-    }
+        assert_eq!(d == 0.0, iso, "GED {d} vs VF2 {iso}");
+    });
+}
 
-    #[test]
-    fn approximations_upper_bound_exact(a in arb_graph(6), b in arb_graph(6)) {
+#[test]
+fn approximations_upper_bound_exact() {
+    for_each_case("bounds", |rng| {
+        let a = arb_graph(6, rng);
+        let b = arb_graph(6, rng);
         let costs = EditCosts::uniform();
         let exact = exact_ged(&a, &b, &costs);
         for approx in [
@@ -57,27 +72,28 @@ proptest! {
             bipartite_ged(&a, &b, BipartiteSolver::Hungarian, &costs),
             bipartite_ged(&a, &b, BipartiteSolver::Vj, &costs),
         ] {
-            prop_assert!(approx >= exact - 1e-9, "approx {} < exact {}", approx, exact);
+            assert!(approx >= exact - 1e-9, "approx {approx} < exact {exact}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn ged_invariant_under_relabelling(a in arb_graph(6), seed in any::<u64>()) {
+#[test]
+fn ged_invariant_under_relabelling() {
+    for_each_case("relabel", |rng| {
+        let a = arb_graph(6, rng);
         let costs = EditCosts::uniform();
-        let mut rng = StdRng::seed_from_u64(seed);
-        let b = arbify(&a, &mut rng);
-        let perm = Permutation::random(b.n(), &mut rng);
+        let b = arbify(&a, rng);
+        let perm = Permutation::random(b.n(), rng);
         let bp = perm.apply_graph(&b);
         let d1 = exact_ged(&a, &b, &costs);
         let d2 = exact_ged(&a, &bp, &costs);
-        prop_assert!((d1 - d2).abs() < 1e-9, "{} vs {}", d1, d2);
-    }
+        assert!((d1 - d2).abs() < 1e-9, "{d1} vs {d2}");
+    });
 }
 
 /// A small random edit of `a` (flip up to 2 edge slots) so the pair is
 /// related but not identical.
-fn arbify(a: &Graph, rng: &mut StdRng) -> Graph {
-    use rand::Rng;
+fn arbify(a: &Graph, rng: &mut Rng) -> Graph {
     let mut b = a.clone();
     if b.n() >= 2 {
         for _ in 0..2 {
@@ -105,7 +121,7 @@ fn vf2_agrees_with_exact_ged_on_curated_pairs() {
     assert!(exact_ged(&c6, &two_c3, &costs) > 0.0);
 
     // a graph and a random relabelling of itself
-    let mut rng = StdRng::seed_from_u64(5);
+    let mut rng = Rng::from_seed(5);
     let g = generators::erdos_renyi_connected(7, 0.4, &mut rng);
     let p = Permutation::random(7, &mut rng);
     let gp = p.apply_graph(&g);

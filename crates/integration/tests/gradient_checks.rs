@@ -11,8 +11,7 @@ use hap_autograd::{finite_difference_grad, ParamStore, Tape};
 use hap_core::{HapClassifier, HapConfig, HapMatcher, HapModel, HapSimilarity};
 use hap_graph::{degree_one_hot, generators};
 use hap_pooling::PoolCtx;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use hap_rand::Rng;
 
 /// Verifies `d loss / d p` for every parameter in `store` against finite
 /// differences, where `loss_of` recomputes the loss deterministically.
@@ -41,7 +40,7 @@ fn loss_of_no_grad(loss_of: &mut impl FnMut() -> f64) -> f64 {
 
 #[test]
 fn classification_loss_gradients_match_finite_differences() {
-    let mut rng = StdRng::seed_from_u64(1);
+    let mut rng = Rng::from_seed(1);
     let mut store = ParamStore::new();
     let cfg = HapConfig::new(4, 4).with_clusters(&[3, 2]);
     let model = HapModel::new(&mut store, &cfg, &mut rng);
@@ -52,7 +51,7 @@ fn classification_loss_gradients_match_finite_differences() {
     // deterministic loss: eval-mode soft sampling (no Gumbel noise)
     let loss_of = || {
         store.zero_grads();
-        let mut rng = StdRng::seed_from_u64(0);
+        let mut rng = Rng::from_seed(0);
         let mut tape = Tape::new();
         let mut ctx = PoolCtx {
             training: false,
@@ -68,7 +67,7 @@ fn classification_loss_gradients_match_finite_differences() {
 
 #[test]
 fn matching_loss_gradients_match_finite_differences() {
-    let mut rng = StdRng::seed_from_u64(2);
+    let mut rng = Rng::from_seed(2);
     let mut store = ParamStore::new();
     let cfg = HapConfig::new(4, 4).with_clusters(&[3]);
     let model = HapModel::new(&mut store, &cfg, &mut rng);
@@ -79,7 +78,7 @@ fn matching_loss_gradients_match_finite_differences() {
 
     let loss_of = || {
         store.zero_grads();
-        let mut rng = StdRng::seed_from_u64(0);
+        let mut rng = Rng::from_seed(0);
         let mut tape = Tape::new();
         let mut ctx = PoolCtx {
             training: false,
@@ -95,7 +94,7 @@ fn matching_loss_gradients_match_finite_differences() {
 
 #[test]
 fn similarity_loss_gradients_match_finite_differences() {
-    let mut rng = StdRng::seed_from_u64(3);
+    let mut rng = Rng::from_seed(3);
     let mut store = ParamStore::new();
     let cfg = HapConfig::new(4, 4).with_clusters(&[3]);
     let model = HapModel::new(&mut store, &cfg, &mut rng);
@@ -107,7 +106,7 @@ fn similarity_loss_gradients_match_finite_differences() {
 
     let loss_of = || {
         store.zero_grads();
-        let mut rng = StdRng::seed_from_u64(0);
+        let mut rng = Rng::from_seed(0);
         let mut tape = Tape::new();
         let mut ctx = PoolCtx {
             training: false,

@@ -1,101 +1,140 @@
 //! Algebraic laws of the tensor substrate, as properties over random
 //! matrices — the foundation everything else builds on.
+//!
+//! Each property is checked over a deterministic family of seeded cases
+//! (the offline replacement for the old proptest strategies): case `i`
+//! forks the stream `case.<i>` from one labelled root, so every run
+//! checks an identical, reproducible batch of random matrices.
 
+use hap_rand::Rng;
 use hap_tensor::{testutil::assert_close, Tensor};
-use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
-fn arb_tensor(rows: usize, cols: usize) -> impl Strategy<Value = Tensor> {
-    any::<u64>().prop_map(move |seed| {
-        let mut rng = StdRng::seed_from_u64(seed);
-        Tensor::rand_uniform(rows, cols, -2.0, 2.0, &mut rng)
-    })
+const CASES: u64 = 32;
+
+/// Runs `body` over [`CASES`] independent seeded rngs.
+fn for_each_case(label: &str, mut body: impl FnMut(&mut Rng)) {
+    let mut root = Rng::from_seed(0xA16E_B7A).fork(label);
+    for case in 0..CASES {
+        body(&mut root.fork(&format!("case.{case}")));
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+fn arb_tensor(rows: usize, cols: usize, rng: &mut Rng) -> Tensor {
+    Tensor::rand_uniform(rows, cols, -2.0, 2.0, rng)
+}
 
-    #[test]
-    fn matmul_is_associative(
-        a in arb_tensor(3, 4),
-        b in arb_tensor(4, 5),
-        c in arb_tensor(5, 2),
-    ) {
+#[test]
+fn matmul_is_associative() {
+    for_each_case("assoc", |rng| {
+        let a = arb_tensor(3, 4, rng);
+        let b = arb_tensor(4, 5, rng);
+        let c = arb_tensor(5, 2, rng);
         let left = a.matmul(&b).matmul(&c);
         let right = a.matmul(&b.matmul(&c));
         assert_close(&left, &right, 1e-9);
-    }
+    });
+}
 
-    #[test]
-    fn matmul_distributes_over_addition(
-        a in arb_tensor(3, 4),
-        b in arb_tensor(4, 2),
-        c in arb_tensor(4, 2),
-    ) {
+#[test]
+fn matmul_distributes_over_addition() {
+    for_each_case("distrib", |rng| {
+        let a = arb_tensor(3, 4, rng);
+        let b = arb_tensor(4, 2, rng);
+        let c = arb_tensor(4, 2, rng);
         let left = a.matmul(&(&b + &c));
         let right = &a.matmul(&b) + &a.matmul(&c);
         assert_close(&left, &right, 1e-9);
-    }
+    });
+}
 
-    #[test]
-    fn transpose_reverses_products(a in arb_tensor(3, 4), b in arb_tensor(4, 2)) {
+#[test]
+fn transpose_reverses_products() {
+    for_each_case("transpose", |rng| {
+        let a = arb_tensor(3, 4, rng);
+        let b = arb_tensor(4, 2, rng);
         let left = a.matmul(&b).transpose();
         let right = b.transpose().matmul(&a.transpose());
         assert_close(&left, &right, 1e-9);
-    }
+    });
+}
 
-    #[test]
-    fn softmax_rows_is_shift_invariant(a in arb_tensor(4, 5), shift in -10.0..10.0f64) {
+#[test]
+fn softmax_rows_is_shift_invariant() {
+    for_each_case("shift", |rng| {
+        let a = arb_tensor(4, 5, rng);
+        let shift = rng.gen_range(-10.0..10.0);
         let s1 = a.softmax_rows();
         let s2 = a.shift(shift).softmax_rows();
         assert_close(&s1, &s2, 1e-9);
-    }
+    });
+}
 
-    #[test]
-    fn softmax_rows_yields_distributions(a in arb_tensor(4, 6)) {
+#[test]
+fn softmax_rows_yields_distributions() {
+    for_each_case("softmax", |rng| {
+        let a = arb_tensor(4, 6, rng);
         let s = a.softmax_rows();
-        prop_assert!(s.min() >= 0.0);
+        assert!(s.min() >= 0.0);
         for r in 0..s.rows() {
             let sum: f64 = s.row(r).iter().sum();
-            prop_assert!((sum - 1.0).abs() < 1e-9);
+            assert!((sum - 1.0).abs() < 1e-9);
         }
-    }
+    });
+}
 
-    #[test]
-    fn hadamard_is_commutative(a in arb_tensor(3, 3), b in arb_tensor(3, 3)) {
+#[test]
+fn hadamard_is_commutative() {
+    for_each_case("hadamard", |rng| {
+        let a = arb_tensor(3, 3, rng);
+        let b = arb_tensor(3, 3, rng);
         assert_close(&a.hadamard(&b), &b.hadamard(&a), 1e-12);
-    }
+    });
+}
 
-    #[test]
-    fn stacking_roundtrips(a in arb_tensor(3, 2), b in arb_tensor(3, 4)) {
+#[test]
+fn stacking_roundtrips() {
+    for_each_case("stack", |rng| {
+        let a = arb_tensor(3, 2, rng);
+        let b = arb_tensor(3, 4, rng);
         let h = a.hstack(&b);
         assert_close(&h.slice_cols(0, 2), &a, 1e-12);
         assert_close(&h.slice_cols(2, 6), &b, 1e-12);
         let v = a.vstack(&a);
         assert_close(&v.slice_rows(0, 3), &a, 1e-12);
         assert_close(&v.slice_rows(3, 6), &a, 1e-12);
-    }
+    });
+}
 
-    #[test]
-    fn reductions_are_consistent(a in arb_tensor(4, 3)) {
-        prop_assert!((a.row_sums().sum() - a.sum()).abs() < 1e-9);
-        prop_assert!((a.col_sums().sum() - a.sum()).abs() < 1e-9);
-        prop_assert!((a.col_means().scale(a.rows() as f64).sum() - a.sum()).abs() < 1e-9);
-        prop_assert!(a.max() >= a.mean() && a.mean() >= a.min());
-    }
+#[test]
+fn reductions_are_consistent() {
+    for_each_case("reduce", |rng| {
+        let a = arb_tensor(4, 3, rng);
+        assert!((a.row_sums().sum() - a.sum()).abs() < 1e-9);
+        assert!((a.col_sums().sum() - a.sum()).abs() < 1e-9);
+        assert!((a.col_means().scale(a.rows() as f64).sum() - a.sum()).abs() < 1e-9);
+        assert!(a.max() >= a.mean() && a.mean() >= a.min());
+    });
+}
 
-    #[test]
-    fn frobenius_norm_is_subadditive(a in arb_tensor(3, 3), b in arb_tensor(3, 3)) {
+#[test]
+fn frobenius_norm_is_subadditive() {
+    for_each_case("frob", |rng| {
+        let a = arb_tensor(3, 3, rng);
+        let b = arb_tensor(3, 3, rng);
         let sum = (&a + &b).frobenius_norm();
-        prop_assert!(sum <= a.frobenius_norm() + b.frobenius_norm() + 1e-9);
-    }
+        assert!(sum <= a.frobenius_norm() + b.frobenius_norm() + 1e-9);
+    });
+}
 
-    #[test]
-    fn gather_rows_matches_manual_copy(a in arb_tensor(5, 3), i1 in 0usize..5, i2 in 0usize..5) {
+#[test]
+fn gather_rows_matches_manual_copy() {
+    for_each_case("gather", |rng| {
+        let a = arb_tensor(5, 3, rng);
+        let i1 = rng.gen_range(0..5usize);
+        let i2 = rng.gen_range(0..5usize);
         let g = a.gather_rows(&[i1, i2, i1]);
-        prop_assert_eq!(g.row(0), a.row(i1));
-        prop_assert_eq!(g.row(1), a.row(i2));
-        prop_assert_eq!(g.row(2), a.row(i1));
-    }
+        assert_eq!(g.row(0), a.row(i1));
+        assert_eq!(g.row(1), a.row(i2));
+        assert_eq!(g.row(2), a.row(i1));
+    });
 }

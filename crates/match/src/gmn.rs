@@ -6,8 +6,8 @@ use hap_core::HapCoarsen;
 use hap_graph::Graph;
 use hap_nn::{bce_scalar, Linear};
 use hap_pooling::{CoarsenModule, PoolCtx};
+use hap_rand::Rng;
 use hap_tensor::Tensor;
-use rand::Rng;
 
 const DIST_EPS: f64 = 1e-12;
 
@@ -52,14 +52,35 @@ impl GmnEncoder {
         in_dim: usize,
         hidden: usize,
         depth: usize,
-        rng: &mut impl Rng,
+        rng: &mut Rng,
     ) -> Self {
         let embed = Linear::new(store, &format!("{name}.embed"), in_dim, hidden, true, rng);
         let layers = (0..depth)
             .map(|l| GmnLayer {
-                w_self: Linear::new(store, &format!("{name}.l{l}.self"), hidden, hidden, false, rng),
-                w_msg: Linear::new(store, &format!("{name}.l{l}.msg"), hidden, hidden, false, rng),
-                w_cross: Linear::new(store, &format!("{name}.l{l}.cross"), hidden, hidden, false, rng),
+                w_self: Linear::new(
+                    store,
+                    &format!("{name}.l{l}.self"),
+                    hidden,
+                    hidden,
+                    false,
+                    rng,
+                ),
+                w_msg: Linear::new(
+                    store,
+                    &format!("{name}.l{l}.msg"),
+                    hidden,
+                    hidden,
+                    false,
+                    rng,
+                ),
+                w_cross: Linear::new(
+                    store,
+                    &format!("{name}.l{l}.cross"),
+                    hidden,
+                    hidden,
+                    false,
+                    rng,
+                ),
             })
             .collect();
         Self { layers, embed }
@@ -114,7 +135,7 @@ impl Gmn {
         in_dim: usize,
         hidden: usize,
         depth: usize,
-        rng: &mut impl Rng,
+        rng: &mut Rng,
     ) -> Self {
         Self {
             encoder: GmnEncoder::new(store, "gmn", in_dim, hidden, depth, rng),
@@ -133,12 +154,7 @@ impl Gmn {
     }
 
     /// Pair similarity score `s ∈ (0,1)` as a tape node.
-    pub fn pair_score(
-        &self,
-        tape: &mut Tape,
-        g1: (&Graph, &Tensor),
-        g2: (&Graph, &Tensor),
-    ) -> Var {
+    pub fn pair_score(&self, tape: &mut Tape, g1: (&Graph, &Tensor), g2: (&Graph, &Tensor)) -> Var {
         let (h1, h2) = self.encoder.encode_pair(tape, g1, g2);
         let e1 = self.readout(tape, h1);
         let e2 = self.readout(tape, h2);
@@ -185,9 +201,12 @@ impl GmnHap {
         hidden: usize,
         depth: usize,
         clusters: &[usize],
-        rng: &mut impl Rng,
+        rng: &mut Rng,
     ) -> Self {
-        assert!(!clusters.is_empty(), "GMN-HAP needs at least one coarsening module");
+        assert!(
+            !clusters.is_empty(),
+            "GMN-HAP needs at least one coarsening module"
+        );
         let encoder = GmnEncoder::new(store, "gmnhap", in_dim, hidden, depth, rng);
         let coarseners = clusters
             .iter()
@@ -282,12 +301,11 @@ impl GmnHap {
 mod tests {
     use super::*;
     use hap_graph::{degree_one_hot, generators};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use hap_rand::Rng;
 
     #[test]
     fn gmn_scores_identical_pair_as_one() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Rng::from_seed(1);
         let mut store = ParamStore::new();
         let gmn = Gmn::new(&mut store, 5, 8, 2, &mut rng);
         let g = generators::erdos_renyi_connected(7, 0.4, &mut rng);
@@ -298,7 +316,7 @@ mod tests {
 
     #[test]
     fn gmn_loss_trains() {
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = Rng::from_seed(2);
         let mut store = ParamStore::new();
         let gmn = Gmn::new(&mut store, 5, 8, 2, &mut rng);
         let g1 = generators::erdos_renyi_connected(6, 0.4, &mut rng);
@@ -315,7 +333,7 @@ mod tests {
     fn cross_attention_makes_embedding_pair_dependent() {
         // The same graph must embed differently depending on its partner —
         // the defining property of GMN.
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = Rng::from_seed(3);
         let mut store = ParamStore::new();
         let gmn = Gmn::new(&mut store, 5, 8, 2, &mut rng);
         let g = generators::erdos_renyi_connected(6, 0.4, &mut rng);
@@ -343,7 +361,7 @@ mod tests {
 
     #[test]
     fn gmn_hap_hierarchical_scores_and_training() {
-        let mut rng = StdRng::seed_from_u64(4);
+        let mut rng = Rng::from_seed(4);
         let mut store = ParamStore::new();
         let model = GmnHap::new(&mut store, 5, 8, 2, &[4, 2], &mut rng);
         let g1 = generators::erdos_renyi_connected(7, 0.4, &mut rng);

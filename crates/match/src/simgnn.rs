@@ -6,8 +6,8 @@ use hap_gnn::{AdjacencyRef, EncoderKind, GnnEncoder};
 use hap_graph::Graph;
 use hap_nn::{mse_scalar, Activation, Mlp};
 use hap_pooling::{MeanAttReadout, PoolCtx, Readout};
+use hap_rand::Rng;
 use hap_tensor::Tensor;
-use rand::Rng;
 
 /// SimGNN: GCN node embeddings, the content-attention graph readout of
 /// Eq. 6–7 (the same mechanism as `MeanAttPool`), and a pairwise
@@ -27,7 +27,7 @@ pub struct SimGnn {
 
 impl SimGnn {
     /// Builds SimGNN with a two-layer GCN encoder of width `hidden`.
-    pub fn new(store: &mut ParamStore, in_dim: usize, hidden: usize, rng: &mut impl Rng) -> Self {
+    pub fn new(store: &mut ParamStore, in_dim: usize, hidden: usize, rng: &mut Rng) -> Self {
         Self {
             encoder: GnnEncoder::new(
                 store,
@@ -114,12 +114,11 @@ impl SimGnn {
 mod tests {
     use super::*;
     use hap_graph::{degree_one_hot, generators};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use hap_rand::Rng;
 
     #[test]
     fn scores_are_probabilities() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Rng::from_seed(1);
         let mut store = ParamStore::new();
         let m = SimGnn::new(&mut store, 5, 8, &mut rng);
         let g1 = generators::erdos_renyi_connected(6, 0.4, &mut rng);
@@ -136,7 +135,7 @@ mod tests {
     #[test]
     fn symmetric_in_its_arguments_up_to_interaction_features() {
         // hadamard and |diff| are symmetric, so the score must be too.
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = Rng::from_seed(2);
         let mut store = ParamStore::new();
         let m = SimGnn::new(&mut store, 5, 8, &mut rng);
         let g1 = generators::erdos_renyi_connected(6, 0.4, &mut rng);
@@ -153,7 +152,7 @@ mod tests {
 
     #[test]
     fn loss_trains() {
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = Rng::from_seed(3);
         let mut store = ParamStore::new();
         let m = SimGnn::new(&mut store, 5, 8, &mut rng);
         let g1 = generators::erdos_renyi_connected(6, 0.4, &mut rng);

@@ -1,8 +1,8 @@
 //! Inverted dropout.
 
 use hap_autograd::{Tape, Var};
+use hap_rand::Rng;
 use hap_tensor::Tensor;
-use rand::Rng;
 
 /// Inverted dropout: during training, zeroes each element with probability
 /// `p` and scales survivors by `1/(1-p)` so the expected activation is
@@ -13,8 +13,11 @@ use rand::Rng;
 ///
 /// # Panics
 /// Panics when `p ∉ [0, 1)`.
-pub fn dropout(tape: &mut Tape, x: Var, p: f64, training: bool, rng: &mut impl Rng) -> Var {
-    assert!((0.0..1.0).contains(&p), "dropout probability must be in [0,1), got {p}");
+pub fn dropout(tape: &mut Tape, x: Var, p: f64, training: bool, rng: &mut Rng) -> Var {
+    assert!(
+        (0.0..1.0).contains(&p),
+        "dropout probability must be in [0,1), got {p}"
+    );
     if !training || p == 0.0 {
         return x;
     }
@@ -33,12 +36,11 @@ pub fn dropout(tape: &mut Tape, x: Var, p: f64, training: bool, rng: &mut impl R
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use hap_rand::Rng;
 
     #[test]
     fn eval_mode_is_identity() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Rng::from_seed(1);
         let mut t = Tape::new();
         let x = t.constant(Tensor::ones(3, 3));
         let y = dropout(&mut t, x, 0.5, false, &mut rng);
@@ -47,7 +49,7 @@ mod tests {
 
     #[test]
     fn training_mode_preserves_expectation() {
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = Rng::from_seed(2);
         let mut t = Tape::new();
         let x = t.constant(Tensor::ones(100, 100));
         let y = dropout(&mut t, x, 0.3, true, &mut rng);
@@ -57,7 +59,7 @@ mod tests {
 
     #[test]
     fn dropped_elements_are_zero_and_kept_are_scaled() {
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = Rng::from_seed(3);
         let mut t = Tape::new();
         let x = t.constant(Tensor::ones(10, 10));
         let y = dropout(&mut t, x, 0.5, true, &mut rng);

@@ -1,19 +1,19 @@
 //! Weight initialisation schemes.
 
+use hap_rand::Rng;
 use hap_tensor::Tensor;
-use rand::Rng;
 
 /// Glorot/Xavier uniform initialisation: `U(-a, a)` with
 /// `a = sqrt(6 / (fan_in + fan_out))`. The default for linear and
 /// attention weights, matching the GAT reference implementation.
-pub fn xavier_uniform(fan_in: usize, fan_out: usize, rng: &mut impl Rng) -> Tensor {
+pub fn xavier_uniform(fan_in: usize, fan_out: usize, rng: &mut Rng) -> Tensor {
     let a = (6.0 / (fan_in + fan_out) as f64).sqrt();
     Tensor::rand_uniform(fan_in, fan_out, -a, a, rng)
 }
 
 /// He/Kaiming uniform initialisation: `U(-a, a)` with
 /// `a = sqrt(6 / fan_in)` — preferred in front of ReLU nonlinearities.
-pub fn he_uniform(fan_in: usize, fan_out: usize, rng: &mut impl Rng) -> Tensor {
+pub fn he_uniform(fan_in: usize, fan_out: usize, rng: &mut Rng) -> Tensor {
     let a = (6.0 / fan_in as f64).sqrt();
     Tensor::rand_uniform(fan_in, fan_out, -a, a, rng)
 }
@@ -21,12 +21,11 @@ pub fn he_uniform(fan_in: usize, fan_out: usize, rng: &mut impl Rng) -> Tensor {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use hap_rand::Rng;
 
     #[test]
     fn xavier_bounds() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Rng::from_seed(1);
         let w = xavier_uniform(30, 30, &mut rng);
         let a = (6.0 / 60.0_f64).sqrt();
         assert!(w.max() <= a && w.min() >= -a);
@@ -35,7 +34,7 @@ mod tests {
 
     #[test]
     fn he_bounds() {
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = Rng::from_seed(2);
         let w = he_uniform(24, 8, &mut rng);
         let a = (6.0 / 24.0_f64).sqrt();
         assert!(w.max() <= a && w.min() >= -a);

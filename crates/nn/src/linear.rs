@@ -2,8 +2,8 @@
 
 use crate::init::xavier_uniform;
 use hap_autograd::{Param, ParamStore, Tape, Var};
+use hap_rand::Rng;
 use hap_tensor::Tensor;
-use rand::Rng;
 
 /// A dense affine map `y = x·W (+ b)`, the building block of the paper's
 /// prediction heads (Eq. 20) and of every weight matrix `W_k`/`T` in the
@@ -29,7 +29,7 @@ impl Linear {
         in_dim: usize,
         out_dim: usize,
         bias: bool,
-        rng: &mut impl Rng,
+        rng: &mut Rng,
     ) -> Self {
         assert!(in_dim > 0 && out_dim > 0, "linear dims must be positive");
         let w = store.new_param(format!("{name}.w"), xavier_uniform(in_dim, out_dim, rng));
@@ -64,11 +64,7 @@ impl Linear {
 
     /// Applies the layer to an `N × in_dim` input, producing `N × out_dim`.
     pub fn forward(&self, tape: &mut Tape, x: Var) -> Var {
-        debug_assert_eq!(
-            tape.shape(x).1,
-            self.in_dim,
-            "linear input width mismatch"
-        );
+        debug_assert_eq!(tape.shape(x).1, self.in_dim, "linear input width mismatch");
         let w = tape.param(&self.w);
         let y = tape.matmul(x, w);
         match &self.b {
@@ -85,12 +81,11 @@ impl Linear {
 mod tests {
     use super::*;
     use hap_autograd::check_param_grad;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use hap_rand::Rng;
 
     #[test]
     fn forward_shape_and_bias() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Rng::from_seed(1);
         let mut store = ParamStore::new();
         let layer = Linear::new(&mut store, "fc", 3, 2, true, &mut rng);
         assert_eq!(store.len(), 2);
@@ -104,7 +99,7 @@ mod tests {
 
     #[test]
     fn no_bias_layer_registers_one_param() {
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = Rng::from_seed(2);
         let mut store = ParamStore::new();
         let layer = Linear::new(&mut store, "fc", 3, 2, false, &mut rng);
         assert!(layer.bias().is_none());
@@ -113,7 +108,7 @@ mod tests {
 
     #[test]
     fn gradcheck_weight_and_bias() {
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = Rng::from_seed(3);
         let mut store = ParamStore::new();
         let layer = Linear::new(&mut store, "fc", 3, 2, true, &mut rng);
         let x = Tensor::rand_uniform(4, 3, -1.0, 1.0, &mut rng);

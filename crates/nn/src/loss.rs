@@ -43,7 +43,11 @@ pub fn cross_entropy_logits(tape: &mut Tape, logits: Var, targets: &[usize]) -> 
 /// # Panics
 /// Panics when `prob` is not `1×1`.
 pub fn bce_scalar(tape: &mut Tape, prob: Var, label: f64) -> Var {
-    assert_eq!(tape.shape(prob), (1, 1), "bce_scalar expects a scalar probability");
+    assert_eq!(
+        tape.shape(prob),
+        (1, 1),
+        "bce_scalar expects a scalar probability"
+    );
     // ln(s + ε) and ln(1 - s + ε)
     let s_eps = tape.shift(prob, LN_EPS);
     let ln_s = tape.ln(s_eps);

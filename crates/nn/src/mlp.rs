@@ -3,7 +3,7 @@
 
 use crate::{Activation, Linear};
 use hap_autograd::{ParamStore, Tape, Var};
-use rand::Rng;
+use hap_rand::Rng;
 
 /// A stack of [`Linear`] layers with a shared hidden activation and a
 /// configurable output activation (the paper uses ReLU hidden + Softmax
@@ -26,9 +26,12 @@ impl Mlp {
         name: &str,
         dims: &[usize],
         hidden_activation: Activation,
-        rng: &mut impl Rng,
+        rng: &mut Rng,
     ) -> Self {
-        assert!(dims.len() >= 2, "an MLP needs at least input and output dims");
+        assert!(
+            dims.len() >= 2,
+            "an MLP needs at least input and output dims"
+        );
         let layers = dims
             .windows(2)
             .enumerate()
@@ -78,13 +81,12 @@ mod tests {
     use super::*;
     use crate::{cross_entropy_logits, Adam, Optimizer};
     use hap_autograd::Tape;
+    use hap_rand::Rng;
     use hap_tensor::Tensor;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     #[test]
     fn shapes_flow_through() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Rng::from_seed(1);
         let mut store = ParamStore::new();
         let mlp = Mlp::new(&mut store, "head", &[8, 4, 2], Activation::Relu, &mut rng);
         assert_eq!(mlp.in_dim(), 8);
@@ -99,7 +101,7 @@ mod tests {
     fn learns_xor() {
         // XOR is the canonical "needs a hidden layer" sanity check for the
         // whole nn+autograd stack.
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = Rng::from_seed(7);
         let mut store = ParamStore::new();
         let mlp = Mlp::new(&mut store, "xor", &[2, 8, 2], Activation::Tanh, &mut rng);
         let mut adam = Adam::new(0.05);

@@ -2,16 +2,15 @@
 //! the models compared against HAP in Table 3.
 
 use crate::{
-    Asap, AttPoolReadout, CoarsenModule, DiffPool, GPool, MaxReadout, MeanAttReadout,
-    MeanReadout, PoolCtx, Readout, SagPool, Set2SetReadout, SortPoolReadout, StructPool,
-    SumReadout,
+    Asap, AttPoolReadout, CoarsenModule, DiffPool, GPool, MaxReadout, MeanAttReadout, MeanReadout,
+    PoolCtx, Readout, SagPool, Set2SetReadout, SortPoolReadout, StructPool, SumReadout,
 };
 use hap_autograd::{ParamStore, Tape, Var};
 use hap_gnn::{AdjacencyRef, EncoderKind, GnnEncoder};
 use hap_graph::Graph;
 use hap_nn::{Activation, Mlp};
+use hap_rand::Rng;
 use hap_tensor::Tensor;
-use rand::Rng;
 
 /// The thirteen baseline configurations of Table 3 (twelve pooling methods
 /// plus the GCN-concat strawman; MaxPool is included as a bonus universal
@@ -53,8 +52,20 @@ impl BaselineKind {
     pub fn all() -> &'static [BaselineKind] {
         use BaselineKind::*;
         &[
-            GcnConcat, SumPool, MeanPool, MaxPool, MeanAttPool, Set2Set, SortPooling,
-            AttPoolGlobal, AttPoolLocal, GPool, SagPool, DiffPool, Asap, StructPool,
+            GcnConcat,
+            SumPool,
+            MeanPool,
+            MaxPool,
+            MeanAttPool,
+            Set2Set,
+            SortPooling,
+            AttPoolGlobal,
+            AttPoolLocal,
+            GPool,
+            SagPool,
+            DiffPool,
+            Asap,
+            StructPool,
         ]
     }
 
@@ -110,7 +121,7 @@ impl PoolingClassifier {
         in_dim: usize,
         hidden: usize,
         classes: usize,
-        rng: &mut impl Rng,
+        rng: &mut Rng,
     ) -> Self {
         let encoder = GnnEncoder::new(
             store,
@@ -191,7 +202,7 @@ impl PoolingClassifier {
         store: &mut ParamStore,
         module: Box<dyn CoarsenModule>,
         hidden: usize,
-        rng: &mut impl Rng,
+        rng: &mut Rng,
     ) -> Pooler {
         let post = GnnEncoder::new(store, "post", EncoderKind::Gcn, &[hidden, hidden], rng);
         Pooler::Hier { module, post }
@@ -204,12 +215,7 @@ impl PoolingClassifier {
 
     /// The pooled graph-level embedding (input of the prediction head) —
     /// used by the Fig. 4 t-SNE visualisations.
-    pub fn embedding(
-        &self,
-        graph: &Graph,
-        features: &Tensor,
-        ctx: &mut PoolCtx<'_>,
-    ) -> Tensor {
+    pub fn embedding(&self, graph: &Graph, features: &Tensor, ctx: &mut PoolCtx<'_>) -> Tensor {
         let mut tape = Tape::new();
         let pooled = self.pooled(&mut tape, graph, features, ctx);
         tape.value(pooled)
@@ -262,14 +268,13 @@ impl PoolingClassifier {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hap_graph::generators;
     use hap_graph::degree_one_hot;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use hap_graph::generators;
+    use hap_rand::Rng;
 
     #[test]
     fn every_baseline_produces_finite_logits() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Rng::from_seed(1);
         let g = generators::erdos_renyi_connected(10, 0.35, &mut rng);
         let x = degree_one_hot(&g, 6);
         for &kind in BaselineKind::all() {
@@ -288,7 +293,7 @@ mod tests {
 
     #[test]
     fn every_baseline_trains_end_to_end_one_step() {
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = Rng::from_seed(2);
         let g = generators::erdos_renyi_connected(8, 0.4, &mut rng);
         let x = degree_one_hot(&g, 5);
         for &kind in BaselineKind::all() {

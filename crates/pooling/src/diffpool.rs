@@ -5,7 +5,7 @@ use crate::{CoarsenModule, PoolCtx};
 use hap_autograd::{ParamStore, Tape, Var};
 use hap_gnn::{AdjacencyRef, GcnLayer};
 use hap_nn::Activation;
-use rand::Rng;
+use hap_rand::Rng;
 
 /// DiffPool coarsening: two parallel GCNs produce an embedding
 /// `Z = GCN_embed(A, H)` and a dense soft assignment
@@ -31,7 +31,7 @@ impl DiffPool {
         name: &str,
         dim: usize,
         clusters: usize,
-        rng: &mut impl Rng,
+        rng: &mut Rng,
     ) -> Self {
         assert!(clusters > 0, "cluster count must be positive");
         Self {
@@ -87,13 +87,12 @@ impl CoarsenModule for DiffPool {
 mod tests {
     use super::*;
     use hap_graph::generators;
+    use hap_rand::Rng;
     use hap_tensor::Tensor;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     #[test]
     fn coarsens_to_fixed_cluster_count() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Rng::from_seed(1);
         let mut store = ParamStore::new();
         let m = DiffPool::new(&mut store, "dp", 4, 3, &mut rng);
         let g = generators::erdos_renyi_connected(9, 0.4, &mut rng);
@@ -112,7 +111,7 @@ mod tests {
 
     #[test]
     fn assignment_rows_are_distributions() {
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = Rng::from_seed(2);
         let mut store = ParamStore::new();
         let m = DiffPool::new(&mut store, "dp", 3, 4, &mut rng);
         let g = generators::cycle(6);
@@ -131,7 +130,7 @@ mod tests {
     #[test]
     fn coarsened_adjacency_preserves_total_edge_mass() {
         // Σ_ij (SᵀAS)_ij = Σ_ij A_ij because S rows are distributions.
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = Rng::from_seed(3);
         let mut store = ParamStore::new();
         let m = DiffPool::new(&mut store, "dp", 3, 3, &mut rng);
         let g = generators::erdos_renyi_connected(7, 0.5, &mut rng);
@@ -153,7 +152,7 @@ mod tests {
 
     #[test]
     fn gradients_reach_both_gcns() {
-        let mut rng = StdRng::seed_from_u64(4);
+        let mut rng = Rng::from_seed(4);
         let mut store = ParamStore::new();
         let m = DiffPool::new(&mut store, "dp", 3, 2, &mut rng);
         let g = generators::erdos_renyi_connected(6, 0.5, &mut rng);

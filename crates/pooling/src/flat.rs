@@ -3,8 +3,8 @@
 use crate::{PoolCtx, Readout};
 use hap_autograd::{Param, ParamStore, Tape, Var};
 use hap_nn::{xavier_uniform, Linear};
+use hap_rand::Rng;
 use hap_tensor::Tensor;
-use rand::Rng;
 
 /// Sum pooling (GIN-style; Xu et al. argue it is the most expressive
 /// universal aggregator). `h_G = Σ_i h_i`.
@@ -59,7 +59,7 @@ pub struct MeanAttReadout {
 
 impl MeanAttReadout {
     /// Creates the readout for feature width `dim`.
-    pub fn new(store: &mut ParamStore, name: &str, dim: usize, rng: &mut impl Rng) -> Self {
+    pub fn new(store: &mut ParamStore, name: &str, dim: usize, rng: &mut Rng) -> Self {
         Self {
             w: store.new_param(format!("{name}.w"), xavier_uniform(dim, dim, rng)),
         }
@@ -103,7 +103,7 @@ impl Set2SetReadout {
         name: &str,
         dim: usize,
         steps: usize,
-        rng: &mut impl Rng,
+        rng: &mut Rng,
     ) -> Self {
         Self {
             w_q: store.new_param(format!("{name}.wq"), xavier_uniform(2 * dim, dim, rng)),
@@ -158,7 +158,7 @@ impl SortPoolReadout {
         dim: usize,
         k: usize,
         out_dim: usize,
-        rng: &mut impl Rng,
+        rng: &mut Rng,
     ) -> Self {
         Self {
             k,
@@ -195,7 +195,9 @@ impl Readout for SortPoolReadout {
         debug_assert_eq!(flat_vals.len(), self.k * f);
         // Keep the flatten on-tape: a k×F → 1×kF reshape is a gather of all
         // elements; express it as hstack of the k rows.
-        let mut rows: Vec<Var> = (0..self.k).map(|i| tape.gather_rows(padded, &[i])).collect();
+        let mut rows: Vec<Var> = (0..self.k)
+            .map(|i| tape.gather_rows(padded, &[i]))
+            .collect();
         let mut flat = rows.remove(0);
         for r in rows {
             flat = tape.hstack(flat, r);
@@ -223,7 +225,7 @@ pub struct AttPoolReadout {
 
 impl AttPoolReadout {
     /// Global-attention variant.
-    pub fn global(store: &mut ParamStore, name: &str, dim: usize, rng: &mut impl Rng) -> Self {
+    pub fn global(store: &mut ParamStore, name: &str, dim: usize, rng: &mut Rng) -> Self {
         Self {
             u: store.new_param(format!("{name}.u"), xavier_uniform(dim, 1, rng)),
             local: false,
@@ -231,7 +233,7 @@ impl AttPoolReadout {
     }
 
     /// Local (degree-aware) variant.
-    pub fn local(store: &mut ParamStore, name: &str, dim: usize, rng: &mut impl Rng) -> Self {
+    pub fn local(store: &mut ParamStore, name: &str, dim: usize, rng: &mut Rng) -> Self {
         Self {
             u: store.new_param(format!("{name}.u"), xavier_uniform(dim, 1, rng)),
             local: true,
@@ -285,12 +287,11 @@ impl Readout for GcnConcatReadout {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use hap_rand::Rng;
     use hap_tensor::testutil::assert_close;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
-    fn ctx_rng() -> StdRng {
-        StdRng::seed_from_u64(99)
+    fn ctx_rng() -> Rng {
+        Rng::from_seed(99)
     }
 
     fn setup(h: &Tensor) -> (Tape, Var, Var) {

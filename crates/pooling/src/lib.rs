@@ -41,7 +41,7 @@ pub use structpool::StructPool;
 pub use topk::{GPool, SagPool};
 
 use hap_autograd::{Tape, Var};
-use rand::RngCore;
+use hap_rand::Rng;
 
 /// Shared context for pooling passes: training mode (affects stochastic
 /// relaxations such as Gumbel noise) and a random source.
@@ -49,7 +49,7 @@ pub struct PoolCtx<'r> {
     /// Whether the pass is a training pass.
     pub training: bool,
     /// Random source for stochastic pooling components.
-    pub rng: &'r mut dyn RngCore,
+    pub rng: &'r mut Rng,
 }
 
 /// Flat graph readout: collapses node features into one graph-level row

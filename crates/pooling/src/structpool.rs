@@ -4,7 +4,7 @@
 use crate::{CoarsenModule, PoolCtx};
 use hap_autograd::{ParamStore, Tape, Var};
 use hap_nn::Linear;
-use rand::Rng;
+use hap_rand::Rng;
 
 /// StructPool coarsening: cluster assignments are treated as a CRF whose
 /// Gibbs energy couples a feature-based unary term with a structural
@@ -38,7 +38,7 @@ impl StructPool {
         dim: usize,
         clusters: usize,
         iterations: usize,
-        rng: &mut impl Rng,
+        rng: &mut Rng,
     ) -> Self {
         assert!(clusters > 0, "cluster count must be positive");
         Self {
@@ -87,13 +87,12 @@ impl CoarsenModule for StructPool {
 mod tests {
     use super::*;
     use hap_graph::generators;
+    use hap_rand::Rng;
     use hap_tensor::Tensor;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     #[test]
     fn output_shapes() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Rng::from_seed(1);
         let mut store = ParamStore::new();
         let m = StructPool::new(&mut store, "sp", 4, 3, 2, &mut rng);
         let g = generators::erdos_renyi_connected(8, 0.4, &mut rng);
@@ -114,7 +113,7 @@ mod tests {
         // Two cliques joined by one edge: after mean-field refinement,
         // nodes within a clique should agree on their most likely cluster
         // more than across cliques.
-        let mut rng = StdRng::seed_from_u64(5);
+        let mut rng = Rng::from_seed(5);
         let mut store = ParamStore::new();
         let m = StructPool::new(&mut store, "sp", 2, 2, 3, &mut rng);
         let mut g = generators::clique(4).disjoint_union(&generators::clique(4));
@@ -134,7 +133,7 @@ mod tests {
 
     #[test]
     fn assignment_rows_are_distributions() {
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = Rng::from_seed(2);
         let mut store = ParamStore::new();
         let m = StructPool::new(&mut store, "sp", 3, 4, 2, &mut rng);
         let g = generators::cycle(6);

@@ -4,18 +4,12 @@ use crate::{ratio_to_k, CoarsenModule, PoolCtx};
 use hap_autograd::{Param, ParamStore, Tape, Var};
 use hap_gnn::{AdjacencyRef, GcnLayer};
 use hap_nn::{xavier_uniform, Activation};
-use rand::Rng;
+use hap_rand::Rng;
 
 /// Selects the `k` highest-scoring rows (data-dependent, not
 /// differentiated — standard Top-K pooling semantics) and returns the
 /// induced coarsened pair `(A', H'_gated)`.
-fn select_top_k(
-    tape: &mut Tape,
-    adj: Var,
-    gated_h: Var,
-    scores: &[f64],
-    k: usize,
-) -> (Var, Var) {
+fn select_top_k(tape: &mut Tape, adj: Var, gated_h: Var, scores: &[f64], k: usize) -> (Var, Var) {
     let mut order: Vec<usize> = (0..scores.len()).collect();
     order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).expect("non-NaN scores"));
     order.truncate(k);
@@ -45,8 +39,11 @@ impl GPool {
     ///
     /// # Panics
     /// Panics when `ratio ∉ (0, 1]`.
-    pub fn new(store: &mut ParamStore, name: &str, dim: usize, ratio: f64, rng: &mut impl Rng) -> Self {
-        assert!(ratio > 0.0 && ratio <= 1.0, "ratio must be in (0,1], got {ratio}");
+    pub fn new(store: &mut ParamStore, name: &str, dim: usize, ratio: f64, rng: &mut Rng) -> Self {
+        assert!(
+            ratio > 0.0 && ratio <= 1.0,
+            "ratio must be in (0,1], got {ratio}"
+        );
         Self {
             p: store.new_param(format!("{name}.p"), xavier_uniform(dim, 1, rng)),
             ratio,
@@ -88,8 +85,11 @@ impl SagPool {
     ///
     /// # Panics
     /// Panics when `ratio ∉ (0, 1]`.
-    pub fn new(store: &mut ParamStore, name: &str, dim: usize, ratio: f64, rng: &mut impl Rng) -> Self {
-        assert!(ratio > 0.0 && ratio <= 1.0, "ratio must be in (0,1], got {ratio}");
+    pub fn new(store: &mut ParamStore, name: &str, dim: usize, ratio: f64, rng: &mut Rng) -> Self {
+        assert!(
+            ratio > 0.0 && ratio <= 1.0,
+            "ratio must be in (0,1], got {ratio}"
+        );
         Self {
             scorer: GcnLayer::with_activation(
                 store,
@@ -124,12 +124,16 @@ impl CoarsenModule for SagPool {
 mod tests {
     use super::*;
     use hap_graph::generators;
+    use hap_rand::Rng;
     use hap_tensor::Tensor;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
-    fn run_coarsen(m: &dyn CoarsenModule, n: usize, f: usize, seed: u64) -> ((usize, usize), (usize, usize)) {
-        let mut rng = StdRng::seed_from_u64(seed);
+    fn run_coarsen(
+        m: &dyn CoarsenModule,
+        n: usize,
+        f: usize,
+        seed: u64,
+    ) -> ((usize, usize), (usize, usize)) {
+        let mut rng = Rng::from_seed(seed);
         let g = generators::erdos_renyi_connected(n, 0.4, &mut rng);
         let mut t = Tape::new();
         let a = t.constant(g.adjacency().clone());
@@ -144,7 +148,7 @@ mod tests {
 
     #[test]
     fn gpool_halves_the_graph() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Rng::from_seed(1);
         let mut store = ParamStore::new();
         let m = GPool::new(&mut store, "gp", 4, 0.5, &mut rng);
         let (sa, sh) = run_coarsen(&m, 8, 4, 2);
@@ -154,7 +158,7 @@ mod tests {
 
     #[test]
     fn sagpool_keeps_requested_ratio() {
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = Rng::from_seed(3);
         let mut store = ParamStore::new();
         let m = SagPool::new(&mut store, "sag", 4, 0.25, &mut rng);
         let (sa, sh) = run_coarsen(&m, 8, 4, 4);
@@ -188,7 +192,7 @@ mod tests {
 
     #[test]
     fn gradients_flow_into_scorer_params() {
-        let mut rng = StdRng::seed_from_u64(5);
+        let mut rng = Rng::from_seed(5);
         let mut store = ParamStore::new();
         let m = GPool::new(&mut store, "gp", 3, 0.5, &mut rng);
         let g = generators::erdos_renyi_connected(6, 0.5, &mut rng);

@@ -1,0 +1,154 @@
+//! Distributions used by the HAP model: uniform, Gaussian (Box–Muller),
+//! and Gumbel(0, 1) for the Eq. 19 soft sampling, plus the Glorot/Xavier
+//! initialisation bound.
+
+use crate::Rng;
+
+/// A distribution over `f64` that can be sampled with an [`Rng`].
+pub trait Distribution {
+    /// Draws one value.
+    fn sample(&self, rng: &mut Rng) -> f64;
+
+    /// Draws `n` values into a `Vec`.
+    fn sample_n(&self, rng: &mut Rng, n: usize) -> Vec<f64> {
+        (0..n).map(|_| self.sample(rng)).collect()
+    }
+}
+
+/// Uniform distribution on `[lo, hi)`.
+#[derive(Clone, Copy, Debug)]
+pub struct Uniform {
+    lo: f64,
+    hi: f64,
+}
+
+impl Uniform {
+    /// Creates `U[lo, hi)`.
+    ///
+    /// # Panics
+    /// Panics when `lo >= hi` or either bound is non-finite.
+    pub fn new(lo: f64, hi: f64) -> Self {
+        assert!(
+            lo.is_finite() && hi.is_finite() && lo < hi,
+            "bad uniform bounds [{lo}, {hi})"
+        );
+        Self { lo, hi }
+    }
+}
+
+impl Distribution for Uniform {
+    #[inline]
+    fn sample(&self, rng: &mut Rng) -> f64 {
+        rng.gen_range(self.lo..self.hi)
+    }
+}
+
+/// The standard normal `N(0, 1)` via the Box–Muller transform.
+///
+/// Each draw consumes two uniforms and keeps only the cosine branch, so
+/// consecutive samples are independent and the stream position is a fixed
+/// two words per draw — simpler to reason about for reproducibility than
+/// a cached-spare variant.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StandardNormal;
+
+impl Distribution for StandardNormal {
+    #[inline]
+    fn sample(&self, rng: &mut Rng) -> f64 {
+        let u1 = rng.gen_open01();
+        let u2 = rng.gen_f64();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+}
+
+/// `N(mean, std²)` as a scaled [`StandardNormal`].
+#[derive(Clone, Copy, Debug)]
+pub struct Normal {
+    mean: f64,
+    std: f64,
+}
+
+impl Normal {
+    /// Creates `N(mean, std²)`.
+    ///
+    /// # Panics
+    /// Panics when `std < 0` or either parameter is non-finite.
+    pub fn new(mean: f64, std: f64) -> Self {
+        assert!(
+            mean.is_finite() && std.is_finite() && std >= 0.0,
+            "bad normal params ({mean}, {std})"
+        );
+        Self { mean, std }
+    }
+}
+
+impl Distribution for Normal {
+    #[inline]
+    fn sample(&self, rng: &mut Rng) -> f64 {
+        self.mean + self.std * StandardNormal.sample(rng)
+    }
+}
+
+/// The standard Gumbel(0, 1) distribution, sampled by inversion:
+/// `g = −ln(−ln u)` with `u ~ U(0, 1)`.
+///
+/// This is the noise of the Gumbel-Softmax soft sampling (Eq. 19):
+/// `softmax_j((ln A'_ij + g_ij)/τ)` relaxes a categorical draw over the
+/// coarsened adjacency rows, and `argmax_j (ln p_j + g_j)` follows the
+/// categorical distribution `p` exactly (the Gumbel-max trick).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Gumbel;
+
+impl Distribution for Gumbel {
+    #[inline]
+    fn sample(&self, rng: &mut Rng) -> f64 {
+        // Open interval on both ends: u = 0 gives +inf, u = 1 gives -inf
+        // after the double log; gen_open01 excludes 0 and gen_f64
+        // excludes 1.
+        let u = rng.gen_open01();
+        -(-u.ln()).ln()
+    }
+}
+
+/// The Glorot/Xavier uniform bound `a = sqrt(6 / (fan_in + fan_out))`:
+/// weights drawn from `U(−a, a)` keep activation variance stable through
+/// a linear layer. `hap-nn::init` builds on this.
+#[inline]
+pub fn glorot_uniform_bound(fan_in: usize, fan_out: usize) -> f64 {
+    assert!(fan_in + fan_out > 0, "glorot bound needs at least one fan");
+    (6.0 / (fan_in + fan_out) as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gumbel_is_finite() {
+        let mut rng = Rng::from_seed(3);
+        for _ in 0..10_000 {
+            assert!(Gumbel.sample(&mut rng).is_finite());
+        }
+    }
+
+    #[test]
+    fn normal_scales_and_shifts() {
+        let mut rng = Rng::from_seed(4);
+        let d = Normal::new(10.0, 0.0);
+        assert_eq!(d.sample(&mut rng), 10.0);
+    }
+
+    #[test]
+    fn glorot_bound_matches_formula() {
+        assert!((glorot_uniform_bound(30, 30) - (0.1f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let mut rng = Rng::from_seed(5);
+        let d = Uniform::new(-2.0, 3.0);
+        for x in d.sample_n(&mut rng, 5_000) {
+            assert!((-2.0..3.0).contains(&x));
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! Sequence utilities: shuffling, choosing, and sampling without
+//! replacement — the pieces behind train/val splits, epoch shuffling and
+//! the permutation-invariance tests.
+
+use crate::Rng;
+
+/// Random operations on slices, mirroring the `rand::seq::SliceRandom`
+/// surface the workspace used before going offline.
+pub trait SliceRandom {
+    /// The element type.
+    type Item;
+
+    /// In-place Fisher–Yates shuffle: every permutation is equally
+    /// likely.
+    fn shuffle(&mut self, rng: &mut Rng);
+
+    /// A uniformly chosen element, or `None` for an empty slice.
+    fn choose(&self, rng: &mut Rng) -> Option<&Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle(&mut self, rng: &mut Rng) {
+        for i in (1..self.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            self.swap(i, j);
+        }
+    }
+
+    fn choose(&self, rng: &mut Rng) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[rng.gen_range(0..self.len())])
+        }
+    }
+}
+
+/// `k` distinct indices drawn uniformly from `0..n`, in random order
+/// (partial Fisher–Yates).
+///
+/// # Panics
+/// Panics when `k > n`.
+pub fn sample_without_replacement(rng: &mut Rng, n: usize, k: usize) -> Vec<usize> {
+    assert!(k <= n, "cannot sample {k} of {n} without replacement");
+    let mut pool: Vec<usize> = (0..n).collect();
+    for i in 0..k {
+        let j = rng.gen_range(i..n);
+        pool.swap(i, j);
+    }
+    pool.truncate(k);
+    pool
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = Rng::from_seed(1);
+        let mut v: Vec<usize> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "50 elements should not shuffle to identity");
+    }
+
+    #[test]
+    fn shuffle_uniformity_over_3_elements() {
+        // All 6 permutations of [0,1,2] should appear with frequency
+        // ~1/6 each.
+        let mut rng = Rng::from_seed(2);
+        let mut counts = std::collections::HashMap::new();
+        let trials = 60_000;
+        for _ in 0..trials {
+            let mut v = [0u8, 1, 2];
+            v.shuffle(&mut rng);
+            *counts.entry(v).or_insert(0usize) += 1;
+        }
+        assert_eq!(counts.len(), 6);
+        for (&perm, &c) in &counts {
+            let f = c as f64 / trials as f64;
+            assert!((f - 1.0 / 6.0).abs() < 0.01, "{perm:?} frequency {f}");
+        }
+    }
+
+    #[test]
+    fn choose_covers_all_elements() {
+        let mut rng = Rng::from_seed(3);
+        let v = [10, 20, 30];
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            let &x = v.choose(&mut rng).unwrap();
+            seen[x / 10 - 1] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        let empty: [i32; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+    }
+
+    #[test]
+    fn sampling_without_replacement_is_distinct_and_complete() {
+        let mut rng = Rng::from_seed(4);
+        let s = sample_without_replacement(&mut rng, 20, 8);
+        assert_eq!(s.len(), 8);
+        let mut dedup = s.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 8, "indices must be distinct");
+        assert!(s.iter().all(|&i| i < 20));
+        // k == n is a full permutation
+        let all = sample_without_replacement(&mut rng, 5, 5);
+        let mut sorted = all.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2, 3, 4]);
+    }
+}

@@ -1,0 +1,182 @@
+//! Statistical acceptance tests for `hap-rand`: the generator is only
+//! useful to the model if its distributions actually have the moments
+//! they claim. Tolerances are set ~4σ above the sampling error of each
+//! estimator so the tests are deterministic-seed-stable yet would catch a
+//! broken transform immediately.
+
+use hap_rand::{Distribution, Gumbel, Normal, Rng, StandardNormal, Uniform};
+
+fn mean_var(xs: &[f64]) -> (f64, f64) {
+    let n = xs.len() as f64;
+    let mean = xs.iter().sum::<f64>() / n;
+    let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+    (mean, var)
+}
+
+#[test]
+fn uniform_unit_moments() {
+    // U[0,1): mean 1/2, variance 1/12.
+    let mut rng = Rng::from_seed(101);
+    let xs: Vec<f64> = (0..200_000).map(|_| rng.gen_f64()).collect();
+    let (mean, var) = mean_var(&xs);
+    assert!((mean - 0.5).abs() < 0.003, "uniform mean {mean}");
+    assert!((var - 1.0 / 12.0).abs() < 0.003, "uniform variance {var}");
+}
+
+#[test]
+fn uniform_interval_moments() {
+    // U[-2,6): mean 2, variance (b-a)^2/12 = 16/3.
+    let mut rng = Rng::from_seed(102);
+    let d = Uniform::new(-2.0, 6.0);
+    let xs = d.sample_n(&mut rng, 200_000);
+    let (mean, var) = mean_var(&xs);
+    assert!((mean - 2.0).abs() < 0.03, "mean {mean}");
+    assert!((var - 16.0 / 3.0).abs() < 0.08, "variance {var}");
+}
+
+#[test]
+fn standard_normal_moments() {
+    let mut rng = Rng::from_seed(103);
+    let xs = StandardNormal.sample_n(&mut rng, 200_000);
+    let (mean, var) = mean_var(&xs);
+    assert!(mean.abs() < 0.01, "normal mean {mean}");
+    assert!((var - 1.0).abs() < 0.02, "normal variance {var}");
+    // Skewness of a symmetric distribution ~ 0.
+    let skew = xs.iter().map(|x| x.powi(3)).sum::<f64>() / xs.len() as f64;
+    assert!(skew.abs() < 0.03, "normal skewness {skew}");
+}
+
+#[test]
+fn scaled_normal_moments() {
+    let mut rng = Rng::from_seed(104);
+    let d = Normal::new(-3.0, 2.0);
+    let xs = d.sample_n(&mut rng, 200_000);
+    let (mean, var) = mean_var(&xs);
+    assert!((mean + 3.0).abs() < 0.03, "mean {mean}");
+    assert!((var - 4.0).abs() < 0.08, "variance {var}");
+}
+
+#[test]
+fn gumbel_moments() {
+    // Gumbel(0,1): mean = Euler–Mascheroni γ, variance = π²/6.
+    const EULER_GAMMA: f64 = 0.577_215_664_901_532_9;
+    let mut rng = Rng::from_seed(105);
+    let xs = Gumbel.sample_n(&mut rng, 200_000);
+    let (mean, var) = mean_var(&xs);
+    assert!((mean - EULER_GAMMA).abs() < 0.01, "gumbel mean {mean}");
+    let expect = std::f64::consts::PI.powi(2) / 6.0;
+    assert!((var - expect).abs() < 0.05, "gumbel variance {var}");
+}
+
+#[test]
+fn gen_range_chi_squared_uniformity() {
+    // 16 buckets, 160k draws: chi-squared with 15 dof. The 99.9th
+    // percentile of χ²₁₅ is ≈ 37.7; a biased gen_range blows far past it.
+    let mut rng = Rng::from_seed(106);
+    const BUCKETS: usize = 16;
+    const DRAWS: usize = 160_000;
+    let mut counts = [0usize; BUCKETS];
+    for _ in 0..DRAWS {
+        counts[rng.gen_range(0..BUCKETS)] += 1;
+    }
+    let expected = DRAWS as f64 / BUCKETS as f64;
+    let chi2: f64 = counts
+        .iter()
+        .map(|&c| (c as f64 - expected).powi(2) / expected)
+        .sum();
+    assert!(
+        chi2 < 37.7,
+        "chi-squared {chi2} exceeds the 99.9% critical value"
+    );
+}
+
+#[test]
+fn gen_range_chi_squared_non_power_of_two() {
+    // A modulo-biased sampler fails exactly on non-power-of-two bounds.
+    let mut rng = Rng::from_seed(107);
+    const BUCKETS: usize = 13;
+    const DRAWS: usize = 130_000;
+    let mut counts = [0usize; BUCKETS];
+    for _ in 0..DRAWS {
+        counts[rng.gen_range(0..BUCKETS)] += 1;
+    }
+    let expected = DRAWS as f64 / BUCKETS as f64;
+    let chi2: f64 = counts
+        .iter()
+        .map(|&c| (c as f64 - expected).powi(2) / expected)
+        .sum();
+    // 99.9th percentile of χ²₁₂ ≈ 32.9.
+    assert!(
+        chi2 < 32.9,
+        "chi-squared {chi2} exceeds the 99.9% critical value"
+    );
+}
+
+#[test]
+fn gumbel_argmax_matches_softmax_probabilities() {
+    // The Gumbel-max trick (the discrete limit of Eq. 19's τ → 0):
+    // argmax_j(ln p_j + g_j) ~ Categorical(p) where p = softmax(logits).
+    // Empirical frequencies over a 4-way categorical must match the
+    // softmax probabilities within 2 percentage points.
+    let logits = [1.2, -0.3, 0.5, 2.0];
+    let max = logits.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let exps: Vec<f64> = logits.iter().map(|l| (l - max).exp()).collect();
+    let z: f64 = exps.iter().sum();
+    let probs: Vec<f64> = exps.iter().map(|e| e / z).collect();
+
+    let mut rng = Rng::from_seed(108);
+    const DRAWS: usize = 100_000;
+    let mut counts = [0usize; 4];
+    for _ in 0..DRAWS {
+        let (argmax, _) = logits
+            .iter()
+            .map(|&l| l + Gumbel.sample(&mut rng))
+            .enumerate()
+            .fold((0, f64::NEG_INFINITY), |(bi, bv), (i, v)| {
+                if v > bv {
+                    (i, v)
+                } else {
+                    (bi, bv)
+                }
+            });
+        counts[argmax] += 1;
+    }
+    for (j, (&c, &p)) in counts.iter().zip(&probs).enumerate() {
+        let f = c as f64 / DRAWS as f64;
+        assert!(
+            (f - p).abs() < 0.02,
+            "category {j}: empirical {f:.4} vs softmax {p:.4}"
+        );
+    }
+}
+
+#[test]
+fn gen_bool_frequency() {
+    let mut rng = Rng::from_seed(109);
+    for p in [0.1, 0.5, 0.73] {
+        let hits = (0..100_000).filter(|_| rng.gen_bool(p)).count();
+        let f = hits as f64 / 100_000.0;
+        assert!((f - p).abs() < 0.01, "gen_bool({p}) frequency {f}");
+    }
+}
+
+#[test]
+fn forked_streams_are_uncorrelated() {
+    // Pearson correlation between sibling streams should be ~0.
+    let mut root = Rng::from_seed(110);
+    let mut a = root.fork("left");
+    let mut b = root.fork("right");
+    let n = 50_000;
+    let xs: Vec<f64> = (0..n).map(|_| a.gen_f64()).collect();
+    let ys: Vec<f64> = (0..n).map(|_| b.gen_f64()).collect();
+    let (mx, vx) = mean_var(&xs);
+    let (my, vy) = mean_var(&ys);
+    let cov = xs
+        .iter()
+        .zip(&ys)
+        .map(|(x, y)| (x - mx) * (y - my))
+        .sum::<f64>()
+        / n as f64;
+    let corr = cov / (vx * vy).sqrt();
+    assert!(corr.abs() < 0.02, "sibling stream correlation {corr}");
+}

@@ -34,11 +34,7 @@ impl ShapeError {
         }
     }
 
-    pub(crate) fn unary(
-        op: &'static str,
-        lhs: (usize, usize),
-        detail: impl Into<String>,
-    ) -> Self {
+    pub(crate) fn unary(op: &'static str, lhs: (usize, usize), detail: impl Into<String>) -> Self {
         Self {
             op,
             lhs,

@@ -235,7 +235,11 @@ impl Tensor {
         let mut data = Vec::with_capacity(self.len() + rhs.len());
         data.extend_from_slice(self.as_slice());
         data.extend_from_slice(rhs.as_slice());
-        Ok(Tensor::from_vec(self.rows() + rhs.rows(), self.cols(), data))
+        Ok(Tensor::from_vec(
+            self.rows() + rhs.rows(),
+            self.cols(),
+            data,
+        ))
     }
 
     /// Panicking variant of [`Tensor::try_vstack`].
@@ -300,12 +304,18 @@ impl Tensor {
 
     /// Maximum element (`-inf` for empty tensors).
     pub fn max(&self) -> f64 {
-        self.as_slice().iter().copied().fold(f64::NEG_INFINITY, f64::max)
+        self.as_slice()
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
     }
 
     /// Minimum element (`+inf` for empty tensors).
     pub fn min(&self) -> f64 {
-        self.as_slice().iter().copied().fold(f64::INFINITY, f64::min)
+        self.as_slice()
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min)
     }
 
     /// Per-row sums as an `rows × 1` column vector.
@@ -470,7 +480,11 @@ mod tests {
         let b = Tensor::from_rows(&[vec![3.0, 4.0]]);
         assert_close(&(&a + &b), &Tensor::from_rows(&[vec![4.0, 6.0]]), 1e-12);
         assert_close(&(&a - &b), &Tensor::from_rows(&[vec![-2.0, -2.0]]), 1e-12);
-        assert_close(&a.hadamard(&b), &Tensor::from_rows(&[vec![3.0, 8.0]]), 1e-12);
+        assert_close(
+            &a.hadamard(&b),
+            &Tensor::from_rows(&[vec![3.0, 8.0]]),
+            1e-12,
+        );
         assert_close(
             &a.try_div(&b).unwrap(),
             &Tensor::from_rows(&[vec![1.0 / 3.0, 0.5]]),
@@ -511,7 +525,11 @@ mod tests {
 
     #[test]
     fn slicing_and_gather() {
-        let a = Tensor::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0], vec![7.0, 8.0, 9.0]]);
+        let a = Tensor::from_rows(&[
+            vec![1.0, 2.0, 3.0],
+            vec![4.0, 5.0, 6.0],
+            vec![7.0, 8.0, 9.0],
+        ]);
         assert_close(
             &a.slice_rows(1, 3),
             &Tensor::from_rows(&[vec![4.0, 5.0, 6.0], vec![7.0, 8.0, 9.0]]),

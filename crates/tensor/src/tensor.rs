@@ -1,7 +1,7 @@
 //! The dense row-major matrix type.
 
 use crate::ShapeError;
-use rand::Rng;
+use hap_rand::Rng;
 use std::fmt;
 use std::ops::{Index, IndexMut};
 
@@ -63,16 +63,16 @@ impl Tensor {
     /// Builds a tensor from a flat row-major buffer.
     ///
     /// Returns a [`ShapeError`] when `data.len() != rows * cols`.
-    pub fn try_from_vec(
-        rows: usize,
-        cols: usize,
-        data: Vec<f64>,
-    ) -> Result<Self, ShapeError> {
+    pub fn try_from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Result<Self, ShapeError> {
         if data.len() != rows * cols {
             return Err(ShapeError::unary(
                 "from_vec",
                 (rows, cols),
-                format!("buffer has {} elements, expected {}", data.len(), rows * cols),
+                format!(
+                    "buffer has {} elements, expected {}",
+                    data.len(),
+                    rows * cols
+                ),
             ));
         }
         Ok(Self { rows, cols, data })
@@ -129,13 +129,13 @@ impl Tensor {
     }
 
     /// Uniform random tensor on `[lo, hi)` drawn from `rng`.
-    pub fn rand_uniform(rows: usize, cols: usize, lo: f64, hi: f64, rng: &mut impl Rng) -> Self {
+    pub fn rand_uniform(rows: usize, cols: usize, lo: f64, hi: f64, rng: &mut Rng) -> Self {
         let data = (0..rows * cols).map(|_| rng.gen_range(lo..hi)).collect();
         Self { rows, cols, data }
     }
 
     /// Standard-normal random tensor (Box–Muller) scaled by `std`.
-    pub fn rand_normal(rows: usize, cols: usize, std: f64, rng: &mut impl Rng) -> Self {
+    pub fn rand_normal(rows: usize, cols: usize, std: f64, rng: &mut Rng) -> Self {
         let n = rows * cols;
         let mut data = Vec::with_capacity(n);
         while data.len() < n {
@@ -207,7 +207,11 @@ impl Tensor {
     /// Panics when `r >= rows`.
     #[inline]
     pub fn row(&self, r: usize) -> &[f64] {
-        assert!(r < self.rows, "row index {r} out of bounds (rows={})", self.rows);
+        assert!(
+            r < self.rows,
+            "row index {r} out of bounds (rows={})",
+            self.rows
+        );
         &self.data[r * self.cols..(r + 1) * self.cols]
     }
 
@@ -217,7 +221,11 @@ impl Tensor {
     /// Panics when `r >= rows`.
     #[inline]
     pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
-        assert!(r < self.rows, "row index {r} out of bounds (rows={})", self.rows);
+        assert!(
+            r < self.rows,
+            "row index {r} out of bounds (rows={})",
+            self.rows
+        );
         &mut self.data[r * self.cols..(r + 1) * self.cols]
     }
 
@@ -226,7 +234,11 @@ impl Tensor {
     /// # Panics
     /// Panics when `c >= cols`.
     pub fn col(&self, c: usize) -> Vec<f64> {
-        assert!(c < self.cols, "col index {c} out of bounds (cols={})", self.cols);
+        assert!(
+            c < self.cols,
+            "col index {c} out of bounds (cols={})",
+            self.cols
+        );
         (0..self.rows).map(|r| self[(r, c)]).collect()
     }
 
@@ -236,7 +248,10 @@ impl Tensor {
             return Err(ShapeError::unary(
                 "reshape",
                 self.shape(),
-                format!("cannot reshape {} elements to ({rows}, {cols})", self.data.len()),
+                format!(
+                    "cannot reshape {} elements to ({rows}, {cols})",
+                    self.data.len()
+                ),
             ));
         }
         Ok(Self {
@@ -248,7 +263,8 @@ impl Tensor {
 
     /// Panicking variant of [`Tensor::try_reshape`].
     pub fn reshape(&self, rows: usize, cols: usize) -> Self {
-        self.try_reshape(rows, cols).unwrap_or_else(|e| panic!("{e}"))
+        self.try_reshape(rows, cols)
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 }
 
@@ -299,8 +315,7 @@ impl fmt::Debug for Tensor {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use hap_rand::Rng;
 
     #[test]
     fn constructors_have_expected_shape_and_content() {
@@ -350,24 +365,31 @@ mod tests {
 
     #[test]
     fn rand_uniform_respects_bounds_and_seed() {
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = Rng::from_seed(7);
         let a = Tensor::rand_uniform(4, 4, -0.5, 0.5, &mut rng);
         assert!(a.as_slice().iter().all(|&x| (-0.5..0.5).contains(&x)));
 
-        let mut rng2 = StdRng::seed_from_u64(7);
+        let mut rng2 = Rng::from_seed(7);
         let b = Tensor::rand_uniform(4, 4, -0.5, 0.5, &mut rng2);
         assert_eq!(a, b, "same seed must reproduce the same tensor");
     }
 
     #[test]
     fn rand_normal_is_roughly_centered() {
-        let mut rng = StdRng::seed_from_u64(13);
+        let mut rng = Rng::from_seed(13);
         let t = Tensor::rand_normal(50, 50, 1.0, &mut rng);
         let mean: f64 = t.as_slice().iter().sum::<f64>() / t.len() as f64;
         assert!(mean.abs() < 0.1, "sample mean {mean} too far from 0");
-        let var: f64 =
-            t.as_slice().iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / t.len() as f64;
-        assert!((var - 1.0).abs() < 0.15, "sample variance {var} too far from 1");
+        let var: f64 = t
+            .as_slice()
+            .iter()
+            .map(|x| (x - mean) * (x - mean))
+            .sum::<f64>()
+            / t.len() as f64;
+        assert!(
+            (var - 1.0).abs() < 0.15,
+            "sample variance {var} too far from 1"
+        );
     }
 
     #[test]

@@ -15,4 +15,4 @@ mod metrics;
 mod trainer;
 
 pub use metrics::accuracy;
-pub use trainer::{train, EvalFn, LossFn, TrainConfig, TrainReport};
+pub use trainer::{train, train_with_rng, EvalFn, LossFn, TrainConfig, TrainReport};

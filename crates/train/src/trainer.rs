@@ -4,9 +4,8 @@ use crate::accuracy;
 use hap_autograd::{ParamStore, Tape, Var};
 use hap_nn::{Adam, Optimizer};
 use hap_pooling::PoolCtx;
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use hap_rand::Rng;
+use hap_rand::SliceRandom;
 
 /// Training hyper-parameters. The defaults mirror Sec. 6.1.3 (Adam,
 /// lr 0.01) at quick-experiment scale.
@@ -68,6 +67,10 @@ pub type EvalFn<'a> = dyn FnMut(usize, &mut PoolCtx<'_>) -> bool + 'a;
 ///   the harness never sees the samples themselves.
 /// * After every epoch the validation metric decides checkpointing; the
 ///   best checkpoint is restored before the final test evaluation.
+///
+/// All randomness derives from `cfg.seed`: this delegates to
+/// [`train_with_rng`] with a root generator seeded from it, so the same
+/// config reproduces the same `TrainReport` bit-for-bit.
 pub fn train(
     store: &ParamStore,
     cfg: &TrainConfig,
@@ -77,8 +80,37 @@ pub fn train(
     loss_fn: &mut LossFn<'_>,
     eval_fn: &mut EvalFn<'_>,
 ) -> TrainReport {
+    let mut rng = Rng::from_seed(cfg.seed);
+    train_with_rng(
+        store, cfg, train_idx, val_idx, test_idx, loss_fn, eval_fn, &mut rng,
+    )
+}
+
+/// [`train`] with an explicit root generator instead of an internally
+/// constructed one — for callers that thread a single experiment-wide
+/// stream through data generation, parameter init and training.
+///
+/// The root is never drawn from directly; it is split into three labelled
+/// streams (`fork("shuffle")`, `fork("model")`, `fork("eval")`) so epoch
+/// shuffling, stochastic model components (dropout masks, Gumbel noise)
+/// and evaluation passes are decorrelated and *independent*: extra draws
+/// in one concern (say, an extra eval pass) can never shift another
+/// stream and silently change the training trajectory.
+#[allow(clippy::too_many_arguments)]
+pub fn train_with_rng(
+    store: &ParamStore,
+    cfg: &TrainConfig,
+    train_idx: &[usize],
+    val_idx: &[usize],
+    test_idx: &[usize],
+    loss_fn: &mut LossFn<'_>,
+    eval_fn: &mut EvalFn<'_>,
+    rng: &mut Rng,
+) -> TrainReport {
     assert!(!train_idx.is_empty(), "empty training set");
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut shuffle_rng = rng.fork("shuffle");
+    let mut model_rng = rng.fork("model");
+    let mut eval_rng = rng.fork("eval");
     let mut adam = Adam::new(cfg.lr);
     let mut order = train_idx.to_vec();
 
@@ -91,7 +123,7 @@ pub fn train(
 
     for epoch in 0..cfg.epochs {
         epochs_run = epoch + 1;
-        order.shuffle(&mut rng);
+        order.shuffle(&mut shuffle_rng);
         let mut epoch_loss = 0.0;
         for batch in order.chunks(cfg.batch_size) {
             store.zero_grads();
@@ -99,7 +131,7 @@ pub fn train(
                 let mut tape = Tape::new();
                 let mut ctx = PoolCtx {
                     training: true,
-                    rng: &mut rng,
+                    rng: &mut model_rng,
                 };
                 let loss = loss_fn(&mut tape, i, &mut ctx);
                 epoch_loss += tape.scalar(loss);
@@ -119,7 +151,7 @@ pub fn train(
         }
         train_losses.push(epoch_loss / order.len() as f64);
 
-        let val = evaluate(val_idx, &mut rng, eval_fn);
+        let val = evaluate(val_idx, &mut eval_rng, eval_fn);
         val_history.push(val);
         if cfg.log_every > 0 && epoch % cfg.log_every == 0 {
             eprintln!(
@@ -142,7 +174,7 @@ pub fn train(
     }
 
     store.restore(&best_snapshot);
-    let test_metric = evaluate(test_idx, &mut rng, eval_fn);
+    let test_metric = evaluate(test_idx, &mut eval_rng, eval_fn);
     TrainReport {
         train_losses,
         val_history,
@@ -152,7 +184,7 @@ pub fn train(
     }
 }
 
-fn evaluate(idx: &[usize], rng: &mut StdRng, eval_fn: &mut EvalFn<'_>) -> f64 {
+fn evaluate(idx: &[usize], rng: &mut Rng, eval_fn: &mut EvalFn<'_>) -> f64 {
     let correct: Vec<bool> = idx
         .iter()
         .map(|&i| {
@@ -171,15 +203,14 @@ mod tests {
     use super::*;
     use hap_core::{HapClassifier, HapConfig, HapModel};
     use hap_data::imdb_b;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use hap_rand::Rng;
 
     #[test]
     fn hap_learns_the_imdb_like_community_signal() {
         // End-to-end smoke: a small HAP classifier should beat chance
         // comfortably on the 2-class community dataset within a few
         // epochs.
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Rng::from_seed(1);
         let ds = imdb_b(60, &mut rng);
         let mut store = hap_autograd::ParamStore::new();
         let cfg = HapConfig::new(ds.feature_dim, 8).with_clusters(&[4, 2]);
@@ -225,7 +256,7 @@ mod tests {
 
     #[test]
     fn early_stopping_halts_on_plateau() {
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = Rng::from_seed(2);
         let ds = imdb_b(20, &mut rng);
         let mut store = hap_autograd::ParamStore::new();
         let cfg = HapConfig::new(ds.feature_dim, 4).with_clusters(&[2]);

@@ -6,8 +6,8 @@
 //! Gaussian bandwidth, symmetrised `P`, Student-t low-dimensional
 //! affinities, gradient descent with momentum and early exaggeration.
 
+use hap_rand::Rng;
 use hap_tensor::Tensor;
-use rand::Rng;
 
 /// t-SNE hyper-parameters.
 #[derive(Clone, Debug)]
@@ -41,7 +41,7 @@ impl Default for TsneConfig {
 ///
 /// # Panics
 /// Panics when `data` has fewer than 3 rows.
-pub fn tsne(data: &Tensor, cfg: &TsneConfig, rng: &mut impl Rng) -> Tensor {
+pub fn tsne(data: &Tensor, cfg: &TsneConfig, rng: &mut Rng) -> Tensor {
     let n = data.rows();
     assert!(n >= 3, "t-SNE needs at least 3 points, got {n}");
     let perplexity = cfg.perplexity.min((n as f64 - 1.0) / 3.0).max(2.0);
@@ -84,7 +84,11 @@ pub fn tsne(data: &Tensor, cfg: &TsneConfig, rng: &mut impl Rng) -> Tensor {
             }
             if entropy > target_entropy {
                 lo = beta;
-                beta = if hi.is_finite() { (beta + hi) / 2.0 } else { beta * 2.0 };
+                beta = if hi.is_finite() {
+                    (beta + hi) / 2.0
+                } else {
+                    beta * 2.0
+                };
             } else {
                 hi = beta;
                 beta = (beta + lo) / 2.0;
@@ -117,7 +121,11 @@ pub fn tsne(data: &Tensor, cfg: &TsneConfig, rng: &mut impl Rng) -> Tensor {
     let exag_until = cfg.iterations / 4;
 
     for iter in 0..cfg.iterations {
-        let exag = if iter < exag_until { cfg.exaggeration } else { 1.0 };
+        let exag = if iter < exag_until {
+            cfg.exaggeration
+        } else {
+            1.0
+        };
         let momentum = if iter < exag_until { 0.5 } else { 0.8 };
 
         // Student-t affinities q_ij ∝ (1 + ||y_i - y_j||²)^-1
@@ -149,8 +157,7 @@ pub fn tsne(data: &Tensor, cfg: &TsneConfig, rng: &mut impl Rng) -> Tensor {
         }
         for i in 0..n {
             for d in 0..2 {
-                velocity[(i, d)] =
-                    momentum * velocity[(i, d)] - cfg.learning_rate * grad[(i, d)];
+                velocity[(i, d)] = momentum * velocity[(i, d)] - cfg.learning_rate * grad[(i, d)];
                 y[(i, d)] += velocity[(i, d)];
             }
         }
@@ -167,11 +174,10 @@ pub fn tsne(data: &Tensor, cfg: &TsneConfig, rng: &mut impl Rng) -> Tensor {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use hap_rand::Rng;
 
     /// Three well-separated Gaussian blobs in 8-D.
-    fn blobs(rng: &mut StdRng) -> (Tensor, Vec<usize>) {
+    fn blobs(rng: &mut Rng) -> (Tensor, Vec<usize>) {
         let per = 15;
         let mut rows = Vec::new();
         let mut labels = Vec::new();
@@ -191,7 +197,7 @@ mod tests {
 
     #[test]
     fn separates_well_separated_blobs() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Rng::from_seed(1);
         let (data, labels) = blobs(&mut rng);
         let y = tsne(&data, &TsneConfig::default(), &mut rng);
         assert_eq!(y.shape(), (45, 2));
@@ -225,7 +231,7 @@ mod tests {
 
     #[test]
     fn output_is_centred() {
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = Rng::from_seed(2);
         let (data, _) = blobs(&mut rng);
         let y = tsne(&data, &TsneConfig::default(), &mut rng);
         let cm = y.col_means();
@@ -235,7 +241,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least 3 points")]
     fn rejects_tiny_inputs() {
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = Rng::from_seed(3);
         tsne(&Tensor::zeros(2, 4), &TsneConfig::default(), &mut rng);
     }
 }

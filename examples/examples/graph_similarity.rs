@@ -10,16 +10,13 @@
 //! cargo run --release -p hap-examples --example graph_similarity
 //! ```
 
-use hap_bench::{
-    similarity_accuracy_ged, similarity_accuracy_hap_ablation, GedAlg,
-};
+use hap_bench::{similarity_accuracy_ged, similarity_accuracy_hap_ablation, GedAlg};
 use hap_core::AblationKind;
 use hap_ged::{beam_ged, bipartite_ged, exact_ged, BipartiteSolver, EditCosts};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use hap_rand::Rng;
 
 fn main() {
-    let mut rng = StdRng::seed_from_u64(23);
+    let mut rng = Rng::from_seed(23);
     let corpus = hap_data::aids_like(20, &mut rng);
     let triplets = hap_data::triplet_corpus(&corpus, 120, &mut rng);
     println!(
@@ -65,5 +62,8 @@ fn main() {
         12,
         23,
     );
-    println!("HAP        : {:.1}%  (trained on the Eq. 24 hierarchical MSE)", acc * 100.0);
+    println!(
+        "HAP        : {:.1}%  (trained on the Eq. 24 hierarchical MSE)",
+        acc * 100.0
+    );
 }

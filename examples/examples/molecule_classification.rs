@@ -16,12 +16,11 @@ use hap_autograd::ParamStore;
 use hap_core::{HapClassifier, HapConfig, HapModel};
 use hap_graph::bfs_distances;
 use hap_pooling::{BaselineKind, PoolingClassifier};
+use hap_rand::Rng;
 use hap_train::{train, TrainConfig};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 fn main() {
-    let mut rng = StdRng::seed_from_u64(11);
+    let mut rng = Rng::from_seed(11);
     let ds = hap_data::mutag(140, &mut rng);
 
     // Show the discriminative signal explicitly.
@@ -43,7 +42,7 @@ fn main() {
     let mut hap_acc = 0.0;
     let mut mean_acc = 0.0;
     for &seed in &seeds {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng::from_seed(seed);
         let (train_idx, val_idx, test_idx) = hap_data::split_811(ds.samples.len(), &mut rng);
         // the deep coarsening stack needs a gentler rate than flat
         // baselines (see DESIGN.md's hyper-parameter note)

@@ -9,11 +9,10 @@ use hap_autograd::{ParamStore, Tape};
 use hap_core::{HapClassifier, HapCoarsen, HapConfig, HapModel};
 use hap_graph::{degree_one_hot, generators};
 use hap_pooling::{CoarsenModule, PoolCtx};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use hap_rand::Rng;
 
 fn main() {
-    let mut rng = StdRng::seed_from_u64(42);
+    let mut rng = Rng::from_seed(42);
 
     // ------------------------------------------------------------------
     // 1. One coarsening step on one graph

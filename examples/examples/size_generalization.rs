@@ -13,19 +13,21 @@
 use hap_bench::{train_hap_matcher, MatchEval};
 use hap_core::AblationKind;
 use hap_data::MatchingPair;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use hap_rand::Rng;
 
 fn main() {
     let seed = 31;
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::from_seed(seed);
 
     // mixed-size training corpus, 20 <= |V| <= 50
     let mut train_pairs: Vec<MatchingPair> = Vec::new();
     for n in [20usize, 30, 40, 50] {
         train_pairs.extend(hap_data::matching_corpus(50, n, &mut rng));
     }
-    println!("training on {} pairs with 20 <= |V| <= 50 …", train_pairs.len());
+    println!(
+        "training on {} pairs with 20 <= |V| <= 50 …",
+        train_pairs.len()
+    );
     let model = train_hap_matcher(&train_pairs, AblationKind::Hap, &[8, 4], 16, 12, seed);
 
     // in-distribution check

@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Tier-1 gate (see ROADMAP.md): formatting, an offline release build and
+# the full offline test suite. Run from the repository root. The build
+# must succeed with no network access and no external crates — every
+# dependency is a workspace path dependency.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo fmt --check
+cargo build --release --offline
+cargo test -q --offline
