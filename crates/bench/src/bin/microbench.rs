@@ -12,6 +12,9 @@
 //! * `pooling/*` — latency of one forward pass per pooling baseline, the
 //!   cost side of the Table 3 comparison.
 //! * `ged/*` — the Fig. 5 GED solver family on ≤10-node pairs.
+//! * `*/seq` vs `*/par` — the `hap-par` wiring: the same workload pinned
+//!   to one thread and to a multi-worker pool (see EXPERIMENTS.md
+//!   "Parallelism" for how to read these and how to pin `HAP_THREADS`).
 //!
 //! ```text
 //! cargo run --release -p hap-bench --bin microbench [--quick|--full] [--seed <u64>]
@@ -24,14 +27,17 @@ use hap_autograd::{ParamStore, Tape};
 use hap_bench::harness::{black_box, Bench};
 use hap_bench::{parse_args, RunScale};
 use hap_core::{GCont, HapCoarsen, Moa};
-use hap_ged::{beam_ged, bipartite_ged, exact_ged, BipartiteSolver, EditCosts};
+use hap_ged::{
+    batch_ged, beam_ged, bipartite_ged, exact_ged, BipartiteSolver, EditCosts, GedMethod,
+};
 use hap_gnn::{AdjacencyRef, GatLayer};
-use hap_graph::{degree_one_hot, generators};
+use hap_graph::{degree_one_hot, generators, Graph};
 use hap_pooling::{
     CoarsenModule, DiffPool, GPool, MeanAttReadout, MeanReadout, PoolCtx, Readout, SagPool,
     StructPool, SumReadout,
 };
 use hap_rand::Rng;
+use hap_tensor::Tensor;
 
 fn coarsening(bench: &mut Bench, sizes: &[usize], seed: u64) {
     let dim = 16;
@@ -238,6 +244,50 @@ fn ged(bench: &mut Bench, seed: u64) {
     });
 }
 
+/// Seq-vs-par pairs for the three `hap-par`-wired hot paths. `seq` pins
+/// the pool to one thread (the exact pre-parallel code path); `par` uses
+/// `max(4, available_parallelism)` workers so the parallel kernels
+/// genuinely execute even on small hosts — on a 1-core machine the par
+/// rows therefore measure pool overhead, not speedup (see EXPERIMENTS.md
+/// "Parallelism").
+fn parallelism(bench: &mut Bench, seed: u64) {
+    let default_threads = hap_par::threads();
+    let par_threads = std::thread::available_parallelism()
+        .map_or(1, |n| n.get())
+        .max(4);
+
+    let mut rng = Rng::from_seed(seed);
+    let ma = Tensor::rand_uniform(200, 200, -1.0, 1.0, &mut rng);
+    let mb = Tensor::rand_uniform(200, 200, -1.0, 1.0, &mut rng);
+
+    let dim = 16;
+    let g = generators::erdos_renyi_connected(200, 0.1, &mut rng);
+    let x = degree_one_hot(&g, dim);
+    let mut store = ParamStore::new();
+    let gat = GatLayer::new(&mut store, "gat", dim, dim, &mut rng);
+
+    let corpus = hap_data::aids_like(16, &mut rng);
+    let pairs: Vec<(&Graph, &Graph)> = (0..8)
+        .map(|i| (&corpus[i].graph, &corpus[i + 8].graph))
+        .collect();
+    let costs = EditCosts::uniform();
+
+    for (mode, threads) in [("seq", 1), ("par", par_threads)] {
+        hap_par::set_threads(threads);
+        bench.run(&format!("parallel/matmul/n=200/{mode}"), || ma.matmul(&mb));
+        bench.run(&format!("attention/self_attention/n=200/{mode}"), || {
+            let mut tape = Tape::new();
+            let h = tape.constant(x.clone());
+            let a = gat.attention(&mut tape, AdjacencyRef::Fixed(&g), h);
+            tape.value(a)
+        });
+        bench.run(&format!("ged/batch_hungarian/pairs=8/{mode}"), || {
+            batch_ged(&pairs, GedMethod::Hungarian, &costs)
+        });
+    }
+    hap_par::set_threads(default_threads);
+}
+
 fn main() {
     let (scale, seed) = parse_args();
     let (mut bench, coarsen_sizes, attn_sizes): (Bench, &[usize], &[usize]) = match scale {
@@ -254,6 +304,7 @@ fn main() {
     attention(&mut bench, attn_sizes, seed);
     pooling(&mut bench, 100, seed);
     ged(&mut bench, seed);
+    parallelism(&mut bench, seed);
 
     let out = std::path::Path::new("results/microbench.json");
     bench

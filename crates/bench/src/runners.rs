@@ -5,7 +5,7 @@
 use hap_autograd::ParamStore;
 use hap_core::{AblationKind, HapClassifier, HapConfig, HapMatcher, HapModel, HapSimilarity};
 use hap_data::{ClassificationDataset, GedGraph, MatchingPair, TripletSample};
-use hap_ged::{beam_ged, bipartite_ged, exact_ged, BipartiteSolver, EditCosts};
+use hap_ged::{batch_ged, exact_ged, EditCosts, GedMethod};
 use hap_match::{Gmn, GmnHap, SimGnn};
 use hap_pooling::{BaselineKind, PoolCtx, PoolingClassifier};
 use hap_rand::Rng;
@@ -374,6 +374,16 @@ pub enum GedAlg {
     Vj,
 }
 
+impl From<GedAlg> for GedMethod {
+    fn from(alg: GedAlg) -> Self {
+        match alg {
+            GedAlg::Beam(w) => GedMethod::Beam(w),
+            GedAlg::Hungarian => GedMethod::Hungarian,
+            GedAlg::Vj => GedMethod::Vj,
+        }
+    }
+}
+
 /// Fig. 5 accuracy of a conventional GED algorithm: fraction of triplets
 /// where the approximate relative GED agrees in sign with the exact one.
 pub fn similarity_accuracy_ged(
@@ -382,18 +392,23 @@ pub fn similarity_accuracy_ged(
     alg: GedAlg,
 ) -> f64 {
     let costs = EditCosts::uniform();
-    let ged = |i: usize, j: usize| -> f64 {
-        let (a, b) = (&corpus[i].graph, &corpus[j].graph);
-        match alg {
-            GedAlg::Beam(w) => beam_ged(a, b, w, &costs),
-            GedAlg::Hungarian => bipartite_ged(a, b, BipartiteSolver::Hungarian, &costs),
-            GedAlg::Vj => bipartite_ged(a, b, BipartiteSolver::Vj, &costs),
-        }
-    };
+    // Each triplet needs ged(a,b) and ged(a,c); batch all 2·T pairs through
+    // hap-ged's parallel per-pair dispatch.
+    let pairs: Vec<_> = triplets
+        .iter()
+        .flat_map(|t| {
+            [
+                (&corpus[t.a].graph, &corpus[t.b].graph),
+                (&corpus[t.a].graph, &corpus[t.c].graph),
+            ]
+        })
+        .collect();
+    let dists = batch_ged(&pairs, alg.into(), &costs);
     let correct = triplets
         .iter()
-        .filter(|t| {
-            let approx = ged(t.a, t.b) - ged(t.a, t.c);
+        .zip(dists.chunks(2))
+        .filter(|(t, d)| {
+            let approx = d[0] - d[1];
             approx != 0.0 && (approx < 0.0) == (t.relative_ged < 0.0)
         })
         .count();

@@ -64,17 +64,34 @@ impl Moa {
         let ct = tape.transpose(c); // N'×N, row j = column j of C
         let vals = tape.value(ct);
 
-        let mut rows: Vec<Var> = Vec::with_capacity(nc);
-        for j in 0..nc {
-            // order of entries within column j, by value descending
+        // Per-column sort orders are pure functions of `vals`, so they are
+        // computed up front — in parallel for large graphs (each slot in
+        // `orders` is owned by one worker; the stable sort is deterministic,
+        // so results match the sequential path bit-for-bit). The tape ops
+        // below stay sequential: graph construction mutates shared state.
+        let clusters = self.clusters;
+        let vals = &vals;
+        let compute_order = move |j: usize| -> Vec<usize> {
             let mut order: Vec<usize> = (0..n).collect();
             order.sort_by(|&a, &b| {
                 vals[(j, b)]
                     .partial_cmp(&vals[(j, a)])
                     .expect("non-NaN content")
             });
-            order.truncate(self.clusters);
+            order.truncate(clusters);
+            order
+        };
+        let mut orders: Vec<Vec<usize>> = vec![Vec::new(); nc];
+        if n >= 256 && nc >= 2 && hap_par::threads() > 1 {
+            hap_par::par_chunks_mut(&mut orders, 1, |j, slot| slot[0] = compute_order(j));
+        } else {
+            for (j, slot) in orders.iter_mut().enumerate() {
+                *slot = compute_order(j);
+            }
+        }
 
+        let mut rows: Vec<Var> = Vec::with_capacity(nc);
+        for (j, order) in orders.into_iter().enumerate() {
             // gather the sorted entries of this column as a column vector
             let col_j = tape.gather_rows(ct, &[j]); // 1×N
             let col_j = tape.transpose(col_j); // N×1

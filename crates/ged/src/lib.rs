@@ -25,11 +25,13 @@
 //! model can be varied.
 
 pub mod assignment;
+mod batch;
 mod bipartite;
 mod costs;
 mod exact;
 
 pub use assignment::{hungarian, lapjv};
+pub use batch::{batch_ged, GedMethod};
 pub use bipartite::{bipartite_ged, BipartiteSolver};
 pub use costs::EditCosts;
 pub use exact::{beam_ged, exact_ged};

@@ -77,17 +77,46 @@ impl GatLayer {
 
     /// The additive neighbourhood mask (0 on edges/self-loops, `NEG_MASK`
     /// elsewhere).
+    ///
+    /// Each mask row depends only on that node's neighbourhood, so the
+    /// `n × n` fill runs in row blocks on the `hap-par` pool above a size
+    /// threshold — with identical per-row writes, the result is the same at
+    /// every thread count.
     fn mask(&self, tape: &Tape, adj: &AdjacencyRef<'_>) -> Tensor {
+        /// Element count above which the mask fill is parallelised
+        /// (`n = 200` crosses it, `n = 100` does not).
+        const PAR_MASK_LEN: usize = 32_768;
+
+        fn fill_rows(n: usize, m: &mut Tensor, row_entries: impl Fn(usize, &mut [f64]) + Sync) {
+            if n == 0 {
+                return;
+            }
+            let fill_block = |row0: usize, chunk: &mut [f64]| {
+                for (local, row) in chunk.chunks_mut(n).enumerate() {
+                    row_entries(row0 + local, row);
+                }
+            };
+            if n * n >= PAR_MASK_LEN && hap_par::threads() > 1 {
+                let chunk_len = hap_par::row_chunk_len(n, n);
+                let rows_per_chunk = chunk_len / n;
+                hap_par::par_chunks_mut(m.as_mut_slice(), chunk_len, |ci, chunk| {
+                    fill_block(ci * rows_per_chunk, chunk);
+                });
+            } else {
+                fill_block(0, m.as_mut_slice());
+            }
+        }
+
         match adj {
             AdjacencyRef::Fixed(g) => {
                 let n = g.n();
                 let mut m = Tensor::full(n, n, NEG_MASK);
-                for u in 0..n {
-                    m[(u, u)] = 0.0;
+                fill_rows(n, &mut m, |u, row| {
+                    row[u] = 0.0;
                     for v in g.neighbors(u) {
-                        m[(u, v)] = 0.0;
+                        row[v] = 0.0;
                     }
-                }
+                });
                 m
             }
             AdjacencyRef::Dynamic(a) => {
@@ -96,14 +125,14 @@ impl GatLayer {
                 let av = tape.value(*a);
                 let n = av.rows();
                 let mut m = Tensor::full(n, n, NEG_MASK);
-                for u in 0..n {
-                    m[(u, u)] = 0.0;
-                    for v in 0..n {
+                fill_rows(n, &mut m, |u, row| {
+                    row[u] = 0.0;
+                    for (v, slot) in row.iter_mut().enumerate() {
                         if av[(u, v)] > 1e-8 {
-                            m[(u, v)] = 0.0;
+                            *slot = 0.0;
                         }
                     }
-                }
+                });
                 m
             }
         }

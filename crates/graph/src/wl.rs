@@ -1,5 +1,5 @@
 //! Weisfeiler–Lehman colour refinement (Shervashidze et al., the paper's
-//! ref. [29]).
+//! ref. \[29\]).
 //!
 //! WL colours are the discrete analogue of the "continuous WL colors"
 //! SortPooling sorts by (Sec. 2.1.2); they also give a sound (never

@@ -11,10 +11,10 @@
 //!   init, dropout masks and Gumbel noise each get a decorrelated child
 //!   stream derived from one experiment seed, so adding a draw to one
 //!   component never shifts the stream of another.
-//! * [`dist`] — the distributions the model needs: [`StandardNormal`]
+//! * `dist` — the distributions the model needs: [`StandardNormal`]
 //!   (Box–Muller), [`Uniform`], [`Gumbel`] for the Eq. 19 soft sampling,
 //!   and the Glorot/Xavier bound helper used by `hap-nn::init`.
-//! * [`seq`] — [`SliceRandom`] (`shuffle`, `choose`) and
+//! * `seq` — [`SliceRandom`] (`shuffle`, `choose`) and
 //!   [`sample_without_replacement`] for train/val splits and corpus
 //!   subsampling.
 //!
@@ -37,6 +37,8 @@
 //! let mut rng2 = Rng::from_seed(7);
 //! assert_eq!(rng2.fork("init").gen_range(0.0..1.0), x);
 //! ```
+
+#![deny(missing_docs)]
 
 mod dist;
 mod range;

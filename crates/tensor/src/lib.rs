@@ -19,6 +19,13 @@
 //!   programming error. The panicking wrappers always report both shapes.
 //! * Random constructors take an explicit `&mut impl Rng` so every consumer
 //!   of the library is deterministic under a seed.
+//! * Above fixed size thresholds, `matmul`, `softmax_rows`, `map` and the
+//!   elementwise binary ops run on the `hap-par` pool in row/chunk blocks;
+//!   each output element is written by one worker in the sequential
+//!   kernel's arithmetic order, so results are byte-identical at every
+//!   `HAP_THREADS` setting.
+
+#![deny(missing_docs)]
 
 mod error;
 mod ops;

@@ -9,10 +9,72 @@
 use crate::{ShapeError, Tensor};
 use std::ops::{Add, Mul, Neg, Sub};
 
+/// Multiply–add count above which `matmul` switches to the row-blocked
+/// parallel path. Below it, thread hand-off costs more than the work:
+/// `n·k·m = 100_000` is ~50 µs of scalar FMA, a few times the pool's
+/// dispatch latency.
+const PAR_MATMUL_FLOPS: usize = 100_000;
+
+/// Element count above which elementwise kernels (`map`, `zip_with`,
+/// `softmax_rows`) use the parallel path. An `n = 200` attention score
+/// matrix (40 000 elements) crosses it; `n = 100` (10 000) does not.
+const PAR_ELEMWISE_LEN: usize = 32_768;
+
+/// The matmul row kernel, shared verbatim by the sequential and parallel
+/// paths: fills the output rows in `out` (a block of whole rows starting at
+/// global row `row0`) from `a` (`? × k`) and `b` (`k × m`).
+///
+/// ikj loop order: the inner loop streams over contiguous rows of `b` and
+/// `out`, which the Rust Performance Book's data-locality guidance favours
+/// over the naive ijk order. Because each output row is accumulated by this
+/// one kernel in this one order, results are byte-identical whether row
+/// blocks run sequentially or on `hap-par` workers.
+fn matmul_block(a: &[f64], b: &[f64], k: usize, m: usize, row0: usize, out: &mut [f64]) {
+    for (local_i, out_row) in out.chunks_mut(m).enumerate() {
+        let i = row0 + local_i;
+        let a_row = &a[i * k..(i + 1) * k];
+        for (p, &a_ip) in a_row.iter().enumerate() {
+            if a_ip == 0.0 {
+                continue; // adjacency matrices are mostly zeros
+            }
+            let b_row = &b[p * m..(p + 1) * m];
+            for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                *o += a_ip * bv;
+            }
+        }
+    }
+}
+
 impl Tensor {
     // ----- matrix multiplication ----------------------------------------
 
     /// Matrix product `self · rhs`.
+    ///
+    /// Shapes must chain: an `n × k` left operand requires a `k × m` right
+    /// operand and produces an `n × m` result.
+    ///
+    /// ```
+    /// use hap_tensor::Tensor;
+    /// let a = Tensor::from_rows(&[vec![1.0, 2.0, 3.0]]); // 1 × 3
+    /// let b = Tensor::eye(3);                            // 3 × 3
+    /// assert_eq!(a.try_matmul(&b).unwrap().shape(), (1, 3));
+    /// ```
+    ///
+    /// # Errors
+    /// Returns a [`ShapeError`] carrying both operand shapes when the inner
+    /// dimensions disagree (`self.cols() != rhs.rows()`):
+    ///
+    /// ```
+    /// use hap_tensor::Tensor;
+    /// let err = Tensor::zeros(2, 3).try_matmul(&Tensor::zeros(2, 3)).unwrap_err();
+    /// let msg = err.to_string();
+    /// assert!(msg.contains("matmul") && msg.contains("(2, 3)"), "got: {msg}");
+    /// ```
+    ///
+    /// Above a fixed work threshold the product is computed as row blocks
+    /// on the [`hap_par`] pool; each output row is owned by exactly one
+    /// worker and accumulated in the sequential kernel's order, so results
+    /// are byte-identical at every `HAP_THREADS` setting.
     pub fn try_matmul(&self, rhs: &Tensor) -> Result<Tensor, ShapeError> {
         if self.cols() != rhs.rows() {
             return Err(ShapeError::binary(
@@ -24,26 +86,30 @@ impl Tensor {
         }
         let (n, k, m) = (self.rows(), self.cols(), rhs.cols());
         let mut out = Tensor::zeros(n, m);
-        // ikj loop order: the inner loop streams over contiguous rows of
-        // `rhs` and `out`, which the Rust Performance Book's data-locality
-        // guidance favours over the naive ijk order.
-        for i in 0..n {
-            let a_row = self.row(i);
-            let out_row = out.row_mut(i);
-            for (p, &a_ip) in a_row.iter().enumerate().take(k) {
-                if a_ip == 0.0 {
-                    continue; // adjacency matrices are mostly zeros
-                }
-                let b_row = &rhs.as_slice()[p * m..(p + 1) * m];
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a_ip * b;
-                }
-            }
+        if m == 0 {
+            return Ok(out);
+        }
+        let (a, b) = (self.as_slice(), rhs.as_slice());
+        if n * k * m >= PAR_MATMUL_FLOPS && hap_par::threads() > 1 {
+            let chunk_len = hap_par::row_chunk_len(n, m);
+            let rows_per_chunk = chunk_len / m;
+            hap_par::par_chunks_mut(out.as_mut_slice(), chunk_len, |ci, out_chunk| {
+                matmul_block(a, b, k, m, ci * rows_per_chunk, out_chunk);
+            });
+        } else {
+            matmul_block(a, b, k, m, 0, out.as_mut_slice());
         }
         Ok(out)
     }
 
     /// Panicking variant of [`Tensor::try_matmul`].
+    ///
+    /// # Panics
+    /// Panics with the [`ShapeError`] display message — which names the op
+    /// and both operand shapes — when the inner dimensions disagree. Use
+    /// [`Tensor::try_matmul`] to handle the mismatch instead; the autograd
+    /// layer calls this form because tape construction has already
+    /// validated shapes.
     pub fn matmul(&self, rhs: &Tensor) -> Tensor {
         self.try_matmul(rhs).unwrap_or_else(|e| panic!("{e}"))
     }
@@ -65,7 +131,7 @@ impl Tensor {
         &self,
         rhs: &Tensor,
         op_name: &'static str,
-        f: impl Fn(f64, f64) -> f64,
+        f: impl Fn(f64, f64) -> f64 + Sync,
     ) -> Result<Tensor, ShapeError> {
         if self.shape() != rhs.shape() {
             return Err(ShapeError::binary(
@@ -75,12 +141,19 @@ impl Tensor {
                 "elementwise operands must have identical shapes",
             ));
         }
-        let data = self
-            .as_slice()
-            .iter()
-            .zip(rhs.as_slice())
-            .map(|(&a, &b)| f(a, b))
-            .collect();
+        let (a, b) = (self.as_slice(), rhs.as_slice());
+        if self.len() >= PAR_ELEMWISE_LEN && hap_par::threads() > 1 {
+            let mut out = Tensor::zeros(self.rows(), self.cols());
+            let chunk_len = hap_par::row_chunk_len(self.len(), 1);
+            hap_par::par_chunks_mut(out.as_mut_slice(), chunk_len, |ci, dst| {
+                let base = ci * chunk_len;
+                for (j, d) in dst.iter_mut().enumerate() {
+                    *d = f(a[base + j], b[base + j]);
+                }
+            });
+            return Ok(out);
+        }
+        let data = a.iter().zip(b).map(|(&x, &y)| f(x, y)).collect();
         Ok(Tensor::from_vec(self.rows(), self.cols(), data))
     }
 
@@ -112,8 +185,25 @@ impl Tensor {
     // ----- scalar & map ops ---------------------------------------------
 
     /// Applies `f` to each element.
-    pub fn map(&self, f: impl Fn(f64) -> f64) -> Tensor {
-        let data = self.as_slice().iter().map(|&x| f(x)).collect();
+    ///
+    /// `f` must be [`Sync`]: above a size threshold the elements are mapped
+    /// in disjoint chunks on the [`hap_par`] pool (each output element is
+    /// written by exactly one worker, so results are byte-identical at
+    /// every thread count).
+    pub fn map(&self, f: impl Fn(f64) -> f64 + Sync) -> Tensor {
+        let src = self.as_slice();
+        if self.len() >= PAR_ELEMWISE_LEN && hap_par::threads() > 1 {
+            let mut out = Tensor::zeros(self.rows(), self.cols());
+            let chunk_len = hap_par::row_chunk_len(self.len(), 1);
+            hap_par::par_chunks_mut(out.as_mut_slice(), chunk_len, |ci, dst| {
+                let base = ci * chunk_len;
+                for (j, d) in dst.iter_mut().enumerate() {
+                    *d = f(src[base + j]);
+                }
+            });
+            return out;
+        }
+        let data = src.iter().map(|&x| f(x)).collect();
         Tensor::from_vec(self.rows(), self.cols(), data)
     }
 
@@ -383,19 +473,37 @@ impl Tensor {
     // ----- numerically-stable softmax -----------------------------------
 
     /// Row-wise softmax with the standard max-subtraction stabilisation.
+    ///
+    /// Each row is normalised independently, so above a size threshold the
+    /// rows are processed in blocks on the [`hap_par`] pool; per-row
+    /// arithmetic order is unchanged and results are byte-identical at
+    /// every thread count.
     pub fn softmax_rows(&self) -> Tensor {
+        fn softmax_block(chunk: &mut [f64], cols: usize) {
+            for row in chunk.chunks_mut(cols) {
+                let m = row.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                let mut z = 0.0;
+                for x in row.iter_mut() {
+                    *x = (*x - m).exp();
+                    z += *x;
+                }
+                for x in row.iter_mut() {
+                    *x /= z;
+                }
+            }
+        }
         let mut out = self.clone();
-        for r in 0..out.rows() {
-            let row = out.row_mut(r);
-            let m = row.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-            let mut z = 0.0;
-            for x in row.iter_mut() {
-                *x = (*x - m).exp();
-                z += *x;
-            }
-            for x in row.iter_mut() {
-                *x /= z;
-            }
+        let cols = out.cols();
+        if cols == 0 {
+            return out;
+        }
+        if out.len() >= PAR_ELEMWISE_LEN && hap_par::threads() > 1 {
+            let chunk_len = hap_par::row_chunk_len(out.rows(), cols);
+            hap_par::par_chunks_mut(out.as_mut_slice(), chunk_len, |_, chunk| {
+                softmax_block(chunk, cols);
+            });
+        } else {
+            softmax_block(out.as_mut_slice(), cols);
         }
         out
     }

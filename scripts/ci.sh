@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
-# Tier-1 gate (see ROADMAP.md): formatting, an offline release build and
-# the full offline test suite. Run from the repository root. The build
-# must succeed with no network access and no external crates — every
+# Tier-1 gate (see ROADMAP.md): formatting, an offline release build, the
+# full offline test suite, warning-free rustdoc, and the determinism
+# goldens under both threading modes. Run from the repository root. The
+# build must succeed with no network access and no external crates — every
 # dependency is a workspace path dependency.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -9,3 +10,14 @@ cd "$(dirname "$0")/.."
 cargo fmt --check
 cargo build --release --offline
 cargo test -q --offline
+
+# Broken intra-doc links and missing docs fail tier-1 (hap-tensor,
+# hap-rand and hap-par carry #![deny(missing_docs)]).
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline
+
+# Training trajectories must be byte-identical whether the hap-par pool is
+# disabled (HAP_THREADS=1: the exact sequential code path) or sized from
+# the hardware (unset). The differential kernel tests live in
+# crates/integration/tests/par_determinism.rs and run with the suite above.
+HAP_THREADS=1 cargo test -q --offline -p hap-train --test determinism
+env -u HAP_THREADS cargo test -q --offline -p hap-train --test determinism
