@@ -121,6 +121,54 @@ mod tests {
     }
 
     #[test]
+    fn gradcheck_matmul_nt() {
+        // y = X · Wᵀ with X the differentiated input
+        let w = rand_input(5, 3, 11);
+        check_unary_op(rand_input(4, 3, 12), 1e-6, |t, x| {
+            let w = t.constant(w.clone());
+            let y = t.matmul_nt(x, w);
+            let sq = t.hadamard(y, y);
+            t.sum_all(sq)
+        });
+    }
+
+    #[test]
+    fn gradcheck_matmul_nt_rhs() {
+        // y = A · Xᵀ with X the differentiated input
+        let a = rand_input(4, 3, 13);
+        check_unary_op(rand_input(5, 3, 14), 1e-6, |t, x| {
+            let a = t.constant(a.clone());
+            let y = t.matmul_nt(a, x);
+            let sq = t.hadamard(y, y);
+            t.sum_all(sq)
+        });
+    }
+
+    #[test]
+    fn gradcheck_matmul_tn() {
+        // y = Xᵀ · W with X the differentiated input
+        let w = rand_input(4, 2, 15);
+        check_unary_op(rand_input(4, 3, 16), 1e-6, |t, x| {
+            let w = t.constant(w.clone());
+            let y = t.matmul_tn(x, w);
+            let sq = t.hadamard(y, y);
+            t.sum_all(sq)
+        });
+    }
+
+    #[test]
+    fn gradcheck_matmul_tn_rhs() {
+        // y = Aᵀ · X with X the differentiated input
+        let a = rand_input(4, 3, 17);
+        check_unary_op(rand_input(4, 2, 18), 1e-6, |t, x| {
+            let a = t.constant(a.clone());
+            let y = t.matmul_tn(a, x);
+            let sq = t.hadamard(y, y);
+            t.sum_all(sq)
+        });
+    }
+
+    #[test]
     fn gradcheck_add_sub_hadamard() {
         let b = rand_input(3, 3, 5);
         check_unary_op(rand_input(3, 3, 6), 1e-6, |t, x| {

@@ -19,8 +19,16 @@ pub enum Op {
     /// A leaf bound to a trainable [`Param`]; backward accumulates into the
     /// parameter's gradient buffer.
     Leaf(Param),
-    /// `C = A · B`. Gradients: `dA = G·Bᵀ`, `dB = Aᵀ·G`.
+    /// `C = A · B`. Gradients: `dA = G·Bᵀ`, `dB = Aᵀ·G` (computed with the
+    /// fused `matmul_nt` / `matmul_tn` kernels — byte-identical to the
+    /// composed transpose+matmul, without materialising the transposes).
     MatMul,
+    /// Fused `C = A · Bᵀ` (`A`: `n×k`, `B`: `m×k`). Gradients:
+    /// `dA = G·B`, `dB = Gᵀ·A`.
+    MatMulNT,
+    /// Fused `C = Aᵀ · B` (`A`: `n×k`, `B`: `n×m`). Gradients:
+    /// `dA = B·Gᵀ`, `dB = A·G`.
+    MatMulTN,
     /// `C = A + B` (same shape). Gradients: `dA = G`, `dB = G`.
     Add,
     /// `C = A - B`. Gradients: `dA = G`, `dB = -G`.
@@ -98,6 +106,8 @@ impl Op {
             Op::Constant => "constant",
             Op::Leaf(_) => "param",
             Op::MatMul => "matmul",
+            Op::MatMulNT => "matmul_nt",
+            Op::MatMulTN => "matmul_tn",
             Op::Add => "add",
             Op::Sub => "sub",
             Op::Hadamard => "hadamard",

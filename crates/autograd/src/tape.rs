@@ -47,7 +47,26 @@ pub struct Tape {
     nodes: Vec<Node>,
     /// Gradients from the most recent `backward` call, parallel to `nodes`.
     grads: Vec<Option<Tensor>>,
+    /// Recycled *gradient* buffers, keyed by length: merged deltas parked
+    /// by [`Tape::accumulate`] mid-backward and final gradients parked by
+    /// [`Tape::reset`] / the next backward's sweep. Gradient shapes repeat
+    /// within and across steps, so the backward pass stops paying an
+    /// allocation per propagated delta.
+    ///
+    /// Deliberately *not* fed from forward node values: parking the whole
+    /// tape was measured slower than letting `reset` free forward buffers —
+    /// the allocator's LIFO reuse hands the next forward pass warm blocks,
+    /// while a big cold pool just inflated the footprint (microbench
+    /// `coarsen_forward_backward/n=100` ~2× worse with full-tape pooling).
+    spare: std::collections::HashMap<usize, Vec<Vec<f64>>>,
+    /// Total `f64`s parked in `spare`, bounded by [`SPARE_ELEM_LIMIT`].
+    spare_elems: usize,
 }
+
+/// Upper bound on pooled elements (4M `f64` = 32 MiB): several times one
+/// backward pass's gradient footprint on the paper's graph sizes, while
+/// keeping a long-lived tape from hoarding memory.
+const SPARE_ELEM_LIMIT: usize = 4 << 20;
 
 impl Default for Tape {
     fn default() -> Self {
@@ -61,7 +80,76 @@ impl Tape {
         Self {
             nodes: Vec::new(),
             grads: Vec::new(),
+            spare: std::collections::HashMap::new(),
+            spare_elems: 0,
         }
+    }
+
+    /// Clears the tape for a fresh forward pass while keeping its storage.
+    ///
+    /// The node and gradient vectors retain their capacity, and gradient
+    /// buffers are parked in the size-keyed pool the next backward pass
+    /// draws from. Forward node values are *freed*, on purpose: their
+    /// blocks come straight back from the allocator, still warm, when the
+    /// next step's forward pass reallocates the same shapes (see the
+    /// `spare` field comments for the measurement behind this split).
+    /// A trainer calls `reset` between steps instead of building a new
+    /// `Tape`. Results are unaffected: recycled buffers are fully
+    /// overwritten before use.
+    pub fn reset(&mut self) {
+        self.nodes.clear();
+        while let Some(slot) = self.grads.pop() {
+            if let Some(g) = slot {
+                self.recycle(g);
+            }
+        }
+    }
+
+    /// Parks a tensor's buffer for reuse, subject to the pool size bound.
+    fn recycle(&mut self, t: Tensor) {
+        let len = t.len();
+        if len == 0 || self.spare_elems + len > SPARE_ELEM_LIMIT {
+            return;
+        }
+        self.spare_elems += len;
+        self.spare.entry(len).or_default().push(t.into_vec());
+    }
+
+    /// Takes a pooled buffer of exactly `len` elements, if one is parked.
+    fn take_buf(&mut self, len: usize) -> Option<Vec<f64>> {
+        let bufs = self.spare.get_mut(&len)?;
+        let buf = bufs.pop()?;
+        self.spare_elems -= len;
+        Some(buf)
+    }
+
+    /// `t.clone()` drawing the destination buffer from the pool when a
+    /// same-sized one is parked.
+    fn pooled_clone(&mut self, t: &Tensor) -> Tensor {
+        match self.take_buf(t.len()) {
+            Some(mut buf) => {
+                buf.copy_from_slice(t.as_slice());
+                Tensor::from_vec(t.rows(), t.cols(), buf)
+            }
+            None => t.clone(),
+        }
+    }
+
+    /// `Tensor::full(rows, cols, value)` drawing from the pool when
+    /// possible.
+    fn pooled_full(&mut self, rows: usize, cols: usize, value: f64) -> Tensor {
+        match self.take_buf(rows * cols) {
+            Some(mut buf) => {
+                buf.fill(value);
+                Tensor::from_vec(rows, cols, buf)
+            }
+            None => Tensor::full(rows, cols, value),
+        }
+    }
+
+    /// `Tensor::zeros(rows, cols)` drawing from the pool when possible.
+    fn pooled_zeros(&mut self, rows: usize, cols: usize) -> Tensor {
+        self.pooled_full(rows, cols, 0.0)
     }
 
     /// Number of recorded nodes.
@@ -130,6 +218,26 @@ impl Tape {
     pub fn matmul(&mut self, a: Var, b: Var) -> Var {
         let v = self.nodes[a.0].value.matmul(&self.nodes[b.0].value);
         self.push(v, Op::MatMul, &[a.0, b.0])
+    }
+
+    /// Fused product against a transposed right operand: `a · bᵀ`,
+    /// recorded as a single node. Byte-identical to
+    /// `transpose(b)` + `matmul` (see [`Tensor::matmul_nt`]) but skips the
+    /// intermediate transpose node and its allocation — use it when the
+    /// transpose has no other consumer.
+    pub fn matmul_nt(&mut self, a: Var, b: Var) -> Var {
+        let v = self.nodes[a.0].value.matmul_nt(&self.nodes[b.0].value);
+        self.push(v, Op::MatMulNT, &[a.0, b.0])
+    }
+
+    /// Fused product against a transposed left operand: `aᵀ · b`,
+    /// recorded as a single node. Byte-identical to
+    /// `transpose(a)` + `matmul` (see [`Tensor::matmul_tn`]) but skips the
+    /// intermediate transpose node and its allocation — use it when the
+    /// transpose has no other consumer.
+    pub fn matmul_tn(&mut self, a: Var, b: Var) -> Var {
+        let v = self.nodes[a.0].value.matmul_tn(&self.nodes[b.0].value);
+        self.push(v, Op::MatMulTN, &[a.0, b.0])
     }
 
     /// Elementwise sum.
@@ -383,7 +491,15 @@ impl Tape {
             seed.shape(),
             "backward seed shape must match output shape"
         );
-        self.grads = vec![None; self.nodes.len()];
+        // Reuse the gradient vector across sweeps: recycle buffers from a
+        // previous backward pass instead of dropping them, then grow the
+        // (capacity-retaining) vector back to the node count.
+        while let Some(slot) = self.grads.pop() {
+            if let Some(g) = slot {
+                self.recycle(g);
+            }
+        }
+        self.grads.resize_with(self.nodes.len(), || None);
         self.grads[output.0] = Some(seed);
 
         for i in (0..=output.0).rev() {
@@ -408,10 +524,16 @@ impl Tape {
     }
 
     fn accumulate(&mut self, idx: usize, delta: Tensor) {
-        match &mut self.grads[idx] {
-            Some(g) => *g = &*g + &delta,
-            slot @ None => *slot = Some(delta),
+        // In-place add is byte-identical to `&*g + &delta` and lets the
+        // spent delta's buffer go back to the pool.
+        let slot = &mut self.grads[idx];
+        if let Some(g) = slot {
+            g.add_in_place(&delta);
+        } else {
+            *slot = Some(delta);
+            return;
         }
+        self.recycle(delta);
     }
 
     fn parent_value(&self, node: usize, k: usize) -> &Tensor {
@@ -426,17 +548,37 @@ impl Tape {
             Op::Constant => {}
             Op::Leaf(param) => param.accumulate_grad(g),
             Op::MatMul => {
-                let da = g.matmul(&self.parent_value(i, 1).transpose());
-                let db = self.parent_value(i, 0).transpose().matmul(g);
+                // Fused kernels: same summation order and zero-skip as the
+                // former `g.matmul(&Bᵀ)` / `Aᵀ.matmul(g)`, minus two
+                // transpose allocations per node per sweep.
+                let da = g.matmul_nt(self.parent_value(i, 1));
+                let db = self.parent_value(i, 0).matmul_tn(g);
+                self.accumulate(p0, da);
+                self.accumulate(p1, db);
+            }
+            Op::MatMulNT => {
+                // C = A·Bᵀ: dA = G·B, dB = Gᵀ·A
+                let da = g.matmul(self.parent_value(i, 1));
+                let db = g.matmul_tn(self.parent_value(i, 0));
+                self.accumulate(p0, da);
+                self.accumulate(p1, db);
+            }
+            Op::MatMulTN => {
+                // C = Aᵀ·B: dA = B·Gᵀ, dB = A·G
+                let da = self.parent_value(i, 1).matmul_nt(g);
+                let db = self.parent_value(i, 0).matmul(g);
                 self.accumulate(p0, da);
                 self.accumulate(p1, db);
             }
             Op::Add => {
-                self.accumulate(p0, g.clone());
-                self.accumulate(p1, g.clone());
+                let d0 = self.pooled_clone(g);
+                self.accumulate(p0, d0);
+                let d1 = self.pooled_clone(g);
+                self.accumulate(p1, d1);
             }
             Op::Sub => {
-                self.accumulate(p0, g.clone());
+                let d0 = self.pooled_clone(g);
+                self.accumulate(p0, d0);
                 self.accumulate(p1, g.scale(-1.0));
             }
             Op::Hadamard => {
@@ -446,29 +588,33 @@ impl Tape {
                 self.accumulate(p1, db);
             }
             Op::AddRow => {
-                self.accumulate(p0, g.clone());
+                let d0 = self.pooled_clone(g);
+                self.accumulate(p0, d0);
                 self.accumulate(p1, g.col_sums());
             }
             Op::AddCol => {
-                self.accumulate(p0, g.clone());
+                let d0 = self.pooled_clone(g);
+                self.accumulate(p0, d0);
                 self.accumulate(p1, g.row_sums());
             }
             Op::MulCol => {
-                let x = self.parent_value(i, 0).clone();
-                let c = self.parent_value(i, 1).clone();
-                let mut dx = g.clone();
+                let dc = g.hadamard(self.parent_value(i, 0)).row_sums();
+                let c = self.parent_value(i, 1).clone(); // N×1 gate
+                let mut dx = self.pooled_clone(g);
                 for r in 0..dx.rows() {
                     let s = c[(r, 0)];
                     for e in dx.row_mut(r) {
                         *e *= s;
                     }
                 }
-                let dc = g.hadamard(&x).row_sums();
                 self.accumulate(p0, dx);
                 self.accumulate(p1, dc);
             }
             Op::Scale(s) => self.accumulate(p0, g.scale(s)),
-            Op::Shift(_) => self.accumulate(p0, g.clone()),
+            Op::Shift(_) => {
+                let d0 = self.pooled_clone(g);
+                self.accumulate(p0, d0);
+            }
             Op::Transpose => self.accumulate(p0, g.transpose()),
             Op::Relu => {
                 let x = self.parent_value(i, 0);
@@ -491,11 +637,12 @@ impl Tape {
                 self.accumulate(p0, g.hadamard(&dy));
             }
             Op::SoftmaxRows => {
-                let y = self.nodes[i].value.clone();
-                let mut dx = Tensor::zeros(y.rows(), y.cols());
-                for r in 0..y.rows() {
+                let (rows, cols) = self.nodes[i].value.shape();
+                let mut dx = self.pooled_zeros(rows, cols);
+                let y = &self.nodes[i].value;
+                for r in 0..rows {
                     let dot: f64 = g.row(r).iter().zip(y.row(r)).map(|(&a, &b)| a * b).sum();
-                    for c in 0..y.cols() {
+                    for c in 0..cols {
                         dx[(r, c)] = y[(r, c)] * (g[(r, c)] - dot);
                     }
                 }
@@ -503,9 +650,8 @@ impl Tape {
             }
             Op::LogSoftmaxRows => {
                 // y = x - lse(x); dx = g - softmax(x) * rowsum(g)
-                let x = self.parent_value(i, 0).clone();
-                let sm = x.softmax_rows();
-                let mut dx = g.clone();
+                let sm = self.parent_value(i, 0).softmax_rows();
+                let mut dx = self.pooled_clone(g);
                 for r in 0..dx.rows() {
                     let gs: f64 = g.row(r).iter().sum();
                     for c in 0..dx.cols() {
@@ -548,8 +694,8 @@ impl Tape {
                 self.accumulate(p1, db);
             }
             Op::GatherRows(indices) => {
-                let x = self.parent_value(i, 0);
-                let mut dx = Tensor::zeros(x.rows(), x.cols());
+                let (rows, cols) = self.parent_value(i, 0).shape();
+                let mut dx = self.pooled_zeros(rows, cols);
                 for (gi, &src) in indices.iter().enumerate() {
                     for (d, &gv) in dx.row_mut(src).iter_mut().zip(g.row(gi)) {
                         *d += gv;
@@ -558,28 +704,28 @@ impl Tape {
                 self.accumulate(p0, dx);
             }
             Op::SumAll => {
-                let x = self.parent_value(i, 0);
-                let dx = Tensor::full(x.rows(), x.cols(), g[(0, 0)]);
+                let (rows, cols) = self.parent_value(i, 0).shape();
+                let dx = self.pooled_full(rows, cols, g[(0, 0)]);
                 self.accumulate(p0, dx);
             }
             Op::MeanAll => {
-                let x = self.parent_value(i, 0);
-                let dx = Tensor::full(x.rows(), x.cols(), g[(0, 0)] / x.len() as f64);
+                let (rows, cols) = self.parent_value(i, 0).shape();
+                let dx = self.pooled_full(rows, cols, g[(0, 0)] / (rows * cols) as f64);
                 self.accumulate(p0, dx);
             }
             Op::ColSums => {
-                let x = self.parent_value(i, 0);
-                let mut dx = Tensor::zeros(x.rows(), x.cols());
-                for r in 0..x.rows() {
+                let (rows, cols) = self.parent_value(i, 0).shape();
+                let mut dx = self.pooled_zeros(rows, cols);
+                for r in 0..rows {
                     dx.row_mut(r).copy_from_slice(g.row(0));
                 }
                 self.accumulate(p0, dx);
             }
             Op::ColMeans => {
-                let x = self.parent_value(i, 0);
-                let n = x.rows() as f64;
-                let mut dx = Tensor::zeros(x.rows(), x.cols());
-                for r in 0..x.rows() {
+                let (rows, cols) = self.parent_value(i, 0).shape();
+                let n = rows as f64;
+                let mut dx = self.pooled_zeros(rows, cols);
+                for r in 0..rows {
                     for (d, &gv) in dx.row_mut(r).iter_mut().zip(g.row(0)) {
                         *d = gv / n;
                     }
@@ -587,17 +733,17 @@ impl Tape {
                 self.accumulate(p0, dx);
             }
             Op::ColMaxes(argmax) => {
-                let x = self.parent_value(i, 0);
-                let mut dx = Tensor::zeros(x.rows(), x.cols());
+                let (rows, cols) = self.parent_value(i, 0).shape();
+                let mut dx = self.pooled_zeros(rows, cols);
                 for (c, &r) in argmax.iter().enumerate() {
                     dx[(r, c)] += g[(0, c)];
                 }
                 self.accumulate(p0, dx);
             }
             Op::RowSums => {
-                let x = self.parent_value(i, 0);
-                let mut dx = Tensor::zeros(x.rows(), x.cols());
-                for r in 0..x.rows() {
+                let (rows, cols) = self.parent_value(i, 0).shape();
+                let mut dx = self.pooled_zeros(rows, cols);
+                for r in 0..rows {
                     let gv = g[(r, 0)];
                     for d in dx.row_mut(r) {
                         *d = gv;
@@ -736,5 +882,110 @@ mod tests {
         let mut t = Tape::new();
         let x = t.constant(Tensor::zeros(2, 2));
         t.backward_with_seed(x, Tensor::zeros(1, 1));
+    }
+
+    fn assert_bits_equal(what: &str, a: &Tensor, b: &Tensor) {
+        assert_eq!(a.shape(), b.shape(), "{what}: shape mismatch");
+        for (i, (x, y)) in a.as_slice().iter().zip(b.as_slice()).enumerate() {
+            assert_eq!(x.to_bits(), y.to_bits(), "{what}: element {i}: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn matmul_nt_matches_composed_transpose_matmul_bitwise() {
+        let av = Tensor::from_rows(&[vec![1.0, 0.0, 2.5], vec![-3.0, 4.0, 0.0]]);
+        let bv = Tensor::from_rows(&[vec![0.5, -1.5, 2.0], vec![3.0, 0.0, -0.25]]);
+        // fused
+        let mut tf = Tape::new();
+        let (a, b) = (tf.constant(av.clone()), tf.constant(bv.clone()));
+        let c = tf.matmul_nt(a, b);
+        let loss = tf.sum_all(c);
+        tf.backward(loss);
+        // composed
+        let mut tc = Tape::new();
+        let (a2, b2) = (tc.constant(av), tc.constant(bv));
+        let bt = tc.transpose(b2);
+        let c2 = tc.matmul(a2, bt);
+        let loss2 = tc.sum_all(c2);
+        tc.backward(loss2);
+        assert_bits_equal("value", &tf.value(c), &tc.value(c2));
+        assert_bits_equal("dA", &tf.grad(a), &tc.grad(a2));
+        assert_bits_equal("dB", &tf.grad(b), &tc.grad(b2));
+    }
+
+    #[test]
+    fn matmul_tn_matches_composed_transpose_matmul_bitwise() {
+        let av = Tensor::from_rows(&[vec![1.0, 0.0], vec![-3.0, 4.0], vec![0.5, 2.0]]);
+        let bv = Tensor::from_rows(&[vec![0.5, -1.5], vec![3.0, 0.0], vec![-0.25, 1.0]]);
+        // fused
+        let mut tf = Tape::new();
+        let (a, b) = (tf.constant(av.clone()), tf.constant(bv.clone()));
+        let c = tf.matmul_tn(a, b);
+        let loss = tf.sum_all(c);
+        tf.backward(loss);
+        // composed
+        let mut tc = Tape::new();
+        let (a2, b2) = (tc.constant(av), tc.constant(bv));
+        let at = tc.transpose(a2);
+        let c2 = tc.matmul(at, b2);
+        let loss2 = tc.sum_all(c2);
+        tc.backward(loss2);
+        assert_bits_equal("value", &tf.value(c), &tc.value(c2));
+        assert_bits_equal("dA", &tf.grad(a), &tc.grad(a2));
+        assert_bits_equal("dB", &tf.grad(b), &tc.grad(b2));
+    }
+
+    #[test]
+    fn reset_reuses_storage_without_changing_results() {
+        let p = Param::new("w", Tensor::from_rows(&[vec![2.0, -1.0], vec![0.5, 3.0]]));
+        let xv = Tensor::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+
+        // Reference: fresh tape per step.
+        let reference: Vec<Tensor> = (0..3)
+            .map(|_| {
+                p.zero_grad();
+                let mut t = Tape::new();
+                let x = t.constant(xv.clone());
+                let w = t.param(&p);
+                let y = t.matmul(x, w);
+                let z = t.relu(y);
+                let loss = t.sum_all(z);
+                t.backward(loss);
+                p.grad()
+            })
+            .collect();
+
+        // Same steps on one reused tape.
+        let mut t = Tape::new();
+        for expect in &reference {
+            p.zero_grad();
+            t.reset();
+            assert!(t.is_empty());
+            let x = t.constant(xv.clone());
+            let w = t.param(&p);
+            let y = t.matmul(x, w);
+            let z = t.relu(y);
+            let loss = t.sum_all(z);
+            t.backward(loss);
+            assert_bits_equal("param grad after reset", &p.grad(), expect);
+        }
+    }
+
+    #[test]
+    fn reset_then_smaller_graph_is_correct() {
+        // The pool must not leak stale values into a later, differently
+        // shaped computation.
+        let mut t = Tape::new();
+        let x = t.constant(Tensor::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]));
+        let y = t.hadamard(x, x);
+        let loss = t.sum_all(y);
+        t.backward(loss);
+
+        t.reset();
+        let a = t.constant(Tensor::row_vector(&[1.0, -2.0, 3.0]));
+        let sq = t.hadamard(a, a);
+        let loss2 = t.sum_all(sq);
+        t.backward(loss2);
+        assert_close(&t.grad(a), &Tensor::row_vector(&[2.0, -4.0, 6.0]), 1e-12);
     }
 }

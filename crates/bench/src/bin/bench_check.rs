@@ -1,0 +1,85 @@
+//! Compares two microbench JSON reports and fails on median regressions.
+//!
+//! ```text
+//! cargo run --release -p hap-bench --bin bench_check -- \
+//!     results/microbench.json /tmp/microbench.fresh.json [--threshold <percent>]
+//! ```
+//!
+//! Exits non-zero when any case present in both reports is more than
+//! `--threshold` percent (default 25) slower in the second report, or
+//! when the second report dropped a baseline case. Driven by
+//! `scripts/bench_check.sh`.
+
+use hap_bench::check::{find_regressions, missing_cases, parse_medians};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths: Vec<String> = Vec::new();
+    let mut threshold_pct = 25.0f64;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--threshold" => {
+                let v = args
+                    .get(i + 1)
+                    .unwrap_or_else(|| usage("--threshold requires a value"));
+                threshold_pct = v
+                    .parse()
+                    .unwrap_or_else(|_| usage("--threshold must be a number (percent)"));
+                i += 2;
+            }
+            p => {
+                paths.push(p.to_string());
+                i += 1;
+            }
+        }
+    }
+    if paths.len() != 2 {
+        usage("expected exactly two report paths: <baseline> <current>");
+    }
+
+    let baseline = parse_medians(&read(&paths[0]));
+    let current = parse_medians(&read(&paths[1]));
+    if baseline.is_empty() {
+        usage(&format!("no benchmark results parsed from {}", paths[0]));
+    }
+
+    let shared = baseline.len() - missing_cases(&baseline, &current).len();
+    eprintln!(
+        "bench_check: {} baseline cases, {} current cases, {} compared, threshold {}%",
+        baseline.len(),
+        current.len(),
+        shared,
+        threshold_pct,
+    );
+
+    let mut failed = false;
+    for name in missing_cases(&baseline, &current) {
+        eprintln!("MISSING    {name} (in baseline, absent from current run)");
+        failed = true;
+    }
+    for r in find_regressions(&baseline, &current, threshold_pct / 100.0) {
+        eprintln!(
+            "REGRESSION {:<44} {:>12.1} ns -> {:>12.1} ns  ({:+.1}%)",
+            r.name,
+            r.base_ns,
+            r.cur_ns,
+            (r.ratio - 1.0) * 100.0,
+        );
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    eprintln!("bench_check: OK — no median regression beyond {threshold_pct}%");
+}
+
+fn read(path: &str) -> String {
+    std::fs::read_to_string(path).unwrap_or_else(|e| usage(&format!("cannot read {path}: {e}")))
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!("usage: bench_check <baseline.json> <current.json> [--threshold <percent>]");
+    std::process::exit(2)
+}

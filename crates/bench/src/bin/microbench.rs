@@ -15,29 +15,44 @@
 //! * `*/seq` vs `*/par` — the `hap-par` wiring: the same workload pinned
 //!   to one thread and to a multi-worker pool (see EXPERIMENTS.md
 //!   "Parallelism" for how to read these and how to pin `HAP_THREADS`).
+//! * `train/train_step` — one full gradient-accumulation step exactly as
+//!   `hap_train::train` runs it (persistent tape, `reset()` per sample);
+//!   the training-hot-path headline number.
 //!
 //! ```text
-//! cargo run --release -p hap-bench --bin microbench [--quick|--full] [--seed <u64>]
+//! cargo run --release -p hap-bench --bin microbench \
+//!     [--quick|--full] [--seed <u64>] [--out <path>]
 //! ```
 //!
-//! Writes a JSON timing report to `results/microbench.json` and prints a
-//! median/p10/p90 table.
+//! Writes a JSON timing report to `--out` (default
+//! `results/microbench.json`) and prints a median/p10/p90 table. Built
+//! with `--features count-allocs`, [`hap_bench::harness::CountingAlloc`]
+//! is installed as the global allocator and every case also reports heap
+//! allocations per iteration (`scripts/bench_check.sh` does this).
 
 use hap_autograd::{ParamStore, Tape};
 use hap_bench::harness::{black_box, Bench};
-use hap_bench::{parse_args, RunScale};
-use hap_core::{GCont, HapCoarsen, Moa};
+use hap_bench::{parse_microbench_args, RunScale};
+use hap_core::{GCont, HapClassifier, HapCoarsen, HapConfig, HapModel, Moa};
 use hap_ged::{
     batch_ged, beam_ged, bipartite_ged, exact_ged, BipartiteSolver, EditCosts, GedMethod,
 };
 use hap_gnn::{AdjacencyRef, GatLayer};
 use hap_graph::{degree_one_hot, generators, Graph};
+use hap_nn::{Adam, Optimizer};
 use hap_pooling::{
     CoarsenModule, DiffPool, GPool, MeanAttReadout, MeanReadout, PoolCtx, Readout, SagPool,
     StructPool, SumReadout,
 };
 use hap_rand::Rng;
 use hap_tensor::Tensor;
+
+/// With `--features count-allocs`, route every heap allocation through
+/// the counting allocator so [`Bench::run`] reports allocations per
+/// iteration. Off by default: the plain system allocator.
+#[cfg(feature = "count-allocs")]
+#[global_allocator]
+static ALLOC: hap_bench::harness::CountingAlloc = hap_bench::harness::CountingAlloc;
 
 fn coarsening(bench: &mut Bench, sizes: &[usize], seed: u64) {
     let dim = 16;
@@ -61,17 +76,22 @@ fn coarsening(bench: &mut Bench, sizes: &[usize], seed: u64) {
             (tape.value(a2), tape.value(h2))
         });
 
+        // Steady state of the training loop: one persistent tape with
+        // `reset()` per step — exactly how `hap_train::train` drives the
+        // backward pass — so the tape's buffer pool is warm.
+        let mut step_tape = Tape::new();
         bench.run(&format!("coarsen_forward_backward/n={n}"), || {
             let mut rng = Rng::from_seed(1);
             store.zero_grads();
-            let mut tape = Tape::new();
+            let tape = &mut step_tape;
+            tape.reset();
             let a = tape.constant(g.adjacency().clone());
             let h = tape.constant(x.clone());
             let mut ctx = PoolCtx {
                 training: true,
                 rng: &mut rng,
             };
-            let (_a2, h2) = module.forward(&mut tape, a, h, &mut ctx);
+            let (_a2, h2) = module.forward(tape, a, h, &mut ctx);
             let sq = tape.hadamard(h2, h2);
             let loss = tape.sum_all(sq);
             tape.backward(loss);
@@ -270,11 +290,22 @@ fn parallelism(bench: &mut Bench, seed: u64) {
     let pairs: Vec<(&Graph, &Graph)> = (0..8)
         .map(|i| (&corpus[i].graph, &corpus[i + 8].graph))
         .collect();
+    // 64 pairs: above the Hungarian par crossover (8 pairs stays on the
+    // sequential fallback by design — see `GedMethod::min_par_pairs`).
+    let big_pairs: Vec<(&Graph, &Graph)> = (0..64)
+        .map(|i| (&corpus[i % 16].graph, &corpus[(i * 7 + 5) % 16].graph))
+        .collect();
     let costs = EditCosts::uniform();
 
     for (mode, threads) in [("seq", 1), ("par", par_threads)] {
         hap_par::set_threads(threads);
         bench.run(&format!("parallel/matmul/n=200/{mode}"), || ma.matmul(&mb));
+        bench.run(&format!("parallel/matmul_nt/n=200/{mode}"), || {
+            ma.matmul_nt(&mb)
+        });
+        bench.run(&format!("parallel/matmul_tn/n=200/{mode}"), || {
+            ma.matmul_tn(&mb)
+        });
         bench.run(&format!("attention/self_attention/n=200/{mode}"), || {
             let mut tape = Tape::new();
             let h = tape.constant(x.clone());
@@ -284,12 +315,51 @@ fn parallelism(bench: &mut Bench, seed: u64) {
         bench.run(&format!("ged/batch_hungarian/pairs=8/{mode}"), || {
             batch_ged(&pairs, GedMethod::Hungarian, &costs)
         });
+        bench.run(&format!("ged/batch_hungarian/pairs=64/{mode}"), || {
+            batch_ged(&big_pairs, GedMethod::Hungarian, &costs)
+        });
     }
     hap_par::set_threads(default_threads);
 }
 
+/// One full gradient-accumulation training step — zero grads, an
+/// 8-sample forward/backward batch on a persistent tape with `reset()`
+/// between samples, then an Adam update — exactly the inner loop of
+/// `hap_train::train`. Under `--features count-allocs` its
+/// allocations-per-iteration figure is the headline number for the
+/// tape buffer-reuse work (EXPERIMENTS.md "Training hot path").
+fn train_step(bench: &mut Bench, seed: u64) {
+    let mut rng = Rng::from_seed(seed);
+    let ds = hap_data::imdb_b(16, &mut rng);
+    let mut store = ParamStore::new();
+    let cfg = HapConfig::new(ds.feature_dim, 8).with_clusters(&[4, 2]);
+    let model = HapModel::new(&mut store, &cfg, &mut rng);
+    let clf = HapClassifier::new(&mut store, model, ds.num_classes, &mut rng);
+    let mut adam = Adam::new(0.01);
+    let mut tape = Tape::new();
+    let mut model_rng = Rng::from_seed(1);
+    let batch: Vec<usize> = (0..8).collect();
+
+    bench.run("train/train_step/batch=8", || {
+        store.zero_grads();
+        for &i in &batch {
+            tape.reset();
+            let mut ctx = PoolCtx {
+                training: true,
+                rng: &mut model_rng,
+            };
+            let s = &ds.samples[i];
+            let loss = clf.loss(&mut tape, &s.graph, &s.features, s.label, &mut ctx);
+            tape.backward_with_seed(loss, Tensor::full(1, 1, 1.0 / batch.len() as f64));
+        }
+        adam.step(&store);
+        store.grad_norm()
+    });
+}
+
 fn main() {
-    let (scale, seed) = parse_args();
+    let args = parse_microbench_args();
+    let (scale, seed) = (args.scale, args.seed);
     let (mut bench, coarsen_sizes, attn_sizes): (Bench, &[usize], &[usize]) = match scale {
         RunScale::Quick => (Bench::with_iters(3, 30), &[25, 50, 100], &[50, 100]),
         RunScale::Full => (
@@ -305,10 +375,12 @@ fn main() {
     pooling(&mut bench, 100, seed);
     ged(&mut bench, seed);
     parallelism(&mut bench, seed);
+    train_step(&mut bench, seed);
 
-    let out = std::path::Path::new("results/microbench.json");
-    bench
-        .write_json(out)
-        .expect("write results/microbench.json");
-    eprintln!("wrote {} cases to {}", bench.results().len(), out.display());
+    bench.write_json(&args.out).expect("write JSON report");
+    eprintln!(
+        "wrote {} cases to {}",
+        bench.results().len(),
+        args.out.display()
+    );
 }

@@ -42,6 +42,64 @@ fn usage(msg: &str) -> ! {
     std::process::exit(2)
 }
 
+/// Arguments of the `microbench` binary: the shared scale/seed pair plus
+/// a report path.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MicrobenchArgs {
+    /// Experiment scale.
+    pub scale: RunScale,
+    /// RNG seed.
+    pub seed: u64,
+    /// Where the JSON report is written.
+    pub out: std::path::PathBuf,
+}
+
+/// Parses `--quick` / `--full` / `--seed <u64>` / `--out <path>` from
+/// `std::env::args` for the microbench binary.
+///
+/// [`parse_args`] keeps its two-value signature for the experiment
+/// binaries; this variant adds `--out` (default
+/// `results/microbench.json`) so regression checks can benchmark into a
+/// scratch path without clobbering the committed baseline.
+pub fn parse_microbench_args() -> MicrobenchArgs {
+    parse_microbench_from(std::env::args().skip(1))
+}
+
+fn parse_microbench_from(args: impl Iterator<Item = String>) -> MicrobenchArgs {
+    let mut scale = RunScale::Quick;
+    let mut seed = 7u64;
+    let mut out = std::path::PathBuf::from("results/microbench.json");
+    let mut args = args.peekable();
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => scale = RunScale::Quick,
+            "--full" => scale = RunScale::Full,
+            "--seed" => {
+                let v = args
+                    .next()
+                    .unwrap_or_else(|| usage_microbench("--seed requires a value"));
+                seed = v
+                    .parse()
+                    .unwrap_or_else(|_| usage_microbench("--seed must be a u64"));
+            }
+            "--out" => {
+                let v = args
+                    .next()
+                    .unwrap_or_else(|| usage_microbench("--out requires a path"));
+                out = std::path::PathBuf::from(v);
+            }
+            other => usage_microbench(&format!("unknown argument {other:?}")),
+        }
+    }
+    MicrobenchArgs { scale, seed, out }
+}
+
+fn usage_microbench(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!("usage: microbench [--quick|--full] [--seed <u64>] [--out <path>]");
+    std::process::exit(2)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -59,5 +117,21 @@ mod tests {
     fn full_and_seed() {
         assert_eq!(parse(&["--full", "--seed", "42"]), (RunScale::Full, 42));
         assert_eq!(parse(&["--seed", "1", "--quick"]), (RunScale::Quick, 1));
+    }
+
+    fn parse_mb(v: &[&str]) -> MicrobenchArgs {
+        parse_microbench_from(v.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn microbench_defaults_and_out() {
+        let d = parse_mb(&[]);
+        assert_eq!(d.scale, RunScale::Quick);
+        assert_eq!(d.seed, 7);
+        assert_eq!(d.out, std::path::PathBuf::from("results/microbench.json"));
+        let f = parse_mb(&["--full", "--seed", "9", "--out", "/tmp/x.json"]);
+        assert_eq!(f.scale, RunScale::Full);
+        assert_eq!(f.seed, 9);
+        assert_eq!(f.out, std::path::PathBuf::from("/tmp/x.json"));
     }
 }

@@ -19,9 +19,60 @@
 //! assert!(bench.results()[0].median_ns > 0.0);
 //! ```
 
+use std::alloc::{GlobalAlloc, Layout, System};
 pub use std::hint::black_box;
 use std::io::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
+
+/// Process-wide count of heap allocations, maintained by [`CountingAlloc`].
+/// Stays zero when the counting allocator is not installed.
+static ALLOC_COUNT: AtomicU64 = AtomicU64::new(0);
+
+/// A [`GlobalAlloc`] that forwards to the system allocator and counts
+/// every allocation (`alloc`, `alloc_zeroed`, `realloc`) in a process-wide
+/// atomic. Install it in a binary to make [`Bench::run`] report heap
+/// allocations per iteration alongside wall time:
+///
+/// ```ignore
+/// #[global_allocator]
+/// static ALLOC: hap_bench::harness::CountingAlloc = hap_bench::harness::CountingAlloc;
+/// ```
+///
+/// The microbench binary does exactly this behind the `count-allocs`
+/// cargo feature, keeping the default build on the untouched system
+/// allocator.
+pub struct CountingAlloc;
+
+// SAFETY: pure pass-through to `System`; the counter is a Relaxed atomic
+// increment with no allocation of its own.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_COUNT.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOC_COUNT.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_COUNT.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+/// Total heap allocations observed so far, or 0 when [`CountingAlloc`]
+/// is not the global allocator. Any program that reaches `main` has
+/// already allocated, so a zero reading reliably means "not installed".
+pub fn alloc_count() -> u64 {
+    ALLOC_COUNT.load(Ordering::Relaxed)
+}
 
 /// Timing summary of one benchmark case, in nanoseconds per iteration.
 #[derive(Clone, Debug)]
@@ -42,10 +93,13 @@ pub struct BenchResult {
     pub min_ns: f64,
     /// Slowest iteration.
     pub max_ns: f64,
+    /// Mean heap allocations per timed iteration, when [`CountingAlloc`]
+    /// is installed as the global allocator; `None` otherwise.
+    pub allocs_per_iter: Option<f64>,
 }
 
 impl BenchResult {
-    fn from_samples(name: &str, mut ns: Vec<f64>) -> Self {
+    fn from_samples(name: &str, mut ns: Vec<f64>, allocs_per_iter: Option<f64>) -> Self {
         ns.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let n = ns.len();
         Self {
@@ -57,6 +111,7 @@ impl BenchResult {
             mean_ns: ns.iter().sum::<f64>() / n as f64,
             min_ns: ns[0],
             max_ns: ns[n - 1],
+            allocs_per_iter,
         }
     }
 }
@@ -108,18 +163,28 @@ impl Bench {
             black_box(f());
         }
         let mut ns = Vec::with_capacity(self.iters);
+        // A zero reading means the counting allocator is absent: any
+        // process that got this far has already allocated (argv, this
+        // Vec, ...), so an installed counter is necessarily non-zero.
+        let allocs_before = alloc_count();
         for _ in 0..self.iters {
             let t0 = Instant::now();
             black_box(f());
             ns.push(t0.elapsed().as_secs_f64() * 1e9);
         }
-        let result = BenchResult::from_samples(name, ns);
+        let allocs_per_iter =
+            (allocs_before > 0).then(|| (alloc_count() - allocs_before) as f64 / self.iters as f64);
+        let result = BenchResult::from_samples(name, ns, allocs_per_iter);
+        let allocs = result
+            .allocs_per_iter
+            .map_or(String::new(), |a| format!("  allocs {a:>9.1}"));
         eprintln!(
-            "{:<40} median {:>12}  p10 {:>12}  p90 {:>12}",
+            "{:<40} median {:>12}  p10 {:>12}  p90 {:>12}{}",
             result.name,
             fmt_ns(result.median_ns),
             fmt_ns(result.p10_ns),
             fmt_ns(result.p90_ns),
+            allocs,
         );
         self.results.push(result);
         self.results.last().unwrap()
@@ -140,10 +205,13 @@ impl Bench {
         s.push_str(&format!("  \"timed_iters\": {},\n", self.iters));
         s.push_str("  \"results\": [\n");
         for (i, r) in self.results.iter().enumerate() {
+            let allocs = r
+                .allocs_per_iter
+                .map_or(String::new(), |a| format!(", \"allocs_per_iter\": {a:.1}"));
             s.push_str(&format!(
                 "    {{\"name\": \"{}\", \"iters\": {}, \"median_ns\": {:.1}, \
                  \"p10_ns\": {:.1}, \"p90_ns\": {:.1}, \"mean_ns\": {:.1}, \
-                 \"min_ns\": {:.1}, \"max_ns\": {:.1}}}{}\n",
+                 \"min_ns\": {:.1}, \"max_ns\": {:.1}{}}}{}\n",
                 escape_json(&r.name),
                 r.iters,
                 r.median_ns,
@@ -152,6 +220,7 @@ impl Bench {
                 r.mean_ns,
                 r.min_ns,
                 r.max_ns,
+                allocs,
                 if i + 1 < self.results.len() { "," } else { "" },
             ));
         }
@@ -206,7 +275,7 @@ mod tests {
 
     #[test]
     fn percentiles_of_known_samples() {
-        let r = BenchResult::from_samples("x", (1..=11).map(|i| i as f64).collect());
+        let r = BenchResult::from_samples("x", (1..=11).map(|i| i as f64).collect(), None);
         assert_eq!(r.median_ns, 6.0);
         assert_eq!(r.p10_ns, 2.0);
         assert_eq!(r.p90_ns, 10.0);
@@ -236,6 +305,27 @@ mod tests {
         assert!(j.contains("\\\"quote"));
         assert!(j.starts_with('{') && j.trim_end().ends_with('}'));
         assert_eq!(j.matches("\"name\"").count(), 1);
+    }
+
+    #[test]
+    fn alloc_counting_is_off_without_the_global_allocator() {
+        // The test binary does not install `CountingAlloc`, so the
+        // counter stays zero and no per-iteration figure is reported.
+        let mut b = Bench::with_iters(0, 2);
+        let r = b.run("v", || vec![0u8; 64]).clone();
+        assert_eq!(r.allocs_per_iter, None);
+        assert!(!b.to_json().contains("allocs_per_iter"));
+    }
+
+    #[test]
+    fn allocs_field_serialises_when_present() {
+        let mut b = Bench::with_iters(0, 2);
+        b.run("a", || 0);
+        b.results[0].allocs_per_iter = Some(12.5);
+        let j = b.to_json();
+        assert!(j.contains("\"allocs_per_iter\": 12.5"));
+        // still the same flat one-object-per-line schema
+        assert!(j.contains("\"max_ns\""));
     }
 
     #[test]

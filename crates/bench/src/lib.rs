@@ -10,12 +10,13 @@
 //! All results print as ASCII tables mirroring the paper's rows; the
 //! measured numbers are recorded in EXPERIMENTS.md.
 
+pub mod check;
 mod cli;
 pub mod harness;
 mod runners;
 mod table;
 
-pub use cli::{parse_args, RunScale};
+pub use cli::{parse_args, parse_microbench_args, MicrobenchArgs, RunScale};
 pub use runners::{
     classification_accuracy, hap_ablation_classifier, matching_accuracy_gmn,
     matching_accuracy_gmn_hap, matching_accuracy_hap, similarity_accuracy_ged,

@@ -32,13 +32,31 @@ impl GedMethod {
             GedMethod::Vj => bipartite_ged(g1, g2, BipartiteSolver::Vj, costs),
         }
     }
+
+    /// Smallest batch worth dispatching on the pool for this method.
+    ///
+    /// Pool hand-off costs a few tens of microseconds; the cheap bipartite
+    /// approximations (~20 µs per pair) need a few dozen pairs to amortise
+    /// it, while the search-based methods are expensive enough per pair
+    /// that even two pairs win. Measured on `results/microbench.json`
+    /// (`ged/batch_hungarian/pairs=8` was *slower* parallel than
+    /// sequential before this crossover).
+    fn min_par_pairs(self) -> usize {
+        match self {
+            GedMethod::Exact => 2,
+            GedMethod::Beam(width) if width >= 8 => 2,
+            GedMethod::Beam(_) => 16,
+            GedMethod::Hungarian | GedMethod::Vj => 32,
+        }
+    }
 }
 
 /// Computes the edit distance of every pair, in input order.
 ///
 /// Pairs are dispatched across the `hap-par` pool (one output slot per
-/// pair); under `HAP_THREADS=1` this degenerates to a plain sequential
-/// loop with identical results.
+/// pair); small batches — below a per-method crossover — and
+/// `HAP_THREADS=1` run a plain sequential loop instead, with identical
+/// results either way.
 ///
 /// ```
 /// use hap_ged::{batch_ged, EditCosts, GedMethod};
@@ -52,6 +70,12 @@ impl GedMethod {
 pub fn batch_ged(pairs: &[(&Graph, &Graph)], method: GedMethod, costs: &EditCosts) -> Vec<f64> {
     let mut out = vec![0.0; pairs.len()];
     if pairs.is_empty() {
+        return out;
+    }
+    if pairs.len() < method.min_par_pairs() || hap_par::threads() == 1 {
+        for (slot, &(g1, g2)) in out.iter_mut().zip(pairs) {
+            *slot = method.compute(g1, g2, costs);
+        }
         return out;
     }
     hap_par::par_chunks_mut(&mut out, 1, |i, slot| {

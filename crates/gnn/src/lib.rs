@@ -47,7 +47,11 @@ impl<'a> AdjacencyRef<'a> {
     /// `D̃^{-1/2}(A+I)D̃^{-1/2}` on `tape` and returns it as a `Var`.
     pub fn sym_norm(&self, tape: &mut Tape) -> Var {
         match self {
-            AdjacencyRef::Fixed(g) => tape.constant(g.sym_norm_adjacency()),
+            // The fixed-graph propagation matrix is cached on the Graph:
+            // every layer and epoch reuses one computation (and the tape
+            // still records its own constant copy, so gradients/values are
+            // unchanged).
+            AdjacencyRef::Fixed(g) => tape.constant(g.sym_norm_adjacency_cached().clone()),
             AdjacencyRef::Dynamic(a) => {
                 let (n, m) = tape.shape(*a);
                 assert_eq!(n, m, "adjacency must be square");

@@ -1,6 +1,7 @@
 //! The core undirected graph type.
 
 use hap_tensor::Tensor;
+use std::sync::OnceLock;
 
 /// An undirected weighted graph with optional discrete node labels.
 ///
@@ -8,10 +9,21 @@ use hap_tensor::Tensor;
 /// writes both `(u,v)` and `(v,u)`. Self-loops are permitted (stored on the
 /// diagonal) but none of the generators create them — GNN layers add their
 /// own self-connections via [`Graph::sym_norm_adjacency`] (Eq. 12's `Ã = A + I`).
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Debug)]
 pub struct Graph {
     adj: Tensor,
     node_labels: Option<Vec<usize>>,
+    /// Lazily computed `D̃^{-1/2} Ã D̃^{-1/2}` (Eq. 12), shared by every
+    /// GCN layer and epoch that propagates over this fixed graph.
+    /// Invalidated by the edge mutators.
+    sym_norm_cache: OnceLock<Tensor>,
+}
+
+/// Equality is structural: the cache is derived state and never compared.
+impl PartialEq for Graph {
+    fn eq(&self, other: &Self) -> bool {
+        self.adj == other.adj && self.node_labels == other.node_labels
+    }
 }
 
 impl Graph {
@@ -20,6 +32,7 @@ impl Graph {
         Self {
             adj: Tensor::zeros(n, n),
             node_labels: None,
+            sym_norm_cache: OnceLock::new(),
         }
     }
 
@@ -53,6 +66,7 @@ impl Graph {
         Self {
             adj,
             node_labels: None,
+            sym_norm_cache: OnceLock::new(),
         }
     }
 
@@ -99,12 +113,14 @@ impl Graph {
         assert!(u < n && v < n, "edge ({u},{v}) out of range for {n} nodes");
         self.adj[(u, v)] = w;
         self.adj[(v, u)] = w;
+        self.sym_norm_cache = OnceLock::new();
     }
 
     /// Removes an edge if present.
     pub fn remove_edge(&mut self, u: usize, v: usize) {
         self.adj[(u, v)] = 0.0;
         self.adj[(v, u)] = 0.0;
+        self.sym_norm_cache = OnceLock::new();
     }
 
     /// Whether `(u, v)` is an edge.
@@ -207,6 +223,20 @@ impl Graph {
         out
     }
 
+    /// Cached borrow of [`Graph::sym_norm_adjacency`].
+    ///
+    /// The propagation matrix is a pure function of the adjacency, yet
+    /// every GCN layer of every epoch needs it — computing it once per
+    /// graph instead of once per forward removes an `O(n²)` allocation and
+    /// two passes over the matrix from the training hot path. The first
+    /// call computes and stores it; edge mutations
+    /// ([`Graph::add_weighted_edge`], [`Graph::remove_edge`]) drop the
+    /// cache so a changed graph can never serve a stale matrix.
+    pub fn sym_norm_adjacency_cached(&self) -> &Tensor {
+        self.sym_norm_cache
+            .get_or_init(|| self.sym_norm_adjacency())
+    }
+
     /// Row-normalised adjacency with self-loops (`D̃^{-1} Ã`), the simpler
     /// mean-aggregation propagation some baselines use.
     pub fn row_norm_adjacency(&self) -> Tensor {
@@ -247,7 +277,11 @@ impl Graph {
             .node_labels
             .as_ref()
             .map(|l| nodes.iter().map(|&u| l[u]).collect());
-        Graph { adj, node_labels }
+        Graph {
+            adj,
+            node_labels,
+            sym_norm_cache: OnceLock::new(),
+        }
     }
 
     /// Disjoint union: `self` keeps ids `0..n`, `other` is shifted by `n`.
@@ -274,7 +308,11 @@ impl Graph {
             }
             _ => None,
         };
-        Graph { adj, node_labels }
+        Graph {
+            adj,
+            node_labels,
+            sym_norm_cache: OnceLock::new(),
+        }
     }
 }
 
@@ -352,6 +390,32 @@ mod tests {
         let g = Graph::empty(2);
         let s = g.sym_norm_adjacency();
         assert_close(&s, &Tensor::eye(2), 1e-12);
+    }
+
+    #[test]
+    fn sym_norm_cache_matches_and_is_not_stale_after_mutation() {
+        let mut g = triangle();
+        let cached = g.sym_norm_adjacency_cached().clone();
+        assert_eq!(cached, g.sym_norm_adjacency());
+        // second call must serve the same cached value
+        assert_eq!(*g.sym_norm_adjacency_cached(), cached);
+
+        // adding an edge must invalidate the cache
+        let mut bigger = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 0)]);
+        let before = bigger.sym_norm_adjacency_cached().clone();
+        bigger.add_edge(2, 3);
+        let after = bigger.sym_norm_adjacency_cached().clone();
+        assert_ne!(before, after, "cache served a stale matrix after add_edge");
+        assert_eq!(after, bigger.sym_norm_adjacency());
+
+        // removing an edge must invalidate it too
+        g.remove_edge(0, 1);
+        assert_ne!(*g.sym_norm_adjacency_cached(), cached);
+        assert_eq!(*g.sym_norm_adjacency_cached(), g.sym_norm_adjacency());
+
+        // clones of an already-cached graph keep serving the right matrix
+        let clone = g.clone();
+        assert_eq!(*clone.sym_norm_adjacency_cached(), g.sym_norm_adjacency());
     }
 
     #[test]

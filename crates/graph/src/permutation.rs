@@ -171,7 +171,7 @@ mod tests {
         let g = crate::generators::erdos_renyi(6, 0.5, &mut rng);
         let p = Permutation::random(6, &mut rng);
         let pm = p.matrix();
-        let conj = pm.matmul(g.adjacency()).matmul(&pm.transpose());
+        let conj = pm.matmul(g.adjacency()).matmul_nt(&pm);
         assert_close(p.apply_graph(&g).adjacency(), &conj, 1e-12);
     }
 

@@ -61,6 +61,67 @@ fn matmul_is_byte_identical_across_thread_counts() {
 }
 
 #[test]
+fn fused_transposed_matmuls_match_composed_path_bitwise() {
+    // The fused kernels' contract (DESIGN.md "Fused transposed GEMM") is
+    // stronger than thread-count invariance: `a.matmul_nt(&b)` must be
+    // byte-identical to `a.matmul(&b.transpose())` and `a.matmul_tn(&b)` to
+    // `a.transpose().matmul(&b)` at *every* thread setting, so the autograd
+    // tape can swap the composed pair for one fused node without perturbing
+    // training goldens. Shapes cover below- and above-crossover sizes, tall,
+    // wide, and degenerate single-row/column cases.
+    let mut rng = Rng::from_seed(17);
+    let shapes: [(usize, usize, usize); 6] = [
+        (1, 1, 1),
+        (3, 5, 2),
+        (64, 64, 64),
+        (120, 80, 60),
+        (7, 300, 150),
+        (200, 16, 200),
+    ];
+    for (n, k, m) in shapes {
+        // NT: (n×k) · (m×k)ᵀ.
+        let a = Tensor::rand_uniform(n, k, -2.0, 2.0, &mut rng);
+        let b = Tensor::rand_uniform(m, k, -2.0, 2.0, &mut rng);
+        let (seq, par) = seq_and_par(|| (a.matmul_nt(&b), a.matmul(&b.transpose())));
+        assert_bits_equal(
+            &format!("matmul_nt {n}x{k}x{m} seq vs composed"),
+            &seq.0,
+            &seq.1,
+        );
+        assert_bits_equal(
+            &format!("matmul_nt {n}x{k}x{m} par vs composed"),
+            &par.0,
+            &par.1,
+        );
+        assert_bits_equal(
+            &format!("matmul_nt {n}x{k}x{m} across threads"),
+            &seq.0,
+            &par.0,
+        );
+
+        // TN: (k×n)ᵀ · (k×m).
+        let c = Tensor::rand_uniform(k, n, -2.0, 2.0, &mut rng);
+        let d = Tensor::rand_uniform(k, m, -2.0, 2.0, &mut rng);
+        let (seq, par) = seq_and_par(|| (c.matmul_tn(&d), c.transpose().matmul(&d)));
+        assert_bits_equal(
+            &format!("matmul_tn {k}x{n}x{m} seq vs composed"),
+            &seq.0,
+            &seq.1,
+        );
+        assert_bits_equal(
+            &format!("matmul_tn {k}x{n}x{m} par vs composed"),
+            &par.0,
+            &par.1,
+        );
+        assert_bits_equal(
+            &format!("matmul_tn {k}x{n}x{m} across threads"),
+            &seq.0,
+            &par.0,
+        );
+    }
+}
+
+#[test]
 fn elementwise_kernels_are_byte_identical_across_thread_counts() {
     let mut rng = Rng::from_seed(12);
     let a = Tensor::rand_uniform(250, 200, -3.0, 3.0, &mut rng); // 50k elements

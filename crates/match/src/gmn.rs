@@ -30,8 +30,7 @@ struct GmnLayer {
 /// mechanism that "makes the node embedding phase dependent on the pair"
 /// (Sec. 6.3).
 fn cross_message(tape: &mut Tape, h: Var, h_other: Var) -> Var {
-    let ht = tape.transpose(h_other);
-    let scores = tape.matmul(h, ht); // N1×N2
+    let scores = tape.matmul_nt(h, h_other); // N1×N2, fused H·H_otherᵀ
     let alpha = tape.softmax_rows(scores);
     let attended = tape.matmul(alpha, h_other); // N1×F
     tape.sub(h, attended)

@@ -72,8 +72,7 @@ impl Readout for MeanAttReadout {
         let mean = tape.col_means(h); // 1×F
         let c = tape.matmul(mean, w); // 1×F
         let c = tape.tanh(c);
-        let ct = tape.transpose(c); // F×1
-        let scores = tape.matmul(h, ct); // N×1
+        let scores = tape.matmul_nt(h, c); // N×1, fused H·cᵀ
         let att = tape.sigmoid(scores);
         let weighted = tape.mul_col(h, att);
         tape.col_sums(weighted)
@@ -122,8 +121,7 @@ impl Readout for Set2SetReadout {
             let qr = tape.hstack(q, r); // 1×2F
             let qn = tape.matmul(qr, w_q); // 1×F
             q = tape.tanh(qn);
-            let qt = tape.transpose(q); // F×1
-            let scores = tape.matmul(h, qt); // N×1
+            let scores = tape.matmul_nt(h, q); // N×1, fused H·qᵀ
             let st = tape.transpose(scores); // 1×N
             let att = tape.softmax_rows(st); // 1×N distribution over nodes
             r = tape.matmul(att, h); // 1×F

@@ -45,6 +45,39 @@ fn matmul_block(a: &[f64], b: &[f64], k: usize, m: usize, row0: usize, out: &mut
     }
 }
 
+/// Row kernel for `Aᵀ · B` (`a`: `n × k`, `b`: `n × m`, output `k × m`):
+/// output row `i` accumulates `a[p, i] · b[p, ·]` for ascending `p`,
+/// streaming over contiguous rows of `b` and `out` while reading one
+/// (strided) scalar of `a` per pass — the ikj structure of
+/// [`matmul_block`] without materialising `Aᵀ`.
+///
+/// Bitwise contract: identical summation order and zero-skip condition
+/// (`a[p, i] == 0.0`, i.e. the transposed left element) as the composed
+/// `a.transpose().matmul(b)` path, so results are byte-identical to it.
+fn matmul_tn_block(
+    a: &[f64],
+    b: &[f64],
+    n: usize,
+    k: usize,
+    m: usize,
+    row0: usize,
+    out: &mut [f64],
+) {
+    for (local_i, out_row) in out.chunks_mut(m).enumerate() {
+        let i = row0 + local_i;
+        for p in 0..n {
+            let a_pi = a[p * k + i];
+            if a_pi == 0.0 {
+                continue;
+            }
+            let b_row = &b[p * m..(p + 1) * m];
+            for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                *o += a_pi * bv;
+            }
+        }
+    }
+}
+
 impl Tensor {
     // ----- matrix multiplication ----------------------------------------
 
@@ -114,12 +147,167 @@ impl Tensor {
         self.try_matmul(rhs).unwrap_or_else(|e| panic!("{e}"))
     }
 
+    /// Fused product against a transposed right operand: `self · rhsᵀ`.
+    ///
+    /// An `n × k` left operand requires an `m × k` right operand (both
+    /// column counts agree) and produces an `n × m` result. Internally
+    /// this materialises `rhsᵀ` with the cache-blocked
+    /// [`Tensor::transpose`] (an `O(m·k)` copy, negligible next to the
+    /// `O(n·k·m)` product) and runs the ikj kernel of
+    /// [`Tensor::try_matmul`]: the strict per-element summation order the
+    /// determinism contract requires makes a transpose-free dot-product
+    /// kernel a single unvectorisable dependency chain, measurably
+    /// *slower* than transpose-then-ikj, whose inner loop is contiguous
+    /// independent accumulation. The fusion is therefore at the graph
+    /// level — one op, one output buffer, no intermediate autograd node —
+    /// and the result is byte-identical to
+    /// `self.matmul(&rhs.transpose())` by construction:
+    ///
+    /// ```
+    /// use hap_tensor::Tensor;
+    /// let a = Tensor::from_rows(&[vec![1.0, 0.0], vec![2.0, 3.0]]);
+    /// let b = Tensor::from_rows(&[vec![4.0, 5.0], vec![6.0, 7.0], vec![8.0, 9.0]]);
+    /// assert_eq!(a.try_matmul_nt(&b).unwrap(), a.matmul(&b.transpose()));
+    /// ```
+    ///
+    /// # Errors
+    /// Returns a [`ShapeError`] carrying both operand shapes when the
+    /// column counts disagree:
+    ///
+    /// ```
+    /// use hap_tensor::Tensor;
+    /// let err = Tensor::zeros(2, 3).try_matmul_nt(&Tensor::zeros(3, 2)).unwrap_err();
+    /// assert!(err.to_string().contains("matmul_nt"));
+    /// ```
+    ///
+    /// Parallelism follows [`Tensor::try_matmul`]: above the same work
+    /// threshold, output row blocks run on the [`hap_par`] pool with one
+    /// writer per row, so results are byte-identical at every
+    /// `HAP_THREADS` setting.
+    pub fn try_matmul_nt(&self, rhs: &Tensor) -> Result<Tensor, ShapeError> {
+        if self.cols() != rhs.cols() {
+            return Err(ShapeError::binary(
+                "matmul_nt",
+                self.shape(),
+                rhs.shape(),
+                "inner dimensions (both column counts) must agree",
+            ));
+        }
+        let (n, k, m) = (self.rows(), self.cols(), rhs.rows());
+        let mut out = Tensor::zeros(n, m);
+        if m == 0 {
+            return Ok(out);
+        }
+        let bt = rhs.transpose();
+        let (a, b) = (self.as_slice(), bt.as_slice());
+        if n * k * m >= PAR_MATMUL_FLOPS && hap_par::threads() > 1 {
+            let chunk_len = hap_par::row_chunk_len(n, m);
+            let rows_per_chunk = chunk_len / m;
+            hap_par::par_chunks_mut(out.as_mut_slice(), chunk_len, |ci, out_chunk| {
+                matmul_block(a, b, k, m, ci * rows_per_chunk, out_chunk);
+            });
+        } else {
+            matmul_block(a, b, k, m, 0, out.as_mut_slice());
+        }
+        Ok(out)
+    }
+
+    /// Panicking variant of [`Tensor::try_matmul_nt`].
+    ///
+    /// # Panics
+    /// Panics with the [`ShapeError`] display message when the column
+    /// counts disagree.
+    pub fn matmul_nt(&self, rhs: &Tensor) -> Tensor {
+        self.try_matmul_nt(rhs).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fused product against a transposed left operand: `selfᵀ · rhs`.
+    ///
+    /// An `n × k` left operand requires an `n × m` right operand (row
+    /// counts agree) and produces a `k × m` result — without ever
+    /// materialising `selfᵀ`. The kernel keeps the ikj structure of
+    /// [`Tensor::try_matmul`] (streaming over contiguous rows of `rhs` and
+    /// the output), so the result is byte-identical to
+    /// `self.transpose().matmul(rhs)`:
+    ///
+    /// ```
+    /// use hap_tensor::Tensor;
+    /// let a = Tensor::from_rows(&[vec![1.0, 0.0], vec![2.0, 3.0], vec![0.0, 4.0]]);
+    /// let b = Tensor::from_rows(&[vec![5.0], vec![6.0], vec![7.0]]);
+    /// assert_eq!(a.try_matmul_tn(&b).unwrap(), a.transpose().matmul(&b));
+    /// ```
+    ///
+    /// # Errors
+    /// Returns a [`ShapeError`] carrying both operand shapes when the row
+    /// counts disagree:
+    ///
+    /// ```
+    /// use hap_tensor::Tensor;
+    /// let err = Tensor::zeros(2, 3).try_matmul_tn(&Tensor::zeros(3, 2)).unwrap_err();
+    /// assert!(err.to_string().contains("matmul_tn"));
+    /// ```
+    ///
+    /// Parallelism follows [`Tensor::try_matmul`]: above the same work
+    /// threshold, output row blocks run on the [`hap_par`] pool with one
+    /// writer per row, so results are byte-identical at every
+    /// `HAP_THREADS` setting.
+    pub fn try_matmul_tn(&self, rhs: &Tensor) -> Result<Tensor, ShapeError> {
+        if self.rows() != rhs.rows() {
+            return Err(ShapeError::binary(
+                "matmul_tn",
+                self.shape(),
+                rhs.shape(),
+                "inner dimensions (both row counts) must agree",
+            ));
+        }
+        let (n, k, m) = (self.rows(), self.cols(), rhs.cols());
+        let mut out = Tensor::zeros(k, m);
+        if m == 0 {
+            return Ok(out);
+        }
+        let (a, b) = (self.as_slice(), rhs.as_slice());
+        if n * k * m >= PAR_MATMUL_FLOPS && hap_par::threads() > 1 {
+            let chunk_len = hap_par::row_chunk_len(k, m);
+            let rows_per_chunk = chunk_len / m;
+            hap_par::par_chunks_mut(out.as_mut_slice(), chunk_len, |ci, out_chunk| {
+                matmul_tn_block(a, b, n, k, m, ci * rows_per_chunk, out_chunk);
+            });
+        } else {
+            matmul_tn_block(a, b, n, k, m, 0, out.as_mut_slice());
+        }
+        Ok(out)
+    }
+
+    /// Panicking variant of [`Tensor::try_matmul_tn`].
+    ///
+    /// # Panics
+    /// Panics with the [`ShapeError`] display message when the row counts
+    /// disagree.
+    pub fn matmul_tn(&self, rhs: &Tensor) -> Tensor {
+        self.try_matmul_tn(rhs).unwrap_or_else(|e| panic!("{e}"))
+    }
+
     /// Transpose.
+    ///
+    /// Processed in square tiles so that both the strided reads and the
+    /// strided writes stay within a cache-line-sized working set; for the
+    /// matrices in this workspace (up to a few hundred rows) this roughly
+    /// halves the cost of the naive row-major sweep.
     pub fn transpose(&self) -> Tensor {
-        let mut out = Tensor::zeros(self.cols(), self.rows());
-        for r in 0..self.rows() {
-            for c in 0..self.cols() {
-                out[(c, r)] = self[(r, c)];
+        const BLOCK: usize = 32;
+        let (r, c) = (self.rows(), self.cols());
+        let mut out = Tensor::zeros(c, r);
+        let src = self.as_slice();
+        let dst = out.as_mut_slice();
+        for rb in (0..r).step_by(BLOCK) {
+            let r_end = (rb + BLOCK).min(r);
+            for cb in (0..c).step_by(BLOCK) {
+                let c_end = (cb + BLOCK).min(c);
+                for i in rb..r_end {
+                    for j in cb..c_end {
+                        dst[j * r + i] = src[i * c + j];
+                    }
+                }
             }
         }
         out
@@ -160,6 +348,58 @@ impl Tensor {
     /// Elementwise sum.
     pub fn try_add(&self, rhs: &Tensor) -> Result<Tensor, ShapeError> {
         self.zip_with(rhs, "add", |a, b| a + b)
+    }
+
+    /// In-place elementwise sum: `self ← self + rhs`.
+    ///
+    /// Byte-identical to `&*self + rhs` (same per-element `a + b`, same
+    /// chunked parallel path above the elementwise threshold) but writes
+    /// into `self`'s existing buffer instead of allocating a result — the
+    /// autograd tape uses it to accumulate gradient contributions without
+    /// a fresh allocation per summand.
+    ///
+    /// ```
+    /// use hap_tensor::Tensor;
+    /// let mut a = Tensor::from_rows(&[vec![1.0, 2.0]]);
+    /// a.try_add_in_place(&Tensor::from_rows(&[vec![10.0, 20.0]])).unwrap();
+    /// assert_eq!(a, Tensor::from_rows(&[vec![11.0, 22.0]]));
+    /// ```
+    ///
+    /// # Errors
+    /// Returns a [`ShapeError`] carrying both shapes when they differ.
+    pub fn try_add_in_place(&mut self, rhs: &Tensor) -> Result<(), ShapeError> {
+        if self.shape() != rhs.shape() {
+            return Err(ShapeError::binary(
+                "add_in_place",
+                self.shape(),
+                rhs.shape(),
+                "elementwise operands must have identical shapes",
+            ));
+        }
+        let b = rhs.as_slice();
+        if self.len() >= PAR_ELEMWISE_LEN && hap_par::threads() > 1 {
+            let chunk_len = hap_par::row_chunk_len(self.len(), 1);
+            hap_par::par_chunks_mut(self.as_mut_slice(), chunk_len, |ci, dst| {
+                let base = ci * chunk_len;
+                for (j, d) in dst.iter_mut().enumerate() {
+                    *d += b[base + j];
+                }
+            });
+            return Ok(());
+        }
+        for (d, &y) in self.as_mut_slice().iter_mut().zip(b) {
+            *d += y;
+        }
+        Ok(())
+    }
+
+    /// Panicking variant of [`Tensor::try_add_in_place`].
+    ///
+    /// # Panics
+    /// Panics with the [`ShapeError`] display message when the shapes
+    /// differ.
+    pub fn add_in_place(&mut self, rhs: &Tensor) {
+        self.try_add_in_place(rhs).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Elementwise difference.
@@ -550,6 +790,16 @@ mod tests {
     use crate::testutil::assert_close;
     use crate::Tensor;
 
+    fn from_fn(rows: usize, cols: usize, f: impl Fn(usize, usize) -> f64) -> Tensor {
+        let mut t = Tensor::zeros(rows, cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                t[(i, j)] = f(i, j);
+            }
+        }
+        t
+    }
+
     #[test]
     fn matmul_small_known_result() {
         let a = Tensor::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
@@ -580,6 +830,106 @@ mod tests {
         assert_eq!(t.shape(), (3, 2));
         assert_eq!(t[(2, 1)], 6.0);
         assert_close(&t.transpose(), &a, 1e-12);
+    }
+
+    #[test]
+    fn transpose_blocked_matches_naive_across_block_boundaries() {
+        // Shapes straddling the 32-wide tile edge: exact multiple, one
+        // under, one over, and a thin strip.
+        for &(r, c) in &[(32, 32), (31, 33), (64, 65), (1, 100), (100, 1), (33, 7)] {
+            let a = from_fn(r, c, |i, j| (i * c + j) as f64 * 0.5 - 3.0);
+            let t = a.transpose();
+            assert_eq!(t.shape(), (c, r));
+            for i in 0..r {
+                for j in 0..c {
+                    assert_eq!(t[(j, i)], a[(i, j)], "({r}x{c}) at ({i},{j})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_nt_matches_composed_bitwise() {
+        for &(n, k, m) in &[(1, 1, 1), (2, 3, 4), (7, 5, 9), (20, 16, 12)] {
+            let a = from_fn(n, k, |i, j| {
+                // sprinkle exact zeros to exercise the skip path
+                if (i + j) % 3 == 0 {
+                    0.0
+                } else {
+                    (i as f64 - j as f64) * 0.37
+                }
+            });
+            let b = from_fn(m, k, |i, j| (i * 2 + j) as f64 * 0.11 - 1.0);
+            let fused = a.matmul_nt(&b);
+            let composed = a.matmul(&b.transpose());
+            assert_eq!(fused.shape(), (n, m));
+            for i in 0..n {
+                for j in 0..m {
+                    assert_eq!(
+                        fused[(i, j)].to_bits(),
+                        composed[(i, j)].to_bits(),
+                        "({n},{k},{m}) at ({i},{j})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_tn_matches_composed_bitwise() {
+        for &(n, k, m) in &[(1, 1, 1), (3, 2, 4), (5, 7, 9), (16, 20, 12)] {
+            let a = from_fn(n, k, |i, j| {
+                if (i * j) % 4 == 0 {
+                    0.0
+                } else {
+                    (i as f64 + j as f64) * 0.23
+                }
+            });
+            let b = from_fn(n, m, |i, j| (j as f64 - i as f64) * 0.19 + 0.5);
+            let fused = a.matmul_tn(&b);
+            let composed = a.transpose().matmul(&b);
+            assert_eq!(fused.shape(), (k, m));
+            for i in 0..k {
+                for j in 0..m {
+                    assert_eq!(
+                        fused[(i, j)].to_bits(),
+                        composed[(i, j)].to_bits(),
+                        "({n},{k},{m}) at ({i},{j})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fused_matmuls_reject_bad_shapes() {
+        assert!(Tensor::zeros(2, 3)
+            .try_matmul_nt(&Tensor::zeros(3, 2))
+            .is_err());
+        assert!(Tensor::zeros(2, 3)
+            .try_matmul_nt(&Tensor::zeros(4, 3))
+            .is_ok());
+        assert!(Tensor::zeros(2, 3)
+            .try_matmul_tn(&Tensor::zeros(3, 2))
+            .is_err());
+        assert!(Tensor::zeros(2, 3)
+            .try_matmul_tn(&Tensor::zeros(2, 4))
+            .is_ok());
+    }
+
+    #[test]
+    fn add_in_place_matches_out_of_place_bitwise() {
+        let a = from_fn(6, 5, |i, j| (i as f64 * 1.7 - j as f64) * 0.31);
+        let b = from_fn(6, 5, |i, j| (j as f64 * 2.3 + i as f64) * 0.13);
+        let expect = &a + &b;
+        let mut got = a.clone();
+        got.add_in_place(&b);
+        for i in 0..6 {
+            for j in 0..5 {
+                assert_eq!(got[(i, j)].to_bits(), expect[(i, j)].to_bits());
+            }
+        }
+        assert!(got.try_add_in_place(&Tensor::zeros(5, 6)).is_err());
     }
 
     #[test]

@@ -121,6 +121,10 @@ pub fn train_with_rng(
     let mut val_history = Vec::with_capacity(cfg.epochs);
     let mut epochs_run = 0;
 
+    // One tape for the whole run: `reset()` between samples keeps the node
+    // bookkeeping's capacity and parks gradient buffers for reuse instead
+    // of reallocating them every step.
+    let mut tape = Tape::new();
     for epoch in 0..cfg.epochs {
         epochs_run = epoch + 1;
         order.shuffle(&mut shuffle_rng);
@@ -128,7 +132,7 @@ pub fn train_with_rng(
         for batch in order.chunks(cfg.batch_size) {
             store.zero_grads();
             for &i in batch {
-                let mut tape = Tape::new();
+                tape.reset();
                 let mut ctx = PoolCtx {
                     training: true,
                     rng: &mut model_rng,

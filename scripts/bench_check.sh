@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Micro-benchmark regression gate: re-runs the microbench suite and fails
+# if any case's median regressed more than the threshold (default 25%)
+# against the committed baseline in results/microbench.json, or if a
+# baseline case disappeared from the suite.
+#
+# Medians are host-sensitive — the committed baseline is only meaningful
+# on hardware comparable to the one that recorded it (EXPERIMENTS.md
+# names the host each baseline was taken on). On a slower machine, raise
+# the threshold:  scripts/bench_check.sh --threshold 60
+#
+# Usage: scripts/bench_check.sh [--threshold <percent>]
+#   --threshold  allowed median growth in percent before failing
+#
+# The suite always runs --full: the committed baseline was recorded at
+# full scale, and a --quick run would drop its n=200 cases, which the
+# checker treats as missing-case failures.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+threshold=()
+while [[ $# -gt 0 ]]; do
+    case "$1" in
+    --threshold)
+        threshold=(--threshold "$2")
+        shift
+        ;;
+    *)
+        echo "unknown argument: $1" >&2
+        exit 2
+        ;;
+    esac
+    shift
+done
+
+baseline=results/microbench.json
+current=$(mktemp /tmp/microbench.XXXXXX.json)
+trap 'rm -f "$current"' EXIT
+
+# count-allocs installs the counting global allocator so the fresh run
+# also reports allocations per iteration (ignored by the comparison, but
+# the numbers land in the JSON for inspection).
+cargo run --release --offline -p hap-bench --features count-allocs \
+    --bin microbench -- --full --out "$current"
+
+cargo run --release --offline -p hap-bench --bin bench_check -- \
+    "$baseline" "$current" "${threshold[@]}"

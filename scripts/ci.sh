@@ -21,3 +21,10 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline
 # crates/integration/tests/par_determinism.rs and run with the suite above.
 HAP_THREADS=1 cargo test -q --offline -p hap-train --test determinism
 env -u HAP_THREADS cargo test -q --offline -p hap-train --test determinism
+
+# The fused transposed-GEMM kernels (matmul_nt / matmul_tn) must match the
+# composed transpose+matmul path bit-for-bit at every thread setting — the
+# tape-level fusion in hap-autograd relies on it, and the goldens above
+# only exercise the shapes a training run happens to hit.
+HAP_THREADS=1 cargo test -q --offline -p hap-integration --test par_determinism
+env -u HAP_THREADS cargo test -q --offline -p hap-integration --test par_determinism
