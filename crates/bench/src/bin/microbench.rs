@@ -328,7 +328,17 @@ fn parallelism(bench: &mut Bench, seed: u64) {
 /// `hap_train::train`. Under `--features count-allocs` its
 /// allocations-per-iteration figure is the headline number for the
 /// tape buffer-reuse work (EXPERIMENTS.md "Training hot path").
-fn train_step(bench: &mut Bench, seed: u64) {
+///
+/// The `/obs` variant re-times the identical workload with
+/// `hap-obs` at `Level::Trace` (`HAP_TRACE=1` semantics: phase timers
+/// plus whole-tensor finiteness scans); comparing the two medians is
+/// the observability-overhead acceptance check (budget: < 5%).
+///
+/// Each case rebuilds its model/optimiser state from the same seeds:
+/// sharing one evolving model across cases would confound the
+/// comparison, because the arithmetic cost drifts as training
+/// progresses (the Adam trajectory differs iteration to iteration).
+fn train_step_case(bench: &mut Bench, seed: u64, name: &str) {
     let mut rng = Rng::from_seed(seed);
     let ds = hap_data::imdb_b(16, &mut rng);
     let mut store = ParamStore::new();
@@ -340,7 +350,7 @@ fn train_step(bench: &mut Bench, seed: u64) {
     let mut model_rng = Rng::from_seed(1);
     let batch: Vec<usize> = (0..8).collect();
 
-    bench.run("train/train_step/batch=8", || {
+    bench.run(name, || {
         store.zero_grads();
         for &i in &batch {
             tape.reset();
@@ -355,6 +365,15 @@ fn train_step(bench: &mut Bench, seed: u64) {
         adam.step(&store);
         store.grad_norm()
     });
+}
+
+fn train_step(bench: &mut Bench, seed: u64) {
+    train_step_case(bench, seed, "train/train_step/batch=8");
+
+    hap_obs::set_level(hap_obs::Level::Trace);
+    train_step_case(bench, seed, "train/train_step/batch=8/obs");
+    hap_obs::set_level(hap_obs::Level::Off);
+    hap_obs::reset();
 }
 
 fn main() {

@@ -9,6 +9,22 @@ use hap_tensor::Tensor;
 /// Numerical floor added to `A'` before the `log` in Eq. 19.
 const LOG_EPS: f64 = 1e-9;
 
+/// Standard Gumbel(0, 1) noise `g = −ln(−ln u)` from a uniform draw, with
+/// `u` clamped into the open interval `(0, 1)`.
+///
+/// The double log blows up at both ends: `u = 0` gives `g = −∞` and
+/// `u = 1` gives `g = +∞` — and the uniform-range sampler can produce an
+/// endpoint through floating-point rounding of `lo + u·(hi − lo)` even
+/// when the requested range excludes it. A non-finite `g` poisons one
+/// logit row of the Eq. 19 softmax and from there the whole coarsened
+/// adjacency. Clamping to `[ε, 1 − ε]` caps the noise at ≈ ±36.7 (the
+/// finite value of the nearest representable interior point), leaving
+/// every interior draw bit-identical.
+fn gumbel_from_uniform(u: f64) -> f64 {
+    let u = u.clamp(f64::EPSILON, 1.0 - f64::EPSILON);
+    -(-u.ln()).ln()
+}
+
 /// One HAP coarsening step: GCont → MOA → cluster formation → soft
 /// sampling.
 ///
@@ -105,15 +121,19 @@ impl HapCoarsen {
 
     /// Eq. 19: row-wise annealed softmax over `ln A' (+ Gumbel noise)`.
     fn soft_sample(&self, tape: &mut Tape, a: Var, ctx: &mut PoolCtx<'_>) -> Var {
+        let _t = hap_obs::time_scope("core.coarsen.soft_sample");
         let (n, m) = tape.shape(a);
         let shifted = tape.shift(a, LOG_EPS);
         let log_a = tape.ln(shifted);
         let noisy = if ctx.training {
-            // g = -ln(-ln u), u ~ Uniform(0,1)
+            // g = -ln(-ln u), u ~ Uniform(0,1) — same draw sequence from
+            // the forked model stream as before the boundary guard, so
+            // seeded trajectories are unchanged (the clamp only rewrites
+            // endpoint draws, which previously produced ±∞).
             let mut g = Tensor::zeros(n, m);
             for e in g.as_mut_slice() {
                 let u: f64 = ctx.rng.gen_range(f64::EPSILON..1.0);
-                *e = -(-u.ln()).ln();
+                *e = gumbel_from_uniform(u);
             }
             let g = tape.constant(g);
             tape.add(log_a, g)
@@ -127,8 +147,12 @@ impl HapCoarsen {
 
 impl CoarsenModule for HapCoarsen {
     fn forward(&self, tape: &mut Tape, adj: Var, h: Var, ctx: &mut PoolCtx<'_>) -> (Var, Var) {
+        let _t = hap_obs::time_scope("core.coarsen");
         // Steps 1–8 of Algorithm 1: content + attention assignment.
-        let m = self.assignment(tape, h);
+        let m = {
+            let _t = hap_obs::time_scope("core.coarsen.assignment");
+            self.assignment(tape, h)
+        };
         // Step 9: cluster formation H' = MᵀH (Eq. 17).
         let mt = tape.transpose(m);
         let h_new = tape.matmul(mt, h);
@@ -141,6 +165,10 @@ impl CoarsenModule for HapCoarsen {
         } else {
             a_new
         };
+        if hap_obs::trace_enabled() {
+            hap_obs::check_finite("coarsen.adjacency", tape.value(a_out).as_slice());
+            hap_obs::check_finite("coarsen.features", tape.value(h_new).as_slice());
+        }
         (a_out, h_new)
     }
 
@@ -161,6 +189,53 @@ mod tests {
         let mut store = ParamStore::new();
         let m = HapCoarsen::new(&mut store, "hc", dim, clusters, &mut rng);
         (store, m)
+    }
+
+    #[test]
+    fn gumbel_noise_is_finite_at_uniform_boundaries() {
+        // Regression: `-(-u.ln()).ln()` is −∞ at u = 0 and +∞ at u = 1,
+        // and a rounding in the range sampler's `lo + u·(hi − lo)` can
+        // yield an exact endpoint. The clamp caps the noise at the nearest
+        // representable interior point instead.
+        for u in [
+            0.0,
+            f64::MIN_POSITIVE,
+            f64::EPSILON,
+            0.5,
+            1.0 - f64::EPSILON,
+            1.0,
+        ] {
+            let g = gumbel_from_uniform(u);
+            assert!(g.is_finite(), "gumbel({u}) = {g} must be finite");
+        }
+        // interior draws are untouched by the clamp
+        let u = 0.37;
+        assert_eq!(
+            gumbel_from_uniform(u).to_bits(),
+            (-(-u.ln()).ln()).to_bits()
+        );
+        // the boundary values cap at the interior extremes, keeping the
+        // noise ordered: g(0) is the most negative, g(1) the most positive
+        assert!(gumbel_from_uniform(0.0) < gumbel_from_uniform(0.5));
+        assert!(gumbel_from_uniform(0.5) < gumbel_from_uniform(1.0));
+    }
+
+    #[test]
+    fn boundary_uniform_draws_survive_the_sampler() {
+        // Drive the boundary values through the full Eq. 19 soft-sampling
+        // path: even if every Gumbel draw were an endpoint, the coarsened
+        // adjacency must stay a finite row-stochastic matrix.
+        let noise: Vec<f64> = [0.0, 1.0, 0.0, 1.0]
+            .iter()
+            .map(|&u| gumbel_from_uniform(u))
+            .collect();
+        let logits = Tensor::from_rows(&[noise.clone(), noise.iter().rev().copied().collect()]);
+        let sm = logits.softmax_rows();
+        assert!(sm.all_finite());
+        for r in 0..2 {
+            let s: f64 = sm.row(r).iter().sum();
+            assert!((s - 1.0).abs() < 1e-9);
+        }
     }
 
     #[test]

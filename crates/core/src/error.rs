@@ -1,0 +1,54 @@
+//! Typed errors for degenerate model inputs.
+//!
+//! The hierarchy used to reach an opaque `expect("at least one level")`
+//! panic deep in the task heads when fed an empty graph; these variants
+//! name the precondition instead, at the API boundary where the caller can
+//! still act on it.
+
+use std::fmt;
+
+/// A degenerate input rejected by [`crate::HapModel`]'s embedding entry
+/// points.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum HapError {
+    /// The input graph has zero nodes: there is nothing to embed, and the
+    /// encoder/coarsening algebra is undefined on 0×0 operands.
+    EmptyGraph,
+    /// `features` does not carry exactly one row per graph node.
+    FeatureShape {
+        /// Rows of the supplied feature matrix.
+        rows: usize,
+        /// Node count of the graph.
+        nodes: usize,
+    },
+}
+
+impl fmt::Display for HapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HapError::EmptyGraph => {
+                write!(f, "cannot embed an empty graph (n = 0)")
+            }
+            HapError::FeatureShape { rows, nodes } => write!(
+                f,
+                "feature matrix has {rows} rows but the graph has {nodes} nodes \
+                 (one feature row per node required)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for HapError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_name_the_precondition() {
+        assert!(HapError::EmptyGraph.to_string().contains("empty graph"));
+        let e = HapError::FeatureShape { rows: 3, nodes: 5 };
+        let s = e.to_string();
+        assert!(s.contains('3') && s.contains('5'), "{s}");
+    }
+}

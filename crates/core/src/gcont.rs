@@ -57,10 +57,20 @@ impl GCont {
     }
 
     /// Computes the content matrix `C = H·T` (`N×N'`).
+    ///
+    /// Under `HAP_TRACE` the content matrix is scanned for non-finite
+    /// entries — `C` feeds the MOA column sort, so a NaN caught here is
+    /// attributed to the content transformation rather than to the
+    /// attention that consumes it.
     pub fn forward(&self, tape: &mut Tape, h: Var) -> Var {
         debug_assert_eq!(tape.shape(h).1, self.in_dim, "GCont input width mismatch");
+        let _t = hap_obs::time_scope("core.gcont");
         let t = tape.param(&self.t);
-        tape.matmul(h, t)
+        let c = tape.matmul(h, t);
+        if hap_obs::trace_enabled() {
+            hap_obs::check_finite("gcont.content", tape.value(c).as_slice());
+        }
+        c
     }
 }
 

@@ -31,6 +31,7 @@
 //! by tests in this crate and property tests in `crates/integration`.
 
 mod coarsen;
+mod error;
 mod flat_coarsen;
 mod gcont;
 mod moa;
@@ -38,6 +39,7 @@ mod model;
 mod tasks;
 
 pub use coarsen::HapCoarsen;
+pub use error::HapError;
 pub use flat_coarsen::FlatCoarsen;
 pub use gcont::GCont;
 pub use moa::Moa;

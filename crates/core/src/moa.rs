@@ -73,11 +73,13 @@ impl Moa {
         let vals = &vals;
         let compute_order = move |j: usize| -> Vec<usize> {
             let mut order: Vec<usize> = (0..n).collect();
-            order.sort_by(|&a, &b| {
-                vals[(j, b)]
-                    .partial_cmp(&vals[(j, a)])
-                    .expect("non-NaN content")
-            });
+            // `total_cmp` instead of `partial_cmp(..).expect(..)`: a NaN
+            // produced upstream (exploding GCont weights) used to panic the
+            // comparator here, far from its source. The total order sorts
+            // NaN above +∞, so a poisoned column degrades to a NaN logit
+            // that the hap-obs sentinel can attribute — identical ordering
+            // for finite inputs.
+            order.sort_by(|&a, &b| vals[(j, b)].total_cmp(&vals[(j, a)]));
             order.truncate(clusters);
             order
         };
@@ -138,9 +140,18 @@ impl Moa {
 
     /// The full MOA matrix: row-softmax of the logits (Eq. 15). Row `i`
     /// is node `i`'s attention distribution over the `N'` clusters.
+    ///
+    /// Under `HAP_TRACE` the attention matrix is scanned for non-finite
+    /// entries — a degenerate softmax row (all `-∞` logits) is recorded at
+    /// its source instead of surfacing later in the coarsened adjacency.
     pub fn forward(&self, tape: &mut Tape, c: Var) -> Var {
+        let _t = hap_obs::time_scope("core.moa");
         let e = self.logits(tape, c);
-        tape.softmax_rows(e)
+        let m = tape.softmax_rows(e);
+        if hap_obs::trace_enabled() {
+            hap_obs::check_finite("moa.attention", tape.value(m).as_slice());
+        }
+        m
     }
 }
 
@@ -218,7 +229,7 @@ mod tests {
                 let row_part: f64 = (0..4).map(|k| c[(i, k)] * a1[(k, 0)]).sum();
                 // column j of C sorted descending, zero-padded to 4
                 let mut col: Vec<f64> = (0..2).map(|r| c[(r, j)]).collect();
-                col.sort_by(|a, b| b.partial_cmp(a).unwrap());
+                col.sort_by(|a, b| b.total_cmp(a));
                 col.resize(4, 0.0);
                 let col_part: f64 = col.iter().zip(0..4).map(|(&v, k)| v * a2[(k, 0)]).sum();
                 let pre = row_part + col_part;
@@ -251,6 +262,27 @@ mod tests {
                 p.name()
             );
         }
+    }
+
+    #[test]
+    fn nan_content_no_longer_panics_column_reduction() {
+        // Regression: the per-column sort in `reduced_columns` used
+        // `partial_cmp(..).expect("non-NaN content")` and panicked on the
+        // first NaN content entry. With `total_cmp` the NaN instead flows
+        // through as a NaN logit the observability sentinel can attribute.
+        let (_s, moa) = make_moa(3, 11);
+        let mut rng = Rng::from_seed(12);
+        let mut c = Tensor::rand_uniform(6, 3, -1.0, 1.0, &mut rng);
+        c[(2, 1)] = f64::NAN;
+        let mut t = Tape::new();
+        let cv = t.constant(c);
+        let logits = moa.logits(&mut t, cv);
+        let v = t.value(logits);
+        assert_eq!(v.shape(), (6, 3));
+        assert!(
+            v.as_slice().iter().any(|x| x.is_nan()),
+            "the NaN must propagate into the logits instead of panicking"
+        );
     }
 
     #[test]

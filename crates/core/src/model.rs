@@ -1,6 +1,6 @@
 //! The hierarchical HAP framework (Sec. 4.1, Fig. 2).
 
-use crate::{FlatCoarsen, HapCoarsen};
+use crate::{FlatCoarsen, HapCoarsen, HapError};
 use hap_autograd::{ParamStore, Tape, Var};
 use hap_gnn::{AdjacencyRef, EncoderKind, GnnEncoder};
 use hap_graph::Graph;
@@ -116,6 +116,18 @@ impl AblationKind {
     }
 }
 
+/// Static phase label for coarsening level `k` — hap-obs phases borrow
+/// `'static` strings so the provenance stack stays allocation-free.
+fn level_label(k: usize) -> &'static str {
+    match k {
+        0 => "hap.level0",
+        1 => "hap.level1",
+        2 => "hap.level2",
+        3 => "hap.level3",
+        _ => "hap.level4+",
+    }
+}
+
 /// The hierarchical HAP model: `K` rounds of (two-layer node & cluster
 /// embedding → graph coarsening), producing one intermediate graph
 /// embedding per coarsening level (Sec. 4.5.2's hierarchical features).
@@ -191,18 +203,34 @@ impl HapModel {
     /// per coarsening level (the Sec. 4.5.2 intermediate features). With
     /// `K = 0` a single flat-readout embedding is returned. The last
     /// element is the final graph-level embedding `h_G`.
-    pub fn embed_hierarchy(
+    ///
+    /// Degenerate-input contract: a **single-node** graph and a graph with
+    /// `n ≤ clusters` are both valid — the MOA column reduction zero-pads
+    /// (the Claim 3 construction), so the hierarchy degrades gracefully
+    /// rather than erroring. An **empty** graph (`n = 0`) is rejected with
+    /// [`HapError::EmptyGraph`], and a feature/node row mismatch with
+    /// [`HapError::FeatureShape`], instead of panicking later inside the
+    /// task heads.
+    ///
+    /// # Errors
+    /// See the degenerate-input contract above.
+    pub fn try_embed_hierarchy(
         &self,
         tape: &mut Tape,
         graph: &Graph,
         features: &Tensor,
         ctx: &mut PoolCtx<'_>,
-    ) -> Vec<Var> {
-        assert_eq!(
-            features.rows(),
-            graph.n(),
-            "one feature row per node required"
-        );
+    ) -> Result<Vec<Var>, HapError> {
+        if graph.n() == 0 {
+            return Err(HapError::EmptyGraph);
+        }
+        if features.rows() != graph.n() {
+            return Err(HapError::FeatureShape {
+                rows: features.rows(),
+                nodes: graph.n(),
+            });
+        }
+        let _t = hap_obs::time_scope("core.embed_hierarchy");
         let mut h = tape.constant(features.clone());
         let mut a = tape.constant(graph.adjacency().clone());
         let mut embeddings = Vec::new();
@@ -210,10 +238,11 @@ impl HapModel {
         if self.coarseners.is_empty() {
             let enc = self.encoders[0].forward(tape, AdjacencyRef::Fixed(graph), h);
             embeddings.push(tape.col_means(enc));
-            return embeddings;
+            return Ok(embeddings);
         }
 
         for (k, coarsen) in self.coarseners.iter().enumerate() {
+            let _p = hap_obs::phase(level_label(k));
             h = if k == 0 {
                 self.encoders[0].forward(tape, AdjacencyRef::Fixed(graph), h)
             } else {
@@ -224,7 +253,23 @@ impl HapModel {
             h = h2;
             embeddings.push(tape.col_means(h));
         }
-        embeddings
+        Ok(embeddings)
+    }
+
+    /// [`Self::try_embed_hierarchy`], panicking on degenerate input.
+    ///
+    /// # Panics
+    /// Panics with the [`HapError`] message on an empty graph or a
+    /// feature/node row mismatch — use the `try_` form to handle those.
+    pub fn embed_hierarchy(
+        &self,
+        tape: &mut Tape,
+        graph: &Graph,
+        features: &Tensor,
+        ctx: &mut PoolCtx<'_>,
+    ) -> Vec<Var> {
+        self.try_embed_hierarchy(tape, graph, features, ctx)
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// The final graph-level embedding `h_G` (`1×hidden`).
@@ -289,6 +334,92 @@ mod tests {
         };
         let embeds = model.embed_hierarchy(&mut t, &g, &x, &mut ctx);
         assert_eq!(embeds.len(), 1);
+    }
+
+    #[test]
+    fn empty_graph_returns_typed_error() {
+        // Regression: n = 0 used to wander into the encoder/MOA algebra
+        // and die on an opaque panic; it is now rejected at the boundary.
+        let mut rng = Rng::from_seed(20);
+        let mut store = ParamStore::new();
+        let model = HapModel::new(&mut store, &cfg(), &mut rng);
+        let g = hap_graph::Graph::empty(0);
+        let x = Tensor::zeros(0, 5);
+        let mut t = Tape::new();
+        let mut ctx = PoolCtx {
+            training: false,
+            rng: &mut rng,
+        };
+        let err = model
+            .try_embed_hierarchy(&mut t, &g, &x, &mut ctx)
+            .unwrap_err();
+        assert_eq!(err, crate::HapError::EmptyGraph);
+    }
+
+    #[test]
+    fn feature_row_mismatch_returns_typed_error() {
+        let mut rng = Rng::from_seed(21);
+        let mut store = ParamStore::new();
+        let model = HapModel::new(&mut store, &cfg(), &mut rng);
+        let g = generators::cycle(6);
+        let x = Tensor::zeros(4, 5); // 4 rows for a 6-node graph
+        let mut t = Tape::new();
+        let mut ctx = PoolCtx {
+            training: false,
+            rng: &mut rng,
+        };
+        let err = model
+            .try_embed_hierarchy(&mut t, &g, &x, &mut ctx)
+            .unwrap_err();
+        assert_eq!(err, crate::HapError::FeatureShape { rows: 4, nodes: 6 });
+    }
+
+    #[test]
+    fn single_node_graph_embeds_via_zero_padding() {
+        // n = 1 < every cluster size: the documented degenerate output —
+        // the MOA column reduction zero-pads (Claim 3) and the hierarchy
+        // still produces one finite embedding per level.
+        let mut rng = Rng::from_seed(22);
+        let mut store = ParamStore::new();
+        let model = HapModel::new(&mut store, &cfg(), &mut rng);
+        let g = hap_graph::Graph::empty(1);
+        let x = degree_one_hot(&g, 5);
+        for training in [false, true] {
+            let mut t = Tape::new();
+            let mut ctx = PoolCtx {
+                training,
+                rng: &mut rng,
+            };
+            let embeds = model.embed_hierarchy(&mut t, &g, &x, &mut ctx);
+            assert_eq!(embeds.len(), 2);
+            for e in &embeds {
+                assert_eq!(t.shape(*e), (1, 6));
+                assert!(t.value(*e).all_finite(), "training={training}");
+            }
+        }
+    }
+
+    #[test]
+    fn clusters_equal_to_n_embeds() {
+        // k = n: no reduction pressure at all — every node can own a
+        // cluster. Must run and stay finite (documented degenerate case).
+        let mut rng = Rng::from_seed(23);
+        let mut store = ParamStore::new();
+        let model = HapModel::new(
+            &mut store,
+            &HapConfig::new(5, 6).with_clusters(&[4]),
+            &mut rng,
+        );
+        let g = generators::erdos_renyi_connected(4, 0.5, &mut rng);
+        let x = degree_one_hot(&g, 5);
+        let mut t = Tape::new();
+        let mut ctx = PoolCtx {
+            training: true,
+            rng: &mut rng,
+        };
+        let embeds = model.embed_hierarchy(&mut t, &g, &x, &mut ctx);
+        assert_eq!(embeds.len(), 1);
+        assert!(t.value(embeds[0]).all_finite());
     }
 
     #[test]

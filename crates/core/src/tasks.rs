@@ -20,6 +20,21 @@ fn euclidean(tape: &mut Tape, a: Var, b: Var) -> Var {
     tape.sqrt(sq)
 }
 
+/// NaN-safe argmax over the first `classes` entries of a `1×classes` logit
+/// row.
+///
+/// Uses [`f64::total_cmp`] — identical to a `partial_cmp` argmax for
+/// finite logits, but a total order over all bit patterns: NaN sorts above
+/// `+∞`, so a poisoned forward pass yields a deterministic (if arbitrary)
+/// class instead of panicking the comparator. The hap-obs sentinel records
+/// the event so the degradation is visible rather than silent.
+fn argmax_logits(v: &Tensor, classes: usize) -> usize {
+    hap_obs::guard_scalar("cls.logits", v.row(0)[..classes].iter().sum());
+    (0..classes)
+        .max_by(|&a, &b| v[(0, a)].total_cmp(&v[(0, b)]))
+        .expect("at least one class")
+}
+
 /// Graph classification model (Eqs. 20–21): HAP hierarchy → two
 /// fully-connected layers → class logits; trained with cross-entropy
 /// (softmax folded into the loss for stability).
@@ -112,13 +127,16 @@ impl HapClassifier {
     }
 
     /// Predicted class for one graph (evaluation path).
+    ///
+    /// Regression note: this argmax used
+    /// `partial_cmp(..).expect("finite logits")` and panicked on the first
+    /// NaN logit; it now degrades deterministically via the shared
+    /// `argmax_logits` helper.
     pub fn predict(&self, graph: &Graph, features: &Tensor, ctx: &mut PoolCtx<'_>) -> usize {
         let mut tape = Tape::new();
         let logits = self.logits(&mut tape, graph, features, ctx);
         let v = tape.value(logits);
-        (0..self.classes)
-            .max_by(|&a, &b| v[(0, a)].partial_cmp(&v[(0, b)]).expect("finite logits"))
-            .expect("at least one class")
+        argmax_logits(&v, self.classes)
     }
 
     /// The hierarchical graph embedding (for t-SNE visualisation,
@@ -348,6 +366,21 @@ mod tests {
         assert!(store.grad_norm() > 0.0);
         let pred = clf.predict(&g, &x, &mut ctx);
         assert!(pred < 3);
+    }
+
+    #[test]
+    fn nan_logit_no_longer_panics_argmax() {
+        // Regression: `predict`'s argmax used
+        // `partial_cmp(..).expect("finite logits")` and panicked on a NaN
+        // logit. `total_cmp` yields a deterministic answer instead: NaN is
+        // the greatest value in the total order, ties keep the last index.
+        let v = Tensor::from_rows(&[vec![0.3, f64::NAN, 0.7]]);
+        assert_eq!(argmax_logits(&v, 3), 1);
+        // finite logits: byte-identical behaviour to the old comparator
+        let v = Tensor::from_rows(&[vec![0.3, -1.0, 0.7]]);
+        assert_eq!(argmax_logits(&v, 3), 2);
+        let v = Tensor::from_rows(&[vec![f64::NEG_INFINITY, -1.0, f64::INFINITY]]);
+        assert_eq!(argmax_logits(&v, 3), 2);
     }
 
     #[test]

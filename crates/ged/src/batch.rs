@@ -33,6 +33,16 @@ impl GedMethod {
         }
     }
 
+    /// Stable lower-case label for metric names and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            GedMethod::Exact => "exact",
+            GedMethod::Beam(_) => "beam",
+            GedMethod::Hungarian => "hungarian",
+            GedMethod::Vj => "vj",
+        }
+    }
+
     /// Smallest batch worth dispatching on the pool for this method.
     ///
     /// Pool hand-off costs a few tens of microseconds; the cheap bipartite
@@ -71,6 +81,11 @@ pub fn batch_ged(pairs: &[(&Graph, &Graph)], method: GedMethod, costs: &EditCost
     let mut out = vec![0.0; pairs.len()];
     if pairs.is_empty() {
         return out;
+    }
+    let _t = hap_obs::time_scope("ged.batch");
+    if hap_obs::enabled() {
+        hap_obs::inc("ged.batches");
+        hap_obs::add(&format!("ged.pairs.{}", method.label()), pairs.len() as u64);
     }
     if pairs.len() < method.min_par_pairs() || hap_par::threads() == 1 {
         for (slot, &(g1, g2)) in out.iter_mut().zip(pairs) {
@@ -122,6 +137,14 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn method_labels_are_stable() {
+        assert_eq!(GedMethod::Exact.label(), "exact");
+        assert_eq!(GedMethod::Beam(8).label(), "beam");
+        assert_eq!(GedMethod::Hungarian.label(), "hungarian");
+        assert_eq!(GedMethod::Vj.label(), "vj");
     }
 
     #[test]

@@ -1,0 +1,104 @@
+//! Observability must be a pure observer: turning `hap-obs` all the way
+//! up (`Level::Trace` — phase timers, whole-tensor finiteness scans,
+//! loss/grad-norm recording) must leave a training run *byte-identical*
+//! to the same run with instrumentation off, at any `HAP_THREADS`.
+//!
+//! One `#[test]` function on purpose: the obs level is process-global
+//! state, and cargo runs a binary's tests on parallel threads — a second
+//! test toggling the level concurrently would race. `scripts/ci.sh`
+//! executes this file under both `HAP_THREADS=1` and the host default.
+
+use hap_autograd::ParamStore;
+use hap_core::{HapClassifier, HapConfig, HapModel};
+use hap_rand::Rng;
+use hap_train::{train, TrainConfig, TrainReport};
+
+/// The determinism-suite experiment: synthetic IMDB-B, one coarsening
+/// level, four epochs, every draw forked from `seed`.
+fn run_experiment(seed: u64) -> TrainReport {
+    let mut root = Rng::from_seed(seed);
+    let mut data_rng = root.fork("data");
+    let mut init_rng = root.fork("init");
+
+    let ds = hap_data::imdb_b(40, &mut data_rng);
+    let mut store = ParamStore::new();
+    let cfg = HapConfig::new(ds.feature_dim, 6).with_clusters(&[3]);
+    let model = HapModel::new(&mut store, &cfg, &mut init_rng);
+    let clf = HapClassifier::new(&mut store, model, ds.num_classes, &mut init_rng);
+    let (train_idx, val_idx, test_idx) = hap_data::split_811(ds.samples.len(), &mut data_rng);
+
+    let tcfg = TrainConfig {
+        epochs: 4,
+        batch_size: 8,
+        lr: 0.01,
+        seed,
+        patience: None,
+        grad_clip: Some(5.0),
+        log_every: 0,
+    };
+    train(
+        &store,
+        &tcfg,
+        &train_idx,
+        &val_idx,
+        &test_idx,
+        &mut |tape, i, ctx| {
+            let s = &ds.samples[i];
+            clf.loss(tape, &s.graph, &s.features, s.label, ctx)
+        },
+        &mut |i, ctx| {
+            let s = &ds.samples[i];
+            clf.predict(&s.graph, &s.features, ctx) == s.label
+        },
+    )
+}
+
+fn bits(v: &[f64]) -> Vec<u64> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+#[test]
+fn full_trace_instrumentation_does_not_perturb_training() {
+    // Baseline: instrumentation fully off (the HAP_TRACE-unset path).
+    hap_obs::set_level(hap_obs::Level::Off);
+    hap_obs::reset();
+    let off = run_experiment(7);
+    assert_eq!(
+        hap_obs::counter("train.samples"),
+        0,
+        "Level::Off must record nothing"
+    );
+
+    // Same experiment with every probe live.
+    hap_obs::set_level(hap_obs::Level::Trace);
+    hap_obs::reset();
+    let on = run_experiment(7);
+
+    assert_eq!(
+        bits(&off.train_losses),
+        bits(&on.train_losses),
+        "tracing changed the loss trajectory"
+    );
+    assert_eq!(bits(&off.val_history), bits(&on.val_history));
+    assert_eq!(off.best_val.to_bits(), on.best_val.to_bits());
+    assert_eq!(off.test_metric.to_bits(), on.test_metric.to_bits());
+    assert_eq!(off.epochs_run, on.epochs_run);
+
+    // The traced run must actually have observed the training loop.
+    assert!(hap_obs::counter("train.samples") > 0);
+    assert!(hap_obs::counter("train.epochs") == on.epochs_run as u64);
+    assert!(
+        hap_obs::histogram("time.core.coarsen").is_some(),
+        "phase timers missing under Level::Trace"
+    );
+    assert_eq!(
+        hap_obs::counter("train.skipped_samples"),
+        0,
+        "healthy run must not trip the NaN guard"
+    );
+    assert_eq!(hap_obs::nonfinite_total(), 0);
+
+    // Leave the process-global level as the environment dictates.
+    hap_obs::set_level(hap_obs::Level::Off);
+    hap_obs::reset();
+}

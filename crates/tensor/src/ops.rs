@@ -727,6 +727,16 @@ impl Tensor {
                     *x = (*x - m).exp();
                     z += *x;
                 }
+                // Debug-gated row-sum sanity: `z` is 0 when every logit is
+                // −∞ (the division then manufactures NaNs) and NaN when any
+                // logit is NaN. Catch the degenerate row at its source in
+                // debug/test builds; release builds keep the branch-free
+                // hot loop.
+                debug_assert!(
+                    z.is_finite() && z > 0.0,
+                    "softmax row normaliser must be positive and finite, got {z} \
+                     (row max {m})"
+                );
                 for x in row.iter_mut() {
                     *x /= z;
                 }

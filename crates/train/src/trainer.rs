@@ -125,37 +125,84 @@ pub fn train_with_rng(
     // bookkeeping's capacity and parks gradient buffers for reuse instead
     // of reallocating them every step.
     let mut tape = Tape::new();
+    let mut sample_step: u64 = 0;
     for epoch in 0..cfg.epochs {
         epochs_run = epoch + 1;
         order.shuffle(&mut shuffle_rng);
         let mut epoch_loss = 0.0;
         for batch in order.chunks(cfg.batch_size) {
+            let _bt = hap_obs::time_scope("train.batch");
             store.zero_grads();
             for &i in batch {
+                sample_step += 1;
+                hap_obs::set_step(sample_step);
                 tape.reset();
                 let mut ctx = PoolCtx {
                     training: true,
                     rng: &mut model_rng,
                 };
                 let loss = loss_fn(&mut tape, i, &mut ctx);
-                epoch_loss += tape.scalar(loss);
+                let loss_val = tape.scalar(loss);
+                // Skip-and-report recovery: a non-finite loss would poison
+                // every parameter through backprop, so the sample's
+                // gradient contribution is dropped (its loss counts as 0
+                // in the epoch mean) and the provenance is recorded. A
+                // finite run takes this branch never — trajectories are
+                // byte-identical to the unguarded loop.
+                if !hap_obs::guard_scalar("train.loss", loss_val) {
+                    hap_obs::inc("train.skipped_samples");
+                    continue;
+                }
+                epoch_loss += loss_val;
+                if hap_obs::enabled() {
+                    hap_obs::inc("train.samples");
+                    hap_obs::record("train.loss", loss_val);
+                }
                 // scale the seed so the step is the batch *mean*
                 tape.backward_with_seed(
                     loss,
                     hap_tensor::Tensor::full(1, 1, 1.0 / batch.len() as f64),
                 );
             }
-            if let Some(clip) = cfg.grad_clip {
-                let norm = store.grad_norm();
-                if norm > clip {
-                    store.scale_grads(clip / norm);
+            // The gradient norm is needed for clipping anyway; reuse it as
+            // the NaN sentinel (and compute it just for that when metrics
+            // are on). A non-finite norm means some gradient went NaN/∞ —
+            // applying Adam would corrupt the whole parameter store, so
+            // the batch is dropped instead and the event recorded.
+            let norm = if cfg.grad_clip.is_some() || hap_obs::enabled() {
+                Some(store.grad_norm())
+            } else {
+                None
+            };
+            let mut skip_update = false;
+            if let Some(norm) = norm {
+                if hap_obs::enabled() {
+                    hap_obs::record("train.grad_norm", norm);
+                }
+                if !hap_obs::guard_scalar("train.grad_norm", norm) {
+                    hap_obs::inc("train.skipped_batches");
+                    store.zero_grads();
+                    skip_update = true;
+                } else if let Some(clip) = cfg.grad_clip {
+                    if norm > clip {
+                        store.scale_grads(clip / norm);
+                    }
                 }
             }
-            adam.step(store);
+            if !skip_update {
+                adam.step(store);
+            }
+            if hap_obs::enabled() {
+                hap_obs::inc("train.batches");
+            }
         }
         train_losses.push(epoch_loss / order.len() as f64);
 
         let val = evaluate(val_idx, &mut eval_rng, eval_fn);
+        if hap_obs::enabled() {
+            hap_obs::inc("train.epochs");
+            hap_obs::record("train.val_metric", val);
+        }
         val_history.push(val);
         if cfg.log_every > 0 && epoch % cfg.log_every == 0 {
             eprintln!(
@@ -256,6 +303,86 @@ mod tests {
         let first = report.train_losses.first().unwrap();
         let last = report.train_losses.last().unwrap();
         assert!(last < first, "loss did not decrease: {first} -> {last}");
+    }
+
+    #[test]
+    fn non_finite_loss_sample_is_skipped_not_fatal() {
+        // Regression: a NaN loss used to flow straight into backward() and
+        // Adam, poisoning every parameter. The guard drops the sample's
+        // gradient contribution and keeps training on the rest.
+        let mut store = hap_autograd::ParamStore::new();
+        let p = store.new_param("w".to_string(), hap_tensor::Tensor::full(1, 1, 0.5));
+        let tcfg = TrainConfig {
+            epochs: 2,
+            batch_size: 2,
+            lr: 0.01,
+            seed: 1,
+            patience: None,
+            grad_clip: Some(5.0),
+            log_every: 0,
+        };
+        let report = train(
+            &store,
+            &tcfg,
+            &[0, 1],
+            &[0],
+            &[0],
+            &mut |tape, i, _ctx| {
+                if i == 0 {
+                    tape.constant(hap_tensor::Tensor::full(1, 1, f64::NAN))
+                } else {
+                    let v = tape.param(&p);
+                    tape.sum_all(v)
+                }
+            },
+            &mut |_i, _ctx| false,
+        );
+        assert!(
+            report.train_losses.iter().all(|l| l.is_finite()),
+            "skipped sample must not leak NaN into the epoch mean: {:?}",
+            report.train_losses
+        );
+        let w = p.value()[(0, 0)];
+        assert!(w.is_finite(), "parameters poisoned: {w}");
+        assert_ne!(w, 0.5, "the finite sample must still train");
+    }
+
+    #[test]
+    fn nan_gradient_batch_is_dropped_not_applied() {
+        // d/dx sqrt(x) at x = 0 is ∞, and ∞ · 0 = NaN in the chain rule:
+        // the loss is finite (0) but every gradient is NaN. Pre-guard,
+        // `norm > clip` was silently false for a NaN norm and Adam applied
+        // the NaN gradients; now the batch is dropped before the update.
+        let mut store = hap_autograd::ParamStore::new();
+        let p = store.new_param("w".to_string(), hap_tensor::Tensor::full(1, 1, 0.5));
+        let tcfg = TrainConfig {
+            epochs: 1,
+            batch_size: 1,
+            lr: 0.01,
+            seed: 2,
+            patience: None,
+            grad_clip: Some(5.0),
+            log_every: 0,
+        };
+        let report = train(
+            &store,
+            &tcfg,
+            &[0],
+            &[0],
+            &[0],
+            &mut |tape, _i, _ctx| {
+                let v = tape.param(&p);
+                let sq = tape.squared_distance(v, v); // exactly 0
+                tape.sqrt(sq)
+            },
+            &mut |_i, _ctx| false,
+        );
+        assert!(report.train_losses.iter().all(|l| l.is_finite()));
+        assert_eq!(
+            p.value()[(0, 0)],
+            0.5,
+            "a NaN-gradient batch must never reach the optimiser"
+        );
     }
 
     #[test]

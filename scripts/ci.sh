@@ -28,3 +28,30 @@ env -u HAP_THREADS cargo test -q --offline -p hap-train --test determinism
 # only exercise the shapes a training run happens to hit.
 HAP_THREADS=1 cargo test -q --offline -p hap-integration --test par_determinism
 env -u HAP_THREADS cargo test -q --offline -p hap-integration --test par_determinism
+
+# Observability must be a pure observer: a Level::Trace run (every timer
+# and finiteness scan live) must be byte-identical to a Level::Off run,
+# at both threading modes (crates/integration/tests/obs_determinism.rs).
+HAP_THREADS=1 cargo test -q --offline -p hap-integration --test obs_determinism
+env -u HAP_THREADS cargo test -q --offline -p hap-integration --test obs_determinism
+
+# NaN/∞ regression tests (EXPERIMENTS.md "Numeric robustness"): each fed
+# the pre-fix code a value that panicked or silently corrupted the run.
+cargo test -q --offline -p hap-core -- \
+  nan_content_no_longer_panics_column_reduction \
+  nan_logit_no_longer_panics_argmax \
+  gumbel_noise_is_finite_at_uniform_boundaries \
+  boundary_uniform_draws_survive_the_sampler \
+  empty_graph_returns_typed_error
+cargo test -q --offline -p hap-train --lib -- \
+  non_finite_loss_sample_is_skipped_not_fatal \
+  nan_gradient_batch_is_dropped_not_applied
+
+# The metrics exporter must produce a parseable report end to end.
+METRICS_TMP="$(mktemp -d)"
+cargo run --release --offline -q -p hap-bench --bin metrics-dump -- \
+  --epochs 1 --out "$METRICS_TMP/metrics.json"
+python3 -c "import json,sys; json.load(open(sys.argv[1]))" \
+  "$METRICS_TMP/metrics.json" 2>/dev/null \
+  || grep -q '"nonfinite_total"' "$METRICS_TMP/metrics.json"
+rm -rf "$METRICS_TMP"
