@@ -1,0 +1,329 @@
+//! Deterministic load generator for `hap-serve`.
+//!
+//! Starts the server in-process on an ephemeral loopback port, replays a
+//! seeded synthetic request stream against it over real TCP, and writes
+//! latency quantiles, throughput, cache statistics and a response-body
+//! hash to `--out` (default `results/loadgen.json`).
+//!
+//! ```text
+//! cargo run --release -p hap-bench --bin loadgen -- \
+//!     [--snapshot results/model.snap] [--requests 1000] [--clients 4] \
+//!     [--seed 42] [--out results/loadgen.json] \
+//!     [--baseline results/loadgen.json] [--threshold 50]
+//! ```
+//!
+//! Determinism: the request corpus and arrival order are pure functions
+//! of `--seed` (graphs and traffic come from labelled `hap-rand` forks),
+//! and serve responses are pure functions of their payloads, so
+//! `response_hash` — an FNV-1a over the response bodies in request-index
+//! order — is byte-stable across runs, client counts and `HAP_THREADS`
+//! settings. Only the wall-clock numbers (`qps`, latency quantiles)
+//! vary between hosts. With `--baseline`, the run fails (exit 1) when
+//! its QPS drops more than `--threshold` percent below the committed
+//! baseline's, mirroring `bench_check`'s contract for microbenchmarks.
+
+use hap_graph::{generators, Graph};
+use hap_rand::Rng;
+use hap_serve::{serve, Json, ServeConfig};
+use hap_snapshot::ModelSnapshot;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::time::Instant;
+
+struct Args {
+    snapshot: PathBuf,
+    requests: usize,
+    clients: usize,
+    seed: u64,
+    out: PathBuf,
+    baseline: Option<PathBuf>,
+    threshold: f64,
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!(
+        "usage: loadgen [--snapshot <path>] [--requests <n>] [--clients <n>] [--seed <u64>] \
+         [--out <path>] [--baseline <path>] [--threshold <percent>]"
+    );
+    std::process::exit(2)
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        snapshot: PathBuf::from("results/model.snap"),
+        requests: 1000,
+        clients: 4,
+        seed: 42,
+        out: PathBuf::from("results/loadgen.json"),
+        baseline: None,
+        threshold: 50.0,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .unwrap_or_else(|| usage(&format!("{flag} requires a value")))
+        };
+        match a.as_str() {
+            "--snapshot" => args.snapshot = PathBuf::from(value("--snapshot")),
+            "--requests" => {
+                args.requests = value("--requests")
+                    .parse()
+                    .unwrap_or_else(|_| usage("--requests must be a usize"))
+            }
+            "--clients" => {
+                args.clients = value("--clients")
+                    .parse()
+                    .ok()
+                    .filter(|&c| c > 0)
+                    .unwrap_or_else(|| usage("--clients must be a positive usize"))
+            }
+            "--seed" => {
+                args.seed = value("--seed")
+                    .parse()
+                    .unwrap_or_else(|_| usage("--seed must be a u64"))
+            }
+            "--out" => args.out = PathBuf::from(value("--out")),
+            "--baseline" => args.baseline = Some(PathBuf::from(value("--baseline"))),
+            "--threshold" => {
+                args.threshold = value("--threshold")
+                    .parse()
+                    .unwrap_or_else(|_| usage("--threshold must be a number"))
+            }
+            other => usage(&format!("unknown argument {other:?}")),
+        }
+    }
+    args
+}
+
+/// Serialises a graph into the serve wire schema.
+fn graph_json(g: &Graph) -> String {
+    let mut edges = Vec::new();
+    for u in 0..g.n() {
+        for v in (u + 1)..g.n() {
+            if g.has_edge(u, v) {
+                edges.push(format!("[{u},{v}]"));
+            }
+        }
+    }
+    format!("{{\"n\": {}, \"edges\": [{}]}}", g.n(), edges.join(","))
+}
+
+/// A synthetic pool of request graphs: mixed Erdős–Rényi /
+/// Barabási–Albert / ring / star topologies over a range of sizes.
+fn build_pool(rng: &mut Rng, size: usize) -> Vec<String> {
+    (0..size)
+        .map(|i| {
+            let n = rng.gen_range(6..=32usize);
+            let g = match i % 4 {
+                0 => generators::erdos_renyi_connected(n, 0.3, rng),
+                1 => generators::barabasi_albert(n, 2, rng),
+                2 => generators::cycle(n),
+                _ => generators::star(n),
+            };
+            graph_json(&g)
+        })
+        .collect()
+}
+
+/// One planned request: HTTP path plus JSON body.
+struct Planned {
+    path: &'static str,
+    body: String,
+}
+
+/// Skewed pool index: squaring the uniform draw concentrates mass on the
+/// low indices, giving the embedding cache a realistic hot set.
+fn skewed_index(rng: &mut Rng, pool: usize) -> usize {
+    let r = rng.gen_f64();
+    ((r * r * pool as f64) as usize).min(pool - 1)
+}
+
+fn plan_traffic(rng: &mut Rng, pool: &[String], requests: usize) -> Vec<Planned> {
+    (0..requests)
+        .map(|_| {
+            let a = skewed_index(rng, pool.len());
+            if rng.gen_bool(0.15) {
+                let b = skewed_index(rng, pool.len());
+                Planned {
+                    path: "/similarity",
+                    body: format!("{{\"a\": {}, \"b\": {}}}", pool[a], pool[b]),
+                }
+            } else {
+                Planned {
+                    path: "/classify",
+                    body: pool[a].clone(),
+                }
+            }
+        })
+        .collect()
+}
+
+/// Sends one request over a fresh connection; returns (status, body, ns).
+fn send(addr: std::net::SocketAddr, method: &str, path: &str, body: &str) -> (u16, String, u64) {
+    let start = Instant::now();
+    let mut s = TcpStream::connect(addr).expect("connect to serve");
+    let _ = s.set_nodelay(true);
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: loadgen\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    );
+    s.write_all(head.as_bytes()).expect("write request");
+    s.write_all(body.as_bytes()).expect("write body");
+    let mut response = String::new();
+    s.read_to_string(&mut response).expect("read response");
+    let ns = start.elapsed().as_nanos() as u64;
+    let status: u16 = response
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    let body = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body, ns)
+}
+
+/// FNV-1a over all response bodies in request-index order.
+fn response_hash(bodies: &[String]) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in bodies {
+        for &byte in b.as_bytes() {
+            h ^= byte as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        // Separator so ["ab",""] and ["a","b"] differ.
+        h ^= 0xFF;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+fn main() {
+    let args = parse_args();
+    hap_obs::set_level(hap_obs::Level::Metrics);
+
+    let snapshot = match ModelSnapshot::load(&args.snapshot) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("loadgen: cannot load {}: {e}", args.snapshot.display());
+            eprintln!("         (generate it with: cargo run --release -p hap-bench --bin train_snapshot)");
+            std::process::exit(1);
+        }
+    };
+    let handle = serve(snapshot, ServeConfig::default()).expect("start server");
+    let addr = handle.addr();
+    // Readiness probe before opening fire.
+    let (hstatus, hbody, _) = send(addr, "GET", "/healthz", "");
+    assert_eq!(
+        (hstatus, hbody.as_str()),
+        (200, "{\"status\":\"ok\"}"),
+        "healthz"
+    );
+
+    let mut root = Rng::from_seed(args.seed);
+    let pool = build_pool(&mut root.fork("corpus"), 48);
+    let planned = plan_traffic(&mut root.fork("traffic"), &pool, args.requests);
+    eprintln!(
+        "== loadgen: {} requests over {} clients against {addr} (seed {}) ==",
+        args.requests, args.clients, args.seed
+    );
+
+    // Round-robin the planned requests over the client threads; each
+    // returns (request index, status, body, latency) for the merge.
+    let planned = std::sync::Arc::new(planned);
+    let started = Instant::now();
+    let mut joins = Vec::new();
+    for c in 0..args.clients {
+        let planned = std::sync::Arc::clone(&planned);
+        let clients = args.clients;
+        joins.push(std::thread::spawn(move || {
+            let mut out = Vec::new();
+            let mut i = c;
+            while i < planned.len() {
+                let p = &planned[i];
+                let (status, body, ns) = send(addr, "POST", p.path, &p.body);
+                out.push((i, status, body, ns));
+                i += clients;
+            }
+            out
+        }));
+    }
+    let mut merged: Vec<(u16, String, u64)> = vec![(0, String::new(), 0); planned.len()];
+    for j in joins {
+        for (i, status, body, ns) in j.join().expect("client thread") {
+            merged[i] = (status, body, ns);
+        }
+    }
+    let elapsed = started.elapsed();
+
+    // Cache statistics from the server's own endpoint, before shutdown.
+    let (mstatus, metrics, _) = send(addr, "GET", "/metrics", "");
+    handle.shutdown();
+    assert_eq!(mstatus, 200, "/metrics must answer: {metrics}");
+    let metrics = Json::parse(&metrics).expect("/metrics body must be valid JSON");
+    let cache = metrics.get("cache").expect("cache section in /metrics");
+    let hits = cache.get("hits").and_then(Json::as_f64).unwrap_or(0.0) as u64;
+    let misses = cache.get("misses").and_then(Json::as_f64).unwrap_or(0.0) as u64;
+    let hit_rate = if hits + misses == 0 {
+        0.0
+    } else {
+        hits as f64 / (hits + misses) as f64
+    };
+
+    let errors = merged.iter().filter(|(s, _, _)| *s != 200).count();
+    let bodies: Vec<String> = merged.iter().map(|(_, b, _)| b.clone()).collect();
+    let hash = response_hash(&bodies);
+    for (_, _, ns) in &merged {
+        hap_obs::record("loadgen.latency_ns", *ns as f64);
+    }
+    let hist = hap_obs::histogram("loadgen.latency_ns").expect("latency histogram");
+    let (p50, p99) = (hist.quantile(0.5), hist.quantile(0.99));
+    let qps = args.requests as f64 / elapsed.as_secs_f64();
+
+    let json = format!(
+        "{{\n  \"requests\": {},\n  \"clients\": {},\n  \"seed\": {},\n  \"errors\": {},\n  \"qps\": {:.1},\n  \"latency_ns\": {{\"p50\": {:.0}, \"p99\": {:.0}, \"mean\": {:.0}}},\n  \"cache\": {{\"hits\": {hits}, \"misses\": {misses}, \"hit_rate\": {hit_rate:.3}}},\n  \"response_hash\": \"{:016x}\"\n}}\n",
+        args.requests, args.clients, args.seed, errors, qps, p50, p99, hist.mean(), hash
+    );
+    if let Some(dir) = args.out.parent() {
+        std::fs::create_dir_all(dir).expect("create results dir");
+    }
+    std::fs::write(&args.out, &json).expect("write loadgen.json");
+    eprintln!(
+        "{} requests in {:.2}s ({qps:.0} req/s), {errors} errors, p50 {:.2}ms p99 {:.2}ms",
+        args.requests,
+        elapsed.as_secs_f64(),
+        p50 / 1e6,
+        p99 / 1e6
+    );
+    eprintln!("response_hash {hash:016x} -> {}", args.out.display());
+
+    if errors > 0 {
+        eprintln!("loadgen: FAIL — {errors} request(s) did not answer 200");
+        std::process::exit(1);
+    }
+    if let Some(baseline) = &args.baseline {
+        let text = std::fs::read_to_string(baseline).expect("read baseline");
+        let v = Json::parse(&text).expect("parse baseline JSON");
+        let base_qps = v
+            .get("qps")
+            .and_then(Json::as_f64)
+            .unwrap_or_else(|| usage("baseline has no qps field"));
+        let floor = base_qps * (1.0 - args.threshold / 100.0);
+        if qps < floor {
+            eprintln!(
+                "loadgen: FAIL — qps {qps:.0} fell below {floor:.0} \
+                 (baseline {base_qps:.0} - {}%)",
+                args.threshold
+            );
+            std::process::exit(1);
+        }
+        eprintln!(
+            "qps {qps:.0} within {}% of baseline {base_qps:.0}: OK",
+            args.threshold
+        );
+    }
+}

@@ -1,0 +1,120 @@
+//! Trains a small HAP classifier on the synthetic IMDB-B corpus and
+//! exports it as a versioned binary snapshot — the artefact `hap-serve`
+//! and the `loadgen` harness consume.
+//!
+//! ```text
+//! cargo run --release -p hap-bench --bin train_snapshot \
+//!     [--seed <u64>] [--epochs <usize>] [--samples <usize>] [--out <path>]
+//! ```
+//!
+//! The run is fully seeded: the same arguments reproduce the committed
+//! `results/model.snap` byte-for-byte (snapshot bytes are a pure function
+//! of the trained parameters, and training is deterministic at any
+//! `HAP_THREADS`).
+
+use hap_autograd::ParamStore;
+use hap_core::{HapClassifier, HapConfig, HapModel};
+use hap_rand::Rng;
+use hap_train::{export_snapshot, train, TrainConfig};
+
+struct Args {
+    seed: u64,
+    epochs: usize,
+    samples: usize,
+    out: std::path::PathBuf,
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!(
+        "usage: train_snapshot [--seed <u64>] [--epochs <usize>] [--samples <usize>] [--out <path>]"
+    );
+    std::process::exit(2)
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        seed: 7,
+        epochs: 10,
+        samples: 60,
+        out: std::path::PathBuf::from("results/model.snap"),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .unwrap_or_else(|| usage(&format!("{flag} requires a value")))
+        };
+        match a.as_str() {
+            "--seed" => {
+                args.seed = value("--seed")
+                    .parse()
+                    .unwrap_or_else(|_| usage("--seed must be a u64"))
+            }
+            "--epochs" => {
+                args.epochs = value("--epochs")
+                    .parse()
+                    .unwrap_or_else(|_| usage("--epochs must be a usize"))
+            }
+            "--samples" => {
+                args.samples = value("--samples")
+                    .parse()
+                    .unwrap_or_else(|_| usage("--samples must be a usize"))
+            }
+            "--out" => args.out = std::path::PathBuf::from(value("--out")),
+            other => usage(&format!("unknown argument {other:?}")),
+        }
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let mut root = Rng::from_seed(args.seed);
+    let mut data_rng = root.fork("data");
+    let mut init_rng = root.fork("init");
+
+    let ds = hap_data::imdb_b(args.samples, &mut data_rng);
+    let mut store = ParamStore::new();
+    let cfg = HapConfig::new(ds.feature_dim, 6).with_clusters(&[3]);
+    let model = HapModel::new(&mut store, &cfg, &mut init_rng);
+    let clf = HapClassifier::new(&mut store, model, ds.num_classes, &mut init_rng);
+    let (train_idx, val_idx, test_idx) = hap_data::split_811(ds.samples.len(), &mut data_rng);
+
+    let tcfg = TrainConfig {
+        epochs: args.epochs,
+        batch_size: 8,
+        lr: 0.01,
+        seed: args.seed,
+        patience: None,
+        grad_clip: Some(5.0),
+        log_every: 0,
+    };
+    eprintln!(
+        "== train_snapshot: {} epochs on synthetic IMDB-B({}) (seed {}) ==",
+        args.epochs, args.samples, args.seed
+    );
+    let report = train(
+        &store,
+        &tcfg,
+        &train_idx,
+        &val_idx,
+        &test_idx,
+        &mut |tape, i, ctx| {
+            let s = &ds.samples[i];
+            clf.loss(tape, &s.graph, &s.features, s.label, ctx)
+        },
+        &mut |i, ctx| {
+            let s = &ds.samples[i];
+            clf.predict(&s.graph, &s.features, ctx) == s.label
+        },
+    );
+    eprintln!(
+        "trained {} epochs, best val {:.3}, test {:.3}",
+        report.epochs_run, report.best_val, report.test_metric
+    );
+
+    export_snapshot(&store, &cfg, ds.num_classes, &args.out).expect("write snapshot");
+    let size = std::fs::metadata(&args.out).map(|m| m.len()).unwrap_or(0);
+    eprintln!("wrote {} ({size} bytes)", args.out.display());
+}

@@ -142,9 +142,52 @@ impl HapClassifier {
     /// The hierarchical graph embedding (for t-SNE visualisation,
     /// Fig. 4/6).
     pub fn embedding(&self, graph: &Graph, features: &Tensor, ctx: &mut PoolCtx<'_>) -> Tensor {
+        self.try_embedding(graph, features, ctx)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`HapClassifier::embedding`] with the degenerate-input contract of
+    /// [`HapModel::try_embed_hierarchy`] surfaced as a typed error — the
+    /// entry point the serving layer uses, where an empty graph in a
+    /// request payload must become a 4xx response rather than a panic in
+    /// a worker thread.
+    ///
+    /// # Errors
+    /// [`crate::HapError::EmptyGraph`] / [`crate::HapError::FeatureShape`]
+    /// as documented on [`HapModel::try_embed_hierarchy`].
+    pub fn try_embedding(
+        &self,
+        graph: &Graph,
+        features: &Tensor,
+        ctx: &mut PoolCtx<'_>,
+    ) -> Result<Tensor, crate::HapError> {
         let mut tape = Tape::new();
-        let e = self.hier_embedding(&mut tape, graph, features, ctx);
-        tape.value(e)
+        let levels = self
+            .model
+            .try_embed_hierarchy(&mut tape, graph, features, ctx)?;
+        let mut it = levels.into_iter();
+        let mut e = it.next().expect("at least one level");
+        for l in it {
+            e = tape.hstack(e, l);
+        }
+        Ok(tape.value(e))
+    }
+
+    /// Class logits computed from an already-materialised hierarchical
+    /// embedding (the `1×(K·hidden)` tensor [`HapClassifier::embedding`]
+    /// returns). This is the cache-hit path of `hap-serve`: the expensive
+    /// hierarchy is skipped and only the small head runs.
+    pub fn logits_from_embedding(&self, embedding: &Tensor) -> Tensor {
+        let mut tape = Tape::new();
+        let e = tape.constant(embedding.clone());
+        let logits = self.head.forward(&mut tape, e);
+        tape.value(logits)
+    }
+
+    /// Predicted class from an already-materialised hierarchical
+    /// embedding (see [`HapClassifier::logits_from_embedding`]).
+    pub fn predict_from_embedding(&self, embedding: &Tensor) -> usize {
+        argmax_logits(&self.logits_from_embedding(embedding), self.classes)
     }
 }
 
@@ -366,6 +409,37 @@ mod tests {
         assert!(store.grad_norm() > 0.0);
         let pred = clf.predict(&g, &x, &mut ctx);
         assert!(pred < 3);
+    }
+
+    #[test]
+    fn cached_embedding_path_matches_direct_prediction() {
+        // The serve-layer contract: predicting from a materialised
+        // embedding must agree with the end-to-end predict path at eval
+        // time (same logits, same class).
+        let (mut store, m) = model(11);
+        let mut rng = Rng::from_seed(12);
+        let clf = HapClassifier::new(&mut store, m, 3, &mut rng);
+        let g = generators::erdos_renyi_connected(8, 0.4, &mut rng);
+        let x = degree_one_hot(&g, 5);
+        let mut ctx = PoolCtx {
+            training: false,
+            rng: &mut rng,
+        };
+        let emb = clf.try_embedding(&g, &x, &mut ctx).expect("valid graph");
+        assert_eq!(emb.shape(), (1, 2 * 6));
+        let from_cache = clf.predict_from_embedding(&emb);
+        let direct = clf.predict(&g, &x, &mut ctx);
+        assert_eq!(from_cache, direct);
+        let logits = clf.logits_from_embedding(&emb);
+        assert_eq!(logits.shape(), (1, 3));
+
+        // the typed-error path the HTTP layer depends on
+        let empty = hap_graph::Graph::empty(0);
+        let zx = Tensor::zeros(0, 5);
+        assert_eq!(
+            clf.try_embedding(&empty, &zx, &mut ctx).unwrap_err(),
+            crate::HapError::EmptyGraph
+        );
     }
 
     #[test]

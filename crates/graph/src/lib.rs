@@ -35,4 +35,4 @@ pub use generators::{
 };
 pub use graph::Graph;
 pub use permutation::Permutation;
-pub use wl::{wl_colors, wl_histogram_signature, wl_maybe_isomorphic};
+pub use wl::{wl_cache_key, wl_colors, wl_histogram_signature, wl_maybe_isomorphic};

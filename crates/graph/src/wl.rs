@@ -65,6 +65,57 @@ pub fn wl_histogram_signature(g: &Graph, iterations: usize) -> String {
     hist.join(";")
 }
 
+/// FNV-1a over a byte string — the workspace's stock string hash (the
+/// same construction `hap-rand` uses to mix fork labels).
+#[inline]
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// A compact canonical cache key for a graph: the FNV-1a hash of the node
+/// count, edge count and the [`wl_histogram_signature`] after
+/// `iterations` rounds of refinement.
+///
+/// # Invariance
+/// The key is a pure function of the graph's isomorphism-relevant
+/// structure at 1-WL resolution: **relabelling nodes (any permutation)
+/// never changes it**, while adding/removing an edge, changing the node
+/// count or changing a node label does (except in the collision cases
+/// below). This is exactly the contract an embedding cache wants, because
+/// HAP embeddings at eval time are permutation-invariant — isomorphic
+/// graphs *should* share a cache entry.
+///
+/// # Collision contract
+/// Two distinct graphs can collide in two ways, and any consumer (the
+/// `hap-serve` LRU embedding cache) must tolerate both:
+///
+/// 1. **1-WL-equivalent non-isomorphic graphs** — e.g. any two d-regular
+///    graphs with equal node/edge counts (C₆ vs 2×C₃). These are rare in
+///    practice (vanishingly so for random or molecule-like graphs) but
+///    *structural*: no iteration count fixes them. A cache keyed by this
+///    hash serves such a pair the embedding of whichever member arrived
+///    first — an **approximation, not an error**, and precisely the
+///    approximation 1-WL-based graph kernels make by design.
+/// 2. **64-bit hash collisions** of distinct signatures — probability
+///    ≈ 2⁻⁶⁴ per pair, negligible against (1).
+///
+/// Consumers that cannot tolerate (1) must key on the full
+/// [`wl_histogram_signature`] string *and* verify graph equality on hit;
+/// the serving cache deliberately does not.
+pub fn wl_cache_key(g: &Graph, iterations: usize) -> u64 {
+    let sig = wl_histogram_signature(g, iterations);
+    let mut h = fnv1a(sig.as_bytes());
+    h ^= fnv1a(&(g.n() as u64).to_le_bytes());
+    h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    h ^= fnv1a(&(g.num_edges() as u64).to_le_bytes());
+    h
+}
+
 /// Sound non-isomorphism test: `true` means the graphs are *possibly*
 /// isomorphic (1-WL cannot distinguish them); `false` is a proof of
 /// non-isomorphism. Run before VF2 to cut its search space.
@@ -127,6 +178,89 @@ mod tests {
         let p4 = generators::path(4);
         let s4 = generators::star(4);
         assert!(!wl_maybe_isomorphic(&p4, &s4, 1));
+    }
+
+    #[test]
+    fn cache_key_is_invariant_under_node_permutation() {
+        // The serving-cache soundness property: relabelling nodes must
+        // never change the key (isomorphic graphs share an entry).
+        let mut rng = Rng::from_seed(11);
+        for trial in 0..10 {
+            let n = 5 + trial % 7;
+            let mut g = generators::erdos_renyi_connected(n, 0.4, &mut rng);
+            if trial % 2 == 0 {
+                // labelled graphs must be invariant too
+                let labels = (0..n).map(|u| u % 3).collect();
+                g = g.with_node_labels(labels);
+            }
+            let key = wl_cache_key(&g, 3);
+            for _ in 0..4 {
+                let p = Permutation::random(n, &mut rng);
+                let h = p.apply_graph(&g);
+                assert_eq!(
+                    wl_cache_key(&h, 3),
+                    key,
+                    "trial {trial}: permutation changed the cache key"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cache_key_changes_with_edges_and_labels() {
+        let mut rng = Rng::from_seed(12);
+        let g = generators::erdos_renyi_connected(8, 0.4, &mut rng);
+        let key = wl_cache_key(&g, 3);
+
+        // adding an edge changes the key
+        let mut plus = g.clone();
+        'outer: for u in 0..8 {
+            for v in (u + 1)..8 {
+                if !plus.has_edge(u, v) {
+                    plus.add_edge(u, v);
+                    break 'outer;
+                }
+            }
+        }
+        assert_ne!(wl_cache_key(&plus, 3), key, "edge insert must re-key");
+
+        // removing an edge changes the key
+        let mut minus = g.clone();
+        let (u, v) = g.edges()[0];
+        minus.remove_edge(u, v);
+        assert_ne!(wl_cache_key(&minus, 3), key, "edge delete must re-key");
+
+        // node labels (the discrete feature channel WL refines over)
+        // change the key even on identical topology
+        let labelled = g.clone().with_node_labels(vec![1; 8]);
+        let relabelled = g.clone().with_node_labels({
+            let mut l = vec![1; 8];
+            l[0] = 2;
+            l
+        });
+        assert_ne!(
+            wl_cache_key(&labelled, 3),
+            wl_cache_key(&relabelled, 3),
+            "label change must re-key"
+        );
+
+        // a different node count trivially re-keys
+        let bigger = g.disjoint_union(&crate::Graph::empty(1));
+        assert_ne!(wl_cache_key(&bigger, 3), key);
+    }
+
+    #[test]
+    fn cache_key_documents_wl_blindness() {
+        // The documented collision case: 1-WL cannot separate 2-regular
+        // graphs with equal counts, so C6 and 2×C3 share a key. The
+        // serving cache treats this as an accepted approximation.
+        let c6 = generators::cycle(6);
+        let two_c3 = generators::cycle(3).disjoint_union(&generators::cycle(3));
+        assert_eq!(wl_cache_key(&c6, 3), wl_cache_key(&two_c3, 3));
+        // ...while an honestly distinguishable same-size pair separates.
+        let p4 = generators::path(4);
+        let s4 = generators::star(4);
+        assert_ne!(wl_cache_key(&p4, 1), wl_cache_key(&s4, 1));
     }
 
     #[test]

@@ -215,6 +215,48 @@ impl Histogram {
     pub fn mean(&self) -> f64 {
         self.sum / self.count as f64
     }
+
+    /// Estimates the `p`-quantile (`p ∈ [0, 1]`) of the recorded samples
+    /// from the log2 buckets.
+    ///
+    /// The histogram only keeps per-bucket counts, so the estimate walks
+    /// the buckets in ascending value order to the one containing the
+    /// target rank and interpolates linearly inside its `[2^k, 2^{k+1})`
+    /// range; the result is clamped to the exactly-tracked `[min, max]`.
+    /// The error is therefore bounded by one bucket width (a factor of 2
+    /// of the true sample) — plenty for p50/p99 latency reporting, which
+    /// is what `loadgen` and the `/metrics` endpoint use it for.
+    ///
+    /// The estimate assumes **non-negative samples**: buckets are keyed by
+    /// `log2(|v|)`, so a histogram mixing signs has no meaningful value
+    /// ordering to walk. Every quantile consumer in the workspace records
+    /// timings, losses or norms, all of which are `>= 0`.
+    ///
+    /// Returns `NaN` for an empty histogram; `p` is clamped to `[0, 1]`.
+    pub fn quantile(&self, p: f64) -> f64 {
+        if self.count == 0 {
+            return f64::NAN;
+        }
+        let p = p.clamp(0.0, 1.0);
+        // Target rank in 1..=count (ceil so p = 1 lands on the last
+        // sample and p = 0 on the first).
+        let rank = ((p * self.count as f64).ceil() as u64).max(1);
+        let mut below = 0u64;
+        for (&k, &c) in &self.buckets {
+            if below + c >= rank {
+                if k == i32::MIN {
+                    // The exact-zero bucket.
+                    return 0.0f64.clamp(self.min, self.max);
+                }
+                let lo = 2f64.powi(k);
+                let hi = 2f64.powi(k.saturating_add(1));
+                let frac = (rank - below) as f64 / c as f64;
+                return (lo + (hi - lo) * frac).clamp(self.min, self.max);
+            }
+            below += c;
+        }
+        self.max
+    }
 }
 
 #[derive(Default)]
@@ -714,6 +756,55 @@ mod tests {
             drop(outer);
             assert_eq!(current_phase(), "");
         });
+    }
+
+    #[test]
+    fn quantile_estimates_land_in_the_right_bucket() {
+        let mut h = Histogram::new();
+        for v in 1..=100 {
+            h.record(v as f64);
+        }
+        // The true p50 is 50 (bucket [32, 64)); the estimate must stay
+        // within that bucket and inside the exact [min, max] envelope.
+        let p50 = h.quantile(0.5);
+        assert!((32.0..=64.0).contains(&p50), "p50 = {p50}");
+        // True p99 is 99 (bucket [64, 128), clamped to max = 100).
+        let p99 = h.quantile(0.99);
+        assert!((64.0..=100.0).contains(&p99), "p99 = {p99}");
+        // Quantiles are monotone in p and pinned at the tracked extremes.
+        assert!(h.quantile(0.0) <= p50 && p50 <= p99);
+        assert_eq!(h.quantile(1.0), 100.0);
+        assert!(h.quantile(0.0) >= 1.0);
+    }
+
+    #[test]
+    fn quantile_degenerate_histograms() {
+        let empty = Histogram::new();
+        assert!(empty.quantile(0.5).is_nan());
+
+        let mut single = Histogram::new();
+        single.record(42.0);
+        // One sample: every quantile is that sample (min = max clamp).
+        assert_eq!(single.quantile(0.0), 42.0);
+        assert_eq!(single.quantile(0.5), 42.0);
+        assert_eq!(single.quantile(1.0), 42.0);
+
+        let mut zeros = Histogram::new();
+        zeros.record(0.0);
+        zeros.record(0.0);
+        zeros.record(8.0);
+        // Rank 1 and 2 sit in the exact-zero bucket.
+        assert_eq!(zeros.quantile(0.5), 0.0);
+        assert_eq!(zeros.quantile(1.0), 8.0);
+    }
+
+    #[test]
+    fn quantile_p_is_clamped() {
+        let mut h = Histogram::new();
+        h.record(1.0);
+        h.record(2.0);
+        assert_eq!(h.quantile(-3.0), h.quantile(0.0));
+        assert_eq!(h.quantile(7.0), h.quantile(1.0));
     }
 
     #[test]

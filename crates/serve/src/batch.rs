@@ -1,0 +1,305 @@
+//! Micro-batching between the HTTP workers and the single model thread.
+//!
+//! `HapClassifier` parameters are `Rc`-shared (deliberately — the whole
+//! training stack is single-threaded by design), so the model cannot move
+//! across threads. The serving layer therefore runs **one** model thread
+//! that owns the classifier and its embedding cache, and the HTTP workers
+//! hand it jobs over an mpsc channel. The model thread collects jobs for a
+//! short window (default 1 ms) or until `max_batch`, then answers them
+//! graph-at-a-time — batching here amortises channel wake-ups and keeps
+//! the cache hot across a burst, it does not change any numeric result.
+//! Responses are pure functions of the request payload, which is what
+//! makes replayed traffic byte-identical at any worker count.
+
+use crate::json::{num, num_array};
+use crate::service::{clamp_labels, Classification, ModelService, ServiceConfig, Similarity};
+use hap_graph::Graph;
+use hap_snapshot::{ModelSnapshot, SnapshotError};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, Sender, SyncSender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// One unit of model work.
+pub enum Job {
+    /// Classify a single graph.
+    Classify(Graph),
+    /// Score a pair of graphs.
+    Similarity(Graph, Graph),
+}
+
+/// A job plus its reply slot. `Ok` carries the response JSON body; `Err`
+/// carries a client-facing message that the HTTP layer maps to a 400.
+struct Submission {
+    job: Job,
+    reply: SyncSender<Result<String, String>>,
+}
+
+/// Cache statistics mirrored out of the model thread so `/metrics` can
+/// read them without touching the (non-`Sync`) service.
+#[derive(Default)]
+pub struct CacheStats {
+    /// Embedding-cache hits since startup.
+    pub hits: AtomicU64,
+    /// Embedding-cache misses since startup.
+    pub misses: AtomicU64,
+}
+
+/// Handle to the model thread: clonable submitter plus shared stats.
+pub struct Batcher {
+    tx: Option<Sender<Submission>>,
+    stats: Arc<CacheStats>,
+    handle: Option<JoinHandle<()>>,
+}
+
+/// A cloneable submission endpoint handed to each HTTP worker.
+#[derive(Clone)]
+pub struct BatcherClient {
+    tx: Sender<Submission>,
+}
+
+impl BatcherClient {
+    /// Submits a job and blocks until the model thread replies.
+    ///
+    /// # Errors
+    /// The inner `Err` is a client-facing message (→ 400); the outer
+    /// `None` means the model thread is gone (→ 500).
+    pub fn submit(&self, job: Job) -> Option<Result<String, String>> {
+        let (reply_tx, reply_rx) = sync_channel(1);
+        self.tx
+            .send(Submission {
+                job,
+                reply: reply_tx,
+            })
+            .ok()?;
+        reply_rx.recv().ok()
+    }
+}
+
+impl Batcher {
+    /// Validates the snapshot, then spawns the model thread. The
+    /// classifier is *built inside* the thread (its parameters are
+    /// `Rc`-backed and cannot cross), so the snapshot is verified once
+    /// here to fail fast on mismatched architectures.
+    ///
+    /// # Errors
+    /// [`SnapshotError`] when the snapshot cannot rebuild a classifier.
+    pub fn spawn(
+        snapshot: ModelSnapshot,
+        svc_cfg: ServiceConfig,
+        window: Duration,
+        max_batch: usize,
+    ) -> Result<Batcher, SnapshotError> {
+        snapshot.build_classifier()?; // fail fast, result dropped
+        let (tx, rx) = std::sync::mpsc::channel::<Submission>();
+        let stats = Arc::new(CacheStats::default());
+        let stats_thread = Arc::clone(&stats);
+        let in_dim = snapshot.config.in_dim;
+        let hidden = snapshot.config.hidden;
+        // One readout per coarsening module (`HapModel::depth()`).
+        let levels = snapshot.config.cluster_sizes.len().max(1);
+        let handle = std::thread::Builder::new()
+            .name("hap-serve-model".into())
+            .spawn(move || {
+                let (_store, clf) = snapshot
+                    .build_classifier()
+                    .expect("snapshot validated before spawn");
+                let mut svc = ModelService::new(clf, in_dim, hidden, levels, svc_cfg);
+                run_loop(&rx, &mut svc, window, max_batch, &stats_thread);
+            })
+            .expect("spawn model thread");
+        Ok(Batcher {
+            tx: Some(tx),
+            stats,
+            handle: Some(handle),
+        })
+    }
+
+    /// A submission endpoint for an HTTP worker.
+    pub fn client(&self) -> BatcherClient {
+        BatcherClient {
+            tx: self.tx.clone().expect("batcher not shut down"),
+        }
+    }
+
+    /// Shared cache statistics for `/metrics`.
+    pub fn stats(&self) -> Arc<CacheStats> {
+        Arc::clone(&self.stats)
+    }
+
+    /// Stops the model thread (disconnects the channel, joins). Worker
+    /// clients created earlier keep the channel alive until they drop,
+    /// so the server tears workers down first.
+    pub fn shutdown(self) {
+        drop(self);
+    }
+}
+
+impl Drop for Batcher {
+    fn drop(&mut self) {
+        // Dropping tx disconnects the channel once worker clients are
+        // gone; the loop then exits on its own.
+        self.tx = None;
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn run_loop(
+    rx: &Receiver<Submission>,
+    svc: &mut ModelService,
+    window: Duration,
+    max_batch: usize,
+    stats: &CacheStats,
+) {
+    loop {
+        // Block for the first job of a batch.
+        let first = match rx.recv() {
+            Ok(s) => s,
+            Err(_) => return, // all senders gone — clean shutdown
+        };
+        let mut batch = vec![first];
+        let deadline = Instant::now() + window;
+        while batch.len() < max_batch {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            match rx.recv_timeout(deadline - now) {
+                Ok(s) => batch.push(s),
+                Err(RecvTimeoutError::Timeout) => break,
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+        }
+        hap_obs::record("serve.batch_size", batch.len() as f64);
+        for sub in batch {
+            let body = handle_job(svc, sub.job);
+            // A dead receiver just means the worker gave up; ignore.
+            let _ = sub.reply.send(body);
+        }
+        stats.hits.store(svc.cache_hits(), Ordering::Relaxed);
+        stats.misses.store(svc.cache_misses(), Ordering::Relaxed);
+    }
+}
+
+fn handle_job(svc: &mut ModelService, job: Job) -> Result<String, String> {
+    match job {
+        Job::Classify(mut g) => {
+            clamp_labels(&mut g, svc.in_dim());
+            let Classification { label, logits } = svc.classify(&g).map_err(|e| e.to_string())?;
+            Ok(format!(
+                "{{\"label\":{label},\"logits\":{}}}",
+                num_array(&logits)
+            ))
+        }
+        Job::Similarity(mut a, mut b) => {
+            clamp_labels(&mut a, svc.in_dim());
+            clamp_labels(&mut b, svc.in_dim());
+            let Similarity { per_level, mean } =
+                svc.similarity(&a, &b).map_err(|e| e.to_string())?;
+            Ok(format!(
+                "{{\"mean\":{},\"per_level\":{}}}",
+                num(mean),
+                num_array(&per_level)
+            ))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hap_autograd::ParamStore;
+    use hap_core::{HapClassifier, HapConfig, HapModel};
+    use hap_rand::Rng;
+
+    fn tiny_snapshot() -> ModelSnapshot {
+        let mut rng = Rng::from_seed(3);
+        let mut store = ParamStore::new();
+        let cfg = HapConfig::new(4, 4).with_clusters(&[2]);
+        let model = HapModel::new(&mut store, &cfg, &mut rng);
+        let _clf = HapClassifier::new(&mut store, model, 2, &mut rng);
+        ModelSnapshot::capture(&cfg, 2, &store)
+    }
+
+    #[test]
+    fn jobs_roundtrip_through_the_model_thread() {
+        let b = Batcher::spawn(
+            tiny_snapshot(),
+            ServiceConfig::default(),
+            Duration::from_micros(200),
+            8,
+        )
+        .expect("spawn");
+        let client = b.client();
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let body = client.submit(Job::Classify(g.clone())).unwrap().unwrap();
+        assert!(body.starts_with("{\"label\":"), "{body}");
+        // Same payload → byte-identical body.
+        let again = client.submit(Job::Classify(g.clone())).unwrap().unwrap();
+        assert_eq!(body, again);
+        let sim = client
+            .submit(Job::Similarity(g.clone(), g))
+            .unwrap()
+            .unwrap();
+        assert!(sim.starts_with("{\"mean\":1.0"), "{sim}");
+        let stats = b.stats();
+        drop(client); // release the channel so shutdown can join
+        b.shutdown();
+        assert!(stats.hits.load(Ordering::Relaxed) >= 1);
+    }
+
+    #[test]
+    fn empty_graph_is_a_client_error_and_the_thread_survives() {
+        let b = Batcher::spawn(
+            tiny_snapshot(),
+            ServiceConfig::default(),
+            Duration::from_micros(200),
+            8,
+        )
+        .expect("spawn");
+        let client = b.client();
+        let err = client.submit(Job::Classify(Graph::empty(0))).unwrap();
+        assert!(err.is_err());
+        // The model thread must still answer afterwards.
+        let ok = client
+            .submit(Job::Classify(Graph::empty(1)))
+            .unwrap()
+            .unwrap();
+        assert!(ok.starts_with("{\"label\":"));
+        drop(client);
+        b.shutdown();
+    }
+
+    #[test]
+    fn concurrent_submitters_all_get_answers() {
+        let b = Batcher::spawn(
+            tiny_snapshot(),
+            ServiceConfig::default(),
+            Duration::from_millis(1),
+            64,
+        )
+        .expect("spawn");
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let client = b.client();
+            handles.push(std::thread::spawn(move || {
+                let mut bodies = Vec::new();
+                for i in 0..10 {
+                    let n = 3 + ((t as usize + i) % 4);
+                    let g = Graph::from_edges(n, &[(0, 1), (1, 2)]);
+                    bodies.push(client.submit(Job::Classify(g)).unwrap().unwrap());
+                }
+                bodies
+            }));
+        }
+        for h in handles {
+            let bodies = h.join().unwrap();
+            assert_eq!(bodies.len(), 10);
+            assert!(bodies.iter().all(|b| b.starts_with("{\"label\":")));
+        }
+        b.shutdown();
+    }
+}

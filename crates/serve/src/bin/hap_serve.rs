@@ -1,0 +1,84 @@
+//! `hap-serve` — serve a trained HAP snapshot over HTTP.
+//!
+//! ```text
+//! hap-serve --snapshot results/model.snap [--addr 127.0.0.1:8080]
+//!           [--workers N] [--window-us 1000] [--cache-cap 1024]
+//! ```
+//!
+//! Routes: `GET /healthz`, `GET /metrics`, `POST /classify`,
+//! `POST /similarity`. See ARCHITECTURE.md § Serving for the wire schema.
+
+use hap_serve::{serve, ServeConfig};
+use hap_snapshot::ModelSnapshot;
+use std::time::Duration;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: hap-serve --snapshot <path> [--addr HOST:PORT] [--workers N] \
+         [--window-us MICROS] [--cache-cap N]"
+    );
+    std::process::exit(2);
+}
+
+fn parse<T: std::str::FromStr>(flag: &str, v: Option<String>) -> T {
+    match v.and_then(|s| s.parse().ok()) {
+        Some(x) => x,
+        None => {
+            eprintln!("invalid value for {flag}");
+            usage();
+        }
+    }
+}
+
+fn main() {
+    let mut snapshot_path: Option<String> = None;
+    let mut config = ServeConfig {
+        addr: "127.0.0.1:8080".to_string(),
+        ..ServeConfig::default()
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--snapshot" => snapshot_path = Some(parse(&arg, args.next())),
+            "--addr" => config.addr = parse(&arg, args.next()),
+            "--workers" => config.workers = parse(&arg, args.next()),
+            "--window-us" => {
+                config.window = Duration::from_micros(parse(&arg, args.next()));
+            }
+            "--cache-cap" => config.service.cache_capacity = parse(&arg, args.next()),
+            _ => usage(),
+        }
+    }
+    let Some(snapshot_path) = snapshot_path else {
+        usage();
+    };
+
+    hap_obs::set_level(hap_obs::Level::Metrics);
+    let snapshot = match ModelSnapshot::load(std::path::Path::new(&snapshot_path)) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("hap-serve: cannot load {snapshot_path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    eprintln!(
+        "hap-serve: loaded snapshot ({} params, in_dim={}, hidden={}, {} classes)",
+        snapshot.params.len(),
+        snapshot.config.in_dim,
+        snapshot.config.hidden,
+        snapshot.classes
+    );
+    let handle = match serve(snapshot, config) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("hap-serve: failed to start: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("listening on http://{}", handle.addr());
+    // Serve until killed; the handle's Drop performs the clean shutdown
+    // on normal process exit paths.
+    loop {
+        std::thread::park();
+    }
+}

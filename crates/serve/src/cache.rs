@@ -1,0 +1,231 @@
+//! A fixed-capacity LRU cache for embeddings.
+//!
+//! Keys are the 64-bit WL cache keys from `hap_graph::wl_cache_key`, so
+//! two graphs that 1-WL cannot distinguish share an entry — that is the
+//! documented (and intended) approximation, see the key's docs. The
+//! implementation is a slab-backed doubly-linked list plus a
+//! `HashMap<u64, usize>` index: O(1) get/insert, no unsafe, no external
+//! crate. Hit/miss counters are intrinsic so the serving layer can report
+//! a hit-rate even when `hap-obs` is at `Level::Off`.
+
+use std::collections::HashMap;
+
+const NONE: usize = usize::MAX;
+
+struct Node<V> {
+    key: u64,
+    value: V,
+    prev: usize,
+    next: usize,
+}
+
+/// A least-recently-used cache from `u64` keys to owned values.
+pub struct LruCache<V> {
+    capacity: usize,
+    index: HashMap<u64, usize>,
+    slab: Vec<Node<V>>,
+    free: Vec<usize>,
+    head: usize,
+    tail: usize,
+    hits: u64,
+    misses: u64,
+}
+
+impl<V> LruCache<V> {
+    /// Creates a cache holding at most `capacity` entries (a capacity of
+    /// zero disables caching: every lookup is a miss, inserts are
+    /// dropped).
+    pub fn new(capacity: usize) -> Self {
+        LruCache {
+            capacity,
+            index: HashMap::new(),
+            slab: Vec::new(),
+            free: Vec::new(),
+            head: NONE,
+            tail: NONE,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Number of entries currently resident.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// Lookups that found an entry since construction.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookups that missed since construction.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Looks up `key`, promoting the entry to most-recently-used and
+    /// counting a hit or a miss.
+    pub fn get(&mut self, key: u64) -> Option<&V> {
+        match self.index.get(&key).copied() {
+            Some(i) => {
+                self.hits += 1;
+                self.unlink(i);
+                self.push_front(i);
+                Some(&self.slab[i].value)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts (or replaces) `key`, evicting the least-recently-used
+    /// entry when at capacity. Counts neither a hit nor a miss.
+    pub fn insert(&mut self, key: u64, value: V) {
+        if self.capacity == 0 {
+            return;
+        }
+        if let Some(&i) = self.index.get(&key) {
+            self.slab[i].value = value;
+            self.unlink(i);
+            self.push_front(i);
+            return;
+        }
+        if self.index.len() >= self.capacity {
+            let lru = self.tail;
+            debug_assert_ne!(lru, NONE);
+            self.unlink(lru);
+            self.index.remove(&self.slab[lru].key);
+            self.free.push(lru);
+        }
+        let i = match self.free.pop() {
+            Some(i) => {
+                self.slab[i] = Node {
+                    key,
+                    value,
+                    prev: NONE,
+                    next: NONE,
+                };
+                i
+            }
+            None => {
+                self.slab.push(Node {
+                    key,
+                    value,
+                    prev: NONE,
+                    next: NONE,
+                });
+                self.slab.len() - 1
+            }
+        };
+        self.index.insert(key, i);
+        self.push_front(i);
+    }
+
+    fn unlink(&mut self, i: usize) {
+        let (prev, next) = (self.slab[i].prev, self.slab[i].next);
+        if prev != NONE {
+            self.slab[prev].next = next;
+        } else if self.head == i {
+            self.head = next;
+        }
+        if next != NONE {
+            self.slab[next].prev = prev;
+        } else if self.tail == i {
+            self.tail = prev;
+        }
+        self.slab[i].prev = NONE;
+        self.slab[i].next = NONE;
+    }
+
+    fn push_front(&mut self, i: usize) {
+        self.slab[i].prev = NONE;
+        self.slab[i].next = self.head;
+        if self.head != NONE {
+            self.slab[self.head].prev = i;
+        }
+        self.head = i;
+        if self.tail == NONE {
+            self.tail = i;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Collects keys from most- to least-recently-used by walking the list.
+    fn order<V>(c: &LruCache<V>) -> Vec<u64> {
+        let mut out = Vec::new();
+        let mut i = c.head;
+        while i != NONE {
+            out.push(c.slab[i].key);
+            i = c.slab[i].next;
+        }
+        out
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c = LruCache::new(3);
+        c.insert(1, "a");
+        c.insert(2, "b");
+        c.insert(3, "c");
+        assert_eq!(c.get(1), Some(&"a")); // 1 promoted; 2 is now LRU
+        c.insert(4, "d");
+        assert_eq!(c.get(2), None, "2 was evicted");
+        assert_eq!(c.get(1), Some(&"a"));
+        assert_eq!(c.get(3), Some(&"c"));
+        assert_eq!(c.get(4), Some(&"d"));
+        assert_eq!(order(&c), vec![4, 3, 1]);
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn counts_hits_and_misses() {
+        let mut c = LruCache::new(2);
+        assert_eq!(c.get(7), None);
+        c.insert(7, 70);
+        assert_eq!(c.get(7), Some(&70));
+        assert_eq!(c.get(8), None);
+        assert_eq!((c.hits(), c.misses()), (1, 2));
+    }
+
+    #[test]
+    fn replacing_a_key_promotes_it() {
+        let mut c = LruCache::new(2);
+        c.insert(1, "a");
+        c.insert(2, "b");
+        c.insert(1, "a2"); // replace -> 2 becomes LRU
+        c.insert(3, "c");
+        assert_eq!(c.get(2), None);
+        assert_eq!(c.get(1), Some(&"a2"));
+        assert_eq!(c.get(3), Some(&"c"));
+    }
+
+    #[test]
+    fn zero_capacity_never_stores() {
+        let mut c = LruCache::new(0);
+        c.insert(1, "a");
+        assert_eq!(c.get(1), None);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn slots_are_reused_after_eviction() {
+        let mut c = LruCache::new(2);
+        for k in 0..100u64 {
+            c.insert(k, k);
+        }
+        assert_eq!(c.len(), 2);
+        assert!(c.slab.len() <= 3, "slab must not grow unbounded");
+        assert_eq!(order(&c), vec![99, 98]);
+    }
+}

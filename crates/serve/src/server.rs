@@ -1,0 +1,368 @@
+//! The TCP front end: accept loop, worker pool, routing, and shutdown.
+//!
+//! One thread accepts connections and feeds a condvar-guarded queue; a
+//! pool of workers (sized by `HAP_THREADS` via `hap_par::threads()` by
+//! default) pops connections, parses requests with [`crate::http`], and
+//! exchanges jobs with the single model thread through the
+//! [`crate::batch::Batcher`]. Every request handler runs under
+//! `catch_unwind`, so a panic answers 500 and the worker lives on —
+//! untrusted bytes must never take down the pool.
+
+use crate::batch::{Batcher, BatcherClient, CacheStats, Job};
+use crate::http::{read_request, write_response, HttpError, Method, Request};
+use crate::json::{num, Json};
+use crate::service::{graph_from_json, ServiceConfig};
+use hap_snapshot::{ModelSnapshot, SnapshotError};
+use std::collections::VecDeque;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Server tunables. `Default` is suitable for tests and local use:
+/// ephemeral loopback port, auto-sized workers, 1 ms batch window,
+/// 1 MiB body cap.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Bind address (`127.0.0.1:0` picks an ephemeral port).
+    pub addr: String,
+    /// Worker thread count; `0` means `hap_par::threads()`.
+    pub workers: usize,
+    /// Micro-batch collection window.
+    pub window: Duration,
+    /// Maximum jobs per micro-batch.
+    pub max_batch: usize,
+    /// Maximum accepted request body, in bytes.
+    pub max_body: usize,
+    /// Model-side tunables (cache capacity, WL rounds, similarity scale).
+    pub service: ServiceConfig,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 0,
+            window: Duration::from_millis(1),
+            max_batch: 64,
+            max_body: 1 << 20,
+            service: ServiceConfig::default(),
+        }
+    }
+}
+
+/// Why the server failed to start.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The snapshot could not rebuild a classifier.
+    Snapshot(SnapshotError),
+    /// Bind or listener configuration failed.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Snapshot(e) => write!(f, "snapshot error: {e}"),
+            ServeError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<SnapshotError> for ServeError {
+    fn from(e: SnapshotError) -> Self {
+        ServeError::Snapshot(e)
+    }
+}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
+/// Shared state between the accept loop and the workers.
+struct Shared {
+    queue: Mutex<VecDeque<TcpStream>>,
+    ready: Condvar,
+    shutdown: AtomicBool,
+}
+
+/// A running server. Dropping the handle (or calling
+/// [`ServerHandle::shutdown`]) stops the accept loop, drains the
+/// workers, and joins the model thread.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    batcher: Option<Batcher>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves the ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, finishes queued connections, joins all threads.
+    pub fn shutdown(self) {
+        drop(self);
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // Wake the accept loop out of its blocking accept().
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        self.shared.ready.notify_all();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+        // Workers (and their BatcherClients) are gone; this join is the
+        // model thread seeing the channel disconnect.
+        if let Some(b) = self.batcher.take() {
+            b.shutdown();
+        }
+    }
+}
+
+/// Builds the full stack — model thread, listener, accept loop, worker
+/// pool — and returns once the socket is bound and serving.
+///
+/// # Errors
+/// [`ServeError::Snapshot`] for an unusable snapshot,
+/// [`ServeError::Io`] when the bind fails.
+pub fn serve(snapshot: ModelSnapshot, config: ServeConfig) -> Result<ServerHandle, ServeError> {
+    let listener = TcpListener::bind(&config.addr)?;
+    let addr = listener.local_addr()?;
+    let batcher = Batcher::spawn(
+        snapshot,
+        config.service.clone(),
+        config.window,
+        config.max_batch,
+    )?;
+    let stats = batcher.stats();
+    let shared = Arc::new(Shared {
+        queue: Mutex::new(VecDeque::new()),
+        ready: Condvar::new(),
+        shutdown: AtomicBool::new(false),
+    });
+
+    let accept = {
+        let shared = Arc::clone(&shared);
+        std::thread::Builder::new()
+            .name("hap-serve-accept".into())
+            .spawn(move || {
+                for conn in listener.incoming() {
+                    if shared.shutdown.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    if let Ok(stream) = conn {
+                        shared.queue.lock().expect("queue lock").push_back(stream);
+                        shared.ready.notify_one();
+                    }
+                }
+            })
+            .expect("spawn accept thread")
+    };
+
+    let worker_count = if config.workers == 0 {
+        hap_par::threads().max(1)
+    } else {
+        config.workers
+    };
+    let mut workers = Vec::with_capacity(worker_count);
+    for w in 0..worker_count {
+        let shared = Arc::clone(&shared);
+        let client = batcher.client();
+        let stats = Arc::clone(&stats);
+        let max_body = config.max_body;
+        workers.push(
+            std::thread::Builder::new()
+                .name(format!("hap-serve-worker-{w}"))
+                .spawn(move || worker_loop(&shared, &client, &stats, max_body))
+                .expect("spawn worker thread"),
+        );
+    }
+
+    Ok(ServerHandle {
+        addr,
+        shared,
+        accept: Some(accept),
+        workers,
+        batcher: Some(batcher),
+    })
+}
+
+fn worker_loop(shared: &Shared, client: &BatcherClient, stats: &CacheStats, max_body: usize) {
+    loop {
+        let stream = {
+            let mut q = shared.queue.lock().expect("queue lock");
+            loop {
+                if let Some(s) = q.pop_front() {
+                    break s;
+                }
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                q = shared.ready.wait(q).expect("queue lock");
+            }
+        };
+        let mut stream = stream;
+        // A panic inside request handling answers 500 and keeps the
+        // worker alive; the connection state is unwind-safe because it
+        // is dropped right after either way.
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            handle_connection(&mut stream, client, stats, max_body)
+        }));
+        if result.is_err() {
+            hap_obs::inc("serve.panics");
+            let _ = write_response(
+                &mut stream,
+                500,
+                "Internal Server Error",
+                "{\"error\":\"internal error\"}",
+            );
+        }
+    }
+}
+
+fn handle_connection(
+    stream: &mut TcpStream,
+    client: &BatcherClient,
+    stats: &CacheStats,
+    max_body: usize,
+) {
+    let start = Instant::now();
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    let _ = stream.set_nodelay(true); // small JSON bodies; don't wait on Nagle
+    let request = match read_request(stream, max_body) {
+        Ok(r) => r,
+        Err(HttpError::BadRequest(msg)) => {
+            hap_obs::inc("serve.http.400");
+            let body = format!("{{\"error\":\"{}\"}}", crate::json::escape(&msg));
+            let _ = write_response(stream, 400, "Bad Request", &body);
+            return;
+        }
+        Err(HttpError::PayloadTooLarge(n)) => {
+            hap_obs::inc("serve.http.413");
+            let body = format!("{{\"error\":\"body of {n} bytes exceeds the limit\"}}");
+            let _ = write_response(stream, 413, "Payload Too Large", &body);
+            return;
+        }
+        Err(HttpError::Io(_)) => return, // client went away; nothing to answer
+    };
+    let (status, reason, body) = route(&request, client, stats);
+    hap_obs::inc(match status {
+        200 => "serve.http.200",
+        400 => "serve.http.400",
+        404 => "serve.http.404",
+        405 => "serve.http.405",
+        _ => "serve.http.other",
+    });
+    let _ = write_response(stream, status, reason, &body);
+    hap_obs::record("serve.latency_ns", start.elapsed().as_nanos() as f64);
+}
+
+/// Routes one parsed request; returns `(status, reason, body)`.
+fn route(
+    request: &Request,
+    client: &BatcherClient,
+    stats: &CacheStats,
+) -> (u16, &'static str, String) {
+    match (request.method, request.path.as_str()) {
+        (Method::Get, "/healthz") => (200, "OK", "{\"status\":\"ok\"}".to_string()),
+        (Method::Get, "/metrics") => (200, "OK", metrics_body(stats)),
+        (Method::Post, "/classify") => match parse_classify(&request.body) {
+            Ok(job) => dispatch(client, job),
+            Err(msg) => bad_request(&msg),
+        },
+        (Method::Post, "/similarity") => match parse_similarity(&request.body) {
+            Ok(job) => dispatch(client, job),
+            Err(msg) => bad_request(&msg),
+        },
+        (_, "/healthz" | "/metrics" | "/classify" | "/similarity") => (
+            405,
+            "Method Not Allowed",
+            "{\"error\":\"method not allowed\"}".to_string(),
+        ),
+        _ => (
+            404,
+            "Not Found",
+            "{\"error\":\"no such route\"}".to_string(),
+        ),
+    }
+}
+
+fn bad_request(msg: &str) -> (u16, &'static str, String) {
+    (
+        400,
+        "Bad Request",
+        format!("{{\"error\":\"{}\"}}", crate::json::escape(msg)),
+    )
+}
+
+fn dispatch(client: &BatcherClient, job: Job) -> (u16, &'static str, String) {
+    match client.submit(job) {
+        Some(Ok(body)) => (200, "OK", body),
+        Some(Err(msg)) => bad_request(&msg),
+        None => (
+            500,
+            "Internal Server Error",
+            "{\"error\":\"model thread unavailable\"}".to_string(),
+        ),
+    }
+}
+
+fn parse_body(body: &[u8]) -> Result<Json, String> {
+    let text = std::str::from_utf8(body).map_err(|_| "body is not UTF-8".to_string())?;
+    Json::parse(text).map_err(|e| e.to_string())
+}
+
+fn parse_classify(body: &[u8]) -> Result<Job, String> {
+    let v = parse_body(body)?;
+    // Accept either a bare graph object or {"graph": {...}}.
+    let g = match v.get("graph") {
+        Some(inner) => graph_from_json(inner)?,
+        None => graph_from_json(&v)?,
+    };
+    Ok(Job::Classify(g))
+}
+
+fn parse_similarity(body: &[u8]) -> Result<Job, String> {
+    let v = parse_body(body)?;
+    let a = v.get("a").ok_or("missing \"a\" graph")?;
+    let b = v.get("b").ok_or("missing \"b\" graph")?;
+    Ok(Job::Similarity(graph_from_json(a)?, graph_from_json(b)?))
+}
+
+/// `/metrics`: cache stats from the shared atomics, latency quantiles
+/// from the `hap-obs` histogram (null until the first request or when
+/// observability is off), and the full `hap-obs` registry dump.
+fn metrics_body(stats: &CacheStats) -> String {
+    let hits = stats.hits.load(Ordering::Relaxed);
+    let misses = stats.misses.load(Ordering::Relaxed);
+    let total = hits + misses;
+    let hit_rate = if total == 0 {
+        "null".to_string()
+    } else {
+        num(hits as f64 / total as f64)
+    };
+    let (p50, p99) = match hap_obs::histogram("serve.latency_ns") {
+        Some(h) => (num(h.quantile(0.5)), num(h.quantile(0.99))),
+        None => ("null".to_string(), "null".to_string()),
+    };
+    format!(
+        "{{\"cache\":{{\"hits\":{hits},\"misses\":{misses},\"hit_rate\":{hit_rate}}},\"latency\":{{\"p50_ns\":{p50},\"p99_ns\":{p99}}},\"obs\":{}}}",
+        hap_obs::to_json()
+    )
+}

@@ -1,0 +1,373 @@
+//! The model-facing half of the server: request schema → [`Graph`],
+//! embedding with the WL-keyed LRU cache in front, and the two
+//! inference operations (`classify`, `similarity`).
+//!
+//! ## Why caching embeddings is sound
+//!
+//! At eval time (`PoolCtx { training: false, .. }`) a HAP forward pass
+//! consumes no RNG draws and is a pure function of the graph (verified by
+//! `eval_pass_is_deterministic_training_pass_is_not` in hap-pooling), and
+//! the hierarchy embedding is permutation-invariant. `wl_cache_key` is
+//! likewise permutation-invariant and sensitive to edges, labels and node
+//! count, so key equality implies embedding equality *up to 1-WL
+//! resolution* — the documented approximation (see `hap_graph::wl`): pairs
+//! of non-isomorphic regular graphs that 1-WL cannot separate share a
+//! cache entry. For molecule/social-scale inputs this is the standard
+//! trade made by WL-hash dedup in graph ML pipelines.
+
+use crate::cache::LruCache;
+use crate::json::Json;
+use hap_core::{HapClassifier, HapError};
+use hap_graph::{degree_one_hot, label_one_hot, wl_cache_key, Graph};
+use hap_pooling::PoolCtx;
+use hap_rand::Rng;
+use hap_tensor::Tensor;
+
+/// Hard cap on `n` accepted over the wire — dense `N×N` adjacency means
+/// a large `n` in a tiny payload would allocate quadratic memory.
+pub const MAX_GRAPH_NODES: usize = 512;
+
+/// Hard cap on the edge list length (larger than `MAX_GRAPH_NODES²/2`
+/// never adds information on a simple graph).
+pub const MAX_GRAPH_EDGES: usize = MAX_GRAPH_NODES * MAX_GRAPH_NODES / 2;
+
+/// Tunables for [`ModelService`].
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// LRU capacity of the embedding cache, in entries (0 disables).
+    pub cache_capacity: usize,
+    /// WL refinement rounds used for cache keys.
+    pub wl_iterations: usize,
+    /// Scale `s` in the similarity kernel `exp(-s · d)`.
+    pub similarity_scale: f64,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            cache_capacity: 1024,
+            wl_iterations: 3,
+            similarity_scale: 0.5,
+        }
+    }
+}
+
+/// Result of `POST /classify`.
+#[derive(Clone, Debug)]
+pub struct Classification {
+    /// Arg-max class index.
+    pub label: usize,
+    /// Raw logits, one per class.
+    pub logits: Vec<f64>,
+}
+
+/// Result of `POST /similarity`.
+#[derive(Clone, Debug)]
+pub struct Similarity {
+    /// Per-pooling-level similarity `exp(-s·‖eₐ - e_b‖)` in `(0, 1]`.
+    pub per_level: Vec<f64>,
+    /// Mean of `per_level` — the scalar score.
+    pub mean: f64,
+}
+
+/// A loaded classifier plus its embedding cache. Single-threaded by
+/// construction (`HapClassifier` holds `Rc` parameters); the batcher
+/// thread owns the only instance.
+pub struct ModelService {
+    clf: HapClassifier,
+    in_dim: usize,
+    levels: usize,
+    hidden: usize,
+    cfg: ServiceConfig,
+    cache: LruCache<Tensor>,
+}
+
+impl ModelService {
+    /// Wraps a rebuilt classifier. `in_dim`/`hidden`/`levels` come from
+    /// the snapshot's `HapConfig`.
+    pub fn new(
+        clf: HapClassifier,
+        in_dim: usize,
+        hidden: usize,
+        levels: usize,
+        cfg: ServiceConfig,
+    ) -> Self {
+        let cache = LruCache::new(cfg.cache_capacity);
+        ModelService {
+            clf,
+            in_dim,
+            levels,
+            hidden,
+            cfg,
+            cache,
+        }
+    }
+
+    /// Input feature dimension expected by the loaded model.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Cache hits since startup.
+    pub fn cache_hits(&self) -> u64 {
+        self.cache.hits()
+    }
+
+    /// Cache misses since startup.
+    pub fn cache_misses(&self) -> u64 {
+        self.cache.misses()
+    }
+
+    /// The hierarchy embedding for `g` (a `1 × levels·hidden` row),
+    /// served from the WL-keyed cache when possible.
+    ///
+    /// # Errors
+    /// [`HapError`] from the forward pass (empty graph, feature shape).
+    pub fn embedding(&mut self, g: &Graph) -> Result<Tensor, HapError> {
+        let key = wl_cache_key(g, self.cfg.wl_iterations);
+        if let Some(e) = self.cache.get(key) {
+            hap_obs::inc("serve.cache.hit");
+            return Ok(e.clone());
+        }
+        hap_obs::inc("serve.cache.miss");
+        let features = if g.node_labels().is_some() {
+            label_one_hot(g, self.in_dim)
+        } else {
+            degree_one_hot(g, self.in_dim)
+        };
+        // Eval passes draw nothing from the RNG; a fresh fixed-seed RNG
+        // keeps the signature satisfied without threading server state.
+        let mut rng = Rng::from_seed(0);
+        let mut ctx = PoolCtx {
+            training: false,
+            rng: &mut rng,
+        };
+        let e = self.clf.try_embedding(g, &features, &mut ctx)?;
+        self.cache.insert(key, e.clone());
+        Ok(e)
+    }
+
+    /// Classifies one graph.
+    ///
+    /// # Errors
+    /// [`HapError`] from the forward pass.
+    pub fn classify(&mut self, g: &Graph) -> Result<Classification, HapError> {
+        let e = self.embedding(g)?;
+        let logits = self.clf.logits_from_embedding(&e);
+        let label = self.clf.predict_from_embedding(&e);
+        Ok(Classification {
+            label,
+            logits: logits.as_slice().to_vec(),
+        })
+    }
+
+    /// Scores a pair of graphs by per-level euclidean distance between
+    /// their hierarchy embeddings, mapped through `exp(-s·d)`.
+    ///
+    /// # Errors
+    /// [`HapError`] from either forward pass.
+    pub fn similarity(&mut self, a: &Graph, b: &Graph) -> Result<Similarity, HapError> {
+        let ea = self.embedding(a)?;
+        let eb = self.embedding(b)?;
+        let (sa, sb) = (ea.as_slice(), eb.as_slice());
+        debug_assert_eq!(sa.len(), self.levels * self.hidden);
+        let mut per_level = Vec::with_capacity(self.levels);
+        for l in 0..self.levels {
+            let lo = l * self.hidden;
+            let hi = lo + self.hidden;
+            let d2: f64 = sa[lo..hi]
+                .iter()
+                .zip(&sb[lo..hi])
+                .map(|(x, y)| (x - y) * (x - y))
+                .sum();
+            per_level.push((-self.cfg.similarity_scale * d2.sqrt()).exp());
+        }
+        let mean = per_level.iter().sum::<f64>() / per_level.len() as f64;
+        Ok(Similarity { per_level, mean })
+    }
+
+    /// Number of output classes of the loaded head.
+    pub fn classes(&self) -> usize {
+        self.clf.classes()
+    }
+}
+
+/// Decodes the wire graph schema:
+///
+/// ```json
+/// {"n": 4, "edges": [[0,1],[1,2],[2,3]], "labels": [0,1,1,0]}
+/// ```
+///
+/// `n` is required; `edges` defaults to empty; `labels` (one small
+/// non-negative integer per node) is optional — labelled graphs get
+/// label one-hot features, unlabelled ones degree one-hots, both at the
+/// snapshot's input dimension (labels are capped into range like degrees
+/// are).
+///
+/// # Errors
+/// A human-readable message for any schema violation (the caller maps it
+/// to a 400).
+pub fn graph_from_json(v: &Json) -> Result<Graph, String> {
+    let n = v
+        .get("n")
+        .and_then(Json::as_usize)
+        .ok_or("missing or invalid \"n\" (non-negative integer required)")?;
+    if n > MAX_GRAPH_NODES {
+        return Err(format!(
+            "n = {n} exceeds the limit of {MAX_GRAPH_NODES} nodes"
+        ));
+    }
+    let mut g = Graph::empty(n);
+    if let Some(edges) = v.get("edges") {
+        let edges = edges.as_array().ok_or("\"edges\" must be an array")?;
+        if edges.len() > MAX_GRAPH_EDGES {
+            return Err(format!(
+                "edge list length {} exceeds the limit of {MAX_GRAPH_EDGES}",
+                edges.len()
+            ));
+        }
+        for (i, e) in edges.iter().enumerate() {
+            let pair = e
+                .as_array()
+                .filter(|p| p.len() == 2)
+                .ok_or_else(|| format!("edge {i} must be a two-element array [u, v]"))?;
+            let u = pair[0]
+                .as_usize()
+                .ok_or_else(|| format!("edge {i}: endpoints must be non-negative integers"))?;
+            let w = pair[1]
+                .as_usize()
+                .ok_or_else(|| format!("edge {i}: endpoints must be non-negative integers"))?;
+            if u >= n || w >= n {
+                return Err(format!("edge {i} = [{u}, {w}] out of range for n = {n}"));
+            }
+            if u == w {
+                return Err(format!("edge {i} is a self-loop ([{u}, {w}])"));
+            }
+            g.add_edge(u, w);
+        }
+    }
+    if let Some(labels) = v.get("labels") {
+        let labels = labels.as_array().ok_or("\"labels\" must be an array")?;
+        if labels.len() != n {
+            return Err(format!(
+                "\"labels\" has {} entries but n = {n}",
+                labels.len()
+            ));
+        }
+        let parsed: Vec<usize> = labels
+            .iter()
+            .map(|l| {
+                l.as_usize()
+                    .filter(|&l| l < MAX_GRAPH_NODES)
+                    .ok_or("labels must be small non-negative integers")
+            })
+            .collect::<Result<_, _>>()?;
+        g = g.with_node_labels(parsed);
+    }
+    Ok(g)
+}
+
+/// Caps out-of-range node labels so `label_one_hot` (which panics on
+/// `label >= dim`) is total over wire input. Applied by the batcher
+/// before embedding.
+pub fn clamp_labels(g: &mut Graph, dim: usize) {
+    if let Some(labels) = g.node_labels() {
+        if labels.iter().any(|&l| l >= dim) {
+            let capped: Vec<usize> = labels.iter().map(|&l| l.min(dim - 1)).collect();
+            *g = std::mem::replace(g, Graph::empty(0)).with_node_labels(capped);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hap_autograd::ParamStore;
+    use hap_core::{HapConfig, HapModel};
+
+    fn tiny_service() -> ModelService {
+        let mut rng = Rng::from_seed(3);
+        let mut store = ParamStore::new();
+        let cfg = HapConfig::new(4, 4).with_clusters(&[2]);
+        let model = HapModel::new(&mut store, &cfg, &mut rng);
+        let clf = HapClassifier::new(&mut store, model, 2, &mut rng);
+        ModelService::new(clf, 4, 4, 1, ServiceConfig::default())
+    }
+
+    #[test]
+    fn graph_schema_roundtrip() {
+        let v = Json::parse(r#"{"n": 3, "edges": [[0,1],[1,2]], "labels": [1,0,1]}"#).unwrap();
+        let g = graph_from_json(&v).unwrap();
+        assert_eq!(g.n(), 3);
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.node_labels(), Some(&[1usize, 0, 1][..]));
+    }
+
+    #[test]
+    fn graph_schema_rejections() {
+        for (doc, why) in [
+            (r#"{}"#, "missing n"),
+            (r#"{"n": -1}"#, "negative n"),
+            (r#"{"n": 100000}"#, "n over cap"),
+            (r#"{"n": 2, "edges": [[0,5]]}"#, "endpoint out of range"),
+            (r#"{"n": 2, "edges": [[0]]}"#, "not a pair"),
+            (r#"{"n": 2, "edges": [[1,1]]}"#, "self-loop"),
+            (r#"{"n": 2, "edges": 7}"#, "edges not an array"),
+            (r#"{"n": 2, "labels": [0]}"#, "label count mismatch"),
+            (r#"{"n": 1, "labels": [-3]}"#, "negative label"),
+        ] {
+            let v = Json::parse(doc).unwrap();
+            assert!(graph_from_json(&v).is_err(), "{why}: {doc}");
+        }
+    }
+
+    #[test]
+    fn classify_hits_the_cache_on_isomorphic_graphs() {
+        let mut svc = tiny_service();
+        let g1 = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        // Same path graph under a node relabelling.
+        let g2 = Graph::from_edges(4, &[(3, 2), (2, 0), (0, 1)]);
+        let a = svc.classify(&g1).unwrap();
+        let b = svc.classify(&g2).unwrap();
+        assert_eq!(svc.cache_hits(), 1, "isomorphic graph must hit");
+        assert_eq!(svc.cache_misses(), 1);
+        assert_eq!(a.label, b.label);
+        assert_eq!(a.logits, b.logits, "cached path must be bit-identical");
+    }
+
+    #[test]
+    fn similarity_is_one_on_self_and_falls_off() {
+        let mut svc = tiny_service();
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let h = Graph::from_edges(4, &[(0, 1), (0, 2), (0, 3)]);
+        let s_self = svc.similarity(&g, &g).unwrap();
+        assert!(
+            (s_self.mean - 1.0).abs() < 1e-12,
+            "self-similarity is exp(0)"
+        );
+        assert_eq!(s_self.per_level.len(), 1, "one readout per coarsener");
+        let s_other = svc.similarity(&g, &h).unwrap();
+        assert!(s_other.mean < s_self.mean);
+        assert!(s_other.mean > 0.0);
+    }
+
+    #[test]
+    fn empty_graph_is_a_typed_error_and_n1_works() {
+        let mut svc = tiny_service();
+        assert!(matches!(
+            svc.classify(&Graph::empty(0)),
+            Err(HapError::EmptyGraph)
+        ));
+        let c = svc.classify(&Graph::empty(1)).unwrap();
+        assert!(c.label < 2);
+        assert_eq!(c.logits.len(), 2);
+    }
+
+    #[test]
+    fn clamp_labels_makes_wire_labels_total() {
+        let mut g = Graph::empty(2).with_node_labels(vec![0, 99]);
+        clamp_labels(&mut g, 4);
+        assert_eq!(g.node_labels(), Some(&[0usize, 3][..]));
+        assert_eq!(g.n(), 2, "graph structure preserved");
+    }
+}

@@ -1,0 +1,180 @@
+//! End-to-end tests over a real TCP socket: a tiny untrained snapshot is
+//! served on an ephemeral port and exercised by raw `TcpStream` clients,
+//! including the hostile inputs (malformed request lines, oversized
+//! bodies, empty graphs) that must map to 4xx without killing a worker.
+
+use hap_autograd::ParamStore;
+use hap_core::{HapClassifier, HapConfig, HapModel};
+use hap_rand::Rng;
+use hap_serve::{serve, ServeConfig, ServerHandle};
+use hap_snapshot::ModelSnapshot;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+fn tiny_snapshot() -> ModelSnapshot {
+    let mut rng = Rng::from_seed(3);
+    let mut store = ParamStore::new();
+    let cfg = HapConfig::new(4, 4).with_clusters(&[2]);
+    let model = HapModel::new(&mut store, &cfg, &mut rng);
+    let _clf = HapClassifier::new(&mut store, model, 2, &mut rng);
+    ModelSnapshot::capture(&cfg, 2, &store)
+}
+
+fn start() -> ServerHandle {
+    serve(
+        tiny_snapshot(),
+        ServeConfig {
+            workers: 2,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("server starts")
+}
+
+/// Sends raw bytes, returns (status line, body).
+fn raw(handle: &ServerHandle, bytes: &[u8]) -> (String, String) {
+    let mut s = TcpStream::connect(handle.addr()).expect("connect");
+    s.write_all(bytes).expect("write");
+    let mut response = String::new();
+    s.read_to_string(&mut response).expect("read");
+    let status = response.lines().next().unwrap_or("").to_string();
+    let body = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+fn request(handle: &ServerHandle, method: &str, path: &str, body: &str) -> (String, String) {
+    let raw_bytes = format!(
+        "{method} {path} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    raw(handle, raw_bytes.as_bytes())
+}
+
+#[test]
+fn healthz_and_unknown_routes() {
+    let h = start();
+    let (status, body) = request(&h, "GET", "/healthz", "");
+    assert_eq!(status, "HTTP/1.1 200 OK");
+    assert_eq!(body, "{\"status\":\"ok\"}");
+
+    let (status, _) = request(&h, "GET", "/nope", "");
+    assert!(status.contains("404"), "{status}");
+
+    let (status, _) = request(&h, "DELETE", "/classify", "");
+    assert!(status.contains("405"), "{status}");
+
+    let (status, _) = request(&h, "GET", "/classify", "");
+    assert!(status.contains("405"), "GET on a POST route: {status}");
+    h.shutdown();
+}
+
+#[test]
+fn classify_roundtrip_is_deterministic() {
+    let h = start();
+    let payload = r#"{"n": 4, "edges": [[0,1],[1,2],[2,3]]}"#;
+    let (status, body1) = request(&h, "POST", "/classify", payload);
+    assert_eq!(status, "HTTP/1.1 200 OK", "{body1}");
+    assert!(body1.starts_with("{\"label\":"), "{body1}");
+    let (_, body2) = request(&h, "POST", "/classify", payload);
+    assert_eq!(body1, body2, "same payload must answer byte-identically");
+
+    // The {"graph": ...} envelope is accepted too.
+    let wrapped = format!("{{\"graph\": {payload}}}");
+    let (_, body3) = request(&h, "POST", "/classify", &wrapped);
+    assert_eq!(body1, body3);
+    h.shutdown();
+}
+
+#[test]
+fn similarity_of_a_graph_with_itself_is_one() {
+    let h = start();
+    let payload = r#"{"a": {"n": 4, "edges": [[0,1],[1,2],[2,3]]},
+                      "b": {"n": 4, "edges": [[0,1],[1,2],[2,3]]}}"#;
+    let (status, body) = request(&h, "POST", "/similarity", payload);
+    assert_eq!(status, "HTTP/1.1 200 OK", "{body}");
+    assert!(body.starts_with("{\"mean\":1.0"), "{body}");
+
+    let (status, body) = request(&h, "POST", "/similarity", r#"{"a": {"n": 2}}"#);
+    assert!(status.contains("400"), "missing b: {status} {body}");
+    h.shutdown();
+}
+
+#[test]
+fn hostile_inputs_get_4xx_and_workers_survive() {
+    let h = start();
+    // Malformed request line.
+    let (status, _) = raw(&h, b"GARBAGE NONSENSE\r\n\r\n");
+    assert!(status.contains("400"), "{status}");
+
+    // Declared body over the 1 MiB cap: 413 without reading the body.
+    let (status, _) = raw(
+        &h,
+        b"POST /classify HTTP/1.1\r\nContent-Length: 99999999\r\n\r\n",
+    );
+    assert!(status.contains("413"), "{status}");
+
+    // Unparseable JSON.
+    let (status, _) = request(&h, "POST", "/classify", "{not json");
+    assert!(status.contains("400"), "{status}");
+
+    // Schema violations: n missing, edge out of range, empty graph.
+    for bad in [
+        r#"{"edges": []}"#,
+        r#"{"n": 3, "edges": [[0, 7]]}"#,
+        r#"{"n": 0}"#,
+    ] {
+        let (status, body) = request(&h, "POST", "/classify", bad);
+        assert!(status.contains("400"), "{bad}: {status}");
+        assert!(body.contains("error"), "{bad}: {body}");
+    }
+
+    // After all of the above, the pool still answers correctly —
+    // including the n=1 edge case (zero-padded pooling path).
+    let (status, body) = request(&h, "POST", "/classify", r#"{"n": 1}"#);
+    assert_eq!(status, "HTTP/1.1 200 OK", "{body}");
+    assert!(body.starts_with("{\"label\":"), "{body}");
+    h.shutdown();
+}
+
+#[test]
+fn metrics_reports_cache_and_latency() {
+    let h = start();
+    let payload = r#"{"n": 5, "edges": [[0,1],[1,2],[2,3],[3,4]]}"#;
+    let (_, _) = request(&h, "POST", "/classify", payload);
+    let (_, _) = request(&h, "POST", "/classify", payload);
+    let (status, body) = request(&h, "GET", "/metrics", "");
+    assert_eq!(status, "HTTP/1.1 200 OK");
+    let v = hap_serve::Json::parse(&body).expect("metrics body must be valid JSON");
+    let cache = v.get("cache").expect("cache section");
+    let hits = cache.get("hits").and_then(|x| x.as_f64()).unwrap();
+    let misses = cache.get("misses").and_then(|x| x.as_f64()).unwrap();
+    assert!(hits >= 1.0, "second identical request must hit: {body}");
+    assert!(misses >= 1.0);
+    assert!(v.get("latency").is_some());
+    h.shutdown();
+}
+
+#[test]
+fn labelled_graphs_classify_and_out_of_range_labels_are_total() {
+    let h = start();
+    let (status, body) = request(
+        &h,
+        "POST",
+        "/classify",
+        r#"{"n": 3, "edges": [[0,1],[1,2]], "labels": [0, 1, 3]}"#,
+    );
+    assert_eq!(status, "HTTP/1.1 200 OK", "{body}");
+    // Label 99 is out of the model's 4-dim feature range; clamping keeps
+    // the request servable rather than panicking a worker.
+    let (status, body) = request(
+        &h,
+        "POST",
+        "/classify",
+        r#"{"n": 2, "edges": [[0,1]], "labels": [0, 99]}"#,
+    );
+    assert_eq!(status, "HTTP/1.1 200 OK", "{body}");
+    h.shutdown();
+}

@@ -12,7 +12,9 @@
 //! all train through the same code path.
 
 mod metrics;
+mod snapshot;
 mod trainer;
 
 pub use metrics::accuracy;
+pub use snapshot::export_snapshot;
 pub use trainer::{train, train_with_rng, EvalFn, LossFn, TrainConfig, TrainReport};

@@ -45,3 +45,12 @@ cargo run --release --offline -p hap-bench --features count-allocs \
 
 cargo run --release --offline -p hap-bench --bin bench_check -- \
     "$baseline" "$current" "${threshold[@]}"
+
+# Serving throughput gate: replay the committed deterministic traffic
+# against the committed snapshot and fail on a QPS collapse versus the
+# committed results/loadgen.json baseline (same host caveat as above;
+# the generous 60% floor absorbs normal scheduler noise).
+loadgen_out=$(mktemp /tmp/loadgen.XXXXXX.json)
+trap 'rm -f "$current" "$loadgen_out"' EXIT
+cargo run --release --offline -p hap-bench --bin loadgen -- \
+    --baseline results/loadgen.json --threshold 60 --out "$loadgen_out"

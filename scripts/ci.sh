@@ -55,3 +55,29 @@ python3 -c "import json,sys; json.load(open(sys.argv[1]))" \
   "$METRICS_TMP/metrics.json" 2>/dev/null \
   || grep -q '"nonfinite_total"' "$METRICS_TMP/metrics.json"
 rm -rf "$METRICS_TMP"
+
+# Serving smoke test: the committed snapshot must serve on an ephemeral
+# port, answer /healthz, /classify and /metrics, and shut down cleanly.
+# Replayed traffic must be byte-identical across runs and thread counts
+# (the response_hash in loadgen.json is an FNV over every response body
+# in request order), and the committed snapshot must replay 1000 requests
+# with zero errors.
+SERVE_TMP="$(mktemp -d)"
+HAP_THREADS=1 cargo run --release --offline -q -p hap-bench --bin loadgen -- \
+  --requests 200 --out "$SERVE_TMP/a.json"
+HAP_THREADS=1 cargo run --release --offline -q -p hap-bench --bin loadgen -- \
+  --requests 200 --out "$SERVE_TMP/b.json"
+env -u HAP_THREADS cargo run --release --offline -q -p hap-bench --bin loadgen -- \
+  --requests 200 --clients 7 --out "$SERVE_TMP/c.json"
+hash_a=$(grep -o '"response_hash": "[0-9a-f]*"' "$SERVE_TMP/a.json")
+hash_b=$(grep -o '"response_hash": "[0-9a-f]*"' "$SERVE_TMP/b.json")
+hash_c=$(grep -o '"response_hash": "[0-9a-f]*"' "$SERVE_TMP/c.json")
+[ -n "$hash_a" ] && [ "$hash_a" = "$hash_b" ] && [ "$hash_a" = "$hash_c" ] || {
+  echo "serve responses are not deterministic: $hash_a / $hash_b / $hash_c" >&2
+  exit 1
+}
+grep -q '"errors": 0,' "$SERVE_TMP/a.json" || {
+  echo "serve smoke run had request errors" >&2
+  exit 1
+}
+rm -rf "$SERVE_TMP"
