@@ -6,6 +6,8 @@
 //! unit-testable one by one and keeps node construction allocation-light.
 
 use crate::param::Param;
+use hap_tensor::CsrMatrix;
+use std::sync::Arc;
 
 /// How a tape node's value was computed from its parents.
 ///
@@ -97,6 +99,25 @@ pub enum Op {
     ColMaxes(Vec<usize>),
     /// Row sums `N×F → N×1`. Gradient: broadcast `G` to every column.
     RowSums,
+    /// Sparse propagation `C = S · H` where `S` is a **symmetric** CSR
+    /// matrix held by the op (not a tape node — propagation structure is
+    /// never trained) and `H` is the differentiable parent. Gradient:
+    /// `dH = Sᵀ·G = S·G` by symmetry, computed with the same SpMM kernel
+    /// — byte-identical to the dense `matmul` path's `matmul_tn`
+    /// backward, which skips the same zeros in the same order.
+    Spmm(Arc<CsrMatrix>),
+    /// Per-segment column sums `N×F → B×F` over the contiguous row
+    /// segments described by the offsets vector (see
+    /// `hap_tensor::validate_segments`). Gradient: broadcast segment `b`'s
+    /// gradient row to every row of segment `b`.
+    SegmentSums(Arc<Vec<usize>>),
+    /// Per-segment column means `N×F → B×F`. Gradient: broadcast
+    /// `G[b]/len(b)` to every row of segment `b`.
+    SegmentMeans(Arc<Vec<usize>>),
+    /// Per-column softmax within each row segment (`N×F → N×F`). Gradient
+    /// per segment and column: `dx = y ∘ (g − Σ_rows y∘g)`, the softmax
+    /// Jacobian applied down each segment's column.
+    SegmentSoftmax(Arc<Vec<usize>>),
 }
 
 impl Op {
@@ -136,6 +157,10 @@ impl Op {
             Op::ColMeans => "col_means",
             Op::ColMaxes(_) => "col_maxes",
             Op::RowSums => "row_sums",
+            Op::Spmm(_) => "spmm",
+            Op::SegmentSums(_) => "segment_sums",
+            Op::SegmentMeans(_) => "segment_means",
+            Op::SegmentSoftmax(_) => "segment_softmax",
         }
     }
 }

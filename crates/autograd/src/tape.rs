@@ -2,7 +2,8 @@
 
 use crate::op::Op;
 use crate::param::Param;
-use hap_tensor::Tensor;
+use hap_tensor::{CsrMatrix, Tensor};
+use std::sync::Arc;
 
 /// Handle to a value recorded on a [`Tape`].
 ///
@@ -462,6 +463,62 @@ impl Tape {
         self.push(v, Op::RowSums, &[x.0])
     }
 
+    // ----- sparse & segmented ops -------------------------------------------
+
+    /// Sparse propagation `S · h` where `S` is a **symmetric** CSR matrix
+    /// (e.g. the normalised adjacency `D̃^{-1/2}ÃD̃^{-1/2}` of an
+    /// undirected graph, or a block-diagonal batch of them). The matrix is
+    /// captured by the op rather than recorded as a tape node: propagation
+    /// structure is constant, so no gradient is computed for it, and the
+    /// backward pass exploits `Sᵀ = S` to reuse the same CSR.
+    ///
+    /// Both the forward product and the `dH = S·G` backward are
+    /// byte-identical to the dense `constant(S) → matmul` path — the dense
+    /// kernels skip zero entries in ascending column order, which is
+    /// exactly the CSR walk — so sparse dispatch never changes results.
+    ///
+    /// # Panics
+    /// Panics when the shapes do not chain; debug builds also assert
+    /// symmetry.
+    pub fn spmm(&mut self, s: &Arc<CsrMatrix>, h: Var) -> Var {
+        debug_assert!(s.is_symmetric(), "spmm requires a symmetric matrix");
+        let v = s.spmm(&self.nodes[h.0].value);
+        self.push(v, Op::Spmm(Arc::clone(s)), &[h.0])
+    }
+
+    /// Per-segment column sums `N×F → B×F` (the batched form of
+    /// [`Tape::col_sums`]; segment `b` covers rows
+    /// `offsets[b]..offsets[b+1]`).
+    ///
+    /// # Panics
+    /// Panics when `offsets` is not a valid segment layout for `x`.
+    pub fn segment_sums(&mut self, x: Var, offsets: &Arc<Vec<usize>>) -> Var {
+        let v = self.nodes[x.0].value.segment_sums(offsets);
+        self.push(v, Op::SegmentSums(Arc::clone(offsets)), &[x.0])
+    }
+
+    /// Per-segment column means `N×F → B×F`: row `b` is byte-identical to
+    /// [`Tape::col_means`] of segment `b`'s rows, which is what makes
+    /// batched readouts match the per-graph oracle bit for bit.
+    ///
+    /// # Panics
+    /// Panics when `offsets` is not a valid segment layout for `x`.
+    pub fn segment_means(&mut self, x: Var, offsets: &Arc<Vec<usize>>) -> Var {
+        let v = self.nodes[x.0].value.segment_means(offsets);
+        self.push(v, Op::SegmentMeans(Arc::clone(offsets)), &[x.0])
+    }
+
+    /// Per-column softmax within each row segment (`N×F → N×F`), the
+    /// attention normaliser for segment-structured batches: one graph's
+    /// node scores compete only with each other.
+    ///
+    /// # Panics
+    /// Panics when `offsets` is not a valid segment layout for `x`.
+    pub fn segment_softmax(&mut self, x: Var, offsets: &Arc<Vec<usize>>) -> Var {
+        let v = self.nodes[x.0].value.segment_softmax(offsets);
+        self.push(v, Op::SegmentSoftmax(Arc::clone(offsets)), &[x.0])
+    }
+
     // ----- composite helpers -------------------------------------------------
 
     /// Squared Euclidean distance between two same-shape values → `1×1`.
@@ -751,6 +808,59 @@ impl Tape {
                 }
                 self.accumulate(p0, dx);
             }
+            Op::Spmm(s) => {
+                // dH = Sᵀ·G = S·G by the symmetry contract. Byte-identical
+                // to the dense path's `matmul_tn(S, G)` backward: that
+                // kernel skips S's zeros and accumulates ascending, which
+                // is again the CSR row walk.
+                let dh = s.spmm(g);
+                self.accumulate(p0, dh);
+            }
+            Op::SegmentSums(offsets) => {
+                let (rows, cols) = self.parent_value(i, 0).shape();
+                let mut dx = self.pooled_zeros(rows, cols);
+                for b in 0..offsets.len() - 1 {
+                    for r in offsets[b]..offsets[b + 1] {
+                        dx.row_mut(r).copy_from_slice(g.row(b));
+                    }
+                }
+                self.accumulate(p0, dx);
+            }
+            Op::SegmentMeans(offsets) => {
+                let (rows, cols) = self.parent_value(i, 0).shape();
+                let mut dx = self.pooled_zeros(rows, cols);
+                for b in 0..offsets.len() - 1 {
+                    let n = (offsets[b + 1] - offsets[b]) as f64;
+                    for r in offsets[b]..offsets[b + 1] {
+                        for (d, &gv) in dx.row_mut(r).iter_mut().zip(g.row(b)) {
+                            *d = gv / n;
+                        }
+                    }
+                }
+                self.accumulate(p0, dx);
+            }
+            Op::SegmentSoftmax(offsets) => {
+                // Softmax Jacobian down each (segment, column):
+                // dx = y ∘ (g − Σ_segment y∘g).
+                let (rows, cols) = self.nodes[i].value.shape();
+                let mut dx = self.pooled_zeros(rows, cols);
+                let y = &self.nodes[i].value;
+                for b in 0..offsets.len() - 1 {
+                    let seg = offsets[b]..offsets[b + 1];
+                    let mut dots = vec![0.0; cols];
+                    for r in seg.clone() {
+                        for ((dot, &yv), &gv) in dots.iter_mut().zip(y.row(r)).zip(g.row(r)) {
+                            *dot += yv * gv;
+                        }
+                    }
+                    for r in seg {
+                        for c in 0..cols {
+                            dx[(r, c)] = y[(r, c)] * (g[(r, c)] - dots[c]);
+                        }
+                    }
+                }
+                self.accumulate(p0, dx);
+            }
         }
         debug_assert!(n_parents as usize <= 2);
     }
@@ -987,5 +1097,114 @@ mod tests {
         let loss2 = t.sum_all(sq);
         t.backward(loss2);
         assert_close(&t.grad(a), &Tensor::row_vector(&[2.0, -4.0, 6.0]), 1e-12);
+    }
+
+    /// Random symmetric matrix with ~`density` non-zeros, as both dense
+    /// tensor and CSR.
+    fn random_symmetric_sparse(n: usize, density: f64, seed: u64) -> (Tensor, Arc<CsrMatrix>) {
+        let mut rng = hap_rand::Rng::from_seed(seed);
+        let mut dense = Tensor::zeros(n, n);
+        for i in 0..n {
+            for j in i..n {
+                if rng.gen_f64() < density {
+                    let v = rng.gen_f64() * 2.0 - 1.0;
+                    dense[(i, j)] = v;
+                    dense[(j, i)] = v;
+                }
+            }
+        }
+        let csr = Arc::new(CsrMatrix::from_dense(&dense));
+        (dense, csr)
+    }
+
+    #[test]
+    fn spmm_forward_and_backward_are_bitwise_equal_to_dense_path() {
+        for (n, f, density, seed) in [(1, 1, 1.0, 1), (6, 3, 0.4, 2), (25, 8, 0.1, 3)] {
+            let (dense, csr) = random_symmetric_sparse(n, density, seed);
+            let mut rng = hap_rand::Rng::from_seed(seed ^ 0xabcd);
+            let hv = Tensor::rand_uniform(n, f, -1.0, 1.0, &mut rng);
+            let w = Tensor::rand_uniform(f, f, -1.0, 1.0, &mut rng);
+
+            // Sparse path: spmm node.
+            let mut ts = Tape::new();
+            let hs = ts.constant(hv.clone());
+            let ys = ts.spmm(&csr, hs);
+            let ws = ts.constant(w.clone());
+            let zs = ts.matmul(ys, ws);
+            let ls = ts.sum_all(zs);
+            ts.backward(ls);
+
+            // Dense oracle: constant(S) → matmul.
+            let mut td = Tape::new();
+            let hd = td.constant(hv.clone());
+            let sd = td.constant(dense.clone());
+            let yd = td.matmul(sd, hd);
+            let wd = td.constant(w.clone());
+            let zd = td.matmul(yd, wd);
+            let ld = td.sum_all(zd);
+            td.backward(ld);
+
+            assert_bits_equal("spmm value", &ts.value(ys), &td.value(yd));
+            assert_bits_equal("spmm dH", &ts.grad(hs), &td.grad(hd));
+        }
+    }
+
+    #[test]
+    fn gradcheck_segment_ops() {
+        use crate::gradcheck::check_unary_op;
+        let mut rng = hap_rand::Rng::from_seed(41);
+        let x = Tensor::rand_uniform(7, 3, -1.5, 1.5, &mut rng);
+        // Non-uniform upstream weights so softmax/means gradients are
+        // non-degenerate.
+        let w = Tensor::rand_uniform(7, 3, 0.2, 2.0, &mut rng);
+        let wb = Tensor::rand_uniform(3, 3, 0.2, 2.0, &mut rng);
+        let offsets = Arc::new(vec![0usize, 2, 3, 7]);
+
+        let off = Arc::clone(&offsets);
+        let wc = wb.clone();
+        check_unary_op(x.clone(), 1e-6, move |t, x| {
+            let y = t.segment_sums(x, &off);
+            let w = t.constant(wc.clone());
+            let z = t.hadamard(y, w);
+            t.sum_all(z)
+        });
+
+        let off = Arc::clone(&offsets);
+        check_unary_op(x.clone(), 1e-6, move |t, x| {
+            let y = t.segment_means(x, &off);
+            let w = t.constant(wb.clone());
+            let z = t.hadamard(y, w);
+            t.sum_all(z)
+        });
+
+        let off = Arc::clone(&offsets);
+        check_unary_op(x, 1e-5, move |t, x| {
+            let y = t.segment_softmax(x, &off);
+            let w = t.constant(w.clone());
+            let z = t.hadamard(y, w);
+            t.sum_all(z)
+        });
+    }
+
+    #[test]
+    fn segment_means_single_segment_matches_col_means_bitwise() {
+        let mut rng = hap_rand::Rng::from_seed(42);
+        let xv = Tensor::rand_uniform(5, 4, -1.0, 1.0, &mut rng);
+        let offsets = Arc::new(vec![0usize, 5]);
+
+        let mut ta = Tape::new();
+        let xa = ta.constant(xv.clone());
+        let ya = ta.segment_means(xa, &offsets);
+        let la = ta.sum_all(ya);
+        ta.backward(la);
+
+        let mut tb = Tape::new();
+        let xb = tb.constant(xv);
+        let yb = tb.col_means(xb);
+        let lb = tb.sum_all(yb);
+        tb.backward(lb);
+
+        assert_bits_equal("value", &ta.value(ya), &tb.value(yb));
+        assert_bits_equal("grad", &ta.grad(xa), &tb.grad(xb));
     }
 }

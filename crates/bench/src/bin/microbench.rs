@@ -15,9 +15,20 @@
 //! * `*/seq` vs `*/par` — the `hap-par` wiring: the same workload pinned
 //!   to one thread and to a multi-worker pool (see EXPERIMENTS.md
 //!   "Parallelism" for how to read these and how to pin `HAP_THREADS`).
+//! * `sparse/spmm/*` — CSR SpMM vs the dense zero-skipping GEMM on the
+//!   same `Â`, swept over `n` and edge density: the measurement behind
+//!   `hap_gnn::SPARSE_DENSITY_THRESHOLD` (EXPERIMENTS.md "Sparse vs dense
+//!   crossover"). Both paths produce byte-identical output; only time
+//!   differs.
+//! * `embed/*` — eval-mode hierarchy embeddings for a batch of graphs:
+//!   the graph-at-a-time loop vs one block-diagonal batched forward
+//!   (`HapClassifier::try_embeddings`), the hap-serve cache-miss path.
 //! * `train/train_step` — one full gradient-accumulation step exactly as
 //!   `hap_train::train` runs it (persistent tape, `reset()` per sample);
-//!   the training-hot-path headline number.
+//!   the training-hot-path headline number. `train/train_step_batched` is
+//!   the same workload through `hap_train::train_batched`'s inner loop:
+//!   one shared block-diagonal level-0 forward and one backward for the
+//!   whole batch.
 //!
 //! ```text
 //! cargo run --release -p hap-bench --bin microbench \
@@ -322,6 +333,81 @@ fn parallelism(bench: &mut Bench, seed: u64) {
     hap_par::set_threads(default_threads);
 }
 
+/// CSR SpMM vs the dense zero-skipping GEMM on the same normalised
+/// adjacency `Â`, over a grid of `n` × edge density. Both kernels run the
+/// identical FMA sequence on the stored non-zeros (ARCHITECTURE.md
+/// "Sparse & batched execution"), so the medians isolate the cost of
+/// *visiting* zeros — the data behind `SPARSE_DENSITY_THRESHOLD`.
+fn sparse_spmm(bench: &mut Bench, sizes: &[usize], seed: u64) {
+    let dim = 16;
+    for &n in sizes {
+        for p in [0.02, 0.1, 0.3] {
+            let mut rng = Rng::from_seed(seed);
+            let g = generators::erdos_renyi_connected(n, p, &mut rng);
+            let h = Tensor::rand_uniform(n, dim, -1.0, 1.0, &mut rng);
+            let a_hat = g.sym_norm_adjacency_cached().clone();
+            let csr = std::sync::Arc::clone(g.csr_adjacency_cached().matrix());
+            let density = csr.density();
+            bench.run_pair(
+                &format!("sparse/spmm/n={n}/p={p}/density={density:.3}/csr"),
+                || csr.spmm(&h),
+                &format!("sparse/spmm/n={n}/p={p}/density={density:.3}/dense"),
+                || a_hat.matmul(&h),
+            );
+        }
+    }
+}
+
+/// Eval-mode hierarchy embeddings for a batch of IMDB-B-like graphs —
+/// the hap-serve cache-miss workload. `looped` calls
+/// `HapClassifier::try_embedding` per graph; `batched` embeds the whole
+/// batch through one block-diagonal level-0 forward
+/// (`HapClassifier::try_embeddings`). Outputs are byte-identical.
+///
+/// The two cases run interleaved ([`Bench::run_pair`]) so host drift
+/// over the session cannot bias the looped-vs-batched comparison.
+fn embed_batch(bench: &mut Bench, seed: u64) {
+    let mut rng = Rng::from_seed(seed);
+    let ds = hap_data::imdb_b(16, &mut rng);
+    let mut store = ParamStore::new();
+    let cfg = HapConfig::new(ds.feature_dim, 8).with_clusters(&[4, 2]);
+    let model = HapModel::new(&mut store, &cfg, &mut rng);
+    let clf = HapClassifier::new(&mut store, model, ds.num_classes, &mut rng);
+    let batch: Vec<usize> = (0..8).collect();
+
+    bench.run_pair(
+        "embed/looped/batch=8",
+        || {
+            let mut rng = Rng::from_seed(1);
+            let mut ctx = PoolCtx {
+                training: false,
+                rng: &mut rng,
+            };
+            batch
+                .iter()
+                .map(|&i| {
+                    let s = &ds.samples[i];
+                    clf.try_embedding(&s.graph, &s.features, &mut ctx)
+                        .expect("embed")
+                })
+                .collect::<Vec<Tensor>>()
+        },
+        "embed/batched/batch=8",
+        || {
+            let mut rng = Rng::from_seed(1);
+            let mut ctx = PoolCtx {
+                training: false,
+                rng: &mut rng,
+            };
+            let items: Vec<(&Graph, &Tensor)> = batch
+                .iter()
+                .map(|&i| (&ds.samples[i].graph, &ds.samples[i].features))
+                .collect();
+            clf.try_embeddings(&items, &mut ctx).expect("embed")
+        },
+    );
+}
+
 /// One full gradient-accumulation training step — zero grads, an
 /// 8-sample forward/backward batch on a persistent tape with `reset()`
 /// between samples, then an Adam update — exactly the inner loop of
@@ -338,7 +424,7 @@ fn parallelism(bench: &mut Bench, seed: u64) {
 /// sharing one evolving model across cases would confound the
 /// comparison, because the arithmetic cost drifts as training
 /// progresses (the Adam trajectory differs iteration to iteration).
-fn train_step_case(bench: &mut Bench, seed: u64, name: &str) {
+fn train_step_workload(seed: u64) -> impl FnMut() -> f64 {
     let mut rng = Rng::from_seed(seed);
     let ds = hap_data::imdb_b(16, &mut rng);
     let mut store = ParamStore::new();
@@ -350,7 +436,7 @@ fn train_step_case(bench: &mut Bench, seed: u64, name: &str) {
     let mut model_rng = Rng::from_seed(1);
     let batch: Vec<usize> = (0..8).collect();
 
-    bench.run(name, || {
+    move || {
         store.zero_grads();
         for &i in &batch {
             tape.reset();
@@ -364,14 +450,72 @@ fn train_step_case(bench: &mut Bench, seed: u64, name: &str) {
         }
         adam.step(&store);
         store.grad_norm()
-    });
+    }
 }
 
+/// The same training step through `hap_train::train_batched`'s inner
+/// loop: one `tape.reset()`, all eight losses from a single
+/// `HapClassifier::batch_losses` call (shared block-diagonal level-0
+/// forward), summed into one scalar, one backward seeded `1/B`. Per-loss
+/// values are byte-identical to the per-sample loop; this case measures
+/// what sharing the forward and the backward buys.
+fn train_step_batched_workload(seed: u64) -> impl FnMut() -> f64 {
+    let mut rng = Rng::from_seed(seed);
+    let ds = hap_data::imdb_b(16, &mut rng);
+    let mut store = ParamStore::new();
+    let cfg = HapConfig::new(ds.feature_dim, 8).with_clusters(&[4, 2]);
+    let model = HapModel::new(&mut store, &cfg, &mut rng);
+    let clf = HapClassifier::new(&mut store, model, ds.num_classes, &mut rng);
+    let mut adam = Adam::new(0.01);
+    let mut tape = Tape::new();
+    let mut model_rng = Rng::from_seed(1);
+    let batch: Vec<usize> = (0..8).collect();
+
+    move || {
+        store.zero_grads();
+        tape.reset();
+        let mut ctx = PoolCtx {
+            training: true,
+            rng: &mut model_rng,
+        };
+        let items: Vec<(&Graph, &Tensor, usize)> = batch
+            .iter()
+            .map(|&i| {
+                let s = &ds.samples[i];
+                (&s.graph, &s.features, s.label)
+            })
+            .collect();
+        let losses = clf
+            .batch_losses(&mut tape, &items, &mut ctx)
+            .expect("batch losses");
+        let mut total = None;
+        for loss in losses {
+            total = Some(match total {
+                Some(t) => tape.add(t, loss),
+                None => loss,
+            });
+        }
+        let total = total.expect("non-empty batch");
+        tape.backward_with_seed(total, Tensor::full(1, 1, 1.0 / batch.len() as f64));
+        adam.step(&store);
+        store.grad_norm()
+    }
+}
+
+/// The looped and batched step run interleaved ([`Bench::run_pair`]):
+/// their ~13% gap is smaller than the drift this host accumulates over
+/// a sustained session, so a sequential layout would systematically
+/// penalise whichever case ran second.
 fn train_step(bench: &mut Bench, seed: u64) {
-    train_step_case(bench, seed, "train/train_step/batch=8");
+    bench.run_pair(
+        "train/train_step/batch=8",
+        train_step_workload(seed),
+        "train/train_step_batched/batch=8",
+        train_step_batched_workload(seed),
+    );
 
     hap_obs::set_level(hap_obs::Level::Trace);
-    train_step_case(bench, seed, "train/train_step/batch=8/obs");
+    bench.run("train/train_step/batch=8/obs", train_step_workload(seed));
     hap_obs::set_level(hap_obs::Level::Off);
     hap_obs::reset();
 }
@@ -394,6 +538,8 @@ fn main() {
     pooling(&mut bench, 100, seed);
     ged(&mut bench, seed);
     parallelism(&mut bench, seed);
+    sparse_spmm(&mut bench, coarsen_sizes, seed);
+    embed_batch(&mut bench, seed);
     train_step(&mut bench, seed);
 
     bench.write_json(&args.out).expect("write JSON report");

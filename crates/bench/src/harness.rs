@@ -190,6 +190,62 @@ impl Bench {
         self.results.last().unwrap()
     }
 
+    /// Times `fa` and `fb` **interleaved** — one call of each per timed
+    /// round, A then B — recording a result per case, in that order.
+    ///
+    /// Use this instead of two [`Bench::run`] calls when the two cases
+    /// are a paired comparison whose effect size is smaller than the
+    /// host's drift: during a long sustained session (frequency scaling,
+    /// thermal throttling) a sequential layout systematically penalises
+    /// whichever case runs later, while interleaving exposes both
+    /// closures to the same conditions round for round.
+    pub fn run_pair<TA, TB>(
+        &mut self,
+        name_a: &str,
+        mut fa: impl FnMut() -> TA,
+        name_b: &str,
+        mut fb: impl FnMut() -> TB,
+    ) -> (&BenchResult, &BenchResult) {
+        for _ in 0..self.warmup {
+            black_box(fa());
+            black_box(fb());
+        }
+        let mut ns_a = Vec::with_capacity(self.iters);
+        let mut ns_b = Vec::with_capacity(self.iters);
+        let counting = alloc_count() > 0; // see the note in `run`
+        let (mut allocs_a, mut allocs_b) = (0u64, 0u64);
+        for _ in 0..self.iters {
+            let before = alloc_count();
+            let t0 = Instant::now();
+            black_box(fa());
+            ns_a.push(t0.elapsed().as_secs_f64() * 1e9);
+            let mid = alloc_count();
+            let t1 = Instant::now();
+            black_box(fb());
+            ns_b.push(t1.elapsed().as_secs_f64() * 1e9);
+            allocs_a += mid - before;
+            allocs_b += alloc_count() - mid;
+        }
+        for (name, ns, allocs) in [(name_a, ns_a, allocs_a), (name_b, ns_b, allocs_b)] {
+            let per_iter = counting.then(|| allocs as f64 / self.iters as f64);
+            let result = BenchResult::from_samples(name, ns, per_iter);
+            let alloc_col = result
+                .allocs_per_iter
+                .map_or(String::new(), |a| format!("  allocs {a:>9.1}"));
+            eprintln!(
+                "{:<40} median {:>12}  p10 {:>12}  p90 {:>12}{}",
+                result.name,
+                fmt_ns(result.median_ns),
+                fmt_ns(result.p10_ns),
+                fmt_ns(result.p90_ns),
+                alloc_col,
+            );
+            self.results.push(result);
+        }
+        let n = self.results.len();
+        (&self.results[n - 2], &self.results[n - 1])
+    }
+
     /// All results recorded so far, in run order.
     pub fn results(&self) -> &[BenchResult] {
         &self.results

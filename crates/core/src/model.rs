@@ -2,7 +2,7 @@
 
 use crate::{FlatCoarsen, HapCoarsen, HapError};
 use hap_autograd::{ParamStore, Tape, Var};
-use hap_gnn::{AdjacencyRef, EncoderKind, GnnEncoder};
+use hap_gnn::{AdjacencyRef, BatchGraph, EncoderKind, GnnEncoder};
 use hap_graph::Graph;
 use hap_pooling::{CoarsenModule, DiffPool, MeanAttReadout, MeanReadout, PoolCtx, SagPool};
 use hap_rand::Rng;
@@ -256,6 +256,102 @@ impl HapModel {
         Ok(embeddings)
     }
 
+    /// Runs the hierarchy for a whole batch of graphs in one forward pass,
+    /// returning per-graph level embeddings (the same `Vec<Var>` shape
+    /// [`Self::try_embed_hierarchy`] yields for each graph).
+    ///
+    /// The expensive level-0 encoder runs **once** over the
+    /// block-diagonal [`BatchGraph`] (one SpMM chain instead of `B` dense
+    /// forwards); coarsening and deeper levels then proceed per graph in
+    /// batch order on the shared tape, so `ctx.rng` draws happen in
+    /// exactly the order the graph-at-a-time loop makes them. Combined
+    /// with the block-diagonal byte-identity of
+    /// [`hap_gnn::GnnEncoder::forward_batch`], every returned embedding is
+    /// **byte-identical** to its looped counterpart — the looped path stays
+    /// the differential-test oracle.
+    ///
+    /// GAT encoders cannot be block-diagonal batched byte-identically (row
+    /// softmax leaks `exp(-1e9)` across blocks), so a GAT model falls back
+    /// to the per-graph loop internally; callers get the same results
+    /// either way, just without the batched speedup.
+    ///
+    /// Validation is all-or-nothing: every graph is checked *before* any
+    /// compute, and the first [`HapError::EmptyGraph`] /
+    /// [`HapError::FeatureShape`] aborts the whole batch. Callers needing
+    /// per-item error granularity (e.g. `hap-serve`) pre-validate and
+    /// exclude bad items.
+    ///
+    /// # Errors
+    /// See the validation contract above.
+    pub fn try_embed_hierarchy_batch(
+        &self,
+        tape: &mut Tape,
+        graphs: &[(&Graph, &Tensor)],
+        ctx: &mut PoolCtx<'_>,
+    ) -> Result<Vec<Vec<Var>>, HapError> {
+        for &(g, x) in graphs {
+            if g.n() == 0 {
+                return Err(HapError::EmptyGraph);
+            }
+            if x.rows() != g.n() {
+                return Err(HapError::FeatureShape {
+                    rows: x.rows(),
+                    nodes: g.n(),
+                });
+            }
+        }
+        if graphs.is_empty() {
+            return Ok(Vec::new());
+        }
+        if self.encoders[0].kind() == EncoderKind::Gat {
+            return graphs
+                .iter()
+                .map(|&(g, x)| self.try_embed_hierarchy(tape, g, x, ctx))
+                .collect();
+        }
+        let _t = hap_obs::time_scope("core.embed_hierarchy_batch");
+
+        let gs: Vec<&Graph> = graphs.iter().map(|&(g, _)| g).collect();
+        let xs: Vec<&Tensor> = graphs.iter().map(|&(_, x)| x).collect();
+        let batch = BatchGraph::new(&gs, &xs);
+        let h0 = tape.constant(batch.features().clone());
+
+        if self.coarseners.is_empty() {
+            let _p = hap_obs::phase(level_label(0));
+            let enc = self.encoders[0].forward_batch(tape, &batch, h0);
+            // Per-segment col_means is bitwise the per-graph reduction;
+            // each graph then picks out its own 1×hidden row.
+            let means = tape.segment_means(enc, batch.offsets());
+            return Ok((0..batch.len())
+                .map(|b| vec![tape.gather_rows(means, &[b])])
+                .collect());
+        }
+
+        let enc0 = {
+            let _p = hap_obs::phase(level_label(0));
+            self.encoders[0].forward_batch(tape, &batch, h0)
+        };
+        let mut out = Vec::with_capacity(graphs.len());
+        for (b, &(g, _)) in graphs.iter().enumerate() {
+            let rows: Vec<usize> = batch.node_range(b).collect();
+            let mut h = tape.gather_rows(enc0, &rows);
+            let mut a = tape.constant(g.adjacency().clone());
+            let mut embeddings = Vec::with_capacity(self.coarseners.len());
+            for (k, coarsen) in self.coarseners.iter().enumerate() {
+                let _p = hap_obs::phase(level_label(k));
+                if k > 0 {
+                    h = self.encoders[k].forward(tape, AdjacencyRef::Dynamic(a), h);
+                }
+                let (a2, h2) = coarsen.forward(tape, a, h, ctx);
+                a = a2;
+                h = h2;
+                embeddings.push(tape.col_means(h));
+            }
+            out.push(embeddings);
+        }
+        Ok(out)
+    }
+
     /// [`Self::try_embed_hierarchy`], panicking on degenerate input.
     ///
     /// # Panics
@@ -420,6 +516,156 @@ mod tests {
         let embeds = model.embed_hierarchy(&mut t, &g, &x, &mut ctx);
         assert_eq!(embeds.len(), 1);
         assert!(t.value(embeds[0]).all_finite());
+    }
+
+    fn assert_bits(tag: &str, a: &Tensor, b: &Tensor) {
+        assert_eq!(a.shape(), b.shape(), "{tag}: shape");
+        for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+            assert_eq!(x.to_bits(), y.to_bits(), "{tag}: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn batched_hierarchy_is_bitwise_equal_to_looped() {
+        // Mixed-size batch including the degenerate n = 1 graph; the
+        // looped path is the oracle, at eval and under training-mode
+        // Gumbel sampling (identically seeded rng for both runs).
+        let mut rng = Rng::from_seed(30);
+        let mut store = ParamStore::new();
+        let model = HapModel::new(&mut store, &cfg(), &mut rng);
+        let mut graphs = vec![hap_graph::Graph::empty(1)];
+        graphs.push(generators::erdos_renyi_connected(5, 0.4, &mut rng));
+        graphs.push(generators::erdos_renyi_connected(9, 0.3, &mut rng));
+        let xs: Vec<_> = graphs.iter().map(|g| degree_one_hot(g, 5)).collect();
+
+        for training in [false, true] {
+            let mut rng1 = Rng::from_seed(77);
+            let mut t1 = Tape::new();
+            let mut ctx1 = PoolCtx {
+                training,
+                rng: &mut rng1,
+            };
+            let looped: Vec<Vec<Tensor>> = graphs
+                .iter()
+                .zip(&xs)
+                .map(|(g, x)| {
+                    model
+                        .embed_hierarchy(&mut t1, g, x, &mut ctx1)
+                        .into_iter()
+                        .map(|v| t1.value(v))
+                        .collect()
+                })
+                .collect();
+
+            let mut rng2 = Rng::from_seed(77);
+            let mut t2 = Tape::new();
+            let mut ctx2 = PoolCtx {
+                training,
+                rng: &mut rng2,
+            };
+            let items: Vec<(&hap_graph::Graph, &Tensor)> = graphs.iter().zip(xs.iter()).collect();
+            let batched = model
+                .try_embed_hierarchy_batch(&mut t2, &items, &mut ctx2)
+                .expect("valid batch");
+
+            assert_eq!(batched.len(), looped.len());
+            for (b, (lv_loop, lv_batch)) in looped.iter().zip(&batched).enumerate() {
+                assert_eq!(lv_loop.len(), lv_batch.len());
+                for (k, (lt, bv)) in lv_loop.iter().zip(lv_batch).enumerate() {
+                    assert_bits(
+                        &format!("training={training} graph={b} level={k}"),
+                        &t2.value(*bv),
+                        lt,
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batched_flat_model_matches_looped_bitwise() {
+        // K = 0: batched encoder + segment means vs per-graph col_means.
+        let mut rng = Rng::from_seed(31);
+        let mut store = ParamStore::new();
+        let model = HapModel::new(&mut store, &cfg().with_clusters(&[]), &mut rng);
+        let g1 = generators::cycle(6);
+        let g2 = generators::path(4);
+        let (x1, x2) = (degree_one_hot(&g1, 5), degree_one_hot(&g2, 5));
+
+        let mut t = Tape::new();
+        let mut rngc = Rng::from_seed(0);
+        let mut ctx = PoolCtx {
+            training: false,
+            rng: &mut rngc,
+        };
+        let batched = model
+            .try_embed_hierarchy_batch(&mut t, &[(&g1, &x1), (&g2, &x2)], &mut ctx)
+            .expect("valid batch");
+        for (g, x, lv) in [(&g1, &x1, &batched[0]), (&g2, &x2, &batched[1])] {
+            let mut ts = Tape::new();
+            let mut rngs = Rng::from_seed(0);
+            let mut ctxs = PoolCtx {
+                training: false,
+                rng: &mut rngs,
+            };
+            let single = model.embed_hierarchy(&mut ts, g, x, &mut ctxs);
+            assert_eq!(lv.len(), 1);
+            assert_bits("flat", &t.value(lv[0]), &ts.value(single[0]));
+        }
+    }
+
+    #[test]
+    fn batched_gat_model_falls_back_and_matches_looped() {
+        let mut rng = Rng::from_seed(32);
+        let mut store = ParamStore::new();
+        let model = HapModel::new(&mut store, &cfg().with_encoder(EncoderKind::Gat), &mut rng);
+        let g = generators::erdos_renyi_connected(7, 0.4, &mut rng);
+        let x = degree_one_hot(&g, 5);
+
+        let mut t1 = Tape::new();
+        let mut rng1 = Rng::from_seed(9);
+        let mut ctx1 = PoolCtx {
+            training: true,
+            rng: &mut rng1,
+        };
+        let looped = model.embed_hierarchy(&mut t1, &g, &x, &mut ctx1);
+
+        let mut t2 = Tape::new();
+        let mut rng2 = Rng::from_seed(9);
+        let mut ctx2 = PoolCtx {
+            training: true,
+            rng: &mut rng2,
+        };
+        let batched = model
+            .try_embed_hierarchy_batch(&mut t2, &[(&g, &x)], &mut ctx2)
+            .expect("valid batch");
+        for (a, b) in looped.iter().zip(&batched[0]) {
+            assert_bits("gat", &t1.value(*a), &t2.value(*b));
+        }
+    }
+
+    #[test]
+    fn batch_validation_is_all_or_nothing() {
+        let mut rng = Rng::from_seed(33);
+        let mut store = ParamStore::new();
+        let model = HapModel::new(&mut store, &cfg(), &mut rng);
+        let good = generators::cycle(4);
+        let gx = degree_one_hot(&good, 5);
+        let empty = hap_graph::Graph::empty(0);
+        let ex = Tensor::zeros(0, 5);
+        let mut t = Tape::new();
+        let mut ctx = PoolCtx {
+            training: false,
+            rng: &mut rng,
+        };
+        let err = model
+            .try_embed_hierarchy_batch(&mut t, &[(&good, &gx), (&empty, &ex)], &mut ctx)
+            .unwrap_err();
+        assert_eq!(err, crate::HapError::EmptyGraph);
+        assert!(model
+            .try_embed_hierarchy_batch(&mut t, &[], &mut ctx)
+            .expect("empty batch is trivially valid")
+            .is_empty());
     }
 
     #[test]

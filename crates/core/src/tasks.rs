@@ -126,6 +126,40 @@ impl HapClassifier {
         cross_entropy_logits(tape, logits, &[label])
     }
 
+    /// Per-sample cross-entropy losses for a whole labelled batch on one
+    /// tape, with the hierarchy embedded batch-wise
+    /// ([`HapModel::try_embed_hierarchy_batch`]): the level-0 encoder runs
+    /// once over the block-diagonal batch instead of once per graph. Each
+    /// returned `Var` is byte-identical to the corresponding
+    /// [`HapClassifier::loss`] value, so callers keep per-sample NaN
+    /// guards and skip semantics unchanged.
+    ///
+    /// # Errors
+    /// All-or-nothing validation, as documented on
+    /// [`HapModel::try_embed_hierarchy_batch`].
+    pub fn batch_losses(
+        &self,
+        tape: &mut Tape,
+        items: &[(&Graph, &Tensor, usize)],
+        ctx: &mut PoolCtx<'_>,
+    ) -> Result<Vec<Var>, crate::HapError> {
+        let graphs: Vec<(&Graph, &Tensor)> = items.iter().map(|&(g, x, _)| (g, x)).collect();
+        let per_graph = self.model.try_embed_hierarchy_batch(tape, &graphs, ctx)?;
+        Ok(per_graph
+            .into_iter()
+            .zip(items)
+            .map(|(levels, &(_, _, label))| {
+                let mut it = levels.into_iter();
+                let mut e = it.next().expect("at least one level");
+                for l in it {
+                    e = tape.hstack(e, l);
+                }
+                let logits = self.head.forward(tape, e);
+                cross_entropy_logits(tape, logits, &[label])
+            })
+            .collect())
+    }
+
     /// Predicted class for one graph (evaluation path).
     ///
     /// Regression note: this argmax used
@@ -171,6 +205,40 @@ impl HapClassifier {
             e = tape.hstack(e, l);
         }
         Ok(tape.value(e))
+    }
+
+    /// Hierarchical embeddings for a whole batch of graphs, materialised
+    /// in submission order — the batched form of
+    /// [`HapClassifier::try_embedding`], sharing one tape and one
+    /// block-diagonal level-0 forward across the batch. Each returned
+    /// tensor is byte-identical to the single-graph call, which is what
+    /// lets `hap-serve` batch cache misses without perturbing its
+    /// response-hash determinism contract.
+    ///
+    /// # Errors
+    /// All-or-nothing validation, as documented on
+    /// [`HapModel::try_embed_hierarchy_batch`] — pre-validate items when
+    /// per-item errors are needed.
+    pub fn try_embeddings(
+        &self,
+        items: &[(&Graph, &Tensor)],
+        ctx: &mut PoolCtx<'_>,
+    ) -> Result<Vec<Tensor>, crate::HapError> {
+        let mut tape = Tape::new();
+        let per_graph = self
+            .model
+            .try_embed_hierarchy_batch(&mut tape, items, ctx)?;
+        Ok(per_graph
+            .into_iter()
+            .map(|levels| {
+                let mut it = levels.into_iter();
+                let mut e = it.next().expect("at least one level");
+                for l in it {
+                    e = tape.hstack(e, l);
+                }
+                tape.value(e)
+            })
+            .collect())
     }
 
     /// Class logits computed from an already-materialised hierarchical

@@ -1,6 +1,6 @@
 //! Multi-layer node & cluster embedding (Sec. 4.3).
 
-use crate::{AdjacencyRef, GatLayer, GcnLayer};
+use crate::{AdjacencyRef, BatchGraph, GatLayer, GcnLayer};
 use hap_autograd::{ParamStore, Tape, Var};
 use hap_nn::Activation;
 use hap_rand::Rng;
@@ -28,6 +28,7 @@ enum Layer {
 /// following graph coarsening module").
 pub struct GnnEncoder {
     layers: Vec<Layer>,
+    kind: EncoderKind,
     in_dim: usize,
     out_dim: usize,
 }
@@ -75,9 +76,17 @@ impl GnnEncoder {
             .collect();
         Self {
             layers,
+            kind,
             in_dim: dims[0],
             out_dim: *dims.last().expect("non-empty dims"),
         }
+    }
+
+    /// Which convolution the encoder stacks. Batched (block-diagonal)
+    /// forwards are only available for [`EncoderKind::Gcn`]; callers
+    /// dispatch on this to fall back to per-graph loops for GAT.
+    pub fn kind(&self) -> EncoderKind {
+        self.kind
     }
 
     /// Input feature width.
@@ -102,6 +111,33 @@ impl GnnEncoder {
             x = match layer {
                 Layer::Gcn(l) => l.forward(tape, adj, x),
                 Layer::Gat(l) => l.forward(tape, adj, x),
+            };
+        }
+        x
+    }
+
+    /// Applies all layers over a [`BatchGraph`]'s block-diagonal CSR,
+    /// embedding every graph in the batch in one pass. Output rows are
+    /// byte-identical, node for node, to per-graph [`GnnEncoder::forward`]
+    /// calls (no cross-graph edges exist, so each block's multiply-add
+    /// sequence is unchanged — see the [`BatchGraph`] docs).
+    ///
+    /// # Panics
+    /// Panics for a [`EncoderKind::Gat`] encoder: GAT's row softmax
+    /// normalises over *all* masked columns, and the `exp(-1e9)` leakage
+    /// from other blocks, while ≈0, is not exactly 0 — a batched GAT
+    /// would not be byte-identical to the per-graph oracle. Dispatch on
+    /// [`GnnEncoder::kind`] and loop per graph instead.
+    pub fn forward_batch(&self, tape: &mut Tape, batch: &BatchGraph, h: Var) -> Var {
+        let mut x = h;
+        for layer in &self.layers {
+            x = match layer {
+                Layer::Gcn(l) => l.forward_csr(tape, batch.adjacency(), x),
+                Layer::Gat(_) => panic!(
+                    "forward_batch supports GCN encoders only; GAT attention cannot be \
+                     block-diagonal batched byte-identically — dispatch on kind() and \
+                     loop per graph"
+                ),
             };
         }
         x

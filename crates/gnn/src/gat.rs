@@ -110,10 +110,16 @@ impl GatLayer {
         match adj {
             AdjacencyRef::Fixed(g) => {
                 let n = g.n();
+                // Row `u` of the cached CSR Â lists u's neighbourhood plus
+                // its self-loop in ascending order — the same admitted set
+                // as `g.neighbors(u)`, without a per-row Vec allocation or
+                // O(n) adjacency scan.
+                let csr = g.csr_adjacency_cached().matrix();
                 let mut m = Tensor::full(n, n, NEG_MASK);
                 fill_rows(n, &mut m, |u, row| {
                     row[u] = 0.0;
-                    for v in g.neighbors(u) {
+                    let (cols, _) = csr.row(u);
+                    for &v in cols {
                         row[v] = 0.0;
                     }
                 });

@@ -4,6 +4,22 @@ use crate::AdjacencyRef;
 use hap_autograd::{ParamStore, Tape, Var};
 use hap_nn::{Activation, Linear};
 use hap_rand::Rng;
+use hap_tensor::CsrMatrix;
+use std::sync::Arc;
+
+/// Density (`nnz / n²` of `Â`) at or below which a fixed-graph GCN forward
+/// propagates with CSR SpMM instead of the dense matmul.
+///
+/// Dispatch is *purely* a performance decision: the dense kernel skips zero
+/// entries in the same ascending order the CSR walk visits non-zeros, so
+/// both paths produce byte-identical values and gradients at any threshold
+/// (verified by the sparse-vs-dense differential tests). The value sits at
+/// the measured crossover of the `sparse/spmm` microbench sweep — below
+/// ~25% fill the CSR walk wins by skipping the zero-test work and the
+/// tape's dense constant copy; above it the dense kernel's simpler inner
+/// loop is at least as fast. See EXPERIMENTS.md "Sparse vs dense
+/// crossover".
+pub const SPARSE_DENSITY_THRESHOLD: f64 = 0.25;
 
 /// One GCN layer: `H' = σ(Â H W)` with `Â = D̃^{-1/2}(A+I)D̃^{-1/2}`
 /// (Kipf & Welling; the paper's Eq. 12).
@@ -50,9 +66,28 @@ impl GcnLayer {
     }
 
     /// Applies the layer: `σ(Â · H · W)`.
+    ///
+    /// On a [`AdjacencyRef::Fixed`] graph whose `Â` density is at or below
+    /// [`SPARSE_DENSITY_THRESHOLD`], propagation dispatches to the cached
+    /// CSR and [`Tape::spmm`]; the result is byte-identical to the dense
+    /// path either way (see the threshold's docs).
     pub fn forward(&self, tape: &mut Tape, adj: AdjacencyRef<'_>, h: Var) -> Var {
+        if let AdjacencyRef::Fixed(g) = adj {
+            let csr = g.csr_adjacency_cached();
+            if csr.density() <= SPARSE_DENSITY_THRESHOLD {
+                return self.forward_csr(tape, &Arc::clone(csr.matrix()), h);
+            }
+        }
         let a_hat = adj.sym_norm(tape);
         let agg = tape.matmul(a_hat, h);
+        let lin = self.linear.forward(tape, agg);
+        self.activation.apply(tape, lin)
+    }
+
+    /// Applies the layer over an explicit CSR propagation matrix (a single
+    /// graph's `Â` or a block-diagonal batch of them): `σ(S · H · W)`.
+    pub fn forward_csr(&self, tape: &mut Tape, a_hat: &Arc<CsrMatrix>, h: Var) -> Var {
+        let agg = tape.spmm(a_hat, h);
         let lin = self.linear.forward(tape, agg);
         self.activation.apply(tape, lin)
     }
@@ -115,6 +150,46 @@ mod tests {
         let out2 = layer.forward(&mut t2, AdjacencyRef::Dynamic(a), h2);
 
         hap_tensor::testutil::assert_close(&t1.value(out1), &t2.value(out2), 1e-10);
+    }
+
+    #[test]
+    fn sparse_dispatch_is_bitwise_equal_to_dense_path() {
+        let mut rng = Rng::from_seed(9);
+        let mut store = ParamStore::new();
+        let layer = GcnLayer::new(&mut store, "gcn", 4, 4, &mut rng);
+        let g = generators::erdos_renyi_connected(30, 0.08, &mut rng);
+        assert!(
+            g.csr_adjacency_cached().density() <= SPARSE_DENSITY_THRESHOLD,
+            "test graph must land on the sparse side of the dispatch"
+        );
+        let x = Tensor::rand_uniform(30, 4, -1.0, 1.0, &mut rng);
+
+        // Fixed path: dispatches to CSR SpMM below the threshold.
+        let mut t1 = Tape::new();
+        let h1 = t1.constant(x.clone());
+        let out1 = layer.forward(&mut t1, AdjacencyRef::Fixed(&g), h1);
+        let l1 = t1.sum_all(out1);
+        t1.backward(l1);
+
+        // Dense oracle: the pre-dispatch constant+matmul pipeline.
+        let mut t2 = Tape::new();
+        let h2 = t2.constant(x);
+        let a = t2.constant(g.sym_norm_adjacency_cached().clone());
+        let agg = t2.matmul(a, h2);
+        let lin = layer.linear.forward(&mut t2, agg);
+        let out2 = layer.activation.apply(&mut t2, lin);
+        let l2 = t2.sum_all(out2);
+        t2.backward(l2);
+
+        for (which, (a, b)) in [
+            ("value", (t1.value(out1), t2.value(out2))),
+            ("dH", (t1.grad(h1), t2.grad(h2))),
+        ] {
+            assert_eq!(a.shape(), b.shape());
+            for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "{which}: {x} vs {y}");
+            }
+        }
     }
 
     #[test]

@@ -10,6 +10,16 @@
 //!   paper's Eq. 11.
 //! * [`GnnEncoder`] — a stack of either layer kind; HAP uses a two-layer
 //!   encoder before each coarsening module (Sec. 6.1.3).
+//! * [`BatchGraph`] — a block-diagonal fusion of several graphs so one
+//!   SpMM-based forward embeds a whole batch, byte-identical per node to
+//!   the graph-at-a-time loop (GCN only; see
+//!   [`GnnEncoder::forward_batch`]).
+//!
+//! Fixed-graph GCN propagation dispatches to the graph's cached CSR and
+//! sparse SpMM when `Â`'s density is at or below
+//! [`SPARSE_DENSITY_THRESHOLD`] — a pure performance decision, since both
+//! paths are byte-identical (ARCHITECTURE.md "Sparse & batched
+//! execution").
 //!
 //! ## Static vs. dynamic adjacency
 //!
@@ -20,13 +30,15 @@
 //! tape* (via `pow_const`) so gradients flow through the coarsened
 //! structure, matching what DiffPool-style implementations do.
 
+mod batch;
 mod encoder;
 mod gat;
 mod gcn;
 
+pub use batch::BatchGraph;
 pub use encoder::{EncoderKind, GnnEncoder};
 pub use gat::GatLayer;
-pub use gcn::GcnLayer;
+pub use gcn::{GcnLayer, SPARSE_DENSITY_THRESHOLD};
 
 use hap_autograd::{Tape, Var};
 use hap_graph::Graph;

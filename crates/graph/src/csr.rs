@@ -1,0 +1,120 @@
+//! CSR form of the GCN propagation matrix.
+//!
+//! [`CsrAdjacency`] freezes a graph's normalised adjacency
+//! `D̃^{-1/2}ÃD̃^{-1/2}` (Eq. 12) into a [`CsrMatrix`] so GNN layers can
+//! propagate with SpMM instead of a dense product. The CSR is built from
+//! the *same* cached dense matrix every dense forward uses
+//! ([`Graph::sym_norm_adjacency_cached`]), entry for entry, so the two
+//! representations hold bitwise-identical values — and because the dense
+//! matmul kernel skips zero entries in ascending column order (exactly the
+//! CSR row walk), sparse and dense propagation produce byte-identical
+//! results. Choosing between them is purely a performance decision; see
+//! ARCHITECTURE.md "Sparse & batched execution" for the density threshold.
+
+#![deny(missing_docs)]
+
+use crate::Graph;
+use hap_tensor::CsrMatrix;
+use std::sync::Arc;
+
+/// A graph's symmetric normalised adjacency in CSR form, shareable across
+/// tapes and layers via `Arc`.
+///
+/// Always symmetric (the normalisation `D̃^{-1/2}ÃD̃^{-1/2}` of a symmetric
+/// `Ã` is symmetric), which is what lets the SpMM backward reuse the same
+/// matrix: `dH = Sᵀ·G = S·G`.
+#[derive(Clone, Debug)]
+pub struct CsrAdjacency {
+    csr: Arc<CsrMatrix>,
+}
+
+impl CsrAdjacency {
+    /// Builds the CSR propagation matrix for `g` from its cached dense
+    /// normalised adjacency. Every self-loop contributes a structural
+    /// non-zero, so each of the `n` rows holds at least its diagonal entry.
+    ///
+    /// ```
+    /// use hap_graph::{csr::CsrAdjacency, Graph};
+    ///
+    /// let g = Graph::from_edges(3, &[(0, 1), (1, 2), (2, 0)]);
+    /// let s = CsrAdjacency::from_graph(&g);
+    /// // The triangle's Â is dense (every Ã entry is 1/3) …
+    /// assert_eq!(s.matrix().nnz(), 9);
+    /// assert_eq!(s.density(), 1.0);
+    /// // … and bitwise identical to the dense matrix the GCN path uses.
+    /// assert_eq!(s.matrix().to_dense(), *g.sym_norm_adjacency_cached());
+    /// ```
+    pub fn from_graph(g: &Graph) -> Self {
+        Self {
+            csr: Arc::new(CsrMatrix::from_dense(g.sym_norm_adjacency_cached())),
+        }
+    }
+
+    /// The shared CSR matrix, cloneable into tape ops without copying.
+    #[inline]
+    pub fn matrix(&self) -> &Arc<CsrMatrix> {
+        &self.csr
+    }
+
+    /// Fraction of non-zero entries, `nnz / n²` (1.0 for a 0×0 matrix).
+    /// This is the quantity the dense↔sparse dispatch threshold compares
+    /// against.
+    #[inline]
+    pub fn density(&self) -> f64 {
+        self.csr.density()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csr_values_match_dense_normalised_adjacency_bitwise() {
+        let mut rng = hap_rand::Rng::from_seed(11);
+        let g = crate::generators::erdos_renyi(20, 0.15, &mut rng);
+        let s = CsrAdjacency::from_graph(&g);
+        let dense = g.sym_norm_adjacency_cached();
+        let roundtrip = s.matrix().to_dense();
+        assert_eq!(roundtrip.shape(), dense.shape());
+        for (a, b) in roundtrip.as_slice().iter().zip(dense.as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert!(s.matrix().is_symmetric());
+    }
+
+    #[test]
+    fn edgeless_graph_is_identity_with_minimal_nnz() {
+        let g = Graph::empty(4);
+        let s = CsrAdjacency::from_graph(&g);
+        assert_eq!(s.matrix().nnz(), 4, "self-loops only");
+        assert_eq!(s.density(), 4.0 / 16.0);
+    }
+
+    #[test]
+    fn cached_csr_is_shared_and_invalidated_by_mutation() {
+        let mut g = Graph::from_edges(4, &[(0, 1), (1, 2)]);
+        let first = Arc::clone(g.csr_adjacency_cached().matrix());
+        // Second call serves the same Arc, not a rebuild.
+        assert!(Arc::ptr_eq(&first, g.csr_adjacency_cached().matrix()));
+
+        g.add_edge(2, 3);
+        let after = g.csr_adjacency_cached();
+        assert!(
+            !Arc::ptr_eq(&first, after.matrix()),
+            "cache served a stale CSR after add_edge"
+        );
+        assert_eq!(
+            after.matrix().to_dense(),
+            *g.sym_norm_adjacency_cached(),
+            "rebuilt CSR must match the new dense matrix"
+        );
+
+        let before_remove = Arc::clone(after.matrix());
+        g.remove_edge(0, 1);
+        assert!(!Arc::ptr_eq(
+            &before_remove,
+            g.csr_adjacency_cached().matrix()
+        ));
+    }
+}

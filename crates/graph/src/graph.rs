@@ -17,6 +17,10 @@ pub struct Graph {
     /// GCN layer and epoch that propagates over this fixed graph.
     /// Invalidated by the edge mutators.
     sym_norm_cache: OnceLock<Tensor>,
+    /// Lazily built CSR form of the same matrix (see
+    /// [`crate::csr::CsrAdjacency`]), cached alongside the dense one and
+    /// invalidated by the same mutators.
+    csr_cache: OnceLock<crate::csr::CsrAdjacency>,
 }
 
 /// Equality is structural: the cache is derived state and never compared.
@@ -33,6 +37,7 @@ impl Graph {
             adj: Tensor::zeros(n, n),
             node_labels: None,
             sym_norm_cache: OnceLock::new(),
+            csr_cache: OnceLock::new(),
         }
     }
 
@@ -67,6 +72,7 @@ impl Graph {
             adj,
             node_labels: None,
             sym_norm_cache: OnceLock::new(),
+            csr_cache: OnceLock::new(),
         }
     }
 
@@ -114,6 +120,7 @@ impl Graph {
         self.adj[(u, v)] = w;
         self.adj[(v, u)] = w;
         self.sym_norm_cache = OnceLock::new();
+        self.csr_cache = OnceLock::new();
     }
 
     /// Removes an edge if present.
@@ -121,6 +128,7 @@ impl Graph {
         self.adj[(u, v)] = 0.0;
         self.adj[(v, u)] = 0.0;
         self.sym_norm_cache = OnceLock::new();
+        self.csr_cache = OnceLock::new();
     }
 
     /// Whether `(u, v)` is an edge.
@@ -237,6 +245,15 @@ impl Graph {
             .get_or_init(|| self.sym_norm_adjacency())
     }
 
+    /// Cached CSR form of [`Graph::sym_norm_adjacency_cached`], built once
+    /// per graph and shared across layers and tapes via its inner `Arc`.
+    /// The same edge mutations that drop the dense cache drop this one, so
+    /// the two representations can never disagree.
+    pub fn csr_adjacency_cached(&self) -> &crate::csr::CsrAdjacency {
+        self.csr_cache
+            .get_or_init(|| crate::csr::CsrAdjacency::from_graph(self))
+    }
+
     /// Row-normalised adjacency with self-loops (`D̃^{-1} Ã`), the simpler
     /// mean-aggregation propagation some baselines use.
     pub fn row_norm_adjacency(&self) -> Tensor {
@@ -281,6 +298,7 @@ impl Graph {
             adj,
             node_labels,
             sym_norm_cache: OnceLock::new(),
+            csr_cache: OnceLock::new(),
         }
     }
 
@@ -312,6 +330,7 @@ impl Graph {
             adj,
             node_labels,
             sym_norm_cache: OnceLock::new(),
+            csr_cache: OnceLock::new(),
         }
     }
 }

@@ -22,6 +22,7 @@
 //!   one-hots for molecules — Sec. 6.1.3).
 
 pub mod algorithms;
+pub mod csr;
 pub mod features;
 pub mod generators;
 mod graph;
@@ -29,6 +30,7 @@ mod permutation;
 pub mod wl;
 
 pub use algorithms::{bfs_distances, connected_components, is_connected, largest_component};
+pub use csr::CsrAdjacency;
 pub use features::{constant_features, degree_one_hot, label_one_hot};
 pub use generators::{
     barabasi_albert, clique, cycle, erdos_renyi, erdos_renyi_connected, path, planted_union, star,

@@ -1,0 +1,187 @@
+//! Differential tests for the sparse/batched execution contract
+//! (ARCHITECTURE.md "Sparse & batched execution").
+//!
+//! The contract is twofold and stronger than numerical closeness:
+//!
+//! 1. **Sparse = dense, bitwise.** `CsrMatrix::spmm` walks each row's
+//!    stored columns in ascending order — the same FMA sequence the dense
+//!    zero-skipping GEMM performs — so the CSR path must be byte-identical
+//!    to the dense product on the same operands, forward and backward.
+//! 2. **Batched = looped, bitwise.** A block-diagonal `BatchGraph`
+//!    forward must reproduce every per-graph embedding bit-for-bit, at
+//!    any batch composition.
+//!
+//! Both properties must additionally hold across thread counts
+//! (`HAP_THREADS=1` vs a multi-worker pool), because the sparse kernel
+//! has its own parallel row-block dispatch. Problem sizes below include
+//! cases above the `nnz·m ≥ 100 000` parallel crossover so the parallel
+//! code path genuinely executes.
+
+use hap_autograd::{ParamStore, Tape};
+use hap_core::{HapClassifier, HapConfig, HapModel};
+use hap_graph::{degree_one_hot, generators, Graph};
+use hap_pooling::PoolCtx;
+use hap_rand::Rng;
+use hap_tensor::{CsrMatrix, Tensor};
+use std::sync::Arc;
+use std::sync::Mutex;
+
+/// The thread-count override is process-global; tests that flip it must
+/// not interleave, so every test body runs under this lock.
+static THREAD_TOGGLE: Mutex<()> = Mutex::new(());
+
+/// Runs `f` under `HAP_THREADS=1` semantics and again on a 4-worker pool,
+/// returning both results.
+fn seq_and_par<T>(mut f: impl FnMut() -> T) -> (T, T) {
+    let _guard = THREAD_TOGGLE.lock().unwrap_or_else(|e| e.into_inner());
+    hap_par::set_threads(1);
+    let seq = f();
+    hap_par::set_threads(4);
+    let par = f();
+    hap_par::set_threads(1);
+    (seq, par)
+}
+
+fn assert_bits_equal(what: &str, a: &Tensor, b: &Tensor) {
+    assert_eq!(a.shape(), b.shape(), "{what}: shape changed");
+    for (i, (x, y)) in a.as_slice().iter().zip(b.as_slice()).enumerate() {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "{what}: element {i} differs: {x} vs {y}"
+        );
+    }
+}
+
+/// A random symmetric matrix with ~`density` non-zero off-diagonal mass
+/// and a positive diagonal — the shape class `Â` lives in.
+fn random_symmetric(n: usize, density: f64, seed: u64) -> Tensor {
+    let mut rng = Rng::from_seed(seed);
+    let mut m = Tensor::zeros(n, n);
+    for i in 0..n {
+        m[(i, i)] = 0.5 + rng.gen_f64();
+        for j in (i + 1)..n {
+            if rng.gen_f64() < density {
+                let w = rng.gen_f64() - 0.5;
+                m[(i, j)] = w;
+                m[(j, i)] = w;
+            }
+        }
+    }
+    m
+}
+
+#[test]
+fn spmm_is_bitwise_equal_to_dense_matmul_across_thread_counts() {
+    // (n, density, m): the last case has nnz·m well above the parallel
+    // crossover; the first is the degenerate 1×1.
+    for (n, density, m, seed) in [
+        (1, 1.0, 1, 1),
+        (30, 0.15, 8, 2),
+        (120, 0.08, 16, 3),
+        (300, 0.15, 64, 4),
+    ] {
+        let dense = random_symmetric(n, density, seed);
+        let csr = CsrMatrix::from_dense(&dense);
+        assert!(csr.is_symmetric());
+        let mut rng = Rng::from_seed(seed + 100);
+        let h = Tensor::rand_uniform(n, m, -1.0, 1.0, &mut rng);
+        let (seq, par) = seq_and_par(|| (csr.spmm(&h), dense.matmul(&h)));
+        assert_bits_equal(&format!("spmm n={n} seq vs dense"), &seq.0, &seq.1);
+        assert_bits_equal(&format!("spmm n={n} par vs dense"), &par.0, &par.1);
+        assert_bits_equal(&format!("spmm n={n} across threads"), &seq.0, &par.0);
+    }
+}
+
+#[test]
+fn spmm_backward_matches_dense_tape_path_across_thread_counts() {
+    // Tape-level differential: y = S·H·W through `tape.spmm` vs through a
+    // dense constant + matmul. Value and dH must agree bit-for-bit at
+    // both thread settings.
+    let n = 220;
+    let m = 24;
+    let dense = random_symmetric(n, 0.1, 7);
+    let csr = Arc::new(CsrMatrix::from_dense(&dense));
+    let mut rng = Rng::from_seed(8);
+    let h0 = Tensor::rand_uniform(n, m, -1.0, 1.0, &mut rng);
+    let w0 = Tensor::rand_uniform(m, m, -1.0, 1.0, &mut rng);
+
+    let run = |sparse: bool| {
+        let mut tape = Tape::new();
+        let h = tape.constant(h0.clone());
+        let w = tape.constant(w0.clone());
+        let agg = if sparse {
+            tape.spmm(&csr, h)
+        } else {
+            let s = tape.constant(dense.clone());
+            tape.matmul(s, h)
+        };
+        let y = tape.matmul(agg, w);
+        let sq = tape.hadamard(y, y);
+        let loss = tape.sum_all(sq);
+        tape.backward(loss);
+        (tape.value(y), tape.grad(h))
+    };
+
+    let (seq, par) = seq_and_par(|| (run(true), run(false)));
+    let ((sp_y, sp_g), (dn_y, dn_g)) = seq;
+    assert_bits_equal("value seq sparse vs dense", &sp_y, &dn_y);
+    assert_bits_equal("grad seq sparse vs dense", &sp_g, &dn_g);
+    let ((pp_y, pp_g), _) = par;
+    assert_bits_equal("value across threads", &sp_y, &pp_y);
+    assert_bits_equal("grad across threads", &sp_g, &pp_g);
+}
+
+#[test]
+fn batched_embeddings_match_looped_across_thread_counts() {
+    // A deliberately awkward batch: a single isolated node, an empty-edge
+    // graph, and two random graphs of different sizes — exercising the
+    // n = 1 and zero-edge corners of the block-diagonal path.
+    let dim = 6;
+    let mut grng = Rng::from_seed(21);
+    let graphs: Vec<Graph> = vec![
+        Graph::empty(1),
+        Graph::empty(5),
+        generators::erdos_renyi_connected(9, 0.3, &mut grng),
+        generators::erdos_renyi_connected(14, 0.2, &mut grng),
+    ];
+    let features: Vec<Tensor> = graphs.iter().map(|g| degree_one_hot(g, dim)).collect();
+
+    let (seq, par) = seq_and_par(|| {
+        let mut rng = Rng::from_seed(5);
+        let mut store = ParamStore::new();
+        let cfg = HapConfig::new(dim, 8).with_clusters(&[4, 2]);
+        let model = HapModel::new(&mut store, &cfg, &mut rng);
+        let clf = HapClassifier::new(&mut store, model, 2, &mut rng);
+
+        let mut ctx_rng = Rng::from_seed(9);
+        let mut ctx = PoolCtx {
+            training: false,
+            rng: &mut ctx_rng,
+        };
+        let looped: Vec<Tensor> = graphs
+            .iter()
+            .zip(&features)
+            .map(|(g, x)| clf.try_embedding(g, x, &mut ctx).expect("looped embed"))
+            .collect();
+
+        let items: Vec<(&Graph, &Tensor)> = graphs.iter().zip(features.iter()).collect();
+        let mut ctx_rng = Rng::from_seed(9);
+        let mut ctx = PoolCtx {
+            training: false,
+            rng: &mut ctx_rng,
+        };
+        let batched = clf.try_embeddings(&items, &mut ctx).expect("batched embed");
+        (looped, batched)
+    });
+
+    for (mode, (looped, batched)) in [("seq", &seq), ("par", &par)] {
+        assert_eq!(looped.len(), batched.len());
+        for (k, (l, b)) in looped.iter().zip(batched).enumerate() {
+            assert_bits_equal(&format!("{mode} graph {k} batched vs looped"), l, b);
+        }
+    }
+    for (k, (s, p)) in seq.1.iter().zip(&par.1).enumerate() {
+        assert_bits_equal(&format!("graph {k} batched across threads"), s, p);
+    }
+}

@@ -5,11 +5,15 @@
 //! across threads. The serving layer therefore runs **one** model thread
 //! that owns the classifier and its embedding cache, and the HTTP workers
 //! hand it jobs over an mpsc channel. The model thread collects jobs for a
-//! short window (default 1 ms) or until `max_batch`, then answers them
-//! graph-at-a-time — batching here amortises channel wake-ups and keeps
-//! the cache hot across a burst, it does not change any numeric result.
-//! Responses are pure functions of the request payload, which is what
-//! makes replayed traffic byte-identical at any worker count.
+//! short window (default 1 ms) or until `max_batch`, then answers them:
+//! the `Classify` jobs of a batch are embedded together in **one**
+//! block-diagonal batched forward pass over the cache misses
+//! ([`ModelService::classify_batch`]; ARCHITECTURE.md "Sparse & batched
+//! execution"), so batching amortises the model compute itself — not just
+//! channel wake-ups — while staying byte-identical per graph to the
+//! graph-at-a-time loop. Responses are pure functions of the request
+//! payload, which is what makes replayed traffic byte-identical at any
+//! worker count and any batch composition.
 
 use crate::json::{num, num_array};
 use crate::service::{clamp_labels, Classification, ModelService, ServiceConfig, Similarity};
@@ -174,9 +178,42 @@ fn run_loop(
             }
         }
         hap_obs::record("serve.batch_size", batch.len() as f64);
+        // Split off the Classify jobs so their cache misses share one
+        // block-diagonal forward pass; everything else stays job-at-a-time.
+        let mut classify_graphs: Vec<Graph> = Vec::new();
+        let mut classify_replies = Vec::new();
+        let mut rest = Vec::new();
         for sub in batch {
+            match sub.job {
+                Job::Classify(mut g) => {
+                    clamp_labels(&mut g, svc.in_dim());
+                    classify_graphs.push(g);
+                    classify_replies.push(sub.reply);
+                }
+                job => rest.push(Submission {
+                    job,
+                    reply: sub.reply,
+                }),
+            }
+        }
+        if !classify_graphs.is_empty() {
+            hap_obs::record("serve.classify_batch_size", classify_graphs.len() as f64);
+            for (result, reply) in svc
+                .classify_batch(&classify_graphs)
+                .into_iter()
+                .zip(classify_replies)
+            {
+                let body = result
+                    .map(|Classification { label, logits }| {
+                        format!("{{\"label\":{label},\"logits\":{}}}", num_array(&logits))
+                    })
+                    .map_err(|e| e.to_string());
+                // A dead receiver just means the worker gave up; ignore.
+                let _ = reply.send(body);
+            }
+        }
+        for sub in rest {
             let body = handle_job(svc, sub.job);
-            // A dead receiver just means the worker gave up; ignore.
             let _ = sub.reply.send(body);
         }
         stats.hits.store(svc.cache_hits(), Ordering::Relaxed);

@@ -147,18 +147,115 @@ impl ModelService {
         Ok(e)
     }
 
+    /// Hierarchy embeddings for a whole micro-batch, with per-graph
+    /// errors. Cache lookups happen in submission order; the misses are
+    /// then deduplicated by WL key and embedded in **one** block-diagonal
+    /// batched forward pass (`HapClassifier::try_embeddings`), which is
+    /// byte-identical per graph to the graph-at-a-time loop — see
+    /// ARCHITECTURE.md "Sparse & batched execution". Duplicate keys inside
+    /// one batch each count as a miss (the cache is consulted before any
+    /// compute) but share a single computation.
+    pub fn embedding_batch(&mut self, graphs: &[Graph]) -> Vec<Result<Tensor, HapError>> {
+        let mut out: Vec<Option<Result<Tensor, HapError>>> = vec![None; graphs.len()];
+        // Unique cache misses, in first-appearance order.
+        let mut miss_keys: Vec<u64> = Vec::new();
+        let mut miss_jobs: Vec<usize> = Vec::new(); // first job index per key
+        let mut miss_features: Vec<Tensor> = Vec::new();
+        // For every missing job, the slot in `miss_*` that serves it.
+        let mut job_slot: Vec<(usize, usize)> = Vec::new();
+        for (i, g) in graphs.iter().enumerate() {
+            let key = wl_cache_key(g, self.cfg.wl_iterations);
+            if let Some(e) = self.cache.get(key) {
+                hap_obs::inc("serve.cache.hit");
+                out[i] = Some(Ok(e.clone()));
+                continue;
+            }
+            hap_obs::inc("serve.cache.miss");
+            if g.n() == 0 {
+                // Same outcome as the single-graph path: the lookup counts
+                // a miss, the forward pass refuses the graph.
+                out[i] = Some(Err(HapError::EmptyGraph));
+                continue;
+            }
+            let slot = match miss_keys.iter().position(|&k| k == key) {
+                Some(s) => s,
+                None => {
+                    miss_keys.push(key);
+                    miss_jobs.push(i);
+                    miss_features.push(if g.node_labels().is_some() {
+                        label_one_hot(g, self.in_dim)
+                    } else {
+                        degree_one_hot(g, self.in_dim)
+                    });
+                    miss_keys.len() - 1
+                }
+            };
+            job_slot.push((i, slot));
+        }
+        if !miss_keys.is_empty() {
+            let items: Vec<(&Graph, &Tensor)> = miss_jobs
+                .iter()
+                .zip(&miss_features)
+                .map(|(&j, f)| (&graphs[j], f))
+                .collect();
+            // Eval passes draw nothing from the RNG (see `embedding`), so
+            // one fresh RNG per batch is equivalent to one per graph.
+            let mut rng = Rng::from_seed(0);
+            let mut ctx = PoolCtx {
+                training: false,
+                rng: &mut rng,
+            };
+            match self.clf.try_embeddings(&items, &mut ctx) {
+                Ok(es) => {
+                    for (&key, e) in miss_keys.iter().zip(&es) {
+                        self.cache.insert(key, e.clone());
+                    }
+                    for (i, slot) in job_slot {
+                        out[i] = Some(Ok(es[slot].clone()));
+                    }
+                }
+                // Unreachable after the n == 0 screen above (features are
+                // built at the right shape), but kept total.
+                Err(e) => {
+                    for (i, _) in job_slot {
+                        out[i] = Some(Err(e.clone()));
+                    }
+                }
+            }
+        }
+        out.into_iter()
+            .map(|r| r.expect("every job answered"))
+            .collect()
+    }
+
     /// Classifies one graph.
     ///
     /// # Errors
     /// [`HapError`] from the forward pass.
     pub fn classify(&mut self, g: &Graph) -> Result<Classification, HapError> {
         let e = self.embedding(g)?;
-        let logits = self.clf.logits_from_embedding(&e);
-        let label = self.clf.predict_from_embedding(&e);
-        Ok(Classification {
+        Ok(self.classification_from(&e))
+    }
+
+    /// Classifies a micro-batch: [`ModelService::embedding_batch`] for the
+    /// embeddings (one shared forward pass over the cache misses), then
+    /// the small head per graph. Results are in submission order and
+    /// bitwise equal to per-graph [`ModelService::classify`] calls.
+    pub fn classify_batch(&mut self, graphs: &[Graph]) -> Vec<Result<Classification, HapError>> {
+        let embeddings = self.embedding_batch(graphs);
+        embeddings
+            .into_iter()
+            .map(|r| r.map(|e| self.classification_from(&e)))
+            .collect()
+    }
+
+    fn classification_from(&self, e: &Tensor) -> Classification {
+        let logits = self.clf.logits_from_embedding(e);
+        let label = self.clf.predict_from_embedding(e);
+        Classification {
             label,
             logits: logits.as_slice().to_vec(),
-        })
+        }
     }
 
     /// Scores a pair of graphs by per-level euclidean distance between
@@ -361,6 +458,70 @@ mod tests {
         let c = svc.classify(&Graph::empty(1)).unwrap();
         assert!(c.label < 2);
         assert_eq!(c.logits.len(), 2);
+    }
+
+    #[test]
+    fn classify_batch_is_bitwise_equal_to_sequential_classify() {
+        let graphs = [
+            Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]),
+            Graph::empty(1),
+            Graph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]),
+            Graph::from_edges(3, &[(0, 1), (1, 2), (2, 0)]),
+        ];
+        let mut seq = tiny_service();
+        let expected: Vec<Classification> =
+            graphs.iter().map(|g| seq.classify(g).unwrap()).collect();
+        let mut batched = tiny_service();
+        let got = batched.classify_batch(&graphs);
+        assert_eq!(got.len(), graphs.len());
+        for (e, g) in expected.iter().zip(&got) {
+            let g = g.as_ref().unwrap();
+            assert_eq!(e.label, g.label);
+            let eb: Vec<u64> = e.logits.iter().map(|v| v.to_bits()).collect();
+            let gb: Vec<u64> = g.logits.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(eb, gb, "batched logits must be bit-identical");
+        }
+        assert_eq!(batched.cache_misses(), 4);
+        assert_eq!(batched.cache_hits(), 0);
+    }
+
+    #[test]
+    fn classify_batch_gives_per_job_errors_and_serves_the_rest() {
+        let mut svc = tiny_service();
+        let graphs = [
+            Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]),
+            Graph::empty(0),
+            Graph::from_edges(3, &[(0, 1), (1, 2)]),
+        ];
+        let got = svc.classify_batch(&graphs);
+        assert!(got[0].is_ok());
+        assert!(matches!(got[1], Err(HapError::EmptyGraph)));
+        assert!(got[2].is_ok());
+    }
+
+    #[test]
+    fn classify_batch_dedupes_isomorphic_misses_and_hits_the_cache_after() {
+        let mut svc = tiny_service();
+        let g1 = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        // Same path graph under a node relabelling → same WL key.
+        let g2 = Graph::from_edges(4, &[(3, 2), (2, 0), (0, 1)]);
+        let got = svc.classify_batch(&[g1.clone(), g2]);
+        let (a, b) = (got[0].as_ref().unwrap(), got[1].as_ref().unwrap());
+        assert_eq!(a.logits, b.logits, "deduped jobs share one embedding");
+        // Both lookups preceded the compute, so both count as misses …
+        assert_eq!(svc.cache_misses(), 2);
+        // … but a repeat batch is now served entirely from the cache, and
+        // the cached result is bit-identical to the batched computation.
+        let again = svc.classify_batch(&[g1]);
+        assert_eq!(svc.cache_hits(), 1);
+        assert_eq!(again[0].as_ref().unwrap().logits, a.logits);
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        let mut svc = tiny_service();
+        assert!(svc.classify_batch(&[]).is_empty());
+        assert_eq!(svc.cache_misses(), 0);
     }
 
     #[test]

@@ -5,10 +5,15 @@
 //! The whole HAP stack — autograd, neural-network layers, GNN message
 //! passing, the MOA attention mechanism — operates on dense `f64` matrices.
 //! Graphs in the paper's evaluation are small (tens to a few hundred nodes),
-//! so a straightforward row-major dense representation is both simpler and
-//! faster than a sparse one at this scale, and it matches the paper's own
-//! formulation of the coarsening module (Eqs. 13–19 are dense matrix
-//! products).
+//! so a straightforward row-major dense representation is the default and
+//! matches the paper's own formulation of the coarsening module (Eqs. 13–19
+//! are dense matrix products). For sparse propagation matrices the crate
+//! also provides [`CsrMatrix`] with an SpMM that is *byte-identical* to the
+//! dense product (the dense kernel already skips zero entries in the same
+//! order), plus segment reductions ([`Tensor::segment_sums`],
+//! [`Tensor::segment_means`], [`Tensor::segment_softmax`]) for
+//! block-diagonal multi-graph batches — see ARCHITECTURE.md "Sparse &
+//! batched execution".
 //!
 //! Design notes:
 //! * Shapes are `(rows, cols)`; storage is row-major `Vec<f64>`.
@@ -29,9 +34,13 @@
 
 mod error;
 mod ops;
+mod segment;
+mod sparse;
 mod tensor;
 
 pub use error::ShapeError;
+pub use segment::validate_segments;
+pub use sparse::CsrMatrix;
 pub use tensor::Tensor;
 
 /// Numeric tolerance helpers shared by tests across the workspace.

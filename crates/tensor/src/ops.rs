@@ -13,7 +13,7 @@ use std::ops::{Add, Mul, Neg, Sub};
 /// parallel path. Below it, thread hand-off costs more than the work:
 /// `n·k·m = 100_000` is ~50 µs of scalar FMA, a few times the pool's
 /// dispatch latency.
-const PAR_MATMUL_FLOPS: usize = 100_000;
+pub(crate) const PAR_MATMUL_FLOPS: usize = 100_000;
 
 /// Element count above which elementwise kernels (`map`, `zip_with`,
 /// `softmax_rows`) use the parallel path. An `n = 200` attention score

@@ -1,0 +1,335 @@
+//! Compressed-sparse-row matrices and the sparse–dense product (SpMM).
+//!
+//! [`CsrMatrix`] stores only the strictly non-zero entries of a matrix,
+//! each row's entries in **ascending column order**. That ordering is the
+//! whole determinism story: the dense ikj kernel (`matmul_block` in
+//! `ops.rs`) skips `a[i][p] == 0.0` entries and accumulates the survivors
+//! in ascending `p`, so a CSR row walk performs the *exact same sequence*
+//! of fused multiply–adds per output row — [`CsrMatrix::spmm`] is
+//! byte-identical to [`Tensor::matmul`] on the densified matrix at every
+//! `HAP_THREADS` setting, not merely close. Sparsity is therefore purely
+//! a performance dispatch decision, never a numerics one.
+
+use crate::ops::PAR_MATMUL_FLOPS;
+use crate::{ShapeError, Tensor};
+
+/// A sparse matrix in compressed-sparse-row form.
+///
+/// Invariants (maintained by every constructor):
+/// * `indptr.len() == rows + 1`, `indptr[0] == 0`,
+///   `indptr[rows] == indices.len() == values.len()`;
+/// * within each row, `indices` are strictly increasing and `< cols`;
+/// * `values` contains no `0.0` entries (so the FMA sequence of
+///   [`CsrMatrix::spmm`] matches the zero-skipping dense kernel exactly).
+#[derive(Clone, Debug, PartialEq)]
+pub struct CsrMatrix {
+    rows: usize,
+    cols: usize,
+    indptr: Vec<usize>,
+    indices: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Compresses a dense matrix, dropping every `0.0` entry (including
+    /// negative zero, which the dense kernel also skips).
+    ///
+    /// ```
+    /// use hap_tensor::{CsrMatrix, Tensor};
+    /// let d = Tensor::from_rows(&[vec![0.0, 2.0], vec![3.0, 0.0]]);
+    /// let s = CsrMatrix::from_dense(&d);
+    /// assert_eq!(s.nnz(), 2);
+    /// assert_eq!(s.to_dense(), d);
+    /// ```
+    pub fn from_dense(dense: &Tensor) -> CsrMatrix {
+        let (rows, cols) = dense.shape();
+        let mut indptr = Vec::with_capacity(rows + 1);
+        let mut indices = Vec::new();
+        let mut values = Vec::new();
+        indptr.push(0);
+        for r in 0..rows {
+            for (c, &v) in dense.row(r).iter().enumerate() {
+                if v != 0.0 {
+                    indices.push(c);
+                    values.push(v);
+                }
+            }
+            indptr.push(indices.len());
+        }
+        CsrMatrix {
+            rows,
+            cols,
+            indptr,
+            indices,
+            values,
+        }
+    }
+
+    /// Expands back to a dense [`Tensor`].
+    pub fn to_dense(&self) -> Tensor {
+        let mut out = Tensor::zeros(self.rows, self.cols);
+        for r in 0..self.rows {
+            let row = out.row_mut(r);
+            for idx in self.indptr[r]..self.indptr[r + 1] {
+                row[self.indices[idx]] = self.values[idx];
+            }
+        }
+        out
+    }
+
+    /// Row count.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Column count.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Number of stored (non-zero) entries.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Fraction of entries that are non-zero (`0.0` for an empty shape).
+    pub fn density(&self) -> f64 {
+        let total = self.rows * self.cols;
+        if total == 0 {
+            0.0
+        } else {
+            self.nnz() as f64 / total as f64
+        }
+    }
+
+    /// The column indices and values of row `r`.
+    ///
+    /// # Panics
+    /// Panics when `r >= rows`.
+    pub fn row(&self, r: usize) -> (&[usize], &[f64]) {
+        let span = self.indptr[r]..self.indptr[r + 1];
+        (&self.indices[span.clone()], &self.values[span])
+    }
+
+    /// Whether the matrix equals its transpose (structure *and* values).
+    /// Every propagation matrix in this workspace (`D̃^{-1/2}ÃD̃^{-1/2}`
+    /// of an undirected graph, and block-diagonals thereof) is symmetric;
+    /// the SpMM tape op relies on it for its backward pass.
+    pub fn is_symmetric(&self) -> bool {
+        if self.rows != self.cols {
+            return false;
+        }
+        for r in 0..self.rows {
+            let (cols, vals) = self.row(r);
+            for (&c, &v) in cols.iter().zip(vals) {
+                let (tcols, tvals) = self.row(c);
+                match tcols.binary_search(&r) {
+                    Ok(pos) if tvals[pos] == v => {}
+                    _ => return false,
+                }
+            }
+        }
+        true
+    }
+
+    /// Stacks square blocks along the diagonal: the result has
+    /// `Σ rowsᵢ` rows/cols and block `i`'s entries shifted by the sizes of
+    /// the blocks before it. This is the multi-graph batch adjacency: one
+    /// SpMM against vertically concatenated features computes every
+    /// graph's propagation in a single pass, and each output row's FMA
+    /// sequence is identical to the per-block product (the shifted column
+    /// indices select exactly the corresponding block of the stacked
+    /// features).
+    ///
+    /// # Panics
+    /// Panics when any block is non-square.
+    pub fn block_diag(blocks: &[&CsrMatrix]) -> CsrMatrix {
+        let n: usize = blocks.iter().map(|b| b.rows).sum();
+        let nnz: usize = blocks.iter().map(|b| b.nnz()).sum();
+        let mut indptr = Vec::with_capacity(n + 1);
+        let mut indices = Vec::with_capacity(nnz);
+        let mut values = Vec::with_capacity(nnz);
+        indptr.push(0);
+        let mut offset = 0;
+        for b in blocks {
+            assert_eq!(
+                b.rows,
+                b.cols,
+                "block_diag: blocks must be square, got {:?}",
+                b.shape()
+            );
+            for r in 0..b.rows {
+                let (cols, vals) = b.row(r);
+                indices.extend(cols.iter().map(|&c| c + offset));
+                values.extend_from_slice(vals);
+                indptr.push(indices.len());
+            }
+            offset += b.rows;
+        }
+        CsrMatrix {
+            rows: n,
+            cols: n,
+            indptr,
+            indices,
+            values,
+        }
+    }
+
+    /// Sparse × dense product `self · rhs`.
+    ///
+    /// Byte-identical to `self.to_dense().matmul(rhs)`: the dense kernel
+    /// skips zero left-entries and accumulates the rest in ascending
+    /// column order, which is exactly the CSR row walk. Above the same
+    /// work threshold as the dense product, output row blocks run on the
+    /// [`hap_par`] pool; each output row is owned by one worker and
+    /// accumulated in the sequential order, so results are byte-identical
+    /// at every `HAP_THREADS` setting.
+    ///
+    /// # Errors
+    /// Returns a [`ShapeError`] when `self.cols() != rhs.rows()`.
+    pub fn try_spmm(&self, rhs: &Tensor) -> Result<Tensor, ShapeError> {
+        if self.cols != rhs.rows() {
+            return Err(ShapeError::binary(
+                "spmm",
+                self.shape(),
+                rhs.shape(),
+                "inner dimensions must agree",
+            ));
+        }
+        let m = rhs.cols();
+        let mut out = Tensor::zeros(self.rows, m);
+        if m == 0 || self.rows == 0 {
+            return Ok(out);
+        }
+        let b = rhs.as_slice();
+        // Parallel crossover uses the *actual* multiply–add count
+        // (nnz · m), the sparse analogue of the dense n·k·m heuristic.
+        if self.nnz() * m >= PAR_MATMUL_FLOPS && hap_par::threads() > 1 {
+            let chunk_len = hap_par::row_chunk_len(self.rows, m);
+            let rows_per_chunk = chunk_len / m;
+            hap_par::par_chunks_mut(out.as_mut_slice(), chunk_len, |ci, out_chunk| {
+                self.spmm_block(b, m, ci * rows_per_chunk, out_chunk);
+            });
+        } else {
+            self.spmm_block(b, m, 0, out.as_mut_slice());
+        }
+        Ok(out)
+    }
+
+    /// Panicking variant of [`CsrMatrix::try_spmm`].
+    ///
+    /// # Panics
+    /// Panics with the [`ShapeError`] message when the inner dimensions
+    /// disagree.
+    pub fn spmm(&self, rhs: &Tensor) -> Tensor {
+        self.try_spmm(rhs).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// The SpMM row kernel, shared verbatim by the sequential and
+    /// parallel paths: fills the output rows in `out` (a block of whole
+    /// rows starting at global row `row0`) from this matrix and `b`
+    /// (`cols × m`, row-major). Mirrors `matmul_block`'s ikj structure
+    /// with the zero entries pre-skipped by construction.
+    fn spmm_block(&self, b: &[f64], m: usize, row0: usize, out: &mut [f64]) {
+        for (local_i, out_row) in out.chunks_mut(m).enumerate() {
+            let i = row0 + local_i;
+            for idx in self.indptr[i]..self.indptr[i + 1] {
+                let a_ip = self.values[idx];
+                let b_row = &b[self.indices[idx] * m..self.indices[idx] * m + m];
+                for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                    *o += a_ip * bv;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hap_rand::Rng;
+
+    fn random_sparse(n: usize, m: usize, density: f64, seed: u64) -> Tensor {
+        let mut rng = Rng::from_seed(seed);
+        let mut t = Tensor::zeros(n, m);
+        for r in 0..n {
+            for c in 0..m {
+                if rng.gen_f64() < density {
+                    t[(r, c)] = rng.gen_f64() * 2.0 - 1.0;
+                }
+            }
+        }
+        t
+    }
+
+    #[test]
+    fn roundtrip_and_counts() {
+        let d = random_sparse(17, 13, 0.2, 7);
+        let s = CsrMatrix::from_dense(&d);
+        assert_eq!(s.to_dense(), d);
+        assert_eq!(s.nnz(), d.as_slice().iter().filter(|&&x| x != 0.0).count());
+        assert!((s.density() - s.nnz() as f64 / (17.0 * 13.0)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn spmm_is_bitwise_equal_to_dense_matmul() {
+        for (n, k, m, density) in [(1, 1, 1, 1.0), (5, 5, 3, 0.3), (40, 40, 16, 0.05)] {
+            let a = random_sparse(n, k, density, 11);
+            let b = random_sparse(k, m, 1.0, 12);
+            let s = CsrMatrix::from_dense(&a);
+            let dense = a.matmul(&b);
+            let sparse = s.spmm(&b);
+            assert_eq!(dense.shape(), sparse.shape());
+            for (x, y) in dense.as_slice().iter().zip(sparse.as_slice()) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn spmm_empty_matrix_and_shape_error() {
+        let s = CsrMatrix::from_dense(&Tensor::zeros(3, 3));
+        assert_eq!(s.nnz(), 0);
+        assert_eq!(s.spmm(&Tensor::ones(3, 2)), Tensor::zeros(3, 2));
+        assert!(s.try_spmm(&Tensor::ones(4, 2)).is_err());
+    }
+
+    #[test]
+    fn block_diag_matches_manual_embedding() {
+        let a = random_sparse(3, 3, 0.5, 1);
+        let b = random_sparse(2, 2, 0.9, 2);
+        let sa = CsrMatrix::from_dense(&a);
+        let sb = CsrMatrix::from_dense(&b);
+        let bd = CsrMatrix::block_diag(&[&sa, &sb]);
+        assert_eq!(bd.shape(), (5, 5));
+        let dense = bd.to_dense();
+        for r in 0..3 {
+            for c in 0..3 {
+                assert_eq!(dense[(r, c)], a[(r, c)]);
+            }
+        }
+        for r in 0..2 {
+            for c in 0..2 {
+                assert_eq!(dense[(3 + r, 3 + c)], b[(r, c)]);
+            }
+        }
+        assert_eq!(bd.nnz(), sa.nnz() + sb.nnz());
+    }
+
+    #[test]
+    fn symmetry_check() {
+        let mut d = Tensor::zeros(3, 3);
+        d[(0, 1)] = 2.0;
+        d[(1, 0)] = 2.0;
+        d[(2, 2)] = 1.0;
+        assert!(CsrMatrix::from_dense(&d).is_symmetric());
+        d[(1, 0)] = 3.0;
+        assert!(!CsrMatrix::from_dense(&d).is_symmetric());
+        assert!(!CsrMatrix::from_dense(&Tensor::zeros(2, 3)).is_symmetric());
+    }
+}

@@ -17,4 +17,7 @@ mod trainer;
 
 pub use metrics::accuracy;
 pub use snapshot::export_snapshot;
-pub use trainer::{train, train_with_rng, EvalFn, LossFn, TrainConfig, TrainReport};
+pub use trainer::{
+    train, train_batched, train_batched_with_rng, train_with_rng, BatchLossFn, EvalFn, LossFn,
+    TrainConfig, TrainReport,
+};

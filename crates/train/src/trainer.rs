@@ -58,8 +58,19 @@ pub struct TrainReport {
 
 /// Builds the loss for one training sample: `(tape, sample_index, ctx)`.
 pub type LossFn<'a> = dyn FnMut(&mut Tape, usize, &mut PoolCtx<'_>) -> Var + 'a;
+/// Builds per-sample losses for a whole mini-batch on one tape:
+/// `(tape, batch_indices, ctx) → one loss Var per index, in order`.
+pub type BatchLossFn<'a> = dyn FnMut(&mut Tape, &[usize], &mut PoolCtx<'_>) -> Vec<Var> + 'a;
 /// Evaluates one sample: `(sample_index, ctx) → correct?`.
 pub type EvalFn<'a> = dyn FnMut(usize, &mut PoolCtx<'_>) -> bool + 'a;
+
+/// How a mini-batch turns into gradients: one tape+backward per sample
+/// (the original loop), or one shared tape with a single backward through
+/// the summed batch loss.
+enum Stepper<'a, 'b> {
+    PerSample(&'b mut LossFn<'a>),
+    Batched(&'b mut BatchLossFn<'a>),
+}
 
 /// Trains with Adam + gradient accumulation and returns the report.
 ///
@@ -107,6 +118,93 @@ pub fn train_with_rng(
     eval_fn: &mut EvalFn<'_>,
     rng: &mut Rng,
 ) -> TrainReport {
+    train_core(
+        store,
+        cfg,
+        train_idx,
+        val_idx,
+        test_idx,
+        Stepper::PerSample(loss_fn),
+        eval_fn,
+        rng,
+    )
+}
+
+/// [`train`] with whole mini-batches embedded per forward pass: the
+/// closure builds **all** of a batch's per-sample losses on one tape
+/// (e.g. via `HapClassifier::batch_losses`, which runs the level-0
+/// encoder once over a block-diagonal batch), and a single backward
+/// sweep through their sum produces the accumulated gradient.
+///
+/// Semantics versus [`train`]:
+/// * Per-sample loss *values* are byte-identical (the batched forward is
+///   bitwise the looped forward, and `model_rng` draws happen in the same
+///   per-sample order), so the NaN skip-and-report guard still applies
+///   sample by sample — a poisoned sample drops out of the summed loss
+///   exactly as it dropped out of the per-sample loop.
+/// * Accumulated *gradients* are deterministic (same config → same run,
+///   bit for bit) but not bitwise-equal to the per-sample loop's: one
+///   backward through `Σ lᵢ` accumulates in a different floating-point
+///   order than `B` separate backwards. Both are exact-arithmetic equal.
+/// * Grad-norm clipping and the non-finite-norm batch drop are unchanged.
+pub fn train_batched(
+    store: &ParamStore,
+    cfg: &TrainConfig,
+    train_idx: &[usize],
+    val_idx: &[usize],
+    test_idx: &[usize],
+    batch_loss_fn: &mut BatchLossFn<'_>,
+    eval_fn: &mut EvalFn<'_>,
+) -> TrainReport {
+    let mut rng = Rng::from_seed(cfg.seed);
+    train_batched_with_rng(
+        store,
+        cfg,
+        train_idx,
+        val_idx,
+        test_idx,
+        batch_loss_fn,
+        eval_fn,
+        &mut rng,
+    )
+}
+
+/// [`train_batched`] with an explicit root generator (the batched
+/// counterpart of [`train_with_rng`]; same three-way stream split).
+#[allow(clippy::too_many_arguments)]
+pub fn train_batched_with_rng(
+    store: &ParamStore,
+    cfg: &TrainConfig,
+    train_idx: &[usize],
+    val_idx: &[usize],
+    test_idx: &[usize],
+    batch_loss_fn: &mut BatchLossFn<'_>,
+    eval_fn: &mut EvalFn<'_>,
+    rng: &mut Rng,
+) -> TrainReport {
+    train_core(
+        store,
+        cfg,
+        train_idx,
+        val_idx,
+        test_idx,
+        Stepper::Batched(batch_loss_fn),
+        eval_fn,
+        rng,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn train_core(
+    store: &ParamStore,
+    cfg: &TrainConfig,
+    train_idx: &[usize],
+    val_idx: &[usize],
+    test_idx: &[usize],
+    mut stepper: Stepper<'_, '_>,
+    eval_fn: &mut EvalFn<'_>,
+    rng: &mut Rng,
+) -> TrainReport {
     assert!(!train_idx.is_empty(), "empty training set");
     let mut shuffle_rng = rng.fork("shuffle");
     let mut model_rng = rng.fork("model");
@@ -133,36 +231,85 @@ pub fn train_with_rng(
         for batch in order.chunks(cfg.batch_size) {
             let _bt = hap_obs::time_scope("train.batch");
             store.zero_grads();
-            for &i in batch {
-                sample_step += 1;
-                hap_obs::set_step(sample_step);
-                tape.reset();
-                let mut ctx = PoolCtx {
-                    training: true,
-                    rng: &mut model_rng,
-                };
-                let loss = loss_fn(&mut tape, i, &mut ctx);
-                let loss_val = tape.scalar(loss);
-                // Skip-and-report recovery: a non-finite loss would poison
-                // every parameter through backprop, so the sample's
-                // gradient contribution is dropped (its loss counts as 0
-                // in the epoch mean) and the provenance is recorded. A
-                // finite run takes this branch never — trajectories are
-                // byte-identical to the unguarded loop.
-                if !hap_obs::guard_scalar("train.loss", loss_val) {
-                    hap_obs::inc("train.skipped_samples");
-                    continue;
+            match &mut stepper {
+                Stepper::PerSample(loss_fn) => {
+                    for &i in batch {
+                        sample_step += 1;
+                        hap_obs::set_step(sample_step);
+                        tape.reset();
+                        let mut ctx = PoolCtx {
+                            training: true,
+                            rng: &mut model_rng,
+                        };
+                        let loss = loss_fn(&mut tape, i, &mut ctx);
+                        let loss_val = tape.scalar(loss);
+                        // Skip-and-report recovery: a non-finite loss would
+                        // poison every parameter through backprop, so the
+                        // sample's gradient contribution is dropped (its
+                        // loss counts as 0 in the epoch mean) and the
+                        // provenance is recorded. A finite run takes this
+                        // branch never — trajectories are byte-identical to
+                        // the unguarded loop.
+                        if !hap_obs::guard_scalar("train.loss", loss_val) {
+                            hap_obs::inc("train.skipped_samples");
+                            continue;
+                        }
+                        epoch_loss += loss_val;
+                        if hap_obs::enabled() {
+                            hap_obs::inc("train.samples");
+                            hap_obs::record("train.loss", loss_val);
+                        }
+                        // scale the seed so the step is the batch *mean*
+                        tape.backward_with_seed(
+                            loss,
+                            hap_tensor::Tensor::full(1, 1, 1.0 / batch.len() as f64),
+                        );
+                    }
                 }
-                epoch_loss += loss_val;
-                if hap_obs::enabled() {
-                    hap_obs::inc("train.samples");
-                    hap_obs::record("train.loss", loss_val);
+                Stepper::Batched(batch_loss_fn) => {
+                    sample_step += batch.len() as u64;
+                    hap_obs::set_step(sample_step);
+                    tape.reset();
+                    let mut ctx = PoolCtx {
+                        training: true,
+                        rng: &mut model_rng,
+                    };
+                    let losses = batch_loss_fn(&mut tape, batch, &mut ctx);
+                    assert_eq!(
+                        losses.len(),
+                        batch.len(),
+                        "batch loss closure must return one loss per sample"
+                    );
+                    // Same per-sample skip-and-report guard as the loop
+                    // above: a non-finite sample loss is excluded from the
+                    // summed objective, so it contributes neither to the
+                    // epoch mean nor to the gradient.
+                    let mut total: Option<Var> = None;
+                    for loss in losses {
+                        let loss_val = tape.scalar(loss);
+                        if !hap_obs::guard_scalar("train.loss", loss_val) {
+                            hap_obs::inc("train.skipped_samples");
+                            continue;
+                        }
+                        epoch_loss += loss_val;
+                        if hap_obs::enabled() {
+                            hap_obs::inc("train.samples");
+                            hap_obs::record("train.loss", loss_val);
+                        }
+                        total = Some(match total {
+                            Some(t) => tape.add(t, loss),
+                            None => loss,
+                        });
+                    }
+                    if let Some(total) = total {
+                        // one backward through the sum; seed scaled so the
+                        // step is the batch mean
+                        tape.backward_with_seed(
+                            total,
+                            hap_tensor::Tensor::full(1, 1, 1.0 / batch.len() as f64),
+                        );
+                    }
                 }
-                // scale the seed so the step is the batch *mean*
-                tape.backward_with_seed(
-                    loss,
-                    hap_tensor::Tensor::full(1, 1, 1.0 / batch.len() as f64),
-                );
             }
             // The gradient norm is needed for clipping anyway; reuse it as
             // the NaN sentinel (and compute it just for that when metrics
@@ -383,6 +530,182 @@ mod tests {
             0.5,
             "a NaN-gradient batch must never reach the optimiser"
         );
+    }
+
+    #[test]
+    fn batched_training_is_deterministic_and_learns() {
+        // Two identical batched runs must produce byte-identical reports
+        // and parameters; and the batched loop must still learn the
+        // community signal.
+        let run = || {
+            let mut rng = Rng::from_seed(1);
+            let ds = imdb_b(60, &mut rng);
+            let mut store = hap_autograd::ParamStore::new();
+            let cfg = HapConfig::new(ds.feature_dim, 8).with_clusters(&[4, 2]);
+            let model = HapModel::new(&mut store, &cfg, &mut rng);
+            let clf = HapClassifier::new(&mut store, model, ds.num_classes, &mut rng);
+            let (train_idx, val_idx, test_idx) = hap_data::split_811(ds.samples.len(), &mut rng);
+            let tcfg = TrainConfig {
+                epochs: 12,
+                batch_size: 8,
+                lr: 0.01,
+                seed: 3,
+                patience: None,
+                grad_clip: Some(5.0),
+                log_every: 0,
+            };
+            let report = train_batched(
+                &store,
+                &tcfg,
+                &train_idx,
+                &val_idx,
+                &test_idx,
+                &mut |tape, batch, ctx| {
+                    let items: Vec<_> = batch
+                        .iter()
+                        .map(|&i| {
+                            let s = &ds.samples[i];
+                            (&s.graph, &s.features, s.label)
+                        })
+                        .collect();
+                    clf.batch_losses(tape, &items, ctx).expect("valid batch")
+                },
+                &mut |i, ctx| {
+                    let s = &ds.samples[i];
+                    clf.predict(&s.graph, &s.features, ctx) == s.label
+                },
+            );
+            let params: Vec<Vec<u64>> = store
+                .iter()
+                .map(|p| p.value().as_slice().iter().map(|v| v.to_bits()).collect())
+                .collect();
+            (report, params)
+        };
+        let (r1, p1) = run();
+        let (r2, p2) = run();
+        assert_eq!(p1, p2, "batched training must be bitwise deterministic");
+        assert_eq!(r1.train_losses, r2.train_losses);
+        assert_eq!(r1.val_history, r2.val_history);
+        assert!(
+            r1.best_val >= 0.6,
+            "batched run no better than chance: {}",
+            r1.best_val
+        );
+    }
+
+    #[test]
+    fn batched_first_epoch_losses_match_per_sample_bitwise() {
+        // Before the first optimiser step the parameters are identical, and
+        // batched forwards are byte-identical to looped ones with the same
+        // model_rng draw order — so with one batch per epoch, epoch 0's
+        // mean training loss must match the per-sample loop bit for bit.
+        let build = || {
+            let mut rng = Rng::from_seed(5);
+            let ds = imdb_b(8, &mut rng);
+            let mut store = hap_autograd::ParamStore::new();
+            let cfg = HapConfig::new(ds.feature_dim, 6).with_clusters(&[3]);
+            let model = HapModel::new(&mut store, &cfg, &mut rng);
+            let clf = HapClassifier::new(&mut store, model, ds.num_classes, &mut rng);
+            (ds, store, clf)
+        };
+        let tcfg = TrainConfig {
+            epochs: 1,
+            batch_size: 8, // the whole set: exactly one batch
+            lr: 0.01,
+            seed: 4,
+            patience: None,
+            grad_clip: Some(5.0),
+            log_every: 0,
+        };
+        let idx: Vec<usize> = (0..8).collect();
+
+        let (ds, store, clf) = build();
+        let per_sample = train(
+            &store,
+            &tcfg,
+            &idx,
+            &idx,
+            &idx,
+            &mut |tape, i, ctx| {
+                let s = &ds.samples[i];
+                clf.loss(tape, &s.graph, &s.features, s.label, ctx)
+            },
+            &mut |_i, _ctx| false,
+        );
+
+        let (ds, store, clf) = build();
+        let batched = train_batched(
+            &store,
+            &tcfg,
+            &idx,
+            &idx,
+            &idx,
+            &mut |tape, batch, ctx| {
+                let items: Vec<_> = batch
+                    .iter()
+                    .map(|&i| {
+                        let s = &ds.samples[i];
+                        (&s.graph, &s.features, s.label)
+                    })
+                    .collect();
+                clf.batch_losses(tape, &items, ctx).expect("valid batch")
+            },
+            &mut |_i, _ctx| false,
+        );
+
+        assert_eq!(
+            per_sample.train_losses[0].to_bits(),
+            batched.train_losses[0].to_bits(),
+            "epoch-0 loss drifted: {} vs {}",
+            per_sample.train_losses[0],
+            batched.train_losses[0]
+        );
+    }
+
+    #[test]
+    fn batched_non_finite_loss_sample_is_skipped_not_fatal() {
+        // The batched counterpart of the per-sample NaN guard: a poisoned
+        // sample drops out of the summed objective; the rest still train.
+        let mut store = hap_autograd::ParamStore::new();
+        let p = store.new_param("w".to_string(), hap_tensor::Tensor::full(1, 1, 0.5));
+        let tcfg = TrainConfig {
+            epochs: 2,
+            batch_size: 2,
+            lr: 0.01,
+            seed: 1,
+            patience: None,
+            grad_clip: Some(5.0),
+            log_every: 0,
+        };
+        let report = train_batched(
+            &store,
+            &tcfg,
+            &[0, 1],
+            &[0],
+            &[0],
+            &mut |tape, batch, _ctx| {
+                batch
+                    .iter()
+                    .map(|&i| {
+                        if i == 0 {
+                            tape.constant(hap_tensor::Tensor::full(1, 1, f64::NAN))
+                        } else {
+                            let v = tape.param(&p);
+                            tape.sum_all(v)
+                        }
+                    })
+                    .collect()
+            },
+            &mut |_i, _ctx| false,
+        );
+        assert!(
+            report.train_losses.iter().all(|l| l.is_finite()),
+            "skipped sample leaked NaN into the epoch mean: {:?}",
+            report.train_losses
+        );
+        let w = p.value()[(0, 0)];
+        assert!(w.is_finite(), "parameters poisoned: {w}");
+        assert_ne!(w, 0.5, "the finite sample must still train");
     }
 
     #[test]

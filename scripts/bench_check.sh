@@ -46,6 +46,24 @@ cargo run --release --offline -p hap-bench --features count-allocs \
 cargo run --release --offline -p hap-bench --bin bench_check -- \
     "$baseline" "$current" "${threshold[@]}"
 
+# Batched-forward win: the block-diagonal batched train step must not be
+# meaningfully slower than the per-sample loop on the same workload
+# (EXPERIMENTS.md "Sparse vs dense crossover"). The two cases run
+# interleaved (Bench::run_pair) so host drift cannot bias the pair, and
+# no committed baseline is involved — batched is ~13% *faster*, so the
+# 1.10 ceiling leaves room for scheduler noise only.
+python3 - "$current" <<'EOF'
+import json, sys
+results = {r["name"]: r["median_ns"] for r in json.load(open(sys.argv[1]))["results"]}
+looped = results["train/train_step/batch=8"]
+batched = results["train/train_step_batched/batch=8"]
+if batched > looped * 1.10:
+    sys.exit(f"batched train step regressed past the per-sample loop: "
+             f"{batched:.0f} ns vs {looped:.0f} ns")
+print(f"batched train step: {batched:.0f} ns vs looped {looped:.0f} ns "
+      f"(ratio {batched / looped:.2f})")
+EOF
+
 # Serving throughput gate: replay the committed deterministic traffic
 # against the committed snapshot and fail on a QPS collapse versus the
 # committed results/loadgen.json baseline (same host caveat as above;

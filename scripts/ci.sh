@@ -35,6 +35,14 @@ env -u HAP_THREADS cargo test -q --offline -p hap-integration --test par_determi
 HAP_THREADS=1 cargo test -q --offline -p hap-integration --test obs_determinism
 env -u HAP_THREADS cargo test -q --offline -p hap-integration --test obs_determinism
 
+# Sparse & batched execution contract (ARCHITECTURE.md "Sparse & batched
+# execution"): CSR SpMM must be byte-identical to the dense zero-skipping
+# GEMM forward and backward, and a block-diagonal BatchGraph forward must
+# reproduce every per-graph embedding bit-for-bit — again at both
+# threading modes, since the sparse kernel has its own parallel dispatch.
+HAP_THREADS=1 cargo test -q --offline -p hap-integration --test sparse_batch_determinism
+env -u HAP_THREADS cargo test -q --offline -p hap-integration --test sparse_batch_determinism
+
 # NaN/∞ regression tests (EXPERIMENTS.md "Numeric robustness"): each fed
 # the pre-fix code a value that panicked or silently corrupted the run.
 cargo test -q --offline -p hap-core -- \
