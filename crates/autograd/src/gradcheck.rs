@@ -7,29 +7,51 @@
 //! their composite layers.
 
 use crate::{Param, Tape, Var};
-use hap_tensor::Tensor;
+use hap_tensor::{Dtype, Scalar, Tensor};
+
+/// Default central-difference step per dtype.
+///
+/// `1e-5` balances truncation against rounding error for `f64`; `f32`'s
+/// ~1e-7 relative evaluation noise needs a much larger step (`1e-2`)
+/// before the difference quotient stops amplifying it.
+pub fn default_fd_eps<T: Scalar>() -> f64 {
+    match T::DTYPE {
+        Dtype::F32 => 1e-2,
+        Dtype::F64 => 1e-5,
+    }
+}
+
+/// Default pass tolerance per dtype for [`check_unary_op_default`] /
+/// [`check_param_grad_default`].
+pub fn default_gradcheck_tol<T: Scalar>() -> f64 {
+    match T::DTYPE {
+        Dtype::F32 => 5e-2,
+        Dtype::F64 => 1e-6,
+    }
+}
 
 /// Estimates `d f / d input` by central differences.
 ///
 /// `f` must rebuild the computation from scratch for a given input value
-/// and return the scalar output. `eps` around `1e-5` balances truncation
-/// and rounding error for f64.
-pub fn finite_difference_grad(
-    input: &Tensor,
+/// and return the scalar output. See [`default_fd_eps`] for how to pick
+/// `eps` per dtype.
+pub fn finite_difference_grad<T: Scalar>(
+    input: &Tensor<T>,
     eps: f64,
-    mut f: impl FnMut(&Tensor) -> f64,
-) -> Tensor {
+    mut f: impl FnMut(&Tensor<T>) -> f64,
+) -> Tensor<T> {
+    let eps_t = T::from_f64(eps);
     let mut grad = Tensor::zeros(input.rows(), input.cols());
     let mut probe = input.clone();
     for r in 0..input.rows() {
         for c in 0..input.cols() {
             let orig = probe[(r, c)];
-            probe[(r, c)] = orig + eps;
+            probe[(r, c)] = orig + eps_t;
             let up = f(&probe);
-            probe[(r, c)] = orig - eps;
+            probe[(r, c)] = orig - eps_t;
             let down = f(&probe);
             probe[(r, c)] = orig;
-            grad[(r, c)] = (up - down) / (2.0 * eps);
+            grad[(r, c)] = T::from_f64((up - down) / (2.0 * eps));
         }
     }
     grad
@@ -40,7 +62,11 @@ pub fn finite_difference_grad(
 /// `build` receives a tape and the input variable and must return the
 /// scalar output variable. Panics (with per-element diagnostics) when the
 /// analytic and numeric gradients disagree beyond `tol`.
-pub fn check_unary_op(input: Tensor, tol: f64, mut build: impl FnMut(&mut Tape, Var) -> Var) {
+pub fn check_unary_op<T: Scalar>(
+    input: Tensor<T>,
+    tol: f64,
+    mut build: impl FnMut(&mut Tape<T>, Var) -> Var,
+) {
     let mut tape = Tape::new();
     let x = tape.constant(input.clone());
     let out = build(&mut tape, x);
@@ -48,7 +74,7 @@ pub fn check_unary_op(input: Tensor, tol: f64, mut build: impl FnMut(&mut Tape, 
     tape.backward(out);
     let analytic = tape.grad(x);
 
-    let numeric = finite_difference_grad(&input, 1e-5, |probe| {
+    let numeric = finite_difference_grad(&input, default_fd_eps::<T>(), |probe| {
         let mut t = Tape::new();
         let x = t.constant(probe.clone());
         let out = build(&mut t, x);
@@ -58,10 +84,23 @@ pub fn check_unary_op(input: Tensor, tol: f64, mut build: impl FnMut(&mut Tape, 
     hap_tensor::testutil::assert_close(&analytic, &numeric, tol);
 }
 
+/// [`check_unary_op`] with the per-dtype default tolerance
+/// ([`default_gradcheck_tol`]).
+pub fn check_unary_op_default<T: Scalar>(
+    input: Tensor<T>,
+    build: impl FnMut(&mut Tape<T>, Var) -> Var,
+) {
+    check_unary_op(input, default_gradcheck_tol::<T>(), build);
+}
+
 /// Grad-checks the gradient flowing into a parameter for an arbitrary
 /// model closure (`build` maps tape → scalar output, binding `param`
 /// itself).
-pub fn check_param_grad(param: &Param, tol: f64, mut build: impl FnMut(&mut Tape) -> Var) {
+pub fn check_param_grad<T: Scalar>(
+    param: &Param<T>,
+    tol: f64,
+    mut build: impl FnMut(&mut Tape<T>) -> Var,
+) {
     param.zero_grad();
     let mut tape = Tape::new();
     let out = build(&mut tape);
@@ -70,7 +109,7 @@ pub fn check_param_grad(param: &Param, tol: f64, mut build: impl FnMut(&mut Tape
     let analytic = param.grad();
 
     let base = param.value();
-    let numeric = finite_difference_grad(&base, 1e-5, |probe| {
+    let numeric = finite_difference_grad(&base, default_fd_eps::<T>(), |probe| {
         param.set_value(probe.clone());
         let mut t = Tape::new();
         let out = build(&mut t);
@@ -81,6 +120,14 @@ pub fn check_param_grad(param: &Param, tol: f64, mut build: impl FnMut(&mut Tape
     param.zero_grad();
 
     hap_tensor::testutil::assert_close(&analytic, &numeric, tol);
+}
+
+/// [`check_param_grad`] with the per-dtype default tolerance.
+pub fn check_param_grad_default<T: Scalar>(
+    param: &Param<T>,
+    build: impl FnMut(&mut Tape<T>) -> Var,
+) {
+    check_param_grad(param, default_gradcheck_tol::<T>(), build);
 }
 
 #[cfg(test)]
@@ -348,9 +395,46 @@ mod tests {
     }
 
     #[test]
+    fn gradcheck_f32_core_ops_with_default_tolerances() {
+        // The f32 path uses the per-dtype defaults: a coarser
+        // finite-difference step and a looser pass tolerance.
+        let mut rng = Rng::from_seed(77);
+        let x: Tensor<f32> = Tensor::rand_uniform(3, 4, -1.0, 1.0, &mut rng);
+        let w: Tensor<f32> = Tensor::rand_uniform(4, 2, -1.0, 1.0, &mut rng);
+        check_unary_op_default(x.clone(), |t, xv| {
+            let wv = t.constant(w.clone());
+            let y = t.matmul(xv, wv);
+            let s = t.sigmoid(y);
+            let sq = t.hadamard(s, s);
+            t.sum_all(sq)
+        });
+        check_unary_op_default(x, |t, xv| {
+            let y = t.log_softmax_rows(xv);
+            let sq = t.hadamard(y, y);
+            t.sum_all(sq)
+        });
+    }
+
+    #[test]
+    fn gradcheck_f32_param_grad() {
+        let mut rng = Rng::from_seed(78);
+        let w: Param<f32> = Param::new("w", Tensor::rand_uniform(3, 2, -1.0, 1.0, &mut rng));
+        let x: Tensor<f32> = Tensor::rand_uniform(2, 3, -1.0, 1.0, &mut rng);
+        let wc = w.clone();
+        check_param_grad_default(&w, move |t| {
+            let xv = t.constant(x.clone());
+            let wv = t.param(&wc);
+            let y = t.matmul(xv, wv);
+            let a = t.tanh(y);
+            let sq = t.hadamard(a, a);
+            t.sum_all(sq)
+        });
+    }
+
+    #[test]
     fn gradcheck_param_through_two_layer_net() {
         let mut rng = Rng::from_seed(42);
-        let w1 = Param::new("w1", Tensor::rand_uniform(3, 4, -1.0, 1.0, &mut rng));
+        let w1 = Param::<f64>::new("w1", Tensor::rand_uniform(3, 4, -1.0, 1.0, &mut rng));
         let w2 = Param::new("w2", Tensor::rand_uniform(4, 2, -1.0, 1.0, &mut rng));
         let x = Tensor::rand_uniform(2, 3, -1.0, 1.0, &mut rng);
 

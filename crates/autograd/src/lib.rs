@@ -22,13 +22,23 @@
 //!
 //! Gradient correctness for every operator is verified against central
 //! finite differences in this crate's test suite (see `gradcheck`).
+//!
+//! All of it is generic over the tensor element type: a [`Tape<T>`] built
+//! over `hap_tensor::Scalar` scalars records `Tensor<T>` nodes and
+//! accumulates `Tensor<T>` gradients into `Param<T>` buffers. The default
+//! `T = f64` keeps existing call sites unchanged; the gradcheck helpers
+//! pick per-dtype finite-difference steps and tolerances (see
+//! [`default_fd_eps`] / [`default_gradcheck_tol`]).
 
 mod gradcheck;
 mod op;
 mod param;
 mod tape;
 
-pub use gradcheck::{check_param_grad, check_unary_op, finite_difference_grad};
+pub use gradcheck::{
+    check_param_grad, check_param_grad_default, check_unary_op, check_unary_op_default,
+    default_fd_eps, default_gradcheck_tol, finite_difference_grad,
+};
 pub use op::Op;
 pub use param::{Param, ParamStore};
 pub use tape::{Tape, Var};

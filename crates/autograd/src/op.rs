@@ -6,21 +6,26 @@
 //! unit-testable one by one and keeps node construction allocation-light.
 
 use crate::param::Param;
-use hap_tensor::CsrMatrix;
+use hap_tensor::{CsrMatrix, Scalar};
 use std::sync::Arc;
 
 /// How a tape node's value was computed from its parents.
 ///
+/// Generic over the tensor element type `T` (default `f64`); scalar op
+/// metadata (scale factors, shifts, slopes, exponents) is stored as `f64`
+/// regardless of `T` — one canonical value per recorded op, converted at
+/// the kernel boundary with [`Scalar::from_f64`] (the identity for `f64`).
+///
 /// The gradient rule for every variant is documented inline and verified
 /// against finite differences in the crate tests.
 #[derive(Clone)]
-pub enum Op {
+pub enum Op<T: Scalar = f64> {
     /// A constant input (no gradient flows into it, but its gradient is
     /// still tracked so callers can inspect `d loss / d input`).
     Constant,
     /// A leaf bound to a trainable [`Param`]; backward accumulates into the
     /// parameter's gradient buffer.
-    Leaf(Param),
+    Leaf(Param<T>),
     /// `C = A · B`. Gradients: `dA = G·Bᵀ`, `dB = Aᵀ·G` (computed with the
     /// fused `matmul_nt` / `matmul_tn` kernels — byte-identical to the
     /// composed transpose+matmul, without materialising the transposes).
@@ -105,7 +110,7 @@ pub enum Op {
     /// `dH = Sᵀ·G = S·G` by symmetry, computed with the same SpMM kernel
     /// — byte-identical to the dense `matmul` path's `matmul_tn`
     /// backward, which skips the same zeros in the same order.
-    Spmm(Arc<CsrMatrix>),
+    Spmm(Arc<CsrMatrix<T>>),
     /// Per-segment column sums `N×F → B×F` over the contiguous row
     /// segments described by the offsets vector (see
     /// `hap_tensor::validate_segments`). Gradient: broadcast segment `b`'s
@@ -120,7 +125,7 @@ pub enum Op {
     SegmentSoftmax(Arc<Vec<usize>>),
 }
 
-impl Op {
+impl<T: Scalar> Op<T> {
     /// Short operator name for debugging output.
     pub fn name(&self) -> &'static str {
         match self {
@@ -165,7 +170,7 @@ impl Op {
     }
 }
 
-impl std::fmt::Debug for Op {
+impl<T: Scalar> std::fmt::Debug for Op<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "{}", self.name())
     }

@@ -1,6 +1,6 @@
 //! Trainable parameters and the parameter store.
 
-use hap_tensor::Tensor;
+use hap_tensor::{Scalar, Tensor};
 use std::cell::RefCell;
 use std::rc::Rc;
 
@@ -13,19 +13,19 @@ use std::rc::Rc;
 /// [`Param::grad`]. Optimizers read the gradient, update the value, and call
 /// [`Param::zero_grad`].
 #[derive(Clone)]
-pub struct Param {
-    inner: Rc<ParamInner>,
+pub struct Param<T: Scalar = f64> {
+    inner: Rc<ParamInner<T>>,
 }
 
-pub(crate) struct ParamInner {
+pub(crate) struct ParamInner<T: Scalar> {
     name: String,
-    value: RefCell<Tensor>,
-    grad: RefCell<Tensor>,
+    value: RefCell<Tensor<T>>,
+    grad: RefCell<Tensor<T>>,
 }
 
-impl Param {
+impl<T: Scalar> Param<T> {
     /// Creates a parameter with the given diagnostic name and initial value.
-    pub fn new(name: impl Into<String>, value: Tensor) -> Self {
+    pub fn new(name: impl Into<String>, value: Tensor<T>) -> Self {
         let grad = Tensor::zeros(value.rows(), value.cols());
         Self {
             inner: Rc::new(ParamInner {
@@ -57,7 +57,7 @@ impl Param {
     }
 
     /// Clone of the current value.
-    pub fn value(&self) -> Tensor {
+    pub fn value(&self) -> Tensor<T> {
         self.inner.value.borrow().clone()
     }
 
@@ -65,7 +65,7 @@ impl Param {
     ///
     /// # Panics
     /// Panics when the new value's shape differs from the current one.
-    pub fn set_value(&self, value: Tensor) {
+    pub fn set_value(&self, value: Tensor<T>) {
         assert_eq!(
             self.shape(),
             value.shape(),
@@ -76,12 +76,12 @@ impl Param {
     }
 
     /// Clone of the accumulated gradient.
-    pub fn grad(&self) -> Tensor {
+    pub fn grad(&self) -> Tensor<T> {
         self.inner.grad.borrow().clone()
     }
 
     /// Adds `delta` into the accumulated gradient.
-    pub(crate) fn accumulate_grad(&self, delta: &Tensor) {
+    pub(crate) fn accumulate_grad(&self, delta: &Tensor<T>) {
         let mut g = self.inner.grad.borrow_mut();
         *g = &*g + delta;
     }
@@ -96,7 +96,7 @@ impl Param {
     ///
     /// Used by optimizers so they can read value and gradient coherently
     /// without cloning twice.
-    pub fn update_with(&self, f: impl FnOnce(&Tensor, &Tensor) -> Tensor) {
+    pub fn update_with(&self, f: impl FnOnce(&Tensor<T>, &Tensor<T>) -> Tensor<T>) {
         let new = {
             let v = self.inner.value.borrow();
             let g = self.inner.grad.borrow();
@@ -106,7 +106,7 @@ impl Param {
     }
 
     /// Whether two handles refer to the same underlying parameter.
-    pub fn same_storage(&self, other: &Param) -> bool {
+    pub fn same_storage(&self, other: &Param<T>) -> bool {
         Rc::ptr_eq(&self.inner, &other.inner)
     }
 
@@ -117,7 +117,7 @@ impl Param {
     }
 }
 
-impl std::fmt::Debug for Param {
+impl<T: Scalar> std::fmt::Debug for Param<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "Param({:?}, shape {:?})", self.name(), self.shape())
     }
@@ -128,12 +128,17 @@ impl std::fmt::Debug for Param {
 /// Layers register their parameters here at construction; the optimizer
 /// iterates the store in registration order. The store guarantees each
 /// underlying parameter appears once.
-#[derive(Default)]
-pub struct ParamStore {
-    params: Vec<Param>,
+pub struct ParamStore<T: Scalar = f64> {
+    params: Vec<Param<T>>,
 }
 
-impl ParamStore {
+impl<T: Scalar> Default for ParamStore<T> {
+    fn default() -> Self {
+        Self { params: Vec::new() }
+    }
+}
+
+impl<T: Scalar> ParamStore<T> {
     /// Creates an empty store.
     pub fn new() -> Self {
         Self::default()
@@ -143,7 +148,7 @@ impl ParamStore {
     ///
     /// Re-registering the same underlying parameter is a no-op, so model
     /// composition (e.g. the HAP ablations sharing encoders) stays safe.
-    pub fn register(&mut self, param: Param) -> Param {
+    pub fn register(&mut self, param: Param<T>) -> Param<T> {
         if !self.params.iter().any(|p| p.same_storage(&param)) {
             self.params.push(param.clone());
         }
@@ -151,12 +156,12 @@ impl ParamStore {
     }
 
     /// Convenience: create, register and return a fresh parameter.
-    pub fn new_param(&mut self, name: impl Into<String>, value: Tensor) -> Param {
+    pub fn new_param(&mut self, name: impl Into<String>, value: Tensor<T>) -> Param<T> {
         self.register(Param::new(name, value))
     }
 
     /// Iterates registered parameters in registration order.
-    pub fn iter(&self) -> impl Iterator<Item = &Param> {
+    pub fn iter(&self) -> impl Iterator<Item = &Param<T>> {
         self.params.iter()
     }
 
@@ -188,7 +193,7 @@ impl ParamStore {
             .iter()
             .map(|p| {
                 let g = p.grad();
-                g.as_slice().iter().map(|x| x * x).sum::<f64>()
+                g.as_slice().iter().map(|&x| x * x).sum::<T>().to_f64()
             })
             .sum::<f64>()
             .sqrt()
@@ -196,7 +201,7 @@ impl ParamStore {
 
     /// Snapshot of all parameter values, in registration order — pair with
     /// [`ParamStore::restore`] for best-validation-checkpoint training.
-    pub fn snapshot(&self) -> Vec<Tensor> {
+    pub fn snapshot(&self) -> Vec<Tensor<T>> {
         self.params.iter().map(Param::value).collect()
     }
 
@@ -204,7 +209,7 @@ impl ParamStore {
     ///
     /// # Panics
     /// Panics when the snapshot length or any shape differs.
-    pub fn restore(&self, snapshot: &[Tensor]) {
+    pub fn restore(&self, snapshot: &[Tensor<T>]) {
         assert_eq!(snapshot.len(), self.params.len(), "snapshot size mismatch");
         for (p, v) in self.params.iter().zip(snapshot) {
             p.set_value(v.clone());
@@ -281,7 +286,14 @@ impl ParamStore {
             if vals.len() != rows * cols {
                 return Err(bad("value count mismatch"));
             }
-            p.set_value(Tensor::from_vec(rows, cols, vals));
+            // Values are parsed in f64 and narrowed: `{x:?}` prints the
+            // shortest decimal that re-reads to the stored value, so the
+            // roundtrip is exact for both dtypes.
+            p.set_value(Tensor::from_vec(
+                rows,
+                cols,
+                vals.into_iter().map(T::from_f64).collect(),
+            ));
         }
         Ok(())
     }
@@ -303,7 +315,7 @@ mod tests {
 
     #[test]
     fn param_roundtrip_and_grad_accumulation() {
-        let p = Param::new("w", Tensor::ones(2, 2));
+        let p = Param::<f64>::new("w", Tensor::ones(2, 2));
         assert_eq!(p.shape(), (2, 2));
         assert_eq!(p.grad().sum(), 0.0);
         p.accumulate_grad(&Tensor::ones(2, 2));
@@ -315,7 +327,7 @@ mod tests {
 
     #[test]
     fn clones_share_storage() {
-        let p = Param::new("w", Tensor::zeros(1, 1));
+        let p = Param::<f64>::new("w", Tensor::zeros(1, 1));
         let q = p.clone();
         q.accumulate_grad(&Tensor::ones(1, 1));
         assert_eq!(p.grad().sum(), 1.0);
@@ -325,13 +337,13 @@ mod tests {
     #[test]
     #[should_panic(expected = "set_value")]
     fn set_value_rejects_shape_change() {
-        let p = Param::new("w", Tensor::zeros(2, 2));
+        let p = Param::<f64>::new("w", Tensor::zeros(2, 2));
         p.set_value(Tensor::zeros(3, 3));
     }
 
     #[test]
     fn store_dedups_and_counts() {
-        let mut store = ParamStore::new();
+        let mut store = ParamStore::<f64>::new();
         let p = store.new_param("a", Tensor::zeros(2, 3));
         store.register(p.clone());
         store.new_param("b", Tensor::zeros(1, 4));
@@ -362,17 +374,17 @@ mod tests {
 
     #[test]
     fn load_rejects_mismatched_store() {
-        let mut store = ParamStore::new();
+        let mut store = ParamStore::<f64>::new();
         store.new_param("w", Tensor::zeros(2, 2));
         let dir = std::env::temp_dir().join("hap_param_test2");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("params.txt");
         store.save_to(&path).unwrap();
 
-        let mut other = ParamStore::new();
+        let mut other = ParamStore::<f64>::new();
         other.new_param("w", Tensor::zeros(3, 3)); // wrong shape
         assert!(other.load_from(&path).is_err());
-        let mut third = ParamStore::new();
+        let mut third = ParamStore::<f64>::new();
         third.new_param("v", Tensor::zeros(2, 2)); // wrong name
         assert!(third.load_from(&path).is_err());
     }

@@ -2,7 +2,7 @@
 
 use crate::op::Op;
 use crate::param::Param;
-use hap_tensor::{CsrMatrix, Tensor};
+use hap_tensor::{CsrMatrix, Scalar, Tensor};
 use std::sync::Arc;
 
 /// Handle to a value recorded on a [`Tape`].
@@ -13,9 +13,9 @@ use std::sync::Arc;
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Var(pub(crate) usize);
 
-struct Node {
-    value: Tensor,
-    op: Op,
+struct Node<T: Scalar> {
+    value: Tensor<T>,
+    op: Op<T>,
     /// Indices of parent nodes, in operand order.
     parents: [usize; 2],
     n_parents: u8,
@@ -44,10 +44,10 @@ struct Node {
 /// // d loss / d w = 2·w·x² = 24
 /// assert_eq!(w.grad()[(0, 0)], 24.0);
 /// ```
-pub struct Tape {
-    nodes: Vec<Node>,
+pub struct Tape<T: Scalar = f64> {
+    nodes: Vec<Node<T>>,
     /// Gradients from the most recent `backward` call, parallel to `nodes`.
-    grads: Vec<Option<Tensor>>,
+    grads: Vec<Option<Tensor<T>>>,
     /// Recycled *gradient* buffers, keyed by length: merged deltas parked
     /// by [`Tape::accumulate`] mid-backward and final gradients parked by
     /// [`Tape::reset`] / the next backward's sweep. Gradient shapes repeat
@@ -59,23 +59,23 @@ pub struct Tape {
     /// the allocator's LIFO reuse hands the next forward pass warm blocks,
     /// while a big cold pool just inflated the footprint (microbench
     /// `coarsen_forward_backward/n=100` ~2× worse with full-tape pooling).
-    spare: std::collections::HashMap<usize, Vec<Vec<f64>>>,
-    /// Total `f64`s parked in `spare`, bounded by [`SPARE_ELEM_LIMIT`].
+    spare: std::collections::HashMap<usize, Vec<Vec<T>>>,
+    /// Total scalars parked in `spare`, bounded by [`SPARE_ELEM_LIMIT`].
     spare_elems: usize,
 }
 
-/// Upper bound on pooled elements (4M `f64` = 32 MiB): several times one
+/// Upper bound on pooled elements (4M scalars = 32 MiB at `f64`): several times one
 /// backward pass's gradient footprint on the paper's graph sizes, while
 /// keeping a long-lived tape from hoarding memory.
 const SPARE_ELEM_LIMIT: usize = 4 << 20;
 
-impl Default for Tape {
+impl<T: Scalar> Default for Tape<T> {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl Tape {
+impl<T: Scalar> Tape<T> {
     /// Creates an empty tape.
     pub fn new() -> Self {
         Self {
@@ -107,7 +107,7 @@ impl Tape {
     }
 
     /// Parks a tensor's buffer for reuse, subject to the pool size bound.
-    fn recycle(&mut self, t: Tensor) {
+    fn recycle(&mut self, t: Tensor<T>) {
         let len = t.len();
         if len == 0 || self.spare_elems + len > SPARE_ELEM_LIMIT {
             return;
@@ -117,7 +117,7 @@ impl Tape {
     }
 
     /// Takes a pooled buffer of exactly `len` elements, if one is parked.
-    fn take_buf(&mut self, len: usize) -> Option<Vec<f64>> {
+    fn take_buf(&mut self, len: usize) -> Option<Vec<T>> {
         let bufs = self.spare.get_mut(&len)?;
         let buf = bufs.pop()?;
         self.spare_elems -= len;
@@ -126,7 +126,7 @@ impl Tape {
 
     /// `t.clone()` drawing the destination buffer from the pool when a
     /// same-sized one is parked.
-    fn pooled_clone(&mut self, t: &Tensor) -> Tensor {
+    fn pooled_clone(&mut self, t: &Tensor<T>) -> Tensor<T> {
         match self.take_buf(t.len()) {
             Some(mut buf) => {
                 buf.copy_from_slice(t.as_slice());
@@ -138,7 +138,7 @@ impl Tape {
 
     /// `Tensor::full(rows, cols, value)` drawing from the pool when
     /// possible.
-    fn pooled_full(&mut self, rows: usize, cols: usize, value: f64) -> Tensor {
+    fn pooled_full(&mut self, rows: usize, cols: usize, value: T) -> Tensor<T> {
         match self.take_buf(rows * cols) {
             Some(mut buf) => {
                 buf.fill(value);
@@ -149,8 +149,8 @@ impl Tape {
     }
 
     /// `Tensor::zeros(rows, cols)` drawing from the pool when possible.
-    fn pooled_zeros(&mut self, rows: usize, cols: usize) -> Tensor {
-        self.pooled_full(rows, cols, 0.0)
+    fn pooled_zeros(&mut self, rows: usize, cols: usize) -> Tensor<T> {
+        self.pooled_full(rows, cols, T::ZERO)
     }
 
     /// Number of recorded nodes.
@@ -163,7 +163,7 @@ impl Tape {
         self.nodes.is_empty()
     }
 
-    fn push(&mut self, value: Tensor, op: Op, parents: &[usize]) -> Var {
+    fn push(&mut self, value: Tensor<T>, op: Op<T>, parents: &[usize]) -> Var {
         debug_assert!(parents.len() <= 2);
         debug_assert!(parents.iter().all(|&p| p < self.nodes.len()));
         let mut ps = [usize::MAX; 2];
@@ -180,7 +180,7 @@ impl Tape {
     }
 
     /// The forward value of `v` (clone).
-    pub fn value(&self, v: Var) -> Tensor {
+    pub fn value(&self, v: Var) -> Tensor<T> {
         self.nodes[v.0].value.clone()
     }
 
@@ -196,20 +196,20 @@ impl Tape {
     pub fn scalar(&self, v: Var) -> f64 {
         let t = &self.nodes[v.0].value;
         assert_eq!(t.shape(), (1, 1), "scalar() called on non-scalar node");
-        t[(0, 0)]
+        t[(0, 0)].to_f64()
     }
 
     // ----- leaves ---------------------------------------------------------
 
     /// Records a constant input. Gradients are tracked (readable via
     /// [`Tape::grad`]) but not accumulated anywhere.
-    pub fn constant(&mut self, value: Tensor) -> Var {
+    pub fn constant(&mut self, value: Tensor<T>) -> Var {
         self.push(value, Op::Constant, &[])
     }
 
     /// Binds a trainable parameter into this tape; backward will accumulate
     /// into the parameter's gradient buffer.
-    pub fn param(&mut self, p: &Param) -> Var {
+    pub fn param(&mut self, p: &Param<T>) -> Var {
         self.push(p.value(), Op::Leaf(p.clone()), &[])
     }
 
@@ -322,28 +322,31 @@ impl Tape {
 
     /// ReLU activation.
     pub fn relu(&mut self, x: Var) -> Var {
-        let v = self.nodes[x.0].value.map(|e| e.max(0.0));
+        let v = self.nodes[x.0].value.map(|e| e.max(T::ZERO));
         self.push(v, Op::Relu, &[x.0])
     }
 
     /// LeakyReLU with negative slope `alpha` (paper Definition 5.2, slope
     /// `1/a`).
     pub fn leaky_relu(&mut self, x: Var, alpha: f64) -> Var {
+        let alpha_t = T::from_f64(alpha);
         let v = self.nodes[x.0]
             .value
-            .map(|e| if e >= 0.0 { e } else { alpha * e });
+            .map(move |e| if e >= T::ZERO { e } else { alpha_t * e });
         self.push(v, Op::LeakyRelu(alpha), &[x.0])
     }
 
     /// Logistic sigmoid.
     pub fn sigmoid(&mut self, x: Var) -> Var {
-        let v = self.nodes[x.0].value.map(|e| 1.0 / (1.0 + (-e).exp()));
+        let v = self.nodes[x.0]
+            .value
+            .map(|e| T::ONE / (T::ONE + (-e).exp()));
         self.push(v, Op::Sigmoid, &[x.0])
     }
 
     /// Hyperbolic tangent.
     pub fn tanh(&mut self, x: Var) -> Var {
-        let v = self.nodes[x.0].value.map(f64::tanh);
+        let v = self.nodes[x.0].value.map(T::tanh);
         self.push(v, Op::Tanh, &[x.0])
     }
 
@@ -359,8 +362,8 @@ impl Tape {
         let mut out = xv.clone();
         for r in 0..out.rows() {
             let row = out.row_mut(r);
-            let m = row.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-            let lse = m + row.iter().map(|&e| (e - m).exp()).sum::<f64>().ln();
+            let m = row.iter().copied().fold(T::NEG_INFINITY, T::max);
+            let lse = m + row.iter().map(|&e| (e - m).exp()).sum::<T>().ln();
             for e in row.iter_mut() {
                 *e -= lse;
             }
@@ -370,20 +373,20 @@ impl Tape {
 
     /// Elementwise exponential.
     pub fn exp(&mut self, x: Var) -> Var {
-        let v = self.nodes[x.0].value.map(f64::exp);
+        let v = self.nodes[x.0].value.map(T::exp);
         self.push(v, Op::Exp, &[x.0])
     }
 
     /// Elementwise natural logarithm. Callers are responsible for
     /// positivity (use [`Tape::shift`] with an ε first when needed).
     pub fn ln(&mut self, x: Var) -> Var {
-        let v = self.nodes[x.0].value.map(f64::ln);
+        let v = self.nodes[x.0].value.map(T::ln);
         self.push(v, Op::Ln, &[x.0])
     }
 
     /// Elementwise square root.
     pub fn sqrt(&mut self, x: Var) -> Var {
-        let v = self.nodes[x.0].value.map(f64::sqrt);
+        let v = self.nodes[x.0].value.map(T::sqrt);
         self.push(v, Op::Sqrt, &[x.0])
     }
 
@@ -415,13 +418,15 @@ impl Tape {
 
     /// Sum of all elements → `1×1`.
     pub fn sum_all(&mut self, x: Var) -> Var {
-        let v = Tensor::from_vec(1, 1, vec![self.nodes[x.0].value.sum()]);
+        // `sum()` accumulates in `T` and widens; `from_f64` narrows back —
+        // an exact round-trip, so this is the `T`-native total.
+        let v = Tensor::from_vec(1, 1, vec![T::from_f64(self.nodes[x.0].value.sum())]);
         self.push(v, Op::SumAll, &[x.0])
     }
 
     /// Mean of all elements → `1×1`.
     pub fn mean_all(&mut self, x: Var) -> Var {
-        let v = Tensor::from_vec(1, 1, vec![self.nodes[x.0].value.mean()]);
+        let v = Tensor::from_vec(1, 1, vec![T::from_f64(self.nodes[x.0].value.mean())]);
         self.push(v, Op::MeanAll, &[x.0])
     }
 
@@ -445,7 +450,7 @@ impl Tape {
         let mut argmax = vec![0usize; xv.cols()];
         let mut out = Tensor::zeros(1, xv.cols());
         for c in 0..xv.cols() {
-            let mut best = f64::NEG_INFINITY;
+            let mut best = T::NEG_INFINITY;
             for r in 0..xv.rows() {
                 if xv[(r, c)] > best {
                     best = xv[(r, c)];
@@ -480,7 +485,7 @@ impl Tape {
     /// # Panics
     /// Panics when the shapes do not chain; debug builds also assert
     /// symmetry.
-    pub fn spmm(&mut self, s: &Arc<CsrMatrix>, h: Var) -> Var {
+    pub fn spmm(&mut self, s: &Arc<CsrMatrix<T>>, h: Var) -> Var {
         debug_assert!(s.is_symmetric(), "spmm requires a symmetric matrix");
         let v = s.spmm(&self.nodes[h.0].value);
         self.push(v, Op::Spmm(Arc::clone(s)), &[h.0])
@@ -542,7 +547,7 @@ impl Tape {
 
     /// Reverse sweep with an explicit seed gradient for `output` (shape must
     /// match the output node). Used to weight multiple losses.
-    pub fn backward_with_seed(&mut self, output: Var, seed: Tensor) {
+    pub fn backward_with_seed(&mut self, output: Var, seed: Tensor<T>) {
         assert_eq!(
             self.nodes[output.0].value.shape(),
             seed.shape(),
@@ -570,7 +575,7 @@ impl Tape {
 
     /// Gradient of the last backward sweep at `v` (zero tensor when the node
     /// did not participate).
-    pub fn grad(&self, v: Var) -> Tensor {
+    pub fn grad(&self, v: Var) -> Tensor<T> {
         match self.grads.get(v.0).and_then(|g| g.as_ref()) {
             Some(g) => g.clone(),
             None => {
@@ -580,7 +585,7 @@ impl Tape {
         }
     }
 
-    fn accumulate(&mut self, idx: usize, delta: Tensor) {
+    fn accumulate(&mut self, idx: usize, delta: Tensor<T>) {
         // In-place add is byte-identical to `&*g + &delta` and lets the
         // spent delta's buffer go back to the pool.
         let slot = &mut self.grads[idx];
@@ -593,11 +598,11 @@ impl Tape {
         self.recycle(delta);
     }
 
-    fn parent_value(&self, node: usize, k: usize) -> &Tensor {
+    fn parent_value(&self, node: usize, k: usize) -> &Tensor<T> {
         &self.nodes[self.nodes[node].parents[k]].value
     }
 
-    fn propagate(&mut self, i: usize, g: &Tensor) {
+    fn propagate(&mut self, i: usize, g: &Tensor<T>) {
         let (p0, p1) = (self.nodes[i].parents[0], self.nodes[i].parents[1]);
         let n_parents = self.nodes[i].n_parents;
         let op = self.nodes[i].op.clone();
@@ -675,22 +680,23 @@ impl Tape {
             Op::Transpose => self.accumulate(p0, g.transpose()),
             Op::Relu => {
                 let x = self.parent_value(i, 0);
-                let mask = x.map(|e| if e > 0.0 { 1.0 } else { 0.0 });
+                let mask = x.map(|e| if e > T::ZERO { T::ONE } else { T::ZERO });
                 self.accumulate(p0, g.hadamard(&mask));
             }
             Op::LeakyRelu(alpha) => {
+                let alpha_t = T::from_f64(alpha);
                 let x = self.parent_value(i, 0);
-                let mask = x.map(|e| if e >= 0.0 { 1.0 } else { alpha });
+                let mask = x.map(move |e| if e >= T::ZERO { T::ONE } else { alpha_t });
                 self.accumulate(p0, g.hadamard(&mask));
             }
             Op::Sigmoid => {
                 let y = &self.nodes[i].value;
-                let dy = y.map(|e| e * (1.0 - e));
+                let dy = y.map(|e| e * (T::ONE - e));
                 self.accumulate(p0, g.hadamard(&dy));
             }
             Op::Tanh => {
                 let y = &self.nodes[i].value;
-                let dy = y.map(|e| 1.0 - e * e);
+                let dy = y.map(|e| T::ONE - e * e);
                 self.accumulate(p0, g.hadamard(&dy));
             }
             Op::SoftmaxRows => {
@@ -698,7 +704,7 @@ impl Tape {
                 let mut dx = self.pooled_zeros(rows, cols);
                 let y = &self.nodes[i].value;
                 for r in 0..rows {
-                    let dot: f64 = g.row(r).iter().zip(y.row(r)).map(|(&a, &b)| a * b).sum();
+                    let dot: T = g.row(r).iter().zip(y.row(r)).map(|(&a, &b)| a * b).sum();
                     for c in 0..cols {
                         dx[(r, c)] = y[(r, c)] * (g[(r, c)] - dot);
                     }
@@ -710,7 +716,7 @@ impl Tape {
                 let sm = self.parent_value(i, 0).softmax_rows();
                 let mut dx = self.pooled_clone(g);
                 for r in 0..dx.rows() {
-                    let gs: f64 = g.row(r).iter().sum();
+                    let gs: T = g.row(r).iter().copied().sum();
                     for c in 0..dx.cols() {
                         dx[(r, c)] -= sm[(r, c)] * gs;
                     }
@@ -723,17 +729,19 @@ impl Tape {
             }
             Op::Ln => {
                 let x = self.parent_value(i, 0);
-                let inv = x.map(|e| 1.0 / e);
+                let inv = x.map(|e| T::ONE / e);
                 self.accumulate(p0, g.hadamard(&inv));
             }
             Op::Sqrt => {
                 let y = &self.nodes[i].value;
-                let dy = y.map(|e| 0.5 / e);
+                let half = T::from_f64(0.5);
+                let dy = y.map(move |e| half / e);
                 self.accumulate(p0, g.hadamard(&dy));
             }
             Op::PowConst(p) => {
                 let x = self.parent_value(i, 0);
-                let dy = x.map(|e| p * e.powf(p - 1.0));
+                let pt = T::from_f64(p);
+                let dy = x.map(move |e| pt * e.powf(p - 1.0));
                 self.accumulate(p0, g.hadamard(&dy));
             }
             Op::HStack => {
@@ -767,7 +775,8 @@ impl Tape {
             }
             Op::MeanAll => {
                 let (rows, cols) = self.parent_value(i, 0).shape();
-                let dx = self.pooled_full(rows, cols, g[(0, 0)] / (rows * cols) as f64);
+                let dx =
+                    self.pooled_full(rows, cols, g[(0, 0)] / T::from_f64((rows * cols) as f64));
                 self.accumulate(p0, dx);
             }
             Op::ColSums => {
@@ -780,7 +789,7 @@ impl Tape {
             }
             Op::ColMeans => {
                 let (rows, cols) = self.parent_value(i, 0).shape();
-                let n = rows as f64;
+                let n = T::from_f64(rows as f64);
                 let mut dx = self.pooled_zeros(rows, cols);
                 for r in 0..rows {
                     for (d, &gv) in dx.row_mut(r).iter_mut().zip(g.row(0)) {
@@ -830,7 +839,7 @@ impl Tape {
                 let (rows, cols) = self.parent_value(i, 0).shape();
                 let mut dx = self.pooled_zeros(rows, cols);
                 for b in 0..offsets.len() - 1 {
-                    let n = (offsets[b + 1] - offsets[b]) as f64;
+                    let n = T::from_f64((offsets[b + 1] - offsets[b]) as f64);
                     for r in offsets[b]..offsets[b + 1] {
                         for (d, &gv) in dx.row_mut(r).iter_mut().zip(g.row(b)) {
                             *d = gv / n;
@@ -847,7 +856,7 @@ impl Tape {
                 let y = &self.nodes[i].value;
                 for b in 0..offsets.len() - 1 {
                     let seg = offsets[b]..offsets[b + 1];
-                    let mut dots = vec![0.0; cols];
+                    let mut dots = vec![T::ZERO; cols];
                     for r in seg.clone() {
                         for ((dot, &yv), &gv) in dots.iter_mut().zip(y.row(r)).zip(g.row(r)) {
                             *dot += yv * gv;
@@ -909,7 +918,7 @@ mod tests {
 
     #[test]
     fn param_gradients_accumulate_across_tapes() {
-        let p = Param::new("w", Tensor::ones(1, 1));
+        let p = Param::<f64>::new("w", Tensor::ones(1, 1));
         for _ in 0..3 {
             let mut t = Tape::new();
             let w = t.param(&p);
@@ -990,7 +999,7 @@ mod tests {
     #[should_panic(expected = "seed shape")]
     fn backward_rejects_mismatched_seed() {
         let mut t = Tape::new();
-        let x = t.constant(Tensor::zeros(2, 2));
+        let x = t.constant(Tensor::<f64>::zeros(2, 2));
         t.backward_with_seed(x, Tensor::zeros(1, 1));
     }
 
@@ -1153,7 +1162,7 @@ mod tests {
     fn gradcheck_segment_ops() {
         use crate::gradcheck::check_unary_op;
         let mut rng = hap_rand::Rng::from_seed(41);
-        let x = Tensor::rand_uniform(7, 3, -1.5, 1.5, &mut rng);
+        let x = Tensor::<f64>::rand_uniform(7, 3, -1.5, 1.5, &mut rng);
         // Non-uniform upstream weights so softmax/means gradients are
         // non-degenerate.
         let w = Tensor::rand_uniform(7, 3, 0.2, 2.0, &mut rng);

@@ -8,7 +8,7 @@
 //! ```text
 //! cargo run --release -p hap-bench --bin loadgen -- \
 //!     [--snapshot results/model.snap] [--requests 1000] [--clients 4] \
-//!     [--seed 42] [--out results/loadgen.json] \
+//!     [--seed 42] [--keep-alive] [--out results/loadgen.json] \
 //!     [--baseline results/loadgen.json] [--threshold 50]
 //! ```
 //!
@@ -16,19 +16,30 @@
 //! of `--seed` (graphs and traffic come from labelled `hap-rand` forks),
 //! and serve responses are pure functions of their payloads, so
 //! `response_hash` — an FNV-1a over the response bodies in request-index
-//! order — is byte-stable across runs, client counts and `HAP_THREADS`
-//! settings. Only the wall-clock numbers (`qps`, latency quantiles)
-//! vary between hosts. With `--baseline`, the run fails (exit 1) when
-//! its QPS drops more than `--threshold` percent below the committed
-//! baseline's, mirroring `bench_check`'s contract for microbenchmarks.
+//! order — is byte-stable across runs, client counts, transport modes
+//! and `HAP_THREADS` settings. Only the wall-clock numbers (`qps`,
+//! latency quantiles) vary between hosts. With `--baseline`, the run
+//! fails (exit 1) when its QPS drops more than `--threshold` percent
+//! below the committed baseline's, mirroring `bench_check`'s contract
+//! for microbenchmarks.
+//!
+//! `--keep-alive` runs a *second* measurement pass (against a fresh
+//! server) in which every client thread holds one persistent connection
+//! (`Connection: keep-alive`) instead of reconnecting per request —
+//! per-request TCP connect dominates loopback latency, so this isolates
+//! model-thread cost. Its numbers land in a `"keep_alive"` section of
+//! the output JSON, alongside (not replacing) the per-connection
+//! top-level fields, so both modes are recorded in one artefact. Both
+//! passes replay the identical planned traffic, so both hashes must
+//! agree.
 
 use hap_graph::{generators, Graph};
 use hap_rand::Rng;
-use hap_serve::{serve, Json, ServeConfig};
-use hap_snapshot::ModelSnapshot;
-use std::io::{Read, Write};
-use std::net::TcpStream;
+use hap_serve::{serve_snapshot_file, Json, ServeConfig};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
 use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::Instant;
 
 struct Args {
@@ -36,6 +47,7 @@ struct Args {
     requests: usize,
     clients: usize,
     seed: u64,
+    keep_alive: bool,
     out: PathBuf,
     baseline: Option<PathBuf>,
     threshold: f64,
@@ -45,7 +57,7 @@ fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
         "usage: loadgen [--snapshot <path>] [--requests <n>] [--clients <n>] [--seed <u64>] \
-         [--out <path>] [--baseline <path>] [--threshold <percent>]"
+         [--keep-alive] [--out <path>] [--baseline <path>] [--threshold <percent>]"
     );
     std::process::exit(2)
 }
@@ -56,6 +68,7 @@ fn parse_args() -> Args {
         requests: 1000,
         clients: 4,
         seed: 42,
+        keep_alive: false,
         out: PathBuf::from("results/loadgen.json"),
         baseline: None,
         threshold: 50.0,
@@ -85,6 +98,7 @@ fn parse_args() -> Args {
                     .parse()
                     .unwrap_or_else(|_| usage("--seed must be a u64"))
             }
+            "--keep-alive" => args.keep_alive = true,
             "--out" => args.out = PathBuf::from(value("--out")),
             "--baseline" => args.baseline = Some(PathBuf::from(value("--baseline"))),
             "--threshold" => {
@@ -162,7 +176,7 @@ fn plan_traffic(rng: &mut Rng, pool: &[String], requests: usize) -> Vec<Planned>
 }
 
 /// Sends one request over a fresh connection; returns (status, body, ns).
-fn send(addr: std::net::SocketAddr, method: &str, path: &str, body: &str) -> (u16, String, u64) {
+fn send(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String, u64) {
     let start = Instant::now();
     let mut s = TcpStream::connect(addr).expect("connect to serve");
     let _ = s.set_nodelay(true);
@@ -187,6 +201,64 @@ fn send(addr: std::net::SocketAddr, method: &str, path: &str, body: &str) -> (u1
     (status, body, ns)
 }
 
+/// One persistent HTTP connection. Requests carry
+/// `Connection: keep-alive`, so the server answers on the same stream;
+/// responses are framed by `Content-Length` (no EOF to read to). The
+/// `BufReader` owns the stream for the connection's whole life — header
+/// bytes it buffers past one response belong to the next one.
+struct PersistentClient {
+    conn: BufReader<TcpStream>,
+}
+
+impl PersistentClient {
+    fn connect(addr: SocketAddr) -> Self {
+        let s = TcpStream::connect(addr).expect("connect to serve");
+        let _ = s.set_nodelay(true);
+        PersistentClient {
+            conn: BufReader::new(s),
+        }
+    }
+
+    /// Sends one request on the held connection; returns (status, body, ns).
+    fn send(&mut self, method: &str, path: &str, body: &str) -> (u16, String, u64) {
+        let start = Instant::now();
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nHost: loadgen\r\nConnection: keep-alive\r\nContent-Length: {}\r\n\r\n",
+            body.len()
+        );
+        let w = self.conn.get_mut();
+        w.write_all(head.as_bytes()).expect("write request");
+        w.write_all(body.as_bytes()).expect("write body");
+        w.flush().expect("flush request");
+        let mut status = 0u16;
+        let mut content_length = 0usize;
+        loop {
+            let mut line = String::new();
+            let n = self.conn.read_line(&mut line).expect("read header line");
+            assert!(n > 0, "server closed a kept-alive connection mid-response");
+            let t = line.trim_end();
+            if t.is_empty() {
+                break;
+            }
+            if let Some(rest) = t.strip_prefix("HTTP/1.1 ") {
+                status = rest
+                    .split(' ')
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or(0);
+            } else if let Some((name, value)) = t.split_once(':') {
+                if name.trim().eq_ignore_ascii_case("content-length") {
+                    content_length = value.trim().parse().expect("Content-Length");
+                }
+            }
+        }
+        let mut bytes = vec![0u8; content_length];
+        self.conn.read_exact(&mut bytes).expect("read body");
+        let body = String::from_utf8(bytes).expect("UTF-8 response body");
+        (status, body, start.elapsed().as_nanos() as u64)
+    }
+}
+
 /// FNV-1a over all response bodies in request-index order.
 fn response_hash(bodies: &[String]) -> u64 {
     let mut h: u64 = 0xCBF2_9CE4_8422_2325;
@@ -202,19 +274,49 @@ fn response_hash(bodies: &[String]) -> u64 {
     h
 }
 
-fn main() {
-    let args = parse_args();
-    hap_obs::set_level(hap_obs::Level::Metrics);
+/// Everything one measurement pass produces.
+struct ModeReport {
+    qps: f64,
+    p50: f64,
+    p99: f64,
+    mean: f64,
+    errors: usize,
+    hash: u64,
+    hits: u64,
+    misses: u64,
+    hit_rate: f64,
+    elapsed_s: f64,
+}
 
-    let snapshot = match ModelSnapshot::load(&args.snapshot) {
-        Ok(s) => s,
-        Err(e) => {
-            eprintln!("loadgen: cannot load {}: {e}", args.snapshot.display());
+impl ModeReport {
+    /// The shared JSON fields (everything but `requests`/`clients`/`seed`),
+    /// indented by `pad` for nesting.
+    fn json_fields(&self, pad: &str) -> String {
+        format!(
+            "{pad}\"errors\": {},\n{pad}\"qps\": {:.1},\n{pad}\"latency_ns\": {{\"p50\": {:.0}, \"p99\": {:.0}, \"mean\": {:.0}}},\n{pad}\"cache\": {{\"hits\": {}, \"misses\": {}, \"hit_rate\": {:.3}}},\n{pad}\"response_hash\": \"{:016x}\"",
+            self.errors, self.qps, self.p50, self.p99, self.mean, self.hits, self.misses,
+            self.hit_rate, self.hash
+        )
+    }
+}
+
+/// Replays `planned` against a freshly served snapshot (fresh server so
+/// each mode's cache statistics start cold) and tears the server down
+/// again. `keep_alive` selects the transport: a new connection per
+/// request, or one persistent connection per client thread. Per-request
+/// latencies go to the `hist_key` hap-obs histogram.
+fn run_mode(
+    args: &Args,
+    planned: &Arc<Vec<Planned>>,
+    keep_alive: bool,
+    hist_key: &'static str,
+) -> ModeReport {
+    let handle = serve_snapshot_file(&args.snapshot, ServeConfig::default(), None)
+        .unwrap_or_else(|e| {
+            eprintln!("loadgen: cannot serve {}: {e}", args.snapshot.display());
             eprintln!("         (generate it with: cargo run --release -p hap-bench --bin train_snapshot)");
             std::process::exit(1);
-        }
-    };
-    let handle = serve(snapshot, ServeConfig::default()).expect("start server");
+        });
     let addr = handle.addr();
     // Readiness probe before opening fire.
     let (hstatus, hbody, _) = send(addr, "GET", "/healthz", "");
@@ -223,29 +325,35 @@ fn main() {
         (200, "{\"status\":\"ok\"}"),
         "healthz"
     );
-
-    let mut root = Rng::from_seed(args.seed);
-    let pool = build_pool(&mut root.fork("corpus"), 48);
-    let planned = plan_traffic(&mut root.fork("traffic"), &pool, args.requests);
     eprintln!(
-        "== loadgen: {} requests over {} clients against {addr} (seed {}) ==",
-        args.requests, args.clients, args.seed
+        "== loadgen[{}]: {} requests over {} clients against {addr} (seed {}) ==",
+        if keep_alive {
+            "keep-alive"
+        } else {
+            "per-request"
+        },
+        args.requests,
+        args.clients,
+        args.seed
     );
 
     // Round-robin the planned requests over the client threads; each
     // returns (request index, status, body, latency) for the merge.
-    let planned = std::sync::Arc::new(planned);
     let started = Instant::now();
     let mut joins = Vec::new();
     for c in 0..args.clients {
-        let planned = std::sync::Arc::clone(&planned);
+        let planned = Arc::clone(planned);
         let clients = args.clients;
         joins.push(std::thread::spawn(move || {
+            let mut conn = keep_alive.then(|| PersistentClient::connect(addr));
             let mut out = Vec::new();
             let mut i = c;
             while i < planned.len() {
                 let p = &planned[i];
-                let (status, body, ns) = send(addr, "POST", p.path, &p.body);
+                let (status, body, ns) = match &mut conn {
+                    Some(pc) => pc.send("POST", p.path, &p.body),
+                    None => send(addr, "POST", p.path, &p.body),
+                };
                 out.push((i, status, body, ns));
                 i += clients;
             }
@@ -278,20 +386,11 @@ fn main() {
     let bodies: Vec<String> = merged.iter().map(|(_, b, _)| b.clone()).collect();
     let hash = response_hash(&bodies);
     for (_, _, ns) in &merged {
-        hap_obs::record("loadgen.latency_ns", *ns as f64);
+        hap_obs::record(hist_key, *ns as f64);
     }
-    let hist = hap_obs::histogram("loadgen.latency_ns").expect("latency histogram");
+    let hist = hap_obs::histogram(hist_key).expect("latency histogram");
     let (p50, p99) = (hist.quantile(0.5), hist.quantile(0.99));
     let qps = args.requests as f64 / elapsed.as_secs_f64();
-
-    let json = format!(
-        "{{\n  \"requests\": {},\n  \"clients\": {},\n  \"seed\": {},\n  \"errors\": {},\n  \"qps\": {:.1},\n  \"latency_ns\": {{\"p50\": {:.0}, \"p99\": {:.0}, \"mean\": {:.0}}},\n  \"cache\": {{\"hits\": {hits}, \"misses\": {misses}, \"hit_rate\": {hit_rate:.3}}},\n  \"response_hash\": \"{:016x}\"\n}}\n",
-        args.requests, args.clients, args.seed, errors, qps, p50, p99, hist.mean(), hash
-    );
-    if let Some(dir) = args.out.parent() {
-        std::fs::create_dir_all(dir).expect("create results dir");
-    }
-    std::fs::write(&args.out, &json).expect("write loadgen.json");
     eprintln!(
         "{} requests in {:.2}s ({qps:.0} req/s), {errors} errors, p50 {:.2}ms p99 {:.2}ms",
         args.requests,
@@ -299,13 +398,87 @@ fn main() {
         p50 / 1e6,
         p99 / 1e6
     );
-    eprintln!("response_hash {hash:016x} -> {}", args.out.display());
+    ModeReport {
+        qps,
+        p50,
+        p99,
+        mean: hist.mean(),
+        errors,
+        hash,
+        hits,
+        misses,
+        hit_rate,
+        elapsed_s: elapsed.as_secs_f64(),
+    }
+}
 
+fn main() {
+    let args = parse_args();
+    hap_obs::set_level(hap_obs::Level::Metrics);
+
+    let mut root = Rng::from_seed(args.seed);
+    let pool = build_pool(&mut root.fork("corpus"), 48);
+    let planned = Arc::new(plan_traffic(
+        &mut root.fork("traffic"),
+        &pool,
+        args.requests,
+    ));
+
+    let per_request = run_mode(&args, &planned, false, "loadgen.latency_ns");
+    // Optional second pass: same traffic over persistent connections —
+    // both modes land in one artefact so the connect-per-request cost is
+    // always visible next to the steady-state number.
+    let ka = args
+        .keep_alive
+        .then(|| run_mode(&args, &planned, true, "loadgen.ka_latency_ns"));
+
+    let mut json = format!(
+        "{{\n  \"requests\": {},\n  \"clients\": {},\n  \"seed\": {},\n{}",
+        args.requests,
+        args.clients,
+        args.seed,
+        per_request.json_fields("  ")
+    );
+    if let Some(ka) = &ka {
+        json.push_str(&format!(
+            ",\n  \"keep_alive\": {{\n{}\n  }}",
+            ka.json_fields("    ")
+        ));
+    }
+    json.push_str("\n}\n");
+    if let Some(dir) = args.out.parent() {
+        std::fs::create_dir_all(dir).expect("create results dir");
+    }
+    std::fs::write(&args.out, &json).expect("write loadgen.json");
+    eprintln!(
+        "response_hash {:016x} -> {}",
+        per_request.hash,
+        args.out.display()
+    );
+
+    let errors = per_request.errors + ka.as_ref().map_or(0, |k| k.errors);
     if errors > 0 {
         eprintln!("loadgen: FAIL — {errors} request(s) did not answer 200");
         std::process::exit(1);
     }
+    if let Some(ka) = &ka {
+        if ka.hash != per_request.hash {
+            eprintln!(
+                "loadgen: FAIL — keep-alive hash {:016x} != per-request hash {:016x} \
+                 (transport must not change response bodies)",
+                ka.hash, per_request.hash
+            );
+            std::process::exit(1);
+        }
+        eprintln!(
+            "keep-alive: {:.2}s vs {:.2}s per-request ({:+.0}% qps), hashes agree",
+            ka.elapsed_s,
+            per_request.elapsed_s,
+            (ka.qps / per_request.qps - 1.0) * 100.0
+        );
+    }
     if let Some(baseline) = &args.baseline {
+        let qps = per_request.qps;
         let text = std::fs::read_to_string(baseline).expect("read baseline");
         let v = Json::parse(&text).expect("parse baseline JSON");
         let base_qps = v

@@ -23,6 +23,12 @@
 //! * `embed/*` — eval-mode hierarchy embeddings for a batch of graphs:
 //!   the graph-at-a-time loop vs one block-diagonal batched forward
 //!   (`HapClassifier::try_embeddings`), the hap-serve cache-miss path.
+//! * `precision/*` — f32-vs-f64 pairs ([`Bench::run_pair`]) for the two
+//!   headline hot paths: the `n=200` square GEMM (the packed microkernel
+//!   with twice the lanes per register at f32) and the full training
+//!   step. The f32/f64 median ratio here is the "Precision" table in
+//!   EXPERIMENTS.md, and `scripts/bench_check.sh` gates the train-step
+//!   pair at ≥2× — the refactor's raison d'être.
 //! * `train/train_step` — one full gradient-accumulation step exactly as
 //!   `hap_train::train` runs it (persistent tape, `reset()` per sample);
 //!   the training-hot-path headline number. `train/train_step_batched` is
@@ -49,7 +55,7 @@ use hap_ged::{
     batch_ged, beam_ged, bipartite_ged, exact_ged, BipartiteSolver, EditCosts, GedMethod,
 };
 use hap_gnn::{AdjacencyRef, GatLayer};
-use hap_graph::{degree_one_hot, generators, Graph};
+use hap_graph::{degree_one_hot, generators, Graph, GraphScalar};
 use hap_nn::{Adam, Optimizer};
 use hap_pooling::{
     CoarsenModule, DiffPool, GPool, MeanAttReadout, MeanReadout, PoolCtx, Readout, SagPool,
@@ -288,7 +294,7 @@ fn parallelism(bench: &mut Bench, seed: u64) {
         .max(4);
 
     let mut rng = Rng::from_seed(seed);
-    let ma = Tensor::rand_uniform(200, 200, -1.0, 1.0, &mut rng);
+    let ma = Tensor::<f64>::rand_uniform(200, 200, -1.0, 1.0, &mut rng);
     let mb = Tensor::rand_uniform(200, 200, -1.0, 1.0, &mut rng);
 
     let dim = 16;
@@ -424,10 +430,16 @@ fn embed_batch(bench: &mut Bench, seed: u64) {
 /// sharing one evolving model across cases would confound the
 /// comparison, because the arithmetic cost drifts as training
 /// progresses (the Adam trajectory differs iteration to iteration).
-fn train_step_workload(seed: u64) -> impl FnMut() -> f64 {
+///
+/// Generic over the element type so the `precision/*` pair times the
+/// *identical* workload at both dtypes: data synthesis and splits stay
+/// f64 and features are cast once up front, exactly as
+/// `train_snapshot --dtype` does.
+fn train_step_workload<T: GraphScalar>(seed: u64) -> impl FnMut() -> f64 {
     let mut rng = Rng::from_seed(seed);
     let ds = hap_data::imdb_b(16, &mut rng);
-    let mut store = ParamStore::new();
+    let features: Vec<Tensor<T>> = ds.samples.iter().map(|s| s.features.cast()).collect();
+    let mut store = ParamStore::<T>::new();
     let cfg = HapConfig::new(ds.feature_dim, 8).with_clusters(&[4, 2]);
     let model = HapModel::new(&mut store, &cfg, &mut rng);
     let clf = HapClassifier::new(&mut store, model, ds.num_classes, &mut rng);
@@ -445,8 +457,11 @@ fn train_step_workload(seed: u64) -> impl FnMut() -> f64 {
                 rng: &mut model_rng,
             };
             let s = &ds.samples[i];
-            let loss = clf.loss(&mut tape, &s.graph, &s.features, s.label, &mut ctx);
-            tape.backward_with_seed(loss, Tensor::full(1, 1, 1.0 / batch.len() as f64));
+            let loss = clf.loss(&mut tape, &s.graph, &features[i], s.label, &mut ctx);
+            tape.backward_with_seed(
+                loss,
+                Tensor::full(1, 1, T::from_f64(1.0 / batch.len() as f64)),
+            );
         }
         adam.step(&store);
         store.grad_norm()
@@ -509,15 +524,89 @@ fn train_step_batched_workload(seed: u64) -> impl FnMut() -> f64 {
 fn train_step(bench: &mut Bench, seed: u64) {
     bench.run_pair(
         "train/train_step/batch=8",
-        train_step_workload(seed),
+        train_step_workload::<f64>(seed),
         "train/train_step_batched/batch=8",
         train_step_batched_workload(seed),
     );
 
     hap_obs::set_level(hap_obs::Level::Trace);
-    bench.run("train/train_step/batch=8/obs", train_step_workload(seed));
+    bench.run(
+        "train/train_step/batch=8/obs",
+        train_step_workload::<f64>(seed),
+    );
     hap_obs::set_level(hap_obs::Level::Off);
     hap_obs::reset();
+}
+
+/// f32-vs-f64 pairs over the same inputs (f32 operands are one-time
+/// casts of the f64 ones). Interleaved so the dtype ratio — the number
+/// the generic-scalar refactor exists to improve — is immune to host
+/// drift. `scripts/bench_check.sh` reads the train-step pair and fails
+/// below 2×.
+fn precision(bench: &mut Bench, seed: u64) {
+    let mut rng = Rng::from_seed(seed);
+    let a64 = Tensor::<f64>::rand_uniform(200, 200, -1.0, 1.0, &mut rng);
+    let b64 = Tensor::<f64>::rand_uniform(200, 200, -1.0, 1.0, &mut rng);
+    let a32: Tensor<f32> = a64.cast();
+    let b32: Tensor<f32> = b64.cast();
+    bench.run_pair(
+        "precision/matmul/n=200/f64",
+        || a64.matmul(&b64),
+        "precision/matmul/n=200/f32",
+        || a32.matmul(&b32),
+    );
+    bench.run_pair(
+        "precision/train_step/batch=8/f64",
+        train_step_workload::<f64>(seed),
+        "precision/train_step/batch=8/f32",
+        train_step_workload::<f32>(seed),
+    );
+    bench.run_pair(
+        "precision/train_step_collab/batch=4/f64",
+        collab_step_workload::<f64>(seed),
+        "precision/train_step_collab/batch=4/f32",
+        collab_step_workload::<f32>(seed),
+    );
+}
+
+/// The compute-bound training step: COLLAB-scale graphs (40–110 nodes,
+/// paper avg 74) at hidden width 32, where the per-node GEMMs dominate
+/// and the tape's fixed bookkeeping does not. This is the pair
+/// `bench_check.sh` gates at ≥2×: on the IMDB-scale micro step above
+/// (~20-node graphs, width 8) the arithmetic is too small for lane width
+/// to matter and the dtype ratio sits near 1.1× — see the EXPERIMENTS.md
+/// "Precision" table for both numbers side by side.
+fn collab_step_workload<T: GraphScalar>(seed: u64) -> impl FnMut() -> f64 {
+    let mut rng = Rng::from_seed(seed);
+    let ds = hap_data::collab(8, 1.0, &mut rng);
+    let features: Vec<Tensor<T>> = ds.samples.iter().map(|s| s.features.cast()).collect();
+    let mut store = ParamStore::<T>::new();
+    let cfg = HapConfig::new(ds.feature_dim, 32).with_clusters(&[16, 8]);
+    let model = HapModel::new(&mut store, &cfg, &mut rng);
+    let clf = HapClassifier::new(&mut store, model, ds.num_classes, &mut rng);
+    let mut adam = Adam::new(0.01);
+    let mut tape = Tape::new();
+    let mut model_rng = Rng::from_seed(1);
+    let batch: Vec<usize> = (0..4).collect();
+
+    move || {
+        store.zero_grads();
+        for &i in &batch {
+            tape.reset();
+            let mut ctx = PoolCtx {
+                training: true,
+                rng: &mut model_rng,
+            };
+            let s = &ds.samples[i];
+            let loss = clf.loss(&mut tape, &s.graph, &features[i], s.label, &mut ctx);
+            tape.backward_with_seed(
+                loss,
+                Tensor::full(1, 1, T::from_f64(1.0 / batch.len() as f64)),
+            );
+        }
+        adam.step(&store);
+        store.grad_norm()
+    }
 }
 
 fn main() {
@@ -541,6 +630,7 @@ fn main() {
     sparse_spmm(&mut bench, coarsen_sizes, seed);
     embed_batch(&mut bench, seed);
     train_step(&mut bench, seed);
+    precision(&mut bench, seed);
 
     bench.write_json(&args.out).expect("write JSON report");
     eprintln!(

@@ -4,30 +4,38 @@
 //!
 //! ```text
 //! cargo run --release -p hap-bench --bin train_snapshot \
-//!     [--seed <u64>] [--epochs <usize>] [--samples <usize>] [--out <path>]
+//!     [--seed <u64>] [--epochs <usize>] [--samples <usize>] \
+//!     [--dtype f32|f64] [--out <path>]
 //! ```
 //!
-//! The run is fully seeded: the same arguments reproduce the committed
-//! `results/model.snap` byte-for-byte (snapshot bytes are a pure function
-//! of the trained parameters, and training is deterministic at any
-//! `HAP_THREADS`).
+//! `--dtype` selects the element type end to end: parameter storage,
+//! every forward/backward, and the snapshot's recorded dtype (so the
+//! serving side loads it back at the same precision). The default `f64`
+//! reproduces the committed `results/model.snap` training byte-for-byte
+//! (snapshot bytes are a pure function of the trained parameters, and
+//! training is deterministic at any `HAP_THREADS`); data generation and
+//! splits always run in `f64`, so both dtypes train on the identical
+//! corpus.
 
 use hap_autograd::ParamStore;
 use hap_core::{HapClassifier, HapConfig, HapModel};
+use hap_graph::GraphScalar;
 use hap_rand::Rng;
+use hap_tensor::{Dtype, Tensor};
 use hap_train::{export_snapshot, train, TrainConfig};
 
 struct Args {
     seed: u64,
     epochs: usize,
     samples: usize,
+    dtype: Dtype,
     out: std::path::PathBuf,
 }
 
 fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
-        "usage: train_snapshot [--seed <u64>] [--epochs <usize>] [--samples <usize>] [--out <path>]"
+        "usage: train_snapshot [--seed <u64>] [--epochs <usize>] [--samples <usize>] [--dtype f32|f64] [--out <path>]"
     );
     std::process::exit(2)
 }
@@ -37,6 +45,7 @@ fn parse_args() -> Args {
         seed: 7,
         epochs: 10,
         samples: 60,
+        dtype: Dtype::F64,
         out: std::path::PathBuf::from("results/model.snap"),
     };
     let mut it = std::env::args().skip(1);
@@ -61,6 +70,10 @@ fn parse_args() -> Args {
                     .parse()
                     .unwrap_or_else(|_| usage("--samples must be a usize"))
             }
+            "--dtype" => {
+                args.dtype = Dtype::parse(&value("--dtype"))
+                    .unwrap_or_else(|| usage("--dtype must be f32 or f64"))
+            }
             "--out" => args.out = std::path::PathBuf::from(value("--out")),
             other => usage(&format!("unknown argument {other:?}")),
         }
@@ -68,14 +81,17 @@ fn parse_args() -> Args {
     args
 }
 
-fn main() {
-    let args = parse_args();
+/// The whole train → export pipeline at one element type. Data synthesis
+/// and index splits stay in `f64` (identical corpus for both dtypes);
+/// features are cast once up front.
+fn run<T: GraphScalar>(args: &Args) {
     let mut root = Rng::from_seed(args.seed);
     let mut data_rng = root.fork("data");
     let mut init_rng = root.fork("init");
 
     let ds = hap_data::imdb_b(args.samples, &mut data_rng);
-    let mut store = ParamStore::new();
+    let features: Vec<Tensor<T>> = ds.samples.iter().map(|s| s.features.cast()).collect();
+    let mut store = ParamStore::<T>::new();
     let cfg = HapConfig::new(ds.feature_dim, 6).with_clusters(&[3]);
     let model = HapModel::new(&mut store, &cfg, &mut init_rng);
     let clf = HapClassifier::new(&mut store, model, ds.num_classes, &mut init_rng);
@@ -91,8 +107,11 @@ fn main() {
         log_every: 0,
     };
     eprintln!(
-        "== train_snapshot: {} epochs on synthetic IMDB-B({}) (seed {}) ==",
-        args.epochs, args.samples, args.seed
+        "== train_snapshot: {} epochs on synthetic IMDB-B({}) (seed {}, dtype {}) ==",
+        args.epochs,
+        args.samples,
+        args.seed,
+        T::DTYPE
     );
     let report = train(
         &store,
@@ -102,11 +121,11 @@ fn main() {
         &test_idx,
         &mut |tape, i, ctx| {
             let s = &ds.samples[i];
-            clf.loss(tape, &s.graph, &s.features, s.label, ctx)
+            clf.loss(tape, &s.graph, &features[i], s.label, ctx)
         },
         &mut |i, ctx| {
             let s = &ds.samples[i];
-            clf.predict(&s.graph, &s.features, ctx) == s.label
+            clf.predict(&s.graph, &features[i], ctx) == s.label
         },
     );
     eprintln!(
@@ -117,4 +136,12 @@ fn main() {
     export_snapshot(&store, &cfg, ds.num_classes, &args.out).expect("write snapshot");
     let size = std::fs::metadata(&args.out).map(|m| m.len()).unwrap_or(0);
     eprintln!("wrote {} ({size} bytes)", args.out.display());
+}
+
+fn main() {
+    let args = parse_args();
+    match args.dtype {
+        Dtype::F64 => run::<f64>(&args),
+        Dtype::F32 => run::<f32>(&args),
+    }
 }

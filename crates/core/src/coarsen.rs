@@ -4,7 +4,7 @@ use crate::{GCont, Moa};
 use hap_autograd::{ParamStore, Tape, Var};
 use hap_pooling::{CoarsenModule, PoolCtx};
 use hap_rand::Rng;
-use hap_tensor::Tensor;
+use hap_tensor::{Scalar, Tensor};
 
 /// Numerical floor added to `A'` before the `log` in Eq. 19.
 const LOG_EPS: f64 = 1e-9;
@@ -59,18 +59,18 @@ fn gumbel_from_uniform(u: f64) -> f64 {
 /// assert_eq!(tape.shape(h2), (4, 6));   // 10 nodes -> 4 clusters
 /// assert_eq!(tape.shape(a2), (4, 4));
 /// ```
-pub struct HapCoarsen {
-    gcont: GCont,
-    moa: Moa,
+pub struct HapCoarsen<T: Scalar = f64> {
+    gcont: GCont<T>,
+    moa: Moa<T>,
     tau: f64,
     soft_sampling: bool,
 }
 
-impl HapCoarsen {
+impl<T: Scalar> HapCoarsen<T> {
     /// Creates a coarsening module mapping width-`dim` features onto
     /// `clusters` target clusters, with the paper's τ = 0.1.
     pub fn new(
-        store: &mut ParamStore,
+        store: &mut ParamStore<T>,
         name: &str,
         dim: usize,
         clusters: usize,
@@ -104,23 +104,23 @@ impl HapCoarsen {
     }
 
     /// The GCont component.
-    pub fn gcont(&self) -> &GCont {
+    pub fn gcont(&self) -> &GCont<T> {
         &self.gcont
     }
 
     /// The MOA component.
-    pub fn moa(&self) -> &Moa {
+    pub fn moa(&self) -> &Moa<T> {
         &self.moa
     }
 
     /// Computes the MOA assignment matrix `M` (`N×N'`) for inspection.
-    pub fn assignment(&self, tape: &mut Tape, h: Var) -> Var {
+    pub fn assignment(&self, tape: &mut Tape<T>, h: Var) -> Var {
         let c = self.gcont.forward(tape, h);
         self.moa.forward(tape, c)
     }
 
     /// Eq. 19: row-wise annealed softmax over `ln A' (+ Gumbel noise)`.
-    fn soft_sample(&self, tape: &mut Tape, a: Var, ctx: &mut PoolCtx<'_>) -> Var {
+    fn soft_sample(&self, tape: &mut Tape<T>, a: Var, ctx: &mut PoolCtx<'_>) -> Var {
         let _t = hap_obs::time_scope("core.coarsen.soft_sample");
         let (n, m) = tape.shape(a);
         let shifted = tape.shift(a, LOG_EPS);
@@ -129,11 +129,13 @@ impl HapCoarsen {
             // g = -ln(-ln u), u ~ Uniform(0,1) — same draw sequence from
             // the forked model stream as before the boundary guard, so
             // seeded trajectories are unchanged (the clamp only rewrites
-            // endpoint draws, which previously produced ±∞).
+            // endpoint draws, which previously produced ±∞). Drawn and
+            // transformed in f64 regardless of T, then narrowed — both
+            // dtypes consume the identical RNG stream.
             let mut g = Tensor::zeros(n, m);
             for e in g.as_mut_slice() {
                 let u: f64 = ctx.rng.gen_range(f64::EPSILON..1.0);
-                *e = gumbel_from_uniform(u);
+                *e = T::from_f64(gumbel_from_uniform(u));
             }
             let g = tape.constant(g);
             tape.add(log_a, g)
@@ -145,8 +147,8 @@ impl HapCoarsen {
     }
 }
 
-impl CoarsenModule for HapCoarsen {
-    fn forward(&self, tape: &mut Tape, adj: Var, h: Var, ctx: &mut PoolCtx<'_>) -> (Var, Var) {
+impl<T: Scalar> CoarsenModule<T> for HapCoarsen<T> {
+    fn forward(&self, tape: &mut Tape<T>, adj: Var, h: Var, ctx: &mut PoolCtx<'_>) -> (Var, Var) {
         let _t = hap_obs::time_scope("core.coarsen");
         // Steps 1–8 of Algorithm 1: content + attention assignment.
         let m = {
@@ -186,7 +188,7 @@ mod tests {
 
     fn module(dim: usize, clusters: usize, seed: u64) -> (ParamStore, HapCoarsen) {
         let mut rng = Rng::from_seed(seed);
-        let mut store = ParamStore::new();
+        let mut store = ParamStore::<f64>::new();
         let m = HapCoarsen::new(&mut store, "hc", dim, clusters, &mut rng);
         (store, m)
     }
@@ -370,7 +372,7 @@ mod tests {
     fn without_soft_sampling_preserves_edge_mass() {
         // Σ (MᵀAM) = Σ A when M's rows are distributions.
         let mut rng = Rng::from_seed(11);
-        let mut store = ParamStore::new();
+        let mut store = ParamStore::<f64>::new();
         let m = HapCoarsen::new(&mut store, "hc", 3, 3, &mut rng).without_soft_sampling();
         let g = generators::erdos_renyi_connected(6, 0.5, &mut rng);
         let mut t = Tape::new();

@@ -2,6 +2,7 @@
 
 use hap_autograd::{Tape, Var};
 use hap_pooling::{CoarsenModule, PoolCtx, Readout};
+use hap_tensor::Scalar;
 
 /// Wraps a flat [`Readout`] (MeanPool, MeanAttPool, …) as a
 /// [`CoarsenModule`] that collapses the graph to a single node whose
@@ -17,15 +18,15 @@ pub struct FlatCoarsen<R> {
     readout: R,
 }
 
-impl<R: Readout> FlatCoarsen<R> {
+impl<R> FlatCoarsen<R> {
     /// Wraps `readout`.
     pub fn new(readout: R) -> Self {
         Self { readout }
     }
 }
 
-impl<R: Readout> CoarsenModule for FlatCoarsen<R> {
-    fn forward(&self, tape: &mut Tape, adj: Var, h: Var, ctx: &mut PoolCtx<'_>) -> (Var, Var) {
+impl<T: Scalar, R: Readout<T>> CoarsenModule<T> for FlatCoarsen<R> {
+    fn forward(&self, tape: &mut Tape<T>, adj: Var, h: Var, ctx: &mut PoolCtx<'_>) -> (Var, Var) {
         let pooled = self.readout.forward(tape, adj, h, ctx); // 1×F
                                                               // The 1×1 "adjacency" keeps the total edge mass as a self-loop so
                                                               // downstream degree normalisation stays well-defined.
@@ -63,6 +64,9 @@ mod tests {
         assert_eq!(t.value(a2)[(0, 0)], 2.0, "edge mass preserved");
         assert_eq!(t.shape(h2), (1, 2));
         assert_eq!(t.value(h2).row(0), &[3.0, 6.0]);
-        assert_eq!(m.name(), "MeanPool");
+        assert_eq!(
+            <FlatCoarsen<MeanReadout> as CoarsenModule>::name(&m),
+            "MeanPool"
+        );
     }
 }

@@ -3,6 +3,7 @@
 use hap_autograd::{Param, ParamStore, Tape, Var};
 use hap_nn::xavier_uniform;
 use hap_rand::Rng;
+use hap_tensor::Scalar;
 
 /// The global graph content extractor: a learnable linear transformation
 /// `T ∈ R^{F×N'}` mapping node features to the content matrix
@@ -14,20 +15,20 @@ use hap_rand::Rng;
 /// — this is what gives HAP its generalization across graphs "with the
 /// same form of features" (Sec. 6.5.3): the same learned content
 /// transformation applies to a 20-node and a 200-node graph alike.
-pub struct GCont {
-    t: Param,
+pub struct GCont<T: Scalar = f64> {
+    t: Param<T>,
     in_dim: usize,
     clusters: usize,
 }
 
-impl GCont {
+impl<T: Scalar> GCont<T> {
     /// Creates the content transformation for feature width `in_dim` and
     /// `clusters` target clusters.
     ///
     /// # Panics
     /// Panics when either dimension is zero.
     pub fn new(
-        store: &mut ParamStore,
+        store: &mut ParamStore<T>,
         name: &str,
         in_dim: usize,
         clusters: usize,
@@ -52,7 +53,7 @@ impl GCont {
     }
 
     /// The transformation parameter `T`.
-    pub fn weight(&self) -> &Param {
+    pub fn weight(&self) -> &Param<T> {
         &self.t
     }
 
@@ -62,7 +63,7 @@ impl GCont {
     /// entries — `C` feeds the MOA column sort, so a NaN caught here is
     /// attributed to the content transformation rather than to the
     /// attention that consumes it.
-    pub fn forward(&self, tape: &mut Tape, h: Var) -> Var {
+    pub fn forward(&self, tape: &mut Tape<T>, h: Var) -> Var {
         debug_assert_eq!(tape.shape(h).1, self.in_dim, "GCont input width mismatch");
         let _t = hap_obs::time_scope("core.gcont");
         let t = tape.param(&self.t);
@@ -84,7 +85,7 @@ mod tests {
     #[test]
     fn content_matrix_shape() {
         let mut rng = Rng::from_seed(1);
-        let mut store = ParamStore::new();
+        let mut store = ParamStore::<f64>::new();
         let gc = GCont::new(&mut store, "gc", 4, 3, &mut rng);
         assert_eq!(gc.in_dim(), 4);
         assert_eq!(gc.clusters(), 3);
@@ -98,7 +99,7 @@ mod tests {
     fn same_params_apply_to_any_node_count() {
         // The generalization property: one GCont, two graph sizes.
         let mut rng = Rng::from_seed(2);
-        let mut store = ParamStore::new();
+        let mut store = ParamStore::<f64>::new();
         let gc = GCont::new(&mut store, "gc", 3, 2, &mut rng);
         for n in [5, 50] {
             let mut t = Tape::new();
@@ -112,7 +113,7 @@ mod tests {
     #[test]
     fn gradcheck_t() {
         let mut rng = Rng::from_seed(3);
-        let mut store = ParamStore::new();
+        let mut store = ParamStore::<f64>::new();
         let gc = GCont::new(&mut store, "gc", 3, 2, &mut rng);
         let x = Tensor::rand_uniform(5, 3, -1.0, 1.0, &mut rng);
         check_param_grad(gc.weight(), 1e-6, |t| {

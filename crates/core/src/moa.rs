@@ -3,7 +3,7 @@
 use hap_autograd::{Param, ParamStore, Tape, Var};
 use hap_nn::xavier_uniform;
 use hap_rand::Rng;
-use hap_tensor::Tensor;
+use hap_tensor::{Scalar, Tensor};
 
 /// The cross-level attention mechanism between rows (source nodes) and
 /// columns (target clusters) of the GCont matrix `C`:
@@ -27,21 +27,21 @@ use hap_tensor::Tensor;
 /// `M_ij = LeakyReLU((C·a₁)_i + (Ĉ_j·a₂))` where `Ĉ_j` is the reduced
 /// column — computed with two small matmuls instead of materialising the
 /// `N×N'×2N'` concatenation.
-pub struct Moa {
+pub struct Moa<T: Scalar = f64> {
     /// `a₁ ∈ R^{N'}` — weights for the row (node) part.
-    a_row: Param,
+    a_row: Param<T>,
     /// `a₂ ∈ R^{N'}` — weights for the reduced column (cluster) part.
-    a_col: Param,
+    a_col: Param<T>,
     clusters: usize,
     leaky_slope: f64,
 }
 
-impl Moa {
+impl<T: Scalar> Moa<T> {
     /// Creates the attention parameters for `clusters` target clusters.
     ///
     /// # Panics
     /// Panics when `clusters == 0`.
-    pub fn new(store: &mut ParamStore, name: &str, clusters: usize, rng: &mut Rng) -> Self {
+    pub fn new(store: &mut ParamStore<T>, name: &str, clusters: usize, rng: &mut Rng) -> Self {
         assert!(clusters > 0, "cluster count must be positive");
         Self {
             a_row: store.new_param(format!("{name}.a_row"), xavier_uniform(clusters, 1, rng)),
@@ -58,7 +58,7 @@ impl Moa {
 
     /// Reduces each column of `C` to its `N'` largest entries (descending,
     /// zero-padded), returning an `N'×N'` matrix whose row `j` is `Ĉ_j`.
-    fn reduced_columns(&self, tape: &mut Tape, c: Var) -> Var {
+    fn reduced_columns(&self, tape: &mut Tape<T>, c: Var) -> Var {
         let (n, nc) = tape.shape(c);
         debug_assert_eq!(nc, self.clusters);
         let ct = tape.transpose(c); // N'×N, row j = column j of C
@@ -117,7 +117,7 @@ impl Moa {
     }
 
     /// Computes the raw (pre-softmax) attention logits `N×N'`.
-    pub fn logits(&self, tape: &mut Tape, c: Var) -> Var {
+    pub fn logits(&self, tape: &mut Tape<T>, c: Var) -> Var {
         let (n, nc) = tape.shape(c);
         assert_eq!(
             nc, self.clusters,
@@ -144,7 +144,7 @@ impl Moa {
     /// Under `HAP_TRACE` the attention matrix is scanned for non-finite
     /// entries — a degenerate softmax row (all `-∞` logits) is recorded at
     /// its source instead of surfacing later in the coarsened adjacency.
-    pub fn forward(&self, tape: &mut Tape, c: Var) -> Var {
+    pub fn forward(&self, tape: &mut Tape<T>, c: Var) -> Var {
         let _t = hap_obs::time_scope("core.moa");
         let e = self.logits(tape, c);
         let m = tape.softmax_rows(e);
@@ -164,7 +164,7 @@ mod tests {
 
     fn make_moa(clusters: usize, seed: u64) -> (ParamStore, Moa) {
         let mut rng = Rng::from_seed(seed);
-        let mut store = ParamStore::new();
+        let mut store = ParamStore::<f64>::new();
         let moa = Moa::new(&mut store, "moa", clusters, &mut rng);
         (store, moa)
     }

@@ -3,7 +3,7 @@
 use crate::{FlatCoarsen, HapCoarsen, HapError};
 use hap_autograd::{ParamStore, Tape, Var};
 use hap_gnn::{AdjacencyRef, BatchGraph, EncoderKind, GnnEncoder};
-use hap_graph::Graph;
+use hap_graph::{Graph, GraphScalar};
 use hap_pooling::{CoarsenModule, DiffPool, MeanAttReadout, MeanReadout, PoolCtx, SagPool};
 use hap_rand::Rng;
 use hap_tensor::Tensor;
@@ -88,16 +88,16 @@ impl AblationKind {
         &[MeanPool, MeanAttPool, SagPool, DiffPool, Hap]
     }
 
-    fn build(
+    fn build<T: GraphScalar>(
         self,
-        store: &mut ParamStore,
+        store: &mut ParamStore<T>,
         name: &str,
         dim: usize,
         clusters: usize,
         tau: f64,
         soft_sampling: bool,
         rng: &mut Rng,
-    ) -> Box<dyn CoarsenModule> {
+    ) -> Box<dyn CoarsenModule<T>> {
         match self {
             AblationKind::Hap => {
                 let mut m = HapCoarsen::new(store, name, dim, clusters, rng).with_tau(tau);
@@ -134,22 +134,22 @@ fn level_label(k: usize) -> &'static str {
 ///
 /// With `K = 0` the model degrades to a flat encoder + mean readout —
 /// the "baseline" row of Table 6.
-pub struct HapModel {
-    encoders: Vec<GnnEncoder>,
-    coarseners: Vec<Box<dyn CoarsenModule>>,
+pub struct HapModel<T: GraphScalar = f64> {
+    encoders: Vec<GnnEncoder<T>>,
+    coarseners: Vec<Box<dyn CoarsenModule<T>>>,
     hidden: usize,
 }
 
-impl HapModel {
+impl<T: GraphScalar> HapModel<T> {
     /// Builds the model with HAP coarsening modules.
-    pub fn new(store: &mut ParamStore, cfg: &HapConfig, rng: &mut Rng) -> Self {
+    pub fn new(store: &mut ParamStore<T>, cfg: &HapConfig, rng: &mut Rng) -> Self {
         Self::with_ablation(store, cfg, AblationKind::Hap, rng)
     }
 
     /// Builds the model with the coarsening slot filled by `kind`
     /// (Table 5 ablations).
     pub fn with_ablation(
-        store: &mut ParamStore,
+        store: &mut ParamStore<T>,
         cfg: &HapConfig,
         kind: AblationKind,
         rng: &mut Rng,
@@ -216,9 +216,9 @@ impl HapModel {
     /// See the degenerate-input contract above.
     pub fn try_embed_hierarchy(
         &self,
-        tape: &mut Tape,
+        tape: &mut Tape<T>,
         graph: &Graph,
-        features: &Tensor,
+        features: &Tensor<T>,
         ctx: &mut PoolCtx<'_>,
     ) -> Result<Vec<Var>, HapError> {
         if graph.n() == 0 {
@@ -232,7 +232,7 @@ impl HapModel {
         }
         let _t = hap_obs::time_scope("core.embed_hierarchy");
         let mut h = tape.constant(features.clone());
-        let mut a = tape.constant(graph.adjacency().clone());
+        let mut a = tape.constant(T::adjacency_of(graph).clone());
         let mut embeddings = Vec::new();
 
         if self.coarseners.is_empty() {
@@ -285,8 +285,8 @@ impl HapModel {
     /// See the validation contract above.
     pub fn try_embed_hierarchy_batch(
         &self,
-        tape: &mut Tape,
-        graphs: &[(&Graph, &Tensor)],
+        tape: &mut Tape<T>,
+        graphs: &[(&Graph, &Tensor<T>)],
         ctx: &mut PoolCtx<'_>,
     ) -> Result<Vec<Vec<Var>>, HapError> {
         for &(g, x) in graphs {
@@ -312,7 +312,7 @@ impl HapModel {
         let _t = hap_obs::time_scope("core.embed_hierarchy_batch");
 
         let gs: Vec<&Graph> = graphs.iter().map(|&(g, _)| g).collect();
-        let xs: Vec<&Tensor> = graphs.iter().map(|&(_, x)| x).collect();
+        let xs: Vec<&Tensor<T>> = graphs.iter().map(|&(_, x)| x).collect();
         let batch = BatchGraph::new(&gs, &xs);
         let h0 = tape.constant(batch.features().clone());
 
@@ -335,7 +335,7 @@ impl HapModel {
         for (b, &(g, _)) in graphs.iter().enumerate() {
             let rows: Vec<usize> = batch.node_range(b).collect();
             let mut h = tape.gather_rows(enc0, &rows);
-            let mut a = tape.constant(g.adjacency().clone());
+            let mut a = tape.constant(T::adjacency_of(g).clone());
             let mut embeddings = Vec::with_capacity(self.coarseners.len());
             for (k, coarsen) in self.coarseners.iter().enumerate() {
                 let _p = hap_obs::phase(level_label(k));
@@ -359,9 +359,9 @@ impl HapModel {
     /// feature/node row mismatch — use the `try_` form to handle those.
     pub fn embed_hierarchy(
         &self,
-        tape: &mut Tape,
+        tape: &mut Tape<T>,
         graph: &Graph,
-        features: &Tensor,
+        features: &Tensor<T>,
         ctx: &mut PoolCtx<'_>,
     ) -> Vec<Var> {
         self.try_embed_hierarchy(tape, graph, features, ctx)
@@ -371,9 +371,9 @@ impl HapModel {
     /// The final graph-level embedding `h_G` (`1×hidden`).
     pub fn embed(
         &self,
-        tape: &mut Tape,
+        tape: &mut Tape<T>,
         graph: &Graph,
-        features: &Tensor,
+        features: &Tensor<T>,
         ctx: &mut PoolCtx<'_>,
     ) -> Var {
         *self
@@ -397,7 +397,7 @@ mod tests {
     #[test]
     fn hierarchy_produces_one_embedding_per_level() {
         let mut rng = Rng::from_seed(1);
-        let mut store = ParamStore::new();
+        let mut store = ParamStore::<f64>::new();
         let model = HapModel::new(&mut store, &cfg(), &mut rng);
         assert_eq!(model.depth(), 2);
         let g = generators::erdos_renyi_connected(9, 0.35, &mut rng);
@@ -418,7 +418,7 @@ mod tests {
     #[test]
     fn zero_depth_model_is_flat() {
         let mut rng = Rng::from_seed(2);
-        let mut store = ParamStore::new();
+        let mut store = ParamStore::<f64>::new();
         let model = HapModel::new(&mut store, &cfg().with_clusters(&[]), &mut rng);
         assert_eq!(model.depth(), 0);
         let g = generators::cycle(6);
@@ -437,7 +437,7 @@ mod tests {
         // Regression: n = 0 used to wander into the encoder/MOA algebra
         // and die on an opaque panic; it is now rejected at the boundary.
         let mut rng = Rng::from_seed(20);
-        let mut store = ParamStore::new();
+        let mut store = ParamStore::<f64>::new();
         let model = HapModel::new(&mut store, &cfg(), &mut rng);
         let g = hap_graph::Graph::empty(0);
         let x = Tensor::zeros(0, 5);
@@ -455,7 +455,7 @@ mod tests {
     #[test]
     fn feature_row_mismatch_returns_typed_error() {
         let mut rng = Rng::from_seed(21);
-        let mut store = ParamStore::new();
+        let mut store = ParamStore::<f64>::new();
         let model = HapModel::new(&mut store, &cfg(), &mut rng);
         let g = generators::cycle(6);
         let x = Tensor::zeros(4, 5); // 4 rows for a 6-node graph
@@ -476,7 +476,7 @@ mod tests {
         // the MOA column reduction zero-pads (Claim 3) and the hierarchy
         // still produces one finite embedding per level.
         let mut rng = Rng::from_seed(22);
-        let mut store = ParamStore::new();
+        let mut store = ParamStore::<f64>::new();
         let model = HapModel::new(&mut store, &cfg(), &mut rng);
         let g = hap_graph::Graph::empty(1);
         let x = degree_one_hot(&g, 5);
@@ -500,7 +500,7 @@ mod tests {
         // k = n: no reduction pressure at all — every node can own a
         // cluster. Must run and stay finite (documented degenerate case).
         let mut rng = Rng::from_seed(23);
-        let mut store = ParamStore::new();
+        let mut store = ParamStore::<f64>::new();
         let model = HapModel::new(
             &mut store,
             &HapConfig::new(5, 6).with_clusters(&[4]),
@@ -531,7 +531,7 @@ mod tests {
         // looped path is the oracle, at eval and under training-mode
         // Gumbel sampling (identically seeded rng for both runs).
         let mut rng = Rng::from_seed(30);
-        let mut store = ParamStore::new();
+        let mut store = ParamStore::<f64>::new();
         let model = HapModel::new(&mut store, &cfg(), &mut rng);
         let mut graphs = vec![hap_graph::Graph::empty(1)];
         graphs.push(generators::erdos_renyi_connected(5, 0.4, &mut rng));
@@ -586,7 +586,7 @@ mod tests {
     fn batched_flat_model_matches_looped_bitwise() {
         // K = 0: batched encoder + segment means vs per-graph col_means.
         let mut rng = Rng::from_seed(31);
-        let mut store = ParamStore::new();
+        let mut store = ParamStore::<f64>::new();
         let model = HapModel::new(&mut store, &cfg().with_clusters(&[]), &mut rng);
         let g1 = generators::cycle(6);
         let g2 = generators::path(4);
@@ -617,7 +617,7 @@ mod tests {
     #[test]
     fn batched_gat_model_falls_back_and_matches_looped() {
         let mut rng = Rng::from_seed(32);
-        let mut store = ParamStore::new();
+        let mut store = ParamStore::<f64>::new();
         let model = HapModel::new(&mut store, &cfg().with_encoder(EncoderKind::Gat), &mut rng);
         let g = generators::erdos_renyi_connected(7, 0.4, &mut rng);
         let x = degree_one_hot(&g, 5);
@@ -647,7 +647,7 @@ mod tests {
     #[test]
     fn batch_validation_is_all_or_nothing() {
         let mut rng = Rng::from_seed(33);
-        let mut store = ParamStore::new();
+        let mut store = ParamStore::<f64>::new();
         let model = HapModel::new(&mut store, &cfg(), &mut rng);
         let good = generators::cycle(4);
         let gx = degree_one_hot(&good, 5);
@@ -674,7 +674,7 @@ mod tests {
         let g = generators::erdos_renyi_connected(8, 0.4, &mut rng);
         let x = degree_one_hot(&g, 5);
         for &kind in AblationKind::all() {
-            let mut store = ParamStore::new();
+            let mut store = ParamStore::<f64>::new();
             let model = HapModel::with_ablation(&mut store, &cfg(), kind, &mut rng);
             let mut t = Tape::new();
             let mut ctx = PoolCtx {
@@ -693,7 +693,7 @@ mod tests {
     #[test]
     fn whole_model_is_permutation_invariant_at_eval() {
         let mut rng = Rng::from_seed(4);
-        let mut store = ParamStore::new();
+        let mut store = ParamStore::<f64>::new();
         let model = HapModel::new(&mut store, &cfg(), &mut rng);
         let g = generators::erdos_renyi_connected(8, 0.4, &mut rng);
         let x = degree_one_hot(&g, 5);
@@ -719,7 +719,7 @@ mod tests {
         // The same trained parameters must accept 10-node and 100-node
         // graphs (the Table 7 scenario).
         let mut rng = Rng::from_seed(5);
-        let mut store = ParamStore::new();
+        let mut store = ParamStore::<f64>::new();
         let model = HapModel::new(&mut store, &cfg(), &mut rng);
         for n in [10, 100] {
             let g = generators::erdos_renyi_connected(n, 0.2, &mut rng);

@@ -3,18 +3,18 @@
 
 use crate::HapModel;
 use hap_autograd::{ParamStore, Tape, Var};
-use hap_graph::Graph;
+use hap_graph::{Graph, GraphScalar};
 use hap_nn::{bce_scalar, cross_entropy_logits, mse_scalar, Activation, Mlp};
 use hap_pooling::PoolCtx;
 use hap_rand::Rng;
-use hap_tensor::Tensor;
+use hap_tensor::{Scalar, Tensor};
 
 /// Guard under the square root so the Euclidean distance stays
 /// differentiable at zero.
 const DIST_EPS: f64 = 1e-12;
 
 /// Differentiable Euclidean distance between two `1×F` embeddings.
-fn euclidean(tape: &mut Tape, a: Var, b: Var) -> Var {
+fn euclidean<T: Scalar>(tape: &mut Tape<T>, a: Var, b: Var) -> Var {
     let sq = tape.squared_distance(a, b);
     let sq = tape.shift(sq, DIST_EPS);
     tape.sqrt(sq)
@@ -28,8 +28,11 @@ fn euclidean(tape: &mut Tape, a: Var, b: Var) -> Var {
 /// `+∞`, so a poisoned forward pass yields a deterministic (if arbitrary)
 /// class instead of panicking the comparator. The hap-obs sentinel records
 /// the event so the degradation is visible rather than silent.
-fn argmax_logits(v: &Tensor, classes: usize) -> usize {
-    hap_obs::guard_scalar("cls.logits", v.row(0)[..classes].iter().sum());
+fn argmax_logits<T: Scalar>(v: &Tensor<T>, classes: usize) -> usize {
+    hap_obs::guard_scalar(
+        "cls.logits",
+        v.row(0)[..classes].iter().copied().sum::<T>().to_f64(),
+    );
     (0..classes)
         .max_by(|&a, &b| v[(0, a)].total_cmp(&v[(0, b)]))
         .expect("at least one class")
@@ -49,15 +52,20 @@ fn argmax_logits(v: &Tensor, classes: usize) -> usize {
 /// The hierarchical concatenation keeps a direct gradient path to every
 /// level, exactly the motivation the paper gives for its hierarchical
 /// prediction strategy.
-pub struct HapClassifier {
-    model: HapModel,
-    head: Mlp,
+pub struct HapClassifier<T: GraphScalar = f64> {
+    model: HapModel<T>,
+    head: Mlp<T>,
     classes: usize,
 }
 
-impl HapClassifier {
+impl<T: GraphScalar> HapClassifier<T> {
     /// Builds the classifier on top of an existing hierarchy.
-    pub fn new(store: &mut ParamStore, model: HapModel, classes: usize, rng: &mut Rng) -> Self {
+    pub fn new(
+        store: &mut ParamStore<T>,
+        model: HapModel<T>,
+        classes: usize,
+        rng: &mut Rng,
+    ) -> Self {
         let hidden = model.hidden();
         let levels = model.depth().max(1);
         let head = Mlp::new(
@@ -75,7 +83,7 @@ impl HapClassifier {
     }
 
     /// The underlying hierarchy.
-    pub fn model(&self) -> &HapModel {
+    pub fn model(&self) -> &HapModel<T> {
         &self.model
     }
 
@@ -87,9 +95,9 @@ impl HapClassifier {
     /// Class logits (`1×classes`) for one graph.
     pub fn logits(
         &self,
-        tape: &mut Tape,
+        tape: &mut Tape<T>,
         graph: &Graph,
-        features: &Tensor,
+        features: &Tensor<T>,
         ctx: &mut PoolCtx<'_>,
     ) -> Var {
         let e = self.hier_embedding(tape, graph, features, ctx);
@@ -99,9 +107,9 @@ impl HapClassifier {
     /// Concatenated hierarchical embedding (`1×(K·hidden)`).
     fn hier_embedding(
         &self,
-        tape: &mut Tape,
+        tape: &mut Tape<T>,
         graph: &Graph,
-        features: &Tensor,
+        features: &Tensor<T>,
         ctx: &mut PoolCtx<'_>,
     ) -> Var {
         let levels = self.model.embed_hierarchy(tape, graph, features, ctx);
@@ -116,9 +124,9 @@ impl HapClassifier {
     /// Cross-entropy loss (Eq. 21) for one labelled graph.
     pub fn loss(
         &self,
-        tape: &mut Tape,
+        tape: &mut Tape<T>,
         graph: &Graph,
-        features: &Tensor,
+        features: &Tensor<T>,
         label: usize,
         ctx: &mut PoolCtx<'_>,
     ) -> Var {
@@ -139,11 +147,11 @@ impl HapClassifier {
     /// [`HapModel::try_embed_hierarchy_batch`].
     pub fn batch_losses(
         &self,
-        tape: &mut Tape,
-        items: &[(&Graph, &Tensor, usize)],
+        tape: &mut Tape<T>,
+        items: &[(&Graph, &Tensor<T>, usize)],
         ctx: &mut PoolCtx<'_>,
     ) -> Result<Vec<Var>, crate::HapError> {
-        let graphs: Vec<(&Graph, &Tensor)> = items.iter().map(|&(g, x, _)| (g, x)).collect();
+        let graphs: Vec<(&Graph, &Tensor<T>)> = items.iter().map(|&(g, x, _)| (g, x)).collect();
         let per_graph = self.model.try_embed_hierarchy_batch(tape, &graphs, ctx)?;
         Ok(per_graph
             .into_iter()
@@ -166,7 +174,7 @@ impl HapClassifier {
     /// `partial_cmp(..).expect("finite logits")` and panicked on the first
     /// NaN logit; it now degrades deterministically via the shared
     /// `argmax_logits` helper.
-    pub fn predict(&self, graph: &Graph, features: &Tensor, ctx: &mut PoolCtx<'_>) -> usize {
+    pub fn predict(&self, graph: &Graph, features: &Tensor<T>, ctx: &mut PoolCtx<'_>) -> usize {
         let mut tape = Tape::new();
         let logits = self.logits(&mut tape, graph, features, ctx);
         let v = tape.value(logits);
@@ -175,7 +183,12 @@ impl HapClassifier {
 
     /// The hierarchical graph embedding (for t-SNE visualisation,
     /// Fig. 4/6).
-    pub fn embedding(&self, graph: &Graph, features: &Tensor, ctx: &mut PoolCtx<'_>) -> Tensor {
+    pub fn embedding(
+        &self,
+        graph: &Graph,
+        features: &Tensor<T>,
+        ctx: &mut PoolCtx<'_>,
+    ) -> Tensor<T> {
         self.try_embedding(graph, features, ctx)
             .unwrap_or_else(|e| panic!("{e}"))
     }
@@ -192,9 +205,9 @@ impl HapClassifier {
     pub fn try_embedding(
         &self,
         graph: &Graph,
-        features: &Tensor,
+        features: &Tensor<T>,
         ctx: &mut PoolCtx<'_>,
-    ) -> Result<Tensor, crate::HapError> {
+    ) -> Result<Tensor<T>, crate::HapError> {
         let mut tape = Tape::new();
         let levels = self
             .model
@@ -221,9 +234,9 @@ impl HapClassifier {
     /// per-item errors are needed.
     pub fn try_embeddings(
         &self,
-        items: &[(&Graph, &Tensor)],
+        items: &[(&Graph, &Tensor<T>)],
         ctx: &mut PoolCtx<'_>,
-    ) -> Result<Vec<Tensor>, crate::HapError> {
+    ) -> Result<Vec<Tensor<T>>, crate::HapError> {
         let mut tape = Tape::new();
         let per_graph = self
             .model
@@ -245,7 +258,7 @@ impl HapClassifier {
     /// embedding (the `1×(K·hidden)` tensor [`HapClassifier::embedding`]
     /// returns). This is the cache-hit path of `hap-serve`: the expensive
     /// hierarchy is skipped and only the small head runs.
-    pub fn logits_from_embedding(&self, embedding: &Tensor) -> Tensor {
+    pub fn logits_from_embedding(&self, embedding: &Tensor<T>) -> Tensor<T> {
         let mut tape = Tape::new();
         let e = tape.constant(embedding.clone());
         let logits = self.head.forward(&mut tape, e);
@@ -254,7 +267,7 @@ impl HapClassifier {
 
     /// Predicted class from an already-materialised hierarchical
     /// embedding (see [`HapClassifier::logits_from_embedding`]).
-    pub fn predict_from_embedding(&self, embedding: &Tensor) -> usize {
+    pub fn predict_from_embedding(&self, embedding: &Tensor<T>) -> usize {
         argmax_logits(&self.logits_from_embedding(embedding), self.classes)
     }
 }
@@ -285,14 +298,14 @@ impl PairScore {
 /// Eq. 23 as printed carries only the positive term `Y_p log s`; the
 /// standard two-sided BCE is used here (the one-sided form cannot learn
 /// from negative pairs), as any runnable implementation must.
-pub struct HapMatcher {
-    model: HapModel,
+pub struct HapMatcher<T: GraphScalar = f64> {
+    model: HapModel<T>,
     scale: f64,
 }
 
-impl HapMatcher {
+impl<T: GraphScalar> HapMatcher<T> {
     /// Wraps a hierarchy with the paper's default `scale = 0.5`.
-    pub fn new(model: HapModel) -> Self {
+    pub fn new(model: HapModel<T>) -> Self {
         Self { model, scale: 0.5 }
     }
 
@@ -304,16 +317,16 @@ impl HapMatcher {
     }
 
     /// The underlying hierarchy.
-    pub fn model(&self) -> &HapModel {
+    pub fn model(&self) -> &HapModel<T> {
         &self.model
     }
 
     /// Per-level similarity scores `s^k` as tape nodes (training path).
     pub fn pair_scores(
         &self,
-        tape: &mut Tape,
-        g1: (&Graph, &Tensor),
-        g2: (&Graph, &Tensor),
+        tape: &mut Tape<T>,
+        g1: (&Graph, &Tensor<T>),
+        g2: (&Graph, &Tensor<T>),
         ctx: &mut PoolCtx<'_>,
     ) -> Vec<Var> {
         let e1 = self.model.embed_hierarchy(tape, g1.0, g1.1, ctx);
@@ -333,9 +346,9 @@ impl HapMatcher {
     /// (`label` = 1 for matching, 0 for non-matching).
     pub fn loss(
         &self,
-        tape: &mut Tape,
-        g1: (&Graph, &Tensor),
-        g2: (&Graph, &Tensor),
+        tape: &mut Tape<T>,
+        g1: (&Graph, &Tensor<T>),
+        g2: (&Graph, &Tensor<T>),
         label: f64,
         ctx: &mut PoolCtx<'_>,
     ) -> Var {
@@ -356,8 +369,8 @@ impl HapMatcher {
     /// Evaluation: per-level similarity scores as plain numbers.
     pub fn score(
         &self,
-        g1: (&Graph, &Tensor),
-        g2: (&Graph, &Tensor),
+        g1: (&Graph, &Tensor<T>),
+        g2: (&Graph, &Tensor<T>),
         ctx: &mut PoolCtx<'_>,
     ) -> PairScore {
         let mut tape = Tape::new();
@@ -370,18 +383,18 @@ impl HapMatcher {
 
 /// Graph similarity learning model (Eq. 24): hierarchical triplet MSE
 /// against the relative GED ground truth of Sec. 4.2.
-pub struct HapSimilarity {
-    model: HapModel,
+pub struct HapSimilarity<T: GraphScalar = f64> {
+    model: HapModel<T>,
 }
 
-impl HapSimilarity {
+impl<T: GraphScalar> HapSimilarity<T> {
     /// Wraps a hierarchy.
-    pub fn new(model: HapModel) -> Self {
+    pub fn new(model: HapModel<T>) -> Self {
         Self { model }
     }
 
     /// The underlying hierarchy.
-    pub fn model(&self) -> &HapModel {
+    pub fn model(&self) -> &HapModel<T> {
         &self.model
     }
 
@@ -389,10 +402,10 @@ impl HapSimilarity {
     /// across levels (tape node).
     pub fn relative_distance(
         &self,
-        tape: &mut Tape,
-        g1: (&Graph, &Tensor),
-        g2: (&Graph, &Tensor),
-        g3: (&Graph, &Tensor),
+        tape: &mut Tape<T>,
+        g1: (&Graph, &Tensor<T>),
+        g2: (&Graph, &Tensor<T>),
+        g3: (&Graph, &Tensor<T>),
         ctx: &mut PoolCtx<'_>,
     ) -> Var {
         let e1 = self.model.embed_hierarchy(tape, g1.0, g1.1, ctx);
@@ -417,10 +430,10 @@ impl HapSimilarity {
     /// the relative GED `r = GED(G₁,G₂) − GED(G₁,G₃)`.
     pub fn loss(
         &self,
-        tape: &mut Tape,
-        g1: (&Graph, &Tensor),
-        g2: (&Graph, &Tensor),
-        g3: (&Graph, &Tensor),
+        tape: &mut Tape<T>,
+        g1: (&Graph, &Tensor<T>),
+        g2: (&Graph, &Tensor<T>),
+        g3: (&Graph, &Tensor<T>),
         relative_ged: f64,
         ctx: &mut PoolCtx<'_>,
     ) -> Var {
@@ -433,9 +446,9 @@ impl HapSimilarity {
     /// relative GED means `G₁` is closer to `G₂`… sign agreement.)
     pub fn predict_sign(
         &self,
-        g1: (&Graph, &Tensor),
-        g2: (&Graph, &Tensor),
-        g3: (&Graph, &Tensor),
+        g1: (&Graph, &Tensor<T>),
+        g2: (&Graph, &Tensor<T>),
+        g3: (&Graph, &Tensor<T>),
         ctx: &mut PoolCtx<'_>,
     ) -> f64 {
         let mut tape = Tape::new();
@@ -453,7 +466,7 @@ mod tests {
 
     fn model(seed: u64) -> (ParamStore, HapModel) {
         let mut rng = Rng::from_seed(seed);
-        let mut store = ParamStore::new();
+        let mut store = ParamStore::<f64>::new();
         let cfg = HapConfig::new(5, 6).with_clusters(&[4, 2]);
         let m = HapModel::new(&mut store, &cfg, &mut rng);
         (store, m)

@@ -14,16 +14,17 @@
 
 #![deny(missing_docs)]
 
-use hap_graph::Graph;
-use hap_tensor::{CsrMatrix, Tensor};
+use hap_graph::{Graph, GraphScalar};
+use hap_tensor::{CsrMatrix, Scalar, Tensor};
 use std::sync::Arc;
 
 /// `B` graphs fused into one block-diagonal propagation problem.
 ///
 /// Graph `b` owns the contiguous node rows `offsets[b]..offsets[b+1]`;
-/// the adjacency is the block-diagonal of each graph's cached CSR `Â`
-/// (bitwise the same values dense forwards use). Empty graphs are
-/// rejected — an empty row segment has no well-defined mean readout.
+/// the adjacency is the block-diagonal of each graph's cached CSR `Â` in
+/// the batch's element type `T` (bitwise the same values dense forwards of
+/// that dtype use — see [`GraphScalar`]). Empty graphs are rejected — an
+/// empty row segment has no well-defined mean readout.
 ///
 /// ```
 /// use hap_autograd::{ParamStore, Tape};
@@ -37,7 +38,7 @@ use std::sync::Arc;
 /// let enc = GnnEncoder::new(&mut store, "enc", EncoderKind::Gcn, &[2, 4], &mut rng);
 ///
 /// let (g1, g2) = (generators::cycle(3), generators::path(2));
-/// let (x1, x2) = (Tensor::ones(3, 2), Tensor::full(2, 2, 0.5));
+/// let (x1, x2) = (Tensor::<f64>::ones(3, 2), Tensor::full(2, 2, 0.5));
 ///
 /// // One batched forward over the 5-node block-diagonal system …
 /// let batch = BatchGraph::new(&[&g1, &g2], &[&x1, &x2]);
@@ -60,13 +61,13 @@ use std::sync::Arc;
 /// }
 /// ```
 #[derive(Clone, Debug)]
-pub struct BatchGraph {
-    csr: Arc<CsrMatrix>,
+pub struct BatchGraph<T: Scalar = f64> {
+    csr: Arc<CsrMatrix<T>>,
     offsets: Arc<Vec<usize>>,
-    features: Tensor,
+    features: Tensor<T>,
 }
 
-impl BatchGraph {
+impl<T: GraphScalar> BatchGraph<T> {
     /// Fuses `graphs` (with per-graph feature matrices, one row per node)
     /// into a block-diagonal batch.
     ///
@@ -75,7 +76,7 @@ impl BatchGraph {
     /// lengths differ, when any graph has zero nodes, when a feature
     /// matrix's row count differs from its graph's node count, or when
     /// feature widths are inconsistent across the batch.
-    pub fn new(graphs: &[&Graph], features: &[&Tensor]) -> Self {
+    pub fn new(graphs: &[&Graph], features: &[&Tensor<T>]) -> Self {
         assert!(!graphs.is_empty(), "batch must contain at least one graph");
         assert_eq!(
             graphs.len(),
@@ -103,10 +104,7 @@ impl BatchGraph {
             offsets.push(offsets[b] + g.n());
         }
 
-        let blocks: Vec<&CsrMatrix> = graphs
-            .iter()
-            .map(|g| g.csr_adjacency_cached().matrix().as_ref())
-            .collect();
+        let blocks: Vec<&CsrMatrix<T>> = graphs.iter().map(|g| T::csr_of(g).as_ref()).collect();
         let csr = Arc::new(CsrMatrix::block_diag(&blocks));
 
         let total = *offsets.last().expect("non-empty offsets");
@@ -146,12 +144,12 @@ impl BatchGraph {
     }
 
     /// The block-diagonal normalised adjacency (symmetric, CSR).
-    pub fn adjacency(&self) -> &Arc<CsrMatrix> {
+    pub fn adjacency(&self) -> &Arc<CsrMatrix<T>> {
         &self.csr
     }
 
     /// The fused `(Σnᵢ) × F` node-feature matrix.
-    pub fn features(&self) -> &Tensor {
+    pub fn features(&self) -> &Tensor<T> {
         &self.features
     }
 
@@ -173,7 +171,7 @@ mod tests {
     fn layout_and_block_diagonal_structure() {
         let g1 = generators::cycle(4);
         let g2 = generators::path(3);
-        let x1 = Tensor::ones(4, 2);
+        let x1 = Tensor::<f64>::ones(4, 2);
         let x2 = Tensor::full(3, 2, 2.0);
         let batch = BatchGraph::new(&[&g1, &g2], &[&x1, &x2]);
 
@@ -206,9 +204,40 @@ mod tests {
     }
 
     #[test]
+    fn f32_batched_forward_is_byte_identical_to_per_graph_loop() {
+        use crate::{AdjacencyRef, EncoderKind, GnnEncoder};
+        use hap_autograd::{ParamStore, Tape};
+        use hap_rand::Rng;
+
+        let mut rng = Rng::from_seed(7);
+        let mut store = ParamStore::<f32>::new();
+        let enc = GnnEncoder::new(&mut store, "enc", EncoderKind::Gcn, &[2, 4], &mut rng);
+
+        let (g1, g2) = (generators::cycle(3), generators::path(2));
+        let (x1, x2) = (Tensor::<f32>::ones(3, 2), Tensor::<f32>::full(2, 2, 0.5));
+        let batch = BatchGraph::new(&[&g1, &g2], &[&x1, &x2]);
+        let mut tb = Tape::new();
+        let h = tb.constant(batch.features().clone());
+        let hb = enc.forward_batch(&mut tb, &batch, h);
+        let batched = tb.value(hb);
+
+        for (b, (g, x)) in [(&g1, &x1), (&g2, &x2)].iter().enumerate() {
+            let mut t = Tape::new();
+            let h = t.constant((*x).clone());
+            let out = enc.forward(&mut t, AdjacencyRef::Fixed(g), h);
+            let single = t.value(out);
+            for (local, r) in batch.node_range(b).enumerate() {
+                for (bv, sv) in batched.row(r).iter().zip(single.row(local)) {
+                    assert_eq!(bv.to_bits(), sv.to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
     fn single_graph_batch_is_the_graph_itself() {
         let g = generators::cycle(5);
-        let x = Tensor::ones(5, 3);
+        let x = Tensor::<f64>::ones(5, 3);
         let batch = BatchGraph::new(&[&g], &[&x]);
         assert_eq!(batch.len(), 1);
         assert_eq!(batch.adjacency().to_dense(), *g.sym_norm_adjacency_cached());
@@ -218,7 +247,7 @@ mod tests {
     #[should_panic(expected = "no nodes")]
     fn rejects_empty_graph() {
         let g = hap_graph::Graph::empty(0);
-        let x = Tensor::zeros(0, 2);
+        let x = Tensor::<f64>::zeros(0, 2);
         BatchGraph::new(&[&g], &[&x]);
     }
 
@@ -226,7 +255,7 @@ mod tests {
     #[should_panic(expected = "feature rows")]
     fn rejects_feature_row_mismatch() {
         let g = generators::cycle(3);
-        let x = Tensor::zeros(2, 2);
+        let x = Tensor::<f64>::zeros(2, 2);
         BatchGraph::new(&[&g], &[&x]);
     }
 
@@ -235,8 +264,8 @@ mod tests {
     fn rejects_inconsistent_feature_width() {
         let g1 = generators::cycle(3);
         let g2 = generators::cycle(3);
-        let x1 = Tensor::zeros(3, 2);
-        let x2 = Tensor::zeros(3, 4);
+        let x1 = Tensor::<f64>::zeros(3, 2);
+        let x2 = Tensor::<f64>::zeros(3, 4);
         BatchGraph::new(&[&g1, &g2], &[&x1, &x2]);
     }
 }

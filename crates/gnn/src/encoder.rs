@@ -2,6 +2,7 @@
 
 use crate::{AdjacencyRef, BatchGraph, GatLayer, GcnLayer};
 use hap_autograd::{ParamStore, Tape, Var};
+use hap_graph::GraphScalar;
 use hap_nn::Activation;
 use hap_rand::Rng;
 
@@ -16,24 +17,25 @@ pub enum EncoderKind {
     Gat,
 }
 
-enum Layer {
-    Gcn(GcnLayer),
-    Gat(GatLayer),
+enum Layer<T: GraphScalar> {
+    Gcn(GcnLayer<T>),
+    Gat(GatLayer<T>),
 }
 
 /// A stack of GNN layers sharing one adjacency.
 ///
 /// HAP places a two-layer encoder before every coarsening module
 /// (Sec. 6.1.3: "two node & cluster embedding layers before every
-/// following graph coarsening module").
-pub struct GnnEncoder {
-    layers: Vec<Layer>,
+/// following graph coarsening module"). Generic over the tensor element
+/// type (default `f64`).
+pub struct GnnEncoder<T: GraphScalar = f64> {
+    layers: Vec<Layer<T>>,
     kind: EncoderKind,
     in_dim: usize,
     out_dim: usize,
 }
 
-impl GnnEncoder {
+impl<T: GraphScalar> GnnEncoder<T> {
     /// Builds an encoder with the given layer widths, e.g.
     /// `&[in, hidden, out]` for the paper's two-layer configuration. All
     /// hidden layers use ReLU; the final layer too (HAP feeds coarsening
@@ -42,7 +44,7 @@ impl GnnEncoder {
     /// # Panics
     /// Panics when fewer than two dims are supplied.
     pub fn new(
-        store: &mut ParamStore,
+        store: &mut ParamStore<T>,
         name: &str,
         kind: EncoderKind,
         dims: &[usize],
@@ -105,7 +107,7 @@ impl GnnEncoder {
     }
 
     /// Applies all layers over the shared adjacency.
-    pub fn forward(&self, tape: &mut Tape, adj: AdjacencyRef<'_>, h: Var) -> Var {
+    pub fn forward(&self, tape: &mut Tape<T>, adj: AdjacencyRef<'_>, h: Var) -> Var {
         let mut x = h;
         for layer in &self.layers {
             x = match layer {
@@ -128,7 +130,7 @@ impl GnnEncoder {
     /// from other blocks, while ≈0, is not exactly 0 — a batched GAT
     /// would not be byte-identical to the per-graph oracle. Dispatch on
     /// [`GnnEncoder::kind`] and loop per graph instead.
-    pub fn forward_batch(&self, tape: &mut Tape, batch: &BatchGraph, h: Var) -> Var {
+    pub fn forward_batch(&self, tape: &mut Tape<T>, batch: &BatchGraph<T>, h: Var) -> Var {
         let mut x = h;
         for layer in &self.layers {
             x = match layer {
@@ -156,7 +158,7 @@ mod tests {
         let mut rng = Rng::from_seed(1);
         let g = generators::erdos_renyi_connected(7, 0.4, &mut rng);
         for kind in [EncoderKind::Gcn, EncoderKind::Gat] {
-            let mut store = ParamStore::new();
+            let mut store = ParamStore::<f64>::new();
             let enc = GnnEncoder::new(&mut store, "enc", kind, &[5, 16, 8], &mut rng);
             assert_eq!(enc.depth(), 2);
             assert_eq!(enc.in_dim(), 5);
@@ -175,7 +177,7 @@ mod tests {
         // after k layers: check a 2-layer GCN sees exactly 2 hops.
         let mut rng = Rng::from_seed(21);
         let g = generators::path(5);
-        let mut store = ParamStore::new();
+        let mut store = ParamStore::<f64>::new();
         let enc = GnnEncoder::new(&mut store, "enc", EncoderKind::Gcn, &[1, 4, 4], &mut rng);
 
         let run = |signal_node: usize| -> Tensor {

@@ -2,9 +2,10 @@
 
 use crate::AdjacencyRef;
 use hap_autograd::{Param, ParamStore, Tape, Var};
+use hap_graph::GraphScalar;
 use hap_nn::{xavier_uniform, Activation, Linear};
 use hap_rand::Rng;
-use hap_tensor::Tensor;
+use hap_tensor::{Scalar, Tensor};
 
 /// Additive mask value for non-edges: large enough to zero them out after
 /// softmax, small enough to avoid NaN arithmetic.
@@ -23,19 +24,19 @@ const NEG_MASK: f64 = -1e9;
 /// current adjacency weight is positive — after HAP's soft sampling the
 /// coarsened graph is dense, giving the "fully-connected information
 /// channel" of Sec. 4.4.2.
-pub struct GatLayer {
-    linear: Linear,
-    att_src: Param,
-    att_dst: Param,
+pub struct GatLayer<T: GraphScalar = f64> {
+    linear: Linear<T>,
+    att_src: Param<T>,
+    att_dst: Param<T>,
     activation: Activation,
     leaky_slope: f64,
 }
 
-impl GatLayer {
+impl<T: GraphScalar> GatLayer<T> {
     /// Creates a layer with ReLU output activation and the GAT-standard
     /// LeakyReLU(0.2) on attention logits.
     pub fn new(
-        store: &mut ParamStore,
+        store: &mut ParamStore<T>,
         name: &str,
         in_dim: usize,
         out_dim: usize,
@@ -46,7 +47,7 @@ impl GatLayer {
 
     /// Creates a layer with an explicit output activation.
     pub fn with_activation(
-        store: &mut ParamStore,
+        store: &mut ParamStore<T>,
         name: &str,
         in_dim: usize,
         out_dim: usize,
@@ -82,16 +83,20 @@ impl GatLayer {
     /// `n × n` fill runs in row blocks on the `hap-par` pool above a size
     /// threshold — with identical per-row writes, the result is the same at
     /// every thread count.
-    fn mask(&self, tape: &Tape, adj: &AdjacencyRef<'_>) -> Tensor {
+    fn mask(&self, tape: &Tape<T>, adj: &AdjacencyRef<'_>) -> Tensor<T> {
         /// Element count above which the mask fill is parallelised
         /// (`n = 200` crosses it, `n = 100` does not).
         const PAR_MASK_LEN: usize = 32_768;
 
-        fn fill_rows(n: usize, m: &mut Tensor, row_entries: impl Fn(usize, &mut [f64]) + Sync) {
+        fn fill_rows<S: Scalar>(
+            n: usize,
+            m: &mut Tensor<S>,
+            row_entries: impl Fn(usize, &mut [S]) + Sync,
+        ) {
             if n == 0 {
                 return;
             }
-            let fill_block = |row0: usize, chunk: &mut [f64]| {
+            let fill_block = |row0: usize, chunk: &mut [S]| {
                 for (local, row) in chunk.chunks_mut(n).enumerate() {
                     row_entries(row0 + local, row);
                 }
@@ -107,6 +112,7 @@ impl GatLayer {
             }
         }
 
+        let neg_mask = T::from_f64(NEG_MASK);
         match adj {
             AdjacencyRef::Fixed(g) => {
                 let n = g.n();
@@ -114,13 +120,13 @@ impl GatLayer {
                 // its self-loop in ascending order — the same admitted set
                 // as `g.neighbors(u)`, without a per-row Vec allocation or
                 // O(n) adjacency scan.
-                let csr = g.csr_adjacency_cached().matrix();
-                let mut m = Tensor::full(n, n, NEG_MASK);
+                let csr = T::csr_of(g);
+                let mut m = Tensor::full(n, n, neg_mask);
                 fill_rows(n, &mut m, |u, row| {
-                    row[u] = 0.0;
+                    row[u] = T::ZERO;
                     let (cols, _) = csr.row(u);
                     for &v in cols {
-                        row[v] = 0.0;
+                        row[v] = T::ZERO;
                     }
                 });
                 m
@@ -130,12 +136,12 @@ impl GatLayer {
                 // as a differentiable quantity — same as edge_index in PyG.
                 let av = tape.value(*a);
                 let n = av.rows();
-                let mut m = Tensor::full(n, n, NEG_MASK);
+                let mut m = Tensor::full(n, n, neg_mask);
                 fill_rows(n, &mut m, |u, row| {
-                    row[u] = 0.0;
+                    row[u] = T::ZERO;
                     for (v, slot) in row.iter_mut().enumerate() {
-                        if av[(u, v)] > 1e-8 {
-                            *slot = 0.0;
+                        if av[(u, v)].to_f64() > 1e-8 {
+                            *slot = T::ZERO;
                         }
                     }
                 });
@@ -145,7 +151,7 @@ impl GatLayer {
     }
 
     /// Applies the layer, returning `N × out_dim` features.
-    pub fn forward(&self, tape: &mut Tape, adj: AdjacencyRef<'_>, h: Var) -> Var {
+    pub fn forward(&self, tape: &mut Tape<T>, adj: AdjacencyRef<'_>, h: Var) -> Var {
         let n = adj.n(tape);
         debug_assert_eq!(tape.shape(h).0, n, "feature/adjacency size mismatch");
 
@@ -172,7 +178,7 @@ impl GatLayer {
     }
 
     /// Exposes the attention matrix for inspection/visualisation.
-    pub fn attention(&self, tape: &mut Tape, adj: AdjacencyRef<'_>, h: Var) -> Var {
+    pub fn attention(&self, tape: &mut Tape<T>, adj: AdjacencyRef<'_>, h: Var) -> Var {
         let n = adj.n(tape);
         let wh = self.linear.forward(tape, h);
         let a_src = tape.param(&self.att_src);
@@ -201,7 +207,7 @@ mod tests {
     #[test]
     fn output_shape() {
         let mut rng = Rng::from_seed(1);
-        let mut store = ParamStore::new();
+        let mut store = ParamStore::<f64>::new();
         let layer = GatLayer::new(&mut store, "gat", 4, 6, &mut rng);
         let g = generators::cycle(5);
         let mut t = Tape::new();
@@ -214,7 +220,7 @@ mod tests {
     #[test]
     fn attention_rows_are_distributions_on_neighbourhood() {
         let mut rng = Rng::from_seed(2);
-        let mut store = ParamStore::new();
+        let mut store = ParamStore::<f64>::new();
         let layer = GatLayer::new(&mut store, "gat", 3, 4, &mut rng);
         let g = Graph::from_edges(4, &[(0, 1), (1, 2)]); // node 3 isolated
         let mut t = Tape::new();
@@ -235,7 +241,7 @@ mod tests {
     #[test]
     fn gradcheck_all_parameters() {
         let mut rng = Rng::from_seed(3);
-        let mut store = ParamStore::new();
+        let mut store = ParamStore::<f64>::new();
         let layer = GatLayer::with_activation(&mut store, "gat", 3, 3, Activation::Tanh, &mut rng);
         let g = generators::erdos_renyi_connected(5, 0.5, &mut rng);
         let x = Tensor::rand_uniform(5, 3, -1.0, 1.0, &mut rng);
@@ -255,9 +261,27 @@ mod tests {
     }
 
     #[test]
+    fn f32_attention_rows_are_distributions_on_neighbourhood() {
+        let mut rng = Rng::from_seed(2);
+        let mut store = ParamStore::<f32>::new();
+        let layer = GatLayer::new(&mut store, "gat", 3, 4, &mut rng);
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2)]); // node 3 isolated
+        let mut t = Tape::new();
+        let h = t.constant(Tensor::<f32>::rand_uniform(4, 3, -1.0, 1.0, &mut rng));
+        let alpha = layer.attention(&mut t, AdjacencyRef::Fixed(&g), h);
+        let a = t.value(alpha);
+        for r in 0..4 {
+            let sum: f32 = a.row(r).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5, "row {r} sums to {sum}");
+        }
+        assert!(a[(0, 2)] < 1e-12);
+        assert!((a[(3, 3)] - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
     fn dynamic_dense_adjacency_is_fully_connected_attention() {
         let mut rng = Rng::from_seed(4);
-        let mut store = ParamStore::new();
+        let mut store = ParamStore::<f64>::new();
         let layer = GatLayer::new(&mut store, "gat", 3, 3, &mut rng);
         let mut t = Tape::new();
         let a = t.constant(Tensor::full(4, 4, 0.25)); // dense soft-sampled adjacency

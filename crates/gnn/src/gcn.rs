@@ -2,6 +2,7 @@
 
 use crate::AdjacencyRef;
 use hap_autograd::{ParamStore, Tape, Var};
+use hap_graph::GraphScalar;
 use hap_nn::{Activation, Linear};
 use hap_rand::Rng;
 use hap_tensor::CsrMatrix;
@@ -23,15 +24,18 @@ pub const SPARSE_DENSITY_THRESHOLD: f64 = 0.25;
 
 /// One GCN layer: `H' = σ(Â H W)` with `Â = D̃^{-1/2}(A+I)D̃^{-1/2}`
 /// (Kipf & Welling; the paper's Eq. 12).
-pub struct GcnLayer {
-    linear: Linear,
+///
+/// Generic over the tensor element type (default `f64`); a fixed graph
+/// serves its propagation matrices in `T` via [`GraphScalar`].
+pub struct GcnLayer<T: GraphScalar = f64> {
+    linear: Linear<T>,
     activation: Activation,
 }
 
-impl GcnLayer {
+impl<T: GraphScalar> GcnLayer<T> {
     /// Creates a layer with ReLU activation (the paper's default σ).
     pub fn new(
-        store: &mut ParamStore,
+        store: &mut ParamStore<T>,
         name: &str,
         in_dim: usize,
         out_dim: usize,
@@ -42,7 +46,7 @@ impl GcnLayer {
 
     /// Creates a layer with an explicit activation.
     pub fn with_activation(
-        store: &mut ParamStore,
+        store: &mut ParamStore<T>,
         name: &str,
         in_dim: usize,
         out_dim: usize,
@@ -71,11 +75,12 @@ impl GcnLayer {
     /// [`SPARSE_DENSITY_THRESHOLD`], propagation dispatches to the cached
     /// CSR and [`Tape::spmm`]; the result is byte-identical to the dense
     /// path either way (see the threshold's docs).
-    pub fn forward(&self, tape: &mut Tape, adj: AdjacencyRef<'_>, h: Var) -> Var {
+    pub fn forward(&self, tape: &mut Tape<T>, adj: AdjacencyRef<'_>, h: Var) -> Var {
         if let AdjacencyRef::Fixed(g) = adj {
-            let csr = g.csr_adjacency_cached();
-            if csr.density() <= SPARSE_DENSITY_THRESHOLD {
-                return self.forward_csr(tape, &Arc::clone(csr.matrix()), h);
+            // Density is structural (nnz/n²), so the dispatch decision is
+            // taken on the canonical f64 CSR for every dtype.
+            if g.csr_adjacency_cached().density() <= SPARSE_DENSITY_THRESHOLD {
+                return self.forward_csr(tape, &Arc::clone(T::csr_of(g)), h);
             }
         }
         let a_hat = adj.sym_norm(tape);
@@ -86,7 +91,7 @@ impl GcnLayer {
 
     /// Applies the layer over an explicit CSR propagation matrix (a single
     /// graph's `Â` or a block-diagonal batch of them): `σ(S · H · W)`.
-    pub fn forward_csr(&self, tape: &mut Tape, a_hat: &Arc<CsrMatrix>, h: Var) -> Var {
+    pub fn forward_csr(&self, tape: &mut Tape<T>, a_hat: &Arc<CsrMatrix<T>>, h: Var) -> Var {
         let agg = tape.spmm(a_hat, h);
         let lin = self.linear.forward(tape, agg);
         self.activation.apply(tape, lin)
@@ -104,7 +109,7 @@ mod tests {
     #[test]
     fn output_shape() {
         let mut rng = Rng::from_seed(1);
-        let mut store = ParamStore::new();
+        let mut store = ParamStore::<f64>::new();
         let layer = GcnLayer::new(&mut store, "gcn", 4, 8, &mut rng);
         let g = generators::cycle(5);
         let mut t = Tape::new();
@@ -117,7 +122,7 @@ mod tests {
     fn isolated_graph_behaves_like_per_node_mlp() {
         // With no edges, Â = I, so GCN reduces to a per-node linear map.
         let mut rng = Rng::from_seed(2);
-        let mut store = ParamStore::new();
+        let mut store = ParamStore::<f64>::new();
         let layer =
             GcnLayer::with_activation(&mut store, "gcn", 3, 3, Activation::Identity, &mut rng);
         let g = Graph::empty(4);
@@ -135,7 +140,7 @@ mod tests {
         // Feeding the same adjacency as a tape constant through the
         // Dynamic path must agree with the precomputed Fixed path.
         let mut rng = Rng::from_seed(3);
-        let mut store = ParamStore::new();
+        let mut store = ParamStore::<f64>::new();
         let layer = GcnLayer::new(&mut store, "gcn", 4, 4, &mut rng);
         let g = generators::erdos_renyi_connected(6, 0.4, &mut rng);
         let x = Tensor::rand_uniform(6, 4, -1.0, 1.0, &mut rng);
@@ -155,7 +160,7 @@ mod tests {
     #[test]
     fn sparse_dispatch_is_bitwise_equal_to_dense_path() {
         let mut rng = Rng::from_seed(9);
-        let mut store = ParamStore::new();
+        let mut store = ParamStore::<f64>::new();
         let layer = GcnLayer::new(&mut store, "gcn", 4, 4, &mut rng);
         let g = generators::erdos_renyi_connected(30, 0.08, &mut rng);
         assert!(
@@ -193,9 +198,62 @@ mod tests {
     }
 
     #[test]
+    fn f32_sparse_dispatch_is_bitwise_equal_to_dense_path() {
+        // The sparse/dense byte-identity contract holds per dtype: the f32
+        // dense kernel skips exactly the zeros the f32 CSR cast dropped.
+        let mut rng = Rng::from_seed(9);
+        let mut store = ParamStore::<f32>::new();
+        let layer = GcnLayer::new(&mut store, "gcn", 4, 4, &mut rng);
+        let g = generators::erdos_renyi_connected(30, 0.08, &mut rng);
+        assert!(g.csr_adjacency_cached().density() <= SPARSE_DENSITY_THRESHOLD);
+        let x = Tensor::<f32>::rand_uniform(30, 4, -1.0, 1.0, &mut rng);
+
+        let mut t1 = Tape::new();
+        let h1 = t1.constant(x.clone());
+        let out1 = layer.forward(&mut t1, AdjacencyRef::Fixed(&g), h1);
+
+        let mut t2 = Tape::new();
+        let h2 = t2.constant(x);
+        let a = t2.constant(g.sym_norm_adjacency_cached_f32().clone());
+        let agg = t2.matmul(a, h2);
+        let lin = layer.linear.forward(&mut t2, agg);
+        let out2 = layer.activation.apply(&mut t2, lin);
+
+        let (v1, v2) = (t1.value(out1), t2.value(out2));
+        assert_eq!(v1.shape(), v2.shape());
+        for (x, y) in v1.as_slice().iter().zip(v2.as_slice()) {
+            assert_eq!(x.to_bits(), y.to_bits(), "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn f32_gradcheck_weights_through_dynamic_normalisation() {
+        use hap_autograd::{check_param_grad_default, default_gradcheck_tol};
+        assert!(default_gradcheck_tol::<f32>() > default_gradcheck_tol::<f64>());
+        let mut rng = Rng::from_seed(4);
+        let mut store = ParamStore::<f32>::new();
+        let layer = GcnLayer::with_activation(&mut store, "gcn", 3, 2, Activation::Tanh, &mut rng);
+        let g = generators::erdos_renyi_connected(5, 0.5, &mut rng);
+        let x = Tensor::<f32>::rand_uniform(5, 3, -1.0, 1.0, &mut rng);
+        let adj = g.adjacency_f32().clone();
+
+        let params: Vec<_> = store.iter().cloned().collect();
+        for p in &params {
+            let (xc, ac) = (x.clone(), adj.clone());
+            check_param_grad_default(p, |t| {
+                let h = t.constant(xc.clone());
+                let a = t.constant(ac.clone());
+                let out = layer.forward(t, AdjacencyRef::Dynamic(a), h);
+                let sq = t.hadamard(out, out);
+                t.sum_all(sq)
+            });
+        }
+    }
+
+    #[test]
     fn gradcheck_weights_through_dynamic_normalisation() {
         let mut rng = Rng::from_seed(4);
-        let mut store = ParamStore::new();
+        let mut store = ParamStore::<f64>::new();
         let layer = GcnLayer::with_activation(&mut store, "gcn", 3, 2, Activation::Tanh, &mut rng);
         let g = generators::erdos_renyi_connected(5, 0.5, &mut rng);
         let x = Tensor::rand_uniform(5, 3, -1.0, 1.0, &mut rng);

@@ -41,9 +41,14 @@ pub use gat::GatLayer;
 pub use gcn::{GcnLayer, SPARSE_DENSITY_THRESHOLD};
 
 use hap_autograd::{Tape, Var};
-use hap_graph::Graph;
+use hap_graph::{Graph, GraphScalar};
 
 /// How a GNN layer should see the graph structure.
+///
+/// The enum itself is dtype-agnostic; its accessors are generic over
+/// [`GraphScalar`], so a `Fixed` graph serves whichever cached propagation
+/// matrices (`f64` canonical or `f32` mirrors) the calling tape's element
+/// type requires.
 #[derive(Clone, Copy)]
 pub enum AdjacencyRef<'a> {
     /// A fixed input graph: propagation matrices are precomputed tensors
@@ -57,13 +62,13 @@ pub enum AdjacencyRef<'a> {
 impl<'a> AdjacencyRef<'a> {
     /// Records/loads the symmetric-normalised propagation matrix
     /// `D̃^{-1/2}(A+I)D̃^{-1/2}` on `tape` and returns it as a `Var`.
-    pub fn sym_norm(&self, tape: &mut Tape) -> Var {
+    pub fn sym_norm<T: GraphScalar>(&self, tape: &mut Tape<T>) -> Var {
         match self {
             // The fixed-graph propagation matrix is cached on the Graph:
             // every layer and epoch reuses one computation (and the tape
             // still records its own constant copy, so gradients/values are
             // unchanged).
-            AdjacencyRef::Fixed(g) => tape.constant(g.sym_norm_adjacency_cached().clone()),
+            AdjacencyRef::Fixed(g) => tape.constant(T::sym_norm_of(g).clone()),
             AdjacencyRef::Dynamic(a) => {
                 let (n, m) = tape.shape(*a);
                 assert_eq!(n, m, "adjacency must be square");
@@ -79,7 +84,7 @@ impl<'a> AdjacencyRef<'a> {
     }
 
     /// Number of nodes of the underlying graph.
-    pub fn n(&self, tape: &Tape) -> usize {
+    pub fn n<T: GraphScalar>(&self, tape: &Tape<T>) -> usize {
         match self {
             AdjacencyRef::Fixed(g) => g.n(),
             AdjacencyRef::Dynamic(a) => tape.shape(*a).0,
@@ -87,9 +92,9 @@ impl<'a> AdjacencyRef<'a> {
     }
 
     /// The raw adjacency (with no self loops) as a tape `Var`.
-    pub fn raw(&self, tape: &mut Tape) -> Var {
+    pub fn raw<T: GraphScalar>(&self, tape: &mut Tape<T>) -> Var {
         match self {
-            AdjacencyRef::Fixed(g) => tape.constant(g.adjacency().clone()),
+            AdjacencyRef::Fixed(g) => tape.constant(T::adjacency_of(g).clone()),
             AdjacencyRef::Dynamic(a) => *a,
         }
     }

@@ -1,7 +1,21 @@
 //! The core undirected graph type.
 
-use hap_tensor::Tensor;
-use std::sync::OnceLock;
+use hap_tensor::{CsrMatrix, Scalar, Tensor};
+use std::sync::{Arc, OnceLock};
+
+/// Lazily cast `f32` mirrors of the propagation caches.
+///
+/// The graph's canonical storage stays `f64`; an `f32` forward pass needs
+/// the same derived matrices in its own dtype, and casting them per forward
+/// would undo the point of caching. Each mirror is the [`Tensor::cast`] /
+/// [`CsrMatrix::cast`] of the corresponding `f64` cache, built on first use
+/// and dropped by the same edge mutations.
+#[derive(Clone, Debug, Default)]
+struct F32Caches {
+    sym_norm: OnceLock<Tensor<f32>>,
+    csr: OnceLock<Arc<CsrMatrix<f32>>>,
+    adj: OnceLock<Tensor<f32>>,
+}
 
 /// An undirected weighted graph with optional discrete node labels.
 ///
@@ -21,6 +35,9 @@ pub struct Graph {
     /// [`crate::csr::CsrAdjacency`]), cached alongside the dense one and
     /// invalidated by the same mutators.
     csr_cache: OnceLock<crate::csr::CsrAdjacency>,
+    /// `f32` mirrors of the above (plus the raw adjacency), serving
+    /// [`GraphScalar`] dispatch for single-precision forwards.
+    f32_caches: F32Caches,
 }
 
 /// Equality is structural: the cache is derived state and never compared.
@@ -38,6 +55,7 @@ impl Graph {
             node_labels: None,
             sym_norm_cache: OnceLock::new(),
             csr_cache: OnceLock::new(),
+            f32_caches: F32Caches::default(),
         }
     }
 
@@ -73,6 +91,7 @@ impl Graph {
             node_labels: None,
             sym_norm_cache: OnceLock::new(),
             csr_cache: OnceLock::new(),
+            f32_caches: F32Caches::default(),
         }
     }
 
@@ -121,6 +140,7 @@ impl Graph {
         self.adj[(v, u)] = w;
         self.sym_norm_cache = OnceLock::new();
         self.csr_cache = OnceLock::new();
+        self.f32_caches = F32Caches::default();
     }
 
     /// Removes an edge if present.
@@ -129,6 +149,7 @@ impl Graph {
         self.adj[(v, u)] = 0.0;
         self.sym_norm_cache = OnceLock::new();
         self.csr_cache = OnceLock::new();
+        self.f32_caches = F32Caches::default();
     }
 
     /// Whether `(u, v)` is an edge.
@@ -254,6 +275,30 @@ impl Graph {
             .get_or_init(|| crate::csr::CsrAdjacency::from_graph(self))
     }
 
+    /// `f32` mirror of [`Graph::sym_norm_adjacency_cached`]: the `f64`
+    /// propagation matrix cast entrywise, cached on first use.
+    pub fn sym_norm_adjacency_cached_f32(&self) -> &Tensor<f32> {
+        self.f32_caches
+            .sym_norm
+            .get_or_init(|| self.sym_norm_adjacency_cached().cast())
+    }
+
+    /// `f32` mirror of [`Graph::csr_adjacency_cached`]'s matrix. The cast
+    /// recompresses entries that round to `0.0f32`, preserving the CSR
+    /// no-stored-zero invariant — and the dense `f32` kernel skips exactly
+    /// those zeros, so sparse and dense `f32` propagation stay
+    /// byte-identical just like the `f64` pair.
+    pub fn csr_adjacency_cached_f32(&self) -> &Arc<CsrMatrix<f32>> {
+        self.f32_caches
+            .csr
+            .get_or_init(|| Arc::new(self.csr_adjacency_cached().matrix().cast()))
+    }
+
+    /// `f32` mirror of [`Graph::adjacency`], cached on first use.
+    pub fn adjacency_f32(&self) -> &Tensor<f32> {
+        self.f32_caches.adj.get_or_init(|| self.adj.cast())
+    }
+
     /// Row-normalised adjacency with self-loops (`D̃^{-1} Ã`), the simpler
     /// mean-aggregation propagation some baselines use.
     pub fn row_norm_adjacency(&self) -> Tensor {
@@ -299,6 +344,7 @@ impl Graph {
             node_labels,
             sym_norm_cache: OnceLock::new(),
             csr_cache: OnceLock::new(),
+            f32_caches: F32Caches::default(),
         }
     }
 
@@ -331,7 +377,49 @@ impl Graph {
             node_labels,
             sym_norm_cache: OnceLock::new(),
             csr_cache: OnceLock::new(),
+            f32_caches: F32Caches::default(),
         }
+    }
+}
+
+/// Scalar types a GNN layer can propagate a fixed [`Graph`] in.
+///
+/// A `Graph` stores its adjacency (and derived propagation caches) in
+/// `f64`; generic layers need the same matrices in *their* element type
+/// without a per-forward cast. This trait is the dtype dispatch point:
+/// `f64` serves the canonical caches, `f32` serves the lazily cast mirrors
+/// cached on the same graph. It is implemented for exactly the two
+/// [`Scalar`] types and is not meant to be implemented downstream.
+pub trait GraphScalar: Scalar {
+    /// The cached dense propagation matrix `D̃^{-1/2}ÃD̃^{-1/2}` in `Self`.
+    fn sym_norm_of(g: &Graph) -> &Tensor<Self>;
+    /// The cached CSR form of the same matrix in `Self`.
+    fn csr_of(g: &Graph) -> &Arc<CsrMatrix<Self>>;
+    /// The raw adjacency `A` (no self-loops) in `Self`.
+    fn adjacency_of(g: &Graph) -> &Tensor<Self>;
+}
+
+impl GraphScalar for f64 {
+    fn sym_norm_of(g: &Graph) -> &Tensor<f64> {
+        g.sym_norm_adjacency_cached()
+    }
+    fn csr_of(g: &Graph) -> &Arc<CsrMatrix<f64>> {
+        g.csr_adjacency_cached().matrix()
+    }
+    fn adjacency_of(g: &Graph) -> &Tensor<f64> {
+        g.adjacency()
+    }
+}
+
+impl GraphScalar for f32 {
+    fn sym_norm_of(g: &Graph) -> &Tensor<f32> {
+        g.sym_norm_adjacency_cached_f32()
+    }
+    fn csr_of(g: &Graph) -> &Arc<CsrMatrix<f32>> {
+        g.csr_adjacency_cached_f32()
+    }
+    fn adjacency_of(g: &Graph) -> &Tensor<f32> {
+        g.adjacency_f32()
     }
 }
 
@@ -435,6 +523,34 @@ mod tests {
         // clones of an already-cached graph keep serving the right matrix
         let clone = g.clone();
         assert_eq!(*clone.sym_norm_adjacency_cached(), g.sym_norm_adjacency());
+    }
+
+    #[test]
+    fn f32_caches_are_casts_and_are_not_stale_after_mutation() {
+        let mut g = triangle();
+        // Every f32 mirror is the entrywise cast of its f64 counterpart.
+        let s32 = g.sym_norm_adjacency_cached_f32().clone();
+        assert_eq!(s32, g.sym_norm_adjacency_cached().cast());
+        assert_eq!(
+            g.csr_adjacency_cached_f32().to_dense(),
+            g.sym_norm_adjacency_cached().cast()
+        );
+        assert_eq!(*g.adjacency_f32(), g.adjacency().cast());
+
+        // GraphScalar dispatch serves the same cached references.
+        assert_eq!(*<f32 as GraphScalar>::sym_norm_of(&g), s32);
+        assert_eq!(
+            *<f64 as GraphScalar>::sym_norm_of(&g),
+            *g.sym_norm_adjacency_cached()
+        );
+
+        // Edge mutation must drop the f32 mirrors along with the f64 caches.
+        g.remove_edge(0, 1);
+        assert_eq!(
+            *g.sym_norm_adjacency_cached_f32(),
+            g.sym_norm_adjacency().cast()
+        );
+        assert_eq!(*g.adjacency_f32(), g.adjacency().cast());
     }
 
     #[test]

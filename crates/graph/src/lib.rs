@@ -35,6 +35,6 @@ pub use features::{constant_features, degree_one_hot, label_one_hot};
 pub use generators::{
     barabasi_albert, clique, cycle, erdos_renyi, erdos_renyi_connected, path, planted_union, star,
 };
-pub use graph::Graph;
+pub use graph::{Graph, GraphScalar};
 pub use permutation::Permutation;
 pub use wl::{wl_cache_key, wl_colors, wl_histogram_signature, wl_maybe_isomorphic};

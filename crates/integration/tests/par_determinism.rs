@@ -124,7 +124,7 @@ fn fused_transposed_matmuls_match_composed_path_bitwise() {
 #[test]
 fn elementwise_kernels_are_byte_identical_across_thread_counts() {
     let mut rng = Rng::from_seed(12);
-    let a = Tensor::rand_uniform(250, 200, -3.0, 3.0, &mut rng); // 50k elements
+    let a = Tensor::<f64>::rand_uniform(250, 200, -3.0, 3.0, &mut rng); // 50k elements
     let b = Tensor::rand_uniform(250, 200, -3.0, 3.0, &mut rng);
     let (seq, par) = seq_and_par(|| {
         (

@@ -1,6 +1,7 @@
 //! Activation functions as a small closed enum.
 
 use hap_autograd::{Tape, Var};
+use hap_tensor::Scalar;
 
 /// A pointwise nonlinearity selectable at model-construction time.
 ///
@@ -24,7 +25,7 @@ pub enum Activation {
 
 impl Activation {
     /// Records the activation on `tape`.
-    pub fn apply(self, tape: &mut Tape, x: Var) -> Var {
+    pub fn apply<T: Scalar>(self, tape: &mut Tape<T>, x: Var) -> Var {
         match self {
             Activation::Relu => tape.relu(x),
             Activation::LeakyRelu(alpha) => tape.leaky_relu(x, alpha),
@@ -65,7 +66,7 @@ mod tests {
     #[test]
     fn identity_does_not_add_nodes() {
         let mut t = Tape::new();
-        let v = t.constant(Tensor::zeros(1, 1));
+        let v = t.constant(Tensor::<f64>::zeros(1, 1));
         let before = t.len();
         let y = Activation::Identity.apply(&mut t, v);
         assert_eq!(t.len(), before);

@@ -2,7 +2,7 @@
 
 use hap_autograd::{Tape, Var};
 use hap_rand::Rng;
-use hap_tensor::Tensor;
+use hap_tensor::{Scalar, Tensor};
 
 /// Inverted dropout: during training, zeroes each element with probability
 /// `p` and scales survivors by `1/(1-p)` so the expected activation is
@@ -13,7 +13,13 @@ use hap_tensor::Tensor;
 ///
 /// # Panics
 /// Panics when `p ∉ [0, 1)`.
-pub fn dropout(tape: &mut Tape, x: Var, p: f64, training: bool, rng: &mut Rng) -> Var {
+pub fn dropout<T: Scalar>(
+    tape: &mut Tape<T>,
+    x: Var,
+    p: f64,
+    training: bool,
+    rng: &mut Rng,
+) -> Var {
     assert!(
         (0.0..1.0).contains(&p),
         "dropout probability must be in [0,1), got {p}"
@@ -23,10 +29,11 @@ pub fn dropout(tape: &mut Tape, x: Var, p: f64, training: bool, rng: &mut Rng) -
     }
     let (r, c) = tape.shape(x);
     let keep = 1.0 - p;
+    let inv_keep = T::from_f64(1.0 / keep);
     let mut mask = Tensor::zeros(r, c);
     for e in mask.as_mut_slice() {
         if rng.gen_bool(keep) {
-            *e = 1.0 / keep;
+            *e = inv_keep;
         }
     }
     let mask = tape.constant(mask);
@@ -42,7 +49,7 @@ mod tests {
     fn eval_mode_is_identity() {
         let mut rng = Rng::from_seed(1);
         let mut t = Tape::new();
-        let x = t.constant(Tensor::ones(3, 3));
+        let x = t.constant(Tensor::<f64>::ones(3, 3));
         let y = dropout(&mut t, x, 0.5, false, &mut rng);
         assert_eq!(x, y);
     }
@@ -51,7 +58,7 @@ mod tests {
     fn training_mode_preserves_expectation() {
         let mut rng = Rng::from_seed(2);
         let mut t = Tape::new();
-        let x = t.constant(Tensor::ones(100, 100));
+        let x = t.constant(Tensor::<f64>::ones(100, 100));
         let y = dropout(&mut t, x, 0.3, true, &mut rng);
         let mean = t.value(y).mean();
         assert!((mean - 1.0).abs() < 0.05, "mean {mean} drifted");
@@ -61,7 +68,7 @@ mod tests {
     fn dropped_elements_are_zero_and_kept_are_scaled() {
         let mut rng = Rng::from_seed(3);
         let mut t = Tape::new();
-        let x = t.constant(Tensor::ones(10, 10));
+        let x = t.constant(Tensor::<f64>::ones(10, 10));
         let y = dropout(&mut t, x, 0.5, true, &mut rng);
         let v = t.value(y);
         for &e in v.as_slice() {

@@ -1,19 +1,23 @@
 //! Weight initialisation schemes.
 
 use hap_rand::Rng;
-use hap_tensor::Tensor;
+use hap_tensor::{Scalar, Tensor};
 
 /// Glorot/Xavier uniform initialisation: `U(-a, a)` with
 /// `a = sqrt(6 / (fan_in + fan_out))`. The default for linear and
 /// attention weights, matching the GAT reference implementation.
-pub fn xavier_uniform(fan_in: usize, fan_out: usize, rng: &mut Rng) -> Tensor {
+///
+/// Bounds are computed and samples drawn in `f64` regardless of `T`, then
+/// narrowed per sample — an `f32` init is the rounding of the `f64` init
+/// from the same RNG stream.
+pub fn xavier_uniform<T: Scalar>(fan_in: usize, fan_out: usize, rng: &mut Rng) -> Tensor<T> {
     let a = (6.0 / (fan_in + fan_out) as f64).sqrt();
     Tensor::rand_uniform(fan_in, fan_out, -a, a, rng)
 }
 
 /// He/Kaiming uniform initialisation: `U(-a, a)` with
 /// `a = sqrt(6 / fan_in)` — preferred in front of ReLU nonlinearities.
-pub fn he_uniform(fan_in: usize, fan_out: usize, rng: &mut Rng) -> Tensor {
+pub fn he_uniform<T: Scalar>(fan_in: usize, fan_out: usize, rng: &mut Rng) -> Tensor<T> {
     let a = (6.0 / fan_in as f64).sqrt();
     Tensor::rand_uniform(fan_in, fan_out, -a, a, rng)
 }
@@ -26,7 +30,7 @@ mod tests {
     #[test]
     fn xavier_bounds() {
         let mut rng = Rng::from_seed(1);
-        let w = xavier_uniform(30, 30, &mut rng);
+        let w: Tensor<f64> = xavier_uniform(30, 30, &mut rng);
         let a = (6.0 / 60.0_f64).sqrt();
         assert!(w.max() <= a && w.min() >= -a);
         assert!(w.mean().abs() < 0.05);
@@ -35,7 +39,7 @@ mod tests {
     #[test]
     fn he_bounds() {
         let mut rng = Rng::from_seed(2);
-        let w = he_uniform(24, 8, &mut rng);
+        let w: Tensor<f64> = he_uniform(24, 8, &mut rng);
         let a = (6.0 / 24.0_f64).sqrt();
         assert!(w.max() <= a && w.min() >= -a);
         assert_eq!(w.shape(), (24, 8));

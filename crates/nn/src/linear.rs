@@ -3,28 +3,28 @@
 use crate::init::xavier_uniform;
 use hap_autograd::{Param, ParamStore, Tape, Var};
 use hap_rand::Rng;
-use hap_tensor::Tensor;
+use hap_tensor::{Scalar, Tensor};
 
 /// A dense affine map `y = x·W (+ b)`, the building block of the paper's
 /// prediction heads (Eq. 20) and of every weight matrix `W_k`/`T` in the
 /// embedding and coarsening modules.
 ///
 /// Weights are Xavier-initialised; the optional bias starts at zero.
-pub struct Linear {
-    w: Param,
-    b: Option<Param>,
+pub struct Linear<T: Scalar = f64> {
+    w: Param<T>,
+    b: Option<Param<T>>,
     in_dim: usize,
     out_dim: usize,
 }
 
-impl Linear {
+impl<T: Scalar> Linear<T> {
     /// Creates a layer and registers its parameters in `store` under
     /// `name.w` / `name.b`.
     ///
     /// # Panics
     /// Panics when either dimension is zero.
     pub fn new(
-        store: &mut ParamStore,
+        store: &mut ParamStore<T>,
         name: &str,
         in_dim: usize,
         out_dim: usize,
@@ -53,17 +53,17 @@ impl Linear {
     }
 
     /// Weight parameter handle.
-    pub fn weight(&self) -> &Param {
+    pub fn weight(&self) -> &Param<T> {
         &self.w
     }
 
     /// Bias parameter handle, when the layer has one.
-    pub fn bias(&self) -> Option<&Param> {
+    pub fn bias(&self) -> Option<&Param<T>> {
         self.b.as_ref()
     }
 
     /// Applies the layer to an `N × in_dim` input, producing `N × out_dim`.
-    pub fn forward(&self, tape: &mut Tape, x: Var) -> Var {
+    pub fn forward(&self, tape: &mut Tape<T>, x: Var) -> Var {
         debug_assert_eq!(tape.shape(x).1, self.in_dim, "linear input width mismatch");
         let w = tape.param(&self.w);
         let y = tape.matmul(x, w);
@@ -86,7 +86,7 @@ mod tests {
     #[test]
     fn forward_shape_and_bias() {
         let mut rng = Rng::from_seed(1);
-        let mut store = ParamStore::new();
+        let mut store = ParamStore::<f64>::new();
         let layer = Linear::new(&mut store, "fc", 3, 2, true, &mut rng);
         assert_eq!(store.len(), 2);
         assert_eq!(store.num_scalars(), 3 * 2 + 2);
@@ -100,7 +100,7 @@ mod tests {
     #[test]
     fn no_bias_layer_registers_one_param() {
         let mut rng = Rng::from_seed(2);
-        let mut store = ParamStore::new();
+        let mut store = ParamStore::<f64>::new();
         let layer = Linear::new(&mut store, "fc", 3, 2, false, &mut rng);
         assert!(layer.bias().is_none());
         assert_eq!(store.len(), 1);
@@ -109,7 +109,7 @@ mod tests {
     #[test]
     fn gradcheck_weight_and_bias() {
         let mut rng = Rng::from_seed(3);
-        let mut store = ParamStore::new();
+        let mut store = ParamStore::<f64>::new();
         let layer = Linear::new(&mut store, "fc", 3, 2, true, &mut rng);
         let x = Tensor::rand_uniform(4, 3, -1.0, 1.0, &mut rng);
 

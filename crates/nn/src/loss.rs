@@ -10,7 +10,7 @@
 //! [`hap_autograd::Tape::backward`].
 
 use hap_autograd::{Tape, Var};
-use hap_tensor::Tensor;
+use hap_tensor::{Scalar, Tensor};
 
 /// Numerical floor used inside `ln` to keep BCE finite when a predicted
 /// probability saturates at 0 or 1.
@@ -23,13 +23,13 @@ const LN_EPS: f64 = 1e-12;
 ///
 /// # Panics
 /// Panics when a target is out of range or the batch sizes differ.
-pub fn cross_entropy_logits(tape: &mut Tape, logits: Var, targets: &[usize]) -> Var {
+pub fn cross_entropy_logits<T: Scalar>(tape: &mut Tape<T>, logits: Var, targets: &[usize]) -> Var {
     let (b, c) = tape.shape(logits);
     assert_eq!(targets.len(), b, "one target per logit row required");
     let mut mask = Tensor::zeros(b, c);
     for (r, &t) in targets.iter().enumerate() {
         assert!(t < c, "target {t} out of range for {c} classes");
-        mask[(r, t)] = -1.0 / b as f64; // negative: we *minimise* -log p
+        mask[(r, t)] = T::from_f64(-1.0 / b as f64); // negative: we *minimise* -log p
     }
     let logp = tape.log_softmax_rows(logits);
     let mask = tape.constant(mask);
@@ -42,7 +42,7 @@ pub fn cross_entropy_logits(tape: &mut Tape, logits: Var, targets: &[usize]) -> 
 ///
 /// # Panics
 /// Panics when `prob` is not `1×1`.
-pub fn bce_scalar(tape: &mut Tape, prob: Var, label: f64) -> Var {
+pub fn bce_scalar<T: Scalar>(tape: &mut Tape<T>, prob: Var, label: f64) -> Var {
     assert_eq!(
         tape.shape(prob),
         (1, 1),
@@ -63,7 +63,7 @@ pub fn bce_scalar(tape: &mut Tape, prob: Var, label: f64) -> Var {
 ///
 /// # Panics
 /// Panics when `pred` is not `1×1`.
-pub fn mse_scalar(tape: &mut Tape, pred: Var, target: f64) -> Var {
+pub fn mse_scalar<T: Scalar>(tape: &mut Tape<T>, pred: Var, target: f64) -> Var {
     assert_eq!(tape.shape(pred), (1, 1), "mse_scalar expects a scalar");
     let d = tape.shift(pred, -target);
     tape.hadamard(d, d)
@@ -77,7 +77,7 @@ mod tests {
     #[test]
     fn cross_entropy_uniform_logits_is_ln_c() {
         let mut t = Tape::new();
-        let logits = t.constant(Tensor::zeros(2, 4));
+        let logits = t.constant(Tensor::<f64>::zeros(2, 4));
         let loss = cross_entropy_logits(&mut t, logits, &[0, 3]);
         assert!((t.scalar(loss) - (4.0_f64).ln()).abs() < 1e-12);
     }

@@ -4,25 +4,26 @@
 use crate::{Activation, Linear};
 use hap_autograd::{ParamStore, Tape, Var};
 use hap_rand::Rng;
+use hap_tensor::Scalar;
 
 /// A stack of [`Linear`] layers with a shared hidden activation and a
 /// configurable output activation (the paper uses ReLU hidden + Softmax
 /// output for classification; softmax is applied by the loss instead, so
 /// the default output here is identity — the standard logits convention).
-pub struct Mlp {
-    layers: Vec<Linear>,
+pub struct Mlp<T: Scalar = f64> {
+    layers: Vec<Linear<T>>,
     hidden_activation: Activation,
     output_activation: Activation,
 }
 
-impl Mlp {
+impl<T: Scalar> Mlp<T> {
     /// Builds an MLP with the given layer widths, e.g. `&[64, 32, 2]`
     /// creates `64→32→2`.
     ///
     /// # Panics
     /// Panics when fewer than two dims are supplied.
     pub fn new(
-        store: &mut ParamStore,
+        store: &mut ParamStore<T>,
         name: &str,
         dims: &[usize],
         hidden_activation: Activation,
@@ -61,7 +62,7 @@ impl Mlp {
     }
 
     /// Applies the network to an `N × in_dim` input.
-    pub fn forward(&self, tape: &mut Tape, x: Var) -> Var {
+    pub fn forward(&self, tape: &mut Tape<T>, x: Var) -> Var {
         let last = self.layers.len() - 1;
         let mut h = x;
         for (i, layer) in self.layers.iter().enumerate() {
@@ -87,7 +88,7 @@ mod tests {
     #[test]
     fn shapes_flow_through() {
         let mut rng = Rng::from_seed(1);
-        let mut store = ParamStore::new();
+        let mut store = ParamStore::<f64>::new();
         let mlp = Mlp::new(&mut store, "head", &[8, 4, 2], Activation::Relu, &mut rng);
         assert_eq!(mlp.in_dim(), 8);
         assert_eq!(mlp.out_dim(), 2);

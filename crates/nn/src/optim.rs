@@ -5,7 +5,7 @@
 //! ablations and tests.
 
 use hap_autograd::ParamStore;
-use hap_tensor::Tensor;
+use hap_tensor::{Scalar, Tensor};
 use std::collections::HashMap;
 
 /// A gradient-descent update rule over a [`ParamStore`].
@@ -15,19 +15,23 @@ use std::collections::HashMap;
 /// [`ParamStore::zero_grads`] before accumulating the next batch, so
 /// callers control gradient-accumulation windows (HAP trains with
 /// per-batch accumulation over variable-size graphs).
-pub trait Optimizer {
+pub trait Optimizer<T: Scalar = f64> {
     /// Applies one update using the gradients currently in `store`.
-    fn step(&mut self, store: &ParamStore);
+    fn step(&mut self, store: &ParamStore<T>);
 }
 
 /// Stochastic gradient descent with optional momentum.
-pub struct Sgd {
+///
+/// Hyper-parameters stay `f64` for every dtype (one canonical value);
+/// moment buffers live in `T`, and per-step scalar factors are narrowed at
+/// the kernel boundary.
+pub struct Sgd<T: Scalar = f64> {
     lr: f64,
     momentum: f64,
-    velocity: HashMap<usize, Tensor>,
+    velocity: HashMap<usize, Tensor<T>>,
 }
 
-impl Sgd {
+impl<T: Scalar> Sgd<T> {
     /// Plain SGD with learning rate `lr`.
     pub fn new(lr: f64) -> Self {
         Self::with_momentum(lr, 0.0)
@@ -43,8 +47,8 @@ impl Sgd {
     }
 }
 
-impl Optimizer for Sgd {
-    fn step(&mut self, store: &ParamStore) {
+impl<T: Scalar> Optimizer<T> for Sgd<T> {
+    fn step(&mut self, store: &ParamStore<T>) {
         for p in store.iter() {
             let g = p.grad();
             if self.momentum == 0.0 {
@@ -64,16 +68,16 @@ impl Optimizer for Sgd {
 }
 
 /// Adam (Kingma & Ba 2015) with bias-corrected first and second moments.
-pub struct Adam {
+pub struct Adam<T: Scalar = f64> {
     lr: f64,
     beta1: f64,
     beta2: f64,
     eps: f64,
     t: u64,
-    moments: HashMap<usize, (Tensor, Tensor)>,
+    moments: HashMap<usize, (Tensor<T>, Tensor<T>)>,
 }
 
-impl Adam {
+impl<T: Scalar> Adam<T> {
     /// Adam with the paper's defaults (`β₁ = 0.9`, `β₂ = 0.999`,
     /// `ε = 1e-8`).
     pub fn new(lr: f64) -> Self {
@@ -105,8 +109,8 @@ impl Adam {
     }
 }
 
-impl Optimizer for Adam {
-    fn step(&mut self, store: &ParamStore) {
+impl<T: Scalar> Optimizer<T> for Adam<T> {
+    fn step(&mut self, store: &ParamStore<T>) {
         self.t += 1;
         let bc1 = 1.0 - self.beta1.powi(self.t as i32);
         let bc2 = 1.0 - self.beta2.powi(self.t as i32);
@@ -122,7 +126,8 @@ impl Optimizer for Adam {
             *v = &v.scale(self.beta2) + &g2.scale(1.0 - self.beta2);
             let m_hat = m.scale(1.0 / bc1);
             let v_hat = v.scale(1.0 / bc2);
-            let denom = v_hat.map(|x| x.sqrt() + self.eps);
+            let eps_t = T::from_f64(self.eps);
+            let denom = v_hat.map(move |x| x.sqrt() + eps_t);
             let step = m_hat.try_div(&denom).expect("same shape").scale(self.lr);
             p.update_with(|val, _| val - &step);
         }
@@ -193,7 +198,7 @@ mod tests {
 
     #[test]
     fn step_without_grads_is_stable() {
-        let mut store = ParamStore::new();
+        let mut store = ParamStore::<f64>::new();
         let w = store.new_param("w", Tensor::ones(2, 2));
         let mut adam = Adam::new(0.1);
         adam.step(&store); // zero gradients -> value unchanged

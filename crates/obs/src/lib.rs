@@ -496,15 +496,21 @@ pub fn guard_scalar(tag: &str, v: f64) -> bool {
 /// provenance under `tag` when found. The scan only runs at
 /// [`Level::Trace`] (it touches every element); below that the call is a
 /// branch returning `true`.
+///
+/// Generic over any element losslessly widenable to `f64` (`f32` and
+/// `f64` in practice — this crate stays dependency-free, so the bound is
+/// `Into<f64>` rather than the tensor crate's `Scalar`). Widening
+/// preserves the NaN/±∞ classification, so both dtypes feed the same
+/// sentinel machinery.
 #[inline]
-pub fn check_finite(tag: &str, data: &[f64]) -> bool {
+pub fn check_finite<T: Copy + Into<f64>>(tag: &str, data: &[T]) -> bool {
     if !trace_enabled() {
         return true;
     }
-    match data.iter().position(|x| !x.is_finite()) {
+    match data.iter().position(|x| !(*x).into().is_finite()) {
         None => true,
         Some(i) => {
-            record_nonfinite(tag, i, data[i]);
+            record_nonfinite(tag, i, data[i].into());
             false
         }
     }
@@ -739,6 +745,44 @@ mod tests {
             assert_eq!(ev[0].class, "-inf");
             assert_eq!(ev[0].step, 42);
             assert_eq!(ev[0].phase, "unit.phase");
+        });
+    }
+
+    #[test]
+    fn check_finite_classifies_f32_sentinels_like_f64() {
+        // The widening in `check_finite` must preserve the NaN/±∞
+        // classification — f32 slices (the fast-path dtype) feed the same
+        // provenance machinery as f64 ones.
+        with_level(Level::Trace, || {
+            let data = [1.0f32, f32::INFINITY, f32::NAN];
+            assert!(!check_finite("tensor.f32", &data));
+            let ev = nonfinite_events();
+            assert_eq!(ev.len(), 1, "only the first offender is recorded");
+            assert_eq!(ev[0].tag, "tensor.f32");
+            assert_eq!(ev[0].index, 1);
+            assert_eq!(ev[0].class, "+inf");
+        });
+        with_level(Level::Trace, || {
+            assert!(!check_finite("g", &[f32::NAN]));
+            assert_eq!(nonfinite_events()[0].class, "nan");
+            assert!(check_finite("ok", &[f32::MAX, f32::MIN_POSITIVE, -0.0f32]));
+            assert_eq!(nonfinite_total(), 1);
+        });
+    }
+
+    #[test]
+    fn guard_scalar_accepts_widened_f32_values() {
+        // Trainers at T = f32 widen via `to_f64` before guarding; a
+        // widened f32 NaN/∞ must still trip the guard, and the largest
+        // finite f32 must not (widening is exact, never saturating).
+        with_level(Level::Off, || {
+            assert!(guard_scalar("fine", f32::MAX as f64));
+            assert!(!guard_scalar("broken", f32::NAN as f64));
+            assert!(!guard_scalar("hot", f32::NEG_INFINITY as f64));
+            let ev = nonfinite_events();
+            assert_eq!(ev.len(), 2);
+            assert_eq!(ev[0].class, "nan");
+            assert_eq!(ev[1].class, "-inf");
         });
     }
 

@@ -4,6 +4,7 @@
 use crate::{ratio_to_k, CoarsenModule, PoolCtx};
 use hap_autograd::{ParamStore, Tape, Var};
 use hap_gnn::{AdjacencyRef, GatLayer};
+use hap_graph::GraphScalar;
 use hap_nn::{Activation, Linear};
 use hap_rand::Rng;
 use hap_tensor::Tensor;
@@ -24,21 +25,27 @@ use hap_tensor::Tensor;
 ///    adjacency is the (A + A²) connectivity restricted to the selected
 ///    medoids — the same "maintain connectivity through shared ego
 ///    networks" effect as ASAP's `SᵀAS` with ego-masked `S`.
-pub struct Asap {
-    former: GatLayer,
-    w1: Linear,
-    w2: Linear,
-    w3: Linear,
+pub struct Asap<T: GraphScalar = f64> {
+    former: GatLayer<T>,
+    w1: Linear<T>,
+    w2: Linear<T>,
+    w3: Linear<T>,
     ratio: f64,
 }
 
-impl Asap {
+impl<T: GraphScalar> Asap<T> {
     /// Creates an ASAP module for feature width `dim` keeping `ratio` of
     /// the clusters.
     ///
     /// # Panics
     /// Panics when `ratio ∉ (0, 1]`.
-    pub fn new(store: &mut ParamStore, name: &str, dim: usize, ratio: f64, rng: &mut Rng) -> Self {
+    pub fn new(
+        store: &mut ParamStore<T>,
+        name: &str,
+        dim: usize,
+        ratio: f64,
+        rng: &mut Rng,
+    ) -> Self {
         assert!(
             ratio > 0.0 && ratio <= 1.0,
             "ratio must be in (0,1], got {ratio}"
@@ -60,7 +67,7 @@ impl Asap {
     }
 
     /// LEConv cluster fitness scores (`N×1`).
-    fn fitness(&self, tape: &mut Tape, adj: Var, c: Var) -> Var {
+    fn fitness(&self, tape: &mut Tape<T>, adj: Var, c: Var) -> Var {
         let s1 = self.w1.forward(tape, c);
         let s2 = self.w2.forward(tape, c);
         let s3 = self.w3.forward(tape, c);
@@ -73,8 +80,8 @@ impl Asap {
     }
 }
 
-impl CoarsenModule for Asap {
-    fn forward(&self, tape: &mut Tape, adj: Var, h: Var, _ctx: &mut PoolCtx<'_>) -> (Var, Var) {
+impl<T: GraphScalar> CoarsenModule<T> for Asap<T> {
+    fn forward(&self, tape: &mut Tape<T>, adj: Var, h: Var, _ctx: &mut PoolCtx<'_>) -> (Var, Var) {
         let n = tape.shape(h).0;
         // 1. ego-network cluster representations
         let c = self.former.forward(tape, AdjacencyRef::Dynamic(adj), h);
@@ -99,9 +106,9 @@ impl CoarsenModule for Asap {
         let mut a_sel = tape.transpose(cols);
         // zero the diagonal (self-reach from A² is not an edge)
         let mask = {
-            let mut m = Tensor::ones(k, k);
+            let mut m = Tensor::<T>::ones(k, k);
             for i in 0..k {
-                m[(i, i)] = 0.0;
+                m[(i, i)] = T::ZERO;
             }
             tape.constant(m)
         };
@@ -125,7 +132,7 @@ mod tests {
         // On a path 0-1-2-3-4, selecting alternating nodes {0,2,4} keeps
         // them connected through A² even though A alone would not.
         let mut rng = Rng::from_seed(1);
-        let mut store = ParamStore::new();
+        let mut store = ParamStore::<f64>::new();
         let m = Asap::new(&mut store, "asap", 3, 0.6, &mut rng);
         let g = generators::path(5);
         let mut t = Tape::new();
@@ -149,7 +156,7 @@ mod tests {
     #[test]
     fn fitness_is_in_unit_interval() {
         let mut rng = Rng::from_seed(2);
-        let mut store = ParamStore::new();
+        let mut store = ParamStore::<f64>::new();
         let m = Asap::new(&mut store, "asap", 4, 0.5, &mut rng);
         let g = generators::erdos_renyi_connected(7, 0.4, &mut rng);
         let mut t = Tape::new();
@@ -164,7 +171,7 @@ mod tests {
     #[test]
     fn gradients_reach_all_parameters() {
         let mut rng = Rng::from_seed(3);
-        let mut store = ParamStore::new();
+        let mut store = ParamStore::<f64>::new();
         let m = Asap::new(&mut store, "asap", 3, 0.5, &mut rng);
         let g = generators::erdos_renyi_connected(6, 0.5, &mut rng);
         let mut t = Tape::new();

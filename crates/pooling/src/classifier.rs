@@ -7,7 +7,7 @@ use crate::{
 };
 use hap_autograd::{ParamStore, Tape, Var};
 use hap_gnn::{AdjacencyRef, EncoderKind, GnnEncoder};
-use hap_graph::Graph;
+use hap_graph::{Graph, GraphScalar};
 use hap_nn::{Activation, Mlp};
 use hap_rand::Rng;
 use hap_tensor::Tensor;
@@ -91,12 +91,12 @@ impl BaselineKind {
     }
 }
 
-enum Pooler {
-    Flat(Box<dyn Readout>),
+enum Pooler<T: GraphScalar> {
+    Flat(Box<dyn Readout<T>>),
     /// Hierarchical: coarsen once, re-embed, sum-read the survivors.
     Hier {
-        module: Box<dyn CoarsenModule>,
-        post: GnnEncoder,
+        module: Box<dyn CoarsenModule<T>>,
+        post: GnnEncoder<T>,
     },
     /// GCN-concat: no pooling module; per-layer means are concatenated.
     Concat,
@@ -105,18 +105,18 @@ enum Pooler {
 /// A complete classifier: 2-layer GCN encoder → pooling → 2-layer MLP
 /// head producing class logits (Eq. 20 structure with the softmax folded
 /// into the loss).
-pub struct PoolingClassifier {
+pub struct PoolingClassifier<T: GraphScalar = f64> {
     kind: BaselineKind,
-    encoder: GnnEncoder,
-    pooler: Pooler,
-    head: Mlp,
+    encoder: GnnEncoder<T>,
+    pooler: Pooler<T>,
+    head: Mlp<T>,
 }
 
-impl PoolingClassifier {
+impl<T: GraphScalar> PoolingClassifier<T> {
     /// Builds the classifier for `kind` with `in_dim` input features,
     /// `hidden` embedding width and `classes` output classes.
     pub fn new(
-        store: &mut ParamStore,
+        store: &mut ParamStore<T>,
         kind: BaselineKind,
         in_dim: usize,
         hidden: usize,
@@ -130,7 +130,7 @@ impl PoolingClassifier {
             &[in_dim, hidden, hidden],
             rng,
         );
-        let (pooler, head_in): (Pooler, usize) = match kind {
+        let (pooler, head_in): (Pooler<T>, usize) = match kind {
             BaselineKind::GcnConcat => (Pooler::Concat, hidden),
             BaselineKind::SumPool => (Pooler::Flat(Box::new(SumReadout)), hidden),
             BaselineKind::MeanPool => (Pooler::Flat(Box::new(MeanReadout)), hidden),
@@ -158,27 +158,27 @@ impl PoolingClassifier {
                 hidden,
             ),
             BaselineKind::GPool => {
-                let m: Box<dyn CoarsenModule> =
+                let m: Box<dyn CoarsenModule<T>> =
                     Box::new(GPool::new(store, "pool", hidden, 0.5, rng));
                 (Self::hier(store, m, hidden, rng), hidden)
             }
             BaselineKind::SagPool => {
-                let m: Box<dyn CoarsenModule> =
+                let m: Box<dyn CoarsenModule<T>> =
                     Box::new(SagPool::new(store, "pool", hidden, 0.5, rng));
                 (Self::hier(store, m, hidden, rng), hidden)
             }
             BaselineKind::DiffPool => {
-                let m: Box<dyn CoarsenModule> =
+                let m: Box<dyn CoarsenModule<T>> =
                     Box::new(DiffPool::new(store, "pool", hidden, 6, rng));
                 (Self::hier(store, m, hidden, rng), hidden)
             }
             BaselineKind::Asap => {
-                let m: Box<dyn CoarsenModule> =
+                let m: Box<dyn CoarsenModule<T>> =
                     Box::new(Asap::new(store, "pool", hidden, 0.5, rng));
                 (Self::hier(store, m, hidden, rng), hidden)
             }
             BaselineKind::StructPool => {
-                let m: Box<dyn CoarsenModule> =
+                let m: Box<dyn CoarsenModule<T>> =
                     Box::new(StructPool::new(store, "pool", hidden, 6, 2, rng));
                 (Self::hier(store, m, hidden, rng), hidden)
             }
@@ -199,11 +199,11 @@ impl PoolingClassifier {
     }
 
     fn hier(
-        store: &mut ParamStore,
-        module: Box<dyn CoarsenModule>,
+        store: &mut ParamStore<T>,
+        module: Box<dyn CoarsenModule<T>>,
         hidden: usize,
         rng: &mut Rng,
-    ) -> Pooler {
+    ) -> Pooler<T> {
         let post = GnnEncoder::new(store, "post", EncoderKind::Gcn, &[hidden, hidden], rng);
         Pooler::Hier { module, post }
     }
@@ -215,7 +215,12 @@ impl PoolingClassifier {
 
     /// The pooled graph-level embedding (input of the prediction head) —
     /// used by the Fig. 4 t-SNE visualisations.
-    pub fn embedding(&self, graph: &Graph, features: &Tensor, ctx: &mut PoolCtx<'_>) -> Tensor {
+    pub fn embedding(
+        &self,
+        graph: &Graph,
+        features: &Tensor<T>,
+        ctx: &mut PoolCtx<'_>,
+    ) -> Tensor<T> {
         let mut tape = Tape::new();
         let pooled = self.pooled(&mut tape, graph, features, ctx);
         tape.value(pooled)
@@ -223,13 +228,13 @@ impl PoolingClassifier {
 
     fn pooled(
         &self,
-        tape: &mut Tape,
+        tape: &mut Tape<T>,
         graph: &Graph,
-        features: &Tensor,
+        features: &Tensor<T>,
         ctx: &mut PoolCtx<'_>,
     ) -> Var {
         let x = tape.constant(features.clone());
-        let a = tape.constant(graph.adjacency().clone());
+        let a = tape.constant(T::adjacency_of(graph).clone());
         let h = self.encoder.forward(tape, AdjacencyRef::Fixed(graph), x);
         match &self.pooler {
             Pooler::Flat(r) => r.forward(tape, a, h, ctx),
@@ -245,9 +250,9 @@ impl PoolingClassifier {
     /// Computes class logits (`1×classes`) for one graph.
     pub fn logits(
         &self,
-        tape: &mut Tape,
+        tape: &mut Tape<T>,
         graph: &Graph,
-        features: &Tensor,
+        features: &Tensor<T>,
         ctx: &mut PoolCtx<'_>,
     ) -> Var {
         let pooled = self.pooled(tape, graph, features, ctx);
@@ -255,7 +260,7 @@ impl PoolingClassifier {
     }
 
     /// Predicted class (evaluation path).
-    pub fn predict(&self, graph: &Graph, features: &Tensor, ctx: &mut PoolCtx<'_>) -> usize {
+    pub fn predict(&self, graph: &Graph, features: &Tensor<T>, ctx: &mut PoolCtx<'_>) -> usize {
         let mut tape = Tape::new();
         let logits = self.logits(&mut tape, graph, features, ctx);
         let v = tape.value(logits);
@@ -278,7 +283,7 @@ mod tests {
         let g = generators::erdos_renyi_connected(10, 0.35, &mut rng);
         let x = degree_one_hot(&g, 6);
         for &kind in BaselineKind::all() {
-            let mut store = ParamStore::new();
+            let mut store = ParamStore::<f64>::new();
             let model = PoolingClassifier::new(&mut store, kind, 6, 8, 3, &mut rng);
             let mut t = Tape::new();
             let mut ctx = PoolCtx {
@@ -297,7 +302,7 @@ mod tests {
         let g = generators::erdos_renyi_connected(8, 0.4, &mut rng);
         let x = degree_one_hot(&g, 5);
         for &kind in BaselineKind::all() {
-            let mut store = ParamStore::new();
+            let mut store = ParamStore::<f64>::new();
             let model = PoolingClassifier::new(&mut store, kind, 5, 6, 2, &mut rng);
             let mut t = Tape::new();
             let mut ctx = PoolCtx {

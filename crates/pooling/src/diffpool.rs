@@ -4,6 +4,7 @@
 use crate::{CoarsenModule, PoolCtx};
 use hap_autograd::{ParamStore, Tape, Var};
 use hap_gnn::{AdjacencyRef, GcnLayer};
+use hap_graph::GraphScalar;
 use hap_nn::Activation;
 use hap_rand::Rng;
 
@@ -14,20 +15,20 @@ use hap_rand::Rng;
 ///
 /// Grouping is driven by the 1-hop GCN receptive field — exactly the
 /// limitation (Fig. 1a) HAP's fully-connected MOA channel addresses.
-pub struct DiffPool {
-    embed: GcnLayer,
-    assign: GcnLayer,
+pub struct DiffPool<T: GraphScalar = f64> {
+    embed: GcnLayer<T>,
+    assign: GcnLayer<T>,
     clusters: usize,
 }
 
-impl DiffPool {
+impl<T: GraphScalar> DiffPool<T> {
     /// Creates a DiffPool module mapping width-`dim` features to `clusters`
     /// clusters (feature width is preserved).
     ///
     /// # Panics
     /// Panics when `clusters == 0`.
     pub fn new(
-        store: &mut ParamStore,
+        store: &mut ParamStore<T>,
         name: &str,
         dim: usize,
         clusters: usize,
@@ -61,14 +62,14 @@ impl DiffPool {
     }
 
     /// Exposes the soft assignment matrix `S` (for inspection/tests).
-    pub fn assignment(&self, tape: &mut Tape, adj: Var, h: Var) -> Var {
+    pub fn assignment(&self, tape: &mut Tape<T>, adj: Var, h: Var) -> Var {
         let logits = self.assign.forward(tape, AdjacencyRef::Dynamic(adj), h);
         tape.softmax_rows(logits)
     }
 }
 
-impl CoarsenModule for DiffPool {
-    fn forward(&self, tape: &mut Tape, adj: Var, h: Var, _ctx: &mut PoolCtx<'_>) -> (Var, Var) {
+impl<T: GraphScalar> CoarsenModule<T> for DiffPool<T> {
+    fn forward(&self, tape: &mut Tape<T>, adj: Var, h: Var, _ctx: &mut PoolCtx<'_>) -> (Var, Var) {
         let z = self.embed.forward(tape, AdjacencyRef::Dynamic(adj), h);
         let s = self.assignment(tape, adj, h); // N×N'
         let st = tape.transpose(s);
@@ -93,7 +94,7 @@ mod tests {
     #[test]
     fn coarsens_to_fixed_cluster_count() {
         let mut rng = Rng::from_seed(1);
-        let mut store = ParamStore::new();
+        let mut store = ParamStore::<f64>::new();
         let m = DiffPool::new(&mut store, "dp", 4, 3, &mut rng);
         let g = generators::erdos_renyi_connected(9, 0.4, &mut rng);
         let mut t = Tape::new();
@@ -112,7 +113,7 @@ mod tests {
     #[test]
     fn assignment_rows_are_distributions() {
         let mut rng = Rng::from_seed(2);
-        let mut store = ParamStore::new();
+        let mut store = ParamStore::<f64>::new();
         let m = DiffPool::new(&mut store, "dp", 3, 4, &mut rng);
         let g = generators::cycle(6);
         let mut t = Tape::new();
@@ -131,7 +132,7 @@ mod tests {
     fn coarsened_adjacency_preserves_total_edge_mass() {
         // Σ_ij (SᵀAS)_ij = Σ_ij A_ij because S rows are distributions.
         let mut rng = Rng::from_seed(3);
-        let mut store = ParamStore::new();
+        let mut store = ParamStore::<f64>::new();
         let m = DiffPool::new(&mut store, "dp", 3, 3, &mut rng);
         let g = generators::erdos_renyi_connected(7, 0.5, &mut rng);
         let mut t = Tape::new();
@@ -153,7 +154,7 @@ mod tests {
     #[test]
     fn gradients_reach_both_gcns() {
         let mut rng = Rng::from_seed(4);
-        let mut store = ParamStore::new();
+        let mut store = ParamStore::<f64>::new();
         let m = DiffPool::new(&mut store, "dp", 3, 2, &mut rng);
         let g = generators::erdos_renyi_connected(6, 0.5, &mut rng);
         let mut t = Tape::new();

@@ -4,15 +4,15 @@ use crate::{PoolCtx, Readout};
 use hap_autograd::{Param, ParamStore, Tape, Var};
 use hap_nn::{xavier_uniform, Linear};
 use hap_rand::Rng;
-use hap_tensor::Tensor;
+use hap_tensor::{Scalar, Tensor};
 
 /// Sum pooling (GIN-style; Xu et al. argue it is the most expressive
 /// universal aggregator). `h_G = Σ_i h_i`.
 #[derive(Default)]
 pub struct SumReadout;
 
-impl Readout for SumReadout {
-    fn forward(&self, tape: &mut Tape, _adj: Var, h: Var, _ctx: &mut PoolCtx<'_>) -> Var {
+impl<T: Scalar> Readout<T> for SumReadout {
+    fn forward(&self, tape: &mut Tape<T>, _adj: Var, h: Var, _ctx: &mut PoolCtx<'_>) -> Var {
         tape.col_sums(h)
     }
 
@@ -25,8 +25,8 @@ impl Readout for SumReadout {
 #[derive(Default)]
 pub struct MeanReadout;
 
-impl Readout for MeanReadout {
-    fn forward(&self, tape: &mut Tape, _adj: Var, h: Var, _ctx: &mut PoolCtx<'_>) -> Var {
+impl<T: Scalar> Readout<T> for MeanReadout {
+    fn forward(&self, tape: &mut Tape<T>, _adj: Var, h: Var, _ctx: &mut PoolCtx<'_>) -> Var {
         tape.col_means(h)
     }
 
@@ -39,8 +39,8 @@ impl Readout for MeanReadout {
 #[derive(Default)]
 pub struct MaxReadout;
 
-impl Readout for MaxReadout {
-    fn forward(&self, tape: &mut Tape, _adj: Var, h: Var, _ctx: &mut PoolCtx<'_>) -> Var {
+impl<T: Scalar> Readout<T> for MaxReadout {
+    fn forward(&self, tape: &mut Tape<T>, _adj: Var, h: Var, _ctx: &mut PoolCtx<'_>) -> Var {
         tape.col_maxes(h)
     }
 
@@ -53,21 +53,21 @@ impl Readout for MaxReadout {
 /// the *MA* mechanism of Eq. 6–7): a graph content `c = tanh(mean(H)·W)`
 /// queries every node, `a_i = sigmoid(h_i · cᵀ)`, and the readout is the
 /// attention-weighted sum `h_G = Σ_i a_i h_i`.
-pub struct MeanAttReadout {
-    w: Param,
+pub struct MeanAttReadout<T: Scalar = f64> {
+    w: Param<T>,
 }
 
-impl MeanAttReadout {
+impl<T: Scalar> MeanAttReadout<T> {
     /// Creates the readout for feature width `dim`.
-    pub fn new(store: &mut ParamStore, name: &str, dim: usize, rng: &mut Rng) -> Self {
+    pub fn new(store: &mut ParamStore<T>, name: &str, dim: usize, rng: &mut Rng) -> Self {
         Self {
             w: store.new_param(format!("{name}.w"), xavier_uniform(dim, dim, rng)),
         }
     }
 }
 
-impl Readout for MeanAttReadout {
-    fn forward(&self, tape: &mut Tape, _adj: Var, h: Var, _ctx: &mut PoolCtx<'_>) -> Var {
+impl<T: Scalar> Readout<T> for MeanAttReadout<T> {
+    fn forward(&self, tape: &mut Tape<T>, _adj: Var, h: Var, _ctx: &mut PoolCtx<'_>) -> Var {
         let w = tape.param(&self.w);
         let mean = tape.col_means(h); // 1×F
         let c = tape.matmul(mean, w); // 1×F
@@ -89,16 +89,16 @@ impl Readout for MeanAttReadout {
 /// over nodes, `r_t = Σ_i softmax(h_i·q_tᵀ) h_i`, and the readout is the
 /// final `[q_T ‖ r_T]` (width `2F`). The defining mechanism — iterative
 /// content-based attention with an order-invariant read — is preserved.
-pub struct Set2SetReadout {
-    w_q: Param,
+pub struct Set2SetReadout<T: Scalar = f64> {
+    w_q: Param<T>,
     steps: usize,
     dim: usize,
 }
 
-impl Set2SetReadout {
+impl<T: Scalar> Set2SetReadout<T> {
     /// Creates the readout with `steps` processing iterations.
     pub fn new(
-        store: &mut ParamStore,
+        store: &mut ParamStore<T>,
         name: &str,
         dim: usize,
         steps: usize,
@@ -112,8 +112,8 @@ impl Set2SetReadout {
     }
 }
 
-impl Readout for Set2SetReadout {
-    fn forward(&self, tape: &mut Tape, _adj: Var, h: Var, _ctx: &mut PoolCtx<'_>) -> Var {
+impl<T: Scalar> Readout<T> for Set2SetReadout<T> {
+    fn forward(&self, tape: &mut Tape<T>, _adj: Var, h: Var, _ctx: &mut PoolCtx<'_>) -> Var {
         let mut q = tape.constant(Tensor::zeros(1, self.dim));
         let mut r = tape.col_means(h); // informative start: mean read
         let w_q = tape.param(&self.w_q);
@@ -142,16 +142,16 @@ impl Readout for Set2SetReadout {
 /// channel (the "continuous WL color"), keeps the top `k` in sorted order,
 /// and maps the flattened `k·F` block through a linear layer (standing in
 /// for DGCNN's 1-D convolution). Short graphs are zero-padded.
-pub struct SortPoolReadout {
+pub struct SortPoolReadout<T: Scalar = f64> {
     k: usize,
-    proj: Linear,
+    proj: Linear<T>,
 }
 
-impl SortPoolReadout {
+impl<T: Scalar> SortPoolReadout<T> {
     /// Creates the readout keeping `k` nodes of width `dim`, projecting to
     /// `out_dim`.
     pub fn new(
-        store: &mut ParamStore,
+        store: &mut ParamStore<T>,
         name: &str,
         dim: usize,
         k: usize,
@@ -165,8 +165,8 @@ impl SortPoolReadout {
     }
 }
 
-impl Readout for SortPoolReadout {
-    fn forward(&self, tape: &mut Tape, _adj: Var, h: Var, _ctx: &mut PoolCtx<'_>) -> Var {
+impl<T: Scalar> Readout<T> for SortPoolReadout<T> {
+    fn forward(&self, tape: &mut Tape<T>, _adj: Var, h: Var, _ctx: &mut PoolCtx<'_>) -> Var {
         let (n, f) = tape.shape(h);
         // Sort rows by the last channel, descending (forward-only: the sort
         // order is data, the gathered values keep their gradients).
@@ -216,14 +216,14 @@ impl Readout for SortPoolReadout {
 /// `α = softmax(H·u)`, readout `h_G = Σ α_i h_i`. The *local* variant
 /// folds node-degree information into the logits (`+ ln(1 + deg_i)`),
 /// which "keeps a balance between importance and dispersion".
-pub struct AttPoolReadout {
-    u: Param,
+pub struct AttPoolReadout<T: Scalar = f64> {
+    u: Param<T>,
     local: bool,
 }
 
-impl AttPoolReadout {
+impl<T: Scalar> AttPoolReadout<T> {
     /// Global-attention variant.
-    pub fn global(store: &mut ParamStore, name: &str, dim: usize, rng: &mut Rng) -> Self {
+    pub fn global(store: &mut ParamStore<T>, name: &str, dim: usize, rng: &mut Rng) -> Self {
         Self {
             u: store.new_param(format!("{name}.u"), xavier_uniform(dim, 1, rng)),
             local: false,
@@ -231,7 +231,7 @@ impl AttPoolReadout {
     }
 
     /// Local (degree-aware) variant.
-    pub fn local(store: &mut ParamStore, name: &str, dim: usize, rng: &mut Rng) -> Self {
+    pub fn local(store: &mut ParamStore<T>, name: &str, dim: usize, rng: &mut Rng) -> Self {
         Self {
             u: store.new_param(format!("{name}.u"), xavier_uniform(dim, 1, rng)),
             local: true,
@@ -239,8 +239,8 @@ impl AttPoolReadout {
     }
 }
 
-impl Readout for AttPoolReadout {
-    fn forward(&self, tape: &mut Tape, adj: Var, h: Var, _ctx: &mut PoolCtx<'_>) -> Var {
+impl<T: Scalar> Readout<T> for AttPoolReadout<T> {
+    fn forward(&self, tape: &mut Tape<T>, adj: Var, h: Var, _ctx: &mut PoolCtx<'_>) -> Var {
         let u = tape.param(&self.u);
         let mut logits = tape.matmul(h, u); // N×1
         if self.local {
@@ -272,8 +272,8 @@ impl Readout for AttPoolReadout {
 #[derive(Default)]
 pub struct GcnConcatReadout;
 
-impl Readout for GcnConcatReadout {
-    fn forward(&self, tape: &mut Tape, _adj: Var, h: Var, _ctx: &mut PoolCtx<'_>) -> Var {
+impl<T: Scalar> Readout<T> for GcnConcatReadout {
+    fn forward(&self, tape: &mut Tape<T>, _adj: Var, h: Var, _ctx: &mut PoolCtx<'_>) -> Var {
         tape.col_means(h)
     }
 
@@ -325,7 +325,7 @@ mod tests {
     #[test]
     fn mean_att_shape_and_bounds() {
         let mut rng = ctx_rng();
-        let mut store = ParamStore::new();
+        let mut store = ParamStore::<f64>::new();
         let r = MeanAttReadout::new(&mut store, "ma", 4, &mut rng);
         let h = Tensor::rand_uniform(6, 4, -1.0, 1.0, &mut rng);
         let (mut t, a, hv) = setup(&h);
@@ -341,7 +341,7 @@ mod tests {
     #[test]
     fn set2set_output_width_doubles() {
         let mut rng = ctx_rng();
-        let mut store = ParamStore::new();
+        let mut store = ParamStore::<f64>::new();
         let r = Set2SetReadout::new(&mut store, "s2s", 3, 3, &mut rng);
         let h = Tensor::rand_uniform(5, 3, -1.0, 1.0, &mut rng);
         let (mut t, a, hv) = setup(&h);
@@ -357,7 +357,7 @@ mod tests {
     #[test]
     fn set2set_is_node_order_invariant() {
         let mut rng = ctx_rng();
-        let mut store = ParamStore::new();
+        let mut store = ParamStore::<f64>::new();
         let r = Set2SetReadout::new(&mut store, "s2s", 3, 2, &mut rng);
         let h = Tensor::rand_uniform(5, 3, -1.0, 1.0, &mut rng);
         let perm = hap_graph::Permutation::from_vec(vec![4, 2, 0, 1, 3]);
@@ -379,7 +379,7 @@ mod tests {
     #[test]
     fn sortpool_selects_by_last_channel_and_pads() {
         let mut rng = ctx_rng();
-        let mut store = ParamStore::new();
+        let mut store = ParamStore::<f64>::new();
         let r = SortPoolReadout::new(&mut store, "sp", 2, 3, 4, &mut rng);
         // 2 nodes < k=3: must pad
         let h = Tensor::from_rows(&[vec![1.0, 0.5], vec![2.0, 0.9]]);
@@ -396,7 +396,7 @@ mod tests {
     #[test]
     fn attpool_local_prefers_high_degree() {
         let mut rng = ctx_rng();
-        let mut store = ParamStore::new();
+        let mut store = ParamStore::<f64>::new();
         let r = AttPoolReadout::local(&mut store, "ap", 2, &mut rng);
         // zero the scorer so only degree drives attention
         store.iter().next().unwrap().set_value(Tensor::zeros(2, 1));
@@ -420,14 +420,18 @@ mod tests {
         );
     }
 
+    fn name_of<R: Readout>(r: &R) -> &'static str {
+        r.name()
+    }
+
     #[test]
     fn readout_names() {
         let mut rng = ctx_rng();
-        let mut store = ParamStore::new();
-        assert_eq!(SumReadout.name(), "SumPool");
-        assert_eq!(MeanReadout.name(), "MeanPool");
-        assert_eq!(MaxReadout.name(), "MaxPool");
-        assert_eq!(GcnConcatReadout.name(), "GCN-concat");
+        let mut store = ParamStore::<f64>::new();
+        assert_eq!(name_of(&SumReadout), "SumPool");
+        assert_eq!(name_of(&MeanReadout), "MeanPool");
+        assert_eq!(name_of(&MaxReadout), "MaxPool");
+        assert_eq!(name_of(&GcnConcatReadout), "GCN-concat");
         assert_eq!(
             AttPoolReadout::global(&mut store, "g", 2, &mut rng).name(),
             "AttPool-global"

@@ -42,6 +42,7 @@ pub use topk::{GPool, SagPool};
 
 use hap_autograd::{Tape, Var};
 use hap_rand::Rng;
+use hap_tensor::Scalar;
 
 /// Shared context for pooling passes: training mode (affects stochastic
 /// relaxations such as Gumbel noise) and a random source.
@@ -53,12 +54,12 @@ pub struct PoolCtx<'r> {
 }
 
 /// Flat graph readout: collapses node features into one graph-level row
-/// vector.
-pub trait Readout {
+/// vector. Generic over the tape element type (default `f64`).
+pub trait Readout<T: Scalar = f64> {
     /// `h` is `N×F` (already encoded node features); `adj` is the raw
     /// adjacency on the tape, for readouts that use structure (AttPool's
     /// local degree weighting). Returns a `1×out_dim(F)` embedding.
-    fn forward(&self, tape: &mut Tape, adj: Var, h: Var, ctx: &mut PoolCtx<'_>) -> Var;
+    fn forward(&self, tape: &mut Tape<T>, adj: Var, h: Var, ctx: &mut PoolCtx<'_>) -> Var;
 
     /// Output width as a function of the input feature width.
     fn out_dim(&self, in_dim: usize) -> usize {
@@ -69,11 +70,12 @@ pub trait Readout {
     fn name(&self) -> &'static str;
 }
 
-/// One hierarchical coarsening step `(A, H) → (A', H')`.
-pub trait CoarsenModule {
+/// One hierarchical coarsening step `(A, H) → (A', H')`. Generic over the
+/// tape element type (default `f64`).
+pub trait CoarsenModule<T: Scalar = f64> {
     /// Coarsens the graph. `adj`/`h` live on `tape`; the returned pair does
     /// too, so modules can be chained and gradients flow end-to-end.
-    fn forward(&self, tape: &mut Tape, adj: Var, h: Var, ctx: &mut PoolCtx<'_>) -> (Var, Var);
+    fn forward(&self, tape: &mut Tape<T>, adj: Var, h: Var, ctx: &mut PoolCtx<'_>) -> (Var, Var);
 
     /// Method name for experiment tables.
     fn name(&self) -> &'static str;

@@ -5,6 +5,7 @@ use crate::{CoarsenModule, PoolCtx};
 use hap_autograd::{ParamStore, Tape, Var};
 use hap_nn::Linear;
 use hap_rand::Rng;
+use hap_tensor::Scalar;
 
 /// StructPool coarsening: cluster assignments are treated as a CRF whose
 /// Gibbs energy couples a feature-based unary term with a structural
@@ -18,14 +19,14 @@ use hap_rand::Rng;
 /// is simplified to this fixed Potts model; the defining mechanism —
 /// high-order structural relationships entering the assignment through
 /// iterative message passing — is preserved.
-pub struct StructPool {
-    unary: Linear,
+pub struct StructPool<T: Scalar = f64> {
+    unary: Linear<T>,
     clusters: usize,
     iterations: usize,
     coupling: f64,
 }
 
-impl StructPool {
+impl<T: Scalar> StructPool<T> {
     /// Creates a StructPool module with `clusters` output clusters and
     /// `iterations` mean-field steps (the original uses a small fixed
     /// number; 2–3 suffices).
@@ -33,7 +34,7 @@ impl StructPool {
     /// # Panics
     /// Panics when `clusters == 0`.
     pub fn new(
-        store: &mut ParamStore,
+        store: &mut ParamStore<T>,
         name: &str,
         dim: usize,
         clusters: usize,
@@ -55,7 +56,7 @@ impl StructPool {
     }
 
     /// Mean-field assignment matrix `Q` (`N×N'`, rows are distributions).
-    pub fn assignment(&self, tape: &mut Tape, adj: Var, h: Var) -> Var {
+    pub fn assignment(&self, tape: &mut Tape<T>, adj: Var, h: Var) -> Var {
         let u = self.unary.forward(tape, h); // N×N'
         let mut q = tape.softmax_rows(u);
         for _ in 0..self.iterations {
@@ -68,8 +69,8 @@ impl StructPool {
     }
 }
 
-impl CoarsenModule for StructPool {
-    fn forward(&self, tape: &mut Tape, adj: Var, h: Var, _ctx: &mut PoolCtx<'_>) -> (Var, Var) {
+impl<T: Scalar> CoarsenModule<T> for StructPool<T> {
+    fn forward(&self, tape: &mut Tape<T>, adj: Var, h: Var, _ctx: &mut PoolCtx<'_>) -> (Var, Var) {
         let q = self.assignment(tape, adj, h);
         let qt = tape.transpose(q);
         let h_new = tape.matmul(qt, h);
@@ -93,7 +94,7 @@ mod tests {
     #[test]
     fn output_shapes() {
         let mut rng = Rng::from_seed(1);
-        let mut store = ParamStore::new();
+        let mut store = ParamStore::<f64>::new();
         let m = StructPool::new(&mut store, "sp", 4, 3, 2, &mut rng);
         let g = generators::erdos_renyi_connected(8, 0.4, &mut rng);
         let mut t = Tape::new();
@@ -114,7 +115,7 @@ mod tests {
         // nodes within a clique should agree on their most likely cluster
         // more than across cliques.
         let mut rng = Rng::from_seed(5);
-        let mut store = ParamStore::new();
+        let mut store = ParamStore::<f64>::new();
         let m = StructPool::new(&mut store, "sp", 2, 2, 3, &mut rng);
         let mut g = generators::clique(4).disjoint_union(&generators::clique(4));
         g.add_edge(0, 4);
@@ -134,7 +135,7 @@ mod tests {
     #[test]
     fn assignment_rows_are_distributions() {
         let mut rng = Rng::from_seed(2);
-        let mut store = ParamStore::new();
+        let mut store = ParamStore::<f64>::new();
         let m = StructPool::new(&mut store, "sp", 3, 4, 2, &mut rng);
         let g = generators::cycle(6);
         let mut t = Tape::new();

@@ -3,13 +3,21 @@
 use crate::{ratio_to_k, CoarsenModule, PoolCtx};
 use hap_autograd::{Param, ParamStore, Tape, Var};
 use hap_gnn::{AdjacencyRef, GcnLayer};
+use hap_graph::GraphScalar;
 use hap_nn::{xavier_uniform, Activation};
 use hap_rand::Rng;
+use hap_tensor::Scalar;
 
 /// Selects the `k` highest-scoring rows (data-dependent, not
 /// differentiated — standard Top-K pooling semantics) and returns the
 /// induced coarsened pair `(A', H'_gated)`.
-fn select_top_k(tape: &mut Tape, adj: Var, gated_h: Var, scores: &[f64], k: usize) -> (Var, Var) {
+fn select_top_k<T: Scalar>(
+    tape: &mut Tape<T>,
+    adj: Var,
+    gated_h: Var,
+    scores: &[T],
+    k: usize,
+) -> (Var, Var) {
     let mut order: Vec<usize> = (0..scores.len()).collect();
     order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).expect("non-NaN scores"));
     order.truncate(k);
@@ -28,18 +36,24 @@ fn select_top_k(tape: &mut Tape, adj: Var, gated_h: Var, scores: &[f64], k: usiz
 /// node features onto a trainable vector, `y = H·p / ‖p‖`; the top
 /// `⌈r·N⌉` nodes are kept with their features gated by `sigmoid(y)` (the
 /// gate is what lets gradients reach `p`).
-pub struct GPool {
-    p: Param,
+pub struct GPool<T: Scalar = f64> {
+    p: Param<T>,
     ratio: f64,
 }
 
-impl GPool {
+impl<T: Scalar> GPool<T> {
     /// Creates a gPool layer for feature width `dim` keeping `ratio` of
     /// the nodes.
     ///
     /// # Panics
     /// Panics when `ratio ∉ (0, 1]`.
-    pub fn new(store: &mut ParamStore, name: &str, dim: usize, ratio: f64, rng: &mut Rng) -> Self {
+    pub fn new(
+        store: &mut ParamStore<T>,
+        name: &str,
+        dim: usize,
+        ratio: f64,
+        rng: &mut Rng,
+    ) -> Self {
         assert!(
             ratio > 0.0 && ratio <= 1.0,
             "ratio must be in (0,1], got {ratio}"
@@ -51,8 +65,8 @@ impl GPool {
     }
 }
 
-impl CoarsenModule for GPool {
-    fn forward(&self, tape: &mut Tape, adj: Var, h: Var, _ctx: &mut PoolCtx<'_>) -> (Var, Var) {
+impl<T: Scalar> CoarsenModule<T> for GPool<T> {
+    fn forward(&self, tape: &mut Tape<T>, adj: Var, h: Var, _ctx: &mut PoolCtx<'_>) -> (Var, Var) {
         let n = tape.shape(h).0;
         let p = tape.param(&self.p);
         // y = H p / ||p||
@@ -74,18 +88,24 @@ impl CoarsenModule for GPool {
 /// SAGPool (Lee et al.): scores come from a one-layer GCN over the graph
 /// (`y = GCN(A, H)`), so selection sees both features *and* topology;
 /// kept nodes are gated by `tanh(y)`.
-pub struct SagPool {
-    scorer: GcnLayer,
+pub struct SagPool<T: GraphScalar = f64> {
+    scorer: GcnLayer<T>,
     ratio: f64,
 }
 
-impl SagPool {
+impl<T: GraphScalar> SagPool<T> {
     /// Creates a SAGPool layer for feature width `dim` keeping `ratio` of
     /// the nodes.
     ///
     /// # Panics
     /// Panics when `ratio ∉ (0, 1]`.
-    pub fn new(store: &mut ParamStore, name: &str, dim: usize, ratio: f64, rng: &mut Rng) -> Self {
+    pub fn new(
+        store: &mut ParamStore<T>,
+        name: &str,
+        dim: usize,
+        ratio: f64,
+        rng: &mut Rng,
+    ) -> Self {
         assert!(
             ratio > 0.0 && ratio <= 1.0,
             "ratio must be in (0,1], got {ratio}"
@@ -104,8 +124,8 @@ impl SagPool {
     }
 }
 
-impl CoarsenModule for SagPool {
-    fn forward(&self, tape: &mut Tape, adj: Var, h: Var, _ctx: &mut PoolCtx<'_>) -> (Var, Var) {
+impl<T: GraphScalar> CoarsenModule<T> for SagPool<T> {
+    fn forward(&self, tape: &mut Tape<T>, adj: Var, h: Var, _ctx: &mut PoolCtx<'_>) -> (Var, Var) {
         let n = tape.shape(h).0;
         let y = self.scorer.forward(tape, AdjacencyRef::Dynamic(adj), h); // N×1
         let gate = tape.tanh(y);
@@ -149,7 +169,7 @@ mod tests {
     #[test]
     fn gpool_halves_the_graph() {
         let mut rng = Rng::from_seed(1);
-        let mut store = ParamStore::new();
+        let mut store = ParamStore::<f64>::new();
         let m = GPool::new(&mut store, "gp", 4, 0.5, &mut rng);
         let (sa, sh) = run_coarsen(&m, 8, 4, 2);
         assert_eq!(sa, (4, 4));
@@ -159,7 +179,7 @@ mod tests {
     #[test]
     fn sagpool_keeps_requested_ratio() {
         let mut rng = Rng::from_seed(3);
-        let mut store = ParamStore::new();
+        let mut store = ParamStore::<f64>::new();
         let m = SagPool::new(&mut store, "sag", 4, 0.25, &mut rng);
         let (sa, sh) = run_coarsen(&m, 8, 4, 4);
         assert_eq!(sa, (2, 2));
@@ -193,7 +213,7 @@ mod tests {
     #[test]
     fn gradients_flow_into_scorer_params() {
         let mut rng = Rng::from_seed(5);
-        let mut store = ParamStore::new();
+        let mut store = ParamStore::<f64>::new();
         let m = GPool::new(&mut store, "gp", 3, 0.5, &mut rng);
         let g = generators::erdos_renyi_connected(6, 0.5, &mut rng);
         let mut t = Tape::new();

@@ -17,7 +17,7 @@
 
 use crate::json::{num, num_array};
 use crate::service::{clamp_labels, Classification, ModelService, ServiceConfig, Similarity};
-use hap_graph::Graph;
+use hap_graph::{Graph, GraphScalar};
 use hap_snapshot::{ModelSnapshot, SnapshotError};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, Sender, SyncSender};
@@ -85,12 +85,14 @@ impl Batcher {
     /// Validates the snapshot, then spawns the model thread. The
     /// classifier is *built inside* the thread (its parameters are
     /// `Rc`-backed and cannot cross), so the snapshot is verified once
-    /// here to fail fast on mismatched architectures.
+    /// here to fail fast on mismatched architectures. The model thread —
+    /// and only it — is generic over the snapshot's element type; the
+    /// handle, channels and HTTP layer are dtype-erased.
     ///
     /// # Errors
     /// [`SnapshotError`] when the snapshot cannot rebuild a classifier.
-    pub fn spawn(
-        snapshot: ModelSnapshot,
+    pub fn spawn<T: GraphScalar>(
+        snapshot: ModelSnapshot<T>,
         svc_cfg: ServiceConfig,
         window: Duration,
         max_batch: usize,
@@ -151,9 +153,9 @@ impl Drop for Batcher {
     }
 }
 
-fn run_loop(
+fn run_loop<T: GraphScalar>(
     rx: &Receiver<Submission>,
-    svc: &mut ModelService,
+    svc: &mut ModelService<T>,
     window: Duration,
     max_batch: usize,
     stats: &CacheStats,
@@ -221,7 +223,7 @@ fn run_loop(
     }
 }
 
-fn handle_job(svc: &mut ModelService, job: Job) -> Result<String, String> {
+fn handle_job<T: GraphScalar>(svc: &mut ModelService<T>, job: Job) -> Result<String, String> {
     match job {
         Job::Classify(mut g) => {
             clamp_labels(&mut g, svc.in_dim());
@@ -254,7 +256,7 @@ mod tests {
 
     fn tiny_snapshot() -> ModelSnapshot {
         let mut rng = Rng::from_seed(3);
-        let mut store = ParamStore::new();
+        let mut store = ParamStore::<f64>::new();
         let cfg = HapConfig::new(4, 4).with_clusters(&[2]);
         let model = HapModel::new(&mut store, &cfg, &mut rng);
         let _clf = HapClassifier::new(&mut store, model, 2, &mut rng);
@@ -306,6 +308,31 @@ mod tests {
             .unwrap()
             .unwrap();
         assert!(ok.starts_with("{\"label\":"));
+        drop(client);
+        b.shutdown();
+    }
+
+    #[test]
+    fn f32_snapshot_serves_through_the_model_thread() {
+        let mut rng = Rng::from_seed(3);
+        let mut store = ParamStore::<f32>::new();
+        let cfg = HapConfig::new(4, 4).with_clusters(&[2]);
+        let model = HapModel::new(&mut store, &cfg, &mut rng);
+        let _clf = HapClassifier::new(&mut store, model, 2, &mut rng);
+        let snap = ModelSnapshot::capture(&cfg, 2, &store);
+        let b = Batcher::spawn(
+            snap,
+            ServiceConfig::default(),
+            Duration::from_micros(200),
+            8,
+        )
+        .expect("spawn");
+        let client = b.client();
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let body = client.submit(Job::Classify(g.clone())).unwrap().unwrap();
+        assert!(body.starts_with("{\"label\":"), "{body}");
+        let again = client.submit(Job::Classify(g)).unwrap().unwrap();
+        assert_eq!(body, again, "f32 replies must be deterministic");
         drop(client);
         b.shutdown();
     }

@@ -3,19 +3,24 @@
 //! ```text
 //! hap-serve --snapshot results/model.snap [--addr 127.0.0.1:8080]
 //!           [--workers N] [--window-us 1000] [--cache-cap 1024]
+//!           [--dtype f32|f64]
 //! ```
+//!
+//! The model thread runs at the snapshot's recorded element type;
+//! `--dtype` *pins* it — a snapshot of any other dtype is refused at
+//! startup instead of being served at the wrong precision.
 //!
 //! Routes: `GET /healthz`, `GET /metrics`, `POST /classify`,
 //! `POST /similarity`. See ARCHITECTURE.md § Serving for the wire schema.
 
-use hap_serve::{serve, ServeConfig};
-use hap_snapshot::ModelSnapshot;
+use hap_serve::{serve_snapshot_file, ServeConfig};
+use hap_tensor::Dtype;
 use std::time::Duration;
 
 fn usage() -> ! {
     eprintln!(
         "usage: hap-serve --snapshot <path> [--addr HOST:PORT] [--workers N] \
-         [--window-us MICROS] [--cache-cap N]"
+         [--window-us MICROS] [--cache-cap N] [--dtype f32|f64]"
     );
     std::process::exit(2);
 }
@@ -32,6 +37,7 @@ fn parse<T: std::str::FromStr>(flag: &str, v: Option<String>) -> T {
 
 fn main() {
     let mut snapshot_path: Option<String> = None;
+    let mut dtype: Option<Dtype> = None;
     let mut config = ServeConfig {
         addr: "127.0.0.1:8080".to_string(),
         ..ServeConfig::default()
@@ -46,6 +52,15 @@ fn main() {
                 config.window = Duration::from_micros(parse(&arg, args.next()));
             }
             "--cache-cap" => config.service.cache_capacity = parse(&arg, args.next()),
+            "--dtype" => {
+                dtype = match args.next().as_deref().and_then(Dtype::parse) {
+                    Some(d) => Some(d),
+                    None => {
+                        eprintln!("invalid value for --dtype (expected f32 or f64)");
+                        usage();
+                    }
+                }
+            }
             _ => usage(),
         }
     }
@@ -54,24 +69,10 @@ fn main() {
     };
 
     hap_obs::set_level(hap_obs::Level::Metrics);
-    let snapshot = match ModelSnapshot::load(std::path::Path::new(&snapshot_path)) {
-        Ok(s) => s,
-        Err(e) => {
-            eprintln!("hap-serve: cannot load {snapshot_path}: {e}");
-            std::process::exit(1);
-        }
-    };
-    eprintln!(
-        "hap-serve: loaded snapshot ({} params, in_dim={}, hidden={}, {} classes)",
-        snapshot.params.len(),
-        snapshot.config.in_dim,
-        snapshot.config.hidden,
-        snapshot.classes
-    );
-    let handle = match serve(snapshot, config) {
+    let handle = match serve_snapshot_file(std::path::Path::new(&snapshot_path), config, dtype) {
         Ok(h) => h,
         Err(e) => {
-            eprintln!("hap-serve: failed to start: {e}");
+            eprintln!("hap-serve: failed to start from {snapshot_path}: {e}");
             std::process::exit(1);
         }
     };

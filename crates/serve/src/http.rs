@@ -1,11 +1,14 @@
 //! A hand-written HTTP/1.1 request parser and response writer.
 //!
-//! Just enough of RFC 9112 for a loopback inference service: one request
-//! per connection (`Connection: close` on every response), request line +
-//! headers capped at 8 KiB, body length taken from `Content-Length` and
-//! capped by the server's `max_body`. Anything malformed maps to a typed
-//! [`HttpError`] carrying the status code to answer with — parsing
-//! untrusted bytes must never panic or kill a worker.
+//! Just enough of RFC 9112 for a loopback inference service: request
+//! line + headers capped at 8 KiB, body length taken from
+//! `Content-Length` and capped by the server's `max_body`. Connections
+//! close after one exchange unless the client sends an explicit
+//! `Connection: keep-alive` — the conservative inversion of the HTTP/1.1
+//! default, kept so clients that read to EOF (the original loadgen mode)
+//! never hang waiting for a close that isn't coming. Anything malformed
+//! maps to a typed [`HttpError`] carrying the status code to answer with
+//! — parsing untrusted bytes must never panic or kill a worker.
 
 use std::io::{Read, Write};
 
@@ -32,6 +35,9 @@ pub struct Request {
     pub path: String,
     /// Body bytes (`Content-Length` many).
     pub body: Vec<u8>,
+    /// Whether the client sent an explicit `Connection: keep-alive` and
+    /// may reuse the connection for further requests.
+    pub keep_alive: bool,
 }
 
 /// Why a request could not be read; each variant maps to one status code.
@@ -111,6 +117,7 @@ pub fn read_request(stream: &mut impl Read, max_body: usize) -> Result<Request, 
     };
 
     let mut content_length = 0usize;
+    let mut keep_alive = false;
     for line in lines {
         if line.is_empty() {
             continue;
@@ -118,11 +125,14 @@ pub fn read_request(stream: &mut impl Read, max_body: usize) -> Result<Request, 
         let Some((name, value)) = line.split_once(':') else {
             return Err(HttpError::BadRequest(format!("malformed header {line:?}")));
         };
-        if name.trim().eq_ignore_ascii_case("content-length") {
+        let name = name.trim();
+        if name.eq_ignore_ascii_case("content-length") {
             content_length = value
                 .trim()
                 .parse::<usize>()
                 .map_err(|_| HttpError::BadRequest(format!("bad Content-Length {value:?}")))?;
+        } else if name.eq_ignore_ascii_case("connection") {
+            keep_alive = value.trim().eq_ignore_ascii_case("keep-alive");
         }
     }
     if content_length > max_body {
@@ -137,19 +147,24 @@ pub fn read_request(stream: &mut impl Read, max_body: usize) -> Result<Request, 
         method,
         path: path.to_string(),
         body,
+        keep_alive,
     })
 }
 
-/// Writes a complete JSON response and flushes. I/O errors are returned
-/// for logging but the caller just drops the connection either way.
+/// Writes a complete JSON response and flushes. `keep_alive` selects the
+/// advertised `Connection` disposition; the caller must actually honour
+/// it (keep reading or drop the stream). I/O errors are returned for
+/// logging but a failed write just ends the connection either way.
 pub fn write_response(
     stream: &mut impl Write,
     status: u16,
     reason: &str,
     body: &str,
+    keep_alive: bool,
 ) -> std::io::Result<()> {
+    let conn = if keep_alive { "keep-alive" } else { "close" };
     let head = format!(
-        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {conn}\r\n\r\n",
         body.len()
     );
     stream.write_all(head.as_bytes())?;
@@ -230,10 +245,31 @@ mod tests {
     #[test]
     fn response_writer_emits_valid_http() {
         let mut out = Vec::new();
-        write_response(&mut out, 200, "OK", "{\"ok\":true}").unwrap();
+        write_response(&mut out, 200, "OK", "{\"ok\":true}", false).unwrap();
         let s = String::from_utf8(out).unwrap();
         assert!(s.starts_with("HTTP/1.1 200 OK\r\n"));
         assert!(s.contains("Content-Length: 11\r\n"));
+        assert!(s.contains("Connection: close\r\n"));
         assert!(s.ends_with("\r\n\r\n{\"ok\":true}"));
+    }
+
+    #[test]
+    fn response_writer_advertises_keep_alive() {
+        let mut out = Vec::new();
+        write_response(&mut out, 200, "OK", "{}", true).unwrap();
+        let s = String::from_utf8(out).unwrap();
+        assert!(s.contains("Connection: keep-alive\r\n"));
+    }
+
+    #[test]
+    fn keep_alive_requires_an_explicit_header() {
+        // HTTP/1.1 defaults to persistent connections, but this server
+        // only holds one open when asked — EOF-reading clients rely on it.
+        let r = parse("GET /healthz HTTP/1.1\r\n\r\n").unwrap();
+        assert!(!r.keep_alive);
+        let r = parse("GET /healthz HTTP/1.1\r\nConnection: Keep-Alive\r\n\r\n").unwrap();
+        assert!(r.keep_alive);
+        let r = parse("GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n").unwrap();
+        assert!(!r.keep_alive);
     }
 }

@@ -15,7 +15,9 @@
 //!   cache, and the `classify`/`similarity` operations;
 //! * [`batch`] — the micro-batching bridge between the multi-threaded
 //!   HTTP layer and the single model thread (`HapClassifier` parameters
-//!   are `Rc`-shared and cannot cross threads);
+//!   are `Rc`-shared and cannot cross threads); the model thread is the
+//!   only dtype-generic piece — it runs at the snapshot's recorded
+//!   element type (`f64` or `f32`), everything above it is dtype-erased;
 //! * [`server`] — accept loop, worker pool, routing, `/healthz`,
 //!   `/metrics`, and clean shutdown.
 //!
@@ -37,5 +39,5 @@ pub mod service;
 pub use batch::{Batcher, BatcherClient, Job};
 pub use cache::LruCache;
 pub use json::Json;
-pub use server::{serve, ServeConfig, ServeError, ServerHandle};
+pub use server::{serve, serve_snapshot_file, ServeConfig, ServeError, ServerHandle};
 pub use service::{graph_from_json, ModelService, ServiceConfig};

@@ -12,7 +12,9 @@ use crate::batch::{Batcher, BatcherClient, CacheStats, Job};
 use crate::http::{read_request, write_response, HttpError, Method, Request};
 use crate::json::{num, Json};
 use crate::service::{graph_from_json, ServiceConfig};
-use hap_snapshot::{ModelSnapshot, SnapshotError};
+use hap_graph::GraphScalar;
+use hap_snapshot::{peek_dtype, ModelSnapshot, SnapshotError};
+use hap_tensor::Dtype;
 use std::collections::VecDeque;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -141,7 +143,10 @@ impl Drop for ServerHandle {
 /// # Errors
 /// [`ServeError::Snapshot`] for an unusable snapshot,
 /// [`ServeError::Io`] when the bind fails.
-pub fn serve(snapshot: ModelSnapshot, config: ServeConfig) -> Result<ServerHandle, ServeError> {
+pub fn serve<T: GraphScalar>(
+    snapshot: ModelSnapshot<T>,
+    config: ServeConfig,
+) -> Result<ServerHandle, ServeError> {
     let listener = TcpListener::bind(&config.addr)?;
     let addr = listener.local_addr()?;
     let batcher = Batcher::spawn(
@@ -203,6 +208,44 @@ pub fn serve(snapshot: ModelSnapshot, config: ServeConfig) -> Result<ServerHandl
     })
 }
 
+/// Loads a snapshot file and serves it at the element type the file
+/// records — the runtime dtype-dispatch entry used by the `hap-serve`
+/// binary. `require` pins the dtype: when set, a snapshot of any other
+/// element type is rejected with the typed
+/// [`SnapshotError::DtypeMismatch`] instead of being served (or silently
+/// converted) at the wrong precision.
+///
+/// # Errors
+/// [`ServeError::Io`] on read failure, [`ServeError::Snapshot`] for an
+/// unusable or wrong-dtype snapshot, [`ServeError::Io`] when the bind
+/// fails.
+pub fn serve_snapshot_file(
+    path: &std::path::Path,
+    config: ServeConfig,
+    require: Option<Dtype>,
+) -> Result<ServerHandle, ServeError> {
+    let bytes = std::fs::read(path)?;
+    let found = peek_dtype(&bytes).map_err(ServeError::Snapshot)?;
+    if let Some(requested) = require {
+        if requested != found {
+            return Err(ServeError::Snapshot(SnapshotError::DtypeMismatch {
+                found,
+                requested,
+            }));
+        }
+    }
+    match found {
+        Dtype::F64 => serve(
+            ModelSnapshot::<f64>::from_bytes(&bytes).map_err(ServeError::Snapshot)?,
+            config,
+        ),
+        Dtype::F32 => serve(
+            ModelSnapshot::<f32>::from_bytes(&bytes).map_err(ServeError::Snapshot)?,
+            config,
+        ),
+    }
+}
+
 fn worker_loop(shared: &Shared, client: &BatcherClient, stats: &CacheStats, max_body: usize) {
     loop {
         let stream = {
@@ -231,46 +274,60 @@ fn worker_loop(shared: &Shared, client: &BatcherClient, stats: &CacheStats, max_
                 500,
                 "Internal Server Error",
                 "{\"error\":\"internal error\"}",
+                false,
             );
         }
     }
 }
 
+/// Serves one connection: one request/response exchange per loop turn,
+/// looping only while the client asked for `Connection: keep-alive` and
+/// the exchange succeeded. Error responses (400/413) always close — the
+/// request framing may be unreliable at that point. Note a kept-alive
+/// connection occupies its worker until the client closes or the 10 s
+/// read timeout fires, so persistent clients should stay at or below the
+/// worker count.
 fn handle_connection(
     stream: &mut TcpStream,
     client: &BatcherClient,
     stats: &CacheStats,
     max_body: usize,
 ) {
-    let start = Instant::now();
     let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
     let _ = stream.set_nodelay(true); // small JSON bodies; don't wait on Nagle
-    let request = match read_request(stream, max_body) {
-        Ok(r) => r,
-        Err(HttpError::BadRequest(msg)) => {
-            hap_obs::inc("serve.http.400");
-            let body = format!("{{\"error\":\"{}\"}}", crate::json::escape(&msg));
-            let _ = write_response(stream, 400, "Bad Request", &body);
+    loop {
+        let start = Instant::now();
+        let request = match read_request(stream, max_body) {
+            Ok(r) => r,
+            Err(HttpError::BadRequest(msg)) => {
+                hap_obs::inc("serve.http.400");
+                let body = format!("{{\"error\":\"{}\"}}", crate::json::escape(&msg));
+                let _ = write_response(stream, 400, "Bad Request", &body, false);
+                return;
+            }
+            Err(HttpError::PayloadTooLarge(n)) => {
+                hap_obs::inc("serve.http.413");
+                let body = format!("{{\"error\":\"body of {n} bytes exceeds the limit\"}}");
+                let _ = write_response(stream, 413, "Payload Too Large", &body, false);
+                return;
+            }
+            Err(HttpError::Io(_)) => return, // client went away; nothing to answer
+        };
+        let keep_alive = request.keep_alive;
+        let (status, reason, body) = route(&request, client, stats);
+        hap_obs::inc(match status {
+            200 => "serve.http.200",
+            400 => "serve.http.400",
+            404 => "serve.http.404",
+            405 => "serve.http.405",
+            _ => "serve.http.other",
+        });
+        let ok = write_response(stream, status, reason, &body, keep_alive).is_ok();
+        hap_obs::record("serve.latency_ns", start.elapsed().as_nanos() as f64);
+        if !keep_alive || !ok {
             return;
         }
-        Err(HttpError::PayloadTooLarge(n)) => {
-            hap_obs::inc("serve.http.413");
-            let body = format!("{{\"error\":\"body of {n} bytes exceeds the limit\"}}");
-            let _ = write_response(stream, 413, "Payload Too Large", &body);
-            return;
-        }
-        Err(HttpError::Io(_)) => return, // client went away; nothing to answer
-    };
-    let (status, reason, body) = route(&request, client, stats);
-    hap_obs::inc(match status {
-        200 => "serve.http.200",
-        400 => "serve.http.400",
-        404 => "serve.http.404",
-        405 => "serve.http.405",
-        _ => "serve.http.other",
-    });
-    let _ = write_response(stream, status, reason, &body);
-    hap_obs::record("serve.latency_ns", start.elapsed().as_nanos() as f64);
+    }
 }
 
 /// Routes one parsed request; returns `(status, reason, body)`.

@@ -18,7 +18,7 @@
 use crate::cache::LruCache;
 use crate::json::Json;
 use hap_core::{HapClassifier, HapError};
-use hap_graph::{degree_one_hot, label_one_hot, wl_cache_key, Graph};
+use hap_graph::{degree_one_hot, label_one_hot, wl_cache_key, Graph, GraphScalar};
 use hap_pooling::PoolCtx;
 use hap_rand::Rng;
 use hap_tensor::Tensor;
@@ -70,23 +70,25 @@ pub struct Similarity {
     pub mean: f64,
 }
 
-/// A loaded classifier plus its embedding cache. Single-threaded by
+/// A loaded classifier plus its embedding cache, generic over the
+/// classifier's element type (default `f64`; `hap-serve` picks the
+/// concrete type from the snapshot's recorded dtype). Single-threaded by
 /// construction (`HapClassifier` holds `Rc` parameters); the batcher
 /// thread owns the only instance.
-pub struct ModelService {
-    clf: HapClassifier,
+pub struct ModelService<T: GraphScalar = f64> {
+    clf: HapClassifier<T>,
     in_dim: usize,
     levels: usize,
     hidden: usize,
     cfg: ServiceConfig,
-    cache: LruCache<Tensor>,
+    cache: LruCache<Tensor<T>>,
 }
 
-impl ModelService {
+impl<T: GraphScalar> ModelService<T> {
     /// Wraps a rebuilt classifier. `in_dim`/`hidden`/`levels` come from
     /// the snapshot's `HapConfig`.
     pub fn new(
-        clf: HapClassifier,
+        clf: HapClassifier<T>,
         in_dim: usize,
         hidden: usize,
         levels: usize,
@@ -123,18 +125,14 @@ impl ModelService {
     ///
     /// # Errors
     /// [`HapError`] from the forward pass (empty graph, feature shape).
-    pub fn embedding(&mut self, g: &Graph) -> Result<Tensor, HapError> {
+    pub fn embedding(&mut self, g: &Graph) -> Result<Tensor<T>, HapError> {
         let key = wl_cache_key(g, self.cfg.wl_iterations);
         if let Some(e) = self.cache.get(key) {
             hap_obs::inc("serve.cache.hit");
             return Ok(e.clone());
         }
         hap_obs::inc("serve.cache.miss");
-        let features = if g.node_labels().is_some() {
-            label_one_hot(g, self.in_dim)
-        } else {
-            degree_one_hot(g, self.in_dim)
-        };
+        let features = wire_features::<T>(g, self.in_dim);
         // Eval passes draw nothing from the RNG; a fresh fixed-seed RNG
         // keeps the signature satisfied without threading server state.
         let mut rng = Rng::from_seed(0);
@@ -155,12 +153,12 @@ impl ModelService {
     /// ARCHITECTURE.md "Sparse & batched execution". Duplicate keys inside
     /// one batch each count as a miss (the cache is consulted before any
     /// compute) but share a single computation.
-    pub fn embedding_batch(&mut self, graphs: &[Graph]) -> Vec<Result<Tensor, HapError>> {
-        let mut out: Vec<Option<Result<Tensor, HapError>>> = vec![None; graphs.len()];
+    pub fn embedding_batch(&mut self, graphs: &[Graph]) -> Vec<Result<Tensor<T>, HapError>> {
+        let mut out: Vec<Option<Result<Tensor<T>, HapError>>> = vec![None; graphs.len()];
         // Unique cache misses, in first-appearance order.
         let mut miss_keys: Vec<u64> = Vec::new();
         let mut miss_jobs: Vec<usize> = Vec::new(); // first job index per key
-        let mut miss_features: Vec<Tensor> = Vec::new();
+        let mut miss_features: Vec<Tensor<T>> = Vec::new();
         // For every missing job, the slot in `miss_*` that serves it.
         let mut job_slot: Vec<(usize, usize)> = Vec::new();
         for (i, g) in graphs.iter().enumerate() {
@@ -182,18 +180,14 @@ impl ModelService {
                 None => {
                     miss_keys.push(key);
                     miss_jobs.push(i);
-                    miss_features.push(if g.node_labels().is_some() {
-                        label_one_hot(g, self.in_dim)
-                    } else {
-                        degree_one_hot(g, self.in_dim)
-                    });
+                    miss_features.push(wire_features::<T>(g, self.in_dim));
                     miss_keys.len() - 1
                 }
             };
             job_slot.push((i, slot));
         }
         if !miss_keys.is_empty() {
-            let items: Vec<(&Graph, &Tensor)> = miss_jobs
+            let items: Vec<(&Graph, &Tensor<T>)> = miss_jobs
                 .iter()
                 .zip(&miss_features)
                 .map(|(&j, f)| (&graphs[j], f))
@@ -249,12 +243,12 @@ impl ModelService {
             .collect()
     }
 
-    fn classification_from(&self, e: &Tensor) -> Classification {
+    fn classification_from(&self, e: &Tensor<T>) -> Classification {
         let logits = self.clf.logits_from_embedding(e);
         let label = self.clf.predict_from_embedding(e);
         Classification {
             label,
-            logits: logits.as_slice().to_vec(),
+            logits: logits.as_slice().iter().map(|v| (*v).to_f64()).collect(),
         }
     }
 
@@ -272,11 +266,14 @@ impl ModelService {
         for l in 0..self.levels {
             let lo = l * self.hidden;
             let hi = lo + self.hidden;
+            // Accumulate in the model's own dtype (the same order and
+            // precision its forward pass used), widen only at the end.
             let d2: f64 = sa[lo..hi]
                 .iter()
                 .zip(&sb[lo..hi])
-                .map(|(x, y)| (x - y) * (x - y))
-                .sum();
+                .map(|(&x, &y)| (x - y) * (x - y))
+                .sum::<T>()
+                .to_f64();
             per_level.push((-self.cfg.similarity_scale * d2.sqrt()).exp());
         }
         let mean = per_level.iter().sum::<f64>() / per_level.len() as f64;
@@ -287,6 +284,19 @@ impl ModelService {
     pub fn classes(&self) -> usize {
         self.clf.classes()
     }
+}
+
+/// Wire-input node features in the model's element type: label one-hots
+/// when the graph is labelled, degree one-hots otherwise, both built in
+/// `f64` (the canonical feature path) and narrowed entrywise — one-hot
+/// entries are 0/1, so the cast is exact for every dtype.
+fn wire_features<T: GraphScalar>(g: &Graph, dim: usize) -> Tensor<T> {
+    let f = if g.node_labels().is_some() {
+        label_one_hot(g, dim)
+    } else {
+        degree_one_hot(g, dim)
+    };
+    f.cast()
 }
 
 /// Decodes the wire graph schema:
@@ -384,7 +394,7 @@ mod tests {
 
     fn tiny_service() -> ModelService {
         let mut rng = Rng::from_seed(3);
-        let mut store = ParamStore::new();
+        let mut store = ParamStore::<f64>::new();
         let cfg = HapConfig::new(4, 4).with_clusters(&[2]);
         let model = HapModel::new(&mut store, &cfg, &mut rng);
         let clf = HapClassifier::new(&mut store, model, 2, &mut rng);
@@ -522,6 +532,25 @@ mod tests {
         let mut svc = tiny_service();
         assert!(svc.classify_batch(&[]).is_empty());
         assert_eq!(svc.cache_misses(), 0);
+    }
+
+    #[test]
+    fn f32_service_classifies_and_caches() {
+        let mut rng = Rng::from_seed(3);
+        let mut store = ParamStore::<f32>::new();
+        let cfg = HapConfig::new(4, 4).with_clusters(&[2]);
+        let model = HapModel::new(&mut store, &cfg, &mut rng);
+        let clf = HapClassifier::new(&mut store, model, 2, &mut rng);
+        let mut svc = ModelService::new(clf, 4, 4, 1, ServiceConfig::default());
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let a = svc.classify(&g).unwrap();
+        assert_eq!(a.logits.len(), 2);
+        assert!(a.logits.iter().all(|l| l.is_finite()));
+        let b = svc.classify(&g).unwrap();
+        assert_eq!(svc.cache_hits(), 1);
+        assert_eq!(a.logits, b.logits, "cached f32 path must be bit-identical");
+        let s = svc.similarity(&g, &g).unwrap();
+        assert!((s.mean - 1.0).abs() < 1e-6, "f32 self-similarity ~ 1");
     }
 
     #[test]

@@ -5,8 +5,40 @@
 //! operator impls) panic with the same diagnostic. The panicking forms are
 //! what the autograd layer uses internally — by the time a tape executes,
 //! shapes have already been validated at graph-construction time.
+//!
+//! # The GEMM microkernel
+//!
+//! All three matrix products (`matmul`, `matmul_nt`, `matmul_tn`) share one
+//! packed, register-blocked kernel:
+//!
+//! * The right operand is packed once into **column panels** of width `NR`
+//!   (8 for `f64`, 16 for `f32` — one or two cache lines): panel `j₀` holds
+//!   rows `p = 0..k` of columns `j₀..j₀+NR` contiguously, so the inner loop
+//!   streams a dense panel instead of striding across the full matrix.
+//!   `matmul_nt` packs its panels straight out of the untransposed right
+//!   operand's rows, eliminating the materialised transpose the old kernel
+//!   needed; `matmul_tn` reuses the plain packing and swaps the *left*
+//!   accessor instead. Packing is pure data movement — no arithmetic — so
+//!   it cannot perturb results.
+//! * Each `MR × NR` output tile is accumulated in a register block
+//!   (`[[T; NR]; MR]` local array the autovectoriser keeps in SIMD
+//!   registers), initialised to zero and stored exactly once. Compared with
+//!   the previous ikj kernel, which re-read and re-wrote the full output
+//!   row from memory for every `p`, output traffic drops by a factor of the
+//!   depth `k`.
+//!
+//! **Bitwise contract** (what the committed determinism goldens pin): for
+//! every output element, contributions are accumulated in ascending `p`
+//! with exact zeros of the left operand skipped (`a[i][p] == 0.0 →` no
+//! add), starting from `0.0`, with no FMA contraction. That is precisely
+//! the arithmetic sequence of the old kernel — register accumulation and
+//! panel packing only change *where* values live, not which additions
+//! happen in which order — so `f64` results are byte-identical to the
+//! pre-microkernel goldens, and the CSR SpMM walk (which visits the same
+//! non-zeros in the same ascending order) stays byte-identical to the
+//! dense product.
 
-use crate::{ShapeError, Tensor};
+use crate::{Dtype, Scalar, ShapeError, Tensor};
 use std::ops::{Add, Mul, Neg, Sub};
 
 /// Multiply–add count above which `matmul` switches to the row-blocked
@@ -20,65 +52,225 @@ pub(crate) const PAR_MATMUL_FLOPS: usize = 100_000;
 /// matrix (40 000 elements) crosses it; `n = 100` (10 000) does not.
 const PAR_ELEMWISE_LEN: usize = 32_768;
 
-/// The matmul row kernel, shared verbatim by the sequential and parallel
-/// paths: fills the output rows in `out` (a block of whole rows starting at
-/// global row `row0`) from `a` (`? × k`) and `b` (`k × m`).
+/// Register-tile height: rows of the output accumulated simultaneously.
+const MR: usize = 4;
+
+/// Register-tile / packing-panel width for `T`: 8 `f64`s or 16 `f32`s —
+/// 64 bytes either way, so a panel row is exactly one cache line and the
+/// accumulator block is `MR` cache lines of SIMD registers.
+#[inline(always)]
+fn nr_width<T: Scalar>() -> usize {
+    match T::DTYPE {
+        Dtype::F32 => 16,
+        Dtype::F64 => 8,
+    }
+}
+
+/// Left-operand accessor: lets the one microkernel serve both the plain
+/// (`a[i·lda + p]`) and transposed (`a[p·lda + i]`) left layouts without a
+/// copy. Monomorphised away — `at` compiles to a single indexed load.
+trait Lhs<T: Scalar>: Sync {
+    fn at(&self, i: usize, p: usize) -> T;
+}
+
+/// Row-major left operand: element `(i, p)` at `a[i * lda + p]`.
+struct LhsRows<'a, T> {
+    a: &'a [T],
+    lda: usize,
+}
+
+impl<T: Scalar> Lhs<T> for LhsRows<'_, T> {
+    #[inline(always)]
+    fn at(&self, i: usize, p: usize) -> T {
+        self.a[i * self.lda + p]
+    }
+}
+
+/// Transposed left operand (for `Aᵀ · B`): element `(i, p)` of `Aᵀ` at
+/// `a[p * lda + i]` — reads a contiguous run `a[p·lda + i..i+MR]` per
+/// microkernel step, never materialising the transpose.
+struct LhsCols<'a, T> {
+    a: &'a [T],
+    lda: usize,
+}
+
+impl<T: Scalar> Lhs<T> for LhsCols<'_, T> {
+    #[inline(always)]
+    fn at(&self, i: usize, p: usize) -> T {
+        self.a[p * self.lda + i]
+    }
+}
+
+/// Packs `b` (`k × m`, row-major) into column panels of width `nr`:
+/// the panel starting at column `j₀` (width `w = min(nr, m - j₀)`) occupies
+/// `packed[k·j₀ .. k·(j₀+w)]`, row `p`'s `w` entries contiguous at offset
+/// `p·w` within the panel. Pure data movement.
+fn pack_panels<T: Scalar>(b: &[T], k: usize, m: usize, nr: usize) -> Vec<T> {
+    let mut packed = Vec::with_capacity(k * m);
+    let mut j0 = 0;
+    while j0 < m {
+        let w = nr.min(m - j0);
+        for p in 0..k {
+            packed.extend_from_slice(&b[p * m + j0..p * m + j0 + w]);
+        }
+        j0 += w;
+    }
+    packed
+}
+
+/// Packs `rhsᵀ` panels directly from `rhs` (`m × k`, row-major) — the
+/// `matmul_nt` path. Output layout is identical to
+/// `pack_panels(&rhs.transpose(), k, m, nr)` but reads each `rhs` row once,
+/// contiguously, instead of building the intermediate transpose.
+fn pack_panels_t<T: Scalar>(rhs: &[T], m: usize, k: usize, nr: usize) -> Vec<T> {
+    let mut packed = vec![T::ZERO; k * m];
+    let mut j0 = 0;
+    while j0 < m {
+        let w = nr.min(m - j0);
+        let base = k * j0;
+        for (jj, j) in (j0..j0 + w).enumerate() {
+            let row = &rhs[j * k..(j + 1) * k];
+            for (p, &v) in row.iter().enumerate() {
+                packed[base + p * w + jj] = v;
+            }
+        }
+        j0 += w;
+    }
+    packed
+}
+
+/// Full-width microkernel: accumulates the `mr × W` output tile at
+/// `(gi0, j0)` over `p = 0..depth` in a register block, then stores it.
 ///
-/// ikj loop order: the inner loop streams over contiguous rows of `b` and
-/// `out`, which the Rust Performance Book's data-locality guidance favours
-/// over the naive ijk order. Because each output row is accumulated by this
-/// one kernel in this one order, results are byte-identical whether row
-/// blocks run sequentially or on `hap-par` workers.
-fn matmul_block(a: &[f64], b: &[f64], k: usize, m: usize, row0: usize, out: &mut [f64]) {
-    for (local_i, out_row) in out.chunks_mut(m).enumerate() {
-        let i = row0 + local_i;
-        let a_row = &a[i * k..(i + 1) * k];
-        for (p, &a_ip) in a_row.iter().enumerate() {
-            if a_ip == 0.0 {
+/// The zero-skip (`av == 0 → no add`) and ascending-`p` order reproduce the
+/// old streaming kernel's per-element arithmetic sequence exactly.
+#[inline(always)]
+fn micro_tile<T: Scalar, L: Lhs<T>, const W: usize>(
+    lhs: &L,
+    depth: usize,
+    gi0: usize,
+    mr: usize,
+    panel: &[T],
+    out: &mut [T],
+    m: usize,
+    li0: usize,
+    j0: usize,
+) {
+    let mut acc = [[T::ZERO; W]; MR];
+    for p in 0..depth {
+        let bp: &[T; W] = panel[p * W..p * W + W]
+            .try_into()
+            .expect("panel row is exactly W wide");
+        for (r, acc_r) in acc.iter_mut().take(mr).enumerate() {
+            let av = lhs.at(gi0 + r, p);
+            if av == T::ZERO {
                 continue; // adjacency matrices are mostly zeros
             }
-            let b_row = &b[p * m..(p + 1) * m];
-            for (o, &bv) in out_row.iter_mut().zip(b_row) {
-                *o += a_ip * bv;
+            for (a, &bv) in acc_r.iter_mut().zip(bp) {
+                *a += av * bv;
             }
         }
     }
+    for (r, acc_r) in acc.iter().take(mr).enumerate() {
+        out[(li0 + r) * m + j0..(li0 + r) * m + j0 + W].copy_from_slice(acc_r);
+    }
 }
 
-/// Row kernel for `Aᵀ · B` (`a`: `n × k`, `b`: `n × m`, output `k × m`):
-/// output row `i` accumulates `a[p, i] · b[p, ·]` for ascending `p`,
-/// streaming over contiguous rows of `b` and `out` while reading one
-/// (strided) scalar of `a` per pass — the ikj structure of
-/// [`matmul_block`] without materialising `Aᵀ`.
-///
-/// Bitwise contract: identical summation order and zero-skip condition
-/// (`a[p, i] == 0.0`, i.e. the transposed left element) as the composed
-/// `a.transpose().matmul(b)` path, so results are byte-identical to it.
-fn matmul_tn_block(
-    a: &[f64],
-    b: &[f64],
-    n: usize,
-    k: usize,
+/// Remainder microkernel for the rightmost panel (`w < NR`); identical
+/// arithmetic sequence, dynamic width.
+fn micro_edge<T: Scalar, L: Lhs<T>>(
+    lhs: &L,
+    depth: usize,
+    gi0: usize,
+    mr: usize,
+    w: usize,
+    panel: &[T],
+    out: &mut [T],
     m: usize,
-    row0: usize,
-    out: &mut [f64],
+    li0: usize,
+    j0: usize,
 ) {
-    for (local_i, out_row) in out.chunks_mut(m).enumerate() {
-        let i = row0 + local_i;
-        for p in 0..n {
-            let a_pi = a[p * k + i];
-            if a_pi == 0.0 {
+    // Widest panel of either dtype is 16; the accumulator block lives on
+    // the stack regardless of the live width.
+    let mut acc = [[T::ZERO; 16]; MR];
+    for p in 0..depth {
+        let bp = &panel[p * w..p * w + w];
+        for (r, acc_r) in acc.iter_mut().take(mr).enumerate() {
+            let av = lhs.at(gi0 + r, p);
+            if av == T::ZERO {
                 continue;
             }
-            let b_row = &b[p * m..(p + 1) * m];
-            for (o, &bv) in out_row.iter_mut().zip(b_row) {
-                *o += a_pi * bv;
+            for (a, &bv) in acc_r.iter_mut().zip(bp) {
+                *a += av * bv;
             }
         }
     }
+    for (r, acc_r) in acc.iter().take(mr).enumerate() {
+        out[(li0 + r) * m + j0..(li0 + r) * m + j0 + w].copy_from_slice(&acc_r[..w]);
+    }
 }
 
-impl Tensor {
+/// The shared GEMM block driver: fills the output rows in `out` (a block
+/// of whole rows starting at global row `row0`, as carved out by the
+/// sequential or `hap-par` row-chunked path) by walking `MR`-row bands and
+/// `NR`-wide packed panels. Because each output element is accumulated by
+/// exactly one microkernel invocation in the fixed ascending-`p` order,
+/// results are byte-identical whether row blocks run sequentially or on
+/// `hap-par` workers.
+fn gemm_block<T: Scalar, L: Lhs<T>>(
+    lhs: &L,
+    depth: usize,
+    m: usize,
+    packed: &[T],
+    row0: usize,
+    out: &mut [T],
+) {
+    let nr = nr_width::<T>();
+    let rows = out.len() / m;
+    let mut i0 = 0;
+    while i0 < rows {
+        let mr = MR.min(rows - i0);
+        let mut j0 = 0;
+        while j0 < m {
+            let w = nr.min(m - j0);
+            let panel = &packed[depth * j0..depth * (j0 + w)];
+            if w == nr {
+                match nr {
+                    8 => micro_tile::<T, L, 8>(lhs, depth, row0 + i0, mr, panel, out, m, i0, j0),
+                    _ => micro_tile::<T, L, 16>(lhs, depth, row0 + i0, mr, panel, out, m, i0, j0),
+                }
+            } else {
+                micro_edge(lhs, depth, row0 + i0, mr, w, panel, out, m, i0, j0);
+            }
+            j0 += w;
+        }
+        i0 += mr;
+    }
+}
+
+/// Runs `gemm_block` over the whole output, row-chunked on the `hap-par`
+/// pool above the work threshold (each output row owned by one worker).
+fn gemm_dispatch<T: Scalar, L: Lhs<T>>(
+    lhs: &L,
+    depth: usize,
+    m: usize,
+    packed: &[T],
+    flops: usize,
+    out: &mut Tensor<T>,
+) {
+    let rows = out.rows();
+    if flops >= PAR_MATMUL_FLOPS && hap_par::threads() > 1 {
+        let chunk_len = hap_par::row_chunk_len(rows, m);
+        let rows_per_chunk = chunk_len / m;
+        hap_par::par_chunks_mut(out.as_mut_slice(), chunk_len, |ci, out_chunk| {
+            gemm_block(lhs, depth, m, packed, ci * rows_per_chunk, out_chunk);
+        });
+    } else {
+        gemm_block(lhs, depth, m, packed, 0, out.as_mut_slice());
+    }
+}
+
+impl<T: Scalar> Tensor<T> {
     // ----- matrix multiplication ----------------------------------------
 
     /// Matrix product `self · rhs`.
@@ -99,16 +291,17 @@ impl Tensor {
     ///
     /// ```
     /// use hap_tensor::Tensor;
-    /// let err = Tensor::zeros(2, 3).try_matmul(&Tensor::zeros(2, 3)).unwrap_err();
+    /// let err = Tensor::<f64>::zeros(2, 3).try_matmul(&Tensor::zeros(2, 3)).unwrap_err();
     /// let msg = err.to_string();
     /// assert!(msg.contains("matmul") && msg.contains("(2, 3)"), "got: {msg}");
     /// ```
     ///
-    /// Above a fixed work threshold the product is computed as row blocks
-    /// on the [`hap_par`] pool; each output row is owned by exactly one
-    /// worker and accumulated in the sequential kernel's order, so results
-    /// are byte-identical at every `HAP_THREADS` setting.
-    pub fn try_matmul(&self, rhs: &Tensor) -> Result<Tensor, ShapeError> {
+    /// Runs the packed register-blocked microkernel (see the module docs);
+    /// above a fixed work threshold the output is computed as row blocks
+    /// on the [`hap_par`] pool. Each output element is accumulated by one
+    /// worker in the fixed ascending-`p` order, so results are
+    /// byte-identical at every `HAP_THREADS` setting.
+    pub fn try_matmul(&self, rhs: &Tensor<T>) -> Result<Tensor<T>, ShapeError> {
         if self.cols() != rhs.rows() {
             return Err(ShapeError::binary(
                 "matmul",
@@ -123,15 +316,17 @@ impl Tensor {
             return Ok(out);
         }
         let (a, b) = (self.as_slice(), rhs.as_slice());
-        if n * k * m >= PAR_MATMUL_FLOPS && hap_par::threads() > 1 {
-            let chunk_len = hap_par::row_chunk_len(n, m);
-            let rows_per_chunk = chunk_len / m;
-            hap_par::par_chunks_mut(out.as_mut_slice(), chunk_len, |ci, out_chunk| {
-                matmul_block(a, b, k, m, ci * rows_per_chunk, out_chunk);
-            });
+        let lhs = LhsRows { a, lda: k };
+        // A single panel (m ≤ NR) is already in packed layout: row-major b
+        // with w = m contiguous entries per row. Borrow it copy-free.
+        let packed_buf;
+        let packed: &[T] = if m <= nr_width::<T>() {
+            b
         } else {
-            matmul_block(a, b, k, m, 0, out.as_mut_slice());
-        }
+            packed_buf = pack_panels(b, k, m, nr_width::<T>());
+            &packed_buf
+        };
+        gemm_dispatch(&lhs, k, m, packed, n * k * m, &mut out);
         Ok(out)
     }
 
@@ -143,25 +338,18 @@ impl Tensor {
     /// [`Tensor::try_matmul`] to handle the mismatch instead; the autograd
     /// layer calls this form because tape construction has already
     /// validated shapes.
-    pub fn matmul(&self, rhs: &Tensor) -> Tensor {
+    pub fn matmul(&self, rhs: &Tensor<T>) -> Tensor<T> {
         self.try_matmul(rhs).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Fused product against a transposed right operand: `self · rhsᵀ`.
     ///
     /// An `n × k` left operand requires an `m × k` right operand (both
-    /// column counts agree) and produces an `n × m` result. Internally
-    /// this materialises `rhsᵀ` with the cache-blocked
-    /// [`Tensor::transpose`] (an `O(m·k)` copy, negligible next to the
-    /// `O(n·k·m)` product) and runs the ikj kernel of
-    /// [`Tensor::try_matmul`]: the strict per-element summation order the
-    /// determinism contract requires makes a transpose-free dot-product
-    /// kernel a single unvectorisable dependency chain, measurably
-    /// *slower* than transpose-then-ikj, whose inner loop is contiguous
-    /// independent accumulation. The fusion is therefore at the graph
-    /// level — one op, one output buffer, no intermediate autograd node —
-    /// and the result is byte-identical to
-    /// `self.matmul(&rhs.transpose())` by construction:
+    /// column counts agree) and produces an `n × m` result. The packing
+    /// stage reads `rhs` rows directly into `rhsᵀ`'s column panels —
+    /// unlike the pre-microkernel kernel there is no materialised
+    /// transpose, but the arithmetic sequence is unchanged, so the result
+    /// is byte-identical to `self.matmul(&rhs.transpose())`:
     ///
     /// ```
     /// use hap_tensor::Tensor;
@@ -176,7 +364,7 @@ impl Tensor {
     ///
     /// ```
     /// use hap_tensor::Tensor;
-    /// let err = Tensor::zeros(2, 3).try_matmul_nt(&Tensor::zeros(3, 2)).unwrap_err();
+    /// let err = Tensor::<f64>::zeros(2, 3).try_matmul_nt(&Tensor::zeros(3, 2)).unwrap_err();
     /// assert!(err.to_string().contains("matmul_nt"));
     /// ```
     ///
@@ -184,7 +372,7 @@ impl Tensor {
     /// threshold, output row blocks run on the [`hap_par`] pool with one
     /// writer per row, so results are byte-identical at every
     /// `HAP_THREADS` setting.
-    pub fn try_matmul_nt(&self, rhs: &Tensor) -> Result<Tensor, ShapeError> {
+    pub fn try_matmul_nt(&self, rhs: &Tensor<T>) -> Result<Tensor<T>, ShapeError> {
         if self.cols() != rhs.cols() {
             return Err(ShapeError::binary(
                 "matmul_nt",
@@ -198,17 +386,10 @@ impl Tensor {
         if m == 0 {
             return Ok(out);
         }
-        let bt = rhs.transpose();
-        let (a, b) = (self.as_slice(), bt.as_slice());
-        if n * k * m >= PAR_MATMUL_FLOPS && hap_par::threads() > 1 {
-            let chunk_len = hap_par::row_chunk_len(n, m);
-            let rows_per_chunk = chunk_len / m;
-            hap_par::par_chunks_mut(out.as_mut_slice(), chunk_len, |ci, out_chunk| {
-                matmul_block(a, b, k, m, ci * rows_per_chunk, out_chunk);
-            });
-        } else {
-            matmul_block(a, b, k, m, 0, out.as_mut_slice());
-        }
+        let (a, b) = (self.as_slice(), rhs.as_slice());
+        let lhs = LhsRows { a, lda: k };
+        let packed = pack_panels_t(b, m, k, nr_width::<T>());
+        gemm_dispatch(&lhs, k, m, &packed, n * k * m, &mut out);
         Ok(out)
     }
 
@@ -217,7 +398,7 @@ impl Tensor {
     /// # Panics
     /// Panics with the [`ShapeError`] display message when the column
     /// counts disagree.
-    pub fn matmul_nt(&self, rhs: &Tensor) -> Tensor {
+    pub fn matmul_nt(&self, rhs: &Tensor<T>) -> Tensor<T> {
         self.try_matmul_nt(rhs).unwrap_or_else(|e| panic!("{e}"))
     }
 
@@ -225,10 +406,12 @@ impl Tensor {
     ///
     /// An `n × k` left operand requires an `n × m` right operand (row
     /// counts agree) and produces a `k × m` result — without ever
-    /// materialising `selfᵀ`. The kernel keeps the ikj structure of
-    /// [`Tensor::try_matmul`] (streaming over contiguous rows of `rhs` and
-    /// the output), so the result is byte-identical to
-    /// `self.transpose().matmul(rhs)`:
+    /// materialising `selfᵀ`: the microkernel swaps in the transposed
+    /// left-operand accessor (`a[p·k + i]`, a contiguous `MR`-run per
+    /// step) and reuses the plain right-operand packing. Summation order
+    /// and the zero-skip condition (`a[p, i] == 0.0`, i.e. the transposed
+    /// left element) match the composed form exactly, so the result is
+    /// byte-identical to `self.transpose().matmul(rhs)`:
     ///
     /// ```
     /// use hap_tensor::Tensor;
@@ -243,7 +426,7 @@ impl Tensor {
     ///
     /// ```
     /// use hap_tensor::Tensor;
-    /// let err = Tensor::zeros(2, 3).try_matmul_tn(&Tensor::zeros(3, 2)).unwrap_err();
+    /// let err = Tensor::<f64>::zeros(2, 3).try_matmul_tn(&Tensor::zeros(3, 2)).unwrap_err();
     /// assert!(err.to_string().contains("matmul_tn"));
     /// ```
     ///
@@ -251,7 +434,7 @@ impl Tensor {
     /// threshold, output row blocks run on the [`hap_par`] pool with one
     /// writer per row, so results are byte-identical at every
     /// `HAP_THREADS` setting.
-    pub fn try_matmul_tn(&self, rhs: &Tensor) -> Result<Tensor, ShapeError> {
+    pub fn try_matmul_tn(&self, rhs: &Tensor<T>) -> Result<Tensor<T>, ShapeError> {
         if self.rows() != rhs.rows() {
             return Err(ShapeError::binary(
                 "matmul_tn",
@@ -266,15 +449,15 @@ impl Tensor {
             return Ok(out);
         }
         let (a, b) = (self.as_slice(), rhs.as_slice());
-        if n * k * m >= PAR_MATMUL_FLOPS && hap_par::threads() > 1 {
-            let chunk_len = hap_par::row_chunk_len(k, m);
-            let rows_per_chunk = chunk_len / m;
-            hap_par::par_chunks_mut(out.as_mut_slice(), chunk_len, |ci, out_chunk| {
-                matmul_tn_block(a, b, n, k, m, ci * rows_per_chunk, out_chunk);
-            });
+        let lhs = LhsCols { a, lda: k };
+        let packed_buf;
+        let packed: &[T] = if m <= nr_width::<T>() {
+            b
         } else {
-            matmul_tn_block(a, b, n, k, m, 0, out.as_mut_slice());
-        }
+            packed_buf = pack_panels(b, n, m, nr_width::<T>());
+            &packed_buf
+        };
+        gemm_dispatch(&lhs, n, m, packed, n * k * m, &mut out);
         Ok(out)
     }
 
@@ -283,7 +466,7 @@ impl Tensor {
     /// # Panics
     /// Panics with the [`ShapeError`] display message when the row counts
     /// disagree.
-    pub fn matmul_tn(&self, rhs: &Tensor) -> Tensor {
+    pub fn matmul_tn(&self, rhs: &Tensor<T>) -> Tensor<T> {
         self.try_matmul_tn(rhs).unwrap_or_else(|e| panic!("{e}"))
     }
 
@@ -293,7 +476,7 @@ impl Tensor {
     /// strided writes stay within a cache-line-sized working set; for the
     /// matrices in this workspace (up to a few hundred rows) this roughly
     /// halves the cost of the naive row-major sweep.
-    pub fn transpose(&self) -> Tensor {
+    pub fn transpose(&self) -> Tensor<T> {
         const BLOCK: usize = 32;
         let (r, c) = (self.rows(), self.cols());
         let mut out = Tensor::zeros(c, r);
@@ -317,10 +500,10 @@ impl Tensor {
 
     fn zip_with(
         &self,
-        rhs: &Tensor,
+        rhs: &Tensor<T>,
         op_name: &'static str,
-        f: impl Fn(f64, f64) -> f64 + Sync,
-    ) -> Result<Tensor, ShapeError> {
+        f: impl Fn(T, T) -> T + Sync,
+    ) -> Result<Tensor<T>, ShapeError> {
         if self.shape() != rhs.shape() {
             return Err(ShapeError::binary(
                 op_name,
@@ -346,7 +529,7 @@ impl Tensor {
     }
 
     /// Elementwise sum.
-    pub fn try_add(&self, rhs: &Tensor) -> Result<Tensor, ShapeError> {
+    pub fn try_add(&self, rhs: &Tensor<T>) -> Result<Tensor<T>, ShapeError> {
         self.zip_with(rhs, "add", |a, b| a + b)
     }
 
@@ -367,7 +550,7 @@ impl Tensor {
     ///
     /// # Errors
     /// Returns a [`ShapeError`] carrying both shapes when they differ.
-    pub fn try_add_in_place(&mut self, rhs: &Tensor) -> Result<(), ShapeError> {
+    pub fn try_add_in_place(&mut self, rhs: &Tensor<T>) -> Result<(), ShapeError> {
         if self.shape() != rhs.shape() {
             return Err(ShapeError::binary(
                 "add_in_place",
@@ -398,27 +581,27 @@ impl Tensor {
     /// # Panics
     /// Panics with the [`ShapeError`] display message when the shapes
     /// differ.
-    pub fn add_in_place(&mut self, rhs: &Tensor) {
+    pub fn add_in_place(&mut self, rhs: &Tensor<T>) {
         self.try_add_in_place(rhs).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Elementwise difference.
-    pub fn try_sub(&self, rhs: &Tensor) -> Result<Tensor, ShapeError> {
+    pub fn try_sub(&self, rhs: &Tensor<T>) -> Result<Tensor<T>, ShapeError> {
         self.zip_with(rhs, "sub", |a, b| a - b)
     }
 
     /// Elementwise (Hadamard) product.
-    pub fn try_hadamard(&self, rhs: &Tensor) -> Result<Tensor, ShapeError> {
+    pub fn try_hadamard(&self, rhs: &Tensor<T>) -> Result<Tensor<T>, ShapeError> {
         self.zip_with(rhs, "hadamard", |a, b| a * b)
     }
 
     /// Panicking variant of [`Tensor::try_hadamard`].
-    pub fn hadamard(&self, rhs: &Tensor) -> Tensor {
+    pub fn hadamard(&self, rhs: &Tensor<T>) -> Tensor<T> {
         self.try_hadamard(rhs).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Elementwise division.
-    pub fn try_div(&self, rhs: &Tensor) -> Result<Tensor, ShapeError> {
+    pub fn try_div(&self, rhs: &Tensor<T>) -> Result<Tensor<T>, ShapeError> {
         self.zip_with(rhs, "div", |a, b| a / b)
     }
 
@@ -430,7 +613,7 @@ impl Tensor {
     /// in disjoint chunks on the [`hap_par`] pool (each output element is
     /// written by exactly one worker, so results are byte-identical at
     /// every thread count).
-    pub fn map(&self, f: impl Fn(f64) -> f64 + Sync) -> Tensor {
+    pub fn map(&self, f: impl Fn(T) -> T + Sync) -> Tensor<T> {
         let src = self.as_slice();
         if self.len() >= PAR_ELEMWISE_LEN && hap_par::threads() > 1 {
             let mut out = Tensor::zeros(self.rows(), self.cols());
@@ -447,20 +630,23 @@ impl Tensor {
         Tensor::from_vec(self.rows(), self.cols(), data)
     }
 
-    /// Multiplies every element by `s`.
-    pub fn scale(&self, s: f64) -> Tensor {
-        self.map(|x| x * s)
+    /// Multiplies every element by `s` (converted once with
+    /// [`Scalar::from_f64`] — the identity for `f64`).
+    pub fn scale(&self, s: f64) -> Tensor<T> {
+        let sv = T::from_f64(s);
+        self.map(move |x| x * sv)
     }
 
-    /// Adds `s` to every element.
-    pub fn shift(&self, s: f64) -> Tensor {
-        self.map(|x| x + s)
+    /// Adds `s` to every element (converted once, like [`Tensor::scale`]).
+    pub fn shift(&self, s: f64) -> Tensor<T> {
+        let sv = T::from_f64(s);
+        self.map(move |x| x + sv)
     }
 
     // ----- broadcasting -------------------------------------------------
 
     /// Adds a `1 × cols` row vector to every row.
-    pub fn try_add_row(&self, row: &Tensor) -> Result<Tensor, ShapeError> {
+    pub fn try_add_row(&self, row: &Tensor<T>) -> Result<Tensor<T>, ShapeError> {
         if row.rows() != 1 || row.cols() != self.cols() {
             return Err(ShapeError::binary(
                 "add_row",
@@ -479,12 +665,12 @@ impl Tensor {
     }
 
     /// Panicking variant of [`Tensor::try_add_row`].
-    pub fn add_row(&self, row: &Tensor) -> Tensor {
+    pub fn add_row(&self, row: &Tensor<T>) -> Tensor<T> {
         self.try_add_row(row).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Adds a `rows × 1` column vector to every column.
-    pub fn try_add_col(&self, col: &Tensor) -> Result<Tensor, ShapeError> {
+    pub fn try_add_col(&self, col: &Tensor<T>) -> Result<Tensor<T>, ShapeError> {
         if col.cols() != 1 || col.rows() != self.rows() {
             return Err(ShapeError::binary(
                 "add_col",
@@ -504,12 +690,12 @@ impl Tensor {
     }
 
     /// Panicking variant of [`Tensor::try_add_col`].
-    pub fn add_col(&self, col: &Tensor) -> Tensor {
+    pub fn add_col(&self, col: &Tensor<T>) -> Tensor<T> {
         self.try_add_col(col).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Multiplies every row elementwise by a `1 × cols` row vector.
-    pub fn try_mul_row(&self, row: &Tensor) -> Result<Tensor, ShapeError> {
+    pub fn try_mul_row(&self, row: &Tensor<T>) -> Result<Tensor<T>, ShapeError> {
         if row.rows() != 1 || row.cols() != self.cols() {
             return Err(ShapeError::binary(
                 "mul_row",
@@ -530,7 +716,7 @@ impl Tensor {
     // ----- concatenation & slicing --------------------------------------
 
     /// Horizontal concatenation `[self ‖ rhs]` (same row count).
-    pub fn try_hstack(&self, rhs: &Tensor) -> Result<Tensor, ShapeError> {
+    pub fn try_hstack(&self, rhs: &Tensor<T>) -> Result<Tensor<T>, ShapeError> {
         if self.rows() != rhs.rows() {
             return Err(ShapeError::binary(
                 "hstack",
@@ -548,12 +734,12 @@ impl Tensor {
     }
 
     /// Panicking variant of [`Tensor::try_hstack`].
-    pub fn hstack(&self, rhs: &Tensor) -> Tensor {
+    pub fn hstack(&self, rhs: &Tensor<T>) -> Tensor<T> {
         self.try_hstack(rhs).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Vertical concatenation (same column count).
-    pub fn try_vstack(&self, rhs: &Tensor) -> Result<Tensor, ShapeError> {
+    pub fn try_vstack(&self, rhs: &Tensor<T>) -> Result<Tensor<T>, ShapeError> {
         if self.cols() != rhs.cols() {
             return Err(ShapeError::binary(
                 "vstack",
@@ -573,7 +759,7 @@ impl Tensor {
     }
 
     /// Panicking variant of [`Tensor::try_vstack`].
-    pub fn vstack(&self, rhs: &Tensor) -> Tensor {
+    pub fn vstack(&self, rhs: &Tensor<T>) -> Tensor<T> {
         self.try_vstack(rhs).unwrap_or_else(|e| panic!("{e}"))
     }
 
@@ -581,7 +767,7 @@ impl Tensor {
     ///
     /// # Panics
     /// Panics when the range is out of bounds or reversed.
-    pub fn slice_rows(&self, start: usize, end: usize) -> Tensor {
+    pub fn slice_rows(&self, start: usize, end: usize) -> Tensor<T> {
         assert!(
             start <= end && end <= self.rows(),
             "slice_rows: invalid range {start}..{end} for {} rows",
@@ -595,7 +781,7 @@ impl Tensor {
     ///
     /// # Panics
     /// Panics when the range is out of bounds or reversed.
-    pub fn slice_cols(&self, start: usize, end: usize) -> Tensor {
+    pub fn slice_cols(&self, start: usize, end: usize) -> Tensor<T> {
         assert!(
             start <= end && end <= self.cols(),
             "slice_cols: invalid range {start}..{end} for {} cols",
@@ -612,7 +798,7 @@ impl Tensor {
     ///
     /// # Panics
     /// Panics when any index is out of bounds.
-    pub fn gather_rows(&self, indices: &[usize]) -> Tensor {
+    pub fn gather_rows(&self, indices: &[usize]) -> Tensor<T> {
         let mut out = Tensor::zeros(indices.len(), self.cols());
         for (i, &r) in indices.iter().enumerate() {
             out.row_mut(i).copy_from_slice(self.row(r));
@@ -622,9 +808,10 @@ impl Tensor {
 
     // ----- reductions ----------------------------------------------------
 
-    /// Sum of all elements.
+    /// Sum of all elements, accumulated in `T` (element order) and widened
+    /// to `f64` at the end — identical to the historical result for `f64`.
     pub fn sum(&self) -> f64 {
-        self.as_slice().iter().sum()
+        self.as_slice().iter().copied().sum::<T>().to_f64()
     }
 
     /// Mean of all elements (`NaN` for empty tensors).
@@ -637,7 +824,8 @@ impl Tensor {
         self.as_slice()
             .iter()
             .copied()
-            .fold(f64::NEG_INFINITY, f64::max)
+            .fold(T::NEG_INFINITY, T::max)
+            .to_f64()
     }
 
     /// Minimum element (`+inf` for empty tensors).
@@ -645,18 +833,21 @@ impl Tensor {
         self.as_slice()
             .iter()
             .copied()
-            .fold(f64::INFINITY, f64::min)
+            .fold(T::INFINITY, T::min)
+            .to_f64()
     }
 
     /// Per-row sums as an `rows × 1` column vector.
-    pub fn row_sums(&self) -> Tensor {
-        let sums: Vec<f64> = (0..self.rows()).map(|r| self.row(r).iter().sum()).collect();
+    pub fn row_sums(&self) -> Tensor<T> {
+        let sums: Vec<T> = (0..self.rows())
+            .map(|r| self.row(r).iter().copied().sum())
+            .collect();
         Tensor::col_vector(&sums)
     }
 
     /// Per-column sums as a `1 × cols` row vector.
-    pub fn col_sums(&self) -> Tensor {
-        let mut sums = vec![0.0; self.cols()];
+    pub fn col_sums(&self) -> Tensor<T> {
+        let mut sums = vec![T::ZERO; self.cols()];
         for r in 0..self.rows() {
             for (s, &x) in sums.iter_mut().zip(self.row(r)) {
                 *s += x;
@@ -666,18 +857,18 @@ impl Tensor {
     }
 
     /// Per-column means as a `1 × cols` row vector.
-    pub fn col_means(&self) -> Tensor {
+    pub fn col_means(&self) -> Tensor<T> {
         self.col_sums().scale(1.0 / self.rows() as f64)
     }
 
     /// Per-row means as an `rows × 1` column vector.
-    pub fn row_means(&self) -> Tensor {
+    pub fn row_means(&self) -> Tensor<T> {
         self.row_sums().scale(1.0 / self.cols() as f64)
     }
 
     /// Per-column elementwise maxima as a `1 × cols` row vector.
-    pub fn col_maxes(&self) -> Tensor {
-        let mut maxes = vec![f64::NEG_INFINITY; self.cols()];
+    pub fn col_maxes(&self) -> Tensor<T> {
+        let mut maxes = vec![T::NEG_INFINITY; self.cols()];
         for r in 0..self.rows() {
             for (m, &x) in maxes.iter_mut().zip(self.row(r)) {
                 *m = m.max(x);
@@ -686,16 +877,21 @@ impl Tensor {
         Tensor::row_vector(&maxes)
     }
 
-    /// Frobenius norm.
+    /// Frobenius norm (squares accumulated in `T`, root taken in `f64`).
     pub fn frobenius_norm(&self) -> f64 {
-        self.as_slice().iter().map(|x| x * x).sum::<f64>().sqrt()
+        self.as_slice()
+            .iter()
+            .map(|&x| x * x)
+            .sum::<T>()
+            .to_f64()
+            .sqrt()
     }
 
     /// Squared Euclidean distance between two same-shape tensors.
     ///
     /// # Panics
     /// Panics on shape mismatch.
-    pub fn squared_distance(&self, rhs: &Tensor) -> f64 {
+    pub fn squared_distance(&self, rhs: &Tensor<T>) -> f64 {
         assert_eq!(
             self.shape(),
             rhs.shape(),
@@ -707,7 +903,8 @@ impl Tensor {
             .iter()
             .zip(rhs.as_slice())
             .map(|(&a, &b)| (a - b) * (a - b))
-            .sum()
+            .sum::<T>()
+            .to_f64()
     }
 
     // ----- numerically-stable softmax -----------------------------------
@@ -718,11 +915,11 @@ impl Tensor {
     /// rows are processed in blocks on the [`hap_par`] pool; per-row
     /// arithmetic order is unchanged and results are byte-identical at
     /// every thread count.
-    pub fn softmax_rows(&self) -> Tensor {
-        fn softmax_block(chunk: &mut [f64], cols: usize) {
+    pub fn softmax_rows(&self) -> Tensor<T> {
+        fn softmax_block<T: Scalar>(chunk: &mut [T], cols: usize) {
             for row in chunk.chunks_mut(cols) {
-                let m = row.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-                let mut z = 0.0;
+                let m = row.iter().copied().fold(T::NEG_INFINITY, T::max);
+                let mut z = T::ZERO;
                 for x in row.iter_mut() {
                     *x = (*x - m).exp();
                     z += *x;
@@ -733,7 +930,7 @@ impl Tensor {
                 // debug/test builds; release builds keep the branch-free
                 // hot loop.
                 debug_assert!(
-                    z.is_finite() && z > 0.0,
+                    z.is_finite() && z > T::ZERO,
                     "softmax row normaliser must be positive and finite, got {z} \
                      (row max {m})"
                 );
@@ -767,30 +964,30 @@ impl Tensor {
 
 // ----- operator impls (panicking, by reference) ------------------------
 
-impl Add for &Tensor {
-    type Output = Tensor;
-    fn add(self, rhs: &Tensor) -> Tensor {
+impl<T: Scalar> Add for &Tensor<T> {
+    type Output = Tensor<T>;
+    fn add(self, rhs: &Tensor<T>) -> Tensor<T> {
         self.try_add(rhs).unwrap_or_else(|e| panic!("{e}"))
     }
 }
 
-impl Sub for &Tensor {
-    type Output = Tensor;
-    fn sub(self, rhs: &Tensor) -> Tensor {
+impl<T: Scalar> Sub for &Tensor<T> {
+    type Output = Tensor<T>;
+    fn sub(self, rhs: &Tensor<T>) -> Tensor<T> {
         self.try_sub(rhs).unwrap_or_else(|e| panic!("{e}"))
     }
 }
 
-impl Mul<f64> for &Tensor {
-    type Output = Tensor;
-    fn mul(self, s: f64) -> Tensor {
+impl<T: Scalar> Mul<f64> for &Tensor<T> {
+    type Output = Tensor<T>;
+    fn mul(self, s: f64) -> Tensor<T> {
         self.scale(s)
     }
 }
 
-impl Neg for &Tensor {
-    type Output = Tensor;
-    fn neg(self) -> Tensor {
+impl<T: Scalar> Neg for &Tensor<T> {
+    type Output = Tensor<T>;
+    fn neg(self) -> Tensor<T> {
         self.scale(-1.0)
     }
 }
@@ -798,7 +995,7 @@ impl Neg for &Tensor {
 #[cfg(test)]
 mod tests {
     use crate::testutil::assert_close;
-    use crate::Tensor;
+    use crate::{Scalar, Tensor};
 
     fn from_fn(rows: usize, cols: usize, f: impl Fn(usize, usize) -> f64) -> Tensor {
         let mut t = Tensor::zeros(rows, cols);
@@ -808,6 +1005,36 @@ mod tests {
             }
         }
         t
+    }
+
+    /// The pre-microkernel streaming reference: per output row, ascending
+    /// `p` with the zero-skip, accumulating in the output buffer. This is
+    /// the arithmetic-sequence oracle the packed kernel must reproduce
+    /// bit-for-bit.
+    fn reference_matmul<T: Scalar>(a: &Tensor<T>, b: &Tensor<T>) -> Tensor<T> {
+        assert_eq!(a.cols(), b.rows());
+        let (n, k, m) = (a.rows(), a.cols(), b.cols());
+        let mut out = Tensor::<T>::zeros(n, m);
+        for i in 0..n {
+            for p in 0..k {
+                let a_ip = a[(i, p)];
+                if a_ip == T::ZERO {
+                    continue;
+                }
+                for j in 0..m {
+                    let v = out[(i, j)] + a_ip * b[(p, j)];
+                    out[(i, j)] = v;
+                }
+            }
+        }
+        out
+    }
+
+    fn bits_eq<T: Scalar>(tag: &str, a: &Tensor<T>, b: &Tensor<T>) {
+        assert_eq!(a.shape(), b.shape(), "{tag}: shape");
+        for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+            assert_eq!(x.to_bits_u64(), y.to_bits_u64(), "{tag}: {x} vs {y}");
+        }
     }
 
     #[test]
@@ -828,9 +1055,51 @@ mod tests {
 
     #[test]
     fn matmul_rejects_bad_inner_dim() {
-        let a = Tensor::zeros(2, 3);
+        let a = Tensor::<f64>::zeros(2, 3);
         let b = Tensor::zeros(2, 3);
         assert!(a.try_matmul(&b).is_err());
+    }
+
+    #[test]
+    fn microkernel_matches_streaming_reference_bitwise() {
+        // Shapes straddling every tile boundary: under/over MR (4) rows,
+        // under/at/over NR (8 for f64, 16 for f32) columns, thin and fat,
+        // with exact zeros sprinkled to exercise the skip path.
+        let shapes = [
+            (1, 1, 1),
+            (3, 5, 7),
+            (4, 8, 8),
+            (5, 9, 8),
+            (4, 6, 9),
+            (13, 17, 19),
+            (16, 16, 16),
+            (17, 33, 23),
+            (1, 40, 50),
+            (50, 40, 1),
+            (9, 3, 31),
+        ];
+        for &(n, k, m) in &shapes {
+            let a = from_fn(n, k, |i, j| {
+                if (i + 2 * j) % 5 == 0 {
+                    0.0
+                } else {
+                    (i as f64 - 0.7 * j as f64) * 0.31
+                }
+            });
+            let b = from_fn(k, m, |i, j| (i as f64 * 1.3 - j as f64) * 0.17 + 0.05);
+            bits_eq(
+                &format!("f64 ({n},{k},{m})"),
+                &a.matmul(&b),
+                &reference_matmul(&a, &b),
+            );
+            let a32: Tensor<f32> = a.cast();
+            let b32: Tensor<f32> = b.cast();
+            bits_eq(
+                &format!("f32 ({n},{k},{m})"),
+                &a32.matmul(&b32),
+                &reference_matmul(&a32, &b32),
+            );
+        }
     }
 
     #[test]
@@ -860,7 +1129,7 @@ mod tests {
 
     #[test]
     fn matmul_nt_matches_composed_bitwise() {
-        for &(n, k, m) in &[(1, 1, 1), (2, 3, 4), (7, 5, 9), (20, 16, 12)] {
+        for &(n, k, m) in &[(1, 1, 1), (2, 3, 4), (7, 5, 9), (20, 16, 12), (11, 9, 21)] {
             let a = from_fn(n, k, |i, j| {
                 // sprinkle exact zeros to exercise the skip path
                 if (i + j) % 3 == 0 {
@@ -872,22 +1141,19 @@ mod tests {
             let b = from_fn(m, k, |i, j| (i * 2 + j) as f64 * 0.11 - 1.0);
             let fused = a.matmul_nt(&b);
             let composed = a.matmul(&b.transpose());
-            assert_eq!(fused.shape(), (n, m));
-            for i in 0..n {
-                for j in 0..m {
-                    assert_eq!(
-                        fused[(i, j)].to_bits(),
-                        composed[(i, j)].to_bits(),
-                        "({n},{k},{m}) at ({i},{j})"
-                    );
-                }
-            }
+            bits_eq(&format!("f64 nt ({n},{k},{m})"), &fused, &composed);
+            let (a32, b32): (Tensor<f32>, Tensor<f32>) = (a.cast(), b.cast());
+            bits_eq(
+                &format!("f32 nt ({n},{k},{m})"),
+                &a32.matmul_nt(&b32),
+                &a32.matmul(&b32.transpose()),
+            );
         }
     }
 
     #[test]
     fn matmul_tn_matches_composed_bitwise() {
-        for &(n, k, m) in &[(1, 1, 1), (3, 2, 4), (5, 7, 9), (16, 20, 12)] {
+        for &(n, k, m) in &[(1, 1, 1), (3, 2, 4), (5, 7, 9), (16, 20, 12), (9, 11, 21)] {
             let a = from_fn(n, k, |i, j| {
                 if (i * j) % 4 == 0 {
                     0.0
@@ -898,31 +1164,28 @@ mod tests {
             let b = from_fn(n, m, |i, j| (j as f64 - i as f64) * 0.19 + 0.5);
             let fused = a.matmul_tn(&b);
             let composed = a.transpose().matmul(&b);
-            assert_eq!(fused.shape(), (k, m));
-            for i in 0..k {
-                for j in 0..m {
-                    assert_eq!(
-                        fused[(i, j)].to_bits(),
-                        composed[(i, j)].to_bits(),
-                        "({n},{k},{m}) at ({i},{j})"
-                    );
-                }
-            }
+            bits_eq(&format!("f64 tn ({n},{k},{m})"), &fused, &composed);
+            let (a32, b32): (Tensor<f32>, Tensor<f32>) = (a.cast(), b.cast());
+            bits_eq(
+                &format!("f32 tn ({n},{k},{m})"),
+                &a32.matmul_tn(&b32),
+                &a32.transpose().matmul(&b32),
+            );
         }
     }
 
     #[test]
     fn fused_matmuls_reject_bad_shapes() {
-        assert!(Tensor::zeros(2, 3)
+        assert!(Tensor::<f64>::zeros(2, 3)
             .try_matmul_nt(&Tensor::zeros(3, 2))
             .is_err());
-        assert!(Tensor::zeros(2, 3)
+        assert!(Tensor::<f64>::zeros(2, 3)
             .try_matmul_nt(&Tensor::zeros(4, 3))
             .is_ok());
-        assert!(Tensor::zeros(2, 3)
+        assert!(Tensor::<f64>::zeros(2, 3)
             .try_matmul_tn(&Tensor::zeros(3, 2))
             .is_err());
-        assert!(Tensor::zeros(2, 3)
+        assert!(Tensor::<f64>::zeros(2, 3)
             .try_matmul_tn(&Tensor::zeros(2, 4))
             .is_ok());
     }
@@ -1026,6 +1289,23 @@ mod tests {
         assert_close(&a.col_sums(), &Tensor::row_vector(&[4.0, 6.0]), 1e-12);
         assert_close(&a.col_maxes(), &Tensor::row_vector(&[3.0, 4.0]), 1e-12);
         assert!((a.frobenius_norm() - 30.0_f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn f32_ops_agree_with_f64_within_tolerance() {
+        let a = from_fn(12, 10, |i, j| (i as f64 * 0.7 - j as f64 * 0.3) * 0.11);
+        let b = from_fn(10, 9, |i, j| (j as f64 - i as f64 * 0.4) * 0.21);
+        let c64 = a.matmul(&b);
+        let c32 = a.cast::<f32>().matmul(&b.cast::<f32>());
+        for (x, y) in c64.as_slice().iter().zip(c32.as_slice()) {
+            assert!((x - y.to_f64()).abs() < 1e-4, "{x} vs {y}");
+        }
+        let s64 = a.softmax_rows();
+        let s32 = a.cast::<f32>().softmax_rows();
+        for (x, y) in s64.as_slice().iter().zip(s32.as_slice()) {
+            assert!((x - y.to_f64()).abs() < 1e-5, "{x} vs {y}");
+        }
+        assert!((a.sum() - a.cast::<f32>().sum()).abs() < 1e-3);
     }
 
     #[test]

@@ -22,7 +22,7 @@
 //! trivially fixed and results are byte-identical at every `HAP_THREADS`
 //! setting.
 
-use crate::{ShapeError, Tensor};
+use crate::{Scalar, ShapeError, Tensor};
 
 /// Validates a segment-offsets vector against a row count: offsets must
 /// start at `0`, end at `rows`, and be strictly increasing (no empty
@@ -46,14 +46,14 @@ pub fn validate_segments(offsets: &[usize], rows: usize) -> Result<(), ShapeErro
     }
 }
 
-impl Tensor {
+impl<T: Scalar> Tensor<T> {
     /// Per-segment column sums: returns a `B × cols` tensor whose row `b`
     /// is `col_sums` of rows `offsets[b]..offsets[b+1]`, accumulated in
     /// ascending row order (byte-identical to the per-block reduction).
     ///
     /// # Errors
     /// Returns a [`ShapeError`] for an invalid segment layout.
-    pub fn try_segment_sums(&self, offsets: &[usize]) -> Result<Tensor, ShapeError> {
+    pub fn try_segment_sums(&self, offsets: &[usize]) -> Result<Tensor<T>, ShapeError> {
         validate_segments(offsets, self.rows())?;
         let segments = offsets.len() - 1;
         let mut out = Tensor::zeros(segments, self.cols());
@@ -72,7 +72,7 @@ impl Tensor {
     ///
     /// # Panics
     /// Panics with the [`ShapeError`] message on an invalid layout.
-    pub fn segment_sums(&self, offsets: &[usize]) -> Tensor {
+    pub fn segment_sums(&self, offsets: &[usize]) -> Tensor<T> {
         self.try_segment_sums(offsets)
             .unwrap_or_else(|e| panic!("{e}"))
     }
@@ -84,10 +84,10 @@ impl Tensor {
     ///
     /// # Errors
     /// Returns a [`ShapeError`] for an invalid segment layout.
-    pub fn try_segment_means(&self, offsets: &[usize]) -> Result<Tensor, ShapeError> {
+    pub fn try_segment_means(&self, offsets: &[usize]) -> Result<Tensor<T>, ShapeError> {
         let mut out = self.try_segment_sums(offsets)?;
         for b in 0..out.rows() {
-            let inv = 1.0 / (offsets[b + 1] - offsets[b]) as f64;
+            let inv = T::from_f64(1.0 / (offsets[b + 1] - offsets[b]) as f64);
             for x in out.row_mut(b) {
                 *x *= inv;
             }
@@ -99,7 +99,7 @@ impl Tensor {
     ///
     /// # Panics
     /// Panics with the [`ShapeError`] message on an invalid layout.
-    pub fn segment_means(&self, offsets: &[usize]) -> Tensor {
+    pub fn segment_means(&self, offsets: &[usize]) -> Tensor<T> {
         self.try_segment_means(offsets)
             .unwrap_or_else(|e| panic!("{e}"))
     }
@@ -111,7 +111,7 @@ impl Tensor {
     ///
     /// # Errors
     /// Returns a [`ShapeError`] for an invalid segment layout.
-    pub fn try_segment_softmax(&self, offsets: &[usize]) -> Result<Tensor, ShapeError> {
+    pub fn try_segment_softmax(&self, offsets: &[usize]) -> Result<Tensor<T>, ShapeError> {
         validate_segments(offsets, self.rows())?;
         let mut out = self.clone();
         let cols = out.cols();
@@ -121,13 +121,13 @@ impl Tensor {
         let segments = offsets.len() - 1;
         for b in 0..segments {
             let rows = offsets[b]..offsets[b + 1];
-            let mut maxes = vec![f64::NEG_INFINITY; cols];
+            let mut maxes = vec![T::NEG_INFINITY; cols];
             for r in rows.clone() {
                 for (m, &x) in maxes.iter_mut().zip(out.row(r)) {
                     *m = m.max(x);
                 }
             }
-            let mut z = vec![0.0; cols];
+            let mut z = vec![T::ZERO; cols];
             for r in rows.clone() {
                 for ((x, &m), zc) in out.row_mut(r).iter_mut().zip(&maxes).zip(z.iter_mut()) {
                     *x = (*x - m).exp();
@@ -137,7 +137,7 @@ impl Tensor {
             for r in rows {
                 for (x, &zc) in out.row_mut(r).iter_mut().zip(&z) {
                     debug_assert!(
-                        zc.is_finite() && zc > 0.0,
+                        zc.is_finite() && zc > T::ZERO,
                         "segment softmax normaliser must be positive and finite, got {zc}"
                     );
                     *x /= zc;
@@ -151,7 +151,7 @@ impl Tensor {
     ///
     /// # Panics
     /// Panics with the [`ShapeError`] message on an invalid layout.
-    pub fn segment_softmax(&self, offsets: &[usize]) -> Tensor {
+    pub fn segment_softmax(&self, offsets: &[usize]) -> Tensor<T> {
         self.try_segment_softmax(offsets)
             .unwrap_or_else(|e| panic!("{e}"))
     }
@@ -207,7 +207,7 @@ mod tests {
 
     #[test]
     fn invalid_layouts_are_rejected() {
-        let x = Tensor::zeros(4, 2);
+        let x = Tensor::<f64>::zeros(4, 2);
         for bad in [
             vec![0usize],     // too short
             vec![1, 4],       // does not start at 0

@@ -2,16 +2,18 @@
 //!
 //! [`CsrMatrix`] stores only the strictly non-zero entries of a matrix,
 //! each row's entries in **ascending column order**. That ordering is the
-//! whole determinism story: the dense ikj kernel (`matmul_block` in
-//! `ops.rs`) skips `a[i][p] == 0.0` entries and accumulates the survivors
-//! in ascending `p`, so a CSR row walk performs the *exact same sequence*
-//! of fused multiply–adds per output row — [`CsrMatrix::spmm`] is
-//! byte-identical to [`Tensor::matmul`] on the densified matrix at every
-//! `HAP_THREADS` setting, not merely close. Sparsity is therefore purely
-//! a performance dispatch decision, never a numerics one.
+//! whole determinism story: the dense GEMM microkernel (`ops.rs`) skips
+//! `a[i][p] == 0.0` entries and accumulates the survivors in ascending
+//! `p`, so a CSR row walk performs the *exact same sequence* of
+//! multiply–adds per output row — [`CsrMatrix::spmm`] is byte-identical to
+//! [`Tensor::matmul`] on the densified matrix at every `HAP_THREADS`
+//! setting, not merely close. Sparsity is therefore purely a performance
+//! dispatch decision, never a numerics one. The contract holds for both
+//! element types ([`crate::Scalar`]): the kernels are generic and
+//! monomorphise to the same arithmetic per dtype.
 
 use crate::ops::PAR_MATMUL_FLOPS;
-use crate::{ShapeError, Tensor};
+use crate::{Scalar, ShapeError, Tensor};
 
 /// A sparse matrix in compressed-sparse-row form.
 ///
@@ -19,18 +21,22 @@ use crate::{ShapeError, Tensor};
 /// * `indptr.len() == rows + 1`, `indptr[0] == 0`,
 ///   `indptr[rows] == indices.len() == values.len()`;
 /// * within each row, `indices` are strictly increasing and `< cols`;
-/// * `values` contains no `0.0` entries (so the FMA sequence of
+/// * `values` contains no `0.0` entries (so the multiply–add sequence of
 ///   [`CsrMatrix::spmm`] matches the zero-skipping dense kernel exactly).
+///
+/// The element type defaults to `f64` (the workspace's golden-pinned
+/// precision); `CsrMatrix<f32>` carries the same invariants for the fast
+/// path.
 #[derive(Clone, Debug, PartialEq)]
-pub struct CsrMatrix {
+pub struct CsrMatrix<T: Scalar = f64> {
     rows: usize,
     cols: usize,
     indptr: Vec<usize>,
     indices: Vec<usize>,
-    values: Vec<f64>,
+    values: Vec<T>,
 }
 
-impl CsrMatrix {
+impl<T: Scalar> CsrMatrix<T> {
     /// Compresses a dense matrix, dropping every `0.0` entry (including
     /// negative zero, which the dense kernel also skips).
     ///
@@ -41,7 +47,7 @@ impl CsrMatrix {
     /// assert_eq!(s.nnz(), 2);
     /// assert_eq!(s.to_dense(), d);
     /// ```
-    pub fn from_dense(dense: &Tensor) -> CsrMatrix {
+    pub fn from_dense(dense: &Tensor<T>) -> CsrMatrix<T> {
         let (rows, cols) = dense.shape();
         let mut indptr = Vec::with_capacity(rows + 1);
         let mut indices = Vec::new();
@@ -49,7 +55,7 @@ impl CsrMatrix {
         indptr.push(0);
         for r in 0..rows {
             for (c, &v) in dense.row(r).iter().enumerate() {
-                if v != 0.0 {
+                if v != T::ZERO {
                     indices.push(c);
                     values.push(v);
                 }
@@ -66,7 +72,7 @@ impl CsrMatrix {
     }
 
     /// Expands back to a dense [`Tensor`].
-    pub fn to_dense(&self) -> Tensor {
+    pub fn to_dense(&self) -> Tensor<T> {
         let mut out = Tensor::zeros(self.rows, self.cols);
         for r in 0..self.rows {
             let row = out.row_mut(r);
@@ -75,6 +81,35 @@ impl CsrMatrix {
             }
         }
         out
+    }
+
+    /// Converts every stored value with `U::from_f64(v.to_f64())` — the
+    /// structure (indices, indptr) is shared logic, only the values
+    /// change width. Narrowing `f64 → f32` rounds to nearest; note a value
+    /// can round to `0.0`, so the result is re-compressed to preserve the
+    /// no-stored-zeros invariant.
+    pub fn cast<U: Scalar>(&self) -> CsrMatrix<U> {
+        let mut indptr = Vec::with_capacity(self.rows + 1);
+        let mut indices = Vec::with_capacity(self.indices.len());
+        let mut values = Vec::with_capacity(self.values.len());
+        indptr.push(0);
+        for r in 0..self.rows {
+            for idx in self.indptr[r]..self.indptr[r + 1] {
+                let v = U::from_f64(self.values[idx].to_f64());
+                if v != U::ZERO {
+                    indices.push(self.indices[idx]);
+                    values.push(v);
+                }
+            }
+            indptr.push(indices.len());
+        }
+        CsrMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            indptr,
+            indices,
+            values,
+        }
     }
 
     /// Row count.
@@ -111,7 +146,7 @@ impl CsrMatrix {
     ///
     /// # Panics
     /// Panics when `r >= rows`.
-    pub fn row(&self, r: usize) -> (&[usize], &[f64]) {
+    pub fn row(&self, r: usize) -> (&[usize], &[T]) {
         let span = self.indptr[r]..self.indptr[r + 1];
         (&self.indices[span.clone()], &self.values[span])
     }
@@ -141,14 +176,14 @@ impl CsrMatrix {
     /// `Σ rowsᵢ` rows/cols and block `i`'s entries shifted by the sizes of
     /// the blocks before it. This is the multi-graph batch adjacency: one
     /// SpMM against vertically concatenated features computes every
-    /// graph's propagation in a single pass, and each output row's FMA
-    /// sequence is identical to the per-block product (the shifted column
-    /// indices select exactly the corresponding block of the stacked
-    /// features).
+    /// graph's propagation in a single pass, and each output row's
+    /// multiply–add sequence is identical to the per-block product (the
+    /// shifted column indices select exactly the corresponding block of
+    /// the stacked features).
     ///
     /// # Panics
     /// Panics when any block is non-square.
-    pub fn block_diag(blocks: &[&CsrMatrix]) -> CsrMatrix {
+    pub fn block_diag(blocks: &[&CsrMatrix<T>]) -> CsrMatrix<T> {
         let n: usize = blocks.iter().map(|b| b.rows).sum();
         let nnz: usize = blocks.iter().map(|b| b.nnz()).sum();
         let mut indptr = Vec::with_capacity(n + 1);
@@ -192,7 +227,7 @@ impl CsrMatrix {
     ///
     /// # Errors
     /// Returns a [`ShapeError`] when `self.cols() != rhs.rows()`.
-    pub fn try_spmm(&self, rhs: &Tensor) -> Result<Tensor, ShapeError> {
+    pub fn try_spmm(&self, rhs: &Tensor<T>) -> Result<Tensor<T>, ShapeError> {
         if self.cols != rhs.rows() {
             return Err(ShapeError::binary(
                 "spmm",
@@ -226,16 +261,17 @@ impl CsrMatrix {
     /// # Panics
     /// Panics with the [`ShapeError`] message when the inner dimensions
     /// disagree.
-    pub fn spmm(&self, rhs: &Tensor) -> Tensor {
+    pub fn spmm(&self, rhs: &Tensor<T>) -> Tensor<T> {
         self.try_spmm(rhs).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// The SpMM row kernel, shared verbatim by the sequential and
     /// parallel paths: fills the output rows in `out` (a block of whole
     /// rows starting at global row `row0`) from this matrix and `b`
-    /// (`cols × m`, row-major). Mirrors `matmul_block`'s ikj structure
-    /// with the zero entries pre-skipped by construction.
-    fn spmm_block(&self, b: &[f64], m: usize, row0: usize, out: &mut [f64]) {
+    /// (`cols × m`, row-major). Streams each non-zero's contribution
+    /// across the output row in ascending column order — the zero entries
+    /// the dense kernel would skip are pre-skipped by construction.
+    fn spmm_block(&self, b: &[T], m: usize, row0: usize, out: &mut [T]) {
         for (local_i, out_row) in out.chunks_mut(m).enumerate() {
             let i = row0 + local_i;
             for idx in self.indptr[i]..self.indptr[i + 1] {
@@ -292,8 +328,41 @@ mod tests {
     }
 
     #[test]
+    fn f32_spmm_is_bitwise_equal_to_f32_dense_matmul() {
+        for (n, k, m, density) in [(5, 5, 3, 0.3), (40, 40, 16, 0.05), (9, 9, 20, 0.5)] {
+            let a64 = random_sparse(n, k, density, 21);
+            let b64 = random_sparse(k, m, 1.0, 22);
+            let a: Tensor<f32> = a64.cast();
+            let b: Tensor<f32> = b64.cast();
+            let s = CsrMatrix::from_dense(&a);
+            let dense = a.matmul(&b);
+            let sparse = s.spmm(&b);
+            for (x, y) in dense.as_slice().iter().zip(sparse.as_slice()) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn cast_preserves_structure_and_recompresses_underflow() {
+        let d = random_sparse(8, 6, 0.4, 31);
+        let s = CsrMatrix::from_dense(&d);
+        let s32: CsrMatrix<f32> = s.cast();
+        assert_eq!(s32.shape(), s.shape());
+        assert_eq!(s32.to_dense(), d.cast::<f32>());
+        // A value below f32's subnormal range rounds to zero and must be
+        // dropped, not stored.
+        let mut tiny = Tensor::zeros(1, 2);
+        tiny[(0, 0)] = 1.0e-60;
+        tiny[(0, 1)] = 2.0;
+        let st: CsrMatrix<f32> = CsrMatrix::from_dense(&tiny).cast();
+        assert_eq!(st.nnz(), 1);
+        assert_eq!(st.row(0).0, &[1]);
+    }
+
+    #[test]
     fn spmm_empty_matrix_and_shape_error() {
-        let s = CsrMatrix::from_dense(&Tensor::zeros(3, 3));
+        let s = CsrMatrix::from_dense(&Tensor::<f64>::zeros(3, 3));
         assert_eq!(s.nnz(), 0);
         assert_eq!(s.spmm(&Tensor::ones(3, 2)), Tensor::zeros(3, 2));
         assert!(s.try_spmm(&Tensor::ones(4, 2)).is_err());
@@ -330,6 +399,6 @@ mod tests {
         assert!(CsrMatrix::from_dense(&d).is_symmetric());
         d[(1, 0)] = 3.0;
         assert!(!CsrMatrix::from_dense(&d).is_symmetric());
-        assert!(!CsrMatrix::from_dense(&Tensor::zeros(2, 3)).is_symmetric());
+        assert!(!CsrMatrix::from_dense(&Tensor::<f64>::zeros(2, 3)).is_symmetric());
     }
 }

@@ -1,11 +1,14 @@
 //! The dense row-major matrix type.
 
-use crate::ShapeError;
+use crate::{Scalar, ShapeError};
 use hap_rand::Rng;
 use std::fmt;
 use std::ops::{Index, IndexMut};
 
-/// A dense 2-D `f64` matrix with row-major storage.
+/// A dense 2-D matrix with row-major storage, generic over its element
+/// type `T` ([`Scalar`]: `f64` or `f32`). The type parameter defaults to
+/// `f64` — the workspace's reference precision — so `Tensor` written with
+/// no parameter means exactly what it always has.
 ///
 /// `Tensor` is the single numeric container used throughout the HAP
 /// workspace: node feature matrices `H ∈ R^{N×F}`, adjacency matrices
@@ -21,19 +24,23 @@ use std::ops::{Index, IndexMut};
 /// assert_eq!(a.matmul(&b), a);
 /// assert_eq!(a.row_sums().col(0), vec![3.0, 7.0]);
 /// assert_eq!(a.transpose()[(0, 1)], 3.0);
+///
+/// // The f32 fast path holds the same data at half the width.
+/// let a32: Tensor<f32> = a.cast();
+/// assert_eq!(a32[(1, 0)], 3.0_f32);
 /// ```
 #[derive(Clone, PartialEq)]
-pub struct Tensor {
+pub struct Tensor<T: Scalar = f64> {
     rows: usize,
     cols: usize,
-    data: Vec<f64>,
+    data: Vec<T>,
 }
 
-impl Tensor {
+impl<T: Scalar> Tensor<T> {
     // ----- constructors -------------------------------------------------
 
     /// Creates a `rows × cols` tensor filled with `value`.
-    pub fn full(rows: usize, cols: usize, value: f64) -> Self {
+    pub fn full(rows: usize, cols: usize, value: T) -> Self {
         Self {
             rows,
             cols,
@@ -43,19 +50,19 @@ impl Tensor {
 
     /// Creates a `rows × cols` tensor of zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self::full(rows, cols, 0.0)
+        Self::full(rows, cols, T::ZERO)
     }
 
     /// Creates a `rows × cols` tensor of ones.
     pub fn ones(rows: usize, cols: usize) -> Self {
-        Self::full(rows, cols, 1.0)
+        Self::full(rows, cols, T::ONE)
     }
 
     /// Creates the `n × n` identity matrix.
     pub fn eye(n: usize) -> Self {
         let mut t = Self::zeros(n, n);
         for i in 0..n {
-            t[(i, i)] = 1.0;
+            t[(i, i)] = T::ONE;
         }
         t
     }
@@ -63,7 +70,7 @@ impl Tensor {
     /// Builds a tensor from a flat row-major buffer.
     ///
     /// Returns a [`ShapeError`] when `data.len() != rows * cols`.
-    pub fn try_from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Result<Self, ShapeError> {
+    pub fn try_from_vec(rows: usize, cols: usize, data: Vec<T>) -> Result<Self, ShapeError> {
         if data.len() != rows * cols {
             return Err(ShapeError::unary(
                 "from_vec",
@@ -82,7 +89,7 @@ impl Tensor {
     ///
     /// # Panics
     /// Panics when `data.len() != rows * cols`.
-    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<T>) -> Self {
         Self::try_from_vec(rows, cols, data).unwrap_or_else(|e| panic!("{e}"))
     }
 
@@ -90,7 +97,7 @@ impl Tensor {
     ///
     /// # Panics
     /// Panics when rows have inconsistent lengths.
-    pub fn from_rows(rows: &[Vec<f64>]) -> Self {
+    pub fn from_rows(rows: &[Vec<T>]) -> Self {
         let n_rows = rows.len();
         let n_cols = rows.first().map_or(0, Vec::len);
         let mut data = Vec::with_capacity(n_rows * n_cols);
@@ -111,7 +118,7 @@ impl Tensor {
     }
 
     /// A column vector (`n × 1`) from a slice.
-    pub fn col_vector(values: &[f64]) -> Self {
+    pub fn col_vector(values: &[T]) -> Self {
         Self {
             rows: values.len(),
             cols: 1,
@@ -120,7 +127,7 @@ impl Tensor {
     }
 
     /// A row vector (`1 × n`) from a slice.
-    pub fn row_vector(values: &[f64]) -> Self {
+    pub fn row_vector(values: &[T]) -> Self {
         Self {
             rows: 1,
             cols: values.len(),
@@ -129,27 +136,50 @@ impl Tensor {
     }
 
     /// Uniform random tensor on `[lo, hi)` drawn from `rng`.
+    ///
+    /// The bounds stay `f64` and each draw is made in `f64` then narrowed
+    /// with [`Scalar::from_f64`], so an `f32` tensor consumes the exact
+    /// same RNG stream as its `f64` counterpart (`f32` init is the rounding
+    /// of `f64` init — the differential suites rely on this).
     pub fn rand_uniform(rows: usize, cols: usize, lo: f64, hi: f64, rng: &mut Rng) -> Self {
-        let data = (0..rows * cols).map(|_| rng.gen_range(lo..hi)).collect();
+        let data = (0..rows * cols)
+            .map(|_| T::from_f64(rng.gen_range(lo..hi)))
+            .collect();
         Self { rows, cols, data }
     }
 
     /// Standard-normal random tensor (Box–Muller) scaled by `std`.
+    ///
+    /// Like [`Tensor::rand_uniform`], the transform runs in `f64` and each
+    /// sample narrows at the end, keeping the RNG stream dtype-independent.
     pub fn rand_normal(rows: usize, cols: usize, std: f64, rng: &mut Rng) -> Self {
         let n = rows * cols;
         let mut data = Vec::with_capacity(n);
-        while data.len() < n {
+        let mut pending = Vec::with_capacity(n);
+        while pending.len() < n {
             // Box–Muller transform: two uniforms -> two independent normals.
             let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
             let u2: f64 = rng.gen_range(0.0..1.0);
             let r = (-2.0 * u1.ln()).sqrt();
             let theta = 2.0 * std::f64::consts::PI * u2;
-            data.push(r * theta.cos() * std);
-            if data.len() < n {
-                data.push(r * theta.sin() * std);
+            pending.push(r * theta.cos() * std);
+            if pending.len() < n {
+                pending.push(r * theta.sin() * std);
             }
         }
+        data.extend(pending.into_iter().map(T::from_f64));
         Self { rows, cols, data }
+    }
+
+    /// Converts every element to another [`Scalar`] type via `f64`
+    /// (widening is exact; narrowing rounds to nearest). `cast` to the
+    /// same type is a plain copy.
+    pub fn cast<U: Scalar>(&self) -> Tensor<U> {
+        Tensor {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&x| U::from_f64(x.to_f64())).collect(),
+        }
     }
 
     // ----- shape accessors ----------------------------------------------
@@ -186,18 +216,18 @@ impl Tensor {
 
     /// Read-only view of the row-major buffer.
     #[inline]
-    pub fn as_slice(&self) -> &[f64] {
+    pub fn as_slice(&self) -> &[T] {
         &self.data
     }
 
     /// Mutable view of the row-major buffer.
     #[inline]
-    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
         &mut self.data
     }
 
     /// Consumes the tensor, returning its row-major buffer.
-    pub fn into_vec(self) -> Vec<f64> {
+    pub fn into_vec(self) -> Vec<T> {
         self.data
     }
 
@@ -206,7 +236,7 @@ impl Tensor {
     /// # Panics
     /// Panics when `r >= rows`.
     #[inline]
-    pub fn row(&self, r: usize) -> &[f64] {
+    pub fn row(&self, r: usize) -> &[T] {
         assert!(
             r < self.rows,
             "row index {r} out of bounds (rows={})",
@@ -220,7 +250,7 @@ impl Tensor {
     /// # Panics
     /// Panics when `r >= rows`.
     #[inline]
-    pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
+    pub fn row_mut(&mut self, r: usize) -> &mut [T] {
         assert!(
             r < self.rows,
             "row index {r} out of bounds (rows={})",
@@ -233,7 +263,7 @@ impl Tensor {
     ///
     /// # Panics
     /// Panics when `c >= cols`.
-    pub fn col(&self, c: usize) -> Vec<f64> {
+    pub fn col(&self, c: usize) -> Vec<T> {
         assert!(
             c < self.cols,
             "col index {c} out of bounds (cols={})",
@@ -268,27 +298,27 @@ impl Tensor {
     }
 }
 
-impl Index<(usize, usize)> for Tensor {
-    type Output = f64;
+impl<T: Scalar> Index<(usize, usize)> for Tensor<T> {
+    type Output = T;
 
     #[inline]
-    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+    fn index(&self, (r, c): (usize, usize)) -> &T {
         debug_assert!(r < self.rows && c < self.cols);
         &self.data[r * self.cols + c]
     }
 }
 
-impl IndexMut<(usize, usize)> for Tensor {
+impl<T: Scalar> IndexMut<(usize, usize)> for Tensor<T> {
     #[inline]
-    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut T {
         debug_assert!(r < self.rows && c < self.cols);
         &mut self.data[r * self.cols + c]
     }
 }
 
-impl fmt::Debug for Tensor {
+impl<T: Scalar> fmt::Debug for Tensor<T> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Tensor({}x{}) [", self.rows, self.cols)?;
+        writeln!(f, "Tensor<{}>({}x{}) [", T::DTYPE, self.rows, self.cols)?;
         // Print at most 8 rows / 8 cols to keep assertion output readable.
         let rmax = self.rows.min(8);
         let cmax = self.cols.min(8);
@@ -319,15 +349,15 @@ mod tests {
 
     #[test]
     fn constructors_have_expected_shape_and_content() {
-        let z = Tensor::zeros(2, 3);
+        let z = Tensor::<f64>::zeros(2, 3);
         assert_eq!(z.shape(), (2, 3));
         assert!(z.as_slice().iter().all(|&x| x == 0.0));
 
-        let o = Tensor::ones(3, 1);
+        let o = Tensor::<f64>::ones(3, 1);
         assert_eq!(o.shape(), (3, 1));
         assert!(o.as_slice().iter().all(|&x| x == 1.0));
 
-        let e = Tensor::eye(3);
+        let e = Tensor::<f64>::eye(3);
         for r in 0..3 {
             for c in 0..3 {
                 assert_eq!(e[(r, c)], if r == c { 1.0 } else { 0.0 });
@@ -407,5 +437,44 @@ mod tests {
         assert_eq!(c.shape(), (2, 1));
         let r = Tensor::row_vector(&[1.0, 2.0, 3.0]);
         assert_eq!(r.shape(), (1, 3));
+    }
+
+    #[test]
+    fn f32_tensors_share_the_rng_stream_with_f64() {
+        // Same seed: the f32 tensor must be the elementwise rounding of the
+        // f64 one, because draws happen in f64 before narrowing.
+        let mut r1 = Rng::from_seed(42);
+        let mut r2 = Rng::from_seed(42);
+        let a: Tensor<f64> = Tensor::rand_uniform(5, 3, -1.0, 1.0, &mut r1);
+        let b: Tensor<f32> = Tensor::rand_uniform(5, 3, -1.0, 1.0, &mut r2);
+        for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+            assert_eq!((*x as f32).to_bits(), y.to_bits());
+        }
+        let mut r1 = Rng::from_seed(43);
+        let mut r2 = Rng::from_seed(43);
+        let a: Tensor<f64> = Tensor::rand_normal(4, 4, 0.7, &mut r1);
+        let b: Tensor<f32> = Tensor::rand_normal(4, 4, 0.7, &mut r2);
+        for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+            assert_eq!((*x as f32).to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn cast_roundtrip_and_identity() {
+        let t = Tensor::from_rows(&[vec![1.0, -2.5], vec![0.125, 3.0]]);
+        let t32: Tensor<f32> = t.cast();
+        assert_eq!(t32[(0, 1)], -2.5_f32);
+        let back: Tensor<f64> = t32.cast();
+        // These values are exactly representable in f32, so the roundtrip
+        // is lossless.
+        assert_eq!(back, t);
+        let same: Tensor<f64> = t.cast();
+        assert_eq!(same, t);
+    }
+
+    #[test]
+    fn debug_output_names_the_dtype() {
+        let d = format!("{:?}", Tensor::<f32>::zeros(1, 1));
+        assert!(d.contains("Tensor<f32>"), "{d}");
     }
 }

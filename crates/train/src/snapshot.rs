@@ -9,16 +9,19 @@
 use hap_autograd::ParamStore;
 use hap_core::HapConfig;
 use hap_snapshot::{ModelSnapshot, SnapshotError};
+use hap_tensor::Scalar;
 use std::path::Path;
 
 /// Captures the store's current parameter values (train *after* the
 /// best-checkpoint restore, i.e. right after [`crate::train`] returns)
-/// and writes a version-1 snapshot file.
+/// and writes a snapshot file in the store's element type — the file
+/// records the dtype, and `hap-serve` loads it back at the same
+/// precision.
 ///
 /// # Errors
 /// Propagates [`SnapshotError::Io`] from the filesystem write.
-pub fn export_snapshot(
-    store: &ParamStore,
+pub fn export_snapshot<T: Scalar>(
+    store: &ParamStore<T>,
     cfg: &HapConfig,
     classes: usize,
     path: &Path,
@@ -41,7 +44,7 @@ mod tests {
         // end-to-end guarantee the serving path rests on.
         let mut rng = Rng::from_seed(5);
         let ds = hap_data::imdb_b(24, &mut rng);
-        let mut store = ParamStore::new();
+        let mut store = ParamStore::<f64>::new();
         let cfg = HapConfig::new(ds.feature_dim, 6).with_clusters(&[3]);
         let model = HapModel::new(&mut store, &cfg, &mut rng);
         let clf = HapClassifier::new(&mut store, model, ds.num_classes, &mut rng);

@@ -6,6 +6,7 @@ use hap_nn::{Adam, Optimizer};
 use hap_pooling::PoolCtx;
 use hap_rand::Rng;
 use hap_rand::SliceRandom;
+use hap_tensor::Scalar;
 
 /// Training hyper-parameters. The defaults mirror Sec. 6.1.3 (Adam,
 /// lr 0.01) at quick-experiment scale.
@@ -57,19 +58,20 @@ pub struct TrainReport {
 }
 
 /// Builds the loss for one training sample: `(tape, sample_index, ctx)`.
-pub type LossFn<'a> = dyn FnMut(&mut Tape, usize, &mut PoolCtx<'_>) -> Var + 'a;
+pub type LossFn<'a, T = f64> = dyn FnMut(&mut Tape<T>, usize, &mut PoolCtx<'_>) -> Var + 'a;
 /// Builds per-sample losses for a whole mini-batch on one tape:
 /// `(tape, batch_indices, ctx) → one loss Var per index, in order`.
-pub type BatchLossFn<'a> = dyn FnMut(&mut Tape, &[usize], &mut PoolCtx<'_>) -> Vec<Var> + 'a;
+pub type BatchLossFn<'a, T = f64> =
+    dyn FnMut(&mut Tape<T>, &[usize], &mut PoolCtx<'_>) -> Vec<Var> + 'a;
 /// Evaluates one sample: `(sample_index, ctx) → correct?`.
 pub type EvalFn<'a> = dyn FnMut(usize, &mut PoolCtx<'_>) -> bool + 'a;
 
 /// How a mini-batch turns into gradients: one tape+backward per sample
 /// (the original loop), or one shared tape with a single backward through
 /// the summed batch loss.
-enum Stepper<'a, 'b> {
-    PerSample(&'b mut LossFn<'a>),
-    Batched(&'b mut BatchLossFn<'a>),
+enum Stepper<'a, 'b, T: Scalar> {
+    PerSample(&'b mut LossFn<'a, T>),
+    Batched(&'b mut BatchLossFn<'a, T>),
 }
 
 /// Trains with Adam + gradient accumulation and returns the report.
@@ -82,13 +84,13 @@ enum Stepper<'a, 'b> {
 /// All randomness derives from `cfg.seed`: this delegates to
 /// [`train_with_rng`] with a root generator seeded from it, so the same
 /// config reproduces the same `TrainReport` bit-for-bit.
-pub fn train(
-    store: &ParamStore,
+pub fn train<T: Scalar>(
+    store: &ParamStore<T>,
     cfg: &TrainConfig,
     train_idx: &[usize],
     val_idx: &[usize],
     test_idx: &[usize],
-    loss_fn: &mut LossFn<'_>,
+    loss_fn: &mut LossFn<'_, T>,
     eval_fn: &mut EvalFn<'_>,
 ) -> TrainReport {
     let mut rng = Rng::from_seed(cfg.seed);
@@ -108,13 +110,13 @@ pub fn train(
 /// in one concern (say, an extra eval pass) can never shift another
 /// stream and silently change the training trajectory.
 #[allow(clippy::too_many_arguments)]
-pub fn train_with_rng(
-    store: &ParamStore,
+pub fn train_with_rng<T: Scalar>(
+    store: &ParamStore<T>,
     cfg: &TrainConfig,
     train_idx: &[usize],
     val_idx: &[usize],
     test_idx: &[usize],
-    loss_fn: &mut LossFn<'_>,
+    loss_fn: &mut LossFn<'_, T>,
     eval_fn: &mut EvalFn<'_>,
     rng: &mut Rng,
 ) -> TrainReport {
@@ -147,13 +149,13 @@ pub fn train_with_rng(
 ///   backward through `Σ lᵢ` accumulates in a different floating-point
 ///   order than `B` separate backwards. Both are exact-arithmetic equal.
 /// * Grad-norm clipping and the non-finite-norm batch drop are unchanged.
-pub fn train_batched(
-    store: &ParamStore,
+pub fn train_batched<T: Scalar>(
+    store: &ParamStore<T>,
     cfg: &TrainConfig,
     train_idx: &[usize],
     val_idx: &[usize],
     test_idx: &[usize],
-    batch_loss_fn: &mut BatchLossFn<'_>,
+    batch_loss_fn: &mut BatchLossFn<'_, T>,
     eval_fn: &mut EvalFn<'_>,
 ) -> TrainReport {
     let mut rng = Rng::from_seed(cfg.seed);
@@ -172,13 +174,13 @@ pub fn train_batched(
 /// [`train_batched`] with an explicit root generator (the batched
 /// counterpart of [`train_with_rng`]; same three-way stream split).
 #[allow(clippy::too_many_arguments)]
-pub fn train_batched_with_rng(
-    store: &ParamStore,
+pub fn train_batched_with_rng<T: Scalar>(
+    store: &ParamStore<T>,
     cfg: &TrainConfig,
     train_idx: &[usize],
     val_idx: &[usize],
     test_idx: &[usize],
-    batch_loss_fn: &mut BatchLossFn<'_>,
+    batch_loss_fn: &mut BatchLossFn<'_, T>,
     eval_fn: &mut EvalFn<'_>,
     rng: &mut Rng,
 ) -> TrainReport {
@@ -195,13 +197,13 @@ pub fn train_batched_with_rng(
 }
 
 #[allow(clippy::too_many_arguments)]
-fn train_core(
-    store: &ParamStore,
+fn train_core<T: Scalar>(
+    store: &ParamStore<T>,
     cfg: &TrainConfig,
     train_idx: &[usize],
     val_idx: &[usize],
     test_idx: &[usize],
-    mut stepper: Stepper<'_, '_>,
+    mut stepper: Stepper<'_, '_, T>,
     eval_fn: &mut EvalFn<'_>,
     rng: &mut Rng,
 ) -> TrainReport {
@@ -262,7 +264,7 @@ fn train_core(
                         // scale the seed so the step is the batch *mean*
                         tape.backward_with_seed(
                             loss,
-                            hap_tensor::Tensor::full(1, 1, 1.0 / batch.len() as f64),
+                            hap_tensor::Tensor::full(1, 1, T::from_f64(1.0 / batch.len() as f64)),
                         );
                     }
                 }
@@ -306,7 +308,7 @@ fn train_core(
                         // step is the batch mean
                         tape.backward_with_seed(
                             total,
-                            hap_tensor::Tensor::full(1, 1, 1.0 / batch.len() as f64),
+                            hap_tensor::Tensor::full(1, 1, T::from_f64(1.0 / batch.len() as f64)),
                         );
                     }
                 }
@@ -410,7 +412,7 @@ mod tests {
         // epochs.
         let mut rng = Rng::from_seed(1);
         let ds = imdb_b(60, &mut rng);
-        let mut store = hap_autograd::ParamStore::new();
+        let mut store = hap_autograd::ParamStore::<f64>::new();
         let cfg = HapConfig::new(ds.feature_dim, 8).with_clusters(&[4, 2]);
         let model = HapModel::new(&mut store, &cfg, &mut rng);
         let clf = HapClassifier::new(&mut store, model, ds.num_classes, &mut rng);
@@ -457,7 +459,7 @@ mod tests {
         // Regression: a NaN loss used to flow straight into backward() and
         // Adam, poisoning every parameter. The guard drops the sample's
         // gradient contribution and keeps training on the rest.
-        let mut store = hap_autograd::ParamStore::new();
+        let mut store = hap_autograd::ParamStore::<f64>::new();
         let p = store.new_param("w".to_string(), hap_tensor::Tensor::full(1, 1, 0.5));
         let tcfg = TrainConfig {
             epochs: 2,
@@ -500,7 +502,7 @@ mod tests {
         // the loss is finite (0) but every gradient is NaN. Pre-guard,
         // `norm > clip` was silently false for a NaN norm and Adam applied
         // the NaN gradients; now the batch is dropped before the update.
-        let mut store = hap_autograd::ParamStore::new();
+        let mut store = hap_autograd::ParamStore::<f64>::new();
         let p = store.new_param("w".to_string(), hap_tensor::Tensor::full(1, 1, 0.5));
         let tcfg = TrainConfig {
             epochs: 1,
@@ -540,7 +542,7 @@ mod tests {
         let run = || {
             let mut rng = Rng::from_seed(1);
             let ds = imdb_b(60, &mut rng);
-            let mut store = hap_autograd::ParamStore::new();
+            let mut store = hap_autograd::ParamStore::<f64>::new();
             let cfg = HapConfig::new(ds.feature_dim, 8).with_clusters(&[4, 2]);
             let model = HapModel::new(&mut store, &cfg, &mut rng);
             let clf = HapClassifier::new(&mut store, model, ds.num_classes, &mut rng);
@@ -602,7 +604,7 @@ mod tests {
         let build = || {
             let mut rng = Rng::from_seed(5);
             let ds = imdb_b(8, &mut rng);
-            let mut store = hap_autograd::ParamStore::new();
+            let mut store = hap_autograd::ParamStore::<f64>::new();
             let cfg = HapConfig::new(ds.feature_dim, 6).with_clusters(&[3]);
             let model = HapModel::new(&mut store, &cfg, &mut rng);
             let clf = HapClassifier::new(&mut store, model, ds.num_classes, &mut rng);
@@ -666,7 +668,7 @@ mod tests {
     fn batched_non_finite_loss_sample_is_skipped_not_fatal() {
         // The batched counterpart of the per-sample NaN guard: a poisoned
         // sample drops out of the summed objective; the rest still train.
-        let mut store = hap_autograd::ParamStore::new();
+        let mut store = hap_autograd::ParamStore::<f64>::new();
         let p = store.new_param("w".to_string(), hap_tensor::Tensor::full(1, 1, 0.5));
         let tcfg = TrainConfig {
             epochs: 2,
@@ -712,7 +714,7 @@ mod tests {
     fn early_stopping_halts_on_plateau() {
         let mut rng = Rng::from_seed(2);
         let ds = imdb_b(20, &mut rng);
-        let mut store = hap_autograd::ParamStore::new();
+        let mut store = hap_autograd::ParamStore::<f64>::new();
         let cfg = HapConfig::new(ds.feature_dim, 4).with_clusters(&[2]);
         let model = HapModel::new(&mut store, &cfg, &mut rng);
         let clf = HapClassifier::new(&mut store, model, ds.num_classes, &mut rng);

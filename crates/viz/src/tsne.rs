@@ -117,7 +117,7 @@ pub fn tsne(data: &Tensor, cfg: &TsneConfig, rng: &mut Rng) -> Tensor {
 
     // gradient descent on the 2-D layout
     let mut y = Tensor::rand_normal(n, 2, cfg.seed_std, rng);
-    let mut velocity = Tensor::zeros(n, 2);
+    let mut velocity = Tensor::<f64>::zeros(n, 2);
     let exag_until = cfg.iterations / 4;
 
     for iter in 0..cfg.iterations {
@@ -130,7 +130,7 @@ pub fn tsne(data: &Tensor, cfg: &TsneConfig, rng: &mut Rng) -> Tensor {
 
         // Student-t affinities q_ij ∝ (1 + ||y_i - y_j||²)^-1
         let mut num = vec![vec![0.0; n]; n];
-        let mut qsum = 0.0;
+        let mut qsum: f64 = 0.0;
         for i in 0..n {
             for j in (i + 1)..n {
                 let dx = y[(i, 0)] - y[(j, 0)];
@@ -143,7 +143,7 @@ pub fn tsne(data: &Tensor, cfg: &TsneConfig, rng: &mut Rng) -> Tensor {
         }
         let qsum = qsum.max(1e-12);
 
-        let mut grad = Tensor::zeros(n, 2);
+        let mut grad = Tensor::<f64>::zeros(n, 2);
         for i in 0..n {
             for j in 0..n {
                 if i == j {

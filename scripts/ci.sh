@@ -22,6 +22,18 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline
 HAP_THREADS=1 cargo test -q --offline -p hap-train --test determinism
 env -u HAP_THREADS cargo test -q --offline -p hap-train --test determinism
 
+# The f32 fast path must hold the same contracts as f64: analytic
+# gradients check against central differences at f32 tolerances
+# (crates/autograd/src/gradcheck.rs), and an f32 training run is both
+# bit-reproducible against itself and tracks the f64 trajectory within
+# single-precision drift (crates/train/tests/determinism.rs) — at both
+# threading modes, since the packed microkernel's parallel dispatch is
+# dtype-generic and a lane-width bug could surface in only one dtype.
+HAP_THREADS=1 cargo test -q --offline -p hap-autograd --lib -- gradcheck_f32
+env -u HAP_THREADS cargo test -q --offline -p hap-autograd --lib -- gradcheck_f32
+HAP_THREADS=1 cargo test -q --offline -p hap-train --test determinism -- f32_
+env -u HAP_THREADS cargo test -q --offline -p hap-train --test determinism -- f32_
+
 # The fused transposed-GEMM kernels (matmul_nt / matmul_tn) must match the
 # composed transpose+matmul path bit-for-bit at every thread setting — the
 # tape-level fusion in hap-autograd relies on it, and the goldens above
@@ -77,11 +89,20 @@ HAP_THREADS=1 cargo run --release --offline -q -p hap-bench --bin loadgen -- \
   --requests 200 --out "$SERVE_TMP/b.json"
 env -u HAP_THREADS cargo run --release --offline -q -p hap-bench --bin loadgen -- \
   --requests 200 --clients 7 --out "$SERVE_TMP/c.json"
+# --keep-alive replays the same traffic a second time over persistent
+# connections; loadgen itself exits non-zero if the two transports
+# produce different response hashes, and the d.json hash below must
+# still match the per-request runs (head -1: a keep-alive report
+# carries a second hash field inside its nested section).
+env -u HAP_THREADS cargo run --release --offline -q -p hap-bench --bin loadgen -- \
+  --requests 200 --clients 4 --keep-alive --out "$SERVE_TMP/d.json"
 hash_a=$(grep -o '"response_hash": "[0-9a-f]*"' "$SERVE_TMP/a.json")
 hash_b=$(grep -o '"response_hash": "[0-9a-f]*"' "$SERVE_TMP/b.json")
 hash_c=$(grep -o '"response_hash": "[0-9a-f]*"' "$SERVE_TMP/c.json")
-[ -n "$hash_a" ] && [ "$hash_a" = "$hash_b" ] && [ "$hash_a" = "$hash_c" ] || {
-  echo "serve responses are not deterministic: $hash_a / $hash_b / $hash_c" >&2
+hash_d=$(grep -o '"response_hash": "[0-9a-f]*"' "$SERVE_TMP/d.json" | head -1)
+[ -n "$hash_a" ] && [ "$hash_a" = "$hash_b" ] && [ "$hash_a" = "$hash_c" ] \
+  && [ "$hash_a" = "$hash_d" ] || {
+  echo "serve responses are not deterministic: $hash_a / $hash_b / $hash_c / $hash_d" >&2
   exit 1
 }
 grep -q '"errors": 0,' "$SERVE_TMP/a.json" || {
