@@ -35,7 +35,7 @@
 
 use hap_graph::{generators, Graph};
 use hap_rand::Rng;
-use hap_serve::{serve_snapshot_file, Json, ServeConfig};
+use hap_serve::{serve_snapshot_file, Json, ServeConfig, ServiceConfig};
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::path::PathBuf;
@@ -155,15 +155,24 @@ fn skewed_index(rng: &mut Rng, pool: usize) -> usize {
     ((r * r * pool as f64) as usize).min(pool - 1)
 }
 
+/// Traffic mix: ~75% classify, ~15% similarity, ~10% search — one
+/// uniform draw splits the three bands so the plan stays a pure
+/// function of the seed.
 fn plan_traffic(rng: &mut Rng, pool: &[String], requests: usize) -> Vec<Planned> {
     (0..requests)
         .map(|_| {
             let a = skewed_index(rng, pool.len());
-            if rng.gen_bool(0.15) {
+            let r = rng.gen_f64();
+            if r < 0.15 {
                 let b = skewed_index(rng, pool.len());
                 Planned {
                     path: "/similarity",
                     body: format!("{{\"a\": {}, \"b\": {}}}", pool[a], pool[b]),
+                }
+            } else if r < 0.25 {
+                Planned {
+                    path: "/search",
+                    body: format!("{{\"graph\": {}, \"k\": 10}}", pool[a]),
                 }
             } else {
                 Planned {
@@ -311,12 +320,22 @@ fn run_mode(
     keep_alive: bool,
     hist_key: &'static str,
 ) -> ModeReport {
-    let handle = serve_snapshot_file(&args.snapshot, ServeConfig::default(), None)
-        .unwrap_or_else(|e| {
-            eprintln!("loadgen: cannot serve {}: {e}", args.snapshot.display());
-            eprintln!("         (generate it with: cargo run --release -p hap-bench --bin train_snapshot)");
-            std::process::exit(1);
-        });
+    // Small retrieval index so the /search slice of the mix exercises the
+    // full cascade path (index build, query embedding, bounded-heap merge).
+    let config = ServeConfig {
+        service: ServiceConfig {
+            search_corpus: 256,
+            ..ServiceConfig::default()
+        },
+        ..ServeConfig::default()
+    };
+    let handle = serve_snapshot_file(&args.snapshot, config, None).unwrap_or_else(|e| {
+        eprintln!("loadgen: cannot serve {}: {e}", args.snapshot.display());
+        eprintln!(
+            "         (generate it with: cargo run --release -p hap-bench --bin train_snapshot)"
+        );
+        std::process::exit(1);
+    });
     let addr = handle.addr();
     // Readiness probe before opening fire.
     let (hstatus, hbody, _) = send(addr, "GET", "/healthz", "");

@@ -20,6 +20,11 @@
 //!   `hap_gnn::SPARSE_DENSITY_THRESHOLD` (EXPERIMENTS.md "Sparse vs dense
 //!   crossover"). Both paths produce byte-identical output; only time
 //!   differs.
+//! * `sparse/segment_sums` / `sparse/segment_softmax` — the batched
+//!   segment reductions (`Tensor::try_segment_sums`,
+//!   `try_segment_softmax`) over a block-diagonal batch layout: one
+//!   graph-sized segment per batch member of an `N × F` node tensor,
+//!   the readout/attention companions to the batched SpMM.
 //! * `embed/*` — eval-mode hierarchy embeddings for a batch of graphs:
 //!   the graph-at-a-time loop vs one block-diagonal batched forward
 //!   (`HapClassifier::try_embeddings`), the hap-serve cache-miss path.
@@ -364,6 +369,33 @@ fn sparse_spmm(bench: &mut Bench, sizes: &[usize], seed: u64) {
     }
 }
 
+/// The batched segment reductions from `hap_tensor::segment` over a
+/// block-diagonal batch layout: one graph-sized segment (6–24 rows) per
+/// batch member of an `N × 16` node tensor. `segment_sums` is the
+/// batched readout reduction, `segment_softmax` the attention-readout
+/// normaliser — the companion kernels to the batched SpMM above.
+fn segment_reductions(bench: &mut Bench, seed: u64) {
+    let dim = 16;
+    let mut rng = Rng::from_seed(seed);
+    for segments in [8usize, 32] {
+        let mut offsets = vec![0usize];
+        for _ in 0..segments {
+            let n = rng.gen_range(6..=24);
+            offsets.push(offsets.last().expect("non-empty") + n);
+        }
+        let rows = *offsets.last().expect("non-empty");
+        let h: Tensor<f64> = Tensor::rand_uniform(rows, dim, -1.0, 1.0, &mut rng);
+        bench.run(
+            &format!("sparse/segment_sums/segments={segments}/rows={rows}"),
+            || h.try_segment_sums(&offsets).expect("valid layout"),
+        );
+        bench.run(
+            &format!("sparse/segment_softmax/segments={segments}/rows={rows}"),
+            || h.try_segment_softmax(&offsets).expect("valid layout"),
+        );
+    }
+}
+
 /// Eval-mode hierarchy embeddings for a batch of IMDB-B-like graphs —
 /// the hap-serve cache-miss workload. `looped` calls
 /// `HapClassifier::try_embedding` per graph; `batched` embeds the whole
@@ -628,6 +660,7 @@ fn main() {
     ged(&mut bench, seed);
     parallelism(&mut bench, seed);
     sparse_spmm(&mut bench, coarsen_sizes, seed);
+    segment_reductions(&mut bench, seed);
     embed_batch(&mut bench, seed);
     train_step(&mut bench, seed);
     precision(&mut bench, seed);

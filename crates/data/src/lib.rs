@@ -26,12 +26,14 @@
 //! experiments run at `--quick` scale in minutes and `--full` scale near
 //! the paper's counts.
 
+mod corpus;
 mod ged_corpus;
 mod matching;
 mod molecule;
 mod sample;
 mod social;
 
+pub use corpus::{RetrievalCorpus, CORPUS_FEATURE_DIM};
 pub use ged_corpus::{aids_like, linux_like, triplet_corpus, GedGraph, TripletSample};
 pub use matching::{matching_corpus, MatchingPair};
 pub use molecule::{mutag, proteins, ptc};

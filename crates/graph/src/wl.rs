@@ -39,12 +39,125 @@ pub fn wl_colors(g: &Graph, iterations: usize) -> Vec<usize> {
     colors
 }
 
-/// A canonical (graph-order-independent) signature of the WL colour
-/// *multiset* after `iterations` rounds: the sorted list of
-/// (signature-string, count) pairs, serialised. Two isomorphic graphs
-/// always produce equal signatures; unequal signatures prove
-/// non-isomorphism.
-pub fn wl_histogram_signature(g: &Graph, iterations: usize) -> String {
+/// The canonical 1-WL colour **histogram** of a graph after a fixed
+/// number of refinement rounds: sorted `(colour signature, count)` pairs,
+/// where each colour signature is a cross-graph-comparable string (the
+/// full refinement trace, not a per-call id). Isomorphic graphs always
+/// produce equal signatures; unequal signatures prove non-isomorphism.
+///
+/// This is the single shared computation behind both the serving cache
+/// key ([`wl_cache_key`]) and the retrieval-index admissible WL-overlap
+/// filter (`hap-retrieval`): the cache hashes the histogram, the filter
+/// takes L1 distances between histograms — one refinement pass feeds
+/// both.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WlSignature {
+    /// `(colour signature, multiplicity)` sorted by signature string.
+    entries: Vec<(String, u32)>,
+}
+
+impl WlSignature {
+    /// The sorted `(colour signature, count)` pairs.
+    pub fn entries(&self) -> &[(String, u32)] {
+        &self.entries
+    }
+
+    /// Total node count (the sum of all multiplicities).
+    pub fn total(&self) -> u64 {
+        self.entries.iter().map(|&(_, c)| c as u64).sum()
+    }
+
+    /// The legacy serialised form: every node's colour signature, sorted,
+    /// joined with `;` (duplicates repeated). [`wl_cache_key`] hashes
+    /// exactly this string, so the key is a pure function of the
+    /// histogram.
+    pub fn canonical_string(&self) -> String {
+        let mut parts: Vec<&str> = Vec::with_capacity(self.total() as usize);
+        for (sig, count) in &self.entries {
+            for _ in 0..*count {
+                parts.push(sig.as_str());
+            }
+        }
+        parts.join(";")
+    }
+
+    /// A storage-friendly projection for index structures: `(FNV-1a of
+    /// the colour signature, count)` sorted by hash. Distinct colours
+    /// collide with probability ≈ 2⁻⁶⁴ per pair — the same trade
+    /// [`wl_cache_key`] documents.
+    pub fn compact(&self) -> Vec<(u64, u32)> {
+        let mut out: Vec<(u64, u32)> = self
+            .entries
+            .iter()
+            .map(|(sig, count)| (fnv1a(sig.as_bytes()), *count))
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// L1 distance between the two colour multisets: the number of nodes
+    /// that would have to change colour (counting both sides) to make the
+    /// histograms equal. Zero iff the graphs are 1-WL equivalent at this
+    /// iteration count.
+    pub fn l1_distance(&self, other: &WlSignature) -> u64 {
+        let (mut i, mut j, mut d) = (0, 0, 0u64);
+        let (a, b) = (&self.entries, &other.entries);
+        while i < a.len() && j < b.len() {
+            match a[i].0.cmp(&b[j].0) {
+                std::cmp::Ordering::Less => {
+                    d += a[i].1 as u64;
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    d += b[j].1 as u64;
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    d += (a[i].1 as i64 - b[j].1 as i64).unsigned_abs();
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        d += a[i..].iter().map(|&(_, c)| c as u64).sum::<u64>();
+        d += b[j..].iter().map(|&(_, c)| c as u64).sum::<u64>();
+        d
+    }
+}
+
+/// L1 distance between two [`WlSignature::compact`] projections — the
+/// same multiset distance as [`WlSignature::l1_distance`], computed on
+/// the hash-sorted compact form an index actually stores (modulo the
+/// documented 2⁻⁶⁴ hash-collision approximation).
+pub fn wl_compact_l1(a: &[(u64, u32)], b: &[(u64, u32)]) -> u64 {
+    let (mut i, mut j, mut d) = (0, 0, 0u64);
+    while i < a.len() && j < b.len() {
+        match a[i].0.cmp(&b[j].0) {
+            std::cmp::Ordering::Less => {
+                d += a[i].1 as u64;
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                d += b[j].1 as u64;
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                d += (a[i].1 as i64 - b[j].1 as i64).unsigned_abs();
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    d += a[i..].iter().map(|&(_, c)| c as u64).sum::<u64>();
+    d += b[j..].iter().map(|&(_, c)| c as u64).sum::<u64>();
+    d
+}
+
+/// Runs `iterations` rounds of refinement and returns the canonical
+/// colour histogram — the one shared computation behind
+/// [`wl_histogram_signature`], [`wl_cache_key`] and the retrieval
+/// filters.
+pub fn wl_signature(g: &Graph, iterations: usize) -> WlSignature {
     // Re-derive colours but track full signature strings so they are
     // comparable across graphs (ids from `wl_colors` are per-call).
     let mut sigs: Vec<String> = match g.node_labels() {
@@ -60,9 +173,23 @@ pub fn wl_histogram_signature(g: &Graph, iterations: usize) -> String {
         }
         sigs = next;
     }
-    let mut hist: Vec<String> = sigs;
-    hist.sort_unstable();
-    hist.join(";")
+    sigs.sort_unstable();
+    let mut entries: Vec<(String, u32)> = Vec::new();
+    for sig in sigs {
+        match entries.last_mut() {
+            Some((last, count)) if *last == sig => *count += 1,
+            _ => entries.push((sig, 1)),
+        }
+    }
+    WlSignature { entries }
+}
+
+/// The serialised form of [`wl_signature`] (kept for compatibility): the
+/// sorted list of per-node colour signatures, joined. Two isomorphic
+/// graphs always produce equal strings; unequal strings prove
+/// non-isomorphism.
+pub fn wl_histogram_signature(g: &Graph, iterations: usize) -> String {
+    wl_signature(g, iterations).canonical_string()
 }
 
 /// FNV-1a over a byte string — the workspace's stock string hash (the
@@ -108,11 +235,19 @@ fn fnv1a(bytes: &[u8]) -> u64 {
 /// [`wl_histogram_signature`] string *and* verify graph equality on hit;
 /// the serving cache deliberately does not.
 pub fn wl_cache_key(g: &Graph, iterations: usize) -> u64 {
-    let sig = wl_histogram_signature(g, iterations);
-    let mut h = fnv1a(sig.as_bytes());
-    h ^= fnv1a(&(g.n() as u64).to_le_bytes());
+    wl_cache_key_from_signature(&wl_signature(g, iterations), g.n(), g.num_edges())
+}
+
+/// The [`wl_cache_key`] computed from an already-derived histogram — a
+/// **pure function** of `(signature, n, num_edges)`, nothing else. Callers
+/// that need both the histogram (for overlap filtering) and the cache key
+/// (for embedding lookup) run the refinement once and derive both from
+/// the same [`WlSignature`].
+pub fn wl_cache_key_from_signature(sig: &WlSignature, n: usize, num_edges: usize) -> u64 {
+    let mut h = fnv1a(sig.canonical_string().as_bytes());
+    h ^= fnv1a(&(n as u64).to_le_bytes());
     h = h.wrapping_mul(0x0000_0100_0000_01B3);
-    h ^= fnv1a(&(g.num_edges() as u64).to_le_bytes());
+    h ^= fnv1a(&(num_edges as u64).to_le_bytes());
     h
 }
 
@@ -261,6 +396,74 @@ mod tests {
         let p4 = generators::path(4);
         let s4 = generators::star(4);
         assert_ne!(wl_cache_key(&p4, 1), wl_cache_key(&s4, 1));
+    }
+
+    #[test]
+    fn cache_key_is_a_pure_function_of_the_signature() {
+        // The satellite contract: wl_cache_key must be derivable from the
+        // histogram alone (plus the n/edge counts the histogram's caller
+        // already has) — no hidden dependence on graph internals.
+        let mut rng = Rng::from_seed(41);
+        for trial in 0..8 {
+            let n = 4 + trial % 6;
+            let g = generators::erdos_renyi_connected(n, 0.4, &mut rng);
+            let sig = wl_signature(&g, 3);
+            assert_eq!(
+                wl_cache_key(&g, 3),
+                wl_cache_key_from_signature(&sig, g.n(), g.num_edges()),
+                "trial {trial}"
+            );
+            // Equal signatures (same n, m) imply equal keys: the classic
+            // 1-WL-blind pair shares a signature and therefore a key.
+        }
+        let c6 = generators::cycle(6);
+        let two_c3 = generators::cycle(3).disjoint_union(&generators::cycle(3));
+        let (s1, s2) = (wl_signature(&c6, 3), wl_signature(&two_c3, 3));
+        assert_eq!(s1, s2, "1-WL cannot separate 2-regular graphs");
+        assert_eq!(
+            wl_cache_key_from_signature(&s1, 6, 6),
+            wl_cache_key_from_signature(&s2, 6, 6)
+        );
+    }
+
+    #[test]
+    fn signature_matches_legacy_serialisation_and_counts_nodes() {
+        let mut rng = Rng::from_seed(42);
+        let g = generators::erdos_renyi_connected(9, 0.35, &mut rng);
+        let sig = wl_signature(&g, 3);
+        assert_eq!(sig.total(), 9);
+        assert_eq!(sig.canonical_string(), wl_histogram_signature(&g, 3));
+        // Entries are sorted and deduplicated.
+        for w in sig.entries().windows(2) {
+            assert!(w[0].0 < w[1].0, "entries must be strictly sorted");
+        }
+    }
+
+    #[test]
+    fn l1_distance_is_a_metric_on_histograms() {
+        let p = generators::path(5);
+        let s = generators::star(5);
+        let c = generators::cycle(5);
+        let (sp, ss, sc) = (
+            wl_signature(&p, 2),
+            wl_signature(&s, 2),
+            wl_signature(&c, 2),
+        );
+        assert_eq!(sp.l1_distance(&sp), 0, "identity");
+        assert_eq!(sp.l1_distance(&ss), ss.l1_distance(&sp), "symmetry");
+        assert!(sp.l1_distance(&ss) > 0);
+        // Triangle inequality on this triple.
+        assert!(sp.l1_distance(&sc) <= sp.l1_distance(&ss) + ss.l1_distance(&sc));
+        // The compact projection computes the same distance.
+        assert_eq!(
+            wl_compact_l1(&sp.compact(), &ss.compact()),
+            sp.l1_distance(&ss)
+        );
+        assert_eq!(wl_compact_l1(&sc.compact(), &sc.compact()), 0);
+        // Disjoint histograms: distance is the total node count of both.
+        let labelled = crate::Graph::from_edges(2, &[(0, 1)]).with_node_labels(vec![7, 7]);
+        let sl = wl_signature(&labelled, 0);
+        assert_eq!(sp.l1_distance(&sl), sp.total() + sl.total());
     }
 
     #[test]

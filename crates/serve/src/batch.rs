@@ -16,7 +16,10 @@
 //! worker count and any batch composition.
 
 use crate::json::{num, num_array};
-use crate::service::{clamp_labels, Classification, ModelService, ServiceConfig, Similarity};
+use crate::service::{
+    clamp_labels, Classification, ModelService, SearchResult, SearchState, ServiceConfig,
+    Similarity,
+};
 use hap_graph::{Graph, GraphScalar};
 use hap_snapshot::{ModelSnapshot, SnapshotError};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -31,6 +34,17 @@ pub enum Job {
     Classify(Graph),
     /// Score a pair of graphs.
     Similarity(Graph, Graph),
+    /// Top-k corpus retrieval for a query graph.
+    Search {
+        /// The query graph.
+        graph: Graph,
+        /// How many neighbours to return.
+        k: usize,
+        /// Cascade candidate budget (`None` = server default).
+        budget: Option<usize>,
+        /// Whether to exactly rerank the shortlist by GED.
+        rerank: bool,
+    },
 }
 
 /// A job plus its reply slot. `Ok` carries the response JSON body; `Err`
@@ -98,6 +112,27 @@ impl Batcher {
         max_batch: usize,
     ) -> Result<Batcher, SnapshotError> {
         snapshot.build_classifier()?; // fail fast, result dropped
+                                      // The retrieval index is built *before* the model thread spawns
+                                      // (index build parallelises over the pool itself); the built
+                                      // index is plain owned data and moves into the thread. Corpus
+                                      // graphs never fail to embed — the generators only produce
+                                      // non-empty graphs — so after the classifier validation above a
+                                      // build error would be a bug, not bad input.
+        let search = if svc_cfg.search_corpus > 0 {
+            let corpus = hap_data::RetrievalCorpus::new(svc_cfg.search_seed, svc_cfg.search_corpus);
+            let index = hap_retrieval::GraphIndex::build(
+                &snapshot,
+                &corpus,
+                hap_retrieval::IndexConfig {
+                    wl_iterations: svc_cfg.wl_iterations,
+                    ..hap_retrieval::IndexConfig::default()
+                },
+            )
+            .expect("retrieval index build from a validated snapshot");
+            Some(SearchState { index, corpus })
+        } else {
+            None
+        };
         let (tx, rx) = std::sync::mpsc::channel::<Submission>();
         let stats = Arc::new(CacheStats::default());
         let stats_thread = Arc::clone(&stats);
@@ -112,6 +147,9 @@ impl Batcher {
                     .build_classifier()
                     .expect("snapshot validated before spawn");
                 let mut svc = ModelService::new(clf, in_dim, hidden, levels, svc_cfg);
+                if let Some(state) = search {
+                    svc.enable_search(state);
+                }
                 run_loop(&rx, &mut svc, window, max_batch, &stats_thread);
             })
             .expect("spawn model thread");
@@ -242,6 +280,27 @@ fn handle_job<T: GraphScalar>(svc: &mut ModelService<T>, job: Job) -> Result<Str
                 "{{\"mean\":{},\"per_level\":{}}}",
                 num(mean),
                 num_array(&per_level)
+            ))
+        }
+        Job::Search {
+            mut graph,
+            k,
+            budget,
+            rerank,
+        } => {
+            clamp_labels(&mut graph, svc.in_dim());
+            let SearchResult {
+                hits,
+                budget,
+                reranked,
+            } = svc.search(&graph, k, budget, rerank)?;
+            let results: Vec<String> = hits
+                .iter()
+                .map(|h| format!("{{\"id\":{},\"distance\":{}}}", h.id, num(h.distance)))
+                .collect();
+            Ok(format!(
+                "{{\"results\":[{}],\"budget\":{budget},\"reranked\":{reranked}}}",
+                results.join(",")
             ))
         }
     }

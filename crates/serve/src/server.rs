@@ -185,6 +185,7 @@ pub fn serve<T: GraphScalar>(
     } else {
         config.workers
     };
+    let search_enabled = config.service.search_corpus > 0;
     let mut workers = Vec::with_capacity(worker_count);
     for w in 0..worker_count {
         let shared = Arc::clone(&shared);
@@ -194,7 +195,7 @@ pub fn serve<T: GraphScalar>(
         workers.push(
             std::thread::Builder::new()
                 .name(format!("hap-serve-worker-{w}"))
-                .spawn(move || worker_loop(&shared, &client, &stats, max_body))
+                .spawn(move || worker_loop(&shared, &client, &stats, max_body, search_enabled))
                 .expect("spawn worker thread"),
         );
     }
@@ -246,7 +247,13 @@ pub fn serve_snapshot_file(
     }
 }
 
-fn worker_loop(shared: &Shared, client: &BatcherClient, stats: &CacheStats, max_body: usize) {
+fn worker_loop(
+    shared: &Shared,
+    client: &BatcherClient,
+    stats: &CacheStats,
+    max_body: usize,
+    search_enabled: bool,
+) {
     loop {
         let stream = {
             let mut q = shared.queue.lock().expect("queue lock");
@@ -265,7 +272,7 @@ fn worker_loop(shared: &Shared, client: &BatcherClient, stats: &CacheStats, max_
         // worker alive; the connection state is unwind-safe because it
         // is dropped right after either way.
         let result = catch_unwind(AssertUnwindSafe(|| {
-            handle_connection(&mut stream, client, stats, max_body)
+            handle_connection(&mut stream, client, stats, max_body, search_enabled)
         }));
         if result.is_err() {
             hap_obs::inc("serve.panics");
@@ -292,6 +299,7 @@ fn handle_connection(
     client: &BatcherClient,
     stats: &CacheStats,
     max_body: usize,
+    search_enabled: bool,
 ) {
     let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
     let _ = stream.set_nodelay(true); // small JSON bodies; don't wait on Nagle
@@ -314,12 +322,13 @@ fn handle_connection(
             Err(HttpError::Io(_)) => return, // client went away; nothing to answer
         };
         let keep_alive = request.keep_alive;
-        let (status, reason, body) = route(&request, client, stats);
+        let (status, reason, body) = route(&request, client, stats, search_enabled);
         hap_obs::inc(match status {
             200 => "serve.http.200",
             400 => "serve.http.400",
             404 => "serve.http.404",
             405 => "serve.http.405",
+            503 => "serve.http.503",
             _ => "serve.http.other",
         });
         let ok = write_response(stream, status, reason, &body, keep_alive).is_ok();
@@ -335,6 +344,7 @@ fn route(
     request: &Request,
     client: &BatcherClient,
     stats: &CacheStats,
+    search_enabled: bool,
 ) -> (u16, &'static str, String) {
     match (request.method, request.path.as_str()) {
         (Method::Get, "/healthz") => (200, "OK", "{\"status\":\"ok\"}".to_string()),
@@ -347,7 +357,16 @@ fn route(
             Ok(job) => dispatch(client, job),
             Err(msg) => bad_request(&msg),
         },
-        (_, "/healthz" | "/metrics" | "/classify" | "/similarity") => (
+        (Method::Post, "/search") if !search_enabled => (
+            503,
+            "Service Unavailable",
+            "{\"error\":\"search is not enabled on this server\"}".to_string(),
+        ),
+        (Method::Post, "/search") => match parse_search(&request.body) {
+            Ok(job) => dispatch(client, job),
+            Err(msg) => bad_request(&msg),
+        },
+        (_, "/healthz" | "/metrics" | "/classify" | "/similarity" | "/search") => (
             405,
             "Method Not Allowed",
             "{\"error\":\"method not allowed\"}".to_string(),
@@ -400,6 +419,47 @@ fn parse_similarity(body: &[u8]) -> Result<Job, String> {
     let a = v.get("a").ok_or("missing \"a\" graph")?;
     let b = v.get("b").ok_or("missing \"b\" graph")?;
     Ok(Job::Similarity(graph_from_json(a)?, graph_from_json(b)?))
+}
+
+fn parse_search(body: &[u8]) -> Result<Job, String> {
+    let v = parse_body(body)?;
+    // Accept either a bare graph object or {"graph": {...}, "k": 10,
+    // "budget": 200, "rerank": true} — k/budget/rerank are optional.
+    let graph = match v.get("graph") {
+        Some(inner) => graph_from_json(inner)?,
+        None => graph_from_json(&v)?,
+    };
+    let k = match v.get("k") {
+        Some(k) => {
+            let k = k
+                .as_usize()
+                .filter(|&k| (1..=crate::service::MAX_SEARCH_K).contains(&k))
+                .ok_or(format!(
+                    "\"k\" must be an integer in 1..={}",
+                    crate::service::MAX_SEARCH_K
+                ))?;
+            k
+        }
+        None => 10,
+    };
+    let budget = match v.get("budget") {
+        Some(b) => Some(
+            b.as_usize()
+                .filter(|&b| b >= 1)
+                .ok_or("\"budget\" must be a positive integer")?,
+        ),
+        None => None,
+    };
+    let rerank = match v.get("rerank") {
+        Some(r) => r.as_bool().ok_or("\"rerank\" must be a boolean")?,
+        None => false,
+    };
+    Ok(Job::Search {
+        graph,
+        k,
+        budget,
+        rerank,
+    })
 }
 
 /// `/metrics`: cache stats from the shared atomics, latency quantiles

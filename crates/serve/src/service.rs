@@ -31,6 +31,9 @@ pub const MAX_GRAPH_NODES: usize = 512;
 /// never adds information on a simple graph).
 pub const MAX_GRAPH_EDGES: usize = MAX_GRAPH_NODES * MAX_GRAPH_NODES / 2;
 
+/// Hard cap on `k` accepted by `POST /search`.
+pub const MAX_SEARCH_K: usize = 100;
+
 /// Tunables for [`ModelService`].
 #[derive(Clone, Debug)]
 pub struct ServiceConfig {
@@ -40,6 +43,14 @@ pub struct ServiceConfig {
     pub wl_iterations: usize,
     /// Scale `s` in the similarity kernel `exp(-s · d)`.
     pub similarity_scale: f64,
+    /// Size of the seeded retrieval corpus served by `POST /search`
+    /// (0 disables the route; the index is built at startup).
+    pub search_corpus: usize,
+    /// Seed of the retrieval corpus.
+    pub search_seed: u64,
+    /// Default cascade candidate budget when a search request does not
+    /// set one.
+    pub search_budget: usize,
 }
 
 impl Default for ServiceConfig {
@@ -48,6 +59,9 @@ impl Default for ServiceConfig {
             cache_capacity: 1024,
             wl_iterations: 3,
             similarity_scale: 0.5,
+            search_corpus: 0,
+            search_seed: 77,
+            search_budget: 128,
         }
     }
 }
@@ -59,6 +73,30 @@ pub struct Classification {
     pub label: usize,
     /// Raw logits, one per class.
     pub logits: Vec<f64>,
+}
+
+/// Result of `POST /search`: top-k corpus neighbours of the query
+/// graph, nearest first.
+#[derive(Clone, Debug)]
+pub struct SearchResult {
+    /// `(corpus id, distance)` pairs — retrieval distance, or GED when
+    /// `reranked` is set.
+    pub hits: Vec<hap_retrieval::Neighbor>,
+    /// The cascade budget actually used (after clamping).
+    pub budget: usize,
+    /// Whether the shortlist was exactly reranked by graph edit
+    /// distance.
+    pub reranked: bool,
+}
+
+/// The retrieval index plus the corpus it was built over ([`ModelService`]
+/// search support; the corpus handle regenerates shortlist graphs for
+/// the GED rerank stage).
+pub struct SearchState {
+    /// The pre-built retrieval index.
+    pub index: hap_retrieval::GraphIndex,
+    /// The corpus the index was built over.
+    pub corpus: hap_data::RetrievalCorpus,
 }
 
 /// Result of `POST /similarity`.
@@ -82,6 +120,7 @@ pub struct ModelService<T: GraphScalar = f64> {
     hidden: usize,
     cfg: ServiceConfig,
     cache: LruCache<Tensor<T>>,
+    search: Option<SearchState>,
 }
 
 impl<T: GraphScalar> ModelService<T> {
@@ -102,7 +141,20 @@ impl<T: GraphScalar> ModelService<T> {
             hidden,
             cfg,
             cache,
+            search: None,
         }
+    }
+
+    /// Installs a pre-built retrieval index (built from the same
+    /// snapshot this service's classifier came from, so index and query
+    /// embeddings share one parameter set).
+    pub fn enable_search(&mut self, state: SearchState) {
+        self.search = Some(state);
+    }
+
+    /// Whether `POST /search` is backed by an index.
+    pub fn search_enabled(&self) -> bool {
+        self.search.is_some()
     }
 
     /// Input feature dimension expected by the loaded model.
@@ -283,6 +335,61 @@ impl<T: GraphScalar> ModelService<T> {
     /// Number of output classes of the loaded head.
     pub fn classes(&self) -> usize {
         self.clf.classes()
+    }
+
+    /// Top-`k` most-similar corpus graphs for `g` via the retrieval
+    /// cascade. The query embedding goes through the same WL-keyed
+    /// cache as `/classify`, so repeated or isomorphic queries skip the
+    /// forward pass entirely. `budget` defaults to the configured
+    /// cascade budget and is clamped to `[k, corpus size]`; `rerank`
+    /// reorders the shortlist by exact (Hungarian-bounded) graph edit
+    /// distance against regenerated corpus graphs.
+    ///
+    /// # Errors
+    /// A client-facing message when search is disabled or the forward
+    /// pass rejects the graph.
+    pub fn search(
+        &mut self,
+        g: &Graph,
+        k: usize,
+        budget: Option<usize>,
+        rerank: bool,
+    ) -> Result<SearchResult, String> {
+        if self.search.is_none() {
+            return Err("search is not enabled on this server".to_string());
+        }
+        let e = self.embedding(g).map_err(|e| e.to_string())?;
+        let concat: Vec<f64> = e.cast::<f64>().row(0).to_vec();
+        let state = self.search.as_ref().expect("checked above");
+        let q = hap_retrieval::QueryEmbedding::from_concat(
+            g,
+            &concat,
+            state.index.hidden(),
+            state.index.levels(),
+            state.index.config().wl_iterations,
+        )
+        .map_err(|e| e.to_string())?;
+        let k = k.clamp(1, MAX_SEARCH_K);
+        let budget = budget
+            .unwrap_or(self.cfg.search_budget)
+            .clamp(k, state.index.len().max(1));
+        let (hits, _report) = state.index.cascade(&q, k, budget);
+        let hits = if rerank {
+            state.index.rerank_ged(
+                &state.corpus,
+                g,
+                &hits,
+                hap_ged::GedMethod::Hungarian,
+                &hap_ged::EditCosts::uniform(),
+            )
+        } else {
+            hits
+        };
+        Ok(SearchResult {
+            hits,
+            budget,
+            reranked: rerank,
+        })
     }
 }
 

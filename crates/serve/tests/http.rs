@@ -178,3 +178,95 @@ fn labelled_graphs_classify_and_out_of_range_labels_are_total() {
     assert_eq!(status, "HTTP/1.1 200 OK", "{body}");
     h.shutdown();
 }
+
+#[test]
+fn search_answers_503_when_disabled() {
+    let h = start();
+    let (status, body) = request(&h, "POST", "/search", r#"{"n": 3, "edges": [[0,1],[1,2]]}"#);
+    assert!(status.contains("503"), "{status}");
+    assert!(body.contains("not enabled"), "{body}");
+    h.shutdown();
+}
+
+#[test]
+fn search_roundtrip_is_deterministic_and_validates_input() {
+    let h = serve(
+        tiny_snapshot(),
+        ServeConfig {
+            workers: 2,
+            service: hap_serve::ServiceConfig {
+                search_corpus: 64,
+                ..hap_serve::ServiceConfig::default()
+            },
+            ..ServeConfig::default()
+        },
+    )
+    .expect("server with search starts");
+
+    let payload = r#"{"graph": {"n": 5, "edges": [[0,1],[1,2],[2,3],[3,4]]}, "k": 5}"#;
+    let (status, body1) = request(&h, "POST", "/search", payload);
+    assert_eq!(status, "HTTP/1.1 200 OK", "{body1}");
+    assert!(body1.starts_with("{\"results\":[{\"id\":"), "{body1}");
+    assert!(body1.contains("\"reranked\":false"), "{body1}");
+    let (_, body2) = request(&h, "POST", "/search", payload);
+    assert_eq!(body1, body2, "same payload must answer byte-identically");
+
+    // A bare graph object works too, with defaults.
+    let (status, body) = request(&h, "POST", "/search", r#"{"n": 3, "edges": [[0,1],[1,2]]}"#);
+    assert_eq!(status, "HTTP/1.1 200 OK", "{body}");
+
+    // Reranked search returns the same ids (possibly reordered) and
+    // flags itself.
+    let reranked =
+        r#"{"graph": {"n": 5, "edges": [[0,1],[1,2],[2,3],[3,4]]}, "k": 5, "rerank": true}"#;
+    let (status, body) = request(&h, "POST", "/search", reranked);
+    assert_eq!(status, "HTTP/1.1 200 OK", "{body}");
+    assert!(body.contains("\"reranked\":true"), "{body}");
+
+    // Invalid knobs are 400s, not panics.
+    for bad in [
+        r#"{"graph": {"n": 3}, "k": 0}"#,
+        r#"{"graph": {"n": 3}, "k": 5000}"#,
+        r#"{"graph": {"n": 3}, "budget": 0}"#,
+        r#"{"graph": {"n": 3}, "rerank": 7}"#,
+        r#"{"n": 0}"#,
+    ] {
+        let (status, body) = request(&h, "POST", "/search", bad);
+        assert!(
+            status.contains("400"),
+            "payload {bad} must be rejected: {status} {body}"
+        );
+    }
+    h.shutdown();
+}
+
+#[test]
+fn search_with_explicit_budget_expands_recall() {
+    let h = serve(
+        tiny_snapshot(),
+        ServeConfig {
+            workers: 1,
+            service: hap_serve::ServiceConfig {
+                search_corpus: 64,
+                ..hap_serve::ServiceConfig::default()
+            },
+            ..ServeConfig::default()
+        },
+    )
+    .expect("server with search starts");
+    // Budget == corpus size means the cascade equals the exhaustive
+    // scan; the answer at the default budget must match it here because
+    // the default (128) already covers the whole 64-graph corpus.
+    let q = r#"{"graph": {"n": 6, "edges": [[0,1],[1,2],[2,3],[3,4],[4,5],[5,0]]}, "k": 3}"#;
+    let full = r#"{"graph": {"n": 6, "edges": [[0,1],[1,2],[2,3],[3,4],[4,5],[5,0]]}, "k": 3, "budget": 64}"#;
+    let (_, body_default) = request(&h, "POST", "/search", q);
+    let (_, body_full) = request(&h, "POST", "/search", full);
+    let ids = |b: &str| {
+        b.split("\"id\":")
+            .skip(1)
+            .map(|s| s.split(',').next().unwrap().to_string())
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(ids(&body_default), ids(&body_full));
+    h.shutdown();
+}

@@ -102,3 +102,28 @@ loadgen_out=$(mktemp /tmp/loadgen.XXXXXX.json)
 trap 'rm -f "$current" "$loadgen_out"' EXIT
 cargo run --release --offline -p hap-bench --bin loadgen -- \
     --baseline results/loadgen.json --threshold 60 --out "$loadgen_out"
+
+# Retrieval cascade gate: rebuild the 100k-graph index and replay the
+# held-out queries fresh, then hold the gated operating point (the
+# smallest budget whose recall@10 clears 0.95) to the committed floors:
+# >= 3x median speedup over the exhaustive scan at >= 0.95 recall@10.
+# Speedup here is FLOP reduction, not parallelism — the floors hold at
+# HAP_THREADS=1 — so unlike the latency gates above they are not
+# host-sensitive. The committed curve lives in results/retrieval.json.
+retrieval_out=$(mktemp /tmp/retrieval.XXXXXX.json)
+trap 'rm -f "$current" "$loadgen_out" "$retrieval_out"' EXIT
+cargo run --release --offline -p hap-bench --bin retrieval_bench -- \
+    --out "$retrieval_out"
+python3 - "$retrieval_out" <<'EOF'
+import json, sys
+r = json.load(open(sys.argv[1]))
+speedup, recall, budget = r["gated_speedup"], r["gated_recall"], r["gated_budget"]
+if recall < 0.95:
+    sys.exit(f"retrieval recall collapsed: no budget reaches recall@10 >= 0.95 "
+             f"(best gated: {recall:.4f} at budget {budget})")
+if speedup < 3.0:
+    sys.exit(f"retrieval cascade speedup regressed: {speedup:.2f}x at budget "
+             f"{budget} (floor 3.0x)")
+print(f"retrieval cascade: {speedup:.2f}x over exhaustive at budget {budget}, "
+      f"recall@10 {recall:.4f}")
+EOF

@@ -110,3 +110,26 @@ grep -q '"errors": 0,' "$SERVE_TMP/a.json" || {
   exit 1
 }
 rm -rf "$SERVE_TMP"
+
+# Retrieval smoke test: a small index replayed three times — twice pinned
+# to one thread, once with the pool sized from the hardware — must return
+# byte-identical top-k lists (the results_hash covers every (id,
+# distance-bits) pair of every exhaustive and cascade answer). The
+# admissibility property tests also run under both threading modes.
+RETRIEVAL_TMP="$(mktemp -d)"
+HAP_THREADS=1 cargo run --release --offline -q -p hap-bench --bin retrieval_bench -- \
+  --graphs 2000 --queries 8 --budgets 64,128,256 --out "$RETRIEVAL_TMP/a.json"
+HAP_THREADS=1 cargo run --release --offline -q -p hap-bench --bin retrieval_bench -- \
+  --graphs 2000 --queries 8 --budgets 64,128,256 --out "$RETRIEVAL_TMP/b.json"
+env -u HAP_THREADS cargo run --release --offline -q -p hap-bench --bin retrieval_bench -- \
+  --graphs 2000 --queries 8 --budgets 64,128,256 --out "$RETRIEVAL_TMP/c.json"
+rhash_a=$(grep -o '"results_hash": "[0-9a-f]*"' "$RETRIEVAL_TMP/a.json")
+rhash_b=$(grep -o '"results_hash": "[0-9a-f]*"' "$RETRIEVAL_TMP/b.json")
+rhash_c=$(grep -o '"results_hash": "[0-9a-f]*"' "$RETRIEVAL_TMP/c.json")
+[ -n "$rhash_a" ] && [ "$rhash_a" = "$rhash_b" ] && [ "$rhash_a" = "$rhash_c" ] || {
+  echo "retrieval results are not deterministic: $rhash_a / $rhash_b / $rhash_c" >&2
+  exit 1
+}
+rm -rf "$RETRIEVAL_TMP"
+HAP_THREADS=1 cargo test -q --offline -p hap-retrieval --test admissibility
+env -u HAP_THREADS cargo test -q --offline -p hap-retrieval --test admissibility
