@@ -222,7 +222,12 @@ impl GraphIndex {
             wl_hashes: Vec::new(),
             wl_counts: Vec::new(),
             coarse: Vec::with_capacity(len * hidden),
-            fine: vec![Vec::with_capacity(len * hidden); levels - 1],
+            // Not `vec![Vec::with_capacity(..); n]`: `Vec::clone` copies
+            // contents (len 0), not capacity, so all but the template
+            // buffer would start empty and reallocate while assembling.
+            fine: (0..levels - 1)
+                .map(|_| Vec::with_capacity(len * hidden))
+                .collect(),
         };
         index.wl_offsets.push(0);
         for out in outs {

@@ -16,12 +16,14 @@
 //! worker count and any batch composition.
 
 use crate::json::{num, num_array};
+use crate::server::ServeError;
 use crate::service::{
     clamp_labels, Classification, ModelService, SearchResult, SearchState, ServiceConfig,
     Similarity,
 };
 use hap_graph::{Graph, GraphScalar};
-use hap_snapshot::{ModelSnapshot, SnapshotError};
+use hap_snapshot::ModelSnapshot;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, Sender, SyncSender};
 use std::sync::Arc;
@@ -104,20 +106,23 @@ impl Batcher {
     /// handle, channels and HTTP layer are dtype-erased.
     ///
     /// # Errors
-    /// [`SnapshotError`] when the snapshot cannot rebuild a classifier.
+    /// [`ServeError::Snapshot`] when the snapshot cannot rebuild a
+    /// classifier, [`ServeError::Retrieval`] when the search index
+    /// cannot be built from it.
     pub fn spawn<T: GraphScalar>(
         snapshot: ModelSnapshot<T>,
         svc_cfg: ServiceConfig,
         window: Duration,
         max_batch: usize,
-    ) -> Result<Batcher, SnapshotError> {
-        snapshot.build_classifier()?; // fail fast, result dropped
-                                      // The retrieval index is built *before* the model thread spawns
-                                      // (index build parallelises over the pool itself); the built
-                                      // index is plain owned data and moves into the thread. Corpus
-                                      // graphs never fail to embed — the generators only produce
-                                      // non-empty graphs — so after the classifier validation above a
-                                      // build error would be a bug, not bad input.
+    ) -> Result<Batcher, ServeError> {
+        // Fail fast on an unusable snapshot; the validation classifier
+        // is dropped (the real one is built inside the model thread).
+        snapshot.build_classifier().map_err(ServeError::Snapshot)?;
+        // The retrieval index is built *before* the model thread spawns
+        // (index build parallelises over the pool itself); the built
+        // index is plain owned data and moves into the thread. A build
+        // failure surfaces through the same startup error path as a bad
+        // snapshot.
         let search = if svc_cfg.search_corpus > 0 {
             let corpus = hap_data::RetrievalCorpus::new(svc_cfg.search_seed, svc_cfg.search_corpus);
             let index = hap_retrieval::GraphIndex::build(
@@ -127,8 +132,7 @@ impl Batcher {
                     wl_iterations: svc_cfg.wl_iterations,
                     ..hap_retrieval::IndexConfig::default()
                 },
-            )
-            .expect("retrieval index build from a validated snapshot");
+            )?;
             Some(SearchState { index, corpus })
         } else {
             None
@@ -236,25 +240,37 @@ fn run_loop<T: GraphScalar>(
                 }),
             }
         }
+        // Jobs run under `catch_unwind`: handlers validate their inputs
+        // and should never panic, but the model thread is a singleton —
+        // letting one slip through would take down every route for the
+        // rest of the process. A caught panic answers only the jobs it
+        // covered; the thread (and the service state, which mutates
+        // nothing observable before a result is produced) lives on.
         if !classify_graphs.is_empty() {
             hap_obs::record("serve.classify_batch_size", classify_graphs.len() as f64);
-            for (result, reply) in svc
-                .classify_batch(&classify_graphs)
-                .into_iter()
-                .zip(classify_replies)
-            {
-                let body = result
-                    .map(|Classification { label, logits }| {
-                        format!("{{\"label\":{label},\"logits\":{}}}", num_array(&logits))
-                    })
-                    .map_err(|e| e.to_string());
-                // A dead receiver just means the worker gave up; ignore.
-                let _ = reply.send(body);
+            match catch_unwind(AssertUnwindSafe(|| svc.classify_batch(&classify_graphs))) {
+                Ok(results) => {
+                    for (result, reply) in results.into_iter().zip(classify_replies) {
+                        let body = result
+                            .map(|Classification { label, logits }| {
+                                format!("{{\"label\":{label},\"logits\":{}}}", num_array(&logits))
+                            })
+                            .map_err(|e| e.to_string());
+                        // A dead receiver just means the worker gave up; ignore.
+                        let _ = reply.send(body);
+                    }
+                }
+                Err(_) => {
+                    for reply in classify_replies {
+                        let _ = reply.send(Err("internal error handling request".to_string()));
+                    }
+                }
             }
         }
-        for sub in rest {
-            let body = handle_job(svc, sub.job);
-            let _ = sub.reply.send(body);
+        for Submission { job, reply } in rest {
+            let body = catch_unwind(AssertUnwindSafe(|| handle_job(svc, job)))
+                .unwrap_or_else(|_| Err("internal error handling request".to_string()));
+            let _ = reply.send(body);
         }
         stats.hits.store(svc.cache_hits(), Ordering::Relaxed);
         stats.misses.store(svc.cache_misses(), Ordering::Relaxed);

@@ -60,6 +60,8 @@ impl Default for ServeConfig {
 pub enum ServeError {
     /// The snapshot could not rebuild a classifier.
     Snapshot(SnapshotError),
+    /// The retrieval index could not be built for `search_corpus`.
+    Retrieval(hap_retrieval::RetrievalError),
     /// Bind or listener configuration failed.
     Io(std::io::Error),
 }
@@ -68,6 +70,7 @@ impl std::fmt::Display for ServeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ServeError::Snapshot(e) => write!(f, "snapshot error: {e}"),
+            ServeError::Retrieval(e) => write!(f, "retrieval index build failed: {e}"),
             ServeError::Io(e) => write!(f, "i/o error: {e}"),
         }
     }
@@ -84,6 +87,12 @@ impl From<SnapshotError> for ServeError {
 impl From<std::io::Error> for ServeError {
     fn from(e: std::io::Error) -> Self {
         ServeError::Io(e)
+    }
+}
+
+impl From<hap_retrieval::RetrievalError> for ServeError {
+    fn from(e: hap_retrieval::RetrievalError) -> Self {
+        ServeError::Retrieval(e)
     }
 }
 
@@ -142,6 +151,7 @@ impl Drop for ServerHandle {
 ///
 /// # Errors
 /// [`ServeError::Snapshot`] for an unusable snapshot,
+/// [`ServeError::Retrieval`] when the search index cannot be built,
 /// [`ServeError::Io`] when the bind fails.
 pub fn serve<T: GraphScalar>(
     snapshot: ModelSnapshot<T>,

@@ -340,8 +340,12 @@ impl<T: GraphScalar> ModelService<T> {
     /// Top-`k` most-similar corpus graphs for `g` via the retrieval
     /// cascade. The query embedding goes through the same WL-keyed
     /// cache as `/classify`, so repeated or isomorphic queries skip the
-    /// forward pass entirely. `budget` defaults to the configured
-    /// cascade budget and is clamped to `[k, corpus size]`; `rerank`
+    /// forward pass entirely. `k` is clamped to
+    /// `[1, min(MAX_SEARCH_K, corpus size)]` — the wire layer bounds it
+    /// by `MAX_SEARCH_K` only, so a valid request can still ask for more
+    /// neighbours than a small corpus holds. `budget` defaults to the
+    /// configured cascade budget and is clamped to `[k, corpus size]`
+    /// *after* `k` is bounded, so the range is never inverted; `rerank`
     /// reorders the shortlist by exact (Hungarian-bounded) graph edit
     /// distance against regenerated corpus graphs.
     ///
@@ -369,10 +373,14 @@ impl<T: GraphScalar> ModelService<T> {
             state.index.config().wl_iterations,
         )
         .map_err(|e| e.to_string())?;
-        let k = k.clamp(1, MAX_SEARCH_K);
-        let budget = budget
-            .unwrap_or(self.cfg.search_budget)
-            .clamp(k, state.index.len().max(1));
+        // `corpus` is ≥ 1 (search is only enabled for a non-empty
+        // corpus); clamping `k` by it first keeps the budget range
+        // `[k, corpus]` well-formed even when the client asks for more
+        // neighbours than the corpus holds — `Ord::clamp` with an
+        // inverted range would panic and take the model thread with it.
+        let corpus = state.index.len().max(1);
+        let k = k.clamp(1, MAX_SEARCH_K.min(corpus));
+        let budget = budget.unwrap_or(self.cfg.search_budget).clamp(k, corpus);
         let (hits, _report) = state.index.cascade(&q, k, budget);
         let hits = if rerank {
             state.index.rerank_ged(

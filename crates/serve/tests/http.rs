@@ -223,6 +223,22 @@ fn search_roundtrip_is_deterministic_and_validates_input() {
     assert_eq!(status, "HTTP/1.1 200 OK", "{body}");
     assert!(body.contains("\"reranked\":true"), "{body}");
 
+    // k above the corpus size (but within MAX_SEARCH_K, so it passes
+    // wire validation) must clamp to the corpus, not panic the model
+    // thread with an inverted clamp range.
+    let big_k = r#"{"graph": {"n": 5, "edges": [[0,1],[1,2],[2,3],[3,4]]}, "k": 100}"#;
+    let (status, body) = request(&h, "POST", "/search", big_k);
+    assert_eq!(status, "HTTP/1.1 200 OK", "{body}");
+    assert_eq!(
+        body.matches("\"id\":").count(),
+        64,
+        "k=100 over a 64-graph corpus must return the whole corpus: {body}"
+    );
+    // The model thread must still answer afterwards.
+    let (status, after) = request(&h, "POST", "/search", payload);
+    assert_eq!(status, "HTTP/1.1 200 OK", "{after}");
+    assert_eq!(after, body1, "service state must be unchanged");
+
     // Invalid knobs are 400s, not panics.
     for bad in [
         r#"{"graph": {"n": 3}, "k": 0}"#,
