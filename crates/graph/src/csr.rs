@@ -50,6 +50,13 @@ impl CsrAdjacency {
         }
     }
 
+    /// Wraps an already-built matrix — the handoff point for the
+    /// incremental mutation path ([`Graph::apply`]), which splices the
+    /// touched rows itself and must install the result without a rebuild.
+    pub(crate) fn from_matrix(csr: Arc<CsrMatrix>) -> Self {
+        Self { csr }
+    }
+
     /// The shared CSR matrix, cloneable into tape ops without copying.
     #[inline]
     pub fn matrix(&self) -> &Arc<CsrMatrix> {

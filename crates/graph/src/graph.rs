@@ -9,12 +9,80 @@ use std::sync::{Arc, OnceLock};
 /// the same derived matrices in its own dtype, and casting them per forward
 /// would undo the point of caching. Each mirror is the [`Tensor::cast`] /
 /// [`CsrMatrix::cast`] of the corresponding `f64` cache, built on first use
-/// and dropped by the same edge mutations.
+/// and *maintained* (not dropped) by the edge mutators where a localised
+/// patch is possible.
 #[derive(Clone, Debug, Default)]
 struct F32Caches {
     sym_norm: OnceLock<Tensor<f32>>,
     csr: OnceLock<Arc<CsrMatrix<f32>>>,
     adj: OnceLock<Tensor<f32>>,
+}
+
+/// The cached propagation matrix together with the per-node normalisation
+/// factors it was assembled from. Keeping `inv_sqrt` around is what makes
+/// an edge flip O(n) instead of O(n²): only the two touched factors are
+/// recomputed, and only the touched rows/columns are rewritten — with the
+/// exact operation order of [`SymNorm::compute`], so the maintained matrix
+/// stays bitwise identical to a from-scratch build.
+#[derive(Clone, Debug)]
+struct SymNorm {
+    matrix: Tensor,
+    inv_sqrt: Vec<f64>,
+}
+
+impl SymNorm {
+    /// The from-scratch build — the single implementation behind
+    /// [`Graph::sym_norm_adjacency`], and the bitwise oracle the
+    /// incremental path in [`Graph::apply`] must reproduce.
+    fn compute(g: &Graph) -> SymNorm {
+        let n = g.n();
+        let mut a_tilde = g.adj.clone();
+        for i in 0..n {
+            a_tilde[(i, i)] += 1.0;
+        }
+        let inv_sqrt: Vec<f64> = (0..n)
+            .map(|i| {
+                let d: f64 = a_tilde.row(i).iter().sum();
+                1.0 / d.sqrt()
+            })
+            .collect();
+        let mut out = a_tilde;
+        for r in 0..n {
+            for c in 0..n {
+                out[(r, c)] *= inv_sqrt[r] * inv_sqrt[c];
+            }
+        }
+        SymNorm {
+            matrix: out,
+            inv_sqrt,
+        }
+    }
+}
+
+/// A single edge mutation for [`Graph::apply`].
+///
+/// `Remove` is sugar for `Upsert` with weight `0.0` — a zero weight *is*
+/// edge absence in the dense representation, and the mutators treat the
+/// two identically.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum EdgeDelta {
+    /// Set the undirected edge `(u, v)` to weight `w` (insert, reweight,
+    /// or — with `w == 0.0` — delete).
+    Upsert {
+        /// One endpoint.
+        u: usize,
+        /// The other endpoint (`u == v` writes the diagonal).
+        v: usize,
+        /// The new weight; `0.0` removes the edge.
+        w: f64,
+    },
+    /// Remove the undirected edge `(u, v)` (a no-op when absent).
+    Remove {
+        /// One endpoint.
+        u: usize,
+        /// The other endpoint.
+        v: usize,
+    },
 }
 
 /// An undirected weighted graph with optional discrete node labels.
@@ -23,21 +91,39 @@ struct F32Caches {
 /// writes both `(u,v)` and `(v,u)`. Self-loops are permitted (stored on the
 /// diagonal) but none of the generators create them — GNN layers add their
 /// own self-connections via [`Graph::sym_norm_adjacency`] (Eq. 12's `Ã = A + I`).
+///
+/// # Streaming mutation
+/// [`Graph::apply`] (which `add_weighted_edge`/`remove_edge` delegate to)
+/// *maintains* every derived cache incrementally instead of dropping it:
+/// the dense Â gets a rank-1-style row/column renormalisation, the CSR
+/// mirror an O(deg) row splice, and the cached WL refinement a ball-local
+/// recolouring — each bitwise identical to a from-scratch recompute (the
+/// repo's standing determinism contract). No-op mutations (same stored
+/// bits) leave every cache untouched.
 #[derive(Clone, Debug)]
 pub struct Graph {
     adj: Tensor,
     node_labels: Option<Vec<usize>>,
-    /// Lazily computed `D̃^{-1/2} Ã D̃^{-1/2}` (Eq. 12), shared by every
-    /// GCN layer and epoch that propagates over this fixed graph.
-    /// Invalidated by the edge mutators.
-    sym_norm_cache: OnceLock<Tensor>,
+    /// Maintained undirected edge count (self-loops count once) — kept in
+    /// lockstep with `adj` by [`Graph::apply`] so [`Graph::num_edges`] is
+    /// O(1) instead of an O(n²) scan.
+    edge_count: usize,
+    /// Maintained per-node incident-edge counts (the unweighted degrees),
+    /// same lockstep contract.
+    degree_table: Vec<usize>,
+    /// Lazily computed `D̃^{-1/2} Ã D̃^{-1/2}` (Eq. 12) plus its `D̃^{-1/2}`
+    /// factors, shared by every GCN layer and epoch that propagates over
+    /// this graph. Incrementally renormalised by the edge mutators.
+    sym_norm_cache: OnceLock<SymNorm>,
     /// Lazily built CSR form of the same matrix (see
-    /// [`crate::csr::CsrAdjacency`]), cached alongside the dense one and
-    /// invalidated by the same mutators.
+    /// [`crate::csr::CsrAdjacency`]), row-spliced by the same mutators.
     csr_cache: OnceLock<crate::csr::CsrAdjacency>,
     /// `f32` mirrors of the above (plus the raw adjacency), serving
     /// [`GraphScalar`] dispatch for single-precision forwards.
     f32_caches: F32Caches,
+    /// Lazily built 1-WL refinement state ([`crate::wl::WlState`]),
+    /// ball-locally recoloured by the mutators.
+    wl_cache: OnceLock<crate::wl::WlState>,
 }
 
 /// Equality is structural: the cache is derived state and never compared.
@@ -48,14 +134,45 @@ impl PartialEq for Graph {
 }
 
 impl Graph {
+    /// Assembles a graph from raw parts, scanning the adjacency once to
+    /// seed the maintained edge/degree stats.
+    fn from_parts(adj: Tensor, node_labels: Option<Vec<usize>>) -> Self {
+        let n = adj.rows();
+        let mut edge_count = 0;
+        let mut degree_table = vec![0usize; n];
+        for u in 0..n {
+            for (v, &w) in adj.row(u).iter().enumerate() {
+                if w != 0.0 {
+                    degree_table[u] += 1;
+                    if v >= u {
+                        edge_count += 1;
+                    }
+                }
+            }
+        }
+        Self {
+            adj,
+            node_labels,
+            edge_count,
+            degree_table,
+            sym_norm_cache: OnceLock::new(),
+            csr_cache: OnceLock::new(),
+            f32_caches: F32Caches::default(),
+            wl_cache: OnceLock::new(),
+        }
+    }
+
     /// An edgeless graph on `n` nodes.
     pub fn empty(n: usize) -> Self {
         Self {
             adj: Tensor::zeros(n, n),
             node_labels: None,
+            edge_count: 0,
+            degree_table: vec![0; n],
             sym_norm_cache: OnceLock::new(),
             csr_cache: OnceLock::new(),
             f32_caches: F32Caches::default(),
+            wl_cache: OnceLock::new(),
         }
     }
 
@@ -86,22 +203,18 @@ impl Graph {
                 );
             }
         }
-        Self {
-            adj,
-            node_labels: None,
-            sym_norm_cache: OnceLock::new(),
-            csr_cache: OnceLock::new(),
-            f32_caches: F32Caches::default(),
-        }
+        Self::from_parts(adj, None)
     }
 
-    /// Attaches discrete node labels (consumed builder style).
+    /// Attaches discrete node labels (consumed builder style). Labels seed
+    /// WL round 0, so any cached refinement state is dropped.
     ///
     /// # Panics
     /// Panics when `labels.len() != n`.
     pub fn with_node_labels(mut self, labels: Vec<usize>) -> Self {
         assert_eq!(labels.len(), self.n(), "one label per node required");
         self.node_labels = Some(labels);
+        self.wl_cache = OnceLock::new();
         self
     }
 
@@ -111,45 +224,185 @@ impl Graph {
         self.adj.rows()
     }
 
-    /// Number of undirected edges (self-loops count once).
+    /// Number of undirected edges (self-loops count once). O(1): the count
+    /// is maintained by the mutators, not rescanned.
+    #[inline]
     pub fn num_edges(&self) -> usize {
-        let mut m = 0;
-        for u in 0..self.n() {
-            for v in u..self.n() {
-                if self.adj[(u, v)] != 0.0 {
-                    m += 1;
-                }
-            }
-        }
-        m
+        self.edge_count
     }
 
     /// Adds (or overwrites) an undirected unit edge.
+    ///
+    /// # Panics
+    /// Panics when an endpoint is out of range
+    /// (`edge (u,v) out of range for n nodes`).
     pub fn add_edge(&mut self, u: usize, v: usize) {
         self.add_weighted_edge(u, v, 1.0);
     }
 
-    /// Adds (or overwrites) an undirected weighted edge.
+    /// Adds (or overwrites) an undirected weighted edge. Equivalent to
+    /// [`Graph::apply`] with [`EdgeDelta::Upsert`].
     ///
     /// # Panics
-    /// Panics when an endpoint is out of range.
+    /// Panics when an endpoint is out of range
+    /// (`edge (u,v) out of range for n nodes`).
     pub fn add_weighted_edge(&mut self, u: usize, v: usize, w: f64) {
-        let n = self.n();
-        assert!(u < n && v < n, "edge ({u},{v}) out of range for {n} nodes");
-        self.adj[(u, v)] = w;
-        self.adj[(v, u)] = w;
-        self.sym_norm_cache = OnceLock::new();
-        self.csr_cache = OnceLock::new();
-        self.f32_caches = F32Caches::default();
+        self.apply(EdgeDelta::Upsert { u, v, w });
     }
 
-    /// Removes an edge if present.
+    /// Removes an edge if present (a cache-preserving no-op when absent).
+    /// Equivalent to [`Graph::apply`] with [`EdgeDelta::Remove`].
+    ///
+    /// # Panics
+    /// Panics when an endpoint is out of range
+    /// (`edge (u,v) out of range for n nodes`).
     pub fn remove_edge(&mut self, u: usize, v: usize) {
-        self.adj[(u, v)] = 0.0;
-        self.adj[(v, u)] = 0.0;
-        self.sym_norm_cache = OnceLock::new();
-        self.csr_cache = OnceLock::new();
-        self.f32_caches = F32Caches::default();
+        self.apply(EdgeDelta::Remove { u, v });
+    }
+
+    /// Applies one edge mutation, incrementally maintaining every cached
+    /// derived structure (dense Â + its `D̃^{-1/2}` factors, the CSR and
+    /// `f32` mirrors, the WL refinement state) and the edge/degree stats.
+    /// Returns `true` when the graph changed.
+    ///
+    /// No-op detection is bit-level: writing the weight a slot already
+    /// holds (including removing an absent edge) returns `false` without
+    /// touching any cache — while `0.0 → -0.0`, which compares equal but
+    /// changes stored bits (and therefore every derived structure's
+    /// bytes), counts as a change.
+    ///
+    /// Every maintained cache is **bitwise identical** to what a
+    /// from-scratch recompute on the mutated graph would produce, at any
+    /// `HAP_THREADS` setting — the incremental paths replay the exact
+    /// operation order of the full builds.
+    ///
+    /// # Panics
+    /// Panics when an endpoint is out of range
+    /// (`edge (u,v) out of range for n nodes`).
+    pub fn apply(&mut self, delta: EdgeDelta) -> bool {
+        let (u, v, w) = match delta {
+            EdgeDelta::Upsert { u, v, w } => (u, v, w),
+            EdgeDelta::Remove { u, v } => (u, v, 0.0),
+        };
+        let n = self.n();
+        assert!(u < n && v < n, "edge ({u},{v}) out of range for {n} nodes");
+        let old = self.adj[(u, v)];
+        if old.to_bits() == w.to_bits() {
+            return false;
+        }
+        self.adj[(u, v)] = w;
+        self.adj[(v, u)] = w;
+        let (was, is) = (old != 0.0, w != 0.0);
+        if was != is {
+            if is {
+                self.edge_count += 1;
+                self.degree_table[u] += 1;
+                if v != u {
+                    self.degree_table[v] += 1;
+                }
+            } else {
+                self.edge_count -= 1;
+                self.degree_table[u] -= 1;
+                if v != u {
+                    self.degree_table[v] -= 1;
+                }
+            }
+        }
+        self.refresh_caches(u, v);
+        true
+    }
+
+    /// Re-establishes every populated cache after the edge `(u,v)` changed
+    /// in `adj`. Absent caches stay absent (still lazy).
+    fn refresh_caches(&mut self, u: usize, v: usize) {
+        let pair = [u.min(v), u.max(v)];
+        let touched: &[usize] = if u == v { &pair[..1] } else { &pair };
+        let n = self.adj.rows();
+
+        // Dense Â: recompute the touched D̃^{-1/2} factors with the exact
+        // summation sequence of SymNorm::compute, then rewrite the touched
+        // rows and columns with its exact factor order
+        // (`a * (inv_sqrt[row] * inv_sqrt[col])`).
+        if let Some(sn) = self.sym_norm_cache.get_mut() {
+            for &t in touched {
+                let mut d = 0.0;
+                for (c, &a) in self.adj.row(t).iter().enumerate() {
+                    d += if c == t { a + 1.0 } else { a };
+                }
+                sn.inv_sqrt[t] = 1.0 / d.sqrt();
+            }
+            for &t in touched {
+                for c in 0..n {
+                    let a = self.adj[(t, c)] + if c == t { 1.0 } else { 0.0 };
+                    sn.matrix[(t, c)] = a * (sn.inv_sqrt[t] * sn.inv_sqrt[c]);
+                }
+                for r in 0..n {
+                    if touched.contains(&r) {
+                        continue;
+                    }
+                    sn.matrix[(r, t)] = self.adj[(r, t)] * (sn.inv_sqrt[r] * sn.inv_sqrt[t]);
+                }
+            }
+        }
+
+        // CSR: splice the touched rows out of the maintained dense matrix;
+        // fall back to a full recompress when the structure changed
+        // outside them (underflow corner) or the dense cache is absent.
+        // Always a fresh Arc — holders of the old one keep the old matrix.
+        if self.csr_cache.get().is_some() {
+            let new_matrix = match self.sym_norm_cache.get() {
+                Some(sn) => {
+                    let old = self.csr_cache.get().expect("checked above").matrix();
+                    old.splice_from_dense(&sn.matrix, touched)
+                        .unwrap_or_else(|| CsrMatrix::from_dense(&sn.matrix))
+                }
+                None => CsrMatrix::from_dense(&SymNorm::compute(self).matrix),
+            };
+            self.csr_cache = OnceLock::new();
+            let _ = self
+                .csr_cache
+                .set(crate::csr::CsrAdjacency::from_matrix(Arc::new(new_matrix)));
+        }
+
+        // f32 dense mirror: re-cast the touched rows/columns entrywise
+        // from the maintained f64 matrix (the same per-entry conversion a
+        // full `Tensor::cast` performs).
+        if self.f32_caches.sym_norm.get().is_some() {
+            match self.sym_norm_cache.get() {
+                Some(sn) => {
+                    let m32 = self.f32_caches.sym_norm.get_mut().expect("checked above");
+                    for &t in touched {
+                        for c in 0..n {
+                            m32[(t, c)] = <f32 as Scalar>::from_f64(sn.matrix[(t, c)]);
+                        }
+                        for r in 0..n {
+                            if touched.contains(&r) {
+                                continue;
+                            }
+                            m32[(r, t)] = <f32 as Scalar>::from_f64(sn.matrix[(r, t)]);
+                        }
+                    }
+                }
+                None => self.f32_caches.sym_norm = OnceLock::new(),
+            }
+        }
+
+        // f32 CSR mirror: dropping it is already incremental — the lazy
+        // rebuild is an O(nnz) cast of the maintained f64 CSR, not a dense
+        // rescan.
+        self.f32_caches.csr = OnceLock::new();
+
+        // f32 adjacency mirror: two entries.
+        if let Some(a32) = self.f32_caches.adj.get_mut() {
+            a32[(u, v)] = <f32 as Scalar>::from_f64(self.adj[(u, v)]);
+            a32[(v, u)] = <f32 as Scalar>::from_f64(self.adj[(v, u)]);
+        }
+
+        // WL refinement state: recolour the ball around the flip.
+        if let Some(mut state) = self.wl_cache.take() {
+            state.refresh(self, u, v);
+            let _ = self.wl_cache.set(state);
+        }
     }
 
     /// Whether `(u, v)` is an edge.
@@ -169,17 +422,17 @@ impl Graph {
         self.adj.row(u).iter().sum()
     }
 
-    /// Unweighted degree: number of incident edges.
+    /// Unweighted degree: number of incident edges (self-loops count
+    /// once). O(1) from the maintained degree table.
+    #[inline]
     pub fn degree_count(&self, u: usize) -> usize {
-        self.adj.row(u).iter().filter(|&&w| w != 0.0).count()
+        self.degree_table[u]
     }
 
     /// Maximum unweighted degree over all nodes (0 for the empty graph).
+    /// O(n) over the maintained degree table, not O(n²) over the matrix.
     pub fn max_degree(&self) -> usize {
-        (0..self.n())
-            .map(|u| self.degree_count(u))
-            .max()
-            .unwrap_or(0)
+        self.degree_table.iter().copied().max().unwrap_or(0)
     }
 
     /// Neighbors of `u` in ascending order.
@@ -232,24 +485,7 @@ impl Graph {
     /// `Ã = A + I` (Eq. 12). Isolated nodes degrade gracefully: their
     /// self-loop gives `D̃_ii = 1`.
     pub fn sym_norm_adjacency(&self) -> Tensor {
-        let n = self.n();
-        let mut a_tilde = self.adj.clone();
-        for i in 0..n {
-            a_tilde[(i, i)] += 1.0;
-        }
-        let inv_sqrt: Vec<f64> = (0..n)
-            .map(|i| {
-                let d: f64 = a_tilde.row(i).iter().sum();
-                1.0 / d.sqrt()
-            })
-            .collect();
-        let mut out = a_tilde;
-        for r in 0..n {
-            for c in 0..n {
-                out[(r, c)] *= inv_sqrt[r] * inv_sqrt[c];
-            }
-        }
-        out
+        SymNorm::compute(self).matrix
     }
 
     /// Cached borrow of [`Graph::sym_norm_adjacency`].
@@ -258,25 +494,29 @@ impl Graph {
     /// every GCN layer of every epoch needs it — computing it once per
     /// graph instead of once per forward removes an `O(n²)` allocation and
     /// two passes over the matrix from the training hot path. The first
-    /// call computes and stores it; edge mutations
-    /// ([`Graph::add_weighted_edge`], [`Graph::remove_edge`]) drop the
-    /// cache so a changed graph can never serve a stale matrix.
+    /// call computes and stores it; edge mutations ([`Graph::apply`] and
+    /// its `add_weighted_edge`/`remove_edge` wrappers) renormalise the
+    /// touched rows/columns in place, bitwise identical to a recompute.
     pub fn sym_norm_adjacency_cached(&self) -> &Tensor {
-        self.sym_norm_cache
-            .get_or_init(|| self.sym_norm_adjacency())
+        &self
+            .sym_norm_cache
+            .get_or_init(|| SymNorm::compute(self))
+            .matrix
     }
 
     /// Cached CSR form of [`Graph::sym_norm_adjacency_cached`], built once
     /// per graph and shared across layers and tapes via its inner `Arc`.
-    /// The same edge mutations that drop the dense cache drop this one, so
-    /// the two representations can never disagree.
+    /// Edge mutations splice the touched rows into a fresh `Arc`, so the
+    /// two representations can never disagree and existing holders never
+    /// observe mutation.
     pub fn csr_adjacency_cached(&self) -> &crate::csr::CsrAdjacency {
         self.csr_cache
             .get_or_init(|| crate::csr::CsrAdjacency::from_graph(self))
     }
 
     /// `f32` mirror of [`Graph::sym_norm_adjacency_cached`]: the `f64`
-    /// propagation matrix cast entrywise, cached on first use.
+    /// propagation matrix cast entrywise, cached on first use and patched
+    /// entrywise by mutations.
     pub fn sym_norm_adjacency_cached_f32(&self) -> &Tensor<f32> {
         self.f32_caches
             .sym_norm
@@ -297,6 +537,24 @@ impl Graph {
     /// `f32` mirror of [`Graph::adjacency`], cached on first use.
     pub fn adjacency_f32(&self) -> &Tensor<f32> {
         self.f32_caches.adj.get_or_init(|| self.adj.cast())
+    }
+
+    /// Cached 1-WL histogram at `iterations` rounds (see
+    /// [`crate::wl::wl_signature`]), backed by the incrementally
+    /// maintained [`crate::wl::WlState`]. The first call at a given
+    /// iteration count builds the state; edge mutations keep it fresh by
+    /// ball-local recolouring. A call at a *different* iteration count
+    /// than the cached one computes a fresh signature without disturbing
+    /// the cache (one fixed count per deployment is the expected shape).
+    pub fn wl_signature_cached(&self, iterations: usize) -> Arc<crate::wl::WlSignature> {
+        let state = self
+            .wl_cache
+            .get_or_init(|| crate::wl::WlState::build(self, iterations));
+        if state.iterations() == iterations {
+            state.signature()
+        } else {
+            Arc::new(crate::wl::wl_signature(self, iterations))
+        }
     }
 
     /// Row-normalised adjacency with self-loops (`D̃^{-1} Ã`), the simpler
@@ -339,13 +597,7 @@ impl Graph {
             .node_labels
             .as_ref()
             .map(|l| nodes.iter().map(|&u| l[u]).collect());
-        Graph {
-            adj,
-            node_labels,
-            sym_norm_cache: OnceLock::new(),
-            csr_cache: OnceLock::new(),
-            f32_caches: F32Caches::default(),
-        }
+        Graph::from_parts(adj, node_labels)
     }
 
     /// Disjoint union: `self` keeps ids `0..n`, `other` is shifted by `n`.
@@ -372,13 +624,7 @@ impl Graph {
             }
             _ => None,
         };
-        Graph {
-            adj,
-            node_labels,
-            sym_norm_cache: OnceLock::new(),
-            csr_cache: OnceLock::new(),
-            f32_caches: F32Caches::default(),
-        }
+        Graph::from_parts(adj, node_labels)
     }
 }
 
@@ -426,6 +672,7 @@ impl GraphScalar for f32 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use hap_rand::Rng;
     use hap_tensor::testutil::assert_close;
 
     fn triangle() -> Graph {
@@ -507,7 +754,7 @@ mod tests {
         // second call must serve the same cached value
         assert_eq!(*g.sym_norm_adjacency_cached(), cached);
 
-        // adding an edge must invalidate the cache
+        // adding an edge must refresh the cache
         let mut bigger = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 0)]);
         let before = bigger.sym_norm_adjacency_cached().clone();
         bigger.add_edge(2, 3);
@@ -515,7 +762,7 @@ mod tests {
         assert_ne!(before, after, "cache served a stale matrix after add_edge");
         assert_eq!(after, bigger.sym_norm_adjacency());
 
-        // removing an edge must invalidate it too
+        // removing an edge must refresh it too
         g.remove_edge(0, 1);
         assert_ne!(*g.sym_norm_adjacency_cached(), cached);
         assert_eq!(*g.sym_norm_adjacency_cached(), g.sym_norm_adjacency());
@@ -544,13 +791,204 @@ mod tests {
             *g.sym_norm_adjacency_cached()
         );
 
-        // Edge mutation must drop the f32 mirrors along with the f64 caches.
+        // Edge mutation must refresh the f32 mirrors along with the f64
+        // caches.
         g.remove_edge(0, 1);
         assert_eq!(
             *g.sym_norm_adjacency_cached_f32(),
             g.sym_norm_adjacency().cast()
         );
         assert_eq!(*g.adjacency_f32(), g.adjacency().cast());
+    }
+
+    #[test]
+    fn noop_mutations_keep_every_cache() {
+        let mut g = triangle();
+        let dense_ptr = g.sym_norm_adjacency_cached().as_slice().as_ptr();
+        let csr_arc = Arc::clone(g.csr_adjacency_cached().matrix());
+        let f32_ptr = g.sym_norm_adjacency_cached_f32().as_slice().as_ptr();
+        let adj32_ptr = g.adjacency_f32().as_slice().as_ptr();
+        let wl = g.wl_signature_cached(3);
+
+        // Re-adding an existing unit edge and removing an absent edge
+        // (the diagonal is empty in a triangle) are bit-level no-ops:
+        // nothing may be dropped or rebuilt.
+        assert!(!g.apply(EdgeDelta::Upsert { u: 0, v: 1, w: 1.0 }));
+        assert!(!g.apply(EdgeDelta::Remove { u: 2, v: 2 }));
+        g.add_edge(0, 1); // wrapper form of the same no-ops
+        g.remove_edge(2, 2);
+        let mut h = Graph::from_edges(3, &[(0, 1)]);
+        let h_ptr = h.sym_norm_adjacency_cached().as_slice().as_ptr();
+        h.remove_edge(1, 2); // absent edge between distinct nodes
+        assert_eq!(h.sym_norm_adjacency_cached().as_slice().as_ptr(), h_ptr);
+
+        assert_eq!(g.sym_norm_adjacency_cached().as_slice().as_ptr(), dense_ptr);
+        assert!(Arc::ptr_eq(&csr_arc, g.csr_adjacency_cached().matrix()));
+        assert_eq!(
+            g.sym_norm_adjacency_cached_f32().as_slice().as_ptr(),
+            f32_ptr
+        );
+        assert_eq!(g.adjacency_f32().as_slice().as_ptr(), adj32_ptr);
+        assert!(Arc::ptr_eq(&wl, &g.wl_signature_cached(3)));
+
+        // ...while a real change swaps the CSR Arc and rewrites values.
+        assert!(g.apply(EdgeDelta::Remove { u: 0, v: 1 }));
+        assert!(!Arc::ptr_eq(&csr_arc, g.csr_adjacency_cached().matrix()));
+        assert!(!Arc::ptr_eq(&wl, &g.wl_signature_cached(3)));
+    }
+
+    #[test]
+    fn negative_zero_counts_as_a_change() {
+        // -0.0 == 0.0 but flips stored bits, so every derived structure's
+        // bytes change: no-op detection must be on bits, not values.
+        let mut g = Graph::empty(2);
+        assert!(g.apply(EdgeDelta::Upsert {
+            u: 0,
+            v: 1,
+            w: -0.0
+        }));
+        assert_eq!(g.weight(0, 1).to_bits(), (-0.0f64).to_bits());
+        assert_eq!(g.num_edges(), 0, "-0.0 is still edge absence");
+        assert!(!g.apply(EdgeDelta::Upsert {
+            u: 0,
+            v: 1,
+            w: -0.0
+        }));
+        assert!(
+            g.apply(EdgeDelta::Remove { u: 0, v: 1 }),
+            "-0.0 -> 0.0 is a bit change"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "edge (0,5) out of range for 3 nodes")]
+    fn remove_edge_bounds_are_contextual() {
+        triangle().remove_edge(0, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "edge (4,1) out of range for 3 nodes")]
+    fn add_edge_bounds_are_contextual() {
+        triangle().add_edge(4, 1);
+    }
+
+    #[test]
+    fn maintained_stats_match_scans_under_random_mutations() {
+        let mut rng = Rng::from_seed(95);
+        let n = 11;
+        let mut g = Graph::empty(n);
+        for step in 0..300 {
+            let u = rng.gen_range(0..n);
+            let v = rng.gen_range(0..n);
+            let delta = match rng.gen_range(0..4u32) {
+                0 => EdgeDelta::Remove { u, v },
+                1 => EdgeDelta::Upsert { u, v, w: 0.0 },
+                2 => EdgeDelta::Upsert { u, v, w: 1.0 },
+                _ => EdgeDelta::Upsert {
+                    u,
+                    v,
+                    w: rng.gen_f64() * 2.0 - 1.0,
+                },
+            };
+            g.apply(delta);
+            // Scan oracles over the public adjacency.
+            let adj = g.adjacency();
+            let mut edges = 0;
+            let mut max_deg = 0;
+            for a in 0..n {
+                let mut deg = 0;
+                for b in 0..n {
+                    if adj[(a, b)] != 0.0 {
+                        deg += 1;
+                        if b >= a {
+                            edges += 1;
+                        }
+                    }
+                }
+                assert_eq!(g.degree_count(a), deg, "step {step}, node {a}");
+                max_deg = max_deg.max(deg);
+            }
+            assert_eq!(g.num_edges(), edges, "step {step}");
+            assert_eq!(g.max_degree(), max_deg, "step {step}");
+        }
+    }
+
+    #[test]
+    fn incremental_caches_are_bitwise_equal_to_fresh_recompute() {
+        let mut rng = Rng::from_seed(96);
+        let n = 10;
+        let mut g = Graph::empty(n);
+        // Warm every cache so mutations exercise the maintenance paths.
+        g.add_edge(0, 1);
+        for step in 0..120 {
+            let _ = g.sym_norm_adjacency_cached();
+            let _ = g.csr_adjacency_cached();
+            let _ = g.sym_norm_adjacency_cached_f32();
+            let _ = g.csr_adjacency_cached_f32();
+            let _ = g.adjacency_f32();
+            let _ = g.wl_signature_cached(3);
+            let u = rng.gen_range(0..n);
+            let v = rng.gen_range(0..n);
+            let w = match rng.gen_range(0..3u32) {
+                0 => 0.0,
+                1 => 1.0,
+                _ => rng.gen_f64() + 0.25,
+            };
+            g.apply(EdgeDelta::Upsert { u, v, w });
+
+            // A fresh graph with the same adjacency is the from-scratch
+            // oracle for every cache.
+            let fresh = Graph::from_adjacency(g.adjacency().clone());
+            let (a, b) = (g.sym_norm_adjacency_cached(), fresh.sym_norm_adjacency());
+            for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "dense Â diverged at step {step}");
+            }
+            assert_eq!(
+                **g.csr_adjacency_cached().matrix(),
+                **fresh.csr_adjacency_cached().matrix(),
+                "CSR diverged at step {step}"
+            );
+            let (a32, b32) = (
+                g.sym_norm_adjacency_cached_f32(),
+                fresh.sym_norm_adjacency_cached_f32(),
+            );
+            for (x, y) in a32.as_slice().iter().zip(b32.as_slice()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "f32 Â diverged at step {step}");
+            }
+            assert_eq!(
+                **g.csr_adjacency_cached_f32(),
+                **fresh.csr_adjacency_cached_f32(),
+                "f32 CSR diverged at step {step}"
+            );
+            assert_eq!(
+                *g.wl_signature_cached(3),
+                crate::wl::wl_signature(&fresh, 3),
+                "WL signature diverged at step {step}"
+            );
+        }
+    }
+
+    #[test]
+    fn wl_signature_cached_serves_other_iteration_counts_fresh() {
+        let g = triangle();
+        let s3 = g.wl_signature_cached(3);
+        assert_eq!(*s3, crate::wl::wl_signature(&g, 3));
+        // A different count bypasses (without clobbering) the cache.
+        let s1 = g.wl_signature_cached(1);
+        assert_eq!(*s1, crate::wl::wl_signature(&g, 1));
+        assert!(Arc::ptr_eq(&s3, &g.wl_signature_cached(3)));
+    }
+
+    #[test]
+    fn with_node_labels_drops_stale_wl_state() {
+        let g = triangle();
+        let unlabelled = g.wl_signature_cached(2);
+        let relabelled = g.with_node_labels(vec![1, 2, 3]);
+        assert_ne!(*relabelled.wl_signature_cached(2), *unlabelled);
+        assert_eq!(
+            *relabelled.wl_signature_cached(2),
+            crate::wl::wl_signature(&relabelled, 2)
+        );
     }
 
     #[test]
@@ -571,6 +1009,8 @@ mod tests {
         assert_eq!(s.n(), 3);
         assert!(s.has_edge(0, 1) && s.has_edge(1, 2) && !s.has_edge(0, 2));
         assert_eq!(s.node_labels().unwrap(), &[11, 12, 13]);
+        assert_eq!(s.num_edges(), 2);
+        assert_eq!(s.max_degree(), 2);
     }
 
     #[test]

@@ -35,9 +35,9 @@ pub use features::{constant_features, degree_one_hot, label_one_hot};
 pub use generators::{
     barabasi_albert, clique, cycle, erdos_renyi, erdos_renyi_connected, path, planted_union, star,
 };
-pub use graph::{Graph, GraphScalar};
+pub use graph::{EdgeDelta, Graph, GraphScalar};
 pub use permutation::Permutation;
 pub use wl::{
     wl_cache_key, wl_cache_key_from_signature, wl_colors, wl_compact_l1, wl_histogram_signature,
-    wl_maybe_isomorphic, wl_signature, WlSignature,
+    wl_maybe_isomorphic, wl_signature, WlSignature, WlState,
 };

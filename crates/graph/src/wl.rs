@@ -6,7 +6,8 @@
 //! wrongly-positive) isomorphism pre-check that complements VF2.
 
 use crate::Graph;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
 
 /// Runs `iterations` rounds of 1-WL colour refinement.
 ///
@@ -160,19 +161,35 @@ pub fn wl_compact_l1(a: &[(u64, u32)], b: &[(u64, u32)]) -> u64 {
 pub fn wl_signature(g: &Graph, iterations: usize) -> WlSignature {
     // Re-derive colours but track full signature strings so they are
     // comparable across graphs (ids from `wl_colors` are per-call).
-    let mut sigs: Vec<String> = match g.node_labels() {
-        Some(l) => l.iter().map(|x| format!("l{x}")).collect(),
-        None => vec!["l0".to_string(); g.n()],
-    };
+    let mut sigs = seed_sigs(g);
     for _ in 0..iterations {
-        let mut next = Vec::with_capacity(g.n());
-        for u in 0..g.n() {
-            let mut neigh: Vec<&str> = g.neighbors(u).iter().map(|&v| sigs[v].as_str()).collect();
-            neigh.sort_unstable();
-            next.push(format!("({}|{})", sigs[u], neigh.join(",")));
-        }
+        let next: Vec<String> = (0..g.n()).map(|u| refine_one(g, &sigs, u)).collect();
         sigs = next;
     }
+    histogram(sigs)
+}
+
+/// Round-0 colour strings: `"l{label}"` per node (`"l0"` unlabelled).
+fn seed_sigs(g: &Graph) -> Vec<String> {
+    match g.node_labels() {
+        Some(l) => l.iter().map(|x| format!("l{x}")).collect(),
+        None => vec!["l0".to_string(); g.n()],
+    }
+}
+
+/// One node's next-round colour string from the previous round — the
+/// single refinement step shared by [`wl_signature`] (full passes) and
+/// [`WlState::refresh`] (ball-local recolouring), so both paths produce
+/// literally identical strings.
+fn refine_one(g: &Graph, prev: &[String], u: usize) -> String {
+    let mut neigh: Vec<&str> = g.neighbors(u).iter().map(|&v| prev[v].as_str()).collect();
+    neigh.sort_unstable();
+    format!("({}|{})", prev[u], neigh.join(","))
+}
+
+/// Sorts per-node colour strings and run-length-encodes them into the
+/// canonical histogram.
+fn histogram(mut sigs: Vec<String>) -> WlSignature {
     sigs.sort_unstable();
     let mut entries: Vec<(String, u32)> = Vec::new();
     for sig in sigs {
@@ -182,6 +199,122 @@ pub fn wl_signature(g: &Graph, iterations: usize) -> WlSignature {
         }
     }
     WlSignature { entries }
+}
+
+/// Incrementally-maintained 1-WL refinement state: every round's per-node
+/// colour strings plus the final histogram, kept consistent with a
+/// mutating [`Graph`] by recolouring only the ball an edge flip can
+/// influence.
+///
+/// The locality argument: a node's round-`r` colour depends only on its
+/// radius-`r` ball, so flipping edge `(u,v)` changes round-`r` colours
+/// only for nodes within distance `r-1` of `{u,v}`. Distances *to the
+/// set* `{u,v}` are the same with or without the edge `(u,v)` itself (a
+/// shortest path to the set never needs to cross between the two
+/// sources), so a BFS on the post-mutation graph identifies exactly the
+/// affected nodes for both inserts and deletes. When the ball covers more
+/// than half the graph, [`WlState::refresh`] falls back to a full
+/// rebuild — same result, no wasted bookkeeping.
+///
+/// Strings are exact (no floating point), so "bitwise identical to a
+/// from-scratch refinement" here is plain equality — pinned by the
+/// differential tests.
+#[derive(Clone, Debug)]
+pub struct WlState {
+    iterations: usize,
+    /// `rounds[r]` = per-node colour strings after `r` refinement rounds;
+    /// `rounds[0]` are the label seeds. Length `iterations + 1`.
+    rounds: Vec<Vec<String>>,
+    signature: Arc<WlSignature>,
+}
+
+impl WlState {
+    /// Runs the full refinement, keeping every intermediate round.
+    pub fn build(g: &Graph, iterations: usize) -> WlState {
+        let mut rounds = Vec::with_capacity(iterations + 1);
+        rounds.push(seed_sigs(g));
+        for r in 0..iterations {
+            let next: Vec<String> = (0..g.n()).map(|u| refine_one(g, &rounds[r], u)).collect();
+            rounds.push(next);
+        }
+        let signature = Arc::new(histogram(rounds[iterations].clone()));
+        WlState {
+            iterations,
+            rounds,
+            signature,
+        }
+    }
+
+    /// The iteration count this state was refined to.
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+
+    /// The current canonical histogram (cheaply cloneable).
+    pub fn signature(&self) -> Arc<WlSignature> {
+        Arc::clone(&self.signature)
+    }
+
+    /// Re-establishes consistency after the edge `(u,v)` flipped in `g`
+    /// (inserted, deleted, or reweighted — WL sees only the unweighted
+    /// neighbour structure, so reweights are no-ops here but harmless).
+    /// Recolours only the radius-`iterations-1` ball around `{u,v}`;
+    /// returns `false` when the ball exceeded half the graph and a full
+    /// rebuild ran instead (the result is identical either way).
+    ///
+    /// `g` must be the post-mutation graph, with the same node count and
+    /// labels this state was built from.
+    pub fn refresh(&mut self, g: &Graph, u: usize, v: usize) -> bool {
+        let n = g.n();
+        assert_eq!(
+            self.rounds[0].len(),
+            n,
+            "WlState::refresh: node count changed"
+        );
+        if self.iterations == 0 {
+            return true; // round-0 colours ignore edges entirely
+        }
+        let radius = self.iterations - 1;
+        let mut dist = vec![usize::MAX; n];
+        let mut queue = VecDeque::new();
+        dist[u] = 0;
+        queue.push_back(u);
+        if v != u {
+            dist[v] = 0;
+            queue.push_back(v);
+        }
+        let mut ball = Vec::new();
+        while let Some(x) = queue.pop_front() {
+            ball.push(x);
+            if dist[x] == radius {
+                continue;
+            }
+            for w in g.neighbors(x) {
+                if dist[w] == usize::MAX {
+                    dist[w] = dist[x] + 1;
+                    queue.push_back(w);
+                }
+            }
+        }
+        if ball.len() * 2 > n {
+            *self = WlState::build(g, self.iterations);
+            return false;
+        }
+        for r in 1..=self.iterations {
+            let (done, rest) = self.rounds.split_at_mut(r);
+            let prev = &done[r - 1];
+            let cur = &mut rest[0];
+            for &x in &ball {
+                // Round-r colours change only within distance r-1 of the
+                // flip; farther ball members wait for later rounds.
+                if dist[x] < r {
+                    cur[x] = refine_one(g, prev, x);
+                }
+            }
+        }
+        self.signature = Arc::new(histogram(self.rounds[self.iterations].clone()));
+        true
+    }
 }
 
 /// The serialised form of [`wl_signature`] (kept for compatibility): the
@@ -464,6 +597,56 @@ mod tests {
         let labelled = crate::Graph::from_edges(2, &[(0, 1)]).with_node_labels(vec![7, 7]);
         let sl = wl_signature(&labelled, 0);
         assert_eq!(sp.l1_distance(&sl), sp.total() + sl.total());
+    }
+
+    #[test]
+    fn wl_state_refresh_matches_full_rebuild_over_random_flips() {
+        let mut rng = Rng::from_seed(77);
+        for iterations in [0usize, 1, 2, 3, 4] {
+            let mut g = generators::erdos_renyi_connected(14, 0.25, &mut rng);
+            let mut state = WlState::build(&g, iterations);
+            for step in 0..40 {
+                let u = rng.gen_range(0..14usize);
+                let v = rng.gen_range(0..14usize);
+                if u == v {
+                    continue;
+                }
+                if g.has_edge(u, v) {
+                    g.remove_edge(u, v);
+                } else {
+                    g.add_edge(u, v);
+                }
+                state.refresh(&g, u, v);
+                let fresh = WlState::build(&g, iterations);
+                assert_eq!(
+                    state.signature().entries(),
+                    fresh.signature().entries(),
+                    "it={iterations} step={step}: incremental signature diverged"
+                );
+                assert_eq!(
+                    state.rounds, fresh.rounds,
+                    "it={iterations} step={step}: a round's colour strings diverged"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn wl_state_takes_both_incremental_and_fallback_paths() {
+        // A long path: flipping an end edge at few iterations keeps the
+        // ball tiny (incremental); a hub flip on a star reaches every
+        // node (fallback). Both must agree with wl_signature.
+        let mut p = generators::path(30);
+        let mut state = WlState::build(&p, 3);
+        p.remove_edge(0, 1);
+        assert!(state.refresh(&p, 0, 1), "end-of-path ball must stay local");
+        assert_eq!(*state.signature(), wl_signature(&p, 3));
+
+        let mut s = generators::star(12);
+        let mut st = WlState::build(&s, 3);
+        s.remove_edge(0, 5);
+        assert!(!st.refresh(&s, 0, 5), "star hub ball must trigger rebuild");
+        assert_eq!(*st.signature(), wl_signature(&s, 3));
     }
 
     #[test]

@@ -260,7 +260,22 @@ impl GraphIndex {
         method: GedMethod,
         costs: &EditCosts,
     ) -> Vec<Neighbor> {
-        let graphs: Vec<hap_graph::Graph> = shortlist.iter().map(|n| corpus.graph(n.id)).collect();
+        self.rerank_ged_with(|id| corpus.graph(id), query, shortlist, method, costs)
+    }
+
+    /// [`GraphIndex::rerank_ged`] with an arbitrary graph source — the
+    /// streaming serve path passes a lookup that consults its mutated
+    /// overlay before falling back to corpus regeneration, so reranks
+    /// see the *current* graphs, not the seed ones.
+    pub fn rerank_ged_with<F: Fn(usize) -> hap_graph::Graph>(
+        &self,
+        lookup: F,
+        query: &hap_graph::Graph,
+        shortlist: &[Neighbor],
+        method: GedMethod,
+        costs: &EditCosts,
+    ) -> Vec<Neighbor> {
+        let graphs: Vec<hap_graph::Graph> = shortlist.iter().map(|n| lookup(n.id)).collect();
         let pairs: Vec<(&hap_graph::Graph, &hap_graph::Graph)> =
             graphs.iter().map(|g| (query, g)).collect();
         let costs_out = batch_ged(&pairs, method, costs);

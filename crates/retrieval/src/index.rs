@@ -125,7 +125,11 @@ impl QueryEmbedding {
         }
         Ok(Self {
             stats: GraphStats::of(g),
-            wl: wl_signature(g, wl_iterations).compact(),
+            // Served from the graph's incrementally-maintained WL state
+            // when warm (the streaming update path mutates and re-embeds
+            // the same Graph value); cold graphs pay one refinement, same
+            // as before.
+            wl: g.wl_signature_cached(wl_iterations).compact(),
             levels: concat.chunks(hidden).map(<[f64]>::to_vec).collect(),
         })
     }
@@ -421,6 +425,56 @@ impl GraphIndex {
             .map_err(|e| RetrievalError::Embedding(e.to_string()))?;
         let concat: Vec<f64> = emb[0].cast::<f64>().row(0).to_vec();
         QueryEmbedding::from_concat(g, &concat, self.hidden, self.levels, self.cfg.wl_iterations)
+    }
+
+    /// Rewrites graph `id`'s SoA slot in place from a freshly prepared
+    /// query embedding — the streaming upsert path (`POST /update`). The
+    /// fixed-width columns (stats, coarse and fine rows) are overwritten
+    /// directly; the variable-width WL row is spliced into the flat
+    /// hash/count buffers with the later offsets shifted. No rebuild, no
+    /// recalibration: the stat weights are constants of the distance
+    /// function fixed at build time, so admissibility of the cascade's
+    /// prefix bounds is unaffected.
+    ///
+    /// # Panics
+    /// Panics when `id` is out of range or the embedding's level count /
+    /// hidden width disagree with the index.
+    pub fn update_entry(&mut self, id: usize, q: &QueryEmbedding) {
+        assert!(
+            id < self.len,
+            "update_entry: id {id} out of range for {} graphs",
+            self.len
+        );
+        assert_eq!(
+            q.levels.len(),
+            self.levels,
+            "update_entry: level count mismatch"
+        );
+        for row in &q.levels {
+            assert_eq!(
+                row.len(),
+                self.hidden,
+                "update_entry: hidden width mismatch"
+            );
+        }
+        self.nodes[id] = q.stats.n;
+        self.edges[id] = q.stats.edges;
+        self.max_deg[id] = q.stats.max_degree;
+        let lo = self.wl_offsets[id] as usize;
+        let hi = self.wl_offsets[id + 1] as usize;
+        let delta = q.wl.len() as i64 - (hi - lo) as i64;
+        self.wl_hashes.splice(lo..hi, q.wl.iter().map(|&(h, _)| h));
+        self.wl_counts.splice(lo..hi, q.wl.iter().map(|&(_, c)| c));
+        if delta != 0 {
+            for off in &mut self.wl_offsets[id + 1..] {
+                *off = (i64::from(*off) + delta) as u32;
+            }
+        }
+        self.coarse[id * self.hidden..(id + 1) * self.hidden]
+            .copy_from_slice(&q.levels[self.levels - 1]);
+        for l in 0..self.levels - 1 {
+            self.fine[l][id * self.hidden..(id + 1) * self.hidden].copy_from_slice(&q.levels[l]);
+        }
     }
 }
 

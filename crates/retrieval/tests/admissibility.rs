@@ -214,6 +214,58 @@ fn index_build_is_byte_identical_across_thread_counts() {
 }
 
 #[test]
+fn update_entry_upserts_slot_in_place_and_keeps_admissibility() {
+    let (mut index, corpus, snap) = small_index(71, 90);
+    let (_store, clf) = snap.build_classifier().expect("classifier");
+    // Mutate corpus graph 17: flip one edge, re-embed, upsert in place.
+    let mut g = corpus.graph(17);
+    match g.edges().first().copied() {
+        Some((u, v)) => g.remove_edge(u, v),
+        None => g.add_edge(0, 1),
+    }
+    let f = corpus.features::<f64>(&g);
+    let q = index
+        .embed_query(&clf, &g, &f)
+        .expect("embed mutated graph");
+    index.update_entry(17, &q);
+
+    // The mutated graph's own embedding must now retrieve slot 17 at
+    // exactly zero distance (every term of the hybrid distance vanishes).
+    let top = index.exhaustive(&q, 1);
+    assert_eq!(top[0].id, 17, "upserted slot must be its own nearest");
+    assert_eq!(top[0].distance.to_bits(), 0.0f64.to_bits());
+
+    // The spliced WL row and rewritten embedding rows must keep the SoA
+    // layout coherent: the cascade stays bitwise equal to the exhaustive
+    // scan for unrelated queries.
+    for (qi, q) in queries(&index, &snap, 71, 3).iter().enumerate() {
+        let truth = index.exhaustive(q, 10);
+        let (got, _) = index.cascade(q, 10, index.len());
+        assert_bitwise_eq(&truth, &got, &format!("post-upsert query {qi}"));
+    }
+
+    // rerank_ged_with consults the caller's lookup, not the seed corpus:
+    // serving the mutated graph for id 17 yields GED 0 against itself.
+    use hap_ged::{EditCosts, GedMethod};
+    let shortlist = index.exhaustive(&q, 5);
+    let reranked = index.rerank_ged_with(
+        |id| {
+            if id == 17 {
+                g.clone()
+            } else {
+                corpus.graph(id)
+            }
+        },
+        &g,
+        &shortlist,
+        GedMethod::Hungarian,
+        &EditCosts::uniform(),
+    );
+    let self_hit = reranked.iter().find(|n| n.id == 17).expect("id 17 kept");
+    assert_eq!(self_hit.distance, 0.0, "GED of the mutated graph to itself");
+}
+
+#[test]
 fn ged_rerank_orders_shortlist_and_preserves_ids() {
     use hap_ged::{EditCosts, GedMethod};
     let (index, corpus, snap) = small_index(61, 80);

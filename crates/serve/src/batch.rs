@@ -21,7 +21,7 @@ use crate::service::{
     clamp_labels, Classification, ModelService, SearchResult, SearchState, ServiceConfig,
     Similarity,
 };
-use hap_graph::{Graph, GraphScalar};
+use hap_graph::{EdgeDelta, Graph, GraphScalar};
 use hap_snapshot::ModelSnapshot;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -46,6 +46,14 @@ pub enum Job {
         budget: Option<usize>,
         /// Whether to exactly rerank the shortlist by GED.
         rerank: bool,
+    },
+    /// Stream an atomic batch of edge edits into a corpus graph and
+    /// refresh its index slot in place.
+    Update {
+        /// The corpus slot to mutate.
+        id: usize,
+        /// The edge ops, applied in order.
+        ops: Vec<EdgeDelta>,
     },
 }
 
@@ -133,7 +141,7 @@ impl Batcher {
                     ..hap_retrieval::IndexConfig::default()
                 },
             )?;
-            Some(SearchState { index, corpus })
+            Some(SearchState::new(index, corpus))
         } else {
             None
         };
@@ -317,6 +325,13 @@ fn handle_job<T: GraphScalar>(svc: &mut ModelService<T>, job: Job) -> Result<Str
             Ok(format!(
                 "{{\"results\":[{}],\"budget\":{budget},\"reranked\":{reranked}}}",
                 results.join(",")
+            ))
+        }
+        Job::Update { id, ops } => {
+            let r = svc.update(id, &ops)?;
+            Ok(format!(
+                "{{\"id\":{},\"applied\":{},\"noops\":{},\"n\":{},\"edges\":{},\"max_degree\":{},\"reembedded\":{},\"evicted\":{}}}",
+                r.id, r.applied, r.noops, r.n, r.edges, r.max_degree, r.reembedded, r.evicted
             ))
         }
     }

@@ -128,6 +128,22 @@ impl<V> LruCache<V> {
         self.push_front(i);
     }
 
+    /// Removes `key` if resident, freeing its slot for reuse. Returns
+    /// whether an entry was actually evicted. Counts neither a hit nor a
+    /// miss — this is the streaming-update invalidation path
+    /// (`POST /update` re-embedding a mutated corpus graph), not a
+    /// lookup.
+    pub fn remove(&mut self, key: u64) -> bool {
+        match self.index.remove(&key) {
+            Some(i) => {
+                self.unlink(i);
+                self.free.push(i);
+                true
+            }
+            None => false,
+        }
+    }
+
     fn unlink(&mut self, i: usize) {
         let (prev, next) = (self.slab[i].prev, self.slab[i].next);
         if prev != NONE {
@@ -216,6 +232,23 @@ mod tests {
         c.insert(1, "a");
         assert_eq!(c.get(1), None);
         assert!(c.is_empty());
+    }
+
+    #[test]
+    fn remove_deletes_the_entry_and_reuses_its_slot() {
+        let mut c = LruCache::new(3);
+        c.insert(1, "a");
+        c.insert(2, "b");
+        assert!(c.remove(1));
+        assert!(!c.remove(1), "double remove is a no-op");
+        assert_eq!(c.get(1), None);
+        assert_eq!(c.len(), 1);
+        let slab_before = c.slab.len();
+        c.insert(3, "c");
+        assert_eq!(c.slab.len(), slab_before, "freed slot must be reused");
+        assert_eq!(order(&c), vec![3, 2]);
+        // Counters: one miss from the failed get, nothing from remove.
+        assert_eq!((c.hits(), c.misses()), (0, 1));
     }
 
     #[test]

@@ -40,4 +40,4 @@ pub use batch::{Batcher, BatcherClient, Job};
 pub use cache::LruCache;
 pub use json::Json;
 pub use server::{serve, serve_snapshot_file, ServeConfig, ServeError, ServerHandle};
-pub use service::{graph_from_json, ModelService, ServiceConfig};
+pub use service::{graph_from_json, ModelService, SearchState, ServiceConfig, UpdateResult};

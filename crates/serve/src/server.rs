@@ -367,7 +367,7 @@ fn route(
             Ok(job) => dispatch(client, job),
             Err(msg) => bad_request(&msg),
         },
-        (Method::Post, "/search") if !search_enabled => (
+        (Method::Post, "/search" | "/update") if !search_enabled => (
             503,
             "Service Unavailable",
             "{\"error\":\"search is not enabled on this server\"}".to_string(),
@@ -376,7 +376,11 @@ fn route(
             Ok(job) => dispatch(client, job),
             Err(msg) => bad_request(&msg),
         },
-        (_, "/healthz" | "/metrics" | "/classify" | "/similarity" | "/search") => (
+        (Method::Post, "/update") => match parse_update(&request.body) {
+            Ok(job) => dispatch(client, job),
+            Err(msg) => bad_request(&msg),
+        },
+        (_, "/healthz" | "/metrics" | "/classify" | "/similarity" | "/search" | "/update") => (
             405,
             "Method Not Allowed",
             "{\"error\":\"method not allowed\"}".to_string(),
@@ -470,6 +474,78 @@ fn parse_search(body: &[u8]) -> Result<Job, String> {
         budget,
         rerank,
     })
+}
+
+/// Decodes the `/update` wire schema:
+///
+/// ```json
+/// {"id": 17, "ops": [{"op":"add","u":0,"v":3,"w":1.0},
+///                    {"op":"remove","u":1,"v":2}]}
+/// ```
+///
+/// `w` defaults to `1.0` for `"add"` (the weight every wire and corpus
+/// edge carries) and is rejected on `"remove"`. Structural validation
+/// against the target graph (endpoint range, self-loops, weight
+/// positivity) happens in the model thread, which owns the graph.
+fn parse_update(body: &[u8]) -> Result<Job, String> {
+    let v = parse_body(body)?;
+    let id = v
+        .get("id")
+        .and_then(Json::as_usize)
+        .ok_or("missing or invalid \"id\" (non-negative integer required)")?;
+    let raw_ops = v
+        .get("ops")
+        .ok_or("missing \"ops\" array")?
+        .as_array()
+        .ok_or("\"ops\" must be an array")?;
+    if raw_ops.is_empty() {
+        return Err("\"ops\" must not be empty".to_string());
+    }
+    if raw_ops.len() > crate::service::MAX_UPDATE_OPS {
+        return Err(format!(
+            "{} ops exceed the limit of {}",
+            raw_ops.len(),
+            crate::service::MAX_UPDATE_OPS
+        ));
+    }
+    let mut ops = Vec::with_capacity(raw_ops.len());
+    for (i, op) in raw_ops.iter().enumerate() {
+        let kind = op
+            .get("op")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("op {i}: missing \"op\" (\"add\" or \"remove\")"))?;
+        let u = op
+            .get("u")
+            .and_then(Json::as_usize)
+            .ok_or_else(|| format!("op {i}: missing or invalid \"u\""))?;
+        let vv = op
+            .get("v")
+            .and_then(Json::as_usize)
+            .ok_or_else(|| format!("op {i}: missing or invalid \"v\""))?;
+        match kind {
+            "add" => {
+                let w = match op.get("w") {
+                    Some(w) => w
+                        .as_f64()
+                        .ok_or_else(|| format!("op {i}: \"w\" must be a number"))?,
+                    None => 1.0,
+                };
+                ops.push(hap_graph::EdgeDelta::Upsert { u, v: vv, w });
+            }
+            "remove" => {
+                if op.get("w").is_some() {
+                    return Err(format!("op {i}: \"w\" is not allowed on a remove"));
+                }
+                ops.push(hap_graph::EdgeDelta::Remove { u, v: vv });
+            }
+            other => {
+                return Err(format!(
+                    "op {i}: unknown op \"{other}\" (expected \"add\" or \"remove\")"
+                ))
+            }
+        }
+    }
+    Ok(Job::Update { id, ops })
 }
 
 /// `/metrics`: cache stats from the shared atomics, latency quantiles

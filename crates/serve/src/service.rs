@@ -18,10 +18,14 @@
 use crate::cache::LruCache;
 use crate::json::Json;
 use hap_core::{HapClassifier, HapError};
-use hap_graph::{degree_one_hot, label_one_hot, wl_cache_key, Graph, GraphScalar};
+use hap_graph::{
+    degree_one_hot, label_one_hot, wl_cache_key, wl_cache_key_from_signature, EdgeDelta, Graph,
+    GraphScalar,
+};
 use hap_pooling::PoolCtx;
 use hap_rand::Rng;
 use hap_tensor::Tensor;
+use std::collections::HashMap;
 
 /// Hard cap on `n` accepted over the wire — dense `N×N` adjacency means
 /// a large `n` in a tiny payload would allocate quadratic memory.
@@ -33,6 +37,9 @@ pub const MAX_GRAPH_EDGES: usize = MAX_GRAPH_NODES * MAX_GRAPH_NODES / 2;
 
 /// Hard cap on `k` accepted by `POST /search`.
 pub const MAX_SEARCH_K: usize = 100;
+
+/// Hard cap on the number of edge ops accepted by one `POST /update`.
+pub const MAX_UPDATE_OPS: usize = 1024;
 
 /// Tunables for [`ModelService`].
 #[derive(Clone, Debug)]
@@ -97,6 +104,48 @@ pub struct SearchState {
     pub index: hap_retrieval::GraphIndex,
     /// The corpus the index was built over.
     pub corpus: hap_data::RetrievalCorpus,
+    /// Graphs mutated by `POST /update`, keyed by corpus id. Graph
+    /// lookups (further updates, the GED rerank stage) consult this
+    /// overlay before falling back to seed-corpus regeneration; slots
+    /// never touched by an update stay out of it. Keeping the mutated
+    /// `Graph` values alive also keeps their incremental caches (Â,
+    /// CSR, WL state) warm across a stream of updates.
+    pub overlay: HashMap<usize, Graph>,
+}
+
+impl SearchState {
+    /// Wraps a freshly built index and its corpus with an empty overlay.
+    pub fn new(index: hap_retrieval::GraphIndex, corpus: hap_data::RetrievalCorpus) -> Self {
+        SearchState {
+            index,
+            corpus,
+            overlay: HashMap::new(),
+        }
+    }
+}
+
+/// Result of `POST /update`: what one atomic edit batch did to a corpus
+/// slot.
+#[derive(Clone, Copy, Debug)]
+pub struct UpdateResult {
+    /// The corpus slot that was addressed.
+    pub id: usize,
+    /// Ops that changed the stored adjacency (bitwise).
+    pub applied: usize,
+    /// Ops that were bit-level no-ops (removing an absent edge,
+    /// re-upserting an identical weight).
+    pub noops: usize,
+    /// Node count of the graph (updates never change it).
+    pub n: usize,
+    /// Edge count after the update.
+    pub edges: usize,
+    /// Maximum degree after the update.
+    pub max_degree: usize,
+    /// Whether the graph was re-embedded and its index slot rewritten
+    /// in place (false when every op was a no-op).
+    pub reembedded: bool,
+    /// Whether a stale embedding-cache entry was evicted.
+    pub evicted: bool,
 }
 
 /// Result of `POST /similarity`.
@@ -178,7 +227,23 @@ impl<T: GraphScalar> ModelService<T> {
     /// # Errors
     /// [`HapError`] from the forward pass (empty graph, feature shape).
     pub fn embedding(&mut self, g: &Graph) -> Result<Tensor<T>, HapError> {
-        let key = wl_cache_key(g, self.cfg.wl_iterations);
+        let key = self.cache_key(g);
+        self.embedding_keyed(g, key)
+    }
+
+    /// The WL cache key for `g` at this service's configured refinement
+    /// depth, served from the graph's own cached WL state — on the
+    /// streaming path the state was refreshed incrementally by
+    /// `Graph::apply`, so this recolours nothing.
+    fn cache_key(&self, g: &Graph) -> u64 {
+        let sig = g.wl_signature_cached(self.cfg.wl_iterations);
+        wl_cache_key_from_signature(&sig, g.n(), g.num_edges())
+    }
+
+    /// [`ModelService::embedding`] with the cache key already in hand
+    /// (the update path computes old and new keys around a mutation and
+    /// must not re-derive them).
+    fn embedding_keyed(&mut self, g: &Graph, key: u64) -> Result<Tensor<T>, HapError> {
         if let Some(e) = self.cache.get(key) {
             hap_obs::inc("serve.cache.hit");
             return Ok(e.clone());
@@ -383,8 +448,17 @@ impl<T: GraphScalar> ModelService<T> {
         let budget = budget.unwrap_or(self.cfg.search_budget).clamp(k, corpus);
         let (hits, _report) = state.index.cascade(&q, k, budget);
         let hits = if rerank {
-            state.index.rerank_ged(
-                &state.corpus,
+            // The rerank must see the *current* graphs: mutated slots
+            // come from the streaming overlay, untouched ones are
+            // regenerated from the seed corpus.
+            state.index.rerank_ged_with(
+                |id| {
+                    state
+                        .overlay
+                        .get(&id)
+                        .cloned()
+                        .unwrap_or_else(|| state.corpus.graph(id))
+                },
                 g,
                 &hits,
                 hap_ged::GedMethod::Hungarian,
@@ -399,6 +473,151 @@ impl<T: GraphScalar> ModelService<T> {
             reranked: rerank,
         })
     }
+
+    /// Applies an atomic batch of edge ops to corpus graph `id`, then —
+    /// if anything actually changed — re-embeds the mutated graph and
+    /// rewrites its index slot in place ([`GraphIndex::update_entry`];
+    /// no index rebuild), evicting the now-stale WL-keyed cache entry.
+    /// Every structural cache (Â, CSR, WL colouring) is maintained
+    /// incrementally by [`Graph::apply`], so the re-embed pays only for
+    /// the forward pass, not for recomputing graph structure. A batch
+    /// in which every op is a bit-level no-op returns with
+    /// `reembedded: false` and touches neither the cache nor the index.
+    ///
+    /// Validation happens before any mutation: a rejected request
+    /// leaves the service state exactly as it was.
+    ///
+    /// [`GraphIndex::update_entry`]: hap_retrieval::GraphIndex::update_entry
+    ///
+    /// # Errors
+    /// A client-facing message when search is disabled, `id` is out of
+    /// range, or any op is malformed (self-loop, endpoint out of range,
+    /// non-finite or non-positive weight, empty or oversized batch).
+    pub fn update(&mut self, id: usize, ops: &[EdgeDelta]) -> Result<UpdateResult, String> {
+        let corpus = match &self.search {
+            Some(s) => s.corpus,
+            None => return Err("search is not enabled on this server".to_string()),
+        };
+        if id >= corpus.len() {
+            return Err(format!(
+                "graph id {id} out of range for a corpus of {} graphs",
+                corpus.len()
+            ));
+        }
+        if ops.is_empty() {
+            return Err("\"ops\" must not be empty".to_string());
+        }
+        if ops.len() > MAX_UPDATE_OPS {
+            return Err(format!(
+                "{} ops exceed the limit of {MAX_UPDATE_OPS}",
+                ops.len()
+            ));
+        }
+        let wl_it = self.cfg.wl_iterations;
+        let state = self.search.as_mut().expect("checked above");
+        // Take the graph out of the overlay (or regenerate the seed
+        // graph); every return path below puts it back, preserving the
+        // warm incremental caches for the next update in the stream.
+        let mut g = state
+            .overlay
+            .remove(&id)
+            .unwrap_or_else(|| corpus.graph(id));
+        if let Err(msg) = validate_ops(ops, g.n()) {
+            state.overlay.insert(id, g);
+            return Err(msg);
+        }
+        // The old cache key comes from the graph's (warm) WL state,
+        // captured before the mutation invalidates it.
+        let old_key =
+            wl_cache_key_from_signature(&g.wl_signature_cached(wl_it), g.n(), g.num_edges());
+        let mut applied = 0usize;
+        for op in ops {
+            if g.apply(*op) {
+                applied += 1;
+            }
+        }
+        let noops = ops.len() - applied;
+        let (n, edges, max_degree) = (g.n(), g.num_edges(), g.max_degree());
+        if applied == 0 {
+            state.overlay.insert(id, g);
+            return Ok(UpdateResult {
+                id,
+                applied,
+                noops,
+                n,
+                edges,
+                max_degree,
+                reembedded: false,
+                evicted: false,
+            });
+        }
+        // Evict before re-embedding: if the mutation happens to land on
+        // the same WL key (hash collision or balanced edits), removing
+        // after the insert would throw the fresh entry away.
+        let new_key = wl_cache_key_from_signature(&g.wl_signature_cached(wl_it), n, edges);
+        let evicted = self.cache.remove(old_key);
+        let embedded = self.embedding_keyed(&g, new_key);
+        let state = self.search.as_mut().expect("checked above");
+        let e = match embedded {
+            Ok(e) => e,
+            Err(e) => {
+                state.overlay.insert(id, g);
+                return Err(e.to_string());
+            }
+        };
+        let concat: Vec<f64> = e.cast::<f64>().row(0).to_vec();
+        let q = match hap_retrieval::QueryEmbedding::from_concat(
+            &g,
+            &concat,
+            state.index.hidden(),
+            state.index.levels(),
+            state.index.config().wl_iterations,
+        ) {
+            Ok(q) => q,
+            Err(e) => {
+                state.overlay.insert(id, g);
+                return Err(e.to_string());
+            }
+        };
+        state.index.update_entry(id, &q);
+        state.overlay.insert(id, g);
+        Ok(UpdateResult {
+            id,
+            applied,
+            noops,
+            n,
+            edges,
+            max_degree,
+            reembedded: true,
+            evicted,
+        })
+    }
+}
+
+/// Screens an update batch against graph size `n` before anything is
+/// mutated: endpoints in range, no self-loops, upsert weights finite and
+/// positive (corpus graphs are simple positive-weight graphs; a zero
+/// weight would alias `Remove`, and NaN would poison every downstream
+/// distance).
+fn validate_ops(ops: &[EdgeDelta], n: usize) -> Result<(), String> {
+    for (i, op) in ops.iter().enumerate() {
+        let (u, v) = match *op {
+            EdgeDelta::Upsert { u, v, w } => {
+                if !(w.is_finite() && w > 0.0) {
+                    return Err(format!("op {i}: weight must be finite and positive"));
+                }
+                (u, v)
+            }
+            EdgeDelta::Remove { u, v } => (u, v),
+        };
+        if u == v {
+            return Err(format!("op {i}: self-loop ({u},{v}) is not allowed"));
+        }
+        if u >= n || v >= n {
+            return Err(format!("op {i}: edge ({u},{v}) out of range for {n} nodes"));
+        }
+    }
+    Ok(())
 }
 
 /// Wire-input node features in the model's element type: label one-hots
@@ -514,6 +733,150 @@ mod tests {
         let model = HapModel::new(&mut store, &cfg, &mut rng);
         let clf = HapClassifier::new(&mut store, model, 2, &mut rng);
         ModelService::new(clf, 4, 4, 1, ServiceConfig::default())
+    }
+
+    /// A tiny service with a search index over a seeded corpus — the
+    /// same wiring `Batcher::spawn` performs, inlined for unit tests.
+    fn search_service(corpus_len: usize) -> ModelService {
+        let mut rng = Rng::from_seed(3);
+        let mut store = ParamStore::<f64>::new();
+        let cfg = HapConfig::new(4, 4).with_clusters(&[2]);
+        let model = HapModel::new(&mut store, &cfg, &mut rng);
+        let clf = HapClassifier::new(&mut store, model, 2, &mut rng);
+        let snap = hap_snapshot::ModelSnapshot::capture(&cfg, 2, &store);
+        let svc_cfg = ServiceConfig {
+            search_corpus: corpus_len,
+            ..ServiceConfig::default()
+        };
+        let corpus = hap_data::RetrievalCorpus::new(svc_cfg.search_seed, corpus_len);
+        let index = hap_retrieval::GraphIndex::build(
+            &snap,
+            &corpus,
+            hap_retrieval::IndexConfig {
+                wl_iterations: svc_cfg.wl_iterations,
+                ..hap_retrieval::IndexConfig::default()
+            },
+        )
+        .expect("index build");
+        let mut svc = ModelService::new(clf, 4, 4, 1, svc_cfg);
+        svc.enable_search(SearchState::new(index, corpus));
+        svc
+    }
+
+    /// One op that definitely changes corpus graph `id`: remove its
+    /// first edge, or add (0,1) if it has none.
+    fn flip_op(g: &Graph) -> EdgeDelta {
+        match g.edges().first().copied() {
+            Some((u, v)) => EdgeDelta::Remove { u, v },
+            None => EdgeDelta::Upsert { u: 0, v: 1, w: 1.0 },
+        }
+    }
+
+    #[test]
+    fn update_rewrites_the_index_slot_and_search_tracks_it() {
+        let mut svc = search_service(32);
+        let mut g = svc.search.as_ref().unwrap().corpus.graph(5);
+        let op = flip_op(&g);
+        let r = svc.update(5, &[op]).unwrap();
+        assert!(r.reembedded);
+        assert_eq!((r.applied, r.noops), (1, 0));
+        assert_eq!(r.id, 5);
+        // Mirror the mutation locally and query with the mutated graph:
+        // slot 5 must now be its own nearest neighbour at *bitwise* zero
+        // distance (every term of the hybrid distance vanishes).
+        assert!(g.apply(op));
+        let res = svc.search(&g, 1, Some(32), false).unwrap();
+        assert_eq!(res.hits[0].id, 5, "upserted slot must be its own nearest");
+        assert_eq!(res.hits[0].distance.to_bits(), 0.0f64.to_bits());
+        // The GED rerank consults the overlay, not the seed corpus: the
+        // mutated graph's edit distance to itself is zero.
+        let res = svc.search(&g, 3, Some(32), true).unwrap();
+        let self_hit = res.hits.iter().find(|h| h.id == 5).expect("id 5 kept");
+        assert_eq!(self_hit.distance, 0.0, "overlay graph vs itself");
+        // Stats in the result reflect the mutated graph.
+        assert_eq!(
+            (r.n, r.edges, r.max_degree),
+            (g.n(), g.num_edges(), g.max_degree())
+        );
+    }
+
+    #[test]
+    fn noop_update_skips_reembedding_and_eviction() {
+        let mut svc = search_service(16);
+        let g = svc.search.as_ref().unwrap().corpus.graph(3);
+        // Find a non-adjacent pair: removing an absent edge is a
+        // bit-level no-op.
+        let adj = g.adjacency();
+        let (u, v) = (0..g.n())
+            .flat_map(|u| (u + 1..g.n()).map(move |v| (u, v)))
+            .find(|&(u, v)| adj[(u, v)] == 0.0)
+            .expect("a 16-node corpus graph is not complete");
+        // Warm the cache so we can observe that nothing is evicted.
+        let _ = svc.search(&g, 1, None, false).unwrap();
+        let hits_before = svc.cache_hits();
+        let r = svc.update(3, &[EdgeDelta::Remove { u, v }]).unwrap();
+        assert!(!r.reembedded);
+        assert!(!r.evicted);
+        assert_eq!((r.applied, r.noops), (0, 1));
+        // The same query still hits the cache — nothing was invalidated.
+        let _ = svc.search(&g, 1, None, false).unwrap();
+        assert_eq!(
+            svc.cache_hits(),
+            hits_before + 1,
+            "no-op must keep the entry"
+        );
+    }
+
+    #[test]
+    fn update_validates_before_mutating() {
+        let mut svc = search_service(8);
+        let n = svc.search.as_ref().unwrap().corpus.graph(2).n();
+        let baseline = {
+            let g = svc.search.as_ref().unwrap().corpus.graph(2);
+            svc.search(&g, 3, Some(8), false).unwrap().hits
+        };
+        let cases: Vec<(usize, Vec<EdgeDelta>)> = vec![
+            (99, vec![EdgeDelta::Remove { u: 0, v: 1 }]), // id out of range
+            (2, vec![]),                                  // empty batch
+            (2, vec![EdgeDelta::Upsert { u: 0, v: 0, w: 1.0 }]), // self-loop
+            (2, vec![EdgeDelta::Remove { u: 0, v: n }]),  // endpoint out of range
+            (
+                2,
+                vec![EdgeDelta::Upsert {
+                    u: 0,
+                    v: 1,
+                    w: f64::NAN,
+                }],
+            ), // NaN weight
+            (2, vec![EdgeDelta::Upsert { u: 0, v: 1, w: 0.0 }]), // zero weight
+            // One good op after a bad one must not be half-applied.
+            (
+                2,
+                vec![
+                    EdgeDelta::Upsert { u: 0, v: 1, w: 1.0 },
+                    EdgeDelta::Remove { u: 0, v: n },
+                ],
+            ),
+        ];
+        for (id, ops) in cases {
+            assert!(svc.update(id, &ops).is_err(), "id {id} ops {ops:?}");
+        }
+        // No partial mutation leaked: the baseline query answers
+        // bitwise identically.
+        let g = svc.search.as_ref().unwrap().corpus.graph(2);
+        let after = svc.search(&g, 3, Some(8), false).unwrap().hits;
+        assert_eq!(baseline.len(), after.len());
+        for (a, b) in baseline.iter().zip(&after) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.distance.to_bits(), b.distance.to_bits());
+        }
+    }
+
+    #[test]
+    fn update_without_search_is_a_client_error() {
+        let mut svc = tiny_service();
+        let err = svc.update(0, &[EdgeDelta::Remove { u: 0, v: 1 }]);
+        assert_eq!(err.unwrap_err(), "search is not enabled on this server");
     }
 
     #[test]

@@ -257,6 +257,123 @@ fn search_roundtrip_is_deterministic_and_validates_input() {
 }
 
 #[test]
+fn update_answers_503_when_search_is_disabled() {
+    let h = start();
+    let (status, body) = request(
+        &h,
+        "POST",
+        "/update",
+        r#"{"id": 0, "ops": [{"op":"remove","u":0,"v":1}]}"#,
+    );
+    assert!(status.contains("503"), "{status}");
+    assert!(body.contains("not enabled"), "{body}");
+    let (status, _) = request(&h, "GET", "/update", "");
+    assert!(status.contains("405"), "GET on /update: {status}");
+    h.shutdown();
+}
+
+#[test]
+fn update_moves_a_corpus_graph_in_and_out_of_the_topk() {
+    let h = serve(
+        tiny_snapshot(),
+        ServeConfig {
+            workers: 2,
+            service: hap_serve::ServiceConfig {
+                search_corpus: 48,
+                ..hap_serve::ServiceConfig::default()
+            },
+            ..ServeConfig::default()
+        },
+    )
+    .expect("server with search starts");
+
+    // Probe slot 7's node count through the update response (removing
+    // edge (0,1) may or may not apply; either way the reply reports n).
+    let probe = r#"{"id": 7, "ops": [{"op":"remove","u":0,"v":1}]}"#;
+    let (status, body) = request(&h, "POST", "/update", probe);
+    assert_eq!(status, "HTTP/1.1 200 OK", "{body}");
+    let n = hap_serve::Json::parse(&body)
+        .expect("update reply is JSON")
+        .get("n")
+        .and_then(|x| x.as_f64())
+        .expect("reply reports n") as usize;
+    assert!(n >= 3, "corpus graphs have at least 3 nodes");
+
+    // Rebuild slot 7 into exactly an n-cycle: remove every possible
+    // edge (absent ones are bit-level no-ops), then add the ring.
+    let mut ops = Vec::new();
+    for u in 0..n {
+        for v in (u + 1)..n {
+            ops.push(format!("{{\"op\":\"remove\",\"u\":{u},\"v\":{v}}}"));
+        }
+    }
+    for u in 0..n {
+        ops.push(format!(
+            "{{\"op\":\"add\",\"u\":{u},\"v\":{}}}",
+            (u + 1) % n
+        ));
+    }
+    let payload = format!("{{\"id\": 7, \"ops\": [{}]}}", ops.join(","));
+    let (status, body) = request(&h, "POST", "/update", &payload);
+    assert_eq!(status, "HTTP/1.1 200 OK", "{body}");
+    assert!(body.contains("\"reembedded\":true"), "{body}");
+    assert!(body.starts_with("{\"id\":7,"), "{body}");
+    assert!(
+        body.contains(&format!("\"edges\":{n}")),
+        "an n-cycle: {body}"
+    );
+    assert!(body.contains("\"max_degree\":2"), "an n-cycle: {body}");
+
+    // Query with that exact graph: slot 7 is now bitwise identical to
+    // the query, so it must surface at distance zero — where before the
+    // update the slot held a different (seeded) graph.
+    let ring_edges: Vec<String> = (0..n).map(|u| format!("[{u},{}]", (u + 1) % n)).collect();
+    let query = format!(
+        "{{\"graph\": {{\"n\": {n}, \"edges\": [{}]}}, \"k\": 3}}",
+        ring_edges.join(",")
+    );
+    let (status, after1) = request(&h, "POST", "/search", &query);
+    assert_eq!(status, "HTTP/1.1 200 OK", "{after1}");
+    let (_, after2) = request(&h, "POST", "/search", &query);
+    assert_eq!(after1, after2, "post-update search must stay deterministic");
+    assert!(
+        after1.contains("\"id\":7,\"distance\":0"),
+        "slot 7 now matches the query exactly: {after1}"
+    );
+
+    // A pure no-op batch (re-adding a ring edge at its existing weight)
+    // reports zero applied ops and leaves the service byte-identical.
+    let noop = r#"{"id": 7, "ops": [{"op":"add","u":0,"v":1,"w":1.0}]}"#;
+    let (status, body) = request(&h, "POST", "/update", noop);
+    assert_eq!(status, "HTTP/1.1 200 OK", "{body}");
+    assert!(body.contains("\"applied\":0"), "{body}");
+    assert!(body.contains("\"reembedded\":false"), "{body}");
+    let (_, after3) = request(&h, "POST", "/search", &query);
+    assert_eq!(after1, after3, "no-op update must not change answers");
+
+    // Malformed updates are 400s, not panics; the thread answers after.
+    for bad in [
+        r#"{"ops": [{"op":"add","u":0,"v":1}]}"#, // missing id
+        r#"{"id": 7}"#,                           // missing ops
+        r#"{"id": 7, "ops": []}"#,                // empty ops
+        r#"{"id": 7, "ops": [{"op":"grow","u":0,"v":1}]}"#, // unknown op
+        r#"{"id": 7, "ops": [{"op":"add","u":0}]}"#, // missing v
+        r#"{"id": 7, "ops": [{"op":"add","u":0,"v":0}]}"#, // self-loop
+        r#"{"id": 7, "ops": [{"op":"add","u":0,"v":9999}]}"#, // out of range
+        r#"{"id": 7, "ops": [{"op":"remove","u":0,"v":1,"w":2.0}]}"#, // w on remove
+        r#"{"id": 7, "ops": [{"op":"add","u":0,"v":1,"w":-1.0}]}"#, // bad weight
+        r#"{"id": 9999, "ops": [{"op":"remove","u":0,"v":1}]}"#, // id out of range
+    ] {
+        let (status, body) = request(&h, "POST", "/update", bad);
+        assert!(status.contains("400"), "{bad}: {status} {body}");
+    }
+    let (status, after4) = request(&h, "POST", "/search", &query);
+    assert_eq!(status, "HTTP/1.1 200 OK", "{after4}");
+    assert_eq!(after1, after4, "rejected updates must not mutate state");
+    h.shutdown();
+}
+
+#[test]
 fn search_with_explicit_budget_expands_recall() {
     let h = serve(
         tiny_snapshot(),

@@ -71,6 +71,69 @@ impl<T: Scalar> CsrMatrix<T> {
         }
     }
 
+    /// Re-compresses only the `touched` rows of `dense`, splicing the
+    /// untouched rows through from `self` — the O(deg) update path for a
+    /// localised edit (an edge flip touches two rows of Â plus the two
+    /// matching columns of every other row).
+    ///
+    /// Precondition: `dense` differs from the matrix `self` represents
+    /// only within the `touched` rows and the `touched` columns. Under
+    /// that contract the result is **bitwise equal** to
+    /// [`CsrMatrix::from_dense`] on `dense`: touched rows are recompressed
+    /// by the exact `from_dense` loop, and untouched rows keep their
+    /// column structure with values patched at the touched columns.
+    ///
+    /// Returns `None` (caller falls back to a full `from_dense`) when the
+    /// shapes disagree, or when the sparsity *structure* changed outside a
+    /// touched row — an entry appearing or vanishing at a touched column
+    /// of an untouched row (e.g. a product underflowing to `0.0`), which a
+    /// value patch cannot represent.
+    ///
+    /// # Panics
+    /// Panics when a `touched` index is out of range as a column index.
+    pub fn splice_from_dense(&self, dense: &Tensor<T>, touched: &[usize]) -> Option<CsrMatrix<T>> {
+        if dense.shape() != self.shape() {
+            return None;
+        }
+        let mut indptr = Vec::with_capacity(self.rows + 1);
+        let mut indices = Vec::with_capacity(self.indices.len());
+        let mut values = Vec::with_capacity(self.values.len());
+        indptr.push(0);
+        for r in 0..self.rows {
+            if touched.contains(&r) {
+                // Recompress the whole row exactly as `from_dense` would.
+                for (c, &v) in dense.row(r).iter().enumerate() {
+                    if v != T::ZERO {
+                        indices.push(c);
+                        values.push(v);
+                    }
+                }
+            } else {
+                let start = indices.len();
+                let (cols, vals) = self.row(r);
+                indices.extend_from_slice(cols);
+                values.extend_from_slice(vals);
+                let row_dense = dense.row(r);
+                for &c in touched {
+                    let v = row_dense[c];
+                    match cols.binary_search(&c) {
+                        Ok(pos) if v != T::ZERO => values[start + pos] = v,
+                        Err(_) if v == T::ZERO => {}
+                        _ => return None,
+                    }
+                }
+            }
+            indptr.push(indices.len());
+        }
+        Some(CsrMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            indptr,
+            indices,
+            values,
+        })
+    }
+
     /// Expands back to a dense [`Tensor`].
     pub fn to_dense(&self) -> Tensor<T> {
         let mut out = Tensor::zeros(self.rows, self.cols);
@@ -388,6 +451,63 @@ mod tests {
             }
         }
         assert_eq!(bd.nnz(), sa.nnz() + sb.nnz());
+    }
+
+    #[test]
+    fn splice_from_dense_matches_from_dense_bitwise() {
+        let mut d = random_sparse(12, 12, 0.3, 41);
+        let old = CsrMatrix::from_dense(&d);
+        // Edit rows/columns 3 and 7: rewrite both full rows and the two
+        // matching columns of every other row (zero ↔ non-zero allowed
+        // inside the touched rows, value-only changes elsewhere).
+        let touched = [3usize, 7];
+        for &t in &touched {
+            for c in 0..12 {
+                d[(t, c)] = if (t + c) % 3 == 0 {
+                    0.0
+                } else {
+                    0.1 * (t + c) as f64
+                };
+            }
+        }
+        for r in 0..12 {
+            if touched.contains(&r) {
+                continue;
+            }
+            for &t in &touched {
+                if d[(r, t)] != 0.0 {
+                    d[(r, t)] *= 1.5;
+                }
+            }
+        }
+        let spliced = old
+            .splice_from_dense(&d, &touched)
+            .expect("structure splice");
+        let fresh = CsrMatrix::from_dense(&d);
+        assert_eq!(spliced, fresh);
+        for (x, y) in spliced.values.iter().zip(&fresh.values) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn splice_from_dense_rejects_structure_change_outside_touched_rows() {
+        let mut d = random_sparse(6, 6, 0.5, 42);
+        d[(1, 4)] = 0.0; // ensure a hole at an untouched row / touched col
+        d[(2, 4)] = 1.0; // ensure an entry at an untouched row / touched col
+        let old = CsrMatrix::from_dense(&d);
+        // Entry appears at (1, 4): row 1 is untouched, col 4 is touched.
+        let mut appear = d.clone();
+        appear[(1, 4)] = 2.0;
+        assert!(old.splice_from_dense(&appear, &[4]).is_none());
+        // Entry vanishes at (2, 4).
+        let mut vanish = d.clone();
+        vanish[(2, 4)] = 0.0;
+        assert!(old.splice_from_dense(&vanish, &[4]).is_none());
+        // Shape mismatch.
+        assert!(old
+            .splice_from_dense(&Tensor::<f64>::zeros(5, 5), &[0])
+            .is_none());
     }
 
     #[test]

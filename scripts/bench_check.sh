@@ -64,6 +64,26 @@ print(f"batched train step: {batched:.0f} ns vs looped {looped:.0f} ns "
       f"(ratio {batched / looped:.2f})")
 EOF
 
+# Streaming-update gate: incremental Â/CSR/WL maintenance (Graph::apply
+# on a warm-cached graph) must beat a from-scratch rebuild-and-recompute
+# by >= 3x median at the largest swept size, in the low-density regime
+# where the radius-2 WL recolour ball stays under the half-graph
+# fallback cutoff. The pair runs interleaved (Bench::run_pair) so the
+# ratio is host-drift-free; the p=0.1 rows sit near 1x by design (the
+# recolour falls back to full refinement there) and are not gated.
+python3 - "$current" <<'EOF'
+import json, sys
+results = {r["name"]: r["median_ns"] for r in json.load(open(sys.argv[1]))["results"]}
+inc = results["stream/update/n=200/p=0.02/incremental"]
+full = results["stream/update/n=200/p=0.02/full"]
+ratio = full / inc
+if ratio < 3.0:
+    sys.exit(f"incremental stream update regressed: {inc:.0f} ns vs full "
+             f"recompute {full:.0f} ns (ratio {ratio:.2f}, floor 3.00)")
+print(f"stream update n=200/p=0.02: incremental {inc:.0f} ns vs "
+      f"full {full:.0f} ns (ratio {ratio:.2f}, floor 3.00)")
+EOF
+
 # f32 fast-path gate: the precision/* cases run f64 and f32 interleaved
 # (Bench::run_pair) on identical inputs, so the ratio is host-drift-free.
 # The build targets baseline SSE2, where an XMM register holds exactly

@@ -111,6 +111,37 @@ grep -q '"errors": 0,' "$SERVE_TMP/a.json" || {
 }
 rm -rf "$SERVE_TMP"
 
+# Streaming updates (ARCHITECTURE.md "Streaming updates"): a graph
+# mutated through Graph::apply must hold bitwise the same cached
+# Â/CSR/WL structures as a from-scratch rebuild — the fuzz differential
+# suite pins that at both threading modes, and the serve smoke below
+# replays a deterministic /update + /search stream against the committed
+# snapshot: every update mutates a corpus graph in place (index-slot
+# rewrite, stale-cache eviction) and the results_hash over all response
+# bodies must be byte-identical across runs and thread counts, with
+# zero request errors.
+HAP_THREADS=1 cargo test -q --offline -p hap-integration --test stream_determinism
+env -u HAP_THREADS cargo test -q --offline -p hap-integration --test stream_determinism
+STREAM_TMP="$(mktemp -d)"
+HAP_THREADS=1 cargo run --release --offline -q -p hap-bench --bin stream_bench -- \
+  --out "$STREAM_TMP/a.json"
+HAP_THREADS=1 cargo run --release --offline -q -p hap-bench --bin stream_bench -- \
+  --out "$STREAM_TMP/b.json"
+env -u HAP_THREADS cargo run --release --offline -q -p hap-bench --bin stream_bench -- \
+  --out "$STREAM_TMP/c.json"
+shash_a=$(grep -o '"results_hash": "[0-9a-f]*"' "$STREAM_TMP/a.json")
+shash_b=$(grep -o '"results_hash": "[0-9a-f]*"' "$STREAM_TMP/b.json")
+shash_c=$(grep -o '"results_hash": "[0-9a-f]*"' "$STREAM_TMP/c.json")
+[ -n "$shash_a" ] && [ "$shash_a" = "$shash_b" ] && [ "$shash_a" = "$shash_c" ] || {
+  echo "streaming updates are not deterministic: $shash_a / $shash_b / $shash_c" >&2
+  exit 1
+}
+grep -q '"errors": 0,' "$STREAM_TMP/a.json" || {
+  echo "stream smoke run had request errors" >&2
+  exit 1
+}
+rm -rf "$STREAM_TMP"
+
 # Retrieval smoke test: a small index replayed three times — twice pinned
 # to one thread, once with the pool sized from the hardware — must return
 # byte-identical top-k lists (the results_hash covers every (id,
